@@ -1,0 +1,144 @@
+//! The Theorem 9 correctness / fault-tolerance bound.
+//!
+//! Recovery needs `t = n/2` of the cluster's `n` shares. A share is
+//! unavailable if its HSM fail-stopped (probability `f_live`) *or* its
+//! Bloom-filter decryption misses because other users' punctures emptied
+//! all the tag's slots (probability ≤ `fill^k`, §9.2). Theorem 9 shows
+//! the union-bound failure probability `C(n, n/2)·f^(n/2) ≤ 2^(−n/2)`
+//! whenever the combined per-share failure rate `f ≤ 1/8`.
+
+use crate::security::ln_choose;
+
+/// Per-deployment availability inputs.
+#[derive(Debug, Clone, Copy)]
+pub struct AvailabilityParams {
+    /// Cluster size `n`.
+    pub cluster: usize,
+    /// Recovery threshold `t`.
+    pub threshold: usize,
+    /// Benign HSM fail-stop probability (`f_live`, 1/64 in the paper).
+    pub f_live: f64,
+    /// Bloom-filter hash count `k`.
+    pub bfe_hashes: u32,
+    /// Worst-case filter fill at rotation (1/2 in the paper).
+    pub bfe_fill: f64,
+}
+
+impl AvailabilityParams {
+    /// The paper's configuration: n = 40, t = 20, f_live = 1/64, k = 4,
+    /// rotation at half-full.
+    pub fn paper_default() -> Self {
+        Self {
+            cluster: 40,
+            threshold: 20,
+            f_live: 1.0 / 64.0,
+            bfe_hashes: 4,
+            bfe_fill: 0.5,
+        }
+    }
+
+    /// Combined per-share unavailability: fail-stop ∪ BFE decryption miss.
+    pub fn per_share_failure(&self) -> f64 {
+        let bfe_miss = self.bfe_fill.powi(self.bfe_hashes as i32);
+        // Union bound; both events are rare and independent-ish.
+        (self.f_live + bfe_miss).min(1.0)
+    }
+
+    /// Theorem 9's union bound on recovery failure:
+    /// `C(n, n−t+1)·f^(n−t+1)` — at least `n−t+1` shares must fail.
+    ///
+    /// For `t = n/2` this is the paper's `C(n, n/2)·f^(n/2) ≤ 2^(−n/2)`
+    /// (they bound `C(n, n/2) ≤ 2^n` and `f ≤ 1/8`).
+    pub fn recovery_failure_bound(&self) -> f64 {
+        let n = self.cluster;
+        let need_fail = n - self.threshold + 1;
+        let f = self.per_share_failure();
+        (ln_choose(n, need_fail) + (need_fail as f64) * f.ln()).exp()
+    }
+
+    /// Exact failure probability assuming independent share failures:
+    /// `Pr[fewer than t shares survive] = Pr[Bin(n, 1−f) < t]`.
+    pub fn recovery_failure_exact(&self) -> f64 {
+        let n = self.cluster;
+        let f = self.per_share_failure();
+        let mut p_fail = 0.0f64;
+        // Survivors s < t  ⇔  failures n−s > n−t.
+        for s in 0..self.threshold {
+            let k = n - s; // failures
+            p_fail += (ln_choose(n, k) + (k as f64) * f.ln()
+                + ((n - k) as f64) * (-f).ln_1p())
+            .exp();
+        }
+        p_fail
+    }
+
+    /// Whether the Theorem 9 precondition (combined failure ≤ 1/8) holds.
+    pub fn within_budget(&self) -> bool {
+        self.per_share_failure() <= 1.0 / 8.0
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn paper_point_is_comfortably_reliable() {
+        let p = AvailabilityParams::paper_default();
+        // f = 1/64 + 1/16 ≈ 0.078 ≤ 1/8 ✓
+        assert!(p.within_budget());
+        assert!((p.per_share_failure() - (1.0 / 64.0 + 1.0 / 16.0)).abs() < 1e-12);
+        // Union bound below 2^(−n/2) = 2^(−20).
+        let bound = p.recovery_failure_bound();
+        assert!(bound < 2f64.powi(-10), "bound {bound}");
+        let exact = p.recovery_failure_exact();
+        assert!(exact <= bound * 1.001, "exact {exact} vs bound {bound}");
+        assert!(exact < 1e-9, "exact {exact}");
+    }
+
+    #[test]
+    fn budget_violated_with_weak_filter() {
+        // k = 1 hash: miss probability 1/2 at rotation ⇒ way over budget.
+        let p = AvailabilityParams {
+            bfe_hashes: 1,
+            ..AvailabilityParams::paper_default()
+        };
+        assert!(!p.within_budget());
+        assert!(p.recovery_failure_exact() > 0.01);
+    }
+
+    #[test]
+    fn failure_decreases_with_cluster_size() {
+        let small = AvailabilityParams {
+            cluster: 8,
+            threshold: 4,
+            ..AvailabilityParams::paper_default()
+        };
+        let big = AvailabilityParams::paper_default();
+        assert!(big.recovery_failure_exact() < small.recovery_failure_exact());
+    }
+
+    #[test]
+    fn exact_below_union_bound() {
+        for n in [8usize, 16, 40, 64] {
+            let p = AvailabilityParams {
+                cluster: n,
+                threshold: n / 2,
+                ..AvailabilityParams::paper_default()
+            };
+            assert!(
+                p.recovery_failure_exact() <= p.recovery_failure_bound() * 1.001,
+                "n = {n}"
+            );
+        }
+    }
+
+    #[test]
+    fn fresh_key_has_tiny_miss() {
+        let p = AvailabilityParams {
+            bfe_fill: 0.0001,
+            ..AvailabilityParams::paper_default()
+        };
+        assert!(p.per_share_failure() < 1.0 / 60.0);
+    }
+}

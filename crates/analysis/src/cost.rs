@@ -1,0 +1,223 @@
+//! Fleet throughput and dollar-cost models (Figure 12, Table 14).
+//!
+//! Per §9.1, each HSM splits its cycles three ways: serving recovery
+//! shares, auditing the log, and rotating its puncturable-encryption key.
+//! Rotation dominates (the paper measures ≈56% of cycles): a rotation
+//! costs one group multiplication per Bloom slot (≈2²¹ ≈ 75 SoloKey-hours)
+//! and buys `slots/(2k)` ≈ 2¹⁸ decryptions.
+
+use safetypin_sim::device::DeviceProfile;
+use safetypin_sim::{CostModel, OpCosts};
+
+/// Seconds in a (Julian) year.
+pub const SECONDS_PER_YEAR: f64 = 365.25 * 86_400.0;
+
+/// The fleet cost/throughput model.
+#[derive(Debug, Clone, Copy)]
+pub struct FleetCostModel {
+    /// Per-HSM work to serve one recovery share request (measured
+    /// [`OpCosts`] from a real protocol run).
+    pub per_share_costs: OpCosts,
+    /// Cluster size `n` (HSM contacts per recovery).
+    pub cluster: u32,
+    /// Bloom slots per key (rotation = this many group mults).
+    pub bfe_slots: u64,
+    /// Punctures per key before rotation.
+    pub punctures_per_key: u64,
+    /// Fraction of cycles spent auditing the log (≈0.11 in §9.1).
+    pub audit_fraction: f64,
+}
+
+impl FleetCostModel {
+    /// The paper's configuration with a representative per-share cost
+    /// (one ElGamal decryption plus the outsourced-storage traffic for a
+    /// 2²¹-slot key).
+    pub fn paper_default() -> Self {
+        let mut per_share = OpCosts::new();
+        per_share.elgamal_decs = 1;
+        // Tree height 21: ~21 node reads + 4×21 delete round trips at
+        // ~96 B each, plus AES work (~6 blocks per node op).
+        per_share.aes_blocks = 21 * 6 * 5;
+        per_share.add_io(21 * 96 * 5);
+        // Request/response and proof traffic (~3 KB).
+        per_share.add_io(3 * 1024);
+        per_share.sha_ops = 64;
+        Self {
+            per_share_costs: per_share,
+            cluster: 40,
+            bfe_slots: 1 << 21,
+            punctures_per_key: 1 << 18,
+            audit_fraction: 0.11,
+        }
+    }
+
+    /// Seconds of device time to serve one share request.
+    pub fn share_seconds(&self, model: &CostModel) -> f64 {
+        model.total_seconds(&self.per_share_costs)
+    }
+
+    /// Seconds of device time for one full key rotation.
+    pub fn rotation_seconds(&self, model: &CostModel) -> f64 {
+        let mut costs = OpCosts::new();
+        costs.group_mults = self.bfe_slots;
+        // Writing the fresh 32 B/slot secret array out to the provider.
+        costs.io_bytes = self.bfe_slots * 32;
+        costs.io_messages = 1;
+        model.total_seconds(&costs)
+    }
+
+    /// Amortized rotation seconds per share served.
+    pub fn rotation_seconds_per_share(&self, model: &CostModel) -> f64 {
+        self.rotation_seconds(model) / self.punctures_per_key as f64
+    }
+
+    /// Effective seconds per share including rotation and audit overhead.
+    pub fn effective_share_seconds(&self, model: &CostModel) -> f64 {
+        (self.share_seconds(model) + self.rotation_seconds_per_share(model))
+            / (1.0 - self.audit_fraction)
+    }
+
+    /// Fraction of cycles an HSM spends rotating keys (§9.1 reports ≈56%
+    /// on SoloKeys).
+    pub fn rotation_duty_fraction(&self, model: &CostModel) -> f64 {
+        let rot = self.rotation_seconds_per_share(model);
+        rot / (rot + self.share_seconds(model))
+    }
+
+    /// Shares served per HSM-hour (the paper's "1,503.9 recoveries per
+    /// hour" figure counts share-serving operations).
+    pub fn shares_per_hsm_hour(&self, model: &CostModel) -> f64 {
+        3_600.0 / self.effective_share_seconds(model)
+    }
+
+    /// Whole-fleet recoveries per year for `n_hsms` devices (each
+    /// recovery consumes ~`cluster` share services).
+    pub fn recoveries_per_year(&self, model: &CostModel, n_hsms: u64) -> f64 {
+        n_hsms as f64 * SECONDS_PER_YEAR
+            / (self.effective_share_seconds(model) * self.cluster as f64)
+    }
+
+    /// Minimum fleet size to serve `rate` recoveries per year.
+    pub fn fleet_for_rate(&self, model: &CostModel, rate_per_year: f64) -> u64 {
+        (rate_per_year * self.effective_share_seconds(model) * self.cluster as f64
+            / SECONDS_PER_YEAR)
+            .ceil() as u64
+    }
+
+    /// Effective per-share seconds on `device`, scaled from the measured
+    /// SoloKey baseline by the `g^x/sec` ratio — the paper's own method
+    /// for Figure 12 / Table 14 ("We use g^x/sec to compute the expected
+    /// throughput of more powerful HSMs"). Using the ratio for the whole
+    /// operation (rather than re-pricing I/O) matches faster devices'
+    /// faster interconnects (SafeNets are GigE-attached, not USB).
+    pub fn effective_share_seconds_on(&self, device: &DeviceProfile) -> f64 {
+        self.effective_share_seconds(&CostModel::paper_default()) / device.speedup_vs_solokey()
+    }
+
+    /// Minimum fleet of `device` to serve `rate` recoveries per year.
+    pub fn device_fleet_for_rate(&self, device: &DeviceProfile, rate_per_year: f64) -> u64 {
+        (rate_per_year * self.effective_share_seconds_on(device) * self.cluster as f64
+            / SECONDS_PER_YEAR)
+            .ceil() as u64
+    }
+
+    /// Hardware dollars to serve `rate` recoveries per year on `device`.
+    pub fn dollars_for_rate(&self, device: &DeviceProfile, rate_per_year: f64) -> f64 {
+        self.device_fleet_for_rate(device, rate_per_year) as f64 * device.price_usd
+    }
+
+    /// Figure 12: recoveries/year as a function of hardware budget.
+    pub fn recoveries_for_budget(&self, device: &DeviceProfile, budget_usd: f64) -> f64 {
+        let n = (budget_usd / device.price_usd).floor() as u64;
+        n as f64 * SECONDS_PER_YEAR
+            / (self.effective_share_seconds_on(device) * self.cluster as f64)
+    }
+}
+
+/// Table 14's storage line: S3 infrequent-access pricing for per-user
+/// images.
+pub fn storage_cost_per_year(users: f64, gb_per_user: f64, dollars_per_gb_month: f64) -> f64 {
+    users * gb_per_user * dollars_per_gb_month * 12.0
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use safetypin_sim::device::{SAFENET_A700, SOLOKEY, YUBIHSM2};
+
+    fn solokey_model() -> CostModel {
+        CostModel::paper_default()
+    }
+
+    #[test]
+    fn rotation_takes_about_75_hours_on_solokey() {
+        let m = FleetCostModel::paper_default();
+        let hours = m.rotation_seconds(&solokey_model()) / 3_600.0;
+        // 2^21 group mults at 7.69/s ≈ 75.8 hours (§9.1: "roughly 75").
+        assert!((hours - 75.0).abs() < 3.0, "got {hours}");
+    }
+
+    #[test]
+    fn rotation_dominates_duty_cycle() {
+        let m = FleetCostModel::paper_default();
+        let frac = m.rotation_duty_fraction(&solokey_model());
+        // Paper: ≈56% of cycles rotating.
+        assert!(frac > 0.35 && frac < 0.75, "got {frac}");
+    }
+
+    #[test]
+    fn shares_per_hour_near_paper() {
+        let m = FleetCostModel::paper_default();
+        let rate = m.shares_per_hsm_hour(&solokey_model());
+        // Paper: 1,503.9 recoveries/hour/HSM. Same order of magnitude.
+        assert!(rate > 500.0 && rate < 4_000.0, "got {rate}");
+    }
+
+    #[test]
+    fn fleet_for_billion_recoveries_near_3100() {
+        let m = FleetCostModel::paper_default();
+        let n = m.fleet_for_rate(&solokey_model(), 1e9);
+        // Paper: 3,100 SoloKeys. Accept the same order.
+        assert!(n > 1_000 && n < 10_000, "got {n}");
+    }
+
+    #[test]
+    fn faster_hardware_needs_fewer_devices() {
+        let m = FleetCostModel::paper_default();
+        let solo = m.device_fleet_for_rate(&SOLOKEY, 1e9);
+        let yubi = m.device_fleet_for_rate(&YUBIHSM2, 1e9);
+        let safenet = m.device_fleet_for_rate(&SAFENET_A700, 1e9);
+        assert!(yubi < solo);
+        assert!(safenet < yubi);
+        // Table 14 ordering: SafeNet fleets are tiny (tens of devices;
+        // the paper's quantity is 40).
+        assert!(safenet < 100, "got {safenet}");
+        // Paper ratios: 3,037 SoloKeys vs 1,732 YubiHSMs.
+        assert!(solo > 1_000 && solo < 10_000, "solo {solo}");
+        assert!((solo as f64 / yubi as f64 - 14.0 / 7.69).abs() < 0.1);
+    }
+
+    #[test]
+    fn solokey_is_cheapest_per_recovery() {
+        // Figure 12's punchline: the $20 SoloKey beats the $18K SafeNet on
+        // recoveries per dollar.
+        let m = FleetCostModel::paper_default();
+        let budget = 1e6;
+        let solo = m.recoveries_for_budget(&SOLOKEY, budget);
+        let yubi = m.recoveries_for_budget(&YUBIHSM2, budget);
+        let safenet = m.recoveries_for_budget(&SAFENET_A700, budget);
+        assert!(solo > yubi, "solo {solo} vs yubi {yubi}");
+        assert!(solo > safenet, "solo {solo} vs safenet {safenet}");
+    }
+
+    #[test]
+    fn storage_dwarfs_hardware() {
+        // Table 14: ~$600M/year to store 4 GB × 1e9 users at S3 IA rates,
+        // vs $60.7K of SoloKeys.
+        let storage = storage_cost_per_year(1e9, 4.0, 0.0125);
+        assert!((storage - 6e8).abs() < 1e7, "got {storage}");
+        let m = FleetCostModel::paper_default();
+        let hw = m.dollars_for_rate(&SOLOKEY, 1e9);
+        assert!(hw < storage / 1_000.0, "hw {hw}");
+    }
+}

@@ -1,0 +1,296 @@
+//! Provider-side log state (paper §6.2).
+//!
+//! The service provider holds the full log — an ordered list of
+//! identifier-value pairs — and the authenticated dictionary over it. It
+//! serves inclusion proofs to clients and builds chunked extension proofs
+//! for the HSM audit protocol. Garbage collection (§6.2) archives the
+//! current log and starts a fresh one; HSMs bound how many times they will
+//! follow a GC (see the HSM crate).
+
+use safetypin_primitives::hashes::Hash256;
+
+use crate::trie::{ExtensionProof, InclusionProof, InsertStep, MerkleTrie, TrieError};
+
+/// One log entry: an identifier (username / device ID) and its immutable
+/// value (the client's recovery commitment).
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct LogEntry {
+    /// Log identifier.
+    pub id: Vec<u8>,
+    /// Log value.
+    pub value: Vec<u8>,
+}
+
+/// Errors from log operations.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum LogError {
+    /// The identifier already has a (different or identical) value.
+    DuplicateIdentifier,
+    /// Internal dictionary failure.
+    Trie(TrieError),
+}
+
+impl core::fmt::Display for LogError {
+    fn fmt(&self, f: &mut core::fmt::Formatter<'_>) -> core::fmt::Result {
+        match self {
+            LogError::DuplicateIdentifier => write!(f, "identifier already defined in log"),
+            LogError::Trie(e) => write!(f, "dictionary error: {e}"),
+        }
+    }
+}
+
+impl std::error::Error for LogError {}
+
+impl From<TrieError> for LogError {
+    fn from(e: TrieError) -> Self {
+        match e {
+            TrieError::DuplicateIdentifier => LogError::DuplicateIdentifier,
+            other => LogError::Trie(other),
+        }
+    }
+}
+
+/// The provider's log: entry list + authenticated dictionary + the pending
+/// insert steps not yet certified by an epoch update.
+#[derive(Debug, Clone, Default)]
+pub struct Log {
+    entries: Vec<LogEntry>,
+    trie: MerkleTrie,
+    /// Insert steps since the last epoch cut, in order.
+    pending: Vec<InsertStep>,
+    /// Digest at the last epoch cut.
+    last_epoch_digest: Option<Hash256>,
+    /// Completed garbage collections.
+    generation: u64,
+}
+
+impl Log {
+    /// Creates an empty log.
+    pub fn new() -> Self {
+        Self {
+            entries: Vec::new(),
+            trie: MerkleTrie::new(),
+            pending: Vec::new(),
+            last_epoch_digest: Some(MerkleTrie::empty_digest()),
+            generation: 0,
+        }
+    }
+
+    /// Current digest.
+    pub fn digest(&self) -> Hash256 {
+        self.trie.digest()
+    }
+
+    /// Number of entries.
+    pub fn len(&self) -> usize {
+        self.entries.len()
+    }
+
+    /// True when the log has no entries.
+    pub fn is_empty(&self) -> bool {
+        self.entries.is_empty()
+    }
+
+    /// Completed garbage-collection count.
+    pub fn generation(&self) -> u64 {
+        self.generation
+    }
+
+    /// Insertions accumulated since the last epoch cut.
+    pub fn pending_count(&self) -> usize {
+        self.pending.len()
+    }
+
+    /// Whether `id` is defined.
+    pub fn contains(&self, id: &[u8]) -> bool {
+        self.trie.contains(id)
+    }
+
+    /// The value recorded for `id`, if any.
+    pub fn get(&self, id: &[u8]) -> Option<&[u8]> {
+        // The entry list is the source of truth for values; the trie holds
+        // only hashes. Linear scan is fine for tests; the provider keeps an
+        // index in production deployments.
+        self.entries
+            .iter()
+            .find(|e| e.id == id)
+            .map(|e| e.value.as_slice())
+    }
+
+    /// Inserts `(id, value)`; fails if `id` is already defined.
+    pub fn insert(&mut self, id: &[u8], value: &[u8]) -> Result<(), LogError> {
+        let step = self.trie.insert(id, value)?;
+        self.entries.push(LogEntry {
+            id: id.to_vec(),
+            value: value.to_vec(),
+        });
+        self.pending.push(step);
+        Ok(())
+    }
+
+    /// `ProveIncludes`: inclusion proof for `(id, value)` against the
+    /// current digest.
+    pub fn prove_includes(&self, id: &[u8], value: &[u8]) -> Option<InclusionProof> {
+        self.trie.prove_includes(id, value)
+    }
+
+    /// Cuts an epoch: drains the pending insertions into `chunks` extension
+    /// proofs of near-equal size and returns
+    /// `(old digest, chunk proofs, new digest)`.
+    ///
+    /// This is the provider's half of Figure 5: the audit protocol in
+    /// [`crate::distributed`] commits to the per-chunk intermediate digests
+    /// and hands audited chunks to HSMs.
+    pub fn cut_epoch(&mut self, chunks: usize) -> EpochCut {
+        let old = self
+            .last_epoch_digest
+            .unwrap_or_else(MerkleTrie::empty_digest);
+        let new = self.digest();
+        let steps = std::mem::take(&mut self.pending);
+        let chunks = chunks.max(1);
+        let per = steps.len().div_ceil(chunks).max(1);
+        let mut proofs: Vec<ExtensionProof> = steps
+            .chunks(per)
+            .map(|c| ExtensionProof { steps: c.to_vec() })
+            .collect();
+        // Pad with empty chunks so every epoch has exactly `chunks` chunks
+        // (empty chunks carry digests unchanged).
+        while proofs.len() < chunks {
+            proofs.push(ExtensionProof::default());
+        }
+        self.last_epoch_digest = Some(new);
+        EpochCut {
+            old_digest: old,
+            new_digest: new,
+            chunk_proofs: proofs,
+        }
+    }
+
+    /// Garbage collection (§6.2): archives the current entries and resets
+    /// the log to empty, bumping the generation counter. Returns the
+    /// archived entries so the provider can keep serving them to auditors.
+    pub fn garbage_collect(&mut self) -> Vec<LogEntry> {
+        let archived = std::mem::take(&mut self.entries);
+        self.trie = MerkleTrie::new();
+        self.pending.clear();
+        self.last_epoch_digest = Some(MerkleTrie::empty_digest());
+        self.generation += 1;
+        archived
+    }
+
+    /// All entries (for external auditors replaying the log, §6.3).
+    pub fn entries(&self) -> &[LogEntry] {
+        &self.entries
+    }
+}
+
+/// The provider's materials for one epoch update.
+#[derive(Debug, Clone)]
+pub struct EpochCut {
+    /// Digest the HSMs currently hold.
+    pub old_digest: Hash256,
+    /// Digest after applying this epoch's insertions.
+    pub new_digest: Hash256,
+    /// Chunked extension proofs covering the insertions in order.
+    pub chunk_proofs: Vec<ExtensionProof>,
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::trie::MerkleTrie;
+
+    #[test]
+    fn insert_and_lookup() {
+        let mut log = Log::new();
+        log.insert(b"alice", b"commitment-1").unwrap();
+        assert!(log.contains(b"alice"));
+        assert_eq!(log.get(b"alice"), Some(b"commitment-1".as_slice()));
+        assert_eq!(log.get(b"bob"), None);
+        assert_eq!(log.len(), 1);
+    }
+
+    #[test]
+    fn duplicate_rejected() {
+        let mut log = Log::new();
+        log.insert(b"alice", b"v").unwrap();
+        assert_eq!(
+            log.insert(b"alice", b"other").unwrap_err(),
+            LogError::DuplicateIdentifier
+        );
+    }
+
+    #[test]
+    fn inclusion_proof_roundtrip() {
+        let mut log = Log::new();
+        for i in 0..20 {
+            log.insert(format!("u{i}").as_bytes(), format!("v{i}").as_bytes())
+                .unwrap();
+        }
+        let d = log.digest();
+        let proof = log.prove_includes(b"u7", b"v7").unwrap();
+        assert!(MerkleTrie::does_include(&d, b"u7", b"v7", &proof));
+    }
+
+    #[test]
+    fn epoch_cut_produces_verifiable_chain() {
+        let mut log = Log::new();
+        for i in 0..17 {
+            log.insert(format!("u{i}").as_bytes(), b"v").unwrap();
+        }
+        let cut = log.cut_epoch(4);
+        assert_eq!(cut.chunk_proofs.len(), 4);
+        // Replay the chunk chain.
+        let mut d = cut.old_digest;
+        for proof in &cut.chunk_proofs {
+            let next = proof.replay(&d).unwrap();
+            assert!(MerkleTrie::does_extend(&d, &next, proof));
+            d = next;
+        }
+        assert_eq!(d, cut.new_digest);
+    }
+
+    #[test]
+    fn epoch_cut_empty_pending() {
+        let mut log = Log::new();
+        log.insert(b"a", b"1").unwrap();
+        let _ = log.cut_epoch(4);
+        // Second cut with nothing pending: old == new, chunks all empty.
+        let cut = log.cut_epoch(4);
+        assert_eq!(cut.old_digest, cut.new_digest);
+        assert!(cut.chunk_proofs.iter().all(|p| p.steps.is_empty()));
+        assert!(MerkleTrie::does_extend(
+            &cut.old_digest,
+            &cut.new_digest,
+            &ExtensionProof::default()
+        ));
+    }
+
+    #[test]
+    fn epoch_cut_tracks_previous_cut() {
+        let mut log = Log::new();
+        log.insert(b"a", b"1").unwrap();
+        let c1 = log.cut_epoch(2);
+        log.insert(b"b", b"2").unwrap();
+        let c2 = log.cut_epoch(2);
+        assert_eq!(c1.new_digest, c2.old_digest);
+        assert_ne!(c2.old_digest, c2.new_digest);
+    }
+
+    #[test]
+    fn garbage_collection_resets() {
+        let mut log = Log::new();
+        for i in 0..5 {
+            log.insert(format!("u{i}").as_bytes(), b"v").unwrap();
+        }
+        assert_eq!(log.generation(), 0);
+        let archived = log.garbage_collect();
+        assert_eq!(archived.len(), 5);
+        assert_eq!(log.len(), 0);
+        assert_eq!(log.generation(), 1);
+        assert_eq!(log.digest(), MerkleTrie::empty_digest());
+        // Identifiers are insertable again after GC (the paper's PIN-
+        // attempt reset).
+        log.insert(b"u0", b"fresh").unwrap();
+    }
+}

@@ -1,0 +1,353 @@
+//! HSM group-membership management via the log (paper §6).
+//!
+//! The paper describes — but does not implement — a third use of the
+//! distributed log: recording every addition and removal of an HSM, so
+//! that (a) all clients provably see the same fleet roster, and (b) a
+//! provider that swaps out many HSMs quickly (say, replacing the whole
+//! datacenter in a day to launder compromised devices in) leaves an
+//! unmistakable public trace. This module implements it.
+//!
+//! Membership events live in the same append-only dictionary as recovery
+//! attempts, under a reserved identifier namespace (`\0m/<seq>`), so they
+//! inherit the log's immutability, the HSM-audited epoch certification,
+//! and external replayability for free. A [`Roster`] folds the event
+//! sequence into the current fleet set and computes churn statistics for
+//! anomaly detection.
+
+use safetypin_primitives::error::WireError;
+use safetypin_primitives::hashes::Hash256;
+use safetypin_primitives::wire::{Decode, Encode, Reader, Writer};
+
+use crate::log::{Log, LogEntry, LogError};
+
+/// Reserved identifier prefix for membership events. A leading NUL makes
+/// collisions with usernames / device UUIDs impossible for any printable
+/// identifier scheme; `Log::insert` rejects duplicates regardless.
+const MEMBERSHIP_PREFIX: &[u8] = b"\0m/";
+
+/// A fleet-membership change.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum MembershipEvent {
+    /// An HSM joins: its id plus the hash of its enrollment record
+    /// (identity key, BLS key + PoP, BFE public key), binding the exact
+    /// keys clients must use.
+    Add {
+        /// Fleet index.
+        hsm_id: u64,
+        /// Hash of the serialized enrollment record.
+        record_hash: Hash256,
+    },
+    /// An HSM leaves (decommissioned, failed, or suspected compromised).
+    Remove {
+        /// Fleet index.
+        hsm_id: u64,
+    },
+}
+
+impl Encode for MembershipEvent {
+    fn encode(&self, w: &mut Writer) {
+        match self {
+            MembershipEvent::Add { hsm_id, record_hash } => {
+                w.put_u8(0);
+                w.put_u64(*hsm_id);
+                w.put_fixed(record_hash);
+            }
+            MembershipEvent::Remove { hsm_id } => {
+                w.put_u8(1);
+                w.put_u64(*hsm_id);
+            }
+        }
+    }
+}
+
+impl Decode for MembershipEvent {
+    fn decode(r: &mut Reader<'_>) -> Result<Self, WireError> {
+        match r.get_u8()? {
+            0 => Ok(MembershipEvent::Add {
+                hsm_id: r.get_u64()?,
+                record_hash: r.get_array()?,
+            }),
+            1 => Ok(MembershipEvent::Remove {
+                hsm_id: r.get_u64()?,
+            }),
+            t => Err(WireError::InvalidTag(t)),
+        }
+    }
+}
+
+/// The log identifier for membership event number `seq`.
+pub fn membership_log_id(seq: u64) -> Vec<u8> {
+    let mut id = MEMBERSHIP_PREFIX.to_vec();
+    id.extend_from_slice(&seq.to_be_bytes());
+    id
+}
+
+/// True if a log identifier belongs to the membership namespace.
+pub fn is_membership_id(id: &[u8]) -> bool {
+    id.starts_with(MEMBERSHIP_PREFIX)
+}
+
+/// Records `event` in the log as the next membership sequence number.
+///
+/// Sequence numbers make the event order part of the authenticated
+/// dictionary: each seq is a distinct immutable identifier, so neither
+/// reordering nor retroactive insertion is possible without breaking the
+/// extension proofs every HSM audits.
+pub fn record_event(log: &mut Log, seq: u64, event: &MembershipEvent) -> Result<(), LogError> {
+    log.insert(&membership_log_id(seq), &event.to_bytes())
+}
+
+/// Errors from roster reconstruction.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum RosterError {
+    /// A membership entry failed to decode.
+    MalformedEvent(u64),
+    /// Sequence numbers are not contiguous from zero (events hidden?).
+    SequenceGap {
+        /// The first missing sequence number.
+        expected: u64,
+    },
+    /// An `Add` for an HSM already in the fleet.
+    DuplicateAdd(u64),
+    /// A `Remove` for an HSM not in the fleet.
+    UnknownRemove(u64),
+}
+
+impl core::fmt::Display for RosterError {
+    fn fmt(&self, f: &mut core::fmt::Formatter<'_>) -> core::fmt::Result {
+        match self {
+            RosterError::MalformedEvent(s) => write!(f, "membership event {s} malformed"),
+            RosterError::SequenceGap { expected } => {
+                write!(f, "membership sequence gap at {expected}")
+            }
+            RosterError::DuplicateAdd(id) => write!(f, "HSM {id} added twice"),
+            RosterError::UnknownRemove(id) => write!(f, "HSM {id} removed but never added"),
+        }
+    }
+}
+
+impl std::error::Error for RosterError {}
+
+/// The fleet roster reconstructed from the membership events in a log.
+#[derive(Debug, Clone, Default)]
+pub struct Roster {
+    /// Active members: id → enrollment-record hash.
+    members: std::collections::BTreeMap<u64, Hash256>,
+    /// All events in sequence order (for churn analysis).
+    history: Vec<MembershipEvent>,
+}
+
+impl Roster {
+    /// Replays the membership events found in `entries` (any interleaving
+    /// with recovery-attempt entries is fine — they are filtered by
+    /// namespace) and folds them into the current roster.
+    pub fn from_entries(entries: &[LogEntry]) -> Result<Self, RosterError> {
+        // Collect (seq, event) pairs.
+        let mut events: Vec<(u64, MembershipEvent)> = Vec::new();
+        for e in entries.iter().filter(|e| is_membership_id(&e.id)) {
+            let seq_bytes: [u8; 8] = e.id[MEMBERSHIP_PREFIX.len()..]
+                .try_into()
+                .map_err(|_| RosterError::MalformedEvent(u64::MAX))?;
+            let seq = u64::from_be_bytes(seq_bytes);
+            let event = MembershipEvent::from_bytes(&e.value)
+                .map_err(|_| RosterError::MalformedEvent(seq))?;
+            events.push((seq, event));
+        }
+        events.sort_by_key(|(s, _)| *s);
+        let mut roster = Roster::default();
+        for (i, (seq, event)) in events.into_iter().enumerate() {
+            if seq != i as u64 {
+                return Err(RosterError::SequenceGap { expected: i as u64 });
+            }
+            roster.apply(event)?;
+        }
+        Ok(roster)
+    }
+
+    fn apply(&mut self, event: MembershipEvent) -> Result<(), RosterError> {
+        match &event {
+            MembershipEvent::Add { hsm_id, record_hash } => {
+                if self.members.insert(*hsm_id, *record_hash).is_some() {
+                    return Err(RosterError::DuplicateAdd(*hsm_id));
+                }
+            }
+            MembershipEvent::Remove { hsm_id } => {
+                if self.members.remove(hsm_id).is_none() {
+                    return Err(RosterError::UnknownRemove(*hsm_id));
+                }
+            }
+        }
+        self.history.push(event);
+        Ok(())
+    }
+
+    /// Current active HSM ids.
+    pub fn active(&self) -> Vec<u64> {
+        self.members.keys().copied().collect()
+    }
+
+    /// The enrollment-record hash the log binds for `hsm_id`, if active.
+    pub fn record_hash(&self, hsm_id: u64) -> Option<&Hash256> {
+        self.members.get(&hsm_id)
+    }
+
+    /// Number of active members.
+    pub fn len(&self) -> usize {
+        self.members.len()
+    }
+
+    /// True if no members are enrolled.
+    pub fn is_empty(&self) -> bool {
+        self.members.is_empty()
+    }
+
+    /// Fraction of the *current* fleet size that the last `window` events
+    /// replaced (removes within the window / current size). Clients use
+    /// this for the paper's "provider replaces all HSMs in a day" alarm.
+    pub fn recent_churn(&self, window: usize) -> f64 {
+        if self.members.is_empty() {
+            return if self.history.is_empty() { 0.0 } else { 1.0 };
+        }
+        let removes = self
+            .history
+            .iter()
+            .rev()
+            .take(window)
+            .filter(|e| matches!(e, MembershipEvent::Remove { .. }))
+            .count();
+        removes as f64 / self.members.len() as f64
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::trie::MerkleTrie;
+
+    fn h(x: u8) -> Hash256 {
+        [x; 32]
+    }
+
+    #[test]
+    fn roster_replay_from_log() {
+        let mut log = Log::new();
+        record_event(&mut log, 0, &MembershipEvent::Add { hsm_id: 0, record_hash: h(1) }).unwrap();
+        record_event(&mut log, 1, &MembershipEvent::Add { hsm_id: 1, record_hash: h(2) }).unwrap();
+        // Recovery attempts interleave freely.
+        log.insert(b"alice", b"commitment").unwrap();
+        record_event(&mut log, 2, &MembershipEvent::Remove { hsm_id: 0 }).unwrap();
+        record_event(&mut log, 3, &MembershipEvent::Add { hsm_id: 2, record_hash: h(3) }).unwrap();
+
+        let roster = Roster::from_entries(log.entries()).unwrap();
+        assert_eq!(roster.active(), vec![1, 2]);
+        assert_eq!(roster.record_hash(1), Some(&h(2)));
+        assert_eq!(roster.record_hash(0), None);
+        assert_eq!(roster.len(), 2);
+    }
+
+    #[test]
+    fn membership_events_are_immutable_in_log() {
+        let mut log = Log::new();
+        record_event(&mut log, 0, &MembershipEvent::Add { hsm_id: 0, record_hash: h(1) }).unwrap();
+        // The provider cannot rewrite event 0 (e.g., swap in a different
+        // enrollment hash): same identifier, append-only dictionary.
+        let err =
+            record_event(&mut log, 0, &MembershipEvent::Add { hsm_id: 0, record_hash: h(9) });
+        assert!(matches!(err.unwrap_err(), LogError::DuplicateIdentifier));
+    }
+
+    #[test]
+    fn sequence_gaps_detected() {
+        let mut log = Log::new();
+        record_event(&mut log, 0, &MembershipEvent::Add { hsm_id: 0, record_hash: h(1) }).unwrap();
+        // Skip seq 1 (hiding an event from auditors).
+        record_event(&mut log, 2, &MembershipEvent::Add { hsm_id: 1, record_hash: h(2) }).unwrap();
+        assert_eq!(
+            Roster::from_entries(log.entries()).unwrap_err(),
+            RosterError::SequenceGap { expected: 1 }
+        );
+    }
+
+    #[test]
+    fn inconsistent_events_rejected() {
+        let mut log = Log::new();
+        record_event(&mut log, 0, &MembershipEvent::Add { hsm_id: 0, record_hash: h(1) }).unwrap();
+        record_event(&mut log, 1, &MembershipEvent::Add { hsm_id: 0, record_hash: h(2) }).unwrap();
+        assert_eq!(
+            Roster::from_entries(log.entries()).unwrap_err(),
+            RosterError::DuplicateAdd(0)
+        );
+
+        let mut log2 = Log::new();
+        record_event(&mut log2, 0, &MembershipEvent::Remove { hsm_id: 5 }).unwrap();
+        assert_eq!(
+            Roster::from_entries(log2.entries()).unwrap_err(),
+            RosterError::UnknownRemove(5)
+        );
+    }
+
+    #[test]
+    fn churn_alarm_fires_on_mass_replacement() {
+        let mut log = Log::new();
+        let mut seq = 0u64;
+        for id in 0..10u64 {
+            record_event(&mut log, seq, &MembershipEvent::Add { hsm_id: id, record_hash: h(id as u8) }).unwrap();
+            seq += 1;
+        }
+        let calm = Roster::from_entries(log.entries()).unwrap();
+        assert_eq!(calm.recent_churn(10), 0.0);
+
+        // The provider suddenly replaces 8 of 10 HSMs.
+        for id in 0..8u64 {
+            record_event(&mut log, seq, &MembershipEvent::Remove { hsm_id: id }).unwrap();
+            seq += 1;
+            record_event(&mut log, seq, &MembershipEvent::Add { hsm_id: 100 + id, record_hash: h(0xAA) }).unwrap();
+            seq += 1;
+        }
+        let churned = Roster::from_entries(log.entries()).unwrap();
+        assert_eq!(churned.len(), 10);
+        assert!(
+            churned.recent_churn(16) >= 0.8,
+            "got {}",
+            churned.recent_churn(16)
+        );
+    }
+
+    #[test]
+    fn membership_is_covered_by_epoch_certification() {
+        // Membership entries flow through the same chunked-audit pipeline:
+        // an extension proof covering them verifies like any other.
+        let mut log = Log::new();
+        let _ = log.cut_epoch(1);
+        record_event(&mut log, 0, &MembershipEvent::Add { hsm_id: 7, record_hash: h(7) }).unwrap();
+        log.insert(b"user", b"attempt").unwrap();
+        let cut = log.cut_epoch(2);
+        let mut d = cut.old_digest;
+        for proof in &cut.chunk_proofs {
+            let next = proof.replay(&d).unwrap();
+            assert!(MerkleTrie::does_extend(&d, &next, proof));
+            d = next;
+        }
+        assert_eq!(d, cut.new_digest);
+    }
+
+    #[test]
+    fn namespace_does_not_collide_with_usernames() {
+        assert!(is_membership_id(&membership_log_id(0)));
+        assert!(!is_membership_id(b"alice"));
+        assert!(!is_membership_id(b""));
+        // Even a username that starts with the same printable bytes
+        // differs at the NUL.
+        assert!(!is_membership_id(b"m/0000"));
+    }
+
+    #[test]
+    fn event_wire_roundtrip() {
+        for e in [
+            MembershipEvent::Add { hsm_id: 42, record_hash: h(9) },
+            MembershipEvent::Remove { hsm_id: 7 },
+        ] {
+            assert_eq!(MembershipEvent::from_bytes(&e.to_bytes()).unwrap(), e);
+        }
+    }
+}

@@ -1,0 +1,67 @@
+//! Criterion benchmarks for the authenticated log dictionary and the
+//! chunked audit protocol.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use safetypin_authlog::distributed::{verify_chunk, EpochUpdate};
+use safetypin_authlog::log::Log;
+use safetypin_authlog::trie::MerkleTrie;
+
+fn bench_authlog(c: &mut Criterion) {
+    // Dictionary primitives over a populated log.
+    let mut log = Log::new();
+    for i in 0..50_000u32 {
+        log.insert(format!("user-{i}").as_bytes(), b"commitment")
+            .unwrap();
+    }
+    let digest = log.digest();
+
+    // The counter must live outside the bench closure: criterion invokes
+    // the closure several times (warmup + measurement) and the append-only
+    // log rejects duplicate identifiers.
+    let mut i = 1_000_000u64;
+    c.bench_function("trie_insert_50k_log", |b| {
+        b.iter(|| {
+            i += 1;
+            log.insert(format!("bench-{i}").as_bytes(), b"v").unwrap()
+        })
+    });
+
+    let proof = log.prove_includes(b"user-100", b"commitment").unwrap();
+    c.bench_function("trie_prove_includes", |b| {
+        b.iter(|| std::hint::black_box(log.prove_includes(b"user-100", b"commitment").unwrap()))
+    });
+    c.bench_function("trie_verify_inclusion", |b| {
+        b.iter(|| {
+            std::hint::black_box(MerkleTrie::does_include(
+                &digest,
+                b"user-100",
+                b"commitment",
+                &proof,
+            ))
+        })
+    });
+
+    // One full chunk audit at N = 1000 chunks over 10K insertions.
+    let mut log2 = Log::new();
+    for i in 0..5_000u32 {
+        log2.insert(format!("seed-{i}").as_bytes(), b"v").unwrap();
+    }
+    let _ = log2.cut_epoch(1);
+    for i in 0..10_000u32 {
+        log2.insert(format!("attempt-{i}").as_bytes(), b"v").unwrap();
+    }
+    let cut = log2.cut_epoch(1_000);
+    let update = EpochUpdate::build(&cut).unwrap();
+    let message = update.message();
+    let package = update.audit_package(3).unwrap();
+    c.bench_function("audit_verify_chunk_10insert", |b| {
+        b.iter(|| verify_chunk(&message, &package).unwrap())
+    });
+}
+
+criterion_group!(
+    name = benches;
+    config = Criterion::default().sample_size(20).measurement_time(std::time::Duration::from_secs(2)).warm_up_time(std::time::Duration::from_millis(300));
+    targets = bench_authlog
+);
+criterion_main!(benches);

@@ -1,0 +1,51 @@
+//! Criterion end-to-end benchmarks: full backup and recovery on a small
+//! deployment (host wall-clock; the figure binaries report SoloKey time).
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+use safetypin::{Deployment, SystemParams};
+
+fn bench_e2e(c: &mut Criterion) {
+    let mut rng = StdRng::seed_from_u64(42);
+    let params = SystemParams::test_small(16);
+    let mut deployment = Deployment::provision(params, &mut rng).unwrap();
+    let mut client = deployment.new_client(b"bench-user").unwrap();
+
+    c.bench_function("client_backup_n4", |b| {
+        let mut rng2 = StdRng::seed_from_u64(43);
+        b.iter(|| {
+            std::hint::black_box(
+                client
+                    .backup(b"123456", &[0u8; 32], 0, &mut rng2)
+                    .unwrap(),
+            )
+        })
+    });
+
+    // Full recovery including the log epoch. Each iteration needs a fresh
+    // username (one attempt per identifier) and a fresh backup series —
+    // the counter lives outside the closure because criterion re-invokes
+    // it across warmup and measurement passes.
+    let mut rng2 = StdRng::seed_from_u64(44);
+    let mut serial = 0u64;
+    c.bench_function("full_recovery_n4", |b| {
+        b.iter(|| {
+            serial += 1;
+            let username = format!("bench-{serial}");
+            let mut cl = deployment.new_client(username.as_bytes()).unwrap();
+            let artifact = cl.backup(b"123456", &[1u8; 32], 0, &mut rng2).unwrap();
+            let outcome = deployment
+                .recover(&cl, b"123456", &artifact, &mut rng2)
+                .unwrap();
+            std::hint::black_box(outcome.message)
+        })
+    });
+}
+
+criterion_group!(
+    name = benches;
+    config = Criterion::default().sample_size(10).measurement_time(std::time::Duration::from_secs(5)).warm_up_time(std::time::Duration::from_secs(1));
+    targets = bench_e2e
+);
+criterion_main!(benches);

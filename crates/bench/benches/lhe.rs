@@ -1,0 +1,65 @@
+//! Criterion benchmarks for location-hiding encryption (paper §5).
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+use safetypin_lhe::scheme::{
+    decrypt_share, encrypt, parse_share_plaintext, reconstruct, select, ElGamalDirectory,
+};
+use safetypin_lhe::LheParams;
+use safetypin_primitives::elgamal::KeyPair;
+
+fn bench_lhe(c: &mut Criterion) {
+    let mut rng = StdRng::seed_from_u64(5);
+    let total = 256u64;
+    let hsms: Vec<KeyPair> = (0..total).map(|_| KeyPair::generate(&mut rng)).collect();
+    let pks: Vec<_> = hsms.iter().map(|k| k.pk).collect();
+
+    let mut group = c.benchmark_group("lhe");
+    for n in [8usize, 20, 40] {
+        let params = LheParams::new(total, n, n / 2, 1_000_000).unwrap();
+        let dir = ElGamalDirectory { keys: &pks };
+        group.bench_with_input(BenchmarkId::new("encrypt", n), &n, |b, _| {
+            let mut rng2 = StdRng::seed_from_u64(6);
+            b.iter(|| {
+                std::hint::black_box(
+                    encrypt(&params, &dir, b"user", b"123456", 0, &[0u8; 32], &mut rng2).unwrap(),
+                )
+            })
+        });
+
+        // Full client-side recovery (all HSM decryptions + reconstruct).
+        let ct = encrypt(&params, &dir, b"user", b"123456", 0, &[7u8; 32], &mut rng).unwrap();
+        group.bench_with_input(BenchmarkId::new("recover_client_side", n), &n, |b, _| {
+            b.iter(|| {
+                let cluster = select(&params, &ct.salt, b"123456");
+                let shares: Vec<_> = cluster
+                    .iter()
+                    .zip(&ct.share_cts)
+                    .take(params.threshold)
+                    .map(|(&i, sct)| {
+                        let pt =
+                            decrypt_share(&hsms[i as usize].sk, b"user", &ct.salt, sct).unwrap();
+                        parse_share_plaintext(&pt, b"user").unwrap()
+                    })
+                    .collect();
+                std::hint::black_box(reconstruct(&params, b"user", &ct, &shares).unwrap())
+            })
+        });
+    }
+    group.finish();
+
+    // Cluster selection alone (hash-to-indices).
+    c.bench_function("lhe_select_n40_N3100", |b| {
+        let params = LheParams::paper_default();
+        let salt = safetypin_lhe::scheme::Salt([9u8; 32]);
+        b.iter(|| std::hint::black_box(select(&params, &salt, b"123456")))
+    });
+}
+
+criterion_group!(
+    name = benches;
+    config = Criterion::default().sample_size(10).measurement_time(std::time::Duration::from_secs(3)).warm_up_time(std::time::Duration::from_millis(500));
+    targets = bench_lhe
+);
+criterion_main!(benches);

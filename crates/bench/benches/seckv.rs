@@ -1,0 +1,60 @@
+//! Criterion benchmarks for outsourced storage with secure deletion
+//! (tree vs. the §9.1 naive re-encryption baseline).
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+use safetypin_seckv::naive::NaiveArray;
+use safetypin_seckv::{MemStore, SecureArray};
+
+fn blocks(n: usize) -> Vec<Vec<u8>> {
+    (0..n).map(|i| (i as u64).to_be_bytes().to_vec()).collect()
+}
+
+fn bench_seckv(c: &mut Criterion) {
+    let mut group = c.benchmark_group("seckv");
+    for size in [1usize << 10, 1 << 14] {
+        let data = blocks(size);
+
+        group.bench_with_input(BenchmarkId::new("tree_read", size), &size, |b, _| {
+            let mut rng = StdRng::seed_from_u64(1);
+            let mut store = MemStore::new();
+            let mut arr = SecureArray::setup(&mut store, &data, &mut rng).unwrap();
+            let mut i = 0u64;
+            b.iter(|| {
+                i = (i + 7) % size as u64;
+                std::hint::black_box(arr.read(&mut store, i).unwrap())
+            })
+        });
+
+        group.bench_with_input(BenchmarkId::new("tree_delete", size), &size, |b, _| {
+            let mut rng = StdRng::seed_from_u64(2);
+            let mut store = MemStore::new();
+            let mut arr = SecureArray::setup(&mut store, &data, &mut rng).unwrap();
+            let mut i = 0u64;
+            b.iter(|| {
+                i = (i + 1) % size as u64;
+                arr.delete(&mut store, i, &mut rng).unwrap()
+            })
+        });
+
+        group.bench_with_input(BenchmarkId::new("naive_delete", size), &size, |b, _| {
+            let mut rng = StdRng::seed_from_u64(3);
+            let mut store = MemStore::new();
+            let mut arr = NaiveArray::setup(&mut store, &data, &mut rng).unwrap();
+            let mut i = 0u64;
+            b.iter(|| {
+                i = (i + 1) % size as u64;
+                arr.delete(&mut store, i, &mut rng).unwrap()
+            })
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(
+    name = benches;
+    config = Criterion::default().sample_size(10).measurement_time(std::time::Duration::from_secs(2)).warm_up_time(std::time::Duration::from_millis(300));
+    targets = bench_seckv
+);
+criterion_main!(benches);

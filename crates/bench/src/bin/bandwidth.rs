@@ -1,0 +1,5 @@
+//! Regenerates the paper's bandwidth artifact. See DESIGN.md for the index.
+
+fn main() {
+    safetypin_bench::figures::bandwidth::run();
+}

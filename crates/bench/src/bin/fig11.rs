@@ -1,0 +1,5 @@
+//! Regenerates the paper's fig11 artifact. See DESIGN.md for the index.
+
+fn main() {
+    safetypin_bench::figures::fig11::run();
+}

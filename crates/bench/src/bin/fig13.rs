@@ -1,0 +1,5 @@
+//! Regenerates the paper's fig13 artifact. See DESIGN.md for the index.
+
+fn main() {
+    safetypin_bench::figures::fig13::run();
+}

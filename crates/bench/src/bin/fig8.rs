@@ -1,0 +1,5 @@
+//! Regenerates the paper's fig8 artifact. See DESIGN.md for the index.
+
+fn main() {
+    safetypin_bench::figures::fig8::run();
+}

@@ -1,0 +1,5 @@
+//! Regenerates the paper's fig9 artifact. See DESIGN.md for the index.
+
+fn main() {
+    safetypin_bench::figures::fig9::run();
+}

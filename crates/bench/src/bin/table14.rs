@@ -1,0 +1,5 @@
+//! Regenerates the paper's table14 artifact. See DESIGN.md for the index.
+
+fn main() {
+    safetypin_bench::figures::table14::run();
+}

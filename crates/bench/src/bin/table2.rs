@@ -1,0 +1,5 @@
+//! Regenerates the paper's table2 artifact. See DESIGN.md for the index.
+
+fn main() {
+    safetypin_bench::figures::table2::run();
+}

@@ -1,0 +1,5 @@
+//! Regenerates the paper's table7 artifact. See DESIGN.md for the index.
+
+fn main() {
+    safetypin_bench::figures::table7::run();
+}

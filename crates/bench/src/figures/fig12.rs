@@ -1,0 +1,42 @@
+//! Figure 12: recoveries per year vs. hardware budget, per device model.
+
+use safetypin_analysis::cost::FleetCostModel;
+use safetypin_sim::device::{SAFENET_A700, SOLOKEY, YUBIHSM2};
+
+use crate::report::{usd, Report};
+
+/// Regenerates Figure 12.
+pub fn run() {
+    let mut report = Report::new(
+        "fig12",
+        "recoveries per year supported by HSM fleets of different cost (paper Fig 12)",
+    );
+    let m = FleetCostModel::paper_default();
+    let budgets: Vec<f64> = (0..=10).map(|i| i as f64 * 0.5e6).collect();
+
+    let mut rows = Vec::new();
+    for &budget in &budgets {
+        let solo = m.recoveries_for_budget(&SOLOKEY, budget);
+        let yubi = m.recoveries_for_budget(&YUBIHSM2, budget);
+        let safenet = m.recoveries_for_budget(&SAFENET_A700, budget);
+        rows.push(vec![
+            usd(budget),
+            format!("{:.2}B", solo / 1e9),
+            format!("{:.2}B", yubi / 1e9),
+            format!("{:.3}B", safenet / 1e9),
+        ]);
+    }
+    report.table(
+        &["budget", "SoloKey rec/yr", "YubiHSM2 rec/yr", "SafeNet rec/yr"],
+        &rows,
+    );
+    report.line("");
+    report.line(format!(
+        "slope (rec/yr per $1M): SoloKey {:.2}B, YubiHSM2 {:.3}B, SafeNet {:.3}B",
+        m.recoveries_for_budget(&SOLOKEY, 1e6) / 1e9,
+        m.recoveries_for_budget(&YUBIHSM2, 1e6) / 1e9,
+        m.recoveries_for_budget(&SAFENET_A700, 1e6) / 1e9,
+    ));
+    report.line("paper Fig 12 ordering: SoloKey >> SafeNet > YubiHSM2 per dollar.");
+    report.finish();
+}

@@ -1,0 +1,67 @@
+//! Figure 13: datacenter size needed for a request rate under
+//! 99th-percentile latency SLOs.
+//!
+//! M/M/1 queues with Poisson arrivals, service time from the measured
+//! recovery cost (the paper's methodology, §9.2 "Tail latency"), plus a
+//! discrete-event cross-check of the closed form.
+
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+use safetypin_analysis::cost::{FleetCostModel, SECONDS_PER_YEAR};
+use safetypin_sim::queue::{simulate_mm1_quantile, FleetModel};
+use safetypin_sim::CostModel;
+
+use crate::report::{count, Report};
+
+/// Regenerates Figure 13.
+pub fn run() {
+    let mut report = Report::new(
+        "fig13",
+        "fleet size vs request rate under p99 latency SLOs (paper Fig 13)",
+    );
+    let cost = FleetCostModel::paper_default();
+    let service = cost.effective_share_seconds(&CostModel::paper_default());
+    report.line(format!(
+        "per-HSM service time: {service:.2} s/share (incl. rotation+audit duty)"
+    ));
+    let fleet = FleetModel {
+        service_secs: service,
+        cluster: 40,
+        duty_cycle: 1.0,
+    };
+
+    let slos: [(&str, Option<f64>); 4] = [
+        ("30 sec", Some(30.0)),
+        ("1 min", Some(60.0)),
+        ("5 min", Some(300.0)),
+        ("infinite", None),
+    ];
+    let mut rows = Vec::new();
+    for rate_b in [0.25f64, 0.5, 0.75, 1.0, 1.25, 1.5] {
+        let rate = rate_b * 1e9 / SECONDS_PER_YEAR;
+        let mut row = vec![format!("{rate_b:.2}B/yr")];
+        for (_, slo) in &slos {
+            row.push(count(fleet.fleet_size_for(rate, *slo)));
+        }
+        rows.push(row);
+    }
+    report.table(
+        &["request rate", "p99<30s", "p99<1min", "p99<5min", "stability only"],
+        &rows,
+    );
+
+    // Cross-check the closed form with a discrete-event simulation.
+    report.section("M/M/1 cross-check (1B/yr, p99<1min fleet)");
+    let rate = 1e9 / SECONDS_PER_YEAR;
+    let n = fleet.fleet_size_for(rate, Some(60.0));
+    let lambda = fleet.per_hsm_arrival(rate, n);
+    let mu = fleet.service_rate();
+    let analytic = fleet.quantile_latency(rate, n, 0.99).unwrap();
+    let mut rng = StdRng::seed_from_u64(13);
+    let simulated = simulate_mm1_quantile(lambda, mu, 100_000, 0.99, &mut rng);
+    report.line(format!(
+        "fleet {n}: analytic p99 = {analytic:.1} s, simulated p99 = {simulated:.1} s"
+    ));
+    report.line("paper Fig 13: tighter SLOs need modestly larger fleets; all curves linear in rate.");
+    report.finish();
+}

@@ -1,0 +1,51 @@
+//! Table 2: hardware security modules vs. a commodity CPU.
+
+use safetypin_sim::device::ALL_PROFILES;
+
+use crate::ops_per_sec;
+use crate::report::{bytes, Report};
+
+/// Regenerates Table 2, adding this host's measured `g^x/sec` for
+/// comparison with the paper's CPU row.
+pub fn run() {
+    let mut report = Report::new(
+        "table2",
+        "HSMs are computationally weak compared to a CPU (paper Table 2)",
+    );
+
+    let rows: Vec<Vec<String>> = ALL_PROFILES
+        .iter()
+        .map(|d| {
+            vec![
+                d.name.to_string(),
+                format!("${:.0}", d.price_usd),
+                format!("{:.2}", d.group_mults_per_sec),
+                if d.storage_bytes == u64::MAX {
+                    "n/a".to_string()
+                } else {
+                    bytes(d.storage_bytes as f64)
+                },
+                if d.fips { "yes" } else { "no" }.to_string(),
+            ]
+        })
+        .collect();
+    report.table(&["device", "price", "g^x/sec", "storage", "FIPS"], &rows);
+
+    // Measure this host's P-256 multiplication rate (the CPU row of
+    // Table 2 measured an i7-8569U at 22,338/s).
+    report.section("host calibration");
+    use p256::elliptic_curve::Field;
+    use p256::{ProjectivePoint, Scalar};
+    let mut rng = rand::thread_rng();
+    let scalar = Scalar::random(&mut rng);
+    let mut acc = ProjectivePoint::GENERATOR;
+    let rate = ops_per_sec(0.3, || {
+        acc *= scalar;
+    });
+    std::hint::black_box(acc);
+    report.line(format!(
+        "this host: {rate:.0} g^x/sec ({}x the paper's i7 row)",
+        format_args!("{:.1}", rate / 22_338.0)
+    ));
+    report.finish();
+}

@@ -1,0 +1,126 @@
+//! Plain-text table/series rendering for figure outputs.
+//!
+//! Everything prints as aligned monospace tables (the paper's tables) or
+//! `x y1 y2 …` series blocks (the paper's figures), and every run is also
+//! mirrored to `bench_out/<name>.txt` when the `BENCH_OUT` environment
+//! variable or default output directory is writable.
+
+use std::fmt::Write as _;
+use std::fs;
+use std::path::PathBuf;
+
+/// A rendered report that prints to stdout and mirrors to `bench_out/`.
+pub struct Report {
+    name: &'static str,
+    body: String,
+}
+
+impl Report {
+    /// Starts a report for `name` (e.g. `"fig9"`).
+    pub fn new(name: &'static str, title: &str) -> Self {
+        let mut body = String::new();
+        let _ = writeln!(body, "== {name}: {title}");
+        Self { name, body }
+    }
+
+    /// Adds a blank-line-separated section heading.
+    pub fn section(&mut self, heading: &str) {
+        let _ = writeln!(self.body, "\n-- {heading}");
+    }
+
+    /// Adds one raw line.
+    pub fn line(&mut self, line: impl AsRef<str>) {
+        let _ = writeln!(self.body, "{}", line.as_ref());
+    }
+
+    /// Adds an aligned table: `headers` then rows.
+    pub fn table(&mut self, headers: &[&str], rows: &[Vec<String>]) {
+        let mut widths: Vec<usize> = headers.iter().map(|h| h.len()).collect();
+        for row in rows {
+            for (i, cell) in row.iter().enumerate() {
+                if i < widths.len() {
+                    widths[i] = widths[i].max(cell.len());
+                }
+            }
+        }
+        let mut header_line = String::new();
+        for (h, w) in headers.iter().zip(&widths) {
+            let _ = write!(header_line, "{h:>w$}  ", w = w);
+        }
+        self.line(header_line.trim_end());
+        let rule: String = widths
+            .iter()
+            .map(|w| "-".repeat(*w) + "  ")
+            .collect::<String>();
+        self.line(rule.trim_end());
+        for row in rows {
+            let mut line = String::new();
+            for (cell, w) in row.iter().zip(&widths) {
+                let _ = write!(line, "{cell:>w$}  ", w = w);
+            }
+            self.line(line.trim_end());
+        }
+    }
+
+    /// Finishes: prints to stdout and writes `bench_out/<name>.txt`.
+    pub fn finish(self) {
+        println!("{}", self.body);
+        let dir = std::env::var("BENCH_OUT").unwrap_or_else(|_| "bench_out".to_string());
+        let dir = PathBuf::from(dir);
+        if fs::create_dir_all(&dir).is_ok() {
+            let _ = fs::write(dir.join(format!("{}.txt", self.name)), &self.body);
+        }
+    }
+}
+
+/// Formats seconds with sensible units.
+pub fn secs(v: f64) -> String {
+    if v >= 3_600.0 {
+        format!("{:.1} h", v / 3_600.0)
+    } else if v >= 60.0 {
+        format!("{:.1} min", v / 60.0)
+    } else if v >= 1.0 {
+        format!("{v:.2} s")
+    } else if v >= 1e-3 {
+        format!("{:.2} ms", v * 1e3)
+    } else {
+        format!("{:.2} µs", v * 1e6)
+    }
+}
+
+/// Formats byte counts.
+pub fn bytes(v: f64) -> String {
+    if v >= 1e9 {
+        format!("{:.2} GB", v / 1e9)
+    } else if v >= 1e6 {
+        format!("{:.2} MB", v / 1e6)
+    } else if v >= 1e3 {
+        format!("{:.2} KB", v / 1e3)
+    } else {
+        format!("{v:.0} B")
+    }
+}
+
+/// Formats a dollar amount.
+pub fn usd(v: f64) -> String {
+    if v >= 1e6 {
+        format!("${:.1}M", v / 1e6)
+    } else if v >= 1e3 {
+        format!("${:.1}K", v / 1e3)
+    } else {
+        format!("${v:.0}")
+    }
+}
+
+/// Formats a count with thousands separators.
+pub fn count(v: u64) -> String {
+    let s = v.to_string();
+    let mut out = String::new();
+    for (i, c) in s.chars().enumerate() {
+        if i > 0 && (s.len() - i).is_multiple_of(3) {
+            out.push(',');
+        }
+        out.push(c);
+    }
+    out
+}

@@ -1,0 +1,690 @@
+//! Pairing-free Bloom-filter puncturable encryption (paper §7.1, §9).
+//!
+//! A puncturable encryption scheme is a public-key scheme with one extra
+//! routine, `Puncture(sk, ct) → sk_ct`, yielding a key that decrypts
+//! everything `sk` could *except* `ct`. SafetyPin HSMs puncture after every
+//! recovery so that compromising them later reveals nothing about
+//! already-recovered backups (forward secrecy, Figure 4).
+//!
+//! We implement the variant the paper describes in §9: Bloom-filter
+//! encryption [Derler et al., EUROCRYPT '18] with the pairing-based IBE
+//! replaced by hashed ElGamal, which "avoids the need for pairings but
+//! increases the size of the HSMs' public keys":
+//!
+//! - The key is a Bloom filter with `m` slots and `k` hash functions. Each
+//!   slot holds an independent hashed-ElGamal keypair. (Independence is
+//!   essential: any linear structure across slot secrets — e.g. grid-sum
+//!   compression of the public key — lets punctured slots be recomputed
+//!   from surviving ones.)
+//! - **Encrypt(tag, m)**: hash `tag` to `k` slot indices; encrypt under each
+//!   indexed slot key with a shared ephemeral nonce `g^r`.
+//! - **Decrypt**: any one surviving (un-punctured) slot key suffices.
+//! - **Puncture(tag)**: securely delete the `k` slot secrets. Deletion goes
+//!   through [`safetypin_seckv::SecureArray`], so the 64 MB secret-key array
+//!   lives at the untrusted provider while puncturing stays logarithmic.
+//!
+//! Decryption of a *fresh* tag fails only if all its `k` slots were already
+//! deleted by other punctures; at the rotation point (half the slots
+//! deleted) that happens with probability ≈ 2⁻ᵏ, which the paper folds into
+//! the fault-tolerance budget `f_live` (§9.2, Theorem 9 allows up to 1/8
+//! combined).
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+use p256::elliptic_curve::sec1::ToEncodedPoint;
+use p256::elliptic_curve::PrimeField;
+use p256::{NonZeroScalar, ProjectivePoint, Scalar};
+use rand::{CryptoRng, RngCore};
+use safetypin_primitives::aead::{self, AeadCiphertext, AeadKey};
+use safetypin_primitives::elgamal::{PublicKey, POINT_LEN};
+use safetypin_primitives::error::WireError;
+use safetypin_primitives::hashes::{hash_parts, indices_from_seed, Domain};
+use safetypin_primitives::wire::{Decode, Encode, Reader, Writer};
+use safetypin_primitives::{CryptoError, Result};
+use safetypin_seckv::{BlockStore, SecureArray, StorageError};
+
+/// Bloom-filter-encryption parameters.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct BfeParams {
+    /// Number of Bloom filter slots `m` (one keypair per slot).
+    pub slots: u64,
+    /// Number of hash functions `k` (slots touched per tag).
+    pub hashes: u32,
+}
+
+impl BfeParams {
+    /// Creates parameters after validating ranges.
+    pub fn new(slots: u64, hashes: u32) -> Result<Self> {
+        if slots < 2 || hashes == 0 || (hashes as u64) > slots {
+            return Err(CryptoError::InvalidParameter(
+                "need slots >= 2 and 1 <= hashes <= slots",
+            ));
+        }
+        Ok(Self { slots, hashes })
+    }
+
+    /// Paper-scale parameters (§9.2): 2²¹ slots, k = 4, supporting ≈2¹⁸
+    /// decryptions before rotation with a 64 MB secret key.
+    pub fn paper_default() -> Self {
+        Self {
+            slots: 1 << 21,
+            hashes: 4,
+        }
+    }
+
+    /// Sizes the filter for a target puncture capacity: rotation triggers
+    /// when half the slots are deleted, and each puncture deletes at most
+    /// `k` slots, so `m = 2·k·capacity`.
+    pub fn for_punctures(capacity: u64, hashes: u32) -> Result<Self> {
+        let slots = capacity
+            .checked_mul(2 * hashes as u64)
+            .ok_or(CryptoError::InvalidParameter("puncture capacity overflow"))?;
+        Self::new(slots.max(2), hashes)
+    }
+
+    /// Punctures tolerated before rotation (half the slots / k).
+    pub fn max_punctures(&self) -> u64 {
+        self.slots / (2 * self.hashes as u64)
+    }
+
+    /// Probability that a fresh tag fails to decrypt when a `fill` fraction
+    /// of slots are deleted: `fill^k`.
+    pub fn failure_prob_at_fill(&self, fill: f64) -> f64 {
+        fill.powi(self.hashes as i32)
+    }
+
+    /// Serialized secret-key size in bytes (one 32-byte scalar per slot).
+    pub fn secret_key_bytes(&self) -> u64 {
+        self.slots * 32
+    }
+
+    /// Serialized public-key size in bytes (one 33-byte point per slot).
+    pub fn public_key_bytes(&self) -> u64 {
+        self.slots * POINT_LEN as u64 + 16
+    }
+
+    /// The Bloom slot indices for `tag`, deduplicated, in first-occurrence
+    /// order. All parties derive positions the same way, so a malicious
+    /// client cannot aim a puncture at slots other than its own tag's.
+    pub fn indices_for_tag(&self, tag: &[u8]) -> Vec<u64> {
+        let raw = indices_from_seed(
+            Domain::BloomIndex,
+            &[tag],
+            self.hashes as usize,
+            self.slots,
+        );
+        let mut seen = std::collections::HashSet::with_capacity(raw.len());
+        raw.into_iter().filter(|i| seen.insert(*i)).collect()
+    }
+}
+
+impl Encode for BfeParams {
+    fn encode(&self, w: &mut Writer) {
+        w.put_u64(self.slots);
+        w.put_u32(self.hashes);
+    }
+}
+
+impl Decode for BfeParams {
+    fn decode(r: &mut Reader<'_>) -> core::result::Result<Self, WireError> {
+        let slots = r.get_u64()?;
+        let hashes = r.get_u32()?;
+        BfeParams::new(slots, hashes).map_err(|_| WireError::LengthOutOfRange)
+    }
+}
+
+/// A Bloom-filter-encryption public key: one point per slot.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct BfePublicKey {
+    /// Filter parameters.
+    pub params: BfeParams,
+    points: Vec<PublicKey>,
+}
+
+impl BfePublicKey {
+    /// The slot public key at `index`.
+    pub fn slot(&self, index: u64) -> &PublicKey {
+        &self.points[index as usize]
+    }
+
+    /// Serialized size in bytes.
+    pub fn serialized_len(&self) -> u64 {
+        self.params.public_key_bytes()
+    }
+}
+
+impl Encode for BfePublicKey {
+    fn encode(&self, w: &mut Writer) {
+        self.params.encode(w);
+        w.put_u32(self.points.len() as u32);
+        for p in &self.points {
+            p.encode(w);
+        }
+    }
+}
+
+impl Decode for BfePublicKey {
+    fn decode(r: &mut Reader<'_>) -> core::result::Result<Self, WireError> {
+        let params = BfeParams::decode(r)?;
+        let n = r.get_u32()? as usize;
+        if n as u64 != params.slots {
+            return Err(WireError::LengthOutOfRange);
+        }
+        let mut points = Vec::with_capacity(n);
+        for _ in 0..n {
+            points.push(PublicKey::decode(r)?);
+        }
+        Ok(Self { params, points })
+    }
+}
+
+/// A Bloom-filter-encryption secret key.
+///
+/// The per-slot scalars live in a [`SecureArray`] at the untrusted provider;
+/// this handle holds only the array's root key plus puncture bookkeeping —
+/// constant HSM state, as §7.2 requires.
+#[derive(Debug)]
+pub struct BfeSecretKey {
+    /// Filter parameters.
+    pub params: BfeParams,
+    array: SecureArray,
+    punctures: u64,
+    slots_deleted: u64,
+}
+
+/// Metrics describing one key generation (used by the cost model: rotation
+/// is `slots` group exponentiations, the dominant term in the paper's
+/// 75-hour rotation estimate).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct KeygenReport {
+    /// Group exponentiations performed (= slots).
+    pub group_ops: u64,
+    /// Bytes written to outsourced storage.
+    pub outsourced_bytes: u64,
+}
+
+/// Generates a fresh BFE keypair, storing the secret array in `store`.
+pub fn keygen<S: BlockStore, R: RngCore + CryptoRng>(
+    params: BfeParams,
+    store: &mut S,
+    rng: &mut R,
+) -> Result<(BfePublicKey, BfeSecretKey, KeygenReport)> {
+    let mut points = Vec::with_capacity(params.slots as usize);
+    let mut scalars: Vec<Vec<u8>> = Vec::with_capacity(params.slots as usize);
+    for _ in 0..params.slots {
+        let x = NonZeroScalar::random(rng);
+        let point = ProjectivePoint::GENERATOR * x.as_ref();
+        points.push(point_to_pk(&point));
+        scalars.push(x.as_ref().to_bytes().to_vec());
+    }
+    let array = SecureArray::setup(store, &scalars, rng)
+        .map_err(|_| CryptoError::InvalidParameter("secure array setup failed"))?;
+    let outsourced_bytes = params.secret_key_bytes();
+    Ok((
+        BfePublicKey {
+            params,
+            points,
+        },
+        BfeSecretKey {
+            params,
+            array,
+            punctures: 0,
+            slots_deleted: 0,
+        },
+        KeygenReport {
+            group_ops: params.slots,
+            outsourced_bytes,
+        },
+    ))
+}
+
+fn point_to_pk(point: &ProjectivePoint) -> PublicKey {
+    let enc = point.to_affine().to_encoded_point(true);
+    PublicKey::from_sec1(enc.as_bytes()).expect("generator multiple is a valid key")
+}
+
+/// A BFE ciphertext: one shared ephemeral nonce plus one DEM per Bloom slot
+/// of the tag.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct BfeCiphertext {
+    eph: PublicKey,
+    /// `(slot index, DEM ciphertext)` pairs in tag-index order.
+    slots: Vec<(u64, AeadCiphertext)>,
+}
+
+impl BfeCiphertext {
+    /// Serialized length without outer framing.
+    pub fn raw_len(&self) -> usize {
+        self.to_bytes().len()
+    }
+
+    /// Number of slot ciphertexts (k, minus hash collisions).
+    pub fn slot_count(&self) -> usize {
+        self.slots.len()
+    }
+}
+
+impl Encode for BfeCiphertext {
+    fn encode(&self, w: &mut Writer) {
+        self.eph.encode(w);
+        w.put_u32(self.slots.len() as u32);
+        for (idx, dem) in &self.slots {
+            w.put_u64(*idx);
+            dem.encode(w);
+        }
+    }
+}
+
+impl Decode for BfeCiphertext {
+    fn decode(r: &mut Reader<'_>) -> core::result::Result<Self, WireError> {
+        let eph = PublicKey::decode(r)?;
+        let n = r.get_u32()? as usize;
+        if n > 1024 {
+            return Err(WireError::LengthOutOfRange);
+        }
+        let mut slots = Vec::with_capacity(n);
+        for _ in 0..n {
+            let idx = r.get_u64()?;
+            let dem = AeadCiphertext::decode(r)?;
+            slots.push((idx, dem));
+        }
+        Ok(Self { eph, slots })
+    }
+}
+
+fn dem_key(shared: &ProjectivePoint, eph: &PublicKey, slot: u64, context: &[u8]) -> AeadKey {
+    let shared_bytes = point_to_pk(shared).to_sec1();
+    let digest = hash_parts(
+        Domain::ElGamalKdf,
+        &[
+            b"bfe",
+            &shared_bytes,
+            &eph.to_sec1(),
+            &slot.to_be_bytes(),
+            context,
+        ],
+    );
+    let mut key = [0u8; aead::KEY_LEN];
+    key.copy_from_slice(&digest[..aead::KEY_LEN]);
+    AeadKey::from_bytes(key)
+}
+
+/// Encrypts `msg` under `tag`: the tag's `k` Bloom slots each receive a DEM
+/// of the message keyed through the slot's public point and a shared
+/// ephemeral `g^r`.
+pub fn encrypt<R: RngCore + CryptoRng>(
+    pk: &BfePublicKey,
+    tag: &[u8],
+    context: &[u8],
+    msg: &[u8],
+    rng: &mut R,
+) -> BfeCiphertext {
+    let r = NonZeroScalar::random(rng);
+    let eph_point = ProjectivePoint::GENERATOR * r.as_ref();
+    let eph = point_to_pk(&eph_point);
+    let indices = pk.params.indices_for_tag(tag);
+    let mut slots = Vec::with_capacity(indices.len());
+    for idx in indices {
+        let slot_pk = pk.slot(idx);
+        let slot_point = pk_to_point(slot_pk);
+        let shared = slot_point * r.as_ref();
+        let key = dem_key(&shared, &eph, idx, context);
+        let dem = aead::seal(&key, context, msg, rng);
+        slots.push((idx, dem));
+    }
+    BfeCiphertext { eph, slots }
+}
+
+fn pk_to_point(pk: &PublicKey) -> ProjectivePoint {
+    // PublicKey wraps a validated point; decode through SEC1 for access.
+    use p256::elliptic_curve::sec1::FromEncodedPoint;
+    use p256::{AffinePoint, EncodedPoint};
+    let enc = EncodedPoint::from_bytes(pk.to_sec1()).expect("valid encoding");
+    let affine = Option::<AffinePoint>::from(AffinePoint::from_encoded_point(&enc))
+        .expect("validated point");
+    ProjectivePoint::from(affine)
+}
+
+/// Per-operation counters for decrypt/puncture (feeds the Figure 9 cost
+/// breakdown: public-key ops vs. symmetric ops vs. I/O).
+#[derive(Debug, Default, Clone, Copy, PartialEq, Eq)]
+pub struct OpReport {
+    /// Group exponentiations performed.
+    pub group_ops: u64,
+    /// AEAD operations (from the outsourced-storage tree plus the DEM).
+    pub aead_ops: u64,
+    /// Plaintext/ciphertext bytes passed through AEAD operations.
+    pub aead_bytes: u64,
+    /// Blocks read from outsourced storage.
+    pub blocks_read: u64,
+    /// Blocks written to outsourced storage.
+    pub blocks_written: u64,
+}
+
+impl OpReport {
+    /// Component-wise sum.
+    pub fn add(&mut self, other: &OpReport) {
+        self.group_ops += other.group_ops;
+        self.aead_ops += other.aead_ops;
+        self.aead_bytes += other.aead_bytes;
+        self.blocks_read += other.blocks_read;
+        self.blocks_written += other.blocks_written;
+    }
+}
+
+impl BfeSecretKey {
+    /// Punctures performed so far.
+    pub fn punctures(&self) -> u64 {
+        self.punctures
+    }
+
+    /// Bloom slots securely deleted so far.
+    pub fn slots_deleted(&self) -> u64 {
+        self.slots_deleted
+    }
+
+    /// Fraction of slots deleted.
+    pub fn fill(&self) -> f64 {
+        self.slots_deleted as f64 / self.params.slots as f64
+    }
+
+    /// True once half the slots are gone — the paper's rotation trigger.
+    pub fn needs_rotation(&self) -> bool {
+        self.slots_deleted * 2 >= self.params.slots
+    }
+
+    /// The root key of the outsourced secret array.
+    ///
+    /// Exists solely so the HSM substrate can model physical compromise
+    /// (state exfiltration) in security experiments; the protocol never
+    /// calls it.
+    pub fn array_root_key(&self) -> [u8; 16] {
+        self.array.root_key_bytes()
+    }
+
+    /// Attempts to decrypt `ct` (created under `tag`) using any surviving
+    /// slot key.
+    ///
+    /// The slot indices are recomputed from `tag` rather than trusted from
+    /// the ciphertext, so a malicious ciphertext cannot route decryption
+    /// through slots that do not belong to its tag.
+    pub fn decrypt<S: BlockStore>(
+        &mut self,
+        store: &mut S,
+        tag: &[u8],
+        context: &[u8],
+        ct: &BfeCiphertext,
+    ) -> Result<(Vec<u8>, OpReport)> {
+        let mut report = OpReport::default();
+        let expected = self.params.indices_for_tag(tag);
+        for idx in expected {
+            // Find the DEM the encryptor placed for this slot.
+            let Some((_, dem)) = ct.slots.iter().find(|(slot, _)| *slot == idx) else {
+                continue;
+            };
+            let before = self.array.metrics();
+            let scalar_bytes = match self.array.read(store, idx) {
+                Ok(b) => b,
+                Err(StorageError::Deleted(_)) => continue,
+                Err(_) => return Err(CryptoError::DecryptionFailed),
+            };
+            let after = self.array.metrics();
+            report.aead_ops += after.aead_dec_ops - before.aead_dec_ops;
+            report.aead_bytes += after.bytes_decrypted - before.bytes_decrypted;
+            report.blocks_read += (after.aead_dec_ops - before.aead_dec_ops).max(1);
+            let arr: [u8; 32] = scalar_bytes
+                .as_slice()
+                .try_into()
+                .map_err(|_| CryptoError::InvalidScalar)?;
+            let scalar = Option::<Scalar>::from(Scalar::from_repr(arr.into()))
+                .ok_or(CryptoError::InvalidScalar)?;
+            let shared = pk_to_point(&ct.eph) * scalar;
+            report.group_ops += 1;
+            let key = dem_key(&shared, &ct.eph, idx, context);
+            report.aead_ops += 1;
+            if let Ok(pt) = aead::open(&key, context, dem) {
+                return Ok((pt, report));
+            }
+            // An authentication failure on a surviving slot means the
+            // ciphertext is malformed for this tag; try remaining slots.
+        }
+        Err(CryptoError::DecryptionFailed)
+    }
+
+    /// Punctures `tag`: securely deletes all of its slot secrets.
+    ///
+    /// After this returns, no ciphertext under `tag` can ever be decrypted
+    /// again with this key, even by an adversary who later extracts the
+    /// entire HSM state and has recorded all outsourced blocks.
+    pub fn puncture<S: BlockStore, R: RngCore + CryptoRng>(
+        &mut self,
+        store: &mut S,
+        tag: &[u8],
+        rng: &mut R,
+    ) -> Result<OpReport> {
+        let mut report = OpReport::default();
+        for idx in self.params.indices_for_tag(tag) {
+            let before = self.array.metrics();
+            match self.array.delete(store, idx, rng) {
+                Ok(()) => {
+                    self.slots_deleted += 1;
+                }
+                Err(StorageError::Deleted(_)) => {}
+                Err(_) => return Err(CryptoError::DecryptionFailed),
+            }
+            let after = self.array.metrics();
+            report.aead_ops +=
+                (after.aead_dec_ops - before.aead_dec_ops) + (after.aead_enc_ops - before.aead_enc_ops);
+            report.aead_bytes += (after.bytes_decrypted - before.bytes_decrypted)
+                + (after.bytes_encrypted - before.bytes_encrypted);
+            report.blocks_read += after.aead_dec_ops - before.aead_dec_ops;
+            report.blocks_written += after.aead_enc_ops - before.aead_enc_ops;
+        }
+        self.punctures += 1;
+        Ok(report)
+    }
+
+    /// Convenience: decrypt then puncture, the exact HSM operation behind
+    /// Figure 9's "Decrypt + Puncture time".
+    pub fn decrypt_and_puncture<S: BlockStore, R: RngCore + CryptoRng>(
+        &mut self,
+        store: &mut S,
+        tag: &[u8],
+        context: &[u8],
+        ct: &BfeCiphertext,
+        rng: &mut R,
+    ) -> Result<(Vec<u8>, OpReport)> {
+        let (pt, mut report) = self.decrypt(store, tag, context, ct)?;
+        let punc_report = self.puncture(store, tag, rng)?;
+        report.add(&punc_report);
+        Ok((pt, report))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+    use safetypin_seckv::MemStore;
+
+    fn rng() -> StdRng {
+        StdRng::seed_from_u64(31337)
+    }
+
+    fn small_params() -> BfeParams {
+        BfeParams::new(256, 4).unwrap()
+    }
+
+    #[test]
+    fn roundtrip() {
+        let mut rng = rng();
+        let mut store = MemStore::new();
+        let (pk, mut sk, _) = keygen(small_params(), &mut store, &mut rng).unwrap();
+        let ct = encrypt(&pk, b"tag-1", b"ctx", b"share bytes", &mut rng);
+        let (pt, _) = sk.decrypt(&mut store, b"tag-1", b"ctx", &ct).unwrap();
+        assert_eq!(pt, b"share bytes");
+    }
+
+    #[test]
+    fn puncture_revokes_tag() {
+        let mut rng = rng();
+        let mut store = MemStore::new();
+        let (pk, mut sk, _) = keygen(small_params(), &mut store, &mut rng).unwrap();
+        let ct = encrypt(&pk, b"tag-1", b"ctx", b"msg", &mut rng);
+        sk.puncture(&mut store, b"tag-1", &mut rng).unwrap();
+        assert!(sk.decrypt(&mut store, b"tag-1", b"ctx", &ct).is_err());
+    }
+
+    #[test]
+    fn puncture_leaves_other_tags_usable() {
+        let mut rng = rng();
+        let mut store = MemStore::new();
+        let (pk, mut sk, _) = keygen(small_params(), &mut store, &mut rng).unwrap();
+        let ct2 = encrypt(&pk, b"tag-2", b"ctx", b"other", &mut rng);
+        sk.puncture(&mut store, b"tag-1", &mut rng).unwrap();
+        // tag-2's slots may overlap tag-1's; with 256 slots and k=4 the
+        // overlap destroying all 4 is overwhelmingly unlikely.
+        let (pt, _) = sk.decrypt(&mut store, b"tag-2", b"ctx", &ct2).unwrap();
+        assert_eq!(pt, b"other");
+    }
+
+    #[test]
+    fn decrypt_after_puncture_of_same_ciphertext_fails_forever() {
+        let mut rng = rng();
+        let mut store = MemStore::new();
+        let (pk, mut sk, _) = keygen(small_params(), &mut store, &mut rng).unwrap();
+        let ct = encrypt(&pk, b"t", b"c", b"m", &mut rng);
+        let (pt, _) = sk
+            .decrypt_and_puncture(&mut store, b"t", b"c", &ct, &mut rng)
+            .unwrap();
+        assert_eq!(pt, b"m");
+        assert!(sk.decrypt(&mut store, b"t", b"c", &ct).is_err());
+        // Even a second identical ciphertext under the same tag is dead.
+        let ct2 = encrypt(&pk, b"t", b"c", b"m", &mut rng);
+        assert!(sk.decrypt(&mut store, b"t", b"c", &ct2).is_err());
+    }
+
+    #[test]
+    fn wrong_context_rejected() {
+        let mut rng = rng();
+        let mut store = MemStore::new();
+        let (pk, mut sk, _) = keygen(small_params(), &mut store, &mut rng).unwrap();
+        let ct = encrypt(&pk, b"t", b"ctx-a", b"m", &mut rng);
+        assert!(sk.decrypt(&mut store, b"t", b"ctx-b", &ct).is_err());
+    }
+
+    #[test]
+    fn wrong_tag_rejected() {
+        let mut rng = rng();
+        let mut store = MemStore::new();
+        let (pk, mut sk, _) = keygen(small_params(), &mut store, &mut rng).unwrap();
+        let ct = encrypt(&pk, b"tag-a", b"c", b"m", &mut rng);
+        // Decrypting under a different tag recomputes different slots.
+        assert!(sk.decrypt(&mut store, b"tag-b", b"c", &ct).is_err());
+    }
+
+    #[test]
+    fn rotation_trigger() {
+        let mut rng = rng();
+        let mut store = MemStore::new();
+        let params = BfeParams::new(64, 4).unwrap();
+        let (_pk, mut sk, _) = keygen(params, &mut store, &mut rng).unwrap();
+        assert_eq!(params.max_punctures(), 8);
+        let mut i = 0u64;
+        while !sk.needs_rotation() {
+            sk.puncture(&mut store, &i.to_be_bytes(), &mut rng).unwrap();
+            i += 1;
+            assert!(i <= 64, "rotation must trigger within slot budget");
+        }
+        // With k=4 and 64 slots, needs at least 8 punctures.
+        assert!(i >= 8, "needed {i} punctures");
+    }
+
+    #[test]
+    fn failure_probability_grows_with_fill() {
+        let p = small_params();
+        assert!(p.failure_prob_at_fill(0.0) < 1e-9);
+        let half = p.failure_prob_at_fill(0.5);
+        assert!((half - 0.0625).abs() < 1e-12, "0.5^4 = 1/16");
+        assert!(p.failure_prob_at_fill(0.9) > half);
+    }
+
+    #[test]
+    fn keygen_report_counts_group_ops() {
+        let mut rng = rng();
+        let mut store = MemStore::new();
+        let (_, _, report) = keygen(small_params(), &mut store, &mut rng).unwrap();
+        assert_eq!(report.group_ops, 256);
+        assert_eq!(report.outsourced_bytes, 256 * 32);
+    }
+
+    #[test]
+    fn op_report_shape() {
+        let mut rng = rng();
+        let mut store = MemStore::new();
+        let (pk, mut sk, _) = keygen(small_params(), &mut store, &mut rng).unwrap();
+        let ct = encrypt(&pk, b"t", b"c", b"m", &mut rng);
+        let (_, report) = sk.decrypt(&mut store, b"t", b"c", &ct).unwrap();
+        // One surviving slot suffices: exactly one group op.
+        assert_eq!(report.group_ops, 1);
+        // Tree of 256 leaves has height 8: 8 interior + 1 leaf reads.
+        assert!(report.aead_ops >= 9, "aead ops {}", report.aead_ops);
+    }
+
+    #[test]
+    fn ciphertext_wire_roundtrip() {
+        let mut rng = rng();
+        let mut store = MemStore::new();
+        let (pk, mut sk, _) = keygen(small_params(), &mut store, &mut rng).unwrap();
+        let ct = encrypt(&pk, b"t", b"c", b"m", &mut rng);
+        let back = BfeCiphertext::from_bytes(&ct.to_bytes()).unwrap();
+        assert_eq!(back, ct);
+        let (pt, _) = sk.decrypt(&mut store, b"t", b"c", &back).unwrap();
+        assert_eq!(pt, b"m");
+    }
+
+    #[test]
+    fn public_key_wire_roundtrip() {
+        let mut rng = rng();
+        let mut store = MemStore::new();
+        let params = BfeParams::new(16, 2).unwrap();
+        let (pk, _, _) = keygen(params, &mut store, &mut rng).unwrap();
+        let back = BfePublicKey::from_bytes(&pk.to_bytes()).unwrap();
+        assert_eq!(back, pk);
+    }
+
+    #[test]
+    fn params_validation() {
+        assert!(BfeParams::new(1, 1).is_err());
+        assert!(BfeParams::new(16, 0).is_err());
+        assert!(BfeParams::new(4, 8).is_err());
+        assert!(BfeParams::new(16, 4).is_ok());
+    }
+
+    #[test]
+    fn indices_deterministic_and_bounded() {
+        let p = small_params();
+        let a = p.indices_for_tag(b"tag");
+        let b = p.indices_for_tag(b"tag");
+        assert_eq!(a, b);
+        assert!(a.len() <= 4 && !a.is_empty());
+        assert!(a.iter().all(|&i| i < 256));
+        // Deduplicated.
+        let mut sorted = a.clone();
+        sorted.sort_unstable();
+        sorted.dedup();
+        assert_eq!(sorted.len(), a.len());
+    }
+
+    #[test]
+    fn empty_message_roundtrip() {
+        let mut rng = rng();
+        let mut store = MemStore::new();
+        let (pk, mut sk, _) = keygen(small_params(), &mut store, &mut rng).unwrap();
+        let ct = encrypt(&pk, b"t", b"c", b"", &mut rng);
+        let (pt, _) = sk.decrypt(&mut store, b"t", b"c", &ct).unwrap();
+        assert!(pt.is_empty());
+    }
+}

@@ -1,0 +1,64 @@
+//! SafetyPin: encrypted backups with human-memorable secrets.
+//!
+//! A reproduction of the OSDI 2020 system (Dauterman, Corrigan-Gibbs,
+//! Mazières; arXiv:2010.06712). SafetyPin protects PIN-encrypted mobile
+//! backups by splitting trust over a fleet of hardware security modules:
+//! recovering any user's backup requires either guessing their PIN or
+//! compromising a constant fraction (e.g. 1/16) of *all* HSMs — and the
+//! forward-secrecy layer revokes recovered ciphertexts, so even total
+//! compromise after the fact reveals nothing.
+//!
+//! # Quickstart
+//!
+//! ```
+//! use safetypin::{Deployment, SystemParams};
+//!
+//! let mut rng = rand::thread_rng();
+//! let params = SystemParams::test_small(16);
+//! let mut deployment = Deployment::provision(params, &mut rng).unwrap();
+//!
+//! // A phone backs up its disk-encryption key under a 6-digit PIN.
+//! let mut client = deployment.new_client(b"alice").unwrap();
+//! let artifact = client.backup(b"493201", b"the disk key", 0, &mut rng).unwrap();
+//!
+//! // Later, on a replacement phone: recover with the PIN alone.
+//! let outcome = deployment
+//!     .recover(&client, b"493201", &artifact, &mut rng)
+//!     .unwrap();
+//! assert_eq!(outcome.message, b"the disk key");
+//!
+//! // A second attempt is refused — the log allows one per identifier and
+//! // the HSMs have punctured their keys.
+//! assert!(deployment.recover(&client, b"493201", &artifact, &mut rng).is_err());
+//! ```
+//!
+//! Crate map: [`safetypin_lhe`] (location-hiding encryption),
+//! [`safetypin_bfe`] (puncturable encryption), [`safetypin_seckv`]
+//! (outsourced storage with secure deletion), [`safetypin_authlog`] (the
+//! distributed log), [`safetypin_multisig`] (BLS multisignatures),
+//! [`safetypin_hsm`] / [`safetypin_provider`] / [`safetypin_client`] (the
+//! three protocol roles), [`safetypin_sim`] (device cost models), and
+//! [`safetypin_analysis`] (security/cost analytics).
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod baseline;
+pub mod deployment;
+pub mod params;
+
+pub use deployment::{Deployment, DeploymentError, RecoveryOutcome};
+pub use params::SystemParams;
+
+// Re-export the component crates under one roof for downstream users.
+pub use safetypin_analysis as analysis;
+pub use safetypin_authlog as authlog;
+pub use safetypin_bfe as bfe;
+pub use safetypin_client as client;
+pub use safetypin_hsm as hsm;
+pub use safetypin_lhe as lhe;
+pub use safetypin_multisig as multisig;
+pub use safetypin_primitives as primitives;
+pub use safetypin_provider as provider;
+pub use safetypin_seckv as seckv;
+pub use safetypin_sim as sim;

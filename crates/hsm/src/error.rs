@@ -1,0 +1,96 @@
+//! HSM error type.
+
+use core::fmt;
+
+use safetypin_authlog::distributed::AuditError;
+use safetypin_primitives::error::WireError;
+use safetypin_primitives::CryptoError;
+
+/// Errors an HSM can return.
+///
+/// Note what is *absent*: there is no "wrong PIN" error. The HSM never sees
+/// a PIN — a client with the wrong PIN simply contacts the wrong HSMs,
+/// whose decryptions fail. That property is the heart of the design (§5).
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum HsmError {
+    /// The HSM has fail-stopped.
+    Unavailable,
+    /// The log-inclusion proof did not verify against this HSM's digest.
+    BadInclusionProof,
+    /// This HSM is not the committed cluster member for the requested slot.
+    NotInCluster,
+    /// The presented recovery ciphertext does not match the committed hash.
+    CiphertextMismatch,
+    /// Share decryption failed (punctured, wrong key, or malformed).
+    DecryptFailed,
+    /// The decrypted share was not bound to the requesting username.
+    UsernameMismatch,
+    /// A chunk audit failed.
+    Audit(AuditError),
+    /// The audit packages do not match this HSM's deterministic assignment.
+    WrongAuditSet,
+    /// The update's old digest does not match the digest this HSM holds.
+    StaleDigest,
+    /// Too few signers behind an aggregate signature.
+    QuorumTooSmall {
+        /// Signers present.
+        got: usize,
+        /// Signers required.
+        need: usize,
+    },
+    /// The aggregate signature did not verify (or listed unknown/duplicate
+    /// signers).
+    BadAggregate,
+    /// A fleet key's proof of possession failed.
+    BadProofOfPossession,
+    /// A designated external auditor's endorsement of the current digest
+    /// was missing or invalid (§6.3).
+    MissingAuditorEndorsement,
+    /// The provider has exhausted its garbage-collection budget.
+    GcLimitReached,
+    /// Malformed wire input.
+    Wire(WireError),
+    /// Underlying cryptographic failure.
+    Crypto(CryptoError),
+}
+
+impl fmt::Display for HsmError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            HsmError::Unavailable => write!(f, "HSM is unavailable"),
+            HsmError::BadInclusionProof => write!(f, "log-inclusion proof rejected"),
+            HsmError::NotInCluster => write!(f, "HSM not in committed cluster slot"),
+            HsmError::CiphertextMismatch => write!(f, "ciphertext does not match commitment"),
+            HsmError::DecryptFailed => write!(f, "share decryption failed"),
+            HsmError::UsernameMismatch => write!(f, "share not bound to requesting username"),
+            HsmError::Audit(e) => write!(f, "chunk audit failed: {e}"),
+            HsmError::WrongAuditSet => write!(f, "audit packages do not match assignment"),
+            HsmError::StaleDigest => write!(f, "update does not start from held digest"),
+            HsmError::QuorumTooSmall { got, need } => {
+                write!(f, "aggregate covers {got} signers, need {need}")
+            }
+            HsmError::BadAggregate => write!(f, "aggregate signature rejected"),
+            HsmError::BadProofOfPossession => write!(f, "fleet key proof-of-possession rejected"),
+            HsmError::MissingAuditorEndorsement => {
+                write!(f, "designated-auditor endorsement missing or invalid")
+            }
+            HsmError::GcLimitReached => write!(f, "garbage-collection budget exhausted"),
+            HsmError::Wire(e) => write!(f, "malformed input: {e}"),
+            HsmError::Crypto(e) => write!(f, "crypto failure: {e}"),
+        }
+    }
+}
+
+impl std::error::Error for HsmError {}
+
+impl From<WireError> for HsmError {
+    fn from(e: WireError) -> Self {
+        HsmError::Wire(e)
+    }
+}
+
+impl From<CryptoError> for HsmError {
+    fn from(e: CryptoError) -> Self {
+        HsmError::Crypto(e)
+    }
+}

@@ -1,0 +1,629 @@
+//! The HSM substrate: state machine, protocol checks, resource metering,
+//! and failure injection.
+//!
+//! Substitutes for the paper's SoloKey firmware (~2,500 LoC of C on a
+//! Cortex-M4). The state machine is identical — each HSM holds an identity
+//! keypair, a BLS signing key for log updates, a Bloom-filter-encryption
+//! keypair whose secret array is outsourced with secure deletion, the
+//! current log digest, and a bounded garbage-collection counter — and every
+//! operation executes the *real* cryptography while a meter counts the
+//! resource-relevant operations so the simulation layer can price them at
+//! SoloKey (or YubiHSM2 / SafeNet) rates.
+//!
+//! The recovery-share operation implements the §4.2 check list verbatim:
+//! recompute the client's commitment, check the log-inclusion proof against
+//! the HSM's own digest, confirm this HSM is in the committed cluster,
+//! confirm the committed hash matches the presented recovery ciphertext,
+//! decrypt the share, verify the username inside the plaintext, and
+//! puncture before replying.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod error;
+pub mod types;
+
+pub use error::HsmError;
+pub use types::{EnrollmentRecord, RecoveryRequest, RecoveryResponse};
+
+use rand::{CryptoRng, RngCore};
+use safetypin_authlog::distributed::{audit_chunks_for, verify_chunk, ChunkAudit, UpdateMessage};
+use safetypin_authlog::trie::MerkleTrie;
+use safetypin_bfe::{BfeParams, BfePublicKey, BfeSecretKey, KeygenReport};
+use safetypin_lhe::scheme::{parse_share_plaintext, share_context};
+use safetypin_multisig as multisig;
+use safetypin_primitives::commit;
+use safetypin_primitives::elgamal;
+use safetypin_primitives::hashes::{hash_parts, Domain, Hash256};
+use safetypin_primitives::shamir::Share;
+use safetypin_primitives::wire::Encode;
+use safetypin_seckv::BlockStore;
+use safetypin_sim::OpCosts;
+
+/// Per-HSM configuration.
+#[derive(Debug, Clone, Copy)]
+pub struct HsmConfig {
+    /// This HSM's index in the datacenter (`i ∈ [N]`).
+    pub id: u64,
+    /// Bloom-filter-encryption parameters.
+    pub bfe_params: BfeParams,
+    /// Chunks audited per epoch (`C = λ`, §6.2).
+    pub audits_per_epoch: u32,
+    /// Maximum garbage collections before the HSM refuses (§6.2 bounds the
+    /// provider's ability to reset PIN-attempt state).
+    pub max_gc: u64,
+    /// Minimum signers an aggregate signature must cover
+    /// (`N − ⌊f_live·N⌋`).
+    pub min_signers: usize,
+}
+
+impl HsmConfig {
+    /// Test-scale defaults for a fleet of `total` HSMs.
+    pub fn test_default(id: u64, total: u64) -> Self {
+        Self {
+            id,
+            bfe_params: BfeParams::new(256, 4).expect("valid"),
+            audits_per_epoch: 8,
+            max_gc: 24,
+            min_signers: (total - total / 64).max(1) as usize,
+        }
+    }
+}
+
+/// Liveness / compromise status, for failure injection.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum HsmStatus {
+    /// Operating normally.
+    Active,
+    /// Fail-stopped (benign hardware failure).
+    Failed,
+    /// Physically compromised; an attacker holds its secrets. The device
+    /// keeps operating (the attacker does not want to be noticed).
+    Compromised,
+}
+
+/// Everything an attacker learns by tearing down an HSM (used by the
+/// security experiments).
+pub struct ExfiltratedState {
+    /// Identity decryption key.
+    pub identity_sk: elgamal::SecretKey,
+    /// BLS signing key.
+    pub sig_sk: multisig::SigningKey,
+    /// Root key of the outsourced BFE secret array.
+    pub bfe_root_key: [u8; 16],
+    /// Current log digest the HSM trusts.
+    pub log_digest: Hash256,
+}
+
+/// Per-phase cost attribution for one recovery-share operation
+/// (Figure 10's breakdown).
+#[derive(Debug, Default, Clone, Copy)]
+pub struct RecoveryPhases {
+    /// Log work: inclusion-proof and commitment checks plus request I/O.
+    pub log: OpCosts,
+    /// Location-hiding encryption work: the ElGamal share decryptions.
+    pub lhe: OpCosts,
+    /// Puncturable-encryption work: outsourced-storage reads, secure
+    /// deletion, and the associated AES traffic.
+    pub pe: OpCosts,
+    /// Public-key work for the optional encrypted reply (§8).
+    pub pke: OpCosts,
+}
+
+impl RecoveryPhases {
+    /// Sum over all phases.
+    pub fn total(&self) -> OpCosts {
+        let mut t = OpCosts::new();
+        t.add(&self.log);
+        t.add(&self.lhe);
+        t.add(&self.pe);
+        t.add(&self.pke);
+        t
+    }
+
+    /// Component-wise sum.
+    pub fn add(&mut self, other: &RecoveryPhases) {
+        self.log.add(&other.log);
+        self.lhe.add(&other.lhe);
+        self.pe.add(&other.pe);
+        self.pke.add(&other.pke);
+    }
+}
+
+/// One hardware security module.
+pub struct Hsm {
+    config: HsmConfig,
+    identity: elgamal::KeyPair,
+    sig_key: multisig::SigningKey,
+    bfe_pk: BfePublicKey,
+    bfe_sk: BfeSecretKey,
+    log_digest: Hash256,
+    fleet_keys: Vec<multisig::VerifyKey>,
+    designated_auditors: Vec<multisig::VerifyKey>,
+    gc_count: u64,
+    key_epoch: u64,
+    status: HsmStatus,
+    costs: OpCosts,
+}
+
+impl Hsm {
+    /// Provisions a new HSM, generating all keys. The BFE secret array is
+    /// written into `store` (the provider's storage).
+    pub fn provision<S: BlockStore, R: RngCore + CryptoRng>(
+        config: HsmConfig,
+        store: &mut S,
+        rng: &mut R,
+    ) -> Result<Self, HsmError> {
+        let identity = elgamal::KeyPair::generate(rng);
+        let sig_key = multisig::SigningKey::generate(rng);
+        let (bfe_pk, bfe_sk, report) =
+            safetypin_bfe::keygen(config.bfe_params, store, rng).map_err(HsmError::Crypto)?;
+        let mut costs = OpCosts::new();
+        costs.group_mults += report.group_ops + 2; // BFE slots + identity + BLS keygen
+        Ok(Self {
+            config,
+            identity,
+            sig_key,
+            bfe_pk,
+            bfe_sk,
+            log_digest: MerkleTrie::empty_digest(),
+            fleet_keys: Vec::new(),
+            designated_auditors: Vec::new(),
+            gc_count: 0,
+            key_epoch: 0,
+            status: HsmStatus::Active,
+            costs,
+        })
+    }
+
+    /// This HSM's datacenter index.
+    pub fn id(&self) -> u64 {
+        self.config.id
+    }
+
+    /// Current status.
+    pub fn status(&self) -> HsmStatus {
+        self.status
+    }
+
+    /// Current BFE key-rotation epoch.
+    pub fn key_epoch(&self) -> u64 {
+        self.key_epoch
+    }
+
+    /// Chunks this HSM audits per epoch (`C`).
+    pub fn audits_per_epoch(&self) -> u32 {
+        self.config.audits_per_epoch
+    }
+
+    /// The log digest this HSM currently trusts.
+    pub fn log_digest(&self) -> Hash256 {
+        self.log_digest
+    }
+
+    /// Punctures performed with the current BFE key.
+    pub fn punctures(&self) -> u64 {
+        self.bfe_sk.punctures()
+    }
+
+    /// Whether the BFE key has hit the rotation threshold.
+    pub fn needs_rotation(&self) -> bool {
+        self.bfe_sk.needs_rotation()
+    }
+
+    /// Accumulated metered costs.
+    pub fn costs(&self) -> OpCosts {
+        self.costs
+    }
+
+    /// Drains the metered costs (returns the old value).
+    pub fn take_costs(&mut self) -> OpCosts {
+        std::mem::take(&mut self.costs)
+    }
+
+    /// The enrollment record published at provisioning: identity key,
+    /// BLS key with proof of possession, and the BFE public key.
+    pub fn enrollment(&self) -> EnrollmentRecord {
+        EnrollmentRecord {
+            id: self.config.id,
+            identity_pk: self.identity.pk,
+            sig_vk: self.sig_key.verify_key(),
+            sig_pop: self.sig_key.prove_possession(),
+            bfe_pk: self.bfe_pk.clone(),
+            key_epoch: self.key_epoch,
+        }
+    }
+
+    /// Installs the fleet's verified BLS keys (the HSM checks each proof of
+    /// possession itself — a compromised provider must not be able to slip
+    /// in rogue keys).
+    pub fn register_fleet(
+        &mut self,
+        keys: &[(multisig::VerifyKey, multisig::ProofOfPossession)],
+    ) -> Result<(), HsmError> {
+        let mut verified = Vec::with_capacity(keys.len());
+        for (vk, pop) in keys {
+            if !vk.verify_possession(pop) {
+                return Err(HsmError::BadProofOfPossession);
+            }
+            // Each PoP check costs two pairings.
+            self.costs.pairings += 2;
+            verified.push(*vk);
+        }
+        self.fleet_keys = verified;
+        Ok(())
+    }
+
+    /// Installs the deployment's designated external auditors (§6.3):
+    /// once set, every recovery must present each auditor's signature
+    /// over the HSM's current log digest. Brute-forcing a PIN through
+    /// the log then additionally requires compromising the auditors.
+    pub fn set_designated_auditors(&mut self, keys: Vec<multisig::VerifyKey>) {
+        self.designated_auditors = keys;
+    }
+
+    fn check_auditor_endorsements(
+        &mut self,
+        endorsements: &[multisig::Signature],
+    ) -> Result<(), HsmError> {
+        if self.designated_auditors.is_empty() {
+            return Ok(());
+        }
+        if endorsements.len() != self.designated_auditors.len() {
+            return Err(HsmError::MissingAuditorEndorsement);
+        }
+        for (vk, sig) in self.designated_auditors.iter().zip(endorsements) {
+            // Each endorsement check is a two-pairing verification.
+            self.costs.pairings += 2;
+            if !safetypin_authlog::auditor::verify_endorsement(vk, &self.log_digest, sig) {
+                return Err(HsmError::MissingAuditorEndorsement);
+            }
+        }
+        Ok(())
+    }
+
+    fn ensure_active(&self) -> Result<(), HsmError> {
+        match self.status {
+            HsmStatus::Failed => Err(HsmError::Unavailable),
+            _ => Ok(()),
+        }
+    }
+
+    // ------------------------------------------------------------------
+    // Recovery (§4.2)
+    // ------------------------------------------------------------------
+
+    /// Processes one recovery-share request, enforcing every §4.2 check,
+    /// and punctures the BFE key before replying (Figure 4's revocation).
+    pub fn recover_share<S: BlockStore, R: RngCore + CryptoRng>(
+        &mut self,
+        request: &RecoveryRequest,
+        store: &mut S,
+        rng: &mut R,
+    ) -> Result<RecoveryResponse, HsmError> {
+        self.recover_share_with_phases(request, store, rng)
+            .map(|(response, _)| response)
+    }
+
+    /// Like [`recover_share`](Self::recover_share) but also attributing the
+    /// metered cost to protocol phases (the Figure 10 breakdown: log /
+    /// location-hiding encryption / puncturable encryption / public-key
+    /// encryption).
+    pub fn recover_share_with_phases<S: BlockStore, R: RngCore + CryptoRng>(
+        &mut self,
+        request: &RecoveryRequest,
+        store: &mut S,
+        rng: &mut R,
+    ) -> Result<(RecoveryResponse, RecoveryPhases), HsmError> {
+        self.ensure_active()?;
+        self.check_auditor_endorsements(&request.auditor_endorsements)?;
+        let mut phases = RecoveryPhases::default();
+        let request_bytes = request.to_bytes().len() as u64;
+        phases.log.add_io(request_bytes);
+
+        // 1. Recompute the client's commitment from its opening.
+        let commitment = commit::commitment_of(&request.opening);
+        phases.log.sha_ops += 1 + (request.opening.payload.len() as u64) / 64;
+
+        // 2. The recovery attempt must be logged: check the inclusion proof
+        //    for (username, h) against our digest.
+        let commitment_bytes = commitment.to_bytes();
+        if !MerkleTrie::does_include(
+            &self.log_digest,
+            &request.username,
+            &commitment_bytes,
+            &request.inclusion,
+        ) {
+            self.costs.add(&phases.total());
+            return Err(HsmError::BadInclusionProof);
+        }
+        phases.log.sha_ops += 2 * (request.inclusion.path.siblings.len() as u64 + 1);
+
+        // 3. Parse the opening: committed cluster plus ciphertext hash.
+        let (cluster, ct_hash) = types::parse_commit_payload(&request.opening.payload)?;
+
+        // 4. This HSM must be the committed cluster member at every
+        //    requested slot.
+        if request.share_indices.is_empty() {
+            return Err(HsmError::NotInCluster);
+        }
+        for &j in &request.share_indices {
+            let slot = cluster
+                .get(j as usize)
+                .copied()
+                .ok_or(HsmError::NotInCluster)?;
+            if slot != self.config.id {
+                return Err(HsmError::NotInCluster);
+            }
+        }
+
+        // 5. The presented recovery ciphertext must be the committed one.
+        let presented = hash_parts(Domain::RecoveryCommit, &[b"ct", &request.ciphertext]);
+        phases.log.sha_ops += request.ciphertext.len() as u64 / 64 + 1;
+        if presented != ct_hash {
+            self.costs.add(&phases.total());
+            return Err(HsmError::CiphertextMismatch);
+        }
+
+        // 6. Decrypt every requested share, then puncture ONCE — the
+        //    cluster is sampled with replacement, and one puncture revokes
+        //    this HSM's whole tag.
+        let tag = types::puncture_tag(&request.username, &request.salt);
+        let context = share_context(&request.username, &request.salt);
+        let mut shares: Vec<Share> = Vec::with_capacity(request.share_indices.len());
+        for &j in &request.share_indices {
+            let share_ct = types::share_ct_at(&request.ciphertext, j)?;
+            let (pt, report) = self
+                .bfe_sk
+                .decrypt(store, &tag, &context, &share_ct)
+                .map_err(|e| {
+                    self.costs.add(&phases.total());
+                    let _ = e;
+                    HsmError::DecryptFailed
+                })?;
+            // The ElGamal half of the share decryption is the
+            // "location-hiding encryption" phase; the outsourced-storage
+            // traffic is the "puncturable encryption" phase.
+            phases.lhe.elgamal_decs += report.group_ops;
+            phases.pe.aes_blocks += report.aead_bytes.div_ceil(16);
+            phases
+                .pe
+                .add_io((report.blocks_read + report.blocks_written) * 96);
+
+            // 7. The decrypted plaintext must carry the requesting
+            //    username (§4.1 binding).
+            let share = parse_share_plaintext(&pt, &request.username).map_err(|_| {
+                self.costs.add(&phases.total());
+                HsmError::UsernameMismatch
+            })?;
+            shares.push(share);
+        }
+        let report = self.bfe_sk.puncture(store, &tag, rng).map_err(|_| {
+            self.costs.add(&phases.total());
+            HsmError::DecryptFailed
+        })?;
+        phases.pe.aes_blocks += report.aead_bytes.div_ceil(16);
+        phases
+            .pe
+            .add_io((report.blocks_read + report.blocks_written) * 96);
+
+        // 8. Reply — optionally encrypted under the client's per-recovery
+        //    public key (§8, failure-during-recovery).
+        let response = match &request.recovery_pk {
+            None => RecoveryResponse::Plain(shares),
+            Some(pk) => {
+                let mut w = safetypin_primitives::wire::Writer::new();
+                w.put_seq(&shares);
+                let ct = elgamal::encrypt(pk, &context, &w.into_bytes(), rng);
+                phases.pke.group_mults += 2;
+                RecoveryResponse::Encrypted(ct)
+            }
+        };
+        phases.log.add_io(response.to_bytes().len() as u64);
+        self.costs.add(&phases.total());
+        Ok((response, phases))
+    }
+
+    // ------------------------------------------------------------------
+    // Log maintenance (§6.2, Figure 5)
+    // ------------------------------------------------------------------
+
+    /// The chunk indices this HSM must audit for an epoch committed by
+    /// `message` (deterministic Appendix B.3 assignment).
+    pub fn audit_assignment(&self, message: &UpdateMessage) -> Vec<u32> {
+        audit_chunks_for(
+            self.config.id,
+            &message.root,
+            message.chunk_count,
+            self.config.audits_per_epoch,
+        )
+    }
+
+    /// Audits the provided chunk packages and, if every assigned chunk
+    /// verifies, signs `(d, d', R)`.
+    ///
+    /// The packages must cover exactly this HSM's deterministic assignment
+    /// and the message's old digest must match the digest this HSM holds.
+    pub fn audit_and_sign(
+        &mut self,
+        message: &UpdateMessage,
+        packages: &[ChunkAudit],
+    ) -> Result<multisig::Signature, HsmError> {
+        self.audit_and_sign_with_failures(message, &[], &[], packages)
+    }
+
+    /// Like [`audit_and_sign`](Self::audit_and_sign), but also covering the
+    /// Appendix B.3 re-audit duty: for each failed HSM, this HSM verifies
+    /// the chunks the deterministic substitution assigns to it, so the
+    /// epoch makes progress despite fail-stops.
+    pub fn audit_and_sign_with_failures(
+        &mut self,
+        message: &UpdateMessage,
+        active_ids: &[u64],
+        failed_ids: &[u64],
+        packages: &[ChunkAudit],
+    ) -> Result<multisig::Signature, HsmError> {
+        self.ensure_active()?;
+        if message.old_digest != self.log_digest {
+            return Err(HsmError::StaleDigest);
+        }
+        let mut expected: std::collections::BTreeSet<u32> =
+            self.audit_assignment(message).into_iter().collect();
+        expected.extend(safetypin_authlog::distributed::reaudit_chunks_for(
+            self.config.id,
+            active_ids,
+            failed_ids,
+            &message.root,
+            message.chunk_count,
+            self.config.audits_per_epoch,
+        ));
+        let provided: std::collections::BTreeSet<u32> =
+            packages.iter().map(|p| p.chunk).collect();
+        if expected != provided || packages.len() != provided.len() {
+            return Err(HsmError::WrongAuditSet);
+        }
+        for package in packages {
+            verify_chunk(message, package).map_err(HsmError::Audit)?;
+            let bytes = package.proof_bytes() as u64;
+            self.costs.add_io(bytes);
+            self.costs.sha_ops += bytes / 64 + 2;
+        }
+        // Signing costs one G1 multiplication (priced as a group mult).
+        self.costs.group_mults += 1;
+        Ok(self.sig_key.sign(&message.signing_bytes()))
+    }
+
+    /// Accepts a new digest once a quorum aggregate signature over
+    /// `(d, d', R)` verifies against the registered fleet keys.
+    ///
+    /// `signers` lists the fleet indices whose keys are aggregated; the
+    /// HSM requires at least `min_signers` of them (all online HSMs must
+    /// sign; `f_live·N` may be offline).
+    pub fn accept_update(
+        &mut self,
+        message: &UpdateMessage,
+        signers: &[usize],
+        aggregate: &multisig::Signature,
+    ) -> Result<(), HsmError> {
+        self.ensure_active()?;
+        if message.old_digest != self.log_digest {
+            return Err(HsmError::StaleDigest);
+        }
+        if signers.len() < self.config.min_signers {
+            return Err(HsmError::QuorumTooSmall {
+                got: signers.len(),
+                need: self.config.min_signers,
+            });
+        }
+        let mut keys = Vec::with_capacity(signers.len());
+        let mut seen = std::collections::HashSet::new();
+        for &s in signers {
+            if !seen.insert(s) {
+                return Err(HsmError::BadAggregate);
+            }
+            keys.push(
+                *self
+                    .fleet_keys
+                    .get(s)
+                    .ok_or(HsmError::BadAggregate)?,
+            );
+        }
+        // Aggregate verification is one two-pairing product check,
+        // independent of the signer count (§6.2 Scalability).
+        self.costs.pairings += 2;
+        if !multisig::verify_aggregate(&keys, &message.signing_bytes(), aggregate) {
+            return Err(HsmError::BadAggregate);
+        }
+        self.log_digest = message.new_digest;
+        Ok(())
+    }
+
+    /// Follows a provider garbage collection: resets the digest to the
+    /// empty log. Each HSM follows at most `max_gc` collections (§6.2);
+    /// after that it refuses, bounding how often the provider can reset
+    /// everyone's PIN-attempt budget.
+    pub fn garbage_collect(&mut self) -> Result<(), HsmError> {
+        self.ensure_active()?;
+        if self.gc_count >= self.config.max_gc {
+            return Err(HsmError::GcLimitReached);
+        }
+        self.gc_count += 1;
+        self.log_digest = MerkleTrie::empty_digest();
+        Ok(())
+    }
+
+    /// Completed garbage collections.
+    pub fn gc_count(&self) -> u64 {
+        self.gc_count
+    }
+
+    // ------------------------------------------------------------------
+    // Key rotation (§7.1, §9.1)
+    // ------------------------------------------------------------------
+
+    /// Rotates the BFE keypair: generates a fresh slot array (one group
+    /// multiplication per slot — the dominant cost, ~75 SoloKey-hours at
+    /// paper scale) and publishes the new public key.
+    pub fn rotate_keys<S: BlockStore, R: RngCore + CryptoRng>(
+        &mut self,
+        store: &mut S,
+        rng: &mut R,
+    ) -> Result<(BfePublicKey, KeygenReport), HsmError> {
+        self.ensure_active()?;
+        let (pk, sk, report) =
+            safetypin_bfe::keygen(self.config.bfe_params, store, rng).map_err(HsmError::Crypto)?;
+        self.bfe_pk = pk.clone();
+        self.bfe_sk = sk;
+        self.key_epoch += 1;
+        self.costs.group_mults += report.group_ops;
+        self.costs.add_io(report.outsourced_bytes);
+        Ok((pk, report))
+    }
+
+    /// Current BFE public key.
+    pub fn bfe_public_key(&self) -> &BfePublicKey {
+        &self.bfe_pk
+    }
+
+    /// Identity public key.
+    pub fn identity_pk(&self) -> elgamal::PublicKey {
+        self.identity.pk
+    }
+
+    // ------------------------------------------------------------------
+    // Failure injection (for experiments)
+    // ------------------------------------------------------------------
+
+    /// Fail-stops the HSM (benign failure).
+    pub fn fail(&mut self) {
+        self.status = HsmStatus::Failed;
+    }
+
+    /// Restores a failed HSM (e.g., after replacement).
+    pub fn restore(&mut self) {
+        if self.status == HsmStatus::Failed {
+            self.status = HsmStatus::Active;
+        }
+    }
+
+    /// Compromises the HSM, exfiltrating all secrets. The device keeps
+    /// responding (a stealthy attacker).
+    pub fn compromise(&mut self) -> ExfiltratedState {
+        self.status = HsmStatus::Compromised;
+        ExfiltratedState {
+            identity_sk: self.identity.sk.clone(),
+            sig_sk: self.sig_key.clone(),
+            bfe_root_key: self.bfe_sk_root_key(),
+            log_digest: self.log_digest,
+        }
+    }
+
+    fn bfe_sk_root_key(&self) -> [u8; 16] {
+        // Exposed only through compromise(); models physical key
+        // extraction.
+        self.bfe_sk.array_root_key()
+    }
+}
+
+#[cfg(test)]
+mod tests;

@@ -1,0 +1,585 @@
+//! End-to-end HSM tests: the full §4.2 recovery check-list, the Figure 5
+//! log-update protocol, key rotation, GC bounding, and failure injection.
+
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+use safetypin_authlog::distributed::EpochUpdate;
+use safetypin_authlog::log::Log;
+use safetypin_bfe::{BfeCiphertext, BfeParams, BfePublicKey};
+use safetypin_lhe::scheme::{encrypt_with_salt, reconstruct, select, Salt};
+use safetypin_lhe::{BfeDirectory, LheCiphertext, LheParams};
+use safetypin_multisig::aggregate_signatures;
+use safetypin_primitives::commit;
+use safetypin_primitives::elgamal;
+use safetypin_primitives::shamir::Share;
+use safetypin_primitives::wire::Encode;
+use safetypin_seckv::MemStore;
+
+use crate::types::{build_commit_payload, ciphertext_commit_hash};
+use crate::{Hsm, HsmConfig, HsmError, HsmStatus, RecoveryRequest, RecoveryResponse};
+
+const TOTAL: u64 = 8;
+
+struct Fixture {
+    params: LheParams,
+    hsms: Vec<Hsm>,
+    stores: Vec<MemStore>,
+    bfe_pks: Vec<BfePublicKey>,
+    log: Log,
+    rng: StdRng,
+}
+
+fn fixture() -> Fixture {
+    let mut rng = StdRng::seed_from_u64(20_20);
+    let mut hsms = Vec::new();
+    let mut stores = Vec::new();
+    for id in 0..TOTAL {
+        let mut store = MemStore::new();
+        let config = HsmConfig {
+            id,
+            bfe_params: BfeParams::new(128, 3).unwrap(),
+            audits_per_epoch: 4,
+            max_gc: 2,
+            min_signers: TOTAL as usize,
+        };
+        let hsm = Hsm::provision(config, &mut store, &mut rng).unwrap();
+        hsms.push(hsm);
+        stores.push(store);
+    }
+    // Fleet registration with PoP checks.
+    let fleet: Vec<_> = hsms
+        .iter()
+        .map(|h| {
+            let e = h.enrollment();
+            (e.sig_vk, e.sig_pop)
+        })
+        .collect();
+    for h in hsms.iter_mut() {
+        h.register_fleet(&fleet).unwrap();
+    }
+    let bfe_pks = hsms.iter().map(|h| h.bfe_public_key().clone()).collect();
+    Fixture {
+        params: LheParams::new(TOTAL, 4, 2, 10_000).unwrap(),
+        hsms,
+        stores,
+        bfe_pks,
+        log: Log::new(),
+        rng,
+    }
+}
+
+impl Fixture {
+    /// Runs one epoch of the Figure 5 protocol across the whole fleet.
+    fn run_epoch(&mut self) {
+        let cut = self.log.cut_epoch(self.hsms.len());
+        let update = EpochUpdate::build(&cut).unwrap();
+        let msg = update.message();
+        let mut sigs = Vec::new();
+        for hsm in self.hsms.iter_mut() {
+            let assignment = hsm.audit_assignment(&msg);
+            let packages: Vec<_> = assignment
+                .iter()
+                .map(|&c| update.audit_package(c).unwrap())
+                .collect();
+            sigs.push(hsm.audit_and_sign(&msg, &packages).unwrap());
+        }
+        let agg = aggregate_signatures(&sigs).unwrap();
+        let signers: Vec<usize> = (0..self.hsms.len()).collect();
+        for hsm in self.hsms.iter_mut() {
+            hsm.accept_update(&msg, &signers, &agg).unwrap();
+        }
+    }
+
+    fn backup(
+        &mut self,
+        username: &[u8],
+        pin: &[u8],
+        msg: &[u8],
+    ) -> (LheCiphertext<BfeCiphertext>, Vec<u8>, Salt) {
+        let salt = Salt::random(&mut self.rng);
+        let dir = BfeDirectory::new(&self.bfe_pks, username, &salt);
+        let ct = encrypt_with_salt(
+            &self.params,
+            &dir,
+            username,
+            pin,
+            salt,
+            0,
+            msg,
+            &mut self.rng,
+        )
+        .unwrap();
+        let bytes = ct.to_bytes();
+        (ct, bytes, salt)
+    }
+
+    /// Client-side recovery prep: commit, log, epoch, inclusion proof.
+    fn log_recovery(
+        &mut self,
+        username: &[u8],
+        pin: &[u8],
+        ct_bytes: &[u8],
+        salt: &Salt,
+    ) -> (Vec<u64>, commit::Opening, safetypin_authlog::trie::InclusionProof) {
+        let cluster = select(&self.params, salt, pin);
+        let payload = build_commit_payload(&cluster, &ciphertext_commit_hash(ct_bytes));
+        let (commitment, opening) = commit::commit(&payload, &mut self.rng);
+        self.log
+            .insert(username, &commitment.to_bytes())
+            .unwrap();
+        self.run_epoch();
+        let inclusion = self
+            .log
+            .prove_includes(username, &commitment.to_bytes())
+            .unwrap();
+        (cluster, opening, inclusion)
+    }
+
+    /// Groups cluster positions by HSM id.
+    fn grouped(cluster: &[u64]) -> std::collections::BTreeMap<u64, Vec<u32>> {
+        let mut map: std::collections::BTreeMap<u64, Vec<u32>> = Default::default();
+        for (j, &i) in cluster.iter().enumerate() {
+            map.entry(i).or_default().push(j as u32);
+        }
+        map
+    }
+}
+
+fn full_recovery(fx: &mut Fixture, username: &[u8], pin: &[u8], msg: &[u8]) -> Vec<u8> {
+    let (ct, ct_bytes, salt) = fx.backup(username, pin, msg);
+    let (cluster, opening, inclusion) = fx.log_recovery(username, pin, &ct_bytes, &salt);
+    let mut shares: Vec<Share> = Vec::new();
+    for (hsm_id, positions) in Fixture::grouped(&cluster) {
+        let request = RecoveryRequest {
+            username: username.to_vec(),
+            salt,
+            opening: opening.clone(),
+            inclusion: inclusion.clone(),
+            ciphertext: ct_bytes.clone(),
+            share_indices: positions,
+            recovery_pk: None,
+            auditor_endorsements: Vec::new(),
+        };
+        let mut rng = StdRng::seed_from_u64(hsm_id);
+        let response = fx.hsms[hsm_id as usize]
+            .recover_share(&request, &mut fx.stores[hsm_id as usize], &mut rng)
+            .unwrap();
+        match response {
+            RecoveryResponse::Plain(s) => shares.extend(s),
+            RecoveryResponse::Encrypted(_) => panic!("expected plain reply"),
+        }
+    }
+    reconstruct(&fx.params, username, &ct, &shares[..fx.params.threshold]).unwrap()
+}
+
+#[test]
+fn full_recovery_flow() {
+    let mut fx = fixture();
+    let msg = full_recovery(&mut fx, b"alice", b"314159", b"alice's disk key");
+    assert_eq!(msg, b"alice's disk key");
+}
+
+#[test]
+fn recovery_punctures_revoking_reuse() {
+    let mut fx = fixture();
+    let (_, ct_bytes, salt) = fx.backup(b"bob", b"271828", b"bob's key");
+    let (cluster, opening, inclusion) = fx.log_recovery(b"bob", b"271828", &ct_bytes, &salt);
+    let grouped = Fixture::grouped(&cluster);
+    // First recovery succeeds.
+    for (hsm_id, positions) in &grouped {
+        let request = RecoveryRequest {
+            username: b"bob".to_vec(),
+            salt,
+            opening: opening.clone(),
+            inclusion: inclusion.clone(),
+            ciphertext: ct_bytes.clone(),
+            share_indices: positions.clone(),
+            recovery_pk: None,
+            auditor_endorsements: Vec::new(),
+        };
+        let mut rng = StdRng::seed_from_u64(*hsm_id);
+        fx.hsms[*hsm_id as usize]
+            .recover_share(&request, &mut fx.stores[*hsm_id as usize], &mut rng)
+            .unwrap();
+    }
+    // A second pass fails everywhere: the keys are punctured.
+    for (hsm_id, positions) in &grouped {
+        let request = RecoveryRequest {
+            username: b"bob".to_vec(),
+            salt,
+            opening: opening.clone(),
+            inclusion: inclusion.clone(),
+            ciphertext: ct_bytes.clone(),
+            share_indices: positions.clone(),
+            recovery_pk: None,
+            auditor_endorsements: Vec::new(),
+        };
+        let mut rng = StdRng::seed_from_u64(*hsm_id);
+        assert_eq!(
+            fx.hsms[*hsm_id as usize]
+                .recover_share(&request, &mut fx.stores[*hsm_id as usize], &mut rng)
+                .unwrap_err(),
+            HsmError::DecryptFailed
+        );
+    }
+}
+
+#[test]
+fn unlogged_recovery_rejected() {
+    let mut fx = fixture();
+    let (_, ct_bytes, salt) = fx.backup(b"carol", b"111111", b"m");
+    // Build a commitment but never log it; borrow another user's proof.
+    let (_, dummy_opening, dummy_inclusion) =
+        fx.log_recovery(b"other-user", b"999999", &ct_bytes, &salt);
+    let cluster = select(&fx.params, &salt, b"111111");
+    let payload = build_commit_payload(&cluster, &ciphertext_commit_hash(&ct_bytes));
+    let (_, opening) = commit::commit(&payload, &mut fx.rng);
+    let grouped = Fixture::grouped(&cluster);
+    let (hsm_id, positions) = grouped.into_iter().next().unwrap();
+    let request = RecoveryRequest {
+        username: b"carol".to_vec(),
+        salt,
+        opening,
+        inclusion: dummy_inclusion, // proof for a different (user, value)
+        ciphertext: ct_bytes,
+        share_indices: positions,
+        recovery_pk: None,
+        auditor_endorsements: Vec::new(),
+    };
+    let mut rng = StdRng::seed_from_u64(1);
+    assert_eq!(
+        fx.hsms[hsm_id as usize]
+            .recover_share(&request, &mut fx.stores[hsm_id as usize], &mut rng)
+            .unwrap_err(),
+        HsmError::BadInclusionProof
+    );
+    let _ = dummy_opening;
+}
+
+#[test]
+fn ciphertext_substitution_rejected() {
+    let mut fx = fixture();
+    let (_, ct_bytes, salt) = fx.backup(b"dave", b"222222", b"real");
+    let (_, other_bytes, _) = fx.backup(b"dave2", b"222222", b"fake");
+    let (cluster, opening, inclusion) = fx.log_recovery(b"dave", b"222222", &ct_bytes, &salt);
+    let (hsm_id, positions) = Fixture::grouped(&cluster).into_iter().next().unwrap();
+    // Present a different ciphertext than the committed one.
+    let request = RecoveryRequest {
+        username: b"dave".to_vec(),
+        salt,
+        opening,
+        inclusion,
+        ciphertext: other_bytes,
+        share_indices: positions,
+        recovery_pk: None,
+        auditor_endorsements: Vec::new(),
+    };
+    let mut rng = StdRng::seed_from_u64(2);
+    assert_eq!(
+        fx.hsms[hsm_id as usize]
+            .recover_share(&request, &mut fx.stores[hsm_id as usize], &mut rng)
+            .unwrap_err(),
+        HsmError::CiphertextMismatch
+    );
+}
+
+#[test]
+fn wrong_cluster_slot_rejected() {
+    let mut fx = fixture();
+    let (_, ct_bytes, salt) = fx.backup(b"erin", b"333333", b"m");
+    let (cluster, opening, inclusion) = fx.log_recovery(b"erin", b"333333", &ct_bytes, &salt);
+    // Ask an HSM that is NOT the member at slot 0 to serve slot 0.
+    let wrong_hsm = (0..TOTAL).find(|i| *i != cluster[0]).unwrap();
+    let request = RecoveryRequest {
+        username: b"erin".to_vec(),
+        salt,
+        opening,
+        inclusion,
+        ciphertext: ct_bytes,
+        share_indices: vec![0],
+        recovery_pk: None,
+        auditor_endorsements: Vec::new(),
+    };
+    let mut rng = StdRng::seed_from_u64(3);
+    assert_eq!(
+        fx.hsms[wrong_hsm as usize]
+            .recover_share(&request, &mut fx.stores[wrong_hsm as usize], &mut rng)
+            .unwrap_err(),
+        HsmError::NotInCluster
+    );
+}
+
+#[test]
+fn per_recovery_encrypted_reply() {
+    let mut fx = fixture();
+    let (ct, ct_bytes, salt) = fx.backup(b"frank", b"444444", b"frank's key");
+    let (cluster, opening, inclusion) = fx.log_recovery(b"frank", b"444444", &ct_bytes, &salt);
+    let recovery_kp = elgamal::KeyPair::generate(&mut fx.rng);
+    let context = safetypin_lhe::scheme::share_context(b"frank", &salt);
+    let mut shares: Vec<Share> = Vec::new();
+    for (hsm_id, positions) in Fixture::grouped(&cluster) {
+        let request = RecoveryRequest {
+            username: b"frank".to_vec(),
+            salt,
+            opening: opening.clone(),
+            inclusion: inclusion.clone(),
+            ciphertext: ct_bytes.clone(),
+            share_indices: positions,
+            recovery_pk: Some(recovery_kp.pk),
+            auditor_endorsements: Vec::new(),
+        };
+        let mut rng = StdRng::seed_from_u64(hsm_id + 100);
+        let response = fx.hsms[hsm_id as usize]
+            .recover_share(&request, &mut fx.stores[hsm_id as usize], &mut rng)
+            .unwrap();
+        assert!(matches!(response, RecoveryResponse::Encrypted(_)));
+        shares.extend(response.open(Some(&recovery_kp.sk), &context).unwrap());
+    }
+    let msg = reconstruct(&fx.params, b"frank", &ct, &shares[..fx.params.threshold]).unwrap();
+    assert_eq!(msg, b"frank's key");
+}
+
+#[test]
+fn epoch_update_rejects_stale_and_bad_sets() {
+    let mut fx = fixture();
+    fx.log.insert(b"x", b"1").unwrap();
+    let cut = fx.log.cut_epoch(fx.hsms.len());
+    let update = EpochUpdate::build(&cut).unwrap();
+    let msg = update.message();
+
+    // Wrong audit set: HSM 0 given HSM 1's packages.
+    let other_assignment = fx.hsms[1].audit_assignment(&msg);
+    let other_packages: Vec<_> = other_assignment
+        .iter()
+        .map(|&c| update.audit_package(c).unwrap())
+        .collect();
+    let own_assignment = fx.hsms[0].audit_assignment(&msg);
+    if other_assignment != own_assignment {
+        assert_eq!(
+            fx.hsms[0].audit_and_sign(&msg, &other_packages).unwrap_err(),
+            HsmError::WrongAuditSet
+        );
+    }
+
+    // Stale digest: bump the message's old digest.
+    let mut stale = msg;
+    stale.old_digest[0] ^= 1;
+    let packages: Vec<_> = fx.hsms[0]
+        .audit_assignment(&stale)
+        .iter()
+        .map(|&c| update.audit_package(c).unwrap())
+        .collect();
+    assert_eq!(
+        fx.hsms[0].audit_and_sign(&stale, &packages).unwrap_err(),
+        HsmError::StaleDigest
+    );
+}
+
+#[test]
+fn aggregate_quorum_enforced() {
+    let mut fx = fixture();
+    fx.log.insert(b"y", b"1").unwrap();
+    let cut = fx.log.cut_epoch(fx.hsms.len());
+    let update = EpochUpdate::build(&cut).unwrap();
+    let msg = update.message();
+    let mut sigs = Vec::new();
+    for hsm in fx.hsms.iter_mut() {
+        let packages: Vec<_> = hsm
+            .audit_assignment(&msg)
+            .iter()
+            .map(|&c| update.audit_package(c).unwrap())
+            .collect();
+        sigs.push(hsm.audit_and_sign(&msg, &packages).unwrap());
+    }
+    // Quorum of 7 < min_signers = 8 rejected.
+    let partial = aggregate_signatures(&sigs[..7]).unwrap();
+    let partial_signers: Vec<usize> = (0..7).collect();
+    assert!(matches!(
+        fx.hsms[0].accept_update(&msg, &partial_signers, &partial),
+        Err(HsmError::QuorumTooSmall { got: 7, need: 8 })
+    ));
+    // Forged aggregate (full signer list, truncated signature set).
+    let all_signers: Vec<usize> = (0..8).collect();
+    assert_eq!(
+        fx.hsms[0]
+            .accept_update(&msg, &all_signers, &partial)
+            .unwrap_err(),
+        HsmError::BadAggregate
+    );
+    // Duplicate signer indices rejected.
+    let full = aggregate_signatures(&sigs).unwrap();
+    let dup_signers = vec![0usize, 0, 1, 2, 3, 4, 5, 6];
+    assert_eq!(
+        fx.hsms[0]
+            .accept_update(&msg, &dup_signers, &full)
+            .unwrap_err(),
+        HsmError::BadAggregate
+    );
+    // Honest full aggregate accepted.
+    fx.hsms[0].accept_update(&msg, &all_signers, &full).unwrap();
+    assert_eq!(fx.hsms[0].log_digest(), msg.new_digest);
+}
+
+#[test]
+fn gc_budget_enforced() {
+    let mut fx = fixture();
+    fx.hsms[0].garbage_collect().unwrap();
+    fx.hsms[0].garbage_collect().unwrap();
+    assert_eq!(
+        fx.hsms[0].garbage_collect().unwrap_err(),
+        HsmError::GcLimitReached
+    );
+    assert_eq!(fx.hsms[0].gc_count(), 2);
+}
+
+#[test]
+fn key_rotation_resets_punctures() {
+    let mut fx = fixture();
+    let (_, ct_bytes, salt) = fx.backup(b"gina", b"555555", b"m");
+    let (cluster, opening, inclusion) = fx.log_recovery(b"gina", b"555555", &ct_bytes, &salt);
+    let (hsm_id, positions) = Fixture::grouped(&cluster).into_iter().next().unwrap();
+    let request = RecoveryRequest {
+        username: b"gina".to_vec(),
+        salt,
+        opening,
+        inclusion,
+        ciphertext: ct_bytes,
+        share_indices: positions,
+        recovery_pk: None,
+        auditor_endorsements: Vec::new(),
+    };
+    let mut rng = StdRng::seed_from_u64(7);
+    fx.hsms[hsm_id as usize]
+        .recover_share(&request, &mut fx.stores[hsm_id as usize], &mut rng)
+        .unwrap();
+    assert_eq!(fx.hsms[hsm_id as usize].punctures(), 1);
+    let old_pk = fx.hsms[hsm_id as usize].bfe_public_key().clone();
+    let (new_pk, report) = fx.hsms[hsm_id as usize]
+        .rotate_keys(&mut fx.stores[hsm_id as usize], &mut rng)
+        .unwrap();
+    assert_ne!(new_pk, old_pk);
+    assert_eq!(report.group_ops, 128);
+    assert_eq!(fx.hsms[hsm_id as usize].punctures(), 0);
+    assert_eq!(fx.hsms[hsm_id as usize].key_epoch(), 1);
+}
+
+#[test]
+fn failed_hsm_unavailable() {
+    let mut fx = fixture();
+    fx.hsms[0].fail();
+    assert_eq!(fx.hsms[0].status(), HsmStatus::Failed);
+    assert_eq!(fx.hsms[0].garbage_collect().unwrap_err(), HsmError::Unavailable);
+    fx.hsms[0].restore();
+    assert_eq!(fx.hsms[0].status(), HsmStatus::Active);
+    fx.hsms[0].garbage_collect().unwrap();
+}
+
+#[test]
+fn compromise_exfiltrates_but_punctured_data_stays_safe() {
+    let mut fx = fixture();
+    let state = fx.hsms[0].compromise();
+    assert_eq!(fx.hsms[0].status(), HsmStatus::Compromised);
+    // The exfiltrated identity key matches the published one.
+    assert_eq!(state.identity_sk.public_key(), fx.hsms[0].identity_pk());
+    // Compromised HSMs keep serving (stealthy attacker).
+    assert!(fx.hsms[0].garbage_collect().is_ok());
+}
+
+#[test]
+fn costs_are_metered() {
+    let mut fx = fixture();
+    let before = fx.hsms.iter().map(|h| h.costs().group_mults).sum::<u64>();
+    assert!(before > 0, "provisioning costs metered");
+    let _ = full_recovery(&mut fx, b"hank", b"666666", b"m");
+    let decs: u64 = fx.hsms.iter().map(|h| h.costs().elgamal_decs).sum();
+    assert!(decs >= fx.params.cluster as u64, "decryptions metered: {decs}");
+    let io: u64 = fx.hsms.iter().map(|h| h.costs().io_bytes).sum();
+    assert!(io > 0, "io metered");
+    let drained = fx.hsms[0].take_costs();
+    assert_eq!(fx.hsms[0].costs().group_mults, 0);
+    let _ = drained;
+}
+
+#[test]
+fn rogue_fleet_key_rejected() {
+    let mut fx = fixture();
+    let honest = fx.hsms[0].enrollment();
+    let rogue_sk = safetypin_multisig::SigningKey::generate(&mut fx.rng);
+    // PoP from the wrong key.
+    let mismatched = vec![(honest.sig_vk, rogue_sk.prove_possession())];
+    assert_eq!(
+        fx.hsms[1].register_fleet(&mismatched).unwrap_err(),
+        HsmError::BadProofOfPossession
+    );
+}
+
+#[test]
+fn request_wire_roundtrip() {
+    let mut fx = fixture();
+    let (_, ct_bytes, salt) = fx.backup(b"ivy", b"777777", b"m");
+    let (cluster, opening, inclusion) = fx.log_recovery(b"ivy", b"777777", &ct_bytes, &salt);
+    let request = RecoveryRequest {
+        username: b"ivy".to_vec(),
+        salt,
+        opening,
+        inclusion,
+        ciphertext: ct_bytes,
+        share_indices: Fixture::grouped(&cluster).into_iter().next().unwrap().1,
+        recovery_pk: None,
+        auditor_endorsements: Vec::new(),
+    };
+    use safetypin_primitives::wire::Decode;
+    let back = RecoveryRequest::from_bytes(&request.to_bytes()).unwrap();
+    assert_eq!(back, request);
+}
+
+#[test]
+fn designated_auditors_gate_recovery() {
+    // §6.3 extension: with designated auditors installed, an HSM refuses
+    // recovery until every auditor has endorsed its current digest.
+    let mut fx = fixture();
+    let auditor_key = safetypin_multisig::SigningKey::generate(&mut fx.rng);
+    for h in fx.hsms.iter_mut() {
+        h.set_designated_auditors(vec![auditor_key.verify_key()]);
+    }
+    let (_, ct_bytes, salt) = fx.backup(b"judy", b"888888", b"m");
+    let (cluster, opening, inclusion) = fx.log_recovery(b"judy", b"888888", &ct_bytes, &salt);
+    let (hsm_id, positions) = Fixture::grouped(&cluster).into_iter().next().unwrap();
+
+    // Without an endorsement: refused.
+    let mut request = RecoveryRequest {
+        username: b"judy".to_vec(),
+        salt,
+        opening,
+        inclusion,
+        ciphertext: ct_bytes,
+        share_indices: positions,
+        recovery_pk: None,
+        auditor_endorsements: Vec::new(),
+    };
+    let mut rng = StdRng::seed_from_u64(88);
+    assert_eq!(
+        fx.hsms[hsm_id as usize]
+            .recover_share(&request, &mut fx.stores[hsm_id as usize], &mut rng)
+            .unwrap_err(),
+        HsmError::MissingAuditorEndorsement
+    );
+
+    // With an endorsement of the WRONG digest: refused.
+    let stale = safetypin_authlog::auditor::endorse_digest(&auditor_key, &[0u8; 32]);
+    request.auditor_endorsements = vec![stale];
+    assert_eq!(
+        fx.hsms[hsm_id as usize]
+            .recover_share(&request, &mut fx.stores[hsm_id as usize], &mut rng)
+            .unwrap_err(),
+        HsmError::MissingAuditorEndorsement
+    );
+
+    // With a fresh endorsement of the certified digest: served.
+    let digest = fx.hsms[hsm_id as usize].log_digest();
+    let good = safetypin_authlog::auditor::endorse_digest(&auditor_key, &digest);
+    request.auditor_endorsements = vec![good];
+    fx.hsms[hsm_id as usize]
+        .recover_share(&request, &mut fx.stores[hsm_id as usize], &mut rng)
+        .unwrap();
+}

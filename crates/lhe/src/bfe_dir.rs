@@ -1,0 +1,184 @@
+//! The puncturable share-encryption backend: LHE over Bloom-filter
+//! encryption.
+//!
+//! The full SafetyPin protocol encrypts LHE key shares under the HSMs'
+//! *puncturable* keys (§7) so that recovery revokes decryption. The
+//! puncture tag is derived from `(username, salt)`: a client's whole
+//! backup series shares one salt (§8), so the punctures performed during
+//! one recovery revoke every earlier recovery ciphertext of that client at
+//! once.
+
+use rand::{CryptoRng, RngCore};
+use safetypin_bfe::{BfeCiphertext, BfePublicKey};
+use safetypin_primitives::hashes::{hash_parts, Domain};
+
+use crate::scheme::{Salt, SharePke};
+
+/// The puncture tag binding a client's backup series: `H(username, salt)`.
+pub fn puncture_tag(username: &[u8], salt: &Salt) -> Vec<u8> {
+    hash_parts(Domain::BloomIndex, &[b"tag", username, &salt.0]).to_vec()
+}
+
+/// A directory of the fleet's Bloom-filter-encryption public keys, fixed
+/// to one client's puncture tag.
+#[derive(Debug, Clone)]
+pub struct BfeDirectory<'a> {
+    /// BFE public keys indexed by HSM number.
+    pub keys: &'a [BfePublicKey],
+    /// The tag all share encryptions are bound to.
+    pub tag: Vec<u8>,
+}
+
+impl<'a> BfeDirectory<'a> {
+    /// Builds the directory for `(username, salt)`.
+    pub fn new(keys: &'a [BfePublicKey], username: &[u8], salt: &Salt) -> Self {
+        Self {
+            keys,
+            tag: puncture_tag(username, salt),
+        }
+    }
+}
+
+impl SharePke for BfeDirectory<'_> {
+    type Ct = BfeCiphertext;
+
+    fn encrypt_to<R: RngCore + CryptoRng>(
+        &self,
+        index: u64,
+        context: &[u8],
+        pt: &[u8],
+        rng: &mut R,
+    ) -> Self::Ct {
+        safetypin_bfe::encrypt(&self.keys[index as usize], &self.tag, context, pt, rng)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::params::LheParams;
+    use crate::scheme::{parse_share_plaintext, reconstruct, select, share_context};
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+    use safetypin_bfe::{keygen, BfeParams, BfeSecretKey};
+    use safetypin_seckv::MemStore;
+
+    #[test]
+    fn lhe_over_bfe_end_to_end_with_puncture() {
+        let mut rng = StdRng::seed_from_u64(4242);
+        let params = LheParams::new(16, 6, 3, 10_000).unwrap();
+        let bfe_params = BfeParams::new(128, 3).unwrap();
+        let mut stores: Vec<MemStore> = (0..16).map(|_| MemStore::new()).collect();
+        let mut pks = Vec::new();
+        let mut sks: Vec<BfeSecretKey> = Vec::new();
+        for store in stores.iter_mut() {
+            let (pk, sk, _) = keygen(bfe_params, store, &mut rng).unwrap();
+            pks.push(pk);
+            sks.push(sk);
+        }
+
+        let salt = crate::scheme::Salt::random(&mut rng);
+        let dir = BfeDirectory::new(&pks, b"carol", &salt);
+        let ct = crate::scheme::encrypt_with_salt(
+            &params, &dir, b"carol", b"123456", salt, 0, b"device key", &mut rng,
+        )
+        .unwrap();
+
+        // Recover: group cluster positions by HSM (sampling is with
+        // replacement); each HSM decrypts all of its shares, then
+        // punctures once.
+        let cluster = select(&params, &ct.salt, b"123456");
+        let tag = puncture_tag(b"carol", &ct.salt);
+        let context = share_context(b"carol", &ct.salt);
+        let mut by_hsm: std::collections::BTreeMap<u64, Vec<usize>> = Default::default();
+        for (j, &i) in cluster.iter().enumerate() {
+            by_hsm.entry(i).or_default().push(j);
+        }
+        let mut shares = Vec::new();
+        for (&i, positions) in &by_hsm {
+            for &j in positions {
+                let (pt, _) = sks[i as usize]
+                    .decrypt(&mut stores[i as usize], &tag, &context, &ct.share_cts[j])
+                    .unwrap();
+                shares.push(parse_share_plaintext(&pt, b"carol").unwrap());
+            }
+            sks[i as usize]
+                .puncture(&mut stores[i as usize], &tag, &mut rng)
+                .unwrap();
+        }
+        let msg = reconstruct(&params, b"carol", &ct, &shares[..3]).unwrap();
+        assert_eq!(msg, b"device key");
+
+        // Forward secrecy: after the punctures, nobody can decrypt the
+        // same recovery ciphertext again — even with full HSM state.
+        for (j, &i) in cluster.iter().enumerate() {
+            assert!(sks[i as usize]
+                .decrypt(&mut stores[i as usize], &tag, &context, &ct.share_cts[j])
+                .is_err());
+        }
+    }
+
+    #[test]
+    fn same_series_revoked_by_one_recovery() {
+        // Two backups with the same salt: recovering (and puncturing) once
+        // kills both (§8, "Multiple recovery ciphertexts").
+        let mut rng = StdRng::seed_from_u64(99);
+        let params = LheParams::new(8, 4, 2, 10_000).unwrap();
+        let bfe_params = BfeParams::new(64, 3).unwrap();
+        let mut stores: Vec<MemStore> = (0..8).map(|_| MemStore::new()).collect();
+        let mut pks = Vec::new();
+        let mut sks = Vec::new();
+        for store in stores.iter_mut() {
+            let (pk, sk, _) = keygen(bfe_params, store, &mut rng).unwrap();
+            pks.push(pk);
+            sks.push(sk);
+        }
+        let salt = crate::scheme::Salt::random(&mut rng);
+        let dir = BfeDirectory::new(&pks, b"dave", &salt);
+        let ct_old = crate::scheme::encrypt_with_salt(
+            &params, &dir, b"dave", b"0000", salt, 0, b"old backup", &mut rng,
+        )
+        .unwrap();
+        let ct_new = crate::scheme::encrypt_with_salt(
+            &params, &dir, b"dave", b"0000", salt, 0, b"new backup", &mut rng,
+        )
+        .unwrap();
+
+        let cluster = select(&params, &salt, b"0000");
+        let tag = puncture_tag(b"dave", &salt);
+        let context = share_context(b"dave", &salt);
+        // Recover the NEW backup. The cluster is sampled with replacement,
+        // so group positions by HSM: each HSM decrypts all of its shares
+        // first, then punctures once.
+        let mut by_hsm: std::collections::BTreeMap<u64, Vec<usize>> = Default::default();
+        for (j, &i) in cluster.iter().enumerate() {
+            by_hsm.entry(i).or_default().push(j);
+        }
+        for (&i, positions) in &by_hsm {
+            for &j in positions {
+                let _ = sks[i as usize]
+                    .decrypt(&mut stores[i as usize], &tag, &context, &ct_new.share_cts[j])
+                    .unwrap();
+            }
+            sks[i as usize]
+                .puncture(&mut stores[i as usize], &tag, &mut rng)
+                .unwrap();
+        }
+        // The OLD backup is now unrecoverable too.
+        for (j, &i) in cluster.iter().enumerate() {
+            assert!(sks[i as usize]
+                .decrypt(&mut stores[i as usize], &tag, &context, &ct_old.share_cts[j])
+                .is_err());
+        }
+    }
+
+    #[test]
+    fn puncture_tag_distinct_per_user_and_salt() {
+        let mut rng = StdRng::seed_from_u64(1);
+        let s1 = Salt::random(&mut rng);
+        let s2 = Salt::random(&mut rng);
+        assert_eq!(puncture_tag(b"u", &s1), puncture_tag(b"u", &s1));
+        assert_ne!(puncture_tag(b"u", &s1), puncture_tag(b"u", &s2));
+        assert_ne!(puncture_tag(b"u", &s1), puncture_tag(b"v", &s1));
+    }
+}

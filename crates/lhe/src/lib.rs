@@ -1,0 +1,45 @@
+//! Location-hiding encryption — SafetyPin's core primitive (paper §5,
+//! Appendix A, Figure 15).
+//!
+//! The client encrypts its backup to a *hidden* cluster of `n` HSMs out of
+//! the `N` in the datacenter. Which cluster is determined by hashing the
+//! client's salt and PIN; because the underlying public-key encryption is
+//! key-private, the resulting ciphertext reveals nothing about the cluster.
+//! An attacker must therefore either guess the PIN or compromise a constant
+//! fraction of *all* HSMs — compromising `f_secret·N` random HSMs only
+//! helps if at least `t = n/2` of them happen to land in the right cluster,
+//! which Lemma 8 bounds to be negligible for `N > e·n ≥ 271n`.
+//!
+//! Construction (Figure 15):
+//!
+//! 1. sample salt, compute cluster indices `(i₁…iₙ) = Hash(salt, pin)`;
+//! 2. sample a transport key `k`, AEAD-encrypt the message under `k`;
+//! 3. split `k` into `t`-of-`n` Shamir shares;
+//! 4. encrypt share `j` (prefixed with the username, §4.1) to HSM `i_j`'s
+//!    public key.
+//!
+//! Decryption recomputes the indices from the PIN — the client never sends
+//! the PIN anywhere; *contacting the right cluster is the proof of
+//! knowledge*.
+//!
+//! The share encryption is generic over [`SharePke`] so the same LHE logic
+//! runs over plain hashed ElGamal (the Figure 15 instantiation, provided
+//! here as [`ElGamalDirectory`]) and over the puncturable Bloom-filter
+//! encryption that the full protocol uses for forward secrecy (§7).
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod bfe_dir;
+pub mod params;
+pub mod scheme;
+
+pub use bfe_dir::{puncture_tag, BfeDirectory};
+pub use params::LheParams;
+pub use scheme::{
+    decrypt_share, encrypt, encrypt_with_salt, parse_share_plaintext, reconstruct,
+    reconstruct_robust, select, ElGamalDirectory, LheCiphertext, Salt, SharePke,
+};
+
+/// Convenience alias for results in this crate.
+pub type Result<T> = core::result::Result<T, safetypin_primitives::CryptoError>;

@@ -1,0 +1,477 @@
+//! BLS multisignatures with proof-of-possession over BLS12-381.
+//!
+//! The distributed log (paper §6.2, Figure 5) has every online HSM sign the
+//! tuple `(d, d', R)` after auditing its chunks; the service provider
+//! aggregates the signatures into a single constant-size signature that each
+//! HSM verifies against the fleet's aggregate public key. The paper uses
+//! BLS-style multisignatures [Boneh–Drijvers–Neven] over BLS12-381.
+//!
+//! Construction (the "same-message multisignature" variant):
+//!
+//! - secret key `x ∈ Fr`, public key `X = g2^x ∈ G2`
+//! - signature on message `m`: `σ = H(m)^x ∈ G1`
+//! - aggregation: `σ_agg = Π σ_i`, `X_agg = Π X_i`
+//! - verification: `e(σ_agg, g2) = e(H(m), X_agg)`
+//!
+//! Rogue-key attacks are prevented with proofs of possession: each HSM
+//! publishes `pop = H_pop(X)^x` at enrollment, and verifiers only aggregate
+//! keys whose PoP has been checked.
+//!
+//! Hash-to-G1 is implemented from scratch by try-and-increment over
+//! compressed encodings followed by cofactor clearing; only the curve
+//! arithmetic comes from the `bls12_381` crate.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+use bls12_381::{multi_miller_loop, pairing};
+use bls12_381::{G1Affine, G1Projective, G2Affine, G2Prepared, G2Projective, Scalar};
+use rand::{CryptoRng, RngCore};
+use safetypin_primitives::error::WireError;
+use safetypin_primitives::hashes::{hash_parts, Domain};
+use safetypin_primitives::wire::{Decode, Encode, Reader, Writer};
+use safetypin_primitives::{CryptoError, Result};
+
+/// Compressed G1 encoding length (signatures).
+pub const SIG_LEN: usize = 48;
+/// Compressed G2 encoding length (public keys).
+pub const PK_LEN: usize = 96;
+
+/// Hashes arbitrary bytes to a G1 subgroup element.
+///
+/// Try-and-increment: derive 48 candidate bytes per counter value from the
+/// domain-separated hash, force the SEC-style compression flag bits, attempt
+/// decompression (on-curve check), and clear the cofactor. Expected ~2.5
+/// attempts per call. Constant-time behaviour is *not* required here: every
+/// input hashed to the curve in SafetyPin is public (log digests, public
+/// keys).
+pub fn hash_to_g1(domain: Domain, msg: &[u8]) -> G1Projective {
+    for counter in 0u64..u64::MAX {
+        let h1 = hash_parts(domain, &[b"h2c-0", msg, &counter.to_be_bytes()]);
+        let h2 = hash_parts(domain, &[b"h2c-1", msg, &counter.to_be_bytes()]);
+        let mut candidate = [0u8; SIG_LEN];
+        candidate[..32].copy_from_slice(&h1);
+        candidate[32..].copy_from_slice(&h2[..16]);
+        // Compression flag set, infinity flag clear; keep the hash-derived
+        // y-sign bit (0x20) as-is for an extra bit of variability.
+        candidate[0] |= 0x80;
+        candidate[0] &= !0x40;
+        let decoded = G1Affine::from_compressed_unchecked(&candidate);
+        if bool::from(decoded.is_some()) {
+            let point = G1Projective::from(decoded.unwrap()).clear_cofactor();
+            if !bool::from(point.is_identity()) {
+                return point;
+            }
+        }
+    }
+    unreachable!("try-and-increment cannot exhaust a u64 counter")
+}
+
+fn random_scalar<R: RngCore + CryptoRng>(rng: &mut R) -> Scalar {
+    let mut wide = [0u8; 64];
+    rng.fill_bytes(&mut wide);
+    Scalar::from_bytes_wide(&wide)
+}
+
+/// A BLS verification (public) key in G2.
+#[derive(Clone, Copy, PartialEq, Eq)]
+pub struct VerifyKey(G2Projective);
+
+impl core::fmt::Debug for VerifyKey {
+    fn fmt(&self, f: &mut core::fmt::Formatter<'_>) -> core::fmt::Result {
+        let b = self.to_bytes_raw();
+        write!(f, "VerifyKey({:02x}{:02x}..)", b[0], b[1])
+    }
+}
+
+impl VerifyKey {
+    /// Compressed 96-byte encoding.
+    pub fn to_bytes_raw(&self) -> [u8; PK_LEN] {
+        G2Affine::from(&self.0).to_compressed()
+    }
+
+    /// Parses a compressed encoding; enforces subgroup membership and
+    /// rejects the identity.
+    pub fn from_bytes_raw(bytes: &[u8; PK_LEN]) -> Result<Self> {
+        let affine = Option::<G2Affine>::from(G2Affine::from_compressed(bytes))
+            .ok_or(CryptoError::InvalidPoint)?;
+        let point = G2Projective::from(affine);
+        if bool::from(point.is_identity()) {
+            return Err(CryptoError::InvalidPoint);
+        }
+        Ok(Self(point))
+    }
+
+    /// Verifies a plain (single-signer) signature on `msg`.
+    pub fn verify(&self, msg: &[u8], sig: &Signature) -> bool {
+        let h = hash_to_g1(Domain::MultisigMessage, msg);
+        pairing(&G1Affine::from(&sig.0), &G2Affine::generator())
+            == pairing(&G1Affine::from(&h), &G2Affine::from(&self.0))
+    }
+
+    /// Verifies a proof of possession for this key.
+    pub fn verify_possession(&self, pop: &ProofOfPossession) -> bool {
+        let h = hash_to_g1(Domain::MultisigPop, &self.to_bytes_raw());
+        pairing(&G1Affine::from(&pop.0), &G2Affine::generator())
+            == pairing(&G1Affine::from(&h), &G2Affine::from(&self.0))
+    }
+}
+
+impl Encode for VerifyKey {
+    fn encode(&self, w: &mut Writer) {
+        w.put_fixed(&self.to_bytes_raw());
+    }
+}
+
+impl Decode for VerifyKey {
+    fn decode(r: &mut Reader<'_>) -> core::result::Result<Self, WireError> {
+        let bytes: [u8; PK_LEN] = r.get_array()?;
+        VerifyKey::from_bytes_raw(&bytes).map_err(|_| WireError::InvalidTag(bytes[0]))
+    }
+}
+
+/// A BLS signing key.
+#[derive(Clone)]
+pub struct SigningKey(Scalar);
+
+impl core::fmt::Debug for SigningKey {
+    fn fmt(&self, f: &mut core::fmt::Formatter<'_>) -> core::fmt::Result {
+        write!(f, "SigningKey(<redacted>)")
+    }
+}
+
+impl SigningKey {
+    /// Samples a fresh signing key.
+    pub fn generate<R: RngCore + CryptoRng>(rng: &mut R) -> Self {
+        loop {
+            let s = random_scalar(rng);
+            if s != Scalar::zero() {
+                return Self(s);
+            }
+        }
+    }
+
+    /// Returns the matching verification key `g2^x`.
+    pub fn verify_key(&self) -> VerifyKey {
+        VerifyKey(G2Projective::generator() * self.0)
+    }
+
+    /// Signs `msg`: `σ = H(msg)^x`.
+    pub fn sign(&self, msg: &[u8]) -> Signature {
+        Signature(hash_to_g1(Domain::MultisigMessage, msg) * self.0)
+    }
+
+    /// Produces the proof of possession `H_pop(pk)^x`.
+    pub fn prove_possession(&self) -> ProofOfPossession {
+        let pk_bytes = self.verify_key().to_bytes_raw();
+        ProofOfPossession(hash_to_g1(Domain::MultisigPop, &pk_bytes) * self.0)
+    }
+
+    /// Serializes the secret scalar (for HSM-compromise modeling in tests).
+    pub fn to_bytes_raw(&self) -> [u8; 32] {
+        self.0.to_bytes()
+    }
+
+    /// Parses a serialized signing key.
+    pub fn from_bytes_raw(bytes: &[u8; 32]) -> Result<Self> {
+        let s =
+            Option::<Scalar>::from(Scalar::from_bytes(bytes)).ok_or(CryptoError::InvalidScalar)?;
+        if s == Scalar::zero() {
+            return Err(CryptoError::InvalidScalar);
+        }
+        Ok(Self(s))
+    }
+}
+
+/// A BLS signature (or aggregate signature) in G1.
+#[derive(Clone, Copy, PartialEq, Eq, Debug)]
+pub struct Signature(G1Projective);
+
+impl Signature {
+    /// Compressed 48-byte encoding.
+    pub fn to_bytes_raw(&self) -> [u8; SIG_LEN] {
+        G1Affine::from(&self.0).to_compressed()
+    }
+
+    /// Parses a compressed encoding with subgroup check.
+    pub fn from_bytes_raw(bytes: &[u8; SIG_LEN]) -> Result<Self> {
+        let affine = Option::<G1Affine>::from(G1Affine::from_compressed(bytes))
+            .ok_or(CryptoError::InvalidPoint)?;
+        Ok(Self(G1Projective::from(affine)))
+    }
+}
+
+impl Encode for Signature {
+    fn encode(&self, w: &mut Writer) {
+        w.put_fixed(&self.to_bytes_raw());
+    }
+}
+
+impl Decode for Signature {
+    fn decode(r: &mut Reader<'_>) -> core::result::Result<Self, WireError> {
+        let bytes: [u8; SIG_LEN] = r.get_array()?;
+        Signature::from_bytes_raw(&bytes).map_err(|_| WireError::InvalidTag(bytes[0]))
+    }
+}
+
+/// A proof of possession of a BLS secret key.
+#[derive(Clone, Copy, PartialEq, Eq, Debug)]
+pub struct ProofOfPossession(G1Projective);
+
+impl ProofOfPossession {
+    /// Compressed 48-byte encoding.
+    pub fn to_bytes_raw(&self) -> [u8; SIG_LEN] {
+        G1Affine::from(&self.0).to_compressed()
+    }
+
+    /// Parses a compressed encoding with subgroup check.
+    pub fn from_bytes_raw(bytes: &[u8; SIG_LEN]) -> Result<Self> {
+        let affine = Option::<G1Affine>::from(G1Affine::from_compressed(bytes))
+            .ok_or(CryptoError::InvalidPoint)?;
+        Ok(Self(G1Projective::from(affine)))
+    }
+}
+
+impl Encode for ProofOfPossession {
+    fn encode(&self, w: &mut Writer) {
+        w.put_fixed(&self.to_bytes_raw());
+    }
+}
+
+impl Decode for ProofOfPossession {
+    fn decode(r: &mut Reader<'_>) -> core::result::Result<Self, WireError> {
+        let bytes: [u8; SIG_LEN] = r.get_array()?;
+        ProofOfPossession::from_bytes_raw(&bytes).map_err(|_| WireError::InvalidTag(bytes[0]))
+    }
+}
+
+/// Aggregates signatures on the *same* message into one signature.
+///
+/// Returns `None` for an empty slice (there is no meaningful aggregate of
+/// zero signatures, and accepting one would let a malicious provider claim
+/// quorum with no signers).
+pub fn aggregate_signatures(sigs: &[Signature]) -> Option<Signature> {
+    if sigs.is_empty() {
+        return None;
+    }
+    Some(Signature(
+        sigs.iter().fold(G1Projective::identity(), |acc, s| acc + s.0),
+    ))
+}
+
+/// Aggregates verification keys; caller must have checked each key's proof
+/// of possession.
+pub fn aggregate_keys(keys: &[VerifyKey]) -> Option<VerifyKey> {
+    if keys.is_empty() {
+        return None;
+    }
+    Some(VerifyKey(
+        keys.iter().fold(G2Projective::identity(), |acc, k| acc + k.0),
+    ))
+}
+
+/// Verifies an aggregate signature on one message under the aggregate of
+/// `keys` using a single product-of-pairings check:
+/// `e(σ, -g2) · e(H(m), X_agg) = 1`.
+pub fn verify_aggregate(keys: &[VerifyKey], msg: &[u8], sig: &Signature) -> bool {
+    let Some(agg_key) = aggregate_keys(keys) else {
+        return false;
+    };
+    let h = G1Affine::from(hash_to_g1(Domain::MultisigMessage, msg));
+    let sig_affine = G1Affine::from(&sig.0);
+    let neg_g2 = G2Prepared::from(-G2Affine::generator());
+    let agg_g2 = G2Prepared::from(G2Affine::from(&agg_key.0));
+    let result = multi_miller_loop(&[(&sig_affine, &neg_g2), (&h, &agg_g2)]).final_exponentiation();
+    bool::from(result.is_identity())
+}
+
+// `Group::identity()`/`is_identity` come from the `group` trait crate
+// (bls12_381's own trait layer).
+use group::Group;
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    fn rng() -> StdRng {
+        StdRng::seed_from_u64(1234)
+    }
+
+    #[test]
+    fn single_sign_verify() {
+        let mut rng = rng();
+        let sk = SigningKey::generate(&mut rng);
+        let vk = sk.verify_key();
+        let sig = sk.sign(b"digest transition");
+        assert!(vk.verify(b"digest transition", &sig));
+        assert!(!vk.verify(b"another message", &sig));
+    }
+
+    #[test]
+    fn wrong_key_rejects() {
+        let mut rng = rng();
+        let sk1 = SigningKey::generate(&mut rng);
+        let sk2 = SigningKey::generate(&mut rng);
+        let sig = sk1.sign(b"msg");
+        assert!(!sk2.verify_key().verify(b"msg", &sig));
+    }
+
+    #[test]
+    fn aggregate_of_three_verifies() {
+        let mut rng = rng();
+        let keys: Vec<SigningKey> = (0..3).map(|_| SigningKey::generate(&mut rng)).collect();
+        let vks: Vec<VerifyKey> = keys.iter().map(|k| k.verify_key()).collect();
+        let msg = b"(d, d', R)";
+        let sigs: Vec<Signature> = keys.iter().map(|k| k.sign(msg)).collect();
+        let agg = aggregate_signatures(&sigs).unwrap();
+        assert!(verify_aggregate(&vks, msg, &agg));
+    }
+
+    #[test]
+    fn aggregate_missing_signer_rejected() {
+        let mut rng = rng();
+        let keys: Vec<SigningKey> = (0..3).map(|_| SigningKey::generate(&mut rng)).collect();
+        let vks: Vec<VerifyKey> = keys.iter().map(|k| k.verify_key()).collect();
+        let msg = b"m";
+        // Only two of three sign.
+        let sigs: Vec<Signature> = keys[..2].iter().map(|k| k.sign(msg)).collect();
+        let agg = aggregate_signatures(&sigs).unwrap();
+        assert!(!verify_aggregate(&vks, msg, &agg));
+        // But it verifies against the matching two-key set.
+        assert!(verify_aggregate(&vks[..2], msg, &agg));
+    }
+
+    #[test]
+    fn aggregate_wrong_message_rejected() {
+        let mut rng = rng();
+        let keys: Vec<SigningKey> = (0..2).map(|_| SigningKey::generate(&mut rng)).collect();
+        let vks: Vec<VerifyKey> = keys.iter().map(|k| k.verify_key()).collect();
+        let sigs: Vec<Signature> = keys.iter().map(|k| k.sign(b"m1")).collect();
+        let agg = aggregate_signatures(&sigs).unwrap();
+        assert!(!verify_aggregate(&vks, b"m2", &agg));
+    }
+
+    #[test]
+    fn empty_aggregate_is_none() {
+        assert!(aggregate_signatures(&[]).is_none());
+        assert!(aggregate_keys(&[]).is_none());
+        let mut rng = rng();
+        let sk = SigningKey::generate(&mut rng);
+        assert!(!verify_aggregate(&[], b"m", &sk.sign(b"m")));
+    }
+
+    #[test]
+    fn proof_of_possession_roundtrip() {
+        let mut rng = rng();
+        let sk = SigningKey::generate(&mut rng);
+        let pop = sk.prove_possession();
+        assert!(sk.verify_key().verify_possession(&pop));
+        // Another key's PoP does not transfer.
+        let other = SigningKey::generate(&mut rng);
+        assert!(!other.verify_key().verify_possession(&pop));
+    }
+
+    #[test]
+    fn pop_is_not_a_message_signature() {
+        // Domain separation: a PoP must not verify as a signature on the
+        // pk bytes, and vice versa.
+        let mut rng = rng();
+        let sk = SigningKey::generate(&mut rng);
+        let vk = sk.verify_key();
+        let pop = sk.prove_possession();
+        let as_sig = Signature(pop.0);
+        assert!(!vk.verify(&vk.to_bytes_raw(), &as_sig));
+    }
+
+    #[test]
+    fn hash_to_g1_deterministic_and_distinct() {
+        let a = hash_to_g1(Domain::MultisigMessage, b"x");
+        let b = hash_to_g1(Domain::MultisigMessage, b"x");
+        let c = hash_to_g1(Domain::MultisigMessage, b"y");
+        assert_eq!(a, b);
+        assert_ne!(a, c);
+        assert!(!bool::from(a.is_identity()));
+    }
+
+    #[test]
+    fn hash_to_g1_in_subgroup() {
+        // The scalar field order annihilates subgroup elements:
+        // (r-1)·P + P = r·P = O.
+        let p = hash_to_g1(Domain::MultisigMessage, b"subgroup check");
+        let r_minus_1 = Scalar::zero() - Scalar::one();
+        let sum = p * r_minus_1 + p;
+        assert!(bool::from(sum.is_identity()));
+    }
+
+    #[test]
+    fn serialization_roundtrips() {
+        let mut rng = rng();
+        let sk = SigningKey::generate(&mut rng);
+        let vk = sk.verify_key();
+        let sig = sk.sign(b"m");
+        let pop = sk.prove_possession();
+
+        assert_eq!(VerifyKey::from_bytes_raw(&vk.to_bytes_raw()).unwrap(), vk);
+        assert_eq!(Signature::from_bytes_raw(&sig.to_bytes_raw()).unwrap(), sig);
+        assert_eq!(
+            ProofOfPossession::from_bytes_raw(&pop.to_bytes_raw()).unwrap(),
+            pop
+        );
+        assert_eq!(
+            SigningKey::from_bytes_raw(&sk.to_bytes_raw())
+                .unwrap()
+                .verify_key(),
+            vk
+        );
+    }
+
+    #[test]
+    fn wire_roundtrips() {
+        let mut rng = rng();
+        let sk = SigningKey::generate(&mut rng);
+        let vk = sk.verify_key();
+        let sig = sk.sign(b"m");
+        assert_eq!(VerifyKey::from_bytes(&vk.to_bytes()).unwrap(), vk);
+        assert_eq!(Signature::from_bytes(&sig.to_bytes()).unwrap(), sig);
+    }
+
+    #[test]
+    fn garbage_key_bytes_rejected() {
+        let mut bytes = [0xffu8; PK_LEN];
+        assert!(VerifyKey::from_bytes_raw(&bytes).is_err());
+        bytes = [0u8; PK_LEN];
+        assert!(VerifyKey::from_bytes_raw(&bytes).is_err());
+    }
+
+    #[test]
+    fn rogue_key_attack_blocked_by_pop() {
+        // Classic rogue-key: attacker sets X_rogue = g2^x − X_target,
+        // making the aggregate key equal g2^x, so the attacker alone can
+        // forge "multisignatures". The PoP check defeats this because the
+        // attacker cannot sign H_pop(X_rogue) without knowing the discrete
+        // log of X_rogue.
+        let mut rng = rng();
+        let target = SigningKey::generate(&mut rng);
+        let attacker_scalar = random_scalar(&mut rng);
+        let rogue_point = G2Projective::generator() * attacker_scalar - target.verify_key().0;
+        let rogue_vk = VerifyKey(rogue_point);
+
+        // The forged aggregate verifies without PoP checks...
+        let msg = b"forged quorum";
+        let forged = Signature(hash_to_g1(Domain::MultisigMessage, msg) * attacker_scalar);
+        assert!(verify_aggregate(
+            &[target.verify_key(), rogue_vk],
+            msg,
+            &forged
+        ));
+
+        // ...but the attacker cannot produce a valid PoP for the rogue key:
+        // any PoP they can compute from known scalars fails.
+        let fake_pop = ProofOfPossession(
+            hash_to_g1(Domain::MultisigPop, &rogue_vk.to_bytes_raw()) * attacker_scalar,
+        );
+        assert!(!rogue_vk.verify_possession(&fake_pop));
+    }
+}

@@ -1,0 +1,90 @@
+//! Unified error type for the cryptographic substrate.
+
+use core::fmt;
+
+/// Errors produced by the primitives in this crate.
+///
+/// Variants deliberately carry no secret-dependent data: decryption failures
+/// are reported without distinguishing *why* authentication failed, matching
+/// the paper's use of authenticated encryption as an opaque ideal primitive.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum CryptoError {
+    /// An AEAD open or public-key decryption failed authentication.
+    DecryptionFailed,
+    /// A byte string did not decode to a valid curve point.
+    InvalidPoint,
+    /// A byte string did not decode to a valid scalar.
+    InvalidScalar,
+    /// Shamir reconstruction was attempted with fewer than `t` shares.
+    NotEnoughShares {
+        /// Shares required by the sharing threshold.
+        needed: usize,
+        /// Shares actually supplied.
+        got: usize,
+    },
+    /// Two shares with the same evaluation index were supplied.
+    DuplicateShare(u8),
+    /// A share had an invalid index (index 0 encodes the secret itself).
+    InvalidShareIndex,
+    /// Share payloads had inconsistent lengths.
+    ShareLengthMismatch,
+    /// A commitment opening did not match the commitment.
+    BadCommitmentOpening,
+    /// A serialized object was malformed.
+    Wire(WireError),
+    /// A parameter was outside its documented range.
+    InvalidParameter(&'static str),
+}
+
+impl fmt::Display for CryptoError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            CryptoError::DecryptionFailed => write!(f, "decryption failed"),
+            CryptoError::InvalidPoint => write!(f, "invalid curve point encoding"),
+            CryptoError::InvalidScalar => write!(f, "invalid scalar encoding"),
+            CryptoError::NotEnoughShares { needed, got } => {
+                write!(f, "not enough shares: needed {needed}, got {got}")
+            }
+            CryptoError::DuplicateShare(idx) => write!(f, "duplicate share index {idx}"),
+            CryptoError::InvalidShareIndex => write!(f, "invalid share index"),
+            CryptoError::ShareLengthMismatch => write!(f, "share payload lengths differ"),
+            CryptoError::BadCommitmentOpening => write!(f, "commitment opening mismatch"),
+            CryptoError::Wire(e) => write!(f, "wire format error: {e}"),
+            CryptoError::InvalidParameter(what) => write!(f, "invalid parameter: {what}"),
+        }
+    }
+}
+
+impl std::error::Error for CryptoError {}
+
+impl From<WireError> for CryptoError {
+    fn from(e: WireError) -> Self {
+        CryptoError::Wire(e)
+    }
+}
+
+/// Errors produced while decoding the length-prefixed wire format.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum WireError {
+    /// The reader ran out of bytes.
+    UnexpectedEof,
+    /// A length prefix exceeded the remaining input or a sanity limit.
+    LengthOutOfRange,
+    /// A tag or discriminant byte had no defined meaning.
+    InvalidTag(u8),
+    /// Input remained after the top-level object was decoded.
+    TrailingBytes,
+}
+
+impl fmt::Display for WireError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            WireError::UnexpectedEof => write!(f, "unexpected end of input"),
+            WireError::LengthOutOfRange => write!(f, "length prefix out of range"),
+            WireError::InvalidTag(t) => write!(f, "invalid tag byte {t:#04x}"),
+            WireError::TrailingBytes => write!(f, "trailing bytes after object"),
+        }
+    }
+}
+
+impl std::error::Error for WireError {}

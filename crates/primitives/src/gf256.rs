@@ -1,0 +1,171 @@
+//! Arithmetic in GF(2^8), the field underlying our Shamir secret sharing.
+//!
+//! We use the AES field polynomial x^8 + x^4 + x^3 + x + 1 (0x11b).
+//! Multiplication and inversion go through log/antilog tables built at
+//! first use from generator 0x03, giving constant-time-ish table lookups
+//! and making every nonzero element expressible as a power of the
+//! generator.
+//!
+//! Sharing each byte of a secret independently over GF(2^8) is the classic
+//! construction used by SLIP-0039 and HashiCorp Vault; it supports secrets
+//! of any byte length with shares of the same length, which is what the
+//! paper's `ShamirShare_F` over the AEAD keyspace needs.
+
+/// Element count of the field.
+pub const FIELD_SIZE: usize = 256;
+
+/// Log/antilog tables for GF(2^8) with the AES polynomial.
+struct Tables {
+    log: [u8; FIELD_SIZE],
+    exp: [u8; FIELD_SIZE * 2],
+}
+
+fn tables() -> &'static Tables {
+    use std::sync::OnceLock;
+    static TABLES: OnceLock<Tables> = OnceLock::new();
+    TABLES.get_or_init(|| {
+        let mut log = [0u8; FIELD_SIZE];
+        let mut exp = [0u8; FIELD_SIZE * 2];
+        let mut x: u16 = 1;
+        #[allow(clippy::needless_range_loop)] // i is both exponent and index
+        for i in 0..255 {
+            exp[i] = x as u8;
+            log[x as usize] = i as u8;
+            // Multiply x by the generator 0x03 = x + 1 in the field:
+            // x*3 = (x << 1) ^ x, reduced mod 0x11b.
+            x = (x << 1) ^ x;
+            if x & 0x100 != 0 {
+                x ^= 0x11b;
+            }
+        }
+        // Duplicate the exp table so exp[a + b] needs no mod 255.
+        for i in 255..FIELD_SIZE * 2 {
+            exp[i] = exp[i - 255];
+        }
+        Tables { log, exp }
+    })
+}
+
+/// Adds two field elements (XOR).
+#[inline]
+pub fn add(a: u8, b: u8) -> u8 {
+    a ^ b
+}
+
+/// Multiplies two field elements.
+#[inline]
+pub fn mul(a: u8, b: u8) -> u8 {
+    if a == 0 || b == 0 {
+        return 0;
+    }
+    let t = tables();
+    t.exp[t.log[a as usize] as usize + t.log[b as usize] as usize]
+}
+
+/// Returns the multiplicative inverse of a nonzero element.
+///
+/// # Panics
+///
+/// Panics if `a == 0`; zero has no inverse and callers are expected to
+/// guard against it (Shamir evaluation points are always nonzero).
+#[inline]
+pub fn inv(a: u8) -> u8 {
+    assert!(a != 0, "zero has no inverse in GF(2^8)");
+    let t = tables();
+    t.exp[255 - t.log[a as usize] as usize]
+}
+
+/// Divides `a` by nonzero `b`.
+#[inline]
+pub fn div(a: u8, b: u8) -> u8 {
+    mul(a, inv(b))
+}
+
+/// Evaluates the polynomial `coeffs[0] + coeffs[1]·x + …` at `x` via Horner.
+pub fn poly_eval(coeffs: &[u8], x: u8) -> u8 {
+    let mut acc = 0u8;
+    for &c in coeffs.iter().rev() {
+        acc = add(mul(acc, x), c);
+    }
+    acc
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn mul_matches_schoolbook() {
+        // Reference: carry-less multiply then reduce by 0x11b.
+        fn slow_mul(mut a: u8, mut b: u8) -> u8 {
+            let mut acc = 0u8;
+            while b != 0 {
+                if b & 1 != 0 {
+                    acc ^= a;
+                }
+                let hi = a & 0x80 != 0;
+                a <<= 1;
+                if hi {
+                    a ^= 0x1b;
+                }
+                b >>= 1;
+            }
+            acc
+        }
+        for a in 0..=255u8 {
+            for b in [0u8, 1, 2, 3, 5, 7, 19, 88, 127, 128, 200, 255] {
+                assert_eq!(mul(a, b), slow_mul(a, b), "a={a} b={b}");
+            }
+        }
+    }
+
+    #[test]
+    fn field_axioms_spot_check() {
+        for a in 1..=255u8 {
+            assert_eq!(mul(a, inv(a)), 1, "a·a⁻¹ = 1 for a={a}");
+            assert_eq!(mul(a, 1), a);
+            assert_eq!(mul(a, 0), 0);
+            assert_eq!(add(a, a), 0, "characteristic 2");
+        }
+    }
+
+    #[test]
+    fn mul_commutative_associative() {
+        let samples = [1u8, 2, 3, 17, 91, 130, 255];
+        for &a in &samples {
+            for &b in &samples {
+                assert_eq!(mul(a, b), mul(b, a));
+                for &c in &samples {
+                    assert_eq!(mul(mul(a, b), c), mul(a, mul(b, c)));
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn distributivity_spot_check() {
+        let samples = [1u8, 5, 33, 129, 254];
+        for &a in &samples {
+            for &b in &samples {
+                for &c in &samples {
+                    assert_eq!(mul(a, add(b, c)), add(mul(a, b), mul(a, c)));
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn poly_eval_constant_and_linear() {
+        assert_eq!(poly_eval(&[42], 7), 42);
+        // p(x) = 3 + 2x at x=5 → 3 ^ mul(2,5).
+        assert_eq!(poly_eval(&[3, 2], 5), add(3, mul(2, 5)));
+        // At x=0 evaluation returns the constant term.
+        assert_eq!(poly_eval(&[9, 200, 13], 0), 9);
+    }
+
+    #[test]
+    #[should_panic(expected = "zero has no inverse")]
+    fn inv_zero_panics() {
+        inv(0);
+    }
+}

@@ -1,0 +1,370 @@
+//! The service provider / datacenter (paper §2, §4, §6.2).
+//!
+//! The datacenter physically hosts the HSM fleet, the outsourced
+//! block stores backing each HSM's Bloom-filter-encryption secret array,
+//! and the full log state. It batches client log insertions into epochs,
+//! runs the Figure 5 update protocol (including the Appendix B.3 re-audit
+//! path when HSMs fail mid-epoch), aggregates the HSMs' BLS signatures,
+//! serves inclusion proofs, routes recovery requests, and keeps copies of
+//! recovery replies for the failure-during-recovery flow (§8).
+//!
+//! The provider is **untrusted** in SafetyPin's threat model: every check
+//! that matters runs on the HSMs or the client. This crate's tests play
+//! both roles — the honest orchestrator and the cheating provider the
+//! HSMs must catch.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+use rand::{CryptoRng, RngCore};
+use safetypin_authlog::distributed::{EpochUpdate, UpdateMessage};
+use safetypin_authlog::log::{Log, LogEntry, LogError};
+use safetypin_authlog::trie::InclusionProof;
+use safetypin_hsm::{EnrollmentRecord, Hsm, HsmConfig, HsmError, RecoveryRequest, RecoveryResponse};
+use safetypin_multisig::{aggregate_signatures, Signature};
+use safetypin_seckv::MemStore;
+use safetypin_sim::OpCosts;
+
+/// Errors from datacenter orchestration.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum ProviderError {
+    /// Log-insertion failure (duplicate identifier = recovery attempt
+    /// already consumed).
+    Log(LogError),
+    /// The epoch protocol could not assemble a quorum.
+    EpochFailed(&'static str),
+    /// No HSM with that id.
+    UnknownHsm(u64),
+    /// An HSM refused an operation.
+    Hsm(HsmError),
+}
+
+impl core::fmt::Display for ProviderError {
+    fn fmt(&self, f: &mut core::fmt::Formatter<'_>) -> core::fmt::Result {
+        match self {
+            ProviderError::Log(e) => write!(f, "log error: {e}"),
+            ProviderError::EpochFailed(why) => write!(f, "epoch failed: {why}"),
+            ProviderError::UnknownHsm(id) => write!(f, "unknown HSM {id}"),
+            ProviderError::Hsm(e) => write!(f, "HSM error: {e}"),
+        }
+    }
+}
+
+impl std::error::Error for ProviderError {}
+
+impl From<LogError> for ProviderError {
+    fn from(e: LogError) -> Self {
+        ProviderError::Log(e)
+    }
+}
+
+impl From<HsmError> for ProviderError {
+    fn from(e: HsmError) -> Self {
+        ProviderError::Hsm(e)
+    }
+}
+
+/// The outcome of one epoch update.
+#[derive(Debug, Clone)]
+pub struct EpochOutcome {
+    /// The certified message `(d, d', R, K)`.
+    pub message: UpdateMessage,
+    /// Fleet indices that signed.
+    pub signers: Vec<usize>,
+    /// The aggregate signature.
+    pub aggregate: Signature,
+    /// HSMs skipped because they had failed.
+    pub skipped: Vec<u64>,
+    /// Total audit bytes shipped to HSMs this epoch (bandwidth
+    /// accounting for Figure 8).
+    pub audit_bytes: u64,
+}
+
+/// The datacenter: HSM fleet + outsourced stores + log state.
+pub struct Datacenter {
+    hsms: Vec<Hsm>,
+    stores: Vec<MemStore>,
+    log: Log,
+    archived_logs: Vec<Vec<LogEntry>>,
+    update_history: Vec<UpdateMessage>,
+    reply_copies: Vec<(Vec<u8>, RecoveryResponse)>,
+    epoch_chunks: usize,
+}
+
+impl Datacenter {
+    /// Provisions a fleet of `total` HSMs and registers the fleet keys on
+    /// every device (each HSM verifies every proof of possession itself).
+    pub fn provision<R: RngCore + CryptoRng>(
+        total: u64,
+        config_for: impl Fn(u64) -> HsmConfig,
+        rng: &mut R,
+    ) -> Result<Self, ProviderError> {
+        let mut hsms = Vec::with_capacity(total as usize);
+        let mut stores = Vec::with_capacity(total as usize);
+        for id in 0..total {
+            let mut store = MemStore::new();
+            let hsm = Hsm::provision(config_for(id), &mut store, rng)?;
+            hsms.push(hsm);
+            stores.push(store);
+        }
+        let fleet: Vec<_> = hsms
+            .iter()
+            .map(|h| {
+                let e = h.enrollment();
+                (e.sig_vk, e.sig_pop)
+            })
+            .collect();
+        for h in hsms.iter_mut() {
+            h.register_fleet(&fleet)?;
+        }
+        let epoch_chunks = hsms.len();
+        Ok(Self {
+            hsms,
+            stores,
+            log: Log::new(),
+            archived_logs: Vec::new(),
+            update_history: Vec::new(),
+            reply_copies: Vec::new(),
+            epoch_chunks,
+        })
+    }
+
+    /// Number of HSMs in the fleet.
+    pub fn fleet_size(&self) -> usize {
+        self.hsms.len()
+    }
+
+    /// The published enrollment records — what a client downloads as the
+    /// "master public key" `mpk` (§3).
+    pub fn enrollments(&self) -> Vec<EnrollmentRecord> {
+        self.hsms.iter().map(|h| h.enrollment()).collect()
+    }
+
+    /// Read access to one HSM (experiments).
+    pub fn hsm(&self, id: u64) -> Result<&Hsm, ProviderError> {
+        self.hsms
+            .get(id as usize)
+            .ok_or(ProviderError::UnknownHsm(id))
+    }
+
+    /// Mutable access to one HSM (failure/compromise injection).
+    pub fn hsm_mut(&mut self, id: u64) -> Result<&mut Hsm, ProviderError> {
+        self.hsms
+            .get_mut(id as usize)
+            .ok_or(ProviderError::UnknownHsm(id))
+    }
+
+    /// The full current log (external auditors, §6.3).
+    pub fn log_entries(&self) -> &[LogEntry] {
+        self.log.entries()
+    }
+
+    /// Archived (garbage-collected) logs, oldest first.
+    pub fn archived_logs(&self) -> &[Vec<LogEntry>] {
+        &self.archived_logs
+    }
+
+    /// History of certified update messages.
+    pub fn update_history(&self) -> &[UpdateMessage] {
+        &self.update_history
+    }
+
+    /// Accepts a client's log-insertion request (Figure 3, step 3).
+    pub fn insert_log(&mut self, id: &[u8], value: &[u8]) -> Result<(), ProviderError> {
+        self.log.insert(id, value)?;
+        Ok(())
+    }
+
+    /// Serves an inclusion proof (Figure 3, step 5). Valid against the
+    /// digest the HSMs hold once the covering epoch has run.
+    pub fn prove_inclusion(&self, id: &[u8], value: &[u8]) -> Option<InclusionProof> {
+        self.log.prove_includes(id, value)
+    }
+
+    /// Runs the Figure 5 epoch-update protocol: cut, commit, audit
+    /// (including B.3 re-audits for failed HSMs), aggregate, distribute.
+    pub fn run_epoch(&mut self) -> Result<EpochOutcome, ProviderError> {
+        let cut = self.log.cut_epoch(self.epoch_chunks);
+        let update =
+            EpochUpdate::build(&cut).map_err(|_| ProviderError::EpochFailed("broken chain"))?;
+        let message = update.message();
+
+        let active_ids: Vec<u64> = self
+            .hsms
+            .iter()
+            .filter(|h| h.status() != safetypin_hsm::HsmStatus::Failed)
+            .map(|h| h.id())
+            .collect();
+        let failed_ids: Vec<u64> = self
+            .hsms
+            .iter()
+            .filter(|h| h.status() == safetypin_hsm::HsmStatus::Failed)
+            .map(|h| h.id())
+            .collect();
+        if active_ids.is_empty() {
+            return Err(ProviderError::EpochFailed("no active HSMs"));
+        }
+
+        let mut sigs = Vec::new();
+        let mut signers = Vec::new();
+        let mut audit_bytes = 0u64;
+        for idx in 0..self.hsms.len() {
+            let hsm = &mut self.hsms[idx];
+            if hsm.status() == safetypin_hsm::HsmStatus::Failed {
+                continue;
+            }
+            let mut chunks: std::collections::BTreeSet<u32> =
+                hsm.audit_assignment(&message).into_iter().collect();
+            chunks.extend(safetypin_authlog::distributed::reaudit_chunks_for(
+                hsm.id(),
+                &active_ids,
+                &failed_ids,
+                &message.root,
+                message.chunk_count,
+                hsm.audits_per_epoch(),
+            ));
+            let packages: Vec<_> = chunks
+                .iter()
+                .map(|&c| update.audit_package(c).expect("chunk in range"))
+                .collect();
+            audit_bytes += packages.iter().map(|p| p.proof_bytes() as u64).sum::<u64>();
+            let sig = hsm.audit_and_sign_with_failures(
+                &message,
+                &active_ids,
+                &failed_ids,
+                &packages,
+            )?;
+            sigs.push(sig);
+            signers.push(idx);
+        }
+
+        let aggregate = aggregate_signatures(&sigs)
+            .ok_or(ProviderError::EpochFailed("no signatures to aggregate"))?;
+        for idx in 0..self.hsms.len() {
+            let hsm = &mut self.hsms[idx];
+            if hsm.status() == safetypin_hsm::HsmStatus::Failed {
+                continue;
+            }
+            hsm.accept_update(&message, &signers, &aggregate)?;
+        }
+        self.update_history.push(message);
+        Ok(EpochOutcome {
+            message,
+            signers,
+            aggregate,
+            skipped: failed_ids,
+            audit_bytes,
+        })
+    }
+
+    /// Routes a recovery request to HSM `hsm_id` (Figure 3, steps 6–7),
+    /// keeping a copy of the reply for the §8 failure-during-recovery
+    /// flow.
+    pub fn route_recovery<R: RngCore + CryptoRng>(
+        &mut self,
+        hsm_id: u64,
+        request: &RecoveryRequest,
+        rng: &mut R,
+    ) -> Result<RecoveryResponse, ProviderError> {
+        self.route_recovery_with_phases(hsm_id, request, rng)
+            .map(|(r, _)| r)
+    }
+
+    /// [`route_recovery`](Self::route_recovery) plus the HSM's per-phase
+    /// cost attribution (Figure 10).
+    pub fn route_recovery_with_phases<R: RngCore + CryptoRng>(
+        &mut self,
+        hsm_id: u64,
+        request: &RecoveryRequest,
+        rng: &mut R,
+    ) -> Result<(RecoveryResponse, safetypin_hsm::RecoveryPhases), ProviderError> {
+        let idx = hsm_id as usize;
+        if idx >= self.hsms.len() {
+            return Err(ProviderError::UnknownHsm(hsm_id));
+        }
+        let (response, phases) =
+            self.hsms[idx].recover_share_with_phases(request, &mut self.stores[idx], rng)?;
+        self.reply_copies
+            .push((request.username.clone(), response.clone()));
+        Ok((response, phases))
+    }
+
+    /// Stored reply copies for `username` (replacement-device recovery,
+    /// §8).
+    pub fn reply_copies_for(&self, username: &[u8]) -> Vec<&RecoveryResponse> {
+        self.reply_copies
+            .iter()
+            .filter(|(u, _)| u == username)
+            .map(|(_, r)| r)
+            .collect()
+    }
+
+    /// Rotates one HSM's BFE keys (provider schedules rotations as keys
+    /// fill up; §9.1).
+    pub fn rotate_hsm<R: RngCore + CryptoRng>(
+        &mut self,
+        hsm_id: u64,
+        rng: &mut R,
+    ) -> Result<(), ProviderError> {
+        let idx = hsm_id as usize;
+        if idx >= self.hsms.len() {
+            return Err(ProviderError::UnknownHsm(hsm_id));
+        }
+        self.hsms[idx].rotate_keys(&mut self.stores[idx], rng)?;
+        Ok(())
+    }
+
+    /// Garbage-collects the log: archives entries, resets the log, and
+    /// asks every HSM to follow (each enforces its own GC budget).
+    pub fn garbage_collect(&mut self) -> Result<(), ProviderError> {
+        for hsm in self.hsms.iter_mut() {
+            if hsm.status() != safetypin_hsm::HsmStatus::Failed {
+                hsm.garbage_collect()?;
+            }
+        }
+        let archived = self.log.garbage_collect();
+        self.archived_logs.push(archived);
+        Ok(())
+    }
+
+    /// Records a fleet-membership event in the log (§6 / the
+    /// `authlog::membership` extension). The event becomes immutable once
+    /// the next epoch certifies it.
+    pub fn record_membership(
+        &mut self,
+        seq: u64,
+        event: &safetypin_authlog::MembershipEvent,
+    ) -> Result<(), ProviderError> {
+        safetypin_authlog::membership::record_event(&mut self.log, seq, event)?;
+        Ok(())
+    }
+
+    /// Reconstructs the fleet roster from the log's membership events
+    /// (what a client or auditor computes from replayed entries).
+    pub fn roster(
+        &self,
+    ) -> Result<safetypin_authlog::Roster, safetypin_authlog::membership::RosterError> {
+        safetypin_authlog::Roster::from_entries(self.log.entries())
+    }
+
+    /// Sum of all HSMs' metered costs since the last drain.
+    pub fn drain_fleet_costs(&mut self) -> OpCosts {
+        let mut total = OpCosts::new();
+        for hsm in self.hsms.iter_mut() {
+            total.add(&hsm.take_costs());
+        }
+        total
+    }
+
+    /// Which HSMs currently need key rotation.
+    pub fn rotation_queue(&self) -> Vec<u64> {
+        self.hsms
+            .iter()
+            .filter(|h| h.needs_rotation())
+            .map(|h| h.id())
+            .collect()
+    }
+}
+
+#[cfg(test)]
+mod tests;

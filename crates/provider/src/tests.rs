@@ -1,0 +1,254 @@
+//! Datacenter orchestration tests: epochs with failures, GC budgets,
+//! recovery routing, and cheating-provider detection.
+
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+use safetypin_authlog::auditor;
+use safetypin_authlog::trie::MerkleTrie;
+use safetypin_bfe::BfeParams;
+use safetypin_hsm::types::{build_commit_payload, ciphertext_commit_hash};
+use safetypin_hsm::{HsmConfig, RecoveryRequest, RecoveryResponse};
+use safetypin_lhe::scheme::{encrypt_with_salt, reconstruct, select, Salt};
+use safetypin_lhe::{BfeDirectory, LheParams};
+use safetypin_primitives::commit;
+use safetypin_primitives::shamir::Share;
+use safetypin_primitives::wire::Encode;
+
+use crate::{Datacenter, ProviderError};
+
+const TOTAL: u64 = 8;
+
+fn config(id: u64) -> HsmConfig {
+    HsmConfig {
+        id,
+        bfe_params: BfeParams::new(128, 3).unwrap(),
+        audits_per_epoch: 4,
+        max_gc: 2,
+        // Allow one failure: 8 - 1.
+        min_signers: 7,
+    }
+}
+
+fn datacenter() -> (Datacenter, StdRng) {
+    let mut rng = StdRng::seed_from_u64(777);
+    let dc = Datacenter::provision(TOTAL, config, &mut rng).unwrap();
+    (dc, rng)
+}
+
+fn lhe_params() -> LheParams {
+    LheParams::new(TOTAL, 4, 2, 10_000).unwrap()
+}
+
+#[test]
+fn provision_and_enroll() {
+    let (dc, _) = datacenter();
+    assert_eq!(dc.fleet_size(), 8);
+    let enrollments = dc.enrollments();
+    assert_eq!(enrollments.len(), 8);
+    for (i, e) in enrollments.iter().enumerate() {
+        assert_eq!(e.id, i as u64);
+        assert!(e.sig_vk.verify_possession(&e.sig_pop));
+    }
+}
+
+#[test]
+fn epoch_certifies_digest_on_all_hsms() {
+    let (mut dc, _) = datacenter();
+    dc.insert_log(b"user-1", b"commit-1").unwrap();
+    dc.insert_log(b"user-2", b"commit-2").unwrap();
+    let outcome = dc.run_epoch().unwrap();
+    assert_eq!(outcome.signers.len(), 8);
+    assert!(outcome.skipped.is_empty());
+    for id in 0..TOTAL {
+        assert_eq!(dc.hsm(id).unwrap().log_digest(), outcome.message.new_digest);
+    }
+    // Inclusion proof now verifies against the HSM-held digest.
+    let proof = dc.prove_inclusion(b"user-1", b"commit-1").unwrap();
+    assert!(MerkleTrie::does_include(
+        &outcome.message.new_digest,
+        b"user-1",
+        b"commit-1",
+        &proof
+    ));
+}
+
+#[test]
+fn epoch_survives_failed_hsm() {
+    let (mut dc, _) = datacenter();
+    dc.insert_log(b"u", b"v").unwrap();
+    dc.hsm_mut(3).unwrap().fail();
+    let outcome = dc.run_epoch().unwrap();
+    assert_eq!(outcome.skipped, vec![3]);
+    assert_eq!(outcome.signers.len(), 7);
+    // Survivors updated; the failed HSM kept its stale digest.
+    assert_eq!(dc.hsm(0).unwrap().log_digest(), outcome.message.new_digest);
+    assert_ne!(dc.hsm(3).unwrap().log_digest(), outcome.message.new_digest);
+}
+
+#[test]
+fn duplicate_log_insert_rejected() {
+    let (mut dc, _) = datacenter();
+    dc.insert_log(b"victim", b"attempt-1").unwrap();
+    // A second recovery attempt for the same identifier is refused — this
+    // is the global PIN-guess limit (§6).
+    let err = dc.insert_log(b"victim", b"attempt-2").unwrap_err();
+    assert!(matches!(err, ProviderError::Log(_)));
+}
+
+#[test]
+fn end_to_end_recovery_through_datacenter() {
+    let (mut dc, mut rng) = datacenter();
+    let params = lhe_params();
+    let enrollments = dc.enrollments();
+    let bfe_pks: Vec<_> = enrollments.iter().map(|e| e.bfe_pk.clone()).collect();
+
+    // Client-side backup.
+    let salt = Salt::random(&mut rng);
+    let dir = BfeDirectory::new(&bfe_pks, b"zoe", &salt);
+    let ct = encrypt_with_salt(&params, &dir, b"zoe", b"123456", salt, 0, b"zoe-key", &mut rng)
+        .unwrap();
+    let ct_bytes = ct.to_bytes();
+
+    // Log the attempt, run the epoch, fetch the proof.
+    let cluster = select(&params, &salt, b"123456");
+    let payload = build_commit_payload(&cluster, &ciphertext_commit_hash(&ct_bytes));
+    let (commitment, opening) = commit::commit(&payload, &mut rng);
+    dc.insert_log(b"zoe", &commitment.to_bytes()).unwrap();
+    dc.run_epoch().unwrap();
+    let inclusion = dc.prove_inclusion(b"zoe", &commitment.to_bytes()).unwrap();
+
+    // Contact each distinct cluster HSM through the datacenter.
+    let mut by_hsm: std::collections::BTreeMap<u64, Vec<u32>> = Default::default();
+    for (j, &i) in cluster.iter().enumerate() {
+        by_hsm.entry(i).or_default().push(j as u32);
+    }
+    let mut shares: Vec<Share> = Vec::new();
+    for (hsm_id, positions) in by_hsm {
+        let request = RecoveryRequest {
+            username: b"zoe".to_vec(),
+            salt,
+            opening: opening.clone(),
+            inclusion: inclusion.clone(),
+            ciphertext: ct_bytes.clone(),
+            share_indices: positions,
+            recovery_pk: None,
+            auditor_endorsements: Vec::new(),
+        };
+        match dc.route_recovery(hsm_id, &request, &mut rng).unwrap() {
+            RecoveryResponse::Plain(s) => shares.extend(s),
+            RecoveryResponse::Encrypted(_) => panic!("expected plain"),
+        }
+    }
+    let msg = reconstruct(&params, b"zoe", &ct, &shares[..params.threshold]).unwrap();
+    assert_eq!(msg, b"zoe-key");
+
+    // The datacenter kept reply copies for replacement devices (§8).
+    assert!(!dc.reply_copies_for(b"zoe").is_empty());
+    assert!(dc.reply_copies_for(b"nobody").is_empty());
+}
+
+#[test]
+fn garbage_collection_archives_and_is_bounded() {
+    let (mut dc, _) = datacenter();
+    dc.insert_log(b"a", b"1").unwrap();
+    dc.run_epoch().unwrap();
+    dc.garbage_collect().unwrap();
+    assert_eq!(dc.archived_logs().len(), 1);
+    assert_eq!(dc.archived_logs()[0].len(), 1);
+    assert_eq!(dc.log_entries().len(), 0);
+    // Identifier is insertable again after GC.
+    dc.insert_log(b"a", b"2").unwrap();
+    dc.garbage_collect().unwrap();
+    // Third GC exceeds every HSM's budget (max_gc = 2).
+    let err = dc.garbage_collect().unwrap_err();
+    assert!(matches!(err, ProviderError::Hsm(_)));
+}
+
+#[test]
+fn external_auditor_can_replay_provider_logs() {
+    let (mut dc, _) = datacenter();
+    dc.insert_log(b"m1", b"c1").unwrap();
+    let o1 = dc.run_epoch().unwrap();
+    let snapshot_old = dc.log_entries().to_vec();
+    dc.insert_log(b"m2", b"c2").unwrap();
+    let o2 = dc.run_epoch().unwrap();
+    auditor::audit_transition(
+        &snapshot_old,
+        &o1.message.new_digest,
+        dc.log_entries(),
+        &o2.message.new_digest,
+    )
+    .unwrap();
+}
+
+#[test]
+fn update_history_chains() {
+    let (mut dc, _) = datacenter();
+    dc.insert_log(b"x", b"1").unwrap();
+    dc.run_epoch().unwrap();
+    dc.insert_log(b"y", b"2").unwrap();
+    dc.run_epoch().unwrap();
+    let h = dc.update_history();
+    assert_eq!(h.len(), 2);
+    assert_eq!(h[0].new_digest, h[1].old_digest);
+}
+
+#[test]
+fn rotation_queue_and_rotate() {
+    let (mut dc, mut rng) = datacenter();
+    assert!(dc.rotation_queue().is_empty());
+    let before = dc.hsm(2).unwrap().key_epoch();
+    dc.rotate_hsm(2, &mut rng).unwrap();
+    assert_eq!(dc.hsm(2).unwrap().key_epoch(), before + 1);
+    assert!(dc.rotate_hsm(99, &mut rng).is_err());
+}
+
+#[test]
+fn fleet_costs_drain() {
+    let (mut dc, _) = datacenter();
+    let costs = dc.drain_fleet_costs();
+    assert!(costs.group_mults > 0, "provisioning metered");
+    let empty = dc.drain_fleet_costs();
+    assert_eq!(empty.group_mults, 0);
+}
+
+#[test]
+fn too_many_failures_block_epoch() {
+    let (mut dc, _) = datacenter();
+    dc.insert_log(b"u", b"v").unwrap();
+    // Fail two HSMs: 6 signers < min_signers 7 ⇒ HSMs refuse the update.
+    dc.hsm_mut(1).unwrap().fail();
+    dc.hsm_mut(2).unwrap().fail();
+    let err = dc.run_epoch().unwrap_err();
+    assert!(matches!(err, ProviderError::Hsm(_)), "got {err:?}");
+}
+
+#[test]
+fn membership_events_flow_through_epochs() {
+    use safetypin_authlog::MembershipEvent;
+    use safetypin_primitives::hashes::{hash_parts, Domain};
+    let (mut dc, _) = datacenter();
+    // Enroll the fleet in the membership log, binding enrollment hashes.
+    for (seq, e) in dc.enrollments().into_iter().enumerate() {
+        use safetypin_primitives::wire::Encode;
+        let record_hash = hash_parts(Domain::LogEntry, &[b"enroll", &e.to_bytes()]);
+        dc.record_membership(
+            seq as u64,
+            &MembershipEvent::Add { hsm_id: e.id, record_hash },
+        )
+        .unwrap();
+    }
+    // The epoch certifies the membership entries like any other.
+    let outcome = dc.run_epoch().unwrap();
+    assert_eq!(outcome.signers.len(), 8);
+    let roster = dc.roster().unwrap();
+    assert_eq!(roster.active(), (0..8).collect::<Vec<u64>>());
+    assert_eq!(roster.recent_churn(8), 0.0);
+    // Retire one HSM; the roster reflects it and churn is visible.
+    dc.record_membership(8, &MembershipEvent::Remove { hsm_id: 3 }).unwrap();
+    dc.run_epoch().unwrap();
+    let roster = dc.roster().unwrap();
+    assert_eq!(roster.len(), 7);
+    assert!(roster.record_hash(3).is_none());
+    assert!(roster.recent_churn(4) > 0.0);
+}

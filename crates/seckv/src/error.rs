@@ -1,0 +1,41 @@
+//! Error type for outsourced storage.
+
+use core::fmt;
+
+/// Errors surfaced by the secure outsourced-storage layer.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum StorageError {
+    /// The provider returned no block for an address the HSM expected.
+    MissingBlock(u64),
+    /// A block failed authentication (tampered, replayed, or covering a
+    /// deleted item). Per the paper's integrity property, reads return ⊥
+    /// rather than incorrect data.
+    AuthFailure(u64),
+    /// The requested index is outside the array.
+    IndexOutOfRange {
+        /// Requested index.
+        index: u64,
+        /// Array length.
+        len: u64,
+    },
+    /// The item at this index was securely deleted.
+    Deleted(u64),
+    /// Invalid construction parameter.
+    InvalidParameter(&'static str),
+}
+
+impl fmt::Display for StorageError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            StorageError::MissingBlock(a) => write!(f, "provider returned no block at {a}"),
+            StorageError::AuthFailure(a) => write!(f, "block at {a} failed authentication"),
+            StorageError::IndexOutOfRange { index, len } => {
+                write!(f, "index {index} out of range for array of {len}")
+            }
+            StorageError::Deleted(i) => write!(f, "item {i} was securely deleted"),
+            StorageError::InvalidParameter(p) => write!(f, "invalid parameter: {p}"),
+        }
+    }
+}
+
+impl std::error::Error for StorageError {}

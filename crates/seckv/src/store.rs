@@ -1,0 +1,250 @@
+//! Block-store abstraction over the untrusted provider.
+//!
+//! The HSM sees external storage as a flat address space of opaque blocks
+//! (`SGet`/`SPut` oracles in Appendix C). The provider implements it with
+//! ordinary disks; tests implement it with adversarial stores that tamper,
+//! replay, and drop blocks to exercise the integrity property.
+
+use std::collections::HashMap;
+
+/// The external storage oracle pair (`SGet`, `SPut`) from Appendix C.
+///
+/// `get` takes `&mut self` so that instrumented and adversarial
+/// implementations can update counters or mutate their replay state on
+/// reads.
+pub trait BlockStore {
+    /// Stores `block` at `addr`, replacing any previous block.
+    fn put(&mut self, addr: u64, block: Vec<u8>);
+
+    /// Retrieves the block at `addr`, or `None` if absent.
+    fn get(&mut self, addr: u64) -> Option<Vec<u8>>;
+}
+
+/// Byte/operation counters for a store.
+#[derive(Debug, Default, Clone, Copy, PartialEq, Eq)]
+pub struct StoreStats {
+    /// Number of `get` calls.
+    pub reads: u64,
+    /// Number of `put` calls.
+    pub writes: u64,
+    /// Total bytes returned by `get`.
+    pub bytes_read: u64,
+    /// Total bytes accepted by `put`.
+    pub bytes_written: u64,
+}
+
+/// An in-memory block store with instrumentation, used as the honest
+/// provider in tests and benchmarks.
+#[derive(Debug, Default)]
+pub struct MemStore {
+    blocks: HashMap<u64, Vec<u8>>,
+    stats: StoreStats,
+}
+
+impl MemStore {
+    /// Creates an empty store.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Returns accumulated I/O statistics.
+    pub fn stats(&self) -> StoreStats {
+        self.stats
+    }
+
+    /// Clears the I/O statistics (e.g., after setup, before measuring).
+    pub fn reset_stats(&mut self) {
+        self.stats = StoreStats::default();
+    }
+
+    /// Number of blocks currently stored.
+    pub fn block_count(&self) -> usize {
+        self.blocks.len()
+    }
+
+    /// Total bytes currently stored.
+    pub fn stored_bytes(&self) -> u64 {
+        self.blocks.values().map(|b| b.len() as u64).sum()
+    }
+
+    /// Snapshots all blocks (used by adversarial replay stores in tests).
+    pub fn snapshot(&self) -> HashMap<u64, Vec<u8>> {
+        self.blocks.clone()
+    }
+}
+
+impl BlockStore for MemStore {
+    fn put(&mut self, addr: u64, block: Vec<u8>) {
+        self.stats.writes += 1;
+        self.stats.bytes_written += block.len() as u64;
+        self.blocks.insert(addr, block);
+    }
+
+    fn get(&mut self, addr: u64) -> Option<Vec<u8>> {
+        self.stats.reads += 1;
+        let block = self.blocks.get(&addr).cloned();
+        if let Some(b) = &block {
+            self.stats.bytes_read += b.len() as u64;
+        }
+        block
+    }
+}
+
+/// Adversarial store wrappers used to exercise integrity guarantees.
+pub mod adversarial {
+    use super::*;
+
+    /// Flips a bit in every block whose address satisfies a predicate.
+    pub struct TamperingStore<S> {
+        inner: S,
+        /// Addresses to corrupt on read.
+        pub corrupt: Box<dyn Fn(u64) -> bool + Send>,
+        _marker: std::marker::PhantomData<S>,
+    }
+
+    impl<S: BlockStore> TamperingStore<S> {
+        /// Wraps `inner`, corrupting reads of addresses matching `corrupt`.
+        pub fn new(inner: S, corrupt: impl Fn(u64) -> bool + Send + 'static) -> Self {
+            Self {
+                inner,
+                corrupt: Box::new(corrupt),
+                _marker: std::marker::PhantomData,
+            }
+        }
+    }
+
+    impl<S: BlockStore> BlockStore for TamperingStore<S> {
+        fn put(&mut self, addr: u64, block: Vec<u8>) {
+            self.inner.put(addr, block);
+        }
+
+        fn get(&mut self, addr: u64) -> Option<Vec<u8>> {
+            let mut block = self.inner.get(addr)?;
+            if (self.corrupt)(addr) {
+                if let Some(byte) = block.first_mut() {
+                    *byte ^= 0x01;
+                }
+            }
+            Some(block)
+        }
+    }
+
+    /// Records the first version ever written to each address and serves
+    /// that stale version forever (a rollback attacker).
+    #[derive(Default)]
+    pub struct ReplayStore {
+        first_writes: HashMap<u64, Vec<u8>>,
+        current: MemStore,
+        /// When true, serve the recorded first write instead of the latest.
+        pub replay_enabled: bool,
+    }
+
+    impl ReplayStore {
+        /// Creates an empty replay store with replay disabled.
+        pub fn new() -> Self {
+            Self::default()
+        }
+    }
+
+    impl BlockStore for ReplayStore {
+        fn put(&mut self, addr: u64, block: Vec<u8>) {
+            self.first_writes.entry(addr).or_insert_with(|| block.clone());
+            self.current.put(addr, block);
+        }
+
+        fn get(&mut self, addr: u64) -> Option<Vec<u8>> {
+            if self.replay_enabled {
+                if let Some(old) = self.first_writes.get(&addr) {
+                    return Some(old.clone());
+                }
+            }
+            self.current.get(addr)
+        }
+    }
+
+    /// Drops blocks at matching addresses (models provider data loss).
+    pub struct DroppingStore<S> {
+        inner: S,
+        /// Addresses to pretend are missing.
+        pub dropped: Box<dyn Fn(u64) -> bool + Send>,
+    }
+
+    impl<S: BlockStore> DroppingStore<S> {
+        /// Wraps `inner`, hiding blocks whose addresses match `dropped`.
+        pub fn new(inner: S, dropped: impl Fn(u64) -> bool + Send + 'static) -> Self {
+            Self {
+                inner,
+                dropped: Box::new(dropped),
+            }
+        }
+    }
+
+    impl<S: BlockStore> BlockStore for DroppingStore<S> {
+        fn put(&mut self, addr: u64, block: Vec<u8>) {
+            self.inner.put(addr, block);
+        }
+
+        fn get(&mut self, addr: u64) -> Option<Vec<u8>> {
+            if (self.dropped)(addr) {
+                return None;
+            }
+            self.inner.get(addr)
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn memstore_roundtrip_and_stats() {
+        let mut s = MemStore::new();
+        s.put(1, vec![1, 2, 3]);
+        s.put(2, vec![4]);
+        assert_eq!(s.get(1), Some(vec![1, 2, 3]));
+        assert_eq!(s.get(3), None);
+        let st = s.stats();
+        assert_eq!(st.writes, 2);
+        assert_eq!(st.reads, 2);
+        assert_eq!(st.bytes_written, 4);
+        assert_eq!(st.bytes_read, 3);
+    }
+
+    #[test]
+    fn memstore_overwrite() {
+        let mut s = MemStore::new();
+        s.put(7, vec![1]);
+        s.put(7, vec![2]);
+        assert_eq!(s.get(7), Some(vec![2]));
+        assert_eq!(s.block_count(), 1);
+    }
+
+    #[test]
+    fn tampering_store_corrupts_selected() {
+        let mut inner = MemStore::new();
+        inner.put(1, vec![0xAA]);
+        inner.put(2, vec![0xBB]);
+        let mut t = adversarial::TamperingStore::new(inner, |addr| addr == 1);
+        assert_eq!(t.get(1), Some(vec![0xAB]));
+        assert_eq!(t.get(2), Some(vec![0xBB]));
+    }
+
+    #[test]
+    fn replay_store_rolls_back() {
+        let mut r = adversarial::ReplayStore::new();
+        r.put(5, vec![1]);
+        r.put(5, vec![2]);
+        assert_eq!(r.get(5), Some(vec![2]));
+        r.replay_enabled = true;
+        assert_eq!(r.get(5), Some(vec![1]));
+    }
+
+    #[test]
+    fn dropping_store_hides_blocks() {
+        let mut inner = MemStore::new();
+        inner.put(9, vec![9]);
+        let mut d = adversarial::DroppingStore::new(inner, |addr| addr == 9);
+        assert_eq!(d.get(9), None);
+    }
+}

@@ -1,0 +1,585 @@
+//! The key tree: constant HSM state, logarithmic reads and secure deletes.
+//!
+//! Layout (heap addressing, perfect binary tree):
+//!
+//! ```text
+//!            addr 1 (root)            plaintext: k_left ‖ k_right
+//!           /            \
+//!        addr 2         addr 3        ...
+//!        /    \         /    \
+//!    addr 4  addr 5  addr 6  addr 7   leaves: plaintext = data block
+//! ```
+//!
+//! The HSM holds only the root key. Every node ciphertext is bound to its
+//! address and to a per-array instance ID through AEAD associated data, so
+//! the provider cannot swap blocks between addresses or between arrays.
+//! Deleting item `i` zeroes the leaf key held in its parent and re-keys
+//! every node from that parent up to the root (Appendix C `Delete`), after
+//! which no sequence of recorded blocks plus current HSM state can recover
+//! the deleted item.
+
+use rand::{CryptoRng, RngCore};
+use safetypin_primitives::aead::{self, AeadCiphertext, AeadKey, KEY_LEN};
+use safetypin_primitives::wire::{Decode, Encode};
+
+use crate::store::BlockStore;
+use crate::{Result, StorageError};
+
+/// The "useless encryption key" (all zeros) marking a deleted leaf,
+/// mirroring `Delete`'s base case in Appendix C.
+const ZERO_KEY: [u8; KEY_LEN] = [0u8; KEY_LEN];
+
+/// Symmetric-operation counters for one `SecureArray`.
+///
+/// The simulation layer converts these into SoloKey-calibrated time
+/// (AES blocks at Table 7 rates); the store's own [`crate::StoreStats`]
+/// covers the I/O half.
+#[derive(Debug, Default, Clone, Copy, PartialEq, Eq)]
+pub struct Metrics {
+    /// AEAD seal operations performed.
+    pub aead_enc_ops: u64,
+    /// AEAD open operations performed.
+    pub aead_dec_ops: u64,
+    /// Plaintext bytes sealed.
+    pub bytes_encrypted: u64,
+    /// Ciphertext bytes opened.
+    pub bytes_decrypted: u64,
+}
+
+impl Metrics {
+    fn record_enc(&mut self, plaintext_len: usize) {
+        self.aead_enc_ops += 1;
+        self.bytes_encrypted += plaintext_len as u64;
+    }
+
+    fn record_dec(&mut self, ciphertext_len: usize) {
+        self.aead_dec_ops += 1;
+        self.bytes_decrypted += ciphertext_len as u64;
+    }
+}
+
+/// An outsourced data array supporting authenticated reads and secure
+/// deletion, with constant trusted state.
+///
+/// # Examples
+///
+/// ```
+/// use safetypin_seckv::{MemStore, SecureArray};
+/// let mut rng = rand::thread_rng();
+/// let mut store = MemStore::new();
+/// let data: Vec<Vec<u8>> = (0..8u8).map(|i| vec![i; 4]).collect();
+/// let mut arr = SecureArray::setup(&mut store, &data, &mut rng).unwrap();
+/// assert_eq!(arr.read(&mut store, 3).unwrap(), vec![3; 4]);
+/// arr.delete(&mut store, 3, &mut rng).unwrap();
+/// assert!(arr.read(&mut store, 3).is_err());
+/// assert_eq!(arr.read(&mut store, 4).unwrap(), vec![4; 4]);
+/// ```
+#[derive(Debug)]
+pub struct SecureArray {
+    root_key: AeadKey,
+    len: u64,
+    height: u32,
+    array_id: [u8; 16],
+    metrics: Metrics,
+}
+
+fn aad_for(array_id: &[u8; 16], addr: u64) -> Vec<u8> {
+    let mut aad = Vec::with_capacity(16 + 8);
+    aad.extend_from_slice(array_id);
+    aad.extend_from_slice(&addr.to_be_bytes());
+    aad
+}
+
+fn split_pair(pt: &[u8]) -> Result<(AeadKey, AeadKey)> {
+    if pt.len() != 2 * KEY_LEN {
+        // An internal node with the wrong shape means the provider
+        // substituted a leaf for an interior node or vice versa; AAD
+        // binding should already prevent this, but stay defensive.
+        return Err(StorageError::AuthFailure(0));
+    }
+    let mut left = [0u8; KEY_LEN];
+    let mut right = [0u8; KEY_LEN];
+    left.copy_from_slice(&pt[..KEY_LEN]);
+    right.copy_from_slice(&pt[KEY_LEN..]);
+    Ok((AeadKey::from_bytes(left), AeadKey::from_bytes(right)))
+}
+
+impl SecureArray {
+    /// Encrypts `data` into `store` and returns the array handle holding
+    /// only the root key (`Setup` in Appendix C).
+    ///
+    /// Runs in time linear in the (padded) array size. The array is padded
+    /// to the next power of two with empty blocks; padded slots are
+    /// inaccessible through the API.
+    pub fn setup<S: BlockStore, R: RngCore + CryptoRng>(
+        store: &mut S,
+        data: &[Vec<u8>],
+        rng: &mut R,
+    ) -> Result<Self> {
+        if data.is_empty() {
+            return Err(StorageError::InvalidParameter("data array must be nonempty"));
+        }
+        let len = data.len() as u64;
+        let padded = data.len().next_power_of_two();
+        let height = padded.trailing_zeros();
+        let mut array_id = [0u8; 16];
+        rng.fill_bytes(&mut array_id);
+        let mut metrics = Metrics::default();
+
+        // Leaf level: encrypt each block under a fresh key.
+        let mut level_keys: Vec<AeadKey> = Vec::with_capacity(padded);
+        let empty: Vec<u8> = Vec::new();
+        for i in 0..padded as u64 {
+            let key = AeadKey::random(rng);
+            let addr = (1u64 << height) + i;
+            let block = data.get(i as usize).unwrap_or(&empty);
+            let ct = aead::seal(&key, &aad_for(&array_id, addr), block, rng);
+            metrics.record_enc(block.len());
+            store.put(addr, ct.to_bytes());
+            level_keys.push(key);
+        }
+
+        // Interior levels: encrypt child-key pairs under fresh parent keys.
+        let mut level_width = padded / 2;
+        let mut level_base = (1u64 << height) / 2;
+        while level_width >= 1 {
+            let mut parent_keys = Vec::with_capacity(level_width);
+            for j in 0..level_width {
+                let key = AeadKey::random(rng);
+                let addr = level_base + j as u64;
+                let mut pt = Vec::with_capacity(2 * KEY_LEN);
+                pt.extend_from_slice(level_keys[2 * j].as_bytes());
+                pt.extend_from_slice(level_keys[2 * j + 1].as_bytes());
+                let ct = aead::seal(&key, &aad_for(&array_id, addr), &pt, rng);
+                metrics.record_enc(pt.len());
+                store.put(addr, ct.to_bytes());
+                parent_keys.push(key);
+            }
+            level_keys = parent_keys;
+            if level_width == 1 {
+                break;
+            }
+            level_width /= 2;
+            level_base /= 2;
+        }
+
+        let root_key = if height == 0 {
+            // Single-leaf array: the leaf at addr 1 is the root.
+            level_keys.pop().expect("one leaf key")
+        } else {
+            level_keys.pop().expect("one root key")
+        };
+
+        Ok(Self {
+            root_key,
+            len,
+            height,
+            array_id,
+            metrics,
+        })
+    }
+
+    /// Number of (real) items in the array.
+    pub fn len(&self) -> u64 {
+        self.len
+    }
+
+    /// Always false: setup rejects empty arrays.
+    pub fn is_empty(&self) -> bool {
+        self.len == 0
+    }
+
+    /// Height of the key tree (`⌈log₂ len⌉`).
+    pub fn height(&self) -> u32 {
+        self.height
+    }
+
+    /// Accumulated symmetric-operation counters.
+    pub fn metrics(&self) -> Metrics {
+        self.metrics
+    }
+
+    /// Resets the symmetric-operation counters.
+    pub fn reset_metrics(&mut self) {
+        self.metrics = Metrics::default();
+    }
+
+    /// Exposes the root key (models HSM state exfiltration in security
+    /// tests; never used by the protocol itself).
+    pub fn root_key_bytes(&self) -> [u8; KEY_LEN] {
+        *self.root_key.as_bytes()
+    }
+
+    fn check_index(&self, i: u64) -> Result<()> {
+        if i >= self.len {
+            return Err(StorageError::IndexOutOfRange {
+                index: i,
+                len: self.len,
+            });
+        }
+        Ok(())
+    }
+
+    fn fetch(&mut self, store: &mut impl BlockStore, addr: u64) -> Result<AeadCiphertext> {
+        let raw = store.get(addr).ok_or(StorageError::MissingBlock(addr))?;
+        AeadCiphertext::from_bytes(&raw).map_err(|_| StorageError::AuthFailure(addr))
+    }
+
+    fn open_node(
+        &mut self,
+        key: &AeadKey,
+        addr: u64,
+        ct: &AeadCiphertext,
+    ) -> Result<Vec<u8>> {
+        let aad = aad_for(&self.array_id, addr);
+        let pt =
+            aead::open(key, &aad, ct).map_err(|_| StorageError::AuthFailure(addr))?;
+        self.metrics.record_dec(ct.raw_len());
+        Ok(pt)
+    }
+
+    /// Reads item `i` (`Read` in Appendix C): walks the path from the root,
+    /// decrypting each node with the key recovered from its parent.
+    pub fn read(&mut self, store: &mut impl BlockStore, i: u64) -> Result<Vec<u8>> {
+        self.check_index(i)?;
+        // A zeroed root key marks a fully-deleted single-item array (the
+        // height-0 case of `delete`).
+        if self.root_key.as_bytes() == &ZERO_KEY {
+            return Err(StorageError::Deleted(i));
+        }
+        let leaf_addr = (1u64 << self.height) + i;
+        let mut key = self.root_key.clone();
+        for level in (1..=self.height).rev() {
+            let addr = leaf_addr >> level;
+            let ct = self.fetch(store, addr)?;
+            let pt = self.open_node(&key, addr, &ct)?;
+            let (left, right) = split_pair(&pt).map_err(|_| StorageError::AuthFailure(addr))?;
+            let bit = (i >> (level - 1)) & 1;
+            key = if bit == 0 { left } else { right };
+            if key.as_bytes() == &ZERO_KEY {
+                return Err(StorageError::Deleted(i));
+            }
+        }
+        let ct = self.fetch(store, leaf_addr)?;
+        self.open_node(&key, leaf_addr, &ct)
+    }
+
+    /// Securely deletes item `i` (`Delete` in Appendix C): zeroes the leaf
+    /// key in its parent and re-keys the path up to a fresh root key.
+    ///
+    /// Deleting an already-deleted item is a no-op that still refreshes the
+    /// path. After this call returns, no combination of recorded provider
+    /// blocks and future HSM state can recover the item.
+    pub fn delete<R: RngCore + CryptoRng>(
+        &mut self,
+        store: &mut impl BlockStore,
+        i: u64,
+        rng: &mut R,
+    ) -> Result<()> {
+        self.check_index(i)?;
+        if self.height == 0 {
+            // Single-item array: "deleting" means forgetting the root key.
+            self.root_key = AeadKey::from_bytes(ZERO_KEY);
+            return Ok(());
+        }
+        let leaf_addr = (1u64 << self.height) + i;
+
+        // Descend: collect each interior node's (addr, children keys).
+        let mut path: Vec<(u64, AeadKey, AeadKey)> = Vec::with_capacity(self.height as usize);
+        let mut key = self.root_key.clone();
+        for level in (1..=self.height).rev() {
+            let addr = leaf_addr >> level;
+            let ct = self.fetch(store, addr)?;
+            let pt = self.open_node(&key, addr, &ct)?;
+            let (left, right) = split_pair(&pt).map_err(|_| StorageError::AuthFailure(addr))?;
+            let bit = (i >> (level - 1)) & 1;
+            key = if bit == 0 { left.clone() } else { right.clone() };
+            path.push((addr, left, right));
+            // A zero key partway down means the leaf is already gone; we
+            // still re-key the prefix of the path we traversed.
+            if key.as_bytes() == &ZERO_KEY {
+                break;
+            }
+        }
+
+        // Ascend: replace the child key (zero at the leaf level), re-encrypt
+        // each node under a fresh key.
+        let mut child_key = AeadKey::from_bytes(ZERO_KEY);
+        for (depth_from_root, (addr, left, right)) in path.iter().enumerate().rev() {
+            // The level of this node above the leaves.
+            let level = self.height - depth_from_root as u32;
+            let bit = (i >> (level - 1)) & 1;
+            let (new_left, new_right) = if bit == 0 {
+                (child_key.clone(), right.clone())
+            } else {
+                (left.clone(), child_key.clone())
+            };
+            let fresh = AeadKey::random(rng);
+            let mut pt = Vec::with_capacity(2 * KEY_LEN);
+            pt.extend_from_slice(new_left.as_bytes());
+            pt.extend_from_slice(new_right.as_bytes());
+            let ct = aead::seal(&fresh, &aad_for(&self.array_id, *addr), &pt, rng);
+            self.metrics.record_enc(pt.len());
+            store.put(*addr, ct.to_bytes());
+            child_key = fresh;
+        }
+        self.root_key = child_key;
+        Ok(())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::store::adversarial::{DroppingStore, ReplayStore, TamperingStore};
+    use crate::store::MemStore;
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    fn rng() -> StdRng {
+        StdRng::seed_from_u64(2024)
+    }
+
+    fn blocks(n: usize) -> Vec<Vec<u8>> {
+        (0..n).map(|i| format!("block-{i}").into_bytes()).collect()
+    }
+
+    #[test]
+    fn setup_and_read_all_sizes() {
+        let mut rng = rng();
+        for n in [1usize, 2, 3, 4, 5, 8, 9, 17, 64, 100] {
+            let mut store = MemStore::new();
+            let data = blocks(n);
+            let mut arr = SecureArray::setup(&mut store, &data, &mut rng).unwrap();
+            for (i, expected) in data.iter().enumerate() {
+                assert_eq!(&arr.read(&mut store, i as u64).unwrap(), expected, "n={n} i={i}");
+            }
+        }
+    }
+
+    #[test]
+    fn delete_then_read_fails_only_for_deleted() {
+        let mut rng = rng();
+        let mut store = MemStore::new();
+        let data = blocks(16);
+        let mut arr = SecureArray::setup(&mut store, &data, &mut rng).unwrap();
+        arr.delete(&mut store, 5, &mut rng).unwrap();
+        assert_eq!(arr.read(&mut store, 5).unwrap_err(), StorageError::Deleted(5));
+        for i in (0..16u64).filter(|&i| i != 5) {
+            assert_eq!(arr.read(&mut store, i).unwrap(), data[i as usize]);
+        }
+    }
+
+    #[test]
+    fn delete_is_idempotent() {
+        let mut rng = rng();
+        let mut store = MemStore::new();
+        let mut arr = SecureArray::setup(&mut store, &blocks(8), &mut rng).unwrap();
+        arr.delete(&mut store, 2, &mut rng).unwrap();
+        arr.delete(&mut store, 2, &mut rng).unwrap();
+        assert!(matches!(arr.read(&mut store, 2), Err(StorageError::Deleted(2))));
+        assert!(arr.read(&mut store, 3).is_ok());
+    }
+
+    #[test]
+    fn delete_sibling_pairs() {
+        let mut rng = rng();
+        let mut store = MemStore::new();
+        let data = blocks(8);
+        let mut arr = SecureArray::setup(&mut store, &data, &mut rng).unwrap();
+        // Delete both children of one parent, then neighbors.
+        arr.delete(&mut store, 0, &mut rng).unwrap();
+        arr.delete(&mut store, 1, &mut rng).unwrap();
+        arr.delete(&mut store, 7, &mut rng).unwrap();
+        for i in [0u64, 1, 7] {
+            assert!(arr.read(&mut store, i).is_err());
+        }
+        for i in [2u64, 3, 4, 5, 6] {
+            assert_eq!(arr.read(&mut store, i).unwrap(), data[i as usize]);
+        }
+    }
+
+    #[test]
+    fn delete_all_items() {
+        let mut rng = rng();
+        let mut store = MemStore::new();
+        let mut arr = SecureArray::setup(&mut store, &blocks(4), &mut rng).unwrap();
+        for i in 0..4u64 {
+            arr.delete(&mut store, i, &mut rng).unwrap();
+        }
+        for i in 0..4u64 {
+            assert!(arr.read(&mut store, i).is_err());
+        }
+    }
+
+    #[test]
+    fn out_of_range_rejected() {
+        let mut rng = rng();
+        let mut store = MemStore::new();
+        let mut arr = SecureArray::setup(&mut store, &blocks(5), &mut rng).unwrap();
+        // Index 5..8 are padding; 8+ beyond the tree.
+        for i in [5u64, 6, 7, 8, 100] {
+            assert!(matches!(
+                arr.read(&mut store, i),
+                Err(StorageError::IndexOutOfRange { .. })
+            ));
+            assert!(matches!(
+                arr.delete(&mut store, i, &mut rng),
+                Err(StorageError::IndexOutOfRange { .. })
+            ));
+        }
+    }
+
+    #[test]
+    fn single_item_array() {
+        let mut rng = rng();
+        let mut store = MemStore::new();
+        let mut arr = SecureArray::setup(&mut store, &blocks(1), &mut rng).unwrap();
+        assert_eq!(arr.read(&mut store, 0).unwrap(), b"block-0");
+        arr.delete(&mut store, 0, &mut rng).unwrap();
+        assert!(arr.read(&mut store, 0).is_err());
+    }
+
+    #[test]
+    fn empty_array_rejected() {
+        let mut rng = rng();
+        let mut store = MemStore::new();
+        assert!(SecureArray::setup(&mut store, &[], &mut rng).is_err());
+    }
+
+    #[test]
+    fn tampering_detected() {
+        let mut rng = rng();
+        let mut inner = MemStore::new();
+        let data = blocks(16);
+        let mut arr = SecureArray::setup(&mut inner, &data, &mut rng).unwrap();
+        // Corrupt the root block.
+        let mut store = TamperingStore::new(inner, |addr| addr == 1);
+        assert!(matches!(
+            arr.read(&mut store, 0),
+            Err(StorageError::AuthFailure(1))
+        ));
+    }
+
+    #[test]
+    fn leaf_tampering_detected() {
+        let mut rng = rng();
+        let mut inner = MemStore::new();
+        let mut arr = SecureArray::setup(&mut inner, &blocks(8), &mut rng).unwrap();
+        // Leaf 3 is at address 2^3 + 3 = 11.
+        let mut store = TamperingStore::new(inner, |addr| addr == 11);
+        assert!(arr.read(&mut store, 3).is_err());
+        assert!(arr.read(&mut store, 4).is_ok());
+    }
+
+    #[test]
+    fn block_swap_detected() {
+        // Swapping two sibling leaf blocks must fail the address binding.
+        let mut rng = rng();
+        let mut store = MemStore::new();
+        let mut arr = SecureArray::setup(&mut store, &blocks(4), &mut rng).unwrap();
+        let a = store.get(4).unwrap();
+        let b = store.get(5).unwrap();
+        store.put(4, b);
+        store.put(5, a);
+        assert!(arr.read(&mut store, 0).is_err());
+        assert!(arr.read(&mut store, 1).is_err());
+    }
+
+    #[test]
+    fn missing_block_detected() {
+        let mut rng = rng();
+        let mut inner = MemStore::new();
+        let mut arr = SecureArray::setup(&mut inner, &blocks(8), &mut rng).unwrap();
+        let mut store = DroppingStore::new(inner, |addr| addr == 2);
+        assert!(matches!(
+            arr.read(&mut store, 0),
+            Err(StorageError::MissingBlock(2))
+        ));
+    }
+
+    #[test]
+    fn rollback_after_delete_detected() {
+        // The provider records every block, lets the HSM delete item 3,
+        // then serves the original blocks back. The fresh path keys mean
+        // the old blocks fail authentication instead of resurrecting data.
+        let mut rng = rng();
+        let mut store = ReplayStore::new();
+        let data = blocks(8);
+        let mut arr = SecureArray::setup(&mut store, &data, &mut rng).unwrap();
+        arr.delete(&mut store, 3, &mut rng).unwrap();
+        store.replay_enabled = true;
+        let result = arr.read(&mut store, 3);
+        assert!(
+            matches!(result, Err(StorageError::AuthFailure(_))),
+            "rollback must not recover deleted data, got {result:?}"
+        );
+    }
+
+    #[test]
+    fn cross_array_block_confusion_detected() {
+        // Two arrays in one store namespace-separated by array_id: feeding
+        // array B's root to array A fails.
+        let mut rng = rng();
+        let mut store_a = MemStore::new();
+        let mut store_b = MemStore::new();
+        let mut arr_a = SecureArray::setup(&mut store_a, &blocks(4), &mut rng).unwrap();
+        let _arr_b = SecureArray::setup(&mut store_b, &blocks(4), &mut rng).unwrap();
+        // Overwrite A's blocks with B's blocks.
+        for addr in 1..=7u64 {
+            if let Some(b) = store_b.get(addr) {
+                store_a.put(addr, b);
+            }
+        }
+        assert!(arr_a.read(&mut store_a, 0).is_err());
+    }
+
+    #[test]
+    fn read_cost_is_logarithmic() {
+        let mut rng = rng();
+        let mut store = MemStore::new();
+        let mut arr = SecureArray::setup(&mut store, &blocks(1024), &mut rng).unwrap();
+        store.reset_stats();
+        arr.reset_metrics();
+        arr.read(&mut store, 513).unwrap();
+        // height = 10 ⇒ 10 interior nodes + 1 leaf.
+        assert_eq!(store.stats().reads, 11);
+        assert_eq!(arr.metrics().aead_dec_ops, 11);
+        assert_eq!(arr.metrics().aead_enc_ops, 0);
+    }
+
+    #[test]
+    fn delete_cost_is_logarithmic() {
+        let mut rng = rng();
+        let mut store = MemStore::new();
+        let mut arr = SecureArray::setup(&mut store, &blocks(1024), &mut rng).unwrap();
+        store.reset_stats();
+        arr.reset_metrics();
+        arr.delete(&mut store, 100, &mut rng).unwrap();
+        // Reads 10 interior nodes, re-encrypts and rewrites all 10.
+        assert_eq!(store.stats().reads, 10);
+        assert_eq!(store.stats().writes, 10);
+        assert_eq!(arr.metrics().aead_dec_ops, 10);
+        assert_eq!(arr.metrics().aead_enc_ops, 10);
+    }
+
+    #[test]
+    fn setup_cost_is_linear() {
+        let mut rng = rng();
+        let mut store = MemStore::new();
+        let arr = SecureArray::setup(&mut store, &blocks(64), &mut rng).unwrap();
+        // 64 leaves + 63 interior nodes.
+        assert_eq!(arr.metrics().aead_enc_ops, 127);
+        assert_eq!(store.stats().writes, 127);
+    }
+
+    #[test]
+    fn root_key_changes_on_delete() {
+        let mut rng = rng();
+        let mut store = MemStore::new();
+        let mut arr = SecureArray::setup(&mut store, &blocks(8), &mut rng).unwrap();
+        let before = arr.root_key_bytes();
+        arr.delete(&mut store, 0, &mut rng).unwrap();
+        assert_ne!(before, arr.root_key_bytes());
+    }
+}

@@ -1,0 +1,69 @@
+//! A simulated clock for discrete-event runs.
+
+/// Simulated time in nanoseconds since simulation start.
+#[derive(Debug, Default, Clone, Copy, PartialEq, Eq, PartialOrd, Ord)]
+pub struct SimTime(pub u64);
+
+impl SimTime {
+    /// Converts to floating-point seconds.
+    pub fn as_secs_f64(self) -> f64 {
+        self.0 as f64 / 1e9
+    }
+
+    /// Constructs from floating-point seconds.
+    pub fn from_secs_f64(secs: f64) -> Self {
+        Self((secs.max(0.0) * 1e9).round() as u64)
+    }
+}
+
+/// A monotonically advancing simulated clock.
+#[derive(Debug, Default, Clone)]
+pub struct SimClock {
+    now: SimTime,
+}
+
+impl SimClock {
+    /// Creates a clock at time zero.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Current simulated time.
+    pub fn now(&self) -> SimTime {
+        self.now
+    }
+
+    /// Advances the clock by `secs` seconds.
+    pub fn advance_secs(&mut self, secs: f64) {
+        self.now = SimTime(self.now.0 + SimTime::from_secs_f64(secs).0);
+    }
+
+    /// Advances the clock to `t` if `t` is in the future.
+    pub fn advance_to(&mut self, t: SimTime) {
+        if t > self.now {
+            self.now = t;
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn advances_monotonically() {
+        let mut c = SimClock::new();
+        c.advance_secs(1.5);
+        assert!((c.now().as_secs_f64() - 1.5).abs() < 1e-9);
+        c.advance_to(SimTime::from_secs_f64(1.0));
+        assert!((c.now().as_secs_f64() - 1.5).abs() < 1e-9, "no going back");
+        c.advance_to(SimTime::from_secs_f64(2.0));
+        assert!((c.now().as_secs_f64() - 2.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn seconds_roundtrip() {
+        let t = SimTime::from_secs_f64(3.25);
+        assert!((t.as_secs_f64() - 3.25).abs() < 1e-9);
+    }
+}

@@ -1,0 +1,129 @@
+//! Hardware device profiles (paper Tables 2 and 7).
+//!
+//! The SoloKey profile carries the paper's measured per-operation rates;
+//! the other devices publish only a `g^x/sec` figure (Table 2), so their
+//! remaining rates are scaled from the SoloKey by that ratio — the same
+//! extrapolation the paper uses for Figure 12 and Table 14.
+
+/// Per-device operation rates and metadata.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct DeviceProfile {
+    /// Human-readable device name.
+    pub name: &'static str,
+    /// Retail price in USD (Table 2 / Table 14).
+    pub price_usd: f64,
+    /// NIST P-256 point multiplications per second (`g^x/sec`, Table 2).
+    pub group_mults_per_sec: f64,
+    /// BLS12-381 pairings per second (Table 7).
+    pub pairings_per_sec: f64,
+    /// ECDSA verifications per second (Table 7).
+    pub ecdsa_verify_per_sec: f64,
+    /// Hashed-ElGamal decryptions per second (Table 7).
+    pub elgamal_dec_per_sec: f64,
+    /// HMAC-SHA256 operations per second (Table 7).
+    pub hmac_per_sec: f64,
+    /// AES-128 block operations per second (Table 7).
+    pub aes_ops_per_sec: f64,
+    /// 32-byte flash reads per second (Table 7).
+    pub flash_reads_per_sec: f64,
+    /// Persistent storage in bytes (Table 2).
+    pub storage_bytes: u64,
+    /// Whether the device meets FIPS 140-2 (Table 2).
+    pub fips: bool,
+}
+
+/// The SoloKey profile — every rate measured directly (Table 7).
+pub const SOLOKEY: DeviceProfile = DeviceProfile {
+    name: "SoloKey",
+    price_usd: 20.0,
+    group_mults_per_sec: 7.69,
+    pairings_per_sec: 0.43,
+    ecdsa_verify_per_sec: 5.85,
+    elgamal_dec_per_sec: 6.67,
+    hmac_per_sec: 2_173.91,
+    aes_ops_per_sec: 3_703.70,
+    flash_reads_per_sec: 166_000.0,
+    storage_bytes: 256 * 1024,
+    fips: false,
+};
+
+const fn scaled(
+    name: &'static str,
+    price_usd: f64,
+    group_mults_per_sec: f64,
+    storage_bytes: u64,
+    fips: bool,
+) -> DeviceProfile {
+    // `const fn` floating-point arithmetic keeps these as compile-time
+    // constants. Scale factor relative to the SoloKey's g^x rate.
+    let f = group_mults_per_sec / 7.69;
+    DeviceProfile {
+        name,
+        price_usd,
+        group_mults_per_sec,
+        pairings_per_sec: 0.43 * f,
+        ecdsa_verify_per_sec: 5.85 * f,
+        elgamal_dec_per_sec: 6.67 * f,
+        hmac_per_sec: 2_173.91 * f,
+        aes_ops_per_sec: 3_703.70 * f,
+        flash_reads_per_sec: 166_000.0 * f,
+        storage_bytes,
+        fips,
+    }
+}
+
+/// YubiHSM 2 (Table 2: $650, 14 g^x/sec, 126 KB).
+pub const YUBIHSM2: DeviceProfile = scaled("YubiHSM 2", 650.0, 14.0, 126 * 1024, false);
+
+/// SafeNet Luna A700 (Table 2: $18,468, 2,000 g^x/sec, 2,048 KB, FIPS).
+pub const SAFENET_A700: DeviceProfile =
+    scaled("SafeNet A700", 18_468.0, 2_000.0, 2_048 * 1024, true);
+
+/// A desktop CPU for comparison (Table 2: Intel i7-8569U, $431,
+/// 22,338 g^x/sec). Not an HSM; offers no physical security.
+pub const CPU_I7: DeviceProfile = scaled("Intel i7-8569U", 431.0, 22_338.0, u64::MAX, false);
+
+/// All HSM profiles from Table 2 (excludes the CPU row).
+pub const HSM_PROFILES: [DeviceProfile; 3] = [SOLOKEY, YUBIHSM2, SAFENET_A700];
+
+/// All Table 2 rows including the CPU comparison point.
+pub const ALL_PROFILES: [DeviceProfile; 4] = [SOLOKEY, YUBIHSM2, SAFENET_A700, CPU_I7];
+
+impl DeviceProfile {
+    /// Speed ratio of this device to the SoloKey.
+    pub fn speedup_vs_solokey(&self) -> f64 {
+        self.group_mults_per_sec / SOLOKEY.group_mults_per_sec
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn table2_values_match_paper() {
+        assert_eq!(SOLOKEY.price_usd, 20.0);
+        assert_eq!(SOLOKEY.group_mults_per_sec, 7.69);
+        assert_eq!(YUBIHSM2.price_usd, 650.0);
+        assert_eq!(YUBIHSM2.group_mults_per_sec, 14.0);
+        assert_eq!(SAFENET_A700.price_usd, 18_468.0);
+        assert_eq!(SAFENET_A700.group_mults_per_sec, 2_000.0);
+        assert_eq!(CPU_I7.group_mults_per_sec, 22_338.0);
+        assert!(SAFENET_A700.fips);
+        assert!(!SOLOKEY.fips && !YUBIHSM2.fips);
+    }
+
+    #[test]
+    fn scaling_preserves_ratios() {
+        let f = YUBIHSM2.speedup_vs_solokey();
+        assert!((f - 14.0 / 7.69).abs() < 1e-9);
+        assert!((YUBIHSM2.aes_ops_per_sec / SOLOKEY.aes_ops_per_sec - f).abs() < 1e-9);
+        assert!((YUBIHSM2.pairings_per_sec / SOLOKEY.pairings_per_sec - f).abs() < 1e-9);
+    }
+
+    #[test]
+    fn safenet_much_faster_than_solokey() {
+        assert!(SAFENET_A700.speedup_vs_solokey() > 200.0);
+        assert!(CPU_I7.speedup_vs_solokey() > SAFENET_A700.speedup_vs_solokey());
+    }
+}

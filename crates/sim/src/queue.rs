@@ -1,0 +1,189 @@
+//! Tail-latency modeling for HSM fleets (paper Figure 13).
+//!
+//! The paper models incoming recoveries as a Poisson process and each HSM
+//! as an M/M/1 queue with service rate derived from the measured recovery
+//! time, then asks: how many HSMs does a deployment need to hold the
+//! 99th-percentile recovery latency under a target, at a given request
+//! rate?
+//!
+//! For an M/M/1 queue with arrival rate λ and service rate μ, the response
+//! time is exponential with rate `μ − λ`, so the p-quantile is
+//! `ln(1/(1−p)) / (μ − λ)`. A recovery touching a cluster of `n` HSMs in
+//! a fleet of `N` imposes per-HSM arrival rate `λ_hsm = rate·n/N`.
+
+use rand::Rng;
+
+/// Parameters for the fleet-latency model.
+#[derive(Debug, Clone, Copy)]
+pub struct FleetModel {
+    /// HSM-side service time per recovery, seconds (mean).
+    pub service_secs: f64,
+    /// Cluster size `n` (HSMs contacted per recovery).
+    pub cluster: u32,
+    /// Fraction of HSM duty cycle available for recoveries (the paper's
+    /// HSMs spend ~56% of cycles rotating keys and ~11% auditing; set
+    /// `1.0` to ignore).
+    pub duty_cycle: f64,
+}
+
+impl FleetModel {
+    /// Effective per-HSM service rate μ in recoveries/sec.
+    pub fn service_rate(&self) -> f64 {
+        self.duty_cycle / self.service_secs
+    }
+
+    /// Per-HSM arrival rate for a fleet of `n_hsms` at `rate_per_sec`
+    /// system-wide recoveries.
+    pub fn per_hsm_arrival(&self, rate_per_sec: f64, n_hsms: u64) -> f64 {
+        rate_per_sec * self.cluster as f64 / n_hsms as f64
+    }
+
+    /// M/M/1 p-quantile response time at the given load, or `None` if the
+    /// queue is unstable (λ ≥ μ).
+    pub fn quantile_latency(&self, rate_per_sec: f64, n_hsms: u64, p: f64) -> Option<f64> {
+        let mu = self.service_rate();
+        let lambda = self.per_hsm_arrival(rate_per_sec, n_hsms);
+        if lambda >= mu {
+            return None;
+        }
+        Some((1.0 / (1.0 - p)).ln() / (mu - lambda))
+    }
+
+    /// Smallest fleet size whose p99 latency is under `slo_secs`
+    /// (`None` = just stability, the paper's "Infinite" SLO curve).
+    pub fn fleet_size_for(&self, rate_per_sec: f64, slo_secs: Option<f64>) -> u64 {
+        let mu = self.service_rate();
+        // Stability bound: N > rate·n/μ.
+        let stability = (rate_per_sec * self.cluster as f64 / mu).ceil() as u64 + 1;
+        match slo_secs {
+            None => stability,
+            Some(slo) => {
+                // p99: ln(100)/(μ − λ) ≤ slo  ⇒  λ ≤ μ − ln(100)/slo
+                let needed_gap = (100.0f64).ln() / slo;
+                if needed_gap >= mu {
+                    // SLO tighter than a single idle service time: impossible.
+                    return u64::MAX;
+                }
+                let max_lambda = mu - needed_gap;
+                ((rate_per_sec * self.cluster as f64 / max_lambda).ceil() as u64 + 1)
+                    .max(stability)
+            }
+        }
+    }
+}
+
+/// Discrete-event simulation of one M/M/1 HSM queue; returns the empirical
+/// p-quantile of response time over `requests` arrivals.
+///
+/// Used to cross-check the closed-form model (`quantile_latency`).
+pub fn simulate_mm1_quantile<R: Rng>(
+    arrival_rate: f64,
+    service_rate: f64,
+    requests: usize,
+    p: f64,
+    rng: &mut R,
+) -> f64 {
+    assert!(arrival_rate < service_rate, "unstable queue");
+    let mut t = 0.0f64;
+    let mut server_free_at = 0.0f64;
+    let mut latencies = Vec::with_capacity(requests);
+    for _ in 0..requests {
+        // Exponential inter-arrival and service times.
+        let ia = -rng.gen::<f64>().max(1e-12).ln() / arrival_rate;
+        let svc = -rng.gen::<f64>().max(1e-12).ln() / service_rate;
+        t += ia;
+        let start = t.max(server_free_at);
+        let done = start + svc;
+        server_free_at = done;
+        latencies.push(done - t);
+    }
+    latencies.sort_by(|a, b| a.partial_cmp(b).expect("finite"));
+    let idx = ((latencies.len() as f64 - 1.0) * p).round() as usize;
+    latencies[idx]
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    fn model() -> FleetModel {
+        FleetModel {
+            service_secs: 0.68,
+            cluster: 40,
+            duty_cycle: 1.0,
+        }
+    }
+
+    #[test]
+    fn latency_grows_with_load() {
+        let m = model();
+        let rate = 10.0; // recoveries/sec system-wide
+        let relaxed = m.quantile_latency(rate, 2_000, 0.99).unwrap();
+        let loaded = m.quantile_latency(rate, 600, 0.99).unwrap();
+        assert!(loaded > relaxed);
+    }
+
+    #[test]
+    fn unstable_queue_detected() {
+        let m = model();
+        // λ per HSM = 100·40/100 = 40 ≫ μ ≈ 1.47.
+        assert!(m.quantile_latency(100.0, 100, 0.99).is_none());
+    }
+
+    #[test]
+    fn fleet_size_monotone_in_rate_and_slo() {
+        let m = model();
+        let r1 = 1e9 / (365.25 * 86_400.0); // 1B/year in recoveries/sec
+        let r2 = 2.0 * r1;
+        let tight = m.fleet_size_for(r1, Some(30.0));
+        let loose = m.fleet_size_for(r1, Some(300.0));
+        let unbounded = m.fleet_size_for(r1, None);
+        assert!(tight >= loose && loose >= unbounded);
+        assert!(m.fleet_size_for(r2, Some(30.0)) > tight / 2);
+    }
+
+    #[test]
+    fn fleet_size_meets_its_own_slo() {
+        let m = model();
+        let rate = 50.0;
+        for slo in [30.0, 60.0, 300.0] {
+            let n = m.fleet_size_for(rate, Some(slo));
+            let achieved = m.quantile_latency(rate, n, 0.99).unwrap();
+            assert!(
+                achieved <= slo * 1.001,
+                "slo {slo}: fleet {n} achieves {achieved}"
+            );
+        }
+    }
+
+    #[test]
+    fn impossible_slo_flagged() {
+        let m = model();
+        // p99 under 1 ms is impossible with 0.68 s service times.
+        assert_eq!(m.fleet_size_for(1.0, Some(0.001)), u64::MAX);
+    }
+
+    #[test]
+    fn simulation_agrees_with_closed_form() {
+        // Single queue: λ = 0.5, μ = 1.47 ⇒ p99 = ln(100)/(μ−λ) ≈ 4.75 s.
+        let mut rng = StdRng::seed_from_u64(99);
+        let mu = 1.0 / 0.68;
+        let lambda = 0.5;
+        let analytic = (100.0f64).ln() / (mu - lambda);
+        let simulated = simulate_mm1_quantile(lambda, mu, 200_000, 0.99, &mut rng);
+        let rel_err = (simulated - analytic).abs() / analytic;
+        assert!(rel_err < 0.1, "analytic {analytic}, simulated {simulated}");
+    }
+
+    #[test]
+    fn duty_cycle_reduces_capacity() {
+        let full = model();
+        let half = FleetModel {
+            duty_cycle: 0.5,
+            ..model()
+        };
+        assert!(half.fleet_size_for(50.0, Some(60.0)) > full.fleet_size_for(50.0, Some(60.0)));
+    }
+}

@@ -1,0 +1,77 @@
+//! USB transport cost model (paper Table 7 and §9).
+//!
+//! SoloKeys ship speaking USB HID (~64 KBps class ceiling, measured
+//! 71.43 round trips/sec for 32-byte messages); the paper rewrote the
+//! firmware to use USB CDC, measuring 2,277.9 round trips/sec — a ~32×
+//! I/O improvement. We model a transfer of `b` bytes as `⌈b/32⌉` 32-byte
+//! round-trip units, which reproduces the measured bulk throughput
+//! (HID ≈ 2.3 KB/s, CDC ≈ 72.9 KB/s).
+
+/// A USB transport profile: 32-byte round trips per second.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct TransportProfile {
+    /// Profile name.
+    pub name: &'static str,
+    /// 32-byte message round trips per second (Table 7).
+    pub rtt_per_sec: f64,
+}
+
+/// USB HID (interrupt transfers; keyboards and mice).
+pub const USB_HID: TransportProfile = TransportProfile {
+    name: "USB HID",
+    rtt_per_sec: 71.43,
+};
+
+/// USB CDC (the paper's rewritten firmware; networking-class throughput).
+pub const USB_CDC: TransportProfile = TransportProfile {
+    name: "USB CDC",
+    rtt_per_sec: 2_277.90,
+};
+
+impl TransportProfile {
+    /// Seconds to move `bytes` across the transport.
+    pub fn seconds_for_bytes(&self, bytes: u64) -> f64 {
+        let units = bytes.div_ceil(32).max(1);
+        units as f64 / self.rtt_per_sec
+    }
+
+    /// Seconds for one minimal round trip.
+    pub fn rtt_seconds(&self) -> f64 {
+        1.0 / self.rtt_per_sec
+    }
+
+    /// Effective bulk throughput in bytes per second.
+    pub fn throughput_bytes_per_sec(&self) -> f64 {
+        self.rtt_per_sec * 32.0
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn cdc_is_about_32x_hid() {
+        let ratio = USB_CDC.rtt_per_sec / USB_HID.rtt_per_sec;
+        assert!((ratio - 31.89).abs() < 0.2, "ratio {ratio}");
+    }
+
+    #[test]
+    fn byte_costs_round_up() {
+        // 1..32 bytes = 1 unit; 33 bytes = 2 units.
+        assert_eq!(
+            USB_CDC.seconds_for_bytes(1),
+            USB_CDC.seconds_for_bytes(32)
+        );
+        assert!(USB_CDC.seconds_for_bytes(33) > USB_CDC.seconds_for_bytes(32));
+        // Zero-byte message still costs one round trip.
+        assert_eq!(USB_CDC.seconds_for_bytes(0), USB_CDC.rtt_seconds());
+    }
+
+    #[test]
+    fn bulk_throughput_matches_paper() {
+        // CDC ≈ 72.9 KB/s, HID ≈ 2.3 KB/s.
+        assert!((USB_CDC.throughput_bytes_per_sec() - 72_892.8).abs() < 10.0);
+        assert!((USB_HID.throughput_bytes_per_sec() - 2_285.76).abs() < 1.0);
+    }
+}

@@ -1,0 +1,55 @@
+//! Quickstart: provision a SafetyPin deployment, back up a secret under a
+//! six-digit PIN, lose the phone, and recover with the PIN alone.
+//!
+//! Run with: `cargo run --release --example quickstart`
+
+use safetypin::{Deployment, SystemParams};
+
+fn main() {
+    let mut rng = rand::thread_rng();
+
+    // A small in-process fleet (16 HSMs, clusters of 4). A production
+    // deployment would use SystemParams::paper_default(): 3,100 HSMs,
+    // clusters of 40.
+    println!("provisioning a 16-HSM SafetyPin datacenter...");
+    let params = SystemParams::test_small(16);
+    let mut deployment = Deployment::provision(params, &mut rng).expect("provisioning succeeds");
+
+    // The phone enrolls: downloads every HSM's public keys (so the
+    // provider cannot tell which HSMs will matter) and backs up its
+    // disk-encryption key under the user's screen-lock PIN.
+    let mut phone = deployment.new_client(b"alice@example.com").unwrap();
+    println!(
+        "client downloaded {:.1} KB of keying material",
+        phone.keying_material_bytes() as f64 / 1e3
+    );
+
+    let disk_key = b"32-byte disk-encryption key!!!!!";
+    let artifact = phone
+        .backup(b"493201", disk_key, 0, &mut rng)
+        .expect("backup is local-only and cannot fail against live HSMs");
+    println!(
+        "backup created: {} byte recovery ciphertext (uploaded to the provider)",
+        artifact.ciphertext.len()
+    );
+
+    // Phone falls in a lake. The replacement phone knows only the
+    // username and PIN.
+    println!("recovering on a replacement device...");
+    let outcome = deployment
+        .recover(&phone, b"493201", &artifact, &mut rng)
+        .expect("recovery with the correct PIN succeeds");
+    assert_eq!(outcome.message, disk_key);
+    println!(
+        "recovered the disk key via {} of {} contacted HSMs",
+        outcome.responders, outcome.contacted
+    );
+
+    // The log granted exactly one attempt for this identifier, and every
+    // participating HSM punctured its key: the same ciphertext can never
+    // be recovered again — not by the user, and not by an attacker who
+    // later compromises every HSM in the building.
+    let second = deployment.recover(&phone, b"493201", &artifact, &mut rng);
+    assert!(second.is_err());
+    println!("second recovery attempt correctly refused: {}", second.unwrap_err());
+}

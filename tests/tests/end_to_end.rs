@@ -1,0 +1,161 @@
+//! Whole-system integration tests spanning every crate: multi-user
+//! lifecycles, fault tolerance, and guess limiting through the full
+//! deployment stack.
+
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+use safetypin::{Deployment, DeploymentError, SystemParams};
+
+fn deployment(total: u64, seed: u64) -> (Deployment, StdRng) {
+    let mut rng = StdRng::seed_from_u64(seed);
+    let params = SystemParams::test_small(total);
+    let d = Deployment::provision(params, &mut rng).unwrap();
+    (d, rng)
+}
+
+#[test]
+fn many_users_backup_and_recover() {
+    let (mut d, mut rng) = deployment(16, 1);
+    let mut artifacts = Vec::new();
+    for u in 0..6 {
+        let username = format!("user-{u}");
+        let mut client = d.new_client(username.as_bytes()).unwrap();
+        let pin = format!("{:06}", 111_111 * (u + 1));
+        let secret = format!("secret for user {u}");
+        let artifact = client
+            .backup(pin.as_bytes(), secret.as_bytes(), 0, &mut rng)
+            .unwrap();
+        artifacts.push((client, pin, secret, artifact));
+    }
+    // Recover in reverse order; every user gets their own secret.
+    for (client, pin, secret, artifact) in artifacts.into_iter().rev() {
+        let outcome = d
+            .recover(&client, pin.as_bytes(), &artifact, &mut rng)
+            .unwrap();
+        assert_eq!(outcome.message, secret.as_bytes());
+    }
+}
+
+#[test]
+fn one_user_cannot_recover_anothers_backup() {
+    let (mut d, mut rng) = deployment(16, 2);
+    let mut alice = d.new_client(b"alice").unwrap();
+    let artifact = alice.backup(b"123456", b"alice-secret", 0, &mut rng).unwrap();
+
+    // Mallory knows Alice's PIN (shoulder-surfed) and downloads her
+    // ciphertext, but authenticates as herself. The HSM username binding
+    // rejects the decrypted shares.
+    let mallory = d.new_client(b"mallory").unwrap();
+    let result = d.recover(&mallory, b"123456", &artifact, &mut rng);
+    assert!(result.is_err(), "cross-user recovery must fail");
+
+    // Alice herself still recovers: Mallory's attempt was logged under
+    // *Mallory's* identifier, not Alice's.
+    let outcome = d.recover(&alice, b"123456", &artifact, &mut rng).unwrap();
+    assert_eq!(outcome.message, b"alice-secret");
+}
+
+#[test]
+fn guess_limiting_is_global_per_identifier() {
+    let (mut d, mut rng) = deployment(16, 3);
+    let mut bob = d.new_client(b"bob").unwrap();
+    let artifact = bob.backup(b"654321", b"bob-secret", 0, &mut rng).unwrap();
+
+    // One wrong-PIN attempt consumes Bob's single logged attempt.
+    assert!(d.recover(&bob, b"000000", &artifact, &mut rng).is_err());
+    let second = d.recover(&bob, b"654321", &artifact, &mut rng);
+    assert!(
+        matches!(second.unwrap_err(), DeploymentError::AttemptRefused),
+        "log must refuse the second attempt regardless of PIN correctness"
+    );
+}
+
+#[test]
+fn recovery_survives_failstop_within_budget() {
+    // A deployment whose quorum allows one HSM down (min_signers derives
+    // from f_live; use scaled params with a bigger fleet so the budget is
+    // nonzero).
+    let mut rng = StdRng::seed_from_u64(4);
+    let params = SystemParams::scaled(64, 8, 256).unwrap();
+    let mut d = Deployment::provision(params, &mut rng).unwrap();
+    assert!(params.min_signers() <= 63, "one failure tolerated");
+
+    let mut carol = d.new_client(b"carol").unwrap();
+    let artifact = carol.backup(b"121212", b"resilient", 0, &mut rng).unwrap();
+
+    // Fail one HSM that belongs to carol's cluster if possible.
+    let cluster = safetypin::lhe::select(&params.lhe, &artifact.salt, b"121212");
+    d.datacenter.hsm_mut(cluster[0]).unwrap().fail();
+
+    let outcome = d.recover(&carol, b"121212", &artifact, &mut rng).unwrap();
+    assert_eq!(outcome.message, b"resilient");
+    assert!(outcome.responders < outcome.contacted || cluster.iter().all(|&i| i != cluster[0]));
+}
+
+#[test]
+fn epoch_certification_survives_failures_and_recovers() {
+    let mut rng = StdRng::seed_from_u64(5);
+    let params = SystemParams::scaled(64, 8, 256).unwrap();
+    let mut d = Deployment::provision(params, &mut rng).unwrap();
+
+    d.datacenter.insert_log(b"x", b"1").unwrap();
+    d.datacenter.hsm_mut(7).unwrap().fail();
+    let outcome = d.datacenter.run_epoch().unwrap();
+    assert_eq!(outcome.skipped, vec![7]);
+
+    // The failed HSM comes back with a stale digest; after restoration it
+    // re-syncs at the next epoch... which requires starting from its held
+    // digest, so the provider replays from scratch for it. Here we simply
+    // verify the fleet majority advanced.
+    let digests: Vec<_> = (0..64u64)
+        .filter(|&i| i != 7)
+        .map(|i| d.datacenter.hsm(i).unwrap().log_digest())
+        .collect();
+    assert!(digests.iter().all(|d| *d == outcome.message.new_digest));
+}
+
+#[test]
+fn salt_protection_lifecycle() {
+    // Backup, protect the salt under the null PIN, recover the salt on a
+    // fresh device, verify it matches.
+    let (mut d, mut rng) = deployment(16, 6);
+    let mut erin = d.new_client(b"erin").unwrap();
+    let backup = erin.backup(b"999999", b"erin-secret", 0, &mut rng).unwrap();
+    let protected = erin.protect_salt(0, &mut rng).unwrap();
+
+    let outcome = d
+        .recover(&erin, safetypin_client::NULL_PIN, &protected, &mut rng)
+        .unwrap();
+    assert_eq!(outcome.message, backup.salt.0.to_vec());
+}
+
+#[test]
+fn keying_material_scales_with_fleet() {
+    let (d8, _) = deployment(8, 7);
+    let (d16, _) = deployment(16, 8);
+    let c8 = d8.new_client(b"u").unwrap();
+    let c16 = d16.new_client(b"u").unwrap();
+    let b8 = c8.keying_material_bytes();
+    let b16 = c16.keying_material_bytes();
+    assert!(
+        (b16 as f64 / b8 as f64 - 2.0).abs() < 0.05,
+        "download is linear in N: {b8} vs {b16}"
+    );
+}
+
+#[test]
+fn recovery_outcome_costs_price_on_all_devices() {
+    use safetypin::sim::device::{SAFENET_A700, SOLOKEY, YUBIHSM2};
+    use safetypin::sim::{CostModel, transport::USB_CDC};
+    let (mut d, mut rng) = deployment(8, 9);
+    let mut client = d.new_client(b"cost-user").unwrap();
+    let artifact = client.backup(b"111111", b"m", 0, &mut rng).unwrap();
+    let outcome = d.recover(&client, b"111111", &artifact, &mut rng).unwrap();
+    let mut prev = f64::INFINITY;
+    for device in [SOLOKEY, YUBIHSM2, SAFENET_A700] {
+        let model = CostModel { device, transport: USB_CDC };
+        let secs = outcome.hsm_seconds(&model);
+        assert!(secs > 0.0 && secs < prev, "faster device ⇒ less time");
+        prev = secs;
+    }
+}

@@ -1,0 +1,216 @@
+//! Property-based tests over the core data structures and invariants.
+
+use proptest::prelude::*;
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+use safetypin::authlog::trie::{ExtensionProof, MerkleTrie};
+use safetypin::primitives::shamir;
+use safetypin::primitives::wire::{Decode, Encode, Reader, Writer};
+use safetypin::primitives::{aead, commit, elgamal, gf256};
+use safetypin::seckv::{MemStore, SecureArray, StorageError};
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    // ---------------- GF(2^8) field laws --------------------------------
+
+    #[test]
+    fn gf256_field_laws(a in 0u8.., b in 0u8.., c in 0u8..) {
+        // Commutativity and associativity.
+        prop_assert_eq!(gf256::mul(a, b), gf256::mul(b, a));
+        prop_assert_eq!(gf256::mul(gf256::mul(a, b), c), gf256::mul(a, gf256::mul(b, c)));
+        // Distributivity.
+        prop_assert_eq!(
+            gf256::mul(a, gf256::add(b, c)),
+            gf256::add(gf256::mul(a, b), gf256::mul(a, c))
+        );
+        // Inverses.
+        if a != 0 {
+            prop_assert_eq!(gf256::mul(a, gf256::inv(a)), 1);
+            prop_assert_eq!(gf256::div(gf256::mul(a, b), a), b);
+        }
+    }
+
+    // ---------------- Shamir sharing -------------------------------------
+
+    #[test]
+    fn shamir_any_threshold_subset_reconstructs(
+        secret in proptest::collection::vec(any::<u8>(), 0..64),
+        t in 1usize..8,
+        extra in 0usize..8,
+        seed in any::<u64>(),
+    ) {
+        let n = t + extra;
+        let mut rng = StdRng::seed_from_u64(seed);
+        let shares = shamir::share(&secret, t, n, &mut rng).unwrap();
+        // Use the *last* t shares (an arbitrary subset).
+        let subset = &shares[n - t..];
+        prop_assert_eq!(shamir::reconstruct(subset, t).unwrap(), secret);
+    }
+
+    #[test]
+    fn shamir_below_threshold_never_reconstructs_quietly(
+        secret in proptest::collection::vec(1u8.., 1..32),
+        t in 2usize..6,
+        seed in any::<u64>(),
+    ) {
+        let mut rng = StdRng::seed_from_u64(seed);
+        let shares = shamir::share(&secret, t, t + 1, &mut rng).unwrap();
+        prop_assert!(shamir::reconstruct(&shares[..t - 1], t).is_err());
+    }
+
+    // ---------------- Wire codec ------------------------------------------
+
+    #[test]
+    fn wire_roundtrip_composite(
+        blobs in proptest::collection::vec(proptest::collection::vec(any::<u8>(), 0..128), 0..12),
+        nums in proptest::collection::vec(any::<u64>(), 0..8),
+        flag in any::<bool>(),
+    ) {
+        let mut w = Writer::new();
+        w.put_seq(&blobs);
+        w.put_seq(&nums);
+        w.put_bool(flag);
+        let bytes = w.into_bytes();
+        let mut r = Reader::new(&bytes);
+        prop_assert_eq!(r.get_seq::<Vec<u8>>().unwrap(), blobs);
+        prop_assert_eq!(r.get_seq::<u64>().unwrap(), nums);
+        prop_assert_eq!(r.get_bool().unwrap(), flag);
+        prop_assert!(r.is_exhausted());
+    }
+
+    #[test]
+    fn wire_decoder_never_panics_on_junk(junk in proptest::collection::vec(any::<u8>(), 0..256)) {
+        // Decoding arbitrary bytes as common structures must return
+        // Ok or Err — never panic or overflow.
+        let _ = safetypin::primitives::aead::AeadCiphertext::from_bytes(&junk);
+        let _ = elgamal::Ciphertext::from_bytes(&junk);
+        let _ = commit::Opening::from_bytes(&junk);
+        let _ = safetypin::authlog::trie::InclusionProof::from_bytes(&junk);
+        let _ = safetypin::hsm::RecoveryRequest::from_bytes(&junk);
+    }
+
+    // ---------------- AEAD / commitments ---------------------------------
+
+    #[test]
+    fn aead_roundtrip_and_tamper(
+        pt in proptest::collection::vec(any::<u8>(), 0..256),
+        aad in proptest::collection::vec(any::<u8>(), 0..32),
+        flip in any::<u8>(),
+        seed in any::<u64>(),
+    ) {
+        let mut rng = StdRng::seed_from_u64(seed);
+        let key = aead::AeadKey::random(&mut rng);
+        let ct = aead::seal(&key, &aad, &pt, &mut rng);
+        prop_assert_eq!(aead::open(&key, &aad, &ct).unwrap(), pt);
+        // Flip one bit somewhere in the serialized ciphertext.
+        let mut bytes = ct.to_bytes();
+        let idx = (flip as usize) % bytes.len();
+        bytes[idx] ^= 1;
+        if let Ok(mauled) = aead::AeadCiphertext::from_bytes(&bytes) {
+            prop_assert!(aead::open(&key, &aad, &mauled).is_err());
+        }
+    }
+
+    #[test]
+    fn commitments_bind(payload in proptest::collection::vec(any::<u8>(), 0..128), seed in any::<u64>()) {
+        let mut rng = StdRng::seed_from_u64(seed);
+        let (c, o) = commit::commit(&payload, &mut rng);
+        prop_assert_eq!(commit::verify(&c, &o).unwrap(), payload.as_slice());
+        let mut bad = o.clone();
+        bad.payload.push(0);
+        prop_assert!(commit::verify(&c, &bad).is_err());
+    }
+
+    // ---------------- Authenticated dictionary ---------------------------
+
+    #[test]
+    fn trie_set_determinism_and_extension(
+        mut entries in proptest::collection::btree_map(
+            proptest::collection::vec(any::<u8>(), 1..16),
+            proptest::collection::vec(any::<u8>(), 0..16),
+            1..24,
+        ),
+        split in any::<u8>(),
+    ) {
+        let all: Vec<(Vec<u8>, Vec<u8>)> = std::mem::take(&mut entries).into_iter().collect();
+        let cut = (split as usize) % (all.len() + 1);
+
+        // Determinism: digest independent of insertion order.
+        let mut forward = MerkleTrie::new();
+        for (k, v) in &all {
+            forward.insert(k, v).unwrap();
+        }
+        let mut backward = MerkleTrie::new();
+        for (k, v) in all.iter().rev() {
+            backward.insert(k, v).unwrap();
+        }
+        prop_assert_eq!(forward.digest(), backward.digest());
+
+        // Extension proofs: inserting the suffix extends the prefix.
+        let mut prefix_tree = MerkleTrie::new();
+        for (k, v) in &all[..cut] {
+            prefix_tree.insert(k, v).unwrap();
+        }
+        let d_old = prefix_tree.digest();
+        let mut steps = Vec::new();
+        for (k, v) in &all[cut..] {
+            steps.push(prefix_tree.insert(k, v).unwrap());
+        }
+        let proof = ExtensionProof { steps };
+        prop_assert!(MerkleTrie::does_extend(&d_old, &prefix_tree.digest(), &proof));
+        // And inclusion holds for every entry afterwards.
+        for (k, v) in &all {
+            let p = prefix_tree.prove_includes(k, v).unwrap();
+            prop_assert!(MerkleTrie::does_include(&prefix_tree.digest(), k, v, &p));
+        }
+    }
+
+    // ---------------- Secure deletion -------------------------------------
+
+    #[test]
+    fn seckv_random_op_sequences_maintain_invariants(
+        size in 1usize..24,
+        ops in proptest::collection::vec((any::<u8>(), any::<bool>()), 1..32),
+        seed in any::<u64>(),
+    ) {
+        let mut rng = StdRng::seed_from_u64(seed);
+        let data: Vec<Vec<u8>> = (0..size).map(|i| vec![i as u8; 4]).collect();
+        let mut store = MemStore::new();
+        let mut arr = SecureArray::setup(&mut store, &data, &mut rng).unwrap();
+        let mut deleted = vec![false; size];
+        for (raw, is_delete) in ops {
+            let i = (raw as usize) % size;
+            if is_delete {
+                arr.delete(&mut store, i as u64, &mut rng).unwrap();
+                deleted[i] = true;
+            } else {
+                match arr.read(&mut store, i as u64) {
+                    Ok(v) => {
+                        prop_assert!(!deleted[i], "read of deleted item succeeded");
+                        prop_assert_eq!(v, data[i].clone());
+                    }
+                    Err(StorageError::Deleted(_)) => prop_assert!(deleted[i]),
+                    Err(e) => prop_assert!(false, "unexpected error {e:?}"),
+                }
+            }
+        }
+    }
+
+    // ---------------- Hashed ElGamal ---------------------------------------
+
+    #[test]
+    fn elgamal_roundtrip_random_messages(
+        msg in proptest::collection::vec(any::<u8>(), 0..128),
+        ctx in proptest::collection::vec(any::<u8>(), 0..32),
+        seed in any::<u64>(),
+    ) {
+        let mut rng = StdRng::seed_from_u64(seed);
+        let kp = elgamal::KeyPair::generate(&mut rng);
+        let ct = elgamal::encrypt(&kp.pk, &ctx, &msg, &mut rng);
+        prop_assert_eq!(elgamal::decrypt(&kp.sk, &ctx, &ct).unwrap(), msg);
+        // Serialization stability.
+        let back = elgamal::Ciphertext::from_bytes(&ct.to_bytes()).unwrap();
+        prop_assert_eq!(back, ct);
+    }
+}
