@@ -101,10 +101,7 @@ mod tests {
     fn catchup_caps_at_full_set() {
         let m = paper_scale(3_710);
         assert!(m.catchup_bytes(2.0) < m.initial_download_bytes() as f64);
-        assert_eq!(
-            m.catchup_bytes(10_000.0),
-            m.initial_download_bytes() as f64
-        );
+        assert_eq!(m.catchup_bytes(10_000.0), m.initial_download_bytes() as f64);
     }
 
     #[test]

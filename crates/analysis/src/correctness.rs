@@ -65,9 +65,8 @@ impl AvailabilityParams {
         // Survivors s < t  ⇔  failures n−s > n−t.
         for s in 0..self.threshold {
             let k = n - s; // failures
-            p_fail += (ln_choose(n, k) + (k as f64) * f.ln()
-                + ((n - k) as f64) * (-f).ln_1p())
-            .exp();
+            p_fail +=
+                (ln_choose(n, k) + (k as f64) * f.ln() + ((n - k) as f64) * (-f).ln_1p()).exp();
         }
         p_fail
     }

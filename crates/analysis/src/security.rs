@@ -222,10 +222,7 @@ mod tests {
         // measure: n = 8, t = 2, f = 0.25.
         let exact = cover_probability_exact(8, 2, 0.25);
         let mc = cover_probability_mc(64, 8, 2, 0.25, 4_000, 42);
-        assert!(
-            (mc - exact).abs() < 0.05,
-            "exact {exact}, monte-carlo {mc}"
-        );
+        assert!((mc - exact).abs() < 0.05, "exact {exact}, monte-carlo {mc}");
     }
 
     #[test]

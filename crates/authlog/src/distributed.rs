@@ -20,7 +20,7 @@
 //! `exp(−(1 − 2·f_secret)·C)` ≤ 2⁻¹²⁸ for `C = λ = 128` (§6.2, Security).
 
 use safetypin_primitives::error::WireError;
-use safetypin_primitives::hashes::{Hash256, HashStream, Domain};
+use safetypin_primitives::hashes::{Domain, Hash256, HashStream};
 use safetypin_primitives::merkle::{self, MerkleProof, MerkleTree};
 use safetypin_primitives::wire::{Decode, Encode, Reader, Writer};
 
@@ -169,10 +169,7 @@ impl EpochUpdate {
         let (start_digest, start_inclusion) = if chunk == 0 {
             (self.message.old_digest, None)
         } else {
-            (
-                self.chunk_digests[idx - 1],
-                Some(self.tree.prove(idx - 1)),
-            )
+            (self.chunk_digests[idx - 1], Some(self.tree.prove(idx - 1)))
         };
         Ok(ChunkAudit {
             chunk,
@@ -187,10 +184,7 @@ impl EpochUpdate {
     /// Total serialized size of all audit materials (for bandwidth
     /// accounting).
     pub fn total_proof_bytes(&self) -> usize {
-        self.chunk_proofs
-            .iter()
-            .map(|p| p.to_bytes().len())
-            .sum()
+        self.chunk_proofs.iter().map(|p| p.to_bytes().len()).sum()
     }
 }
 
@@ -302,10 +296,7 @@ pub fn audit_chunks_for(hsm_id: u64, root: &Hash256, chunk_count: u32, audits: u
     if chunk_count == 0 {
         return Vec::new();
     }
-    let mut stream = HashStream::new(
-        Domain::AuditSelect,
-        &[&hsm_id.to_be_bytes(), root],
-    );
+    let mut stream = HashStream::new(Domain::AuditSelect, &[&hsm_id.to_be_bytes(), root]);
     let mut seen = std::collections::HashSet::new();
     let mut out = Vec::new();
     for _ in 0..audits {
@@ -436,7 +427,10 @@ mod tests {
         let mut msg = update.message();
         msg.old_digest[0] ^= 1;
         let audit = update.audit_package(0).unwrap();
-        assert_eq!(verify_chunk(&msg, &audit), Err(AuditError::BoundaryMismatch));
+        assert_eq!(
+            verify_chunk(&msg, &audit),
+            Err(AuditError::BoundaryMismatch)
+        );
     }
 
     #[test]
@@ -446,7 +440,10 @@ mod tests {
         let mut msg = update.message();
         msg.new_digest[0] ^= 1;
         let audit = update.audit_package(3).unwrap();
-        assert_eq!(verify_chunk(&msg, &audit), Err(AuditError::BoundaryMismatch));
+        assert_eq!(
+            verify_chunk(&msg, &audit),
+            Err(AuditError::BoundaryMismatch)
+        );
     }
 
     #[test]

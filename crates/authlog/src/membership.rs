@@ -47,7 +47,10 @@ pub enum MembershipEvent {
 impl Encode for MembershipEvent {
     fn encode(&self, w: &mut Writer) {
         match self {
-            MembershipEvent::Add { hsm_id, record_hash } => {
+            MembershipEvent::Add {
+                hsm_id,
+                record_hash,
+            } => {
                 w.put_u8(0);
                 w.put_u64(*hsm_id);
                 w.put_fixed(record_hash);
@@ -166,7 +169,10 @@ impl Roster {
 
     fn apply(&mut self, event: MembershipEvent) -> Result<(), RosterError> {
         match &event {
-            MembershipEvent::Add { hsm_id, record_hash } => {
+            MembershipEvent::Add {
+                hsm_id,
+                record_hash,
+            } => {
                 if self.members.insert(*hsm_id, *record_hash).is_some() {
                     return Err(RosterError::DuplicateAdd(*hsm_id));
                 }
@@ -231,12 +237,36 @@ mod tests {
     #[test]
     fn roster_replay_from_log() {
         let mut log = Log::new();
-        record_event(&mut log, 0, &MembershipEvent::Add { hsm_id: 0, record_hash: h(1) }).unwrap();
-        record_event(&mut log, 1, &MembershipEvent::Add { hsm_id: 1, record_hash: h(2) }).unwrap();
+        record_event(
+            &mut log,
+            0,
+            &MembershipEvent::Add {
+                hsm_id: 0,
+                record_hash: h(1),
+            },
+        )
+        .unwrap();
+        record_event(
+            &mut log,
+            1,
+            &MembershipEvent::Add {
+                hsm_id: 1,
+                record_hash: h(2),
+            },
+        )
+        .unwrap();
         // Recovery attempts interleave freely.
         log.insert(b"alice", b"commitment").unwrap();
         record_event(&mut log, 2, &MembershipEvent::Remove { hsm_id: 0 }).unwrap();
-        record_event(&mut log, 3, &MembershipEvent::Add { hsm_id: 2, record_hash: h(3) }).unwrap();
+        record_event(
+            &mut log,
+            3,
+            &MembershipEvent::Add {
+                hsm_id: 2,
+                record_hash: h(3),
+            },
+        )
+        .unwrap();
 
         let roster = Roster::from_entries(log.entries()).unwrap();
         assert_eq!(roster.active(), vec![1, 2]);
@@ -248,20 +278,50 @@ mod tests {
     #[test]
     fn membership_events_are_immutable_in_log() {
         let mut log = Log::new();
-        record_event(&mut log, 0, &MembershipEvent::Add { hsm_id: 0, record_hash: h(1) }).unwrap();
+        record_event(
+            &mut log,
+            0,
+            &MembershipEvent::Add {
+                hsm_id: 0,
+                record_hash: h(1),
+            },
+        )
+        .unwrap();
         // The provider cannot rewrite event 0 (e.g., swap in a different
         // enrollment hash): same identifier, append-only dictionary.
-        let err =
-            record_event(&mut log, 0, &MembershipEvent::Add { hsm_id: 0, record_hash: h(9) });
+        let err = record_event(
+            &mut log,
+            0,
+            &MembershipEvent::Add {
+                hsm_id: 0,
+                record_hash: h(9),
+            },
+        );
         assert!(matches!(err.unwrap_err(), LogError::DuplicateIdentifier));
     }
 
     #[test]
     fn sequence_gaps_detected() {
         let mut log = Log::new();
-        record_event(&mut log, 0, &MembershipEvent::Add { hsm_id: 0, record_hash: h(1) }).unwrap();
+        record_event(
+            &mut log,
+            0,
+            &MembershipEvent::Add {
+                hsm_id: 0,
+                record_hash: h(1),
+            },
+        )
+        .unwrap();
         // Skip seq 1 (hiding an event from auditors).
-        record_event(&mut log, 2, &MembershipEvent::Add { hsm_id: 1, record_hash: h(2) }).unwrap();
+        record_event(
+            &mut log,
+            2,
+            &MembershipEvent::Add {
+                hsm_id: 1,
+                record_hash: h(2),
+            },
+        )
+        .unwrap();
         assert_eq!(
             Roster::from_entries(log.entries()).unwrap_err(),
             RosterError::SequenceGap { expected: 1 }
@@ -271,8 +331,24 @@ mod tests {
     #[test]
     fn inconsistent_events_rejected() {
         let mut log = Log::new();
-        record_event(&mut log, 0, &MembershipEvent::Add { hsm_id: 0, record_hash: h(1) }).unwrap();
-        record_event(&mut log, 1, &MembershipEvent::Add { hsm_id: 0, record_hash: h(2) }).unwrap();
+        record_event(
+            &mut log,
+            0,
+            &MembershipEvent::Add {
+                hsm_id: 0,
+                record_hash: h(1),
+            },
+        )
+        .unwrap();
+        record_event(
+            &mut log,
+            1,
+            &MembershipEvent::Add {
+                hsm_id: 0,
+                record_hash: h(2),
+            },
+        )
+        .unwrap();
         assert_eq!(
             Roster::from_entries(log.entries()).unwrap_err(),
             RosterError::DuplicateAdd(0)
@@ -291,7 +367,15 @@ mod tests {
         let mut log = Log::new();
         let mut seq = 0u64;
         for id in 0..10u64 {
-            record_event(&mut log, seq, &MembershipEvent::Add { hsm_id: id, record_hash: h(id as u8) }).unwrap();
+            record_event(
+                &mut log,
+                seq,
+                &MembershipEvent::Add {
+                    hsm_id: id,
+                    record_hash: h(id as u8),
+                },
+            )
+            .unwrap();
             seq += 1;
         }
         let calm = Roster::from_entries(log.entries()).unwrap();
@@ -301,7 +385,15 @@ mod tests {
         for id in 0..8u64 {
             record_event(&mut log, seq, &MembershipEvent::Remove { hsm_id: id }).unwrap();
             seq += 1;
-            record_event(&mut log, seq, &MembershipEvent::Add { hsm_id: 100 + id, record_hash: h(0xAA) }).unwrap();
+            record_event(
+                &mut log,
+                seq,
+                &MembershipEvent::Add {
+                    hsm_id: 100 + id,
+                    record_hash: h(0xAA),
+                },
+            )
+            .unwrap();
             seq += 1;
         }
         let churned = Roster::from_entries(log.entries()).unwrap();
@@ -319,7 +411,15 @@ mod tests {
         // an extension proof covering them verifies like any other.
         let mut log = Log::new();
         let _ = log.cut_epoch(1);
-        record_event(&mut log, 0, &MembershipEvent::Add { hsm_id: 7, record_hash: h(7) }).unwrap();
+        record_event(
+            &mut log,
+            0,
+            &MembershipEvent::Add {
+                hsm_id: 7,
+                record_hash: h(7),
+            },
+        )
+        .unwrap();
         log.insert(b"user", b"attempt").unwrap();
         let cut = log.cut_epoch(2);
         let mut d = cut.old_digest;
@@ -344,7 +444,10 @@ mod tests {
     #[test]
     fn event_wire_roundtrip() {
         for e in [
-            MembershipEvent::Add { hsm_id: 42, record_hash: h(9) },
+            MembershipEvent::Add {
+                hsm_id: 42,
+                record_hash: h(9),
+            },
             MembershipEvent::Remove { hsm_id: 7 },
         ] {
             assert_eq!(MembershipEvent::from_bytes(&e.to_bytes()).unwrap(), e);

@@ -451,10 +451,9 @@ impl MerkleTrie {
         let vh = value_hash(id, value);
         let path = self.lookup_path(&kh);
         match &path.end {
-            PathEnd::Leaf {
-                kh: lkh,
-                vh: lvh,
-            } if *lkh == kh && *lvh == vh => Some(InclusionProof { path }),
+            PathEnd::Leaf { kh: lkh, vh: lvh } if *lkh == kh && *lvh == vh => {
+                Some(InclusionProof { path })
+            }
             _ => None,
         }
     }
@@ -509,7 +508,12 @@ impl MerkleTrie {
         })
     }
 
-    fn insert_node(node: Node, kh: &Hash256, vh: &Hash256, depth: usize) -> Result<Node, TrieError> {
+    fn insert_node(
+        node: Node,
+        kh: &Hash256,
+        vh: &Hash256,
+        depth: usize,
+    ) -> Result<Node, TrieError> {
         if depth >= MAX_DEPTH {
             return Err(TrieError::DepthExhausted);
         }
@@ -727,7 +731,11 @@ mod tests {
         let d = t.digest();
         assert!(MerkleTrie::does_extend(&d, &d, &ExtensionProof::default()));
         let other = [1u8; 32];
-        assert!(!MerkleTrie::does_extend(&d, &other, &ExtensionProof::default()));
+        assert!(!MerkleTrie::does_extend(
+            &d,
+            &other,
+            &ExtensionProof::default()
+        ));
     }
 
     #[test]

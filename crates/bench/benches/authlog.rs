@@ -48,7 +48,8 @@ fn bench_authlog(c: &mut Criterion) {
     }
     let _ = log2.cut_epoch(1);
     for i in 0..10_000u32 {
-        log2.insert(format!("attempt-{i}").as_bytes(), b"v").unwrap();
+        log2.insert(format!("attempt-{i}").as_bytes(), b"v")
+            .unwrap();
     }
     let cut = log2.cut_epoch(1_000);
     let update = EpochUpdate::build(&cut).unwrap();

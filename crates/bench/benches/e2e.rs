@@ -4,7 +4,9 @@
 use criterion::{criterion_group, criterion_main, Criterion};
 use rand::rngs::StdRng;
 use rand::SeedableRng;
-use safetypin::{Deployment, SystemParams};
+use safetypin::hsm::HsmError;
+use safetypin::provider::ProviderError;
+use safetypin::{Deployment, DeploymentError, SystemParams};
 
 fn bench_e2e(c: &mut Criterion) {
     let mut rng = StdRng::seed_from_u64(42);
@@ -14,19 +16,17 @@ fn bench_e2e(c: &mut Criterion) {
 
     c.bench_function("client_backup_n4", |b| {
         let mut rng2 = StdRng::seed_from_u64(43);
-        b.iter(|| {
-            std::hint::black_box(
-                client
-                    .backup(b"123456", &[0u8; 32], 0, &mut rng2)
-                    .unwrap(),
-            )
-        })
+        b.iter(|| std::hint::black_box(client.backup(b"123456", &[0u8; 32], 0, &mut rng2).unwrap()))
     });
 
     // Full recovery including the log epoch. Each iteration needs a fresh
     // username (one attempt per identifier) and a fresh backup series —
     // the counter lives outside the closure because criterion re-invokes
-    // it across warmup and measurement passes.
+    // it across warmup and measurement passes. Every recovery punctures
+    // the involved HSMs' BFE filters, so a long measurement run exhausts
+    // the fleet's puncture capacity by design (the paper rotates keys in
+    // epochs); when that happens we stand up a fresh fleet and keep
+    // measuring, mirroring rotation.
     let mut rng2 = StdRng::seed_from_u64(44);
     let mut serial = 0u64;
     c.bench_function("full_recovery_n4", |b| {
@@ -35,9 +35,21 @@ fn bench_e2e(c: &mut Criterion) {
             let username = format!("bench-{serial}");
             let mut cl = deployment.new_client(username.as_bytes()).unwrap();
             let artifact = cl.backup(b"123456", &[1u8; 32], 0, &mut rng2).unwrap();
-            let outcome = deployment
-                .recover(&cl, b"123456", &artifact, &mut rng2)
-                .unwrap();
+            let outcome = match deployment.recover(&cl, b"123456", &artifact, &mut rng2) {
+                Ok(outcome) => outcome,
+                Err(DeploymentError::Provider(ProviderError::Hsm(HsmError::DecryptFailed))) => {
+                    // Puncture capacity exhausted: rotate the fleet. (Only
+                    // this variant is absorbed — anything else is a real
+                    // regression and must fail the bench.)
+                    deployment = Deployment::provision(params, &mut rng2).unwrap();
+                    let mut cl = deployment.new_client(username.as_bytes()).unwrap();
+                    let artifact = cl.backup(b"123456", &[1u8; 32], 0, &mut rng2).unwrap();
+                    deployment
+                        .recover(&cl, b"123456", &artifact, &mut rng2)
+                        .expect("fresh fleet recovers")
+                }
+                Err(other) => panic!("recovery failed: {other}"),
+            };
             std::hint::black_box(outcome.message)
         })
     });

@@ -32,7 +32,10 @@ pub fn run() {
                 "SafetyPin (n=40, k=4)".into(),
                 bytes(artifact.ciphertext.len() as f64),
             ],
-            vec!["baseline (5 HSMs)".into(), bytes(bct.to_bytes().len() as f64)],
+            vec![
+                "baseline (5 HSMs)".into(),
+                bytes(bct.to_bytes().len() as f64),
+            ],
         ],
     );
     report.line("paper: 16.5 KB vs 130 B.");

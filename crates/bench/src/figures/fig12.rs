@@ -27,7 +27,12 @@ pub fn run() {
         ]);
     }
     report.table(
-        &["budget", "SoloKey rec/yr", "YubiHSM2 rec/yr", "SafeNet rec/yr"],
+        &[
+            "budget",
+            "SoloKey rec/yr",
+            "YubiHSM2 rec/yr",
+            "SafeNet rec/yr",
+        ],
         &rows,
     );
     report.line("");

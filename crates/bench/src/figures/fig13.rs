@@ -46,7 +46,13 @@ pub fn run() {
         rows.push(row);
     }
     report.table(
-        &["request rate", "p99<30s", "p99<1min", "p99<5min", "stability only"],
+        &[
+            "request rate",
+            "p99<30s",
+            "p99<1min",
+            "p99<5min",
+            "stability only",
+        ],
         &rows,
     );
 
@@ -62,6 +68,7 @@ pub fn run() {
     report.line(format!(
         "fleet {n}: analytic p99 = {analytic:.1} s, simulated p99 = {simulated:.1} s"
     ));
-    report.line("paper Fig 13: tighter SLOs need modestly larger fleets; all curves linear in rate.");
+    report
+        .line("paper Fig 13: tighter SLOs need modestly larger fleets; all curves linear in rate.");
     report.finish();
 }

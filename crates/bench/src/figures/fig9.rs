@@ -88,7 +88,9 @@ pub fn run() {
     // §9.1: naive whole-array re-encryption vs the tree (the 4,423×).
     report.section("naive deletion baseline (paper §9.1: 48 min vs ms, ~4,423x)");
     let mut rng = StdRng::seed_from_u64(99);
-    let blocks: Vec<Vec<u8>> = (0..(1u64 << 15)).map(|i| i.to_be_bytes().to_vec()).collect();
+    let blocks: Vec<Vec<u8>> = (0..(1u64 << 15))
+        .map(|i| i.to_be_bytes().to_vec())
+        .collect();
 
     let mut tree_store = MemStore::new();
     let mut tree = SecureArray::setup(&mut tree_store, &blocks, &mut rng).unwrap();

@@ -103,7 +103,10 @@ pub fn run() {
         "-".into(),
     ]);
 
-    report.table(&["operation", "SoloKey ops/s", "host ops/s", "host/SoloKey"], &rows);
+    report.table(
+        &["operation", "SoloKey ops/s", "host ops/s", "host/SoloKey"],
+        &rows,
+    );
     report.line("");
     report.line("SoloKey column = paper Table 7; host column = this machine.");
     report.finish();

@@ -108,12 +108,7 @@ impl BfeParams {
     /// order. All parties derive positions the same way, so a malicious
     /// client cannot aim a puncture at slots other than its own tag's.
     pub fn indices_for_tag(&self, tag: &[u8]) -> Vec<u64> {
-        let raw = indices_from_seed(
-            Domain::BloomIndex,
-            &[tag],
-            self.hashes as usize,
-            self.slots,
-        );
+        let raw = indices_from_seed(Domain::BloomIndex, &[tag], self.hashes as usize, self.slots);
         let mut seen = std::collections::HashSet::with_capacity(raw.len());
         raw.into_iter().filter(|i| seen.insert(*i)).collect()
     }
@@ -222,10 +217,7 @@ pub fn keygen<S: BlockStore, R: RngCore + CryptoRng>(
         .map_err(|_| CryptoError::InvalidParameter("secure array setup failed"))?;
     let outsourced_bytes = params.secret_key_bytes();
     Ok((
-        BfePublicKey {
-            params,
-            points,
-        },
+        BfePublicKey { params, points },
         BfeSecretKey {
             params,
             array,
@@ -437,8 +429,8 @@ impl BfeSecretKey {
                 .as_slice()
                 .try_into()
                 .map_err(|_| CryptoError::InvalidScalar)?;
-            let scalar = Option::<Scalar>::from(Scalar::from_repr(arr.into()))
-                .ok_or(CryptoError::InvalidScalar)?;
+            let scalar =
+                Option::<Scalar>::from(Scalar::from_repr(arr)).ok_or(CryptoError::InvalidScalar)?;
             let shared = pk_to_point(&ct.eph) * scalar;
             report.group_ops += 1;
             let key = dem_key(&shared, &ct.eph, idx, context);
@@ -474,8 +466,8 @@ impl BfeSecretKey {
                 Err(_) => return Err(CryptoError::DecryptionFailed),
             }
             let after = self.array.metrics();
-            report.aead_ops +=
-                (after.aead_dec_ops - before.aead_dec_ops) + (after.aead_enc_ops - before.aead_enc_ops);
+            report.aead_ops += (after.aead_dec_ops - before.aead_dec_ops)
+                + (after.aead_enc_ops - before.aead_enc_ops);
             report.aead_bytes += (after.bytes_decrypted - before.bytes_decrypted)
                 + (after.bytes_encrypted - before.bytes_encrypted);
             report.blocks_read += after.aead_dec_ops - before.aead_dec_ops;

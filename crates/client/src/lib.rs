@@ -540,7 +540,10 @@ mod tests {
     #[test]
     fn wrong_pin_fails() {
         let mut w = world(b"bob");
-        let artifact = w.client.backup(b"123456", b"secret", 0, &mut w.rng).unwrap();
+        let artifact = w
+            .client
+            .backup(b"123456", b"secret", 0, &mut w.rng)
+            .unwrap();
         let err = w.recover(b"654321", &artifact, false).unwrap_err();
         assert!(matches!(
             err,
@@ -594,8 +597,14 @@ mod tests {
         let mut w = world(b"frank");
         let mut rng = StdRng::seed_from_u64(5);
         let key = w.client.incremental_key(&mut rng).clone();
-        let (seq0, ct0) = w.client.incremental_backup(b"day 1 delta", &mut rng).unwrap();
-        let (seq1, ct1) = w.client.incremental_backup(b"day 2 delta", &mut rng).unwrap();
+        let (seq0, ct0) = w
+            .client
+            .incremental_backup(b"day 1 delta", &mut rng)
+            .unwrap();
+        let (seq1, ct1) = w
+            .client
+            .incremental_backup(b"day 2 delta", &mut rng)
+            .unwrap();
         assert_eq!((seq0, seq1), (0, 1));
         assert_eq!(
             w.client.decrypt_incremental(&key, 0, &ct0).unwrap(),

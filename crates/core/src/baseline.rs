@@ -105,7 +105,9 @@ impl Encode for BaselineCiphertext {
 }
 
 impl Decode for BaselineCiphertext {
-    fn decode(r: &mut Reader<'_>) -> core::result::Result<Self, safetypin_primitives::error::WireError> {
+    fn decode(
+        r: &mut Reader<'_>,
+    ) -> core::result::Result<Self, safetypin_primitives::error::WireError> {
         Ok(Self {
             salt: r.get_array()?,
             shares: r.get_seq()?,
@@ -212,8 +214,7 @@ impl BaselineSystem {
             .shares
             .get(slot)
             .ok_or(BaselineError::Crypto(CryptoError::DecryptionFailed))?;
-        let pt = elgamal::decrypt(&hsm.kp.sk, username, share)
-            .map_err(BaselineError::Crypto)?;
+        let pt = elgamal::decrypt(&hsm.kp.sk, username, share).map_err(BaselineError::Crypto)?;
         hsm.costs.elgamal_decs += 1;
         if pt.len() != 16 + 32 {
             return Err(BaselineError::Crypto(CryptoError::DecryptionFailed));
@@ -351,7 +352,7 @@ mod tests {
     fn single_hsm_compromise_breaks_baseline() {
         // The headline weakness: steal ONE cluster HSM and brute-force a
         // 6-digit PIN offline, ignoring all guess limits.
-        let (mut s, mut rng) = system();
+        let (s, mut rng) = system();
         let (ct, _) = s.backup(b"victim", b"428571", b"the secrets", &mut rng);
         let cluster = s.cluster_for(b"victim");
         let stolen = cluster[0];

@@ -124,8 +124,7 @@ impl Deployment {
         params: SystemParams,
         rng: &mut R,
     ) -> Result<Self, DeploymentError> {
-        let datacenter =
-            Datacenter::provision(params.total(), |id| params.hsm_config(id), rng)?;
+        let datacenter = Datacenter::provision(params.total(), |id| params.hsm_config(id), rng)?;
         Ok(Self { params, datacenter })
     }
 
@@ -216,7 +215,9 @@ mod tests {
     fn quickstart_backup_recover() {
         let (mut d, mut rng) = deployment(8);
         let mut client = d.new_client(b"alice").unwrap();
-        let artifact = client.backup(b"493201", b"the disk key", 0, &mut rng).unwrap();
+        let artifact = client
+            .backup(b"493201", b"the disk key", 0, &mut rng)
+            .unwrap();
         let outcome = d.recover(&client, b"493201", &artifact, &mut rng).unwrap();
         assert_eq!(outcome.message, b"the disk key");
         assert_eq!(outcome.window, WindowPhase::Revoked);
@@ -229,7 +230,9 @@ mod tests {
         let mut client = d.new_client(b"bob").unwrap();
         let artifact = client.backup(b"111111", b"m", 0, &mut rng).unwrap();
         d.recover(&client, b"111111", &artifact, &mut rng).unwrap();
-        let err = d.recover(&client, b"111111", &artifact, &mut rng).unwrap_err();
+        let err = d
+            .recover(&client, b"111111", &artifact, &mut rng)
+            .unwrap_err();
         assert!(matches!(err, DeploymentError::AttemptRefused));
     }
 
@@ -241,7 +244,9 @@ mod tests {
         let mut client = d.new_client(b"carol").unwrap();
         let artifact = client.backup(b"222222", b"m", 0, &mut rng).unwrap();
         assert!(d.recover(&client, b"999999", &artifact, &mut rng).is_err());
-        let err = d.recover(&client, b"222222", &artifact, &mut rng).unwrap_err();
+        let err = d
+            .recover(&client, b"222222", &artifact, &mut rng)
+            .unwrap_err();
         assert!(matches!(err, DeploymentError::AttemptRefused));
     }
 

@@ -477,8 +477,7 @@ impl Hsm {
             message.chunk_count,
             self.config.audits_per_epoch,
         ));
-        let provided: std::collections::BTreeSet<u32> =
-            packages.iter().map(|p| p.chunk).collect();
+        let provided: std::collections::BTreeSet<u32> = packages.iter().map(|p| p.chunk).collect();
         if expected != provided || packages.len() != provided.len() {
             return Err(HsmError::WrongAuditSet);
         }
@@ -521,12 +520,7 @@ impl Hsm {
             if !seen.insert(s) {
                 return Err(HsmError::BadAggregate);
             }
-            keys.push(
-                *self
-                    .fleet_keys
-                    .get(s)
-                    .ok_or(HsmError::BadAggregate)?,
-            );
+            keys.push(*self.fleet_keys.get(s).ok_or(HsmError::BadAggregate)?);
         }
         // Aggregate verification is one two-pairing product check,
         // independent of the signer count (§6.2 Scalability).

@@ -120,13 +120,15 @@ impl Fixture {
         pin: &[u8],
         ct_bytes: &[u8],
         salt: &Salt,
-    ) -> (Vec<u64>, commit::Opening, safetypin_authlog::trie::InclusionProof) {
+    ) -> (
+        Vec<u64>,
+        commit::Opening,
+        safetypin_authlog::trie::InclusionProof,
+    ) {
         let cluster = select(&self.params, salt, pin);
         let payload = build_commit_payload(&cluster, &ciphertext_commit_hash(ct_bytes));
         let (commitment, opening) = commit::commit(&payload, &mut self.rng);
-        self.log
-            .insert(username, &commitment.to_bytes())
-            .unwrap();
+        self.log.insert(username, &commitment.to_bytes()).unwrap();
         self.run_epoch();
         let inclusion = self
             .log
@@ -356,7 +358,9 @@ fn epoch_update_rejects_stale_and_bad_sets() {
     let own_assignment = fx.hsms[0].audit_assignment(&msg);
     if other_assignment != own_assignment {
         assert_eq!(
-            fx.hsms[0].audit_and_sign(&msg, &other_packages).unwrap_err(),
+            fx.hsms[0]
+                .audit_and_sign(&msg, &other_packages)
+                .unwrap_err(),
             HsmError::WrongAuditSet
         );
     }
@@ -468,7 +472,10 @@ fn failed_hsm_unavailable() {
     let mut fx = fixture();
     fx.hsms[0].fail();
     assert_eq!(fx.hsms[0].status(), HsmStatus::Failed);
-    assert_eq!(fx.hsms[0].garbage_collect().unwrap_err(), HsmError::Unavailable);
+    assert_eq!(
+        fx.hsms[0].garbage_collect().unwrap_err(),
+        HsmError::Unavailable
+    );
     fx.hsms[0].restore();
     assert_eq!(fx.hsms[0].status(), HsmStatus::Active);
     fx.hsms[0].garbage_collect().unwrap();
@@ -492,7 +499,10 @@ fn costs_are_metered() {
     assert!(before > 0, "provisioning costs metered");
     let _ = full_recovery(&mut fx, b"hank", b"666666", b"m");
     let decs: u64 = fx.hsms.iter().map(|h| h.costs().elgamal_decs).sum();
-    assert!(decs >= fx.params.cluster as u64, "decryptions metered: {decs}");
+    assert!(
+        decs >= fx.params.cluster as u64,
+        "decryptions metered: {decs}"
+    );
     let io: u64 = fx.hsms.iter().map(|h| h.costs().io_bytes).sum();
     assert!(io > 0, "io metered");
     let drained = fx.hsms[0].take_costs();

@@ -159,8 +159,7 @@ impl RecoveryResponse {
             RecoveryResponse::Plain(shares) => Ok(shares),
             RecoveryResponse::Encrypted(ct) => {
                 let sk = sk.ok_or(HsmError::DecryptFailed)?;
-                let pt = elgamal::decrypt(sk, context, &ct)
-                    .map_err(|_| HsmError::DecryptFailed)?;
+                let pt = elgamal::decrypt(sk, context, &ct).map_err(|_| HsmError::DecryptFailed)?;
                 let mut r = Reader::new(&pt);
                 let shares = r.get_seq().map_err(HsmError::Wire)?;
                 Ok(shares)

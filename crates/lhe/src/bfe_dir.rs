@@ -80,7 +80,14 @@ mod tests {
         let salt = crate::scheme::Salt::random(&mut rng);
         let dir = BfeDirectory::new(&pks, b"carol", &salt);
         let ct = crate::scheme::encrypt_with_salt(
-            &params, &dir, b"carol", b"123456", salt, 0, b"device key", &mut rng,
+            &params,
+            &dir,
+            b"carol",
+            b"123456",
+            salt,
+            0,
+            b"device key",
+            &mut rng,
         )
         .unwrap();
 
@@ -136,11 +143,25 @@ mod tests {
         let salt = crate::scheme::Salt::random(&mut rng);
         let dir = BfeDirectory::new(&pks, b"dave", &salt);
         let ct_old = crate::scheme::encrypt_with_salt(
-            &params, &dir, b"dave", b"0000", salt, 0, b"old backup", &mut rng,
+            &params,
+            &dir,
+            b"dave",
+            b"0000",
+            salt,
+            0,
+            b"old backup",
+            &mut rng,
         )
         .unwrap();
         let ct_new = crate::scheme::encrypt_with_salt(
-            &params, &dir, b"dave", b"0000", salt, 0, b"new backup", &mut rng,
+            &params,
+            &dir,
+            b"dave",
+            b"0000",
+            salt,
+            0,
+            b"new backup",
+            &mut rng,
         )
         .unwrap();
 
@@ -157,7 +178,12 @@ mod tests {
         for (&i, positions) in &by_hsm {
             for &j in positions {
                 let _ = sks[i as usize]
-                    .decrypt(&mut stores[i as usize], &tag, &context, &ct_new.share_cts[j])
+                    .decrypt(
+                        &mut stores[i as usize],
+                        &tag,
+                        &context,
+                        &ct_new.share_cts[j],
+                    )
                     .unwrap();
             }
             sks[i as usize]
@@ -167,7 +193,12 @@ mod tests {
         // The OLD backup is now unrecoverable too.
         for (j, &i) in cluster.iter().enumerate() {
             assert!(sks[i as usize]
-                .decrypt(&mut stores[i as usize], &tag, &context, &ct_old.share_cts[j])
+                .decrypt(
+                    &mut stores[i as usize],
+                    &tag,
+                    &context,
+                    &ct_old.share_cts[j]
+                )
                 .is_err());
         }
     }

@@ -24,7 +24,12 @@ impl LheParams {
     ///
     /// Requirements: `1 ≤ t ≤ n ≤ min(N, 255)` (255 is the GF(2⁸) Shamir
     /// evaluation-point bound) and nonzero `N`, `|P|`.
-    pub fn new(total: u64, cluster: usize, threshold: usize, pin_space: u64) -> Result<Self, CryptoError> {
+    pub fn new(
+        total: u64,
+        cluster: usize,
+        threshold: usize,
+        pin_space: u64,
+    ) -> Result<Self, CryptoError> {
         if total == 0 {
             return Err(CryptoError::InvalidParameter("N must be positive"));
         }

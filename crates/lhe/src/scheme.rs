@@ -185,12 +185,7 @@ pub fn encrypt_with_salt<P: SharePke, R: RngCore + CryptoRng>(
 ) -> Result<LheCiphertext<P::Ct>> {
     let indices = select(params, &salt, pin);
     let transport = AeadKey::random(rng);
-    let shares = shamir::share(
-        transport.as_bytes(),
-        params.threshold,
-        params.cluster,
-        rng,
-    )?;
+    let shares = shamir::share(transport.as_bytes(), params.threshold, params.cluster, rng)?;
     let context = share_context(username, &salt);
     let share_cts = indices
         .iter()
@@ -379,9 +374,13 @@ mod tests {
             .enumerate()
             .filter(|(j, _)| !skip.contains(j))
             .filter_map(|(j, &i)| {
-                let pt =
-                    decrypt_share(&fx.hsms[i as usize].sk, username, &ct.salt, &ct.share_cts[j])
-                        .ok()?;
+                let pt = decrypt_share(
+                    &fx.hsms[i as usize].sk,
+                    username,
+                    &ct.salt,
+                    &ct.share_cts[j],
+                )
+                .ok()?;
                 parse_share_plaintext(&pt, username).ok()
             })
             .collect()
@@ -393,7 +392,10 @@ mod tests {
         let mut rng = rng();
         let pks: Vec<_> = fx.hsms.iter().map(|k| k.pk).collect();
         let dir = ElGamalDirectory { keys: &pks };
-        let ct = encrypt(&fx.params, &dir, b"alice", b"123456", 3, b"backup!", &mut rng).unwrap();
+        let ct = encrypt(
+            &fx.params, &dir, b"alice", b"123456", 3, b"backup!", &mut rng,
+        )
+        .unwrap();
         assert_eq!(ct.epoch, 3);
         assert_eq!(ct.share_cts.len(), 8);
         let shares = recover_shares(&fx, &ct, b"alice", b"123456", &[]);
@@ -517,13 +519,9 @@ mod tests {
                 .enumerate()
                 .filter(|(_, i)| !failed.contains(i))
                 .filter_map(|(j, &i)| {
-                    let pt = decrypt_share(
-                        &fx.hsms[i as usize].sk,
-                        b"u",
-                        &ct.salt,
-                        &ct.share_cts[j],
-                    )
-                    .ok()?;
+                    let pt =
+                        decrypt_share(&fx.hsms[i as usize].sk, b"u", &ct.salt, &ct.share_cts[j])
+                            .ok()?;
                     parse_share_plaintext(&pt, b"u").ok()
                 })
                 .collect();
@@ -575,7 +573,7 @@ mod tests {
         // selected at least once, no index should dominate.
         let params = LheParams::new(50, 10, 5, 1000).unwrap();
         let mut rng = rng();
-        let mut counts = vec![0u32; 50];
+        let mut counts = [0u32; 50];
         for _ in 0..400 {
             let salt = Salt::random(&mut rng);
             for i in select(&params, &salt, b"pin") {
@@ -583,8 +581,16 @@ mod tests {
             }
         }
         // 4000 draws over 50 bins ⇒ mean 80.
-        assert!(counts.iter().all(|&c| c > 30), "min {:?}", counts.iter().min());
-        assert!(counts.iter().all(|&c| c < 160), "max {:?}", counts.iter().max());
+        assert!(
+            counts.iter().all(|&c| c > 30),
+            "min {:?}",
+            counts.iter().min()
+        );
+        assert!(
+            counts.iter().all(|&c| c < 160),
+            "max {:?}",
+            counts.iter().max()
+        );
     }
 
     #[test]

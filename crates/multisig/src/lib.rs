@@ -255,7 +255,8 @@ pub fn aggregate_signatures(sigs: &[Signature]) -> Option<Signature> {
         return None;
     }
     Some(Signature(
-        sigs.iter().fold(G1Projective::identity(), |acc, s| acc + s.0),
+        sigs.iter()
+            .fold(G1Projective::identity(), |acc, s| acc + s.0),
     ))
 }
 
@@ -266,7 +267,8 @@ pub fn aggregate_keys(keys: &[VerifyKey]) -> Option<VerifyKey> {
         return None;
     }
     Some(VerifyKey(
-        keys.iter().fold(G2Projective::identity(), |acc, k| acc + k.0),
+        keys.iter()
+            .fold(G2Projective::identity(), |acc, k| acc + k.0),
     ))
 }
 

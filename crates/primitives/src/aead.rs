@@ -136,13 +136,7 @@ pub fn seal<R: RngCore + CryptoRng>(
 pub fn open(key: &AeadKey, aad: &[u8], ct: &AeadCiphertext) -> Result<Vec<u8>> {
     let cipher = Aes128Gcm::new(key.0.as_slice().into());
     cipher
-        .decrypt(
-            &Nonce::from(ct.nonce),
-            Payload {
-                msg: &ct.body,
-                aad,
-            },
-        )
+        .decrypt(&Nonce::from(ct.nonce), Payload { msg: &ct.body, aad })
         .map_err(|_| CryptoError::DecryptionFailed)
 }
 
@@ -170,7 +164,10 @@ mod tests {
         let key = AeadKey::random(&mut rng);
         let other = AeadKey::random(&mut rng);
         let ct = seal(&key, b"", b"secret", &mut rng);
-        assert_eq!(open(&other, b"", &ct).unwrap_err(), CryptoError::DecryptionFailed);
+        assert_eq!(
+            open(&other, b"", &ct).unwrap_err(),
+            CryptoError::DecryptionFailed
+        );
     }
 
     #[test]

@@ -49,7 +49,10 @@ impl Decode for Opening {
     fn decode(r: &mut Reader<'_>) -> core::result::Result<Self, WireError> {
         let payload = r.get_bytes()?.to_vec();
         let randomness = r.get_array::<32>()?;
-        Ok(Self { payload, randomness })
+        Ok(Self {
+            payload,
+            randomness,
+        })
     }
 }
 
@@ -100,7 +103,10 @@ mod tests {
         let mut rng = StdRng::seed_from_u64(2);
         let (c, mut o) = commit(b"payload", &mut rng);
         o.payload[0] ^= 1;
-        assert_eq!(verify(&c, &o).unwrap_err(), CryptoError::BadCommitmentOpening);
+        assert_eq!(
+            verify(&c, &o).unwrap_err(),
+            CryptoError::BadCommitmentOpening
+        );
     }
 
     #[test]

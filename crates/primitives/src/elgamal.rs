@@ -42,7 +42,11 @@ pub struct PublicKey(pub(crate) ProjectivePoint);
 impl core::fmt::Debug for PublicKey {
     fn fmt(&self, f: &mut core::fmt::Formatter<'_>) -> core::fmt::Result {
         let bytes = self.to_sec1();
-        write!(f, "PublicKey({:02x}{:02x}..{:02x})", bytes[0], bytes[1], bytes[32])
+        write!(
+            f,
+            "PublicKey({:02x}{:02x}..{:02x})",
+            bytes[0], bytes[1], bytes[32]
+        )
     }
 }
 
@@ -99,14 +103,14 @@ impl SecretKey {
     /// exfiltration) and so the BFE secret-key array can be stored in the
     /// outsourced-storage tree.
     pub fn to_bytes(&self) -> [u8; SCALAR_LEN] {
-        self.0.to_bytes().into()
+        self.0.to_bytes()
     }
 
     /// Parses a 32-byte big-endian scalar; rejects zero and out-of-range
     /// values.
     pub fn from_bytes(bytes: &[u8; SCALAR_LEN]) -> Result<Self> {
-        let scalar = Option::<Scalar>::from(Scalar::from_repr((*bytes).into()))
-            .ok_or(CryptoError::InvalidScalar)?;
+        let scalar =
+            Option::<Scalar>::from(Scalar::from_repr(*bytes)).ok_or(CryptoError::InvalidScalar)?;
         if scalar == Scalar::ZERO {
             return Err(CryptoError::InvalidScalar);
         }

@@ -91,7 +91,10 @@ impl MerkleTree {
                 .collect();
             levels.push(next);
         }
-        Self { levels, real_leaves }
+        Self {
+            levels,
+            real_leaves,
+        }
     }
 
     /// The tree root.

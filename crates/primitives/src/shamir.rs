@@ -63,10 +63,14 @@ pub fn share<R: RngCore + CryptoRng>(
     rng: &mut R,
 ) -> Result<Vec<Share>> {
     if t == 0 || t > n {
-        return Err(CryptoError::InvalidParameter("threshold t must satisfy 1 <= t <= n"));
+        return Err(CryptoError::InvalidParameter(
+            "threshold t must satisfy 1 <= t <= n",
+        ));
     }
     if n > 255 {
-        return Err(CryptoError::InvalidParameter("n must be at most 255 over GF(2^8)"));
+        return Err(CryptoError::InvalidParameter(
+            "n must be at most 255 over GF(2^8)",
+        ));
     }
     // One random polynomial per secret byte: coeffs[0] = secret byte,
     // coeffs[1..t] random.
@@ -198,17 +202,32 @@ mod tests {
     #[test]
     fn zero_index_rejected() {
         let bad = vec![
-            Share { index: 0, data: vec![1] },
-            Share { index: 1, data: vec![2] },
+            Share {
+                index: 0,
+                data: vec![1],
+            },
+            Share {
+                index: 1,
+                data: vec![2],
+            },
         ];
-        assert_eq!(reconstruct(&bad, 2).unwrap_err(), CryptoError::InvalidShareIndex);
+        assert_eq!(
+            reconstruct(&bad, 2).unwrap_err(),
+            CryptoError::InvalidShareIndex
+        );
     }
 
     #[test]
     fn mismatched_lengths_rejected() {
         let bad = vec![
-            Share { index: 1, data: vec![1, 2] },
-            Share { index: 2, data: vec![3] },
+            Share {
+                index: 1,
+                data: vec![1, 2],
+            },
+            Share {
+                index: 2,
+                data: vec![3],
+            },
         ];
         assert_eq!(
             reconstruct(&bad, 2).unwrap_err(),
@@ -221,7 +240,7 @@ mod tests {
         let mut rng = rng();
         let shares = share(b"public", 1, 5, &mut rng).unwrap();
         for s in &shares {
-            assert_eq!(reconstruct(&[s.clone()], 1).unwrap(), b"public");
+            assert_eq!(reconstruct(std::slice::from_ref(s), 1).unwrap(), b"public");
         }
     }
 
@@ -252,7 +271,10 @@ mod tests {
         // one secret than the other.
         for row in counts.iter() {
             let diff = (row[0] as i64 - row[1] as i64).abs();
-            assert!(diff < 60, "single share distribution should not depend on secret");
+            assert!(
+                diff < 60,
+                "single share distribution should not depend on secret"
+            );
         }
     }
 
@@ -273,7 +295,10 @@ mod tests {
 
     #[test]
     fn wire_roundtrip() {
-        let s = Share { index: 7, data: vec![1, 2, 3] };
+        let s = Share {
+            index: 7,
+            data: vec![1, 2, 3],
+        };
         let bytes = s.to_bytes();
         assert_eq!(Share::from_bytes(&bytes).unwrap(), s);
     }

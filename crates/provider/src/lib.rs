@@ -20,7 +20,9 @@ use rand::{CryptoRng, RngCore};
 use safetypin_authlog::distributed::{EpochUpdate, UpdateMessage};
 use safetypin_authlog::log::{Log, LogEntry, LogError};
 use safetypin_authlog::trie::InclusionProof;
-use safetypin_hsm::{EnrollmentRecord, Hsm, HsmConfig, HsmError, RecoveryRequest, RecoveryResponse};
+use safetypin_hsm::{
+    EnrollmentRecord, Hsm, HsmConfig, HsmError, RecoveryRequest, RecoveryResponse,
+};
 use safetypin_multisig::{aggregate_signatures, Signature};
 use safetypin_seckv::MemStore;
 use safetypin_sim::OpCosts;
@@ -228,12 +230,8 @@ impl Datacenter {
                 .map(|&c| update.audit_package(c).expect("chunk in range"))
                 .collect();
             audit_bytes += packages.iter().map(|p| p.proof_bytes() as u64).sum::<u64>();
-            let sig = hsm.audit_and_sign_with_failures(
-                &message,
-                &active_ids,
-                &failed_ids,
-                &packages,
-            )?;
+            let sig =
+                hsm.audit_and_sign_with_failures(&message, &active_ids, &failed_ids, &packages)?;
             sigs.push(sig);
             signers.push(idx);
         }

@@ -105,8 +105,10 @@ fn end_to_end_recovery_through_datacenter() {
     // Client-side backup.
     let salt = Salt::random(&mut rng);
     let dir = BfeDirectory::new(&bfe_pks, b"zoe", &salt);
-    let ct = encrypt_with_salt(&params, &dir, b"zoe", b"123456", salt, 0, b"zoe-key", &mut rng)
-        .unwrap();
+    let ct = encrypt_with_salt(
+        &params, &dir, b"zoe", b"123456", salt, 0, b"zoe-key", &mut rng,
+    )
+    .unwrap();
     let ct_bytes = ct.to_bytes();
 
     // Log the attempt, run the epoch, fetch the proof.
@@ -234,7 +236,10 @@ fn membership_events_flow_through_epochs() {
         let record_hash = hash_parts(Domain::LogEntry, &[b"enroll", &e.to_bytes()]);
         dc.record_membership(
             seq as u64,
-            &MembershipEvent::Add { hsm_id: e.id, record_hash },
+            &MembershipEvent::Add {
+                hsm_id: e.id,
+                record_hash,
+            },
         )
         .unwrap();
     }
@@ -245,7 +250,8 @@ fn membership_events_flow_through_epochs() {
     assert_eq!(roster.active(), (0..8).collect::<Vec<u64>>());
     assert_eq!(roster.recent_churn(8), 0.0);
     // Retire one HSM; the roster reflects it and churn is visible.
-    dc.record_membership(8, &MembershipEvent::Remove { hsm_id: 3 }).unwrap();
+    dc.record_membership(8, &MembershipEvent::Remove { hsm_id: 3 })
+        .unwrap();
     dc.run_epoch().unwrap();
     let roster = dc.roster().unwrap();
     assert_eq!(roster.len(), 7);

@@ -40,7 +40,9 @@ fn encode_items(items: &[Option<Vec<u8>>]) -> Vec<u8> {
 
 fn decode_items(bytes: &[u8]) -> Result<Vec<Option<Vec<u8>>>> {
     let mut r = Reader::new(bytes);
-    let n = r.get_u64().map_err(|_| StorageError::AuthFailure(BLOB_ADDR))?;
+    let n = r
+        .get_u64()
+        .map_err(|_| StorageError::AuthFailure(BLOB_ADDR))?;
     let mut items = Vec::with_capacity(n as usize);
     for _ in 0..n {
         items.push(
@@ -59,7 +61,9 @@ impl NaiveArray {
         rng: &mut R,
     ) -> Result<Self> {
         if data.is_empty() {
-            return Err(StorageError::InvalidParameter("data array must be nonempty"));
+            return Err(StorageError::InvalidParameter(
+                "data array must be nonempty",
+            ));
         }
         let mut array_id = [0u8; 16];
         rng.fill_bytes(&mut array_id);
@@ -130,12 +134,13 @@ impl NaiveArray {
     /// Reads item `i` — costs a full-blob decryption.
     pub fn read(&mut self, store: &mut impl BlockStore, i: u64) -> Result<Vec<u8>> {
         if i >= self.len {
-            return Err(StorageError::IndexOutOfRange { index: i, len: self.len });
+            return Err(StorageError::IndexOutOfRange {
+                index: i,
+                len: self.len,
+            });
         }
         let items = self.read_blob(store)?;
-        items[i as usize]
-            .clone()
-            .ok_or(StorageError::Deleted(i))
+        items[i as usize].clone().ok_or(StorageError::Deleted(i))
     }
 
     /// Deletes item `i` — costs a full-blob decryption *and* a full-blob
@@ -147,7 +152,10 @@ impl NaiveArray {
         rng: &mut R,
     ) -> Result<()> {
         if i >= self.len {
-            return Err(StorageError::IndexOutOfRange { index: i, len: self.len });
+            return Err(StorageError::IndexOutOfRange {
+                index: i,
+                len: self.len,
+            });
         }
         let mut items = self.read_blob(store)?;
         items[i as usize] = None;
@@ -180,7 +188,10 @@ mod tests {
         let mut arr = NaiveArray::setup(&mut store, &data, &mut rng).unwrap();
         assert_eq!(arr.read(&mut store, 4).unwrap(), data[4]);
         arr.delete(&mut store, 4, &mut rng).unwrap();
-        assert_eq!(arr.read(&mut store, 4).unwrap_err(), StorageError::Deleted(4));
+        assert_eq!(
+            arr.read(&mut store, 4).unwrap_err(),
+            StorageError::Deleted(4)
+        );
         assert_eq!(arr.read(&mut store, 5).unwrap(), data[5]);
     }
 

@@ -148,7 +148,9 @@ pub mod adversarial {
 
     impl BlockStore for ReplayStore {
         fn put(&mut self, addr: u64, block: Vec<u8>) {
-            self.first_writes.entry(addr).or_insert_with(|| block.clone());
+            self.first_writes
+                .entry(addr)
+                .or_insert_with(|| block.clone());
             self.current.put(addr, block);
         }
 

@@ -117,7 +117,9 @@ impl SecureArray {
         rng: &mut R,
     ) -> Result<Self> {
         if data.is_empty() {
-            return Err(StorageError::InvalidParameter("data array must be nonempty"));
+            return Err(StorageError::InvalidParameter(
+                "data array must be nonempty",
+            ));
         }
         let len = data.len() as u64;
         let padded = data.len().next_power_of_two();
@@ -225,15 +227,9 @@ impl SecureArray {
         AeadCiphertext::from_bytes(&raw).map_err(|_| StorageError::AuthFailure(addr))
     }
 
-    fn open_node(
-        &mut self,
-        key: &AeadKey,
-        addr: u64,
-        ct: &AeadCiphertext,
-    ) -> Result<Vec<u8>> {
+    fn open_node(&mut self, key: &AeadKey, addr: u64, ct: &AeadCiphertext) -> Result<Vec<u8>> {
         let aad = aad_for(&self.array_id, addr);
-        let pt =
-            aead::open(key, &aad, ct).map_err(|_| StorageError::AuthFailure(addr))?;
+        let pt = aead::open(key, &aad, ct).map_err(|_| StorageError::AuthFailure(addr))?;
         self.metrics.record_dec(ct.raw_len());
         Ok(pt)
     }
@@ -293,7 +289,11 @@ impl SecureArray {
             let pt = self.open_node(&key, addr, &ct)?;
             let (left, right) = split_pair(&pt).map_err(|_| StorageError::AuthFailure(addr))?;
             let bit = (i >> (level - 1)) & 1;
-            key = if bit == 0 { left.clone() } else { right.clone() };
+            key = if bit == 0 {
+                left.clone()
+            } else {
+                right.clone()
+            };
             path.push((addr, left, right));
             // A zero key partway down means the leaf is already gone; we
             // still re-key the prefix of the path we traversed.
@@ -352,7 +352,11 @@ mod tests {
             let data = blocks(n);
             let mut arr = SecureArray::setup(&mut store, &data, &mut rng).unwrap();
             for (i, expected) in data.iter().enumerate() {
-                assert_eq!(&arr.read(&mut store, i as u64).unwrap(), expected, "n={n} i={i}");
+                assert_eq!(
+                    &arr.read(&mut store, i as u64).unwrap(),
+                    expected,
+                    "n={n} i={i}"
+                );
             }
         }
     }
@@ -364,7 +368,10 @@ mod tests {
         let data = blocks(16);
         let mut arr = SecureArray::setup(&mut store, &data, &mut rng).unwrap();
         arr.delete(&mut store, 5, &mut rng).unwrap();
-        assert_eq!(arr.read(&mut store, 5).unwrap_err(), StorageError::Deleted(5));
+        assert_eq!(
+            arr.read(&mut store, 5).unwrap_err(),
+            StorageError::Deleted(5)
+        );
         for i in (0..16u64).filter(|&i| i != 5) {
             assert_eq!(arr.read(&mut store, i).unwrap(), data[i as usize]);
         }
@@ -377,7 +384,10 @@ mod tests {
         let mut arr = SecureArray::setup(&mut store, &blocks(8), &mut rng).unwrap();
         arr.delete(&mut store, 2, &mut rng).unwrap();
         arr.delete(&mut store, 2, &mut rng).unwrap();
-        assert!(matches!(arr.read(&mut store, 2), Err(StorageError::Deleted(2))));
+        assert!(matches!(
+            arr.read(&mut store, 2),
+            Err(StorageError::Deleted(2))
+        ));
         assert!(arr.read(&mut store, 3).is_ok());
     }
 

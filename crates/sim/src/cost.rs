@@ -104,8 +104,7 @@ impl CostModel {
         self.transport.seconds_for_bytes(costs.io_bytes)
             + costs
                 .io_messages
-                .saturating_sub(costs.io_bytes.div_ceil(32))
-                as f64
+                .saturating_sub(costs.io_bytes.div_ceil(32)) as f64
                 * self.transport.rtt_seconds()
     }
 

@@ -101,6 +101,8 @@ mod tests {
     use super::*;
 
     #[test]
+    // The whole point of this test is to pin down constant table values.
+    #[allow(clippy::assertions_on_constants)]
     fn table2_values_match_paper() {
         assert_eq!(SOLOKEY.price_usd, 20.0);
         assert_eq!(SOLOKEY.group_mults_per_sec, 7.69);

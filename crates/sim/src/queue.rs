@@ -65,8 +65,7 @@ impl FleetModel {
                     return u64::MAX;
                 }
                 let max_lambda = mu - needed_gap;
-                ((rate_per_sec * self.cluster as f64 / max_lambda).ceil() as u64 + 1)
-                    .max(stability)
+                ((rate_per_sec * self.cluster as f64 / max_lambda).ceil() as u64 + 1).max(stability)
             }
         }
     }

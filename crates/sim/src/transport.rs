@@ -59,10 +59,7 @@ mod tests {
     #[test]
     fn byte_costs_round_up() {
         // 1..32 bytes = 1 unit; 33 bytes = 2 units.
-        assert_eq!(
-            USB_CDC.seconds_for_bytes(1),
-            USB_CDC.seconds_for_bytes(32)
-        );
+        assert_eq!(USB_CDC.seconds_for_bytes(1), USB_CDC.seconds_for_bytes(32));
         assert!(USB_CDC.seconds_for_bytes(33) > USB_CDC.seconds_for_bytes(32));
         // Zero-byte message still costs one round trip.
         assert_eq!(USB_CDC.seconds_for_bytes(0), USB_CDC.rtt_seconds());

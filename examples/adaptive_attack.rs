@@ -23,7 +23,9 @@ fn main() {
     let params = SystemParams::test_small(total);
     let mut deployment = Deployment::provision(params, &mut rng).unwrap();
     let mut victim = deployment.new_client(b"victim").unwrap();
-    let artifact = victim.backup(b"314159", b"state secrets", 0, &mut rng).unwrap();
+    let artifact = victim
+        .backup(b"314159", b"state secrets", 0, &mut rng)
+        .unwrap();
 
     // The attacker controls the provider: it sees the ciphertext (salt
     // included) and picks f_secret·N = 4 HSMs to steal. Without the PIN
@@ -44,9 +46,7 @@ fn main() {
     let captured = cluster.iter().filter(|i| stolen.contains(i)).count();
     println!(
         "true cluster {:?}; attacker holds {captured} of {} shares (needs {})",
-        cluster,
-        params.lhe.cluster,
-        params.lhe.threshold
+        cluster, params.lhe.cluster, params.lhe.threshold
     );
     assert!(
         captured < params.lhe.threshold,

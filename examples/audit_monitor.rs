@@ -39,13 +39,19 @@ fn main() {
         &epoch1.new_digest,
     )
     .expect("honest provider passes the replay audit");
-    println!("auditor: log transition verified ({} entries)", snapshot1.len());
+    println!(
+        "auditor: log transition verified ({} entries)",
+        snapshot1.len()
+    );
 
     // Bob monitors his own account: no attempts. Alice sees hers.
     let bob_attempts = auditor::recovery_attempts_for(&snapshot1, b"bob");
     let alice_attempts = auditor::recovery_attempts_for(&snapshot1, b"alice");
     println!("bob's recovery attempts on record: {}", bob_attempts.len());
-    println!("alice's recovery attempts on record: {}", alice_attempts.len());
+    println!(
+        "alice's recovery attempts on record: {}",
+        alice_attempts.len()
+    );
     assert!(bob_attempts.is_empty());
     assert_eq!(alice_attempts.len(), 1);
 

@@ -33,7 +33,9 @@ fn main() {
     let mut provider_storage: Vec<(u64, safetypin::primitives::aead::AeadCiphertext)> = Vec::new();
     for day in 1..=5u64 {
         let image = format!("photos and messages from day {day}");
-        let (seq, ct) = phone.incremental_backup(image.as_bytes(), &mut rng).unwrap();
+        let (seq, ct) = phone
+            .incremental_backup(image.as_bytes(), &mut rng)
+            .unwrap();
         provider_storage.push((seq, ct));
     }
     println!("uploaded {} incremental backups", provider_storage.len());
@@ -61,7 +63,10 @@ fn main() {
         let image = replacement
             .decrypt_incremental(&recovered_key, *seq, ct)
             .unwrap();
-        println!("  restored increment {seq}: {}", String::from_utf8_lossy(&image));
+        println!(
+            "  restored increment {seq}: {}",
+            String::from_utf8_lossy(&image)
+        );
     }
 
     // The old generation is dead: HSMs punctured the (username, salt) tag,

@@ -51,5 +51,8 @@ fn main() {
     // later compromises every HSM in the building.
     let second = deployment.recover(&phone, b"493201", &artifact, &mut rng);
     assert!(second.is_err());
-    println!("second recovery attempt correctly refused: {}", second.unwrap_err());
+    println!(
+        "second recovery attempt correctly refused: {}",
+        second.unwrap_err()
+    );
 }

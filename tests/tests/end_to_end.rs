@@ -40,7 +40,9 @@ fn many_users_backup_and_recover() {
 fn one_user_cannot_recover_anothers_backup() {
     let (mut d, mut rng) = deployment(16, 2);
     let mut alice = d.new_client(b"alice").unwrap();
-    let artifact = alice.backup(b"123456", b"alice-secret", 0, &mut rng).unwrap();
+    let artifact = alice
+        .backup(b"123456", b"alice-secret", 0, &mut rng)
+        .unwrap();
 
     // Mallory knows Alice's PIN (shoulder-surfed) and downloads her
     // ciphertext, but authenticates as herself. The HSM username binding
@@ -146,14 +148,17 @@ fn keying_material_scales_with_fleet() {
 #[test]
 fn recovery_outcome_costs_price_on_all_devices() {
     use safetypin::sim::device::{SAFENET_A700, SOLOKEY, YUBIHSM2};
-    use safetypin::sim::{CostModel, transport::USB_CDC};
+    use safetypin::sim::{transport::USB_CDC, CostModel};
     let (mut d, mut rng) = deployment(8, 9);
     let mut client = d.new_client(b"cost-user").unwrap();
     let artifact = client.backup(b"111111", b"m", 0, &mut rng).unwrap();
     let outcome = d.recover(&client, b"111111", &artifact, &mut rng).unwrap();
     let mut prev = f64::INFINITY;
     for device in [SOLOKEY, YUBIHSM2, SAFENET_A700] {
-        let model = CostModel { device, transport: USB_CDC };
+        let model = CostModel {
+            device,
+            transport: USB_CDC,
+        };
         let secs = outcome.hsm_seconds(&model);
         assert!(secs > 0.0 && secs < prev, "faster device ⇒ less time");
         prev = secs;

@@ -16,7 +16,9 @@ fn adaptive_compromise_misses_hidden_cluster() {
     let params = SystemParams::test_small(total);
     let mut d = Deployment::provision(params, &mut rng).unwrap();
     let mut victim = d.new_client(b"victim").unwrap();
-    let artifact = victim.backup(b"852963", b"crown jewels", 0, &mut rng).unwrap();
+    let artifact = victim
+        .backup(b"852963", b"crown jewels", 0, &mut rng)
+        .unwrap();
 
     // The attacker (without the PIN) cannot do better than guessing a
     // corrupt set; the ciphertext's salt is public but useless alone.
@@ -63,8 +65,12 @@ fn punctured_series_dead_for_all_generations() {
     let params = SystemParams::test_small(16);
     let mut d = Deployment::provision(params, &mut rng).unwrap();
     let mut user = d.new_client(b"series-user").unwrap();
-    let gen1 = user.backup(b"101010", b"generation 1", 0, &mut rng).unwrap();
-    let gen2 = user.backup(b"101010", b"generation 2", 0, &mut rng).unwrap();
+    let gen1 = user
+        .backup(b"101010", b"generation 1", 0, &mut rng)
+        .unwrap();
+    let gen2 = user
+        .backup(b"101010", b"generation 2", 0, &mut rng)
+        .unwrap();
     assert_eq!(gen1.salt, gen2.salt);
 
     let outcome = d.recover(&user, b"101010", &gen2, &mut rng).unwrap();
@@ -86,9 +92,15 @@ fn provider_cannot_fake_inclusion_or_mutate_log() {
     log.insert(b"honest", b"value").unwrap();
     let digest = log.digest();
     let proof = log.prove_includes(b"honest", b"value").unwrap();
-    assert!(MerkleTrie::does_include(&digest, b"honest", b"value", &proof));
-    assert!(!MerkleTrie::does_include(&digest, b"honest", b"forged", &proof));
-    assert!(!MerkleTrie::does_include(&digest, b"other", b"value", &proof));
+    assert!(MerkleTrie::does_include(
+        &digest, b"honest", b"value", &proof
+    ));
+    assert!(!MerkleTrie::does_include(
+        &digest, b"honest", b"forged", &proof
+    ));
+    assert!(!MerkleTrie::does_include(
+        &digest, b"other", b"value", &proof
+    ));
 }
 
 #[test]
@@ -153,7 +165,10 @@ fn compromised_hsm_cannot_forge_epoch_quorum() {
         .unwrap()
         .accept_update(&forged, &signers, &agg)
         .unwrap_err();
-    assert!(matches!(err, safetypin::hsm::HsmError::QuorumTooSmall { .. }));
+    assert!(matches!(
+        err,
+        safetypin::hsm::HsmError::QuorumTooSmall { .. }
+    ));
 }
 
 #[test]

@@ -1,0 +1,469 @@
+//! Offline stand-in for the `aes-gcm` crate: an actual AES-128-GCM
+//! (SP 800-38D) behind the `Aead` API subset this workspace uses.
+//!
+//! The AES S-box is generated at startup from GF(2^8) inversion plus the
+//! affine transform instead of a transcribed table, and the cipher is
+//! checked against the FIPS-197 and NIST GCM reference vectors in this
+//! crate's tests. The table-based implementation is **not** constant-time;
+//! it exists so the workspace builds without network access.
+
+use std::sync::OnceLock;
+
+/// AEAD-layer types (mirror of the `aead` facade crate).
+pub mod aead {
+    /// Opaque AEAD error (deliberately carries no cause, like the real one).
+    #[derive(Clone, Copy, Debug, PartialEq, Eq)]
+    pub struct Error;
+
+    impl core::fmt::Display for Error {
+        fn fmt(&self, f: &mut core::fmt::Formatter<'_>) -> core::fmt::Result {
+            write!(f, "aead::Error")
+        }
+    }
+
+    impl std::error::Error for Error {}
+
+    /// A message plus associated data.
+    pub struct Payload<'msg, 'aad> {
+        /// Message bytes (plaintext for encrypt, ciphertext‖tag for decrypt).
+        pub msg: &'msg [u8],
+        /// Associated data bound into the tag.
+        pub aad: &'aad [u8],
+    }
+
+    impl<'msg> From<&'msg [u8]> for Payload<'msg, '_> {
+        fn from(msg: &'msg [u8]) -> Self {
+            Payload { msg, aad: b"" }
+        }
+    }
+
+    /// Authenticated encryption interface (subset).
+    pub trait Aead {
+        /// Encrypts, returning ciphertext‖tag.
+        fn encrypt<'msg, 'aad>(
+            &self,
+            nonce: &super::Nonce,
+            plaintext: impl Into<Payload<'msg, 'aad>>,
+        ) -> Result<Vec<u8>, Error>;
+
+        /// Decrypts and authenticates ciphertext‖tag.
+        fn decrypt<'msg, 'aad>(
+            &self,
+            nonce: &super::Nonce,
+            ciphertext: impl Into<Payload<'msg, 'aad>>,
+        ) -> Result<Vec<u8>, Error>;
+    }
+}
+
+/// A 16-byte AES-128 key.
+#[repr(transparent)]
+pub struct Key([u8; 16]);
+
+impl From<[u8; 16]> for Key {
+    fn from(bytes: [u8; 16]) -> Self {
+        Key(bytes)
+    }
+}
+
+impl<'a> From<&'a [u8]> for &'a Key {
+    fn from(slice: &'a [u8]) -> Self {
+        assert_eq!(slice.len(), 16, "AES-128 key must be 16 bytes");
+        // SAFETY: `Key` is repr(transparent) over `[u8; 16]`, the length is
+        // checked above, and `[u8; 16]` has alignment 1.
+        unsafe { &*(slice.as_ptr() as *const Key) }
+    }
+}
+
+/// A 96-bit GCM nonce.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct Nonce([u8; 12]);
+
+impl From<[u8; 12]> for Nonce {
+    fn from(bytes: [u8; 12]) -> Self {
+        Nonce(bytes)
+    }
+}
+
+impl Nonce {
+    /// Returns the nonce bytes.
+    pub fn as_bytes(&self) -> &[u8; 12] {
+        &self.0
+    }
+}
+
+/// Mirror of `crypto_common::KeyInit` (subset).
+pub trait KeyInit: Sized {
+    /// Builds the cipher from a key reference.
+    fn new(key: &Key) -> Self;
+}
+
+// ---------------------------------------------------------------------------
+// AES-128 block cipher
+// ---------------------------------------------------------------------------
+
+fn gf_mul(mut a: u8, mut b: u8) -> u8 {
+    let mut out = 0u8;
+    while b != 0 {
+        if b & 1 == 1 {
+            out ^= a;
+        }
+        let hi = a & 0x80;
+        a <<= 1;
+        if hi != 0 {
+            a ^= 0x1b; // x^8 = x^4 + x^3 + x + 1
+        }
+        b >>= 1;
+    }
+    out
+}
+
+fn sboxes() -> &'static ([u8; 256], [u8; 256]) {
+    static TABLES: OnceLock<([u8; 256], [u8; 256])> = OnceLock::new();
+    TABLES.get_or_init(|| {
+        // Multiplicative inverses via generator 0x03 log tables.
+        let mut log = [0u8; 256];
+        let mut alog = [0u8; 256];
+        let mut x = 1u8;
+        for i in 0..255u16 {
+            alog[i as usize] = x;
+            log[x as usize] = i as u8;
+            x = gf_mul(x, 3);
+        }
+        let inv = |a: u8| -> u8 {
+            if a == 0 {
+                0
+            } else {
+                alog[(255 - log[a as usize] as u16) as usize % 255]
+            }
+        };
+        let mut sbox = [0u8; 256];
+        let mut inv_sbox = [0u8; 256];
+        for a in 0..=255u8 {
+            let b = inv(a);
+            // Affine transform: s = b ^ rotl1(b) ^ rotl2(b) ^ rotl3(b) ^ rotl4(b) ^ 0x63.
+            let s = b
+                ^ b.rotate_left(1)
+                ^ b.rotate_left(2)
+                ^ b.rotate_left(3)
+                ^ b.rotate_left(4)
+                ^ 0x63;
+            sbox[a as usize] = s;
+            inv_sbox[s as usize] = a;
+        }
+        (sbox, inv_sbox)
+    })
+}
+
+/// AES-128 with an expanded key schedule.
+struct Aes128 {
+    round_keys: [[u8; 16]; 11],
+}
+
+impl Aes128 {
+    fn new(key: &[u8; 16]) -> Self {
+        let (sbox, _) = sboxes();
+        let mut round_keys = [[0u8; 16]; 11];
+        round_keys[0] = *key;
+        let mut rcon = 1u8;
+        for r in 1..11 {
+            let prev = round_keys[r - 1];
+            let mut word = [prev[13], prev[14], prev[15], prev[12]]; // RotWord
+            for b in word.iter_mut() {
+                *b = sbox[*b as usize]; // SubWord
+            }
+            word[0] ^= rcon;
+            rcon = gf_mul(rcon, 2);
+            let mut rk = [0u8; 16];
+            for i in 0..4 {
+                rk[i] = prev[i] ^ word[i];
+            }
+            for i in 4..16 {
+                rk[i] = prev[i] ^ rk[i - 4];
+            }
+            round_keys[r] = rk;
+        }
+        Self { round_keys }
+    }
+
+    fn encrypt_block(&self, block: &mut [u8; 16]) {
+        let (sbox, _) = sboxes();
+        xor16(block, &self.round_keys[0]);
+        for round in 1..=10 {
+            // SubBytes.
+            for b in block.iter_mut() {
+                *b = sbox[*b as usize];
+            }
+            // ShiftRows (state is column-major: byte index = 4*col + row).
+            let s = *block;
+            for row in 1..4 {
+                for col in 0..4 {
+                    block[4 * col + row] = s[4 * ((col + row) % 4) + row];
+                }
+            }
+            // MixColumns (skipped in the final round).
+            if round != 10 {
+                for col in 0..4 {
+                    let c = &mut block[4 * col..4 * col + 4];
+                    let [a0, a1, a2, a3] = [c[0], c[1], c[2], c[3]];
+                    c[0] = gf_mul(a0, 2) ^ gf_mul(a1, 3) ^ a2 ^ a3;
+                    c[1] = a0 ^ gf_mul(a1, 2) ^ gf_mul(a2, 3) ^ a3;
+                    c[2] = a0 ^ a1 ^ gf_mul(a2, 2) ^ gf_mul(a3, 3);
+                    c[3] = gf_mul(a0, 3) ^ a1 ^ a2 ^ gf_mul(a3, 2);
+                }
+            }
+            xor16(block, &self.round_keys[round]);
+        }
+    }
+}
+
+fn xor16(a: &mut [u8; 16], b: &[u8; 16]) {
+    for (x, y) in a.iter_mut().zip(b) {
+        *x ^= y;
+    }
+}
+
+// ---------------------------------------------------------------------------
+// GHASH and GCM
+// ---------------------------------------------------------------------------
+
+/// GF(2^128) multiplication per SP 800-38D §6.3 (right-shift convention).
+fn ghash_mul(x: u128, y: u128) -> u128 {
+    const R: u128 = 0xe1 << 120;
+    let mut z = 0u128;
+    let mut v = y;
+    for i in (0..128).rev() {
+        if (x >> i) & 1 == 1 {
+            z ^= v;
+        }
+        let lsb = v & 1;
+        v >>= 1;
+        if lsb == 1 {
+            v ^= R;
+        }
+    }
+    z
+}
+
+fn ghash(h: u128, aad: &[u8], ct: &[u8]) -> u128 {
+    let mut y = 0u128;
+    let mut absorb = |data: &[u8]| {
+        for chunk in data.chunks(16) {
+            let mut block = [0u8; 16];
+            block[..chunk.len()].copy_from_slice(chunk);
+            y = ghash_mul(y ^ u128::from_be_bytes(block), h);
+        }
+    };
+    absorb(aad);
+    absorb(ct);
+    let lengths = ((aad.len() as u128 * 8) << 64) | (ct.len() as u128 * 8);
+    ghash_mul(y ^ lengths, h)
+}
+
+/// AES-128 in Galois/Counter Mode.
+pub struct Aes128Gcm {
+    cipher: Aes128,
+}
+
+impl KeyInit for Aes128Gcm {
+    fn new(key: &Key) -> Self {
+        Self {
+            cipher: Aes128::new(&key.0),
+        }
+    }
+}
+
+impl Aes128Gcm {
+    const TAG_LEN: usize = 16;
+
+    fn hash_subkey(&self) -> u128 {
+        let mut h = [0u8; 16];
+        self.cipher.encrypt_block(&mut h);
+        u128::from_be_bytes(h)
+    }
+
+    fn j0(nonce: &Nonce) -> [u8; 16] {
+        let mut j0 = [0u8; 16];
+        j0[..12].copy_from_slice(&nonce.0);
+        j0[15] = 1;
+        j0
+    }
+
+    fn ctr_apply(&self, j0: &[u8; 16], data: &mut [u8]) {
+        let mut counter = u32::from_be_bytes(j0[12..16].try_into().expect("4 bytes"));
+        for chunk in data.chunks_mut(16) {
+            counter = counter.wrapping_add(1);
+            let mut block = *j0;
+            block[12..16].copy_from_slice(&counter.to_be_bytes());
+            self.cipher.encrypt_block(&mut block);
+            for (b, k) in chunk.iter_mut().zip(block.iter()) {
+                *b ^= k;
+            }
+        }
+    }
+
+    fn tag(&self, j0: &[u8; 16], aad: &[u8], ct: &[u8]) -> [u8; 16] {
+        let s = ghash(self.hash_subkey(), aad, ct);
+        let mut e = *j0;
+        self.cipher.encrypt_block(&mut e);
+        (s ^ u128::from_be_bytes(e)).to_be_bytes()
+    }
+}
+
+impl aead::Aead for Aes128Gcm {
+    fn encrypt<'msg, 'aad>(
+        &self,
+        nonce: &Nonce,
+        plaintext: impl Into<aead::Payload<'msg, 'aad>>,
+    ) -> Result<Vec<u8>, aead::Error> {
+        let payload = plaintext.into();
+        let j0 = Self::j0(nonce);
+        let mut out = payload.msg.to_vec();
+        self.ctr_apply(&j0, &mut out);
+        let tag = self.tag(&j0, payload.aad, &out);
+        out.extend_from_slice(&tag);
+        Ok(out)
+    }
+
+    fn decrypt<'msg, 'aad>(
+        &self,
+        nonce: &Nonce,
+        ciphertext: impl Into<aead::Payload<'msg, 'aad>>,
+    ) -> Result<Vec<u8>, aead::Error> {
+        let payload = ciphertext.into();
+        if payload.msg.len() < Self::TAG_LEN {
+            return Err(aead::Error);
+        }
+        let (body, tag) = payload.msg.split_at(payload.msg.len() - Self::TAG_LEN);
+        let j0 = Self::j0(nonce);
+        let expected = self.tag(&j0, payload.aad, body);
+        // Accumulated comparison (no early exit).
+        let mut diff = 0u8;
+        for (a, b) in expected.iter().zip(tag) {
+            diff |= a ^ b;
+        }
+        if diff != 0 {
+            return Err(aead::Error);
+        }
+        let mut out = body.to_vec();
+        self.ctr_apply(&j0, &mut out);
+        Ok(out)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::aead::{Aead, Payload};
+    use super::*;
+
+    fn hex(bytes: &[u8]) -> String {
+        bytes.iter().map(|b| format!("{b:02x}")).collect()
+    }
+
+    #[test]
+    fn fips197_appendix_b() {
+        let key: [u8; 16] = [
+            0x2b, 0x7e, 0x15, 0x16, 0x28, 0xae, 0xd2, 0xa6, 0xab, 0xf7, 0x15, 0x88, 0x09, 0xcf,
+            0x4f, 0x3c,
+        ];
+        let mut block: [u8; 16] = [
+            0x32, 0x43, 0xf6, 0xa8, 0x88, 0x5a, 0x30, 0x8d, 0x31, 0x31, 0x98, 0xa2, 0xe0, 0x37,
+            0x07, 0x34,
+        ];
+        Aes128::new(&key).encrypt_block(&mut block);
+        assert_eq!(hex(&block), "3925841d02dc09fbdc118597196a0b32");
+    }
+
+    #[test]
+    fn fips197_appendix_c1() {
+        let key: [u8; 16] = core::array::from_fn(|i| i as u8);
+        let mut block: [u8; 16] = core::array::from_fn(|i| (i * 0x11) as u8);
+        Aes128::new(&key).encrypt_block(&mut block);
+        assert_eq!(hex(&block), "69c4e0d86a7b0430d8cdb78070b4c55a");
+    }
+
+    #[test]
+    fn nist_gcm_case_1_empty() {
+        let cipher = Aes128Gcm::new((&[0u8; 16][..]).into());
+        let out = cipher
+            .encrypt(&Nonce::from([0u8; 12]), Payload { msg: b"", aad: b"" })
+            .unwrap();
+        assert_eq!(hex(&out), "58e2fccefa7e3061367f1d57a4e7455a");
+    }
+
+    #[test]
+    fn nist_gcm_case_2_one_block() {
+        let cipher = Aes128Gcm::new((&[0u8; 16][..]).into());
+        let out = cipher
+            .encrypt(
+                &Nonce::from([0u8; 12]),
+                Payload {
+                    msg: &[0u8; 16],
+                    aad: b"",
+                },
+            )
+            .unwrap();
+        assert_eq!(
+            hex(&out),
+            "0388dace60b6a392f328c2b971b2fe78ab6e47d42cec13bdf53a67b21257bddf"
+        );
+    }
+
+    #[test]
+    fn roundtrip_with_aad() {
+        let cipher = Aes128Gcm::new((&[7u8; 16][..]).into());
+        let nonce = Nonce::from([9u8; 12]);
+        let ct = cipher
+            .encrypt(
+                &nonce,
+                Payload {
+                    msg: b"attack at dawn",
+                    aad: b"header",
+                },
+            )
+            .unwrap();
+        let pt = cipher
+            .decrypt(
+                &nonce,
+                Payload {
+                    msg: &ct,
+                    aad: b"header",
+                },
+            )
+            .unwrap();
+        assert_eq!(pt, b"attack at dawn");
+        assert!(cipher
+            .decrypt(
+                &nonce,
+                Payload {
+                    msg: &ct,
+                    aad: b"other",
+                }
+            )
+            .is_err());
+        let mut mauled = ct.clone();
+        mauled[3] ^= 1;
+        assert!(cipher
+            .decrypt(
+                &nonce,
+                Payload {
+                    msg: &mauled,
+                    aad: b"header",
+                }
+            )
+            .is_err());
+    }
+
+    #[test]
+    fn short_input_rejected() {
+        let cipher = Aes128Gcm::new((&[1u8; 16][..]).into());
+        assert!(cipher
+            .decrypt(
+                &Nonce::from([0u8; 12]),
+                Payload {
+                    msg: b"abc",
+                    aad: b""
+                }
+            )
+            .is_err());
+    }
+}

@@ -1,0 +1,484 @@
+//! Offline stand-in for the `bls12_381` crate.
+//!
+//! **This is not the BLS12-381 curve.** The workspace builds without
+//! network access, so this models a bilinear group symbolically: elements
+//! of G1, G2, and Gt are represented by their discrete logarithms modulo
+//! the (real) BLS12-381 scalar-field order `r`, and the "pairing" is
+//! literally `e(a·G1, b·G2) = (a·b)·Gt`. Bilinearity therefore holds
+//! *exactly*, so BLS signature/aggregation/PoP algebra — including
+//! rogue-key behaviour — works as on the real curve, but discrete logs
+//! are trivially readable and nothing built on this backend is secure.
+//! Swap in the real `bls12_381` when a registry is available; the API
+//! subset matches.
+//!
+//! Wire formats keep the real sizes (48-byte compressed G1, 96-byte
+//! compressed G2) with the standard flag bits in the top of byte 0.
+//! Decompression of non-canonical bytes (`from_compressed_unchecked`)
+//! simulates the ~1/2 on-curve probability that try-and-increment
+//! hash-to-curve loops rely on, deterministically from a hash of the
+//! candidate encoding.
+
+use group::Group;
+use mockmath::U256;
+use sha2::{Digest, Sha256};
+use subtle::{Choice, CtOption};
+
+/// The BLS12-381 scalar field order `r`.
+const R: U256 = [
+    0xffff_ffff_0000_0001,
+    0x53bd_a402_fffe_5bfe,
+    0x3339_d808_09a1_d805,
+    0x73ed_a753_299d_7d48,
+];
+
+/// An element of the scalar field `F_r`.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct Scalar(U256);
+
+impl Scalar {
+    /// The additive identity.
+    pub fn zero() -> Scalar {
+        Scalar(mockmath::ZERO)
+    }
+
+    /// The multiplicative identity.
+    pub fn one() -> Scalar {
+        Scalar(mockmath::ONE)
+    }
+
+    /// Parses 32 little-endian bytes; rejects values `>= r`.
+    pub fn from_bytes(bytes: &[u8; 32]) -> CtOption<Scalar> {
+        let v = mockmath::from_le_bytes(bytes);
+        let valid = mockmath::cmp(&v, &R) == core::cmp::Ordering::Less;
+        CtOption::new(Scalar(v), Choice::from(valid as u8))
+    }
+
+    /// Serializes to 32 little-endian bytes.
+    pub fn to_bytes(&self) -> [u8; 32] {
+        mockmath::to_le_bytes(&self.0)
+    }
+
+    /// Reduces 64 little-endian bytes into a scalar.
+    pub fn from_bytes_wide(wide: &[u8; 64]) -> Scalar {
+        Scalar(mockmath::reduce_le_wide(wide, &R))
+    }
+
+    fn is_zero_bool(&self) -> bool {
+        mockmath::is_zero(&self.0)
+    }
+
+    fn sign_bit(&self) -> u8 {
+        (self.0[0] & 1) as u8
+    }
+}
+
+macro_rules! scalar_binop {
+    ($trait:ident, $method:ident, $op:path) => {
+        impl core::ops::$trait for Scalar {
+            type Output = Scalar;
+            fn $method(self, rhs: Scalar) -> Scalar {
+                Scalar($op(&self.0, &rhs.0, &R))
+            }
+        }
+    };
+}
+
+scalar_binop!(Add, add, mockmath::add_mod);
+scalar_binop!(Sub, sub, mockmath::sub_mod);
+scalar_binop!(Mul, mul, mockmath::mul_mod);
+
+impl core::ops::Neg for Scalar {
+    type Output = Scalar;
+    fn neg(self) -> Scalar {
+        Scalar(mockmath::neg_mod(&self.0, &R))
+    }
+}
+
+fn hash_wide(domain: &[u8], data: &[u8]) -> Scalar {
+    let mut h1 = Sha256::new();
+    h1.update(domain);
+    h1.update([0u8]);
+    h1.update(data);
+    let mut h2 = Sha256::new();
+    h2.update(domain);
+    h2.update([1u8]);
+    h2.update(data);
+    let mut wide = [0u8; 64];
+    wide[..32].copy_from_slice(h1.finalize().as_slice());
+    wide[32..].copy_from_slice(h2.finalize().as_slice());
+    Scalar::from_bytes_wide(&wide)
+}
+
+// Compressed-encoding flag bits (same positions as the real crate).
+const FLAG_COMPRESSED: u8 = 0x80;
+const FLAG_INFINITY: u8 = 0x40;
+const FLAG_SIGN: u8 = 0x20;
+
+fn to_compressed_generic<const N: usize>(dlog: &Scalar) -> [u8; N] {
+    let mut out = [0u8; N];
+    if dlog.is_zero_bool() {
+        out[0] = FLAG_COMPRESSED | FLAG_INFINITY;
+        return out;
+    }
+    out[0] = FLAG_COMPRESSED | (dlog.sign_bit() * FLAG_SIGN);
+    out[N - 32..].copy_from_slice(&mockmath::to_be_bytes(&dlog.0));
+    out
+}
+
+/// Strict canonical decode: flags consistent, padding zero, value `< r`,
+/// sign bit matching. Mirrors the real crate's `from_compressed` checks
+/// (which include the on-curve and subgroup tests).
+fn from_compressed_generic<const N: usize>(bytes: &[u8; N]) -> Option<Scalar> {
+    if bytes[0] & FLAG_COMPRESSED == 0 {
+        return None;
+    }
+    let infinity = bytes[0] & FLAG_INFINITY != 0;
+    let sign = (bytes[0] & FLAG_SIGN != 0) as u8;
+    if bytes[1..N - 32].iter().any(|&b| b != 0) {
+        return None;
+    }
+    let mut repr = [0u8; 32];
+    repr.copy_from_slice(&bytes[N - 32..]);
+    let v = mockmath::from_be_bytes(&repr);
+    if infinity {
+        if sign == 0 && mockmath::is_zero(&v) {
+            return Some(Scalar::zero());
+        }
+        return None;
+    }
+    if mockmath::cmp(&v, &R) != core::cmp::Ordering::Less || mockmath::is_zero(&v) {
+        return None;
+    }
+    let s = Scalar(v);
+    if s.sign_bit() != sign {
+        return None;
+    }
+    Some(s)
+}
+
+/// Lenient decode used by try-and-increment hash-to-curve: canonical
+/// encodings parse exactly; other candidates are "on the curve" with
+/// probability ~1/2, decided (and mapped to a group element)
+/// deterministically by hashing the candidate bytes.
+fn from_compressed_unchecked_generic<const N: usize>(
+    domain: &'static [u8],
+    bytes: &[u8; N],
+) -> Option<Scalar> {
+    if let Some(s) = from_compressed_generic(bytes) {
+        return Some(s);
+    }
+    let mut gate = Sha256::new();
+    gate.update(domain);
+    gate.update(b"-oncurve");
+    gate.update(bytes);
+    if gate.finalize().as_slice()[0] & 1 != 0 {
+        return None;
+    }
+    Some(hash_wide(domain, bytes))
+}
+
+macro_rules! define_group {
+    (
+        $proj:ident, $affine:ident, $len:expr, $domain:expr,
+        $proj_doc:expr, $affine_doc:expr
+    ) => {
+        #[doc = $proj_doc]
+        #[derive(Clone, Copy, Debug, PartialEq, Eq)]
+        pub struct $proj(Scalar);
+
+        #[doc = $affine_doc]
+        #[derive(Clone, Copy, Debug, PartialEq, Eq)]
+        pub struct $affine(Scalar);
+
+        impl Group for $proj {
+            fn identity() -> Self {
+                $proj(Scalar::zero())
+            }
+            fn generator() -> Self {
+                $proj(Scalar::one())
+            }
+            fn is_identity(&self) -> Choice {
+                Choice::from(self.0.is_zero_bool() as u8)
+            }
+            fn double(&self) -> Self {
+                $proj(self.0 + self.0)
+            }
+        }
+
+        impl $proj {
+            /// Multiplies by the subgroup cofactor (a no-op in the mock,
+            /// where every element already lies in the prime-order group).
+            pub fn clear_cofactor(&self) -> Self {
+                *self
+            }
+        }
+
+        impl From<$affine> for $proj {
+            fn from(p: $affine) -> Self {
+                $proj(p.0)
+            }
+        }
+
+        impl From<&$affine> for $proj {
+            fn from(p: &$affine) -> Self {
+                $proj(p.0)
+            }
+        }
+
+        impl From<$proj> for $affine {
+            fn from(p: $proj) -> Self {
+                $affine(p.0)
+            }
+        }
+
+        impl From<&$proj> for $affine {
+            fn from(p: &$proj) -> Self {
+                $affine(p.0)
+            }
+        }
+
+        impl core::ops::Add for $proj {
+            type Output = $proj;
+            fn add(self, rhs: $proj) -> $proj {
+                $proj(self.0 + rhs.0)
+            }
+        }
+
+        impl core::ops::AddAssign for $proj {
+            fn add_assign(&mut self, rhs: $proj) {
+                self.0 = self.0 + rhs.0;
+            }
+        }
+
+        impl core::ops::Sub for $proj {
+            type Output = $proj;
+            fn sub(self, rhs: $proj) -> $proj {
+                $proj(self.0 - rhs.0)
+            }
+        }
+
+        impl core::ops::Neg for $proj {
+            type Output = $proj;
+            fn neg(self) -> $proj {
+                $proj(-self.0)
+            }
+        }
+
+        impl core::ops::Mul<Scalar> for $proj {
+            type Output = $proj;
+            fn mul(self, rhs: Scalar) -> $proj {
+                $proj(self.0 * rhs)
+            }
+        }
+
+        impl core::ops::Mul<&Scalar> for $proj {
+            type Output = $proj;
+            fn mul(self, rhs: &Scalar) -> $proj {
+                $proj(self.0 * *rhs)
+            }
+        }
+
+        impl $affine {
+            /// Returns the fixed generator.
+            pub fn generator() -> Self {
+                $affine(Scalar::one())
+            }
+
+            /// Whether this is the identity element.
+            pub fn is_identity(&self) -> Choice {
+                Choice::from(self.0.is_zero_bool() as u8)
+            }
+
+            /// Compressed encoding with the standard flag bits.
+            pub fn to_compressed(&self) -> [u8; $len] {
+                to_compressed_generic::<$len>(&self.0)
+            }
+
+            /// Strict decode: canonical encodings only (the real crate's
+            /// on-curve + subgroup checks collapse to canonicality here).
+            pub fn from_compressed(bytes: &[u8; $len]) -> CtOption<Self> {
+                match from_compressed_generic::<$len>(bytes) {
+                    Some(s) => CtOption::new($affine(s), Choice::from(1)),
+                    None => CtOption::new($affine(Scalar::zero()), Choice::from(0)),
+                }
+            }
+
+            /// Lenient decode without subgroup checks; see the crate docs
+            /// for how non-canonical candidates are handled.
+            pub fn from_compressed_unchecked(bytes: &[u8; $len]) -> CtOption<Self> {
+                match from_compressed_unchecked_generic::<$len>($domain, bytes) {
+                    Some(s) => CtOption::new($affine(s), Choice::from(1)),
+                    None => CtOption::new($affine(Scalar::zero()), Choice::from(0)),
+                }
+            }
+        }
+
+        impl core::ops::Neg for $affine {
+            type Output = $affine;
+            fn neg(self) -> $affine {
+                $affine(-self.0)
+            }
+        }
+    };
+}
+
+define_group!(
+    G1Projective,
+    G1Affine,
+    48,
+    b"mock-bls-g1",
+    "An element of G1 (mock: its discrete log).",
+    "An affine element of G1 (mock: same representation)."
+);
+
+define_group!(
+    G2Projective,
+    G2Affine,
+    96,
+    b"mock-bls-g2",
+    "An element of G2 (mock: its discrete log).",
+    "An affine element of G2 (mock: same representation)."
+);
+
+/// A G2 element preprocessed for the Miller loop (mock: its discrete log).
+#[derive(Clone, Copy, Debug)]
+pub struct G2Prepared(Scalar);
+
+impl From<G2Affine> for G2Prepared {
+    fn from(p: G2Affine) -> Self {
+        G2Prepared(p.0)
+    }
+}
+
+/// An element of the target group Gt (mock: its discrete log).
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct Gt(Scalar);
+
+impl Gt {
+    /// Whether this is the identity element of Gt.
+    pub fn is_identity(&self) -> Choice {
+        Choice::from(self.0.is_zero_bool() as u8)
+    }
+}
+
+/// The result of a Miller loop, awaiting final exponentiation.
+#[derive(Clone, Copy, Debug)]
+pub struct MillerLoopResult(Scalar);
+
+impl MillerLoopResult {
+    /// Completes the pairing computation.
+    pub fn final_exponentiation(&self) -> Gt {
+        Gt(self.0)
+    }
+}
+
+/// The bilinear pairing: `e(a·G1, b·G2) = (a·b)·Gt` in the mock.
+pub fn pairing(p: &G1Affine, q: &G2Affine) -> Gt {
+    Gt(p.0 * q.0)
+}
+
+/// Product of pairings, evaluated lazily (mock: sum of dlog products).
+pub fn multi_miller_loop(terms: &[(&G1Affine, &G2Prepared)]) -> MillerLoopResult {
+    let mut acc = Scalar::zero();
+    for (g1, g2) in terms {
+        acc = acc + g1.0 * g2.0;
+    }
+    MillerLoopResult(acc)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn s(v: u64) -> Scalar {
+        Scalar([v, 0, 0, 0])
+    }
+
+    #[test]
+    fn bilinearity() {
+        let p = G1Affine::from(G1Projective::generator() * s(7));
+        let q = G2Affine::from(G2Projective::generator() * s(11));
+        assert_eq!(
+            pairing(&p, &q),
+            pairing(
+                &G1Affine::from(G1Projective::generator() * s(77)),
+                &G2Affine::generator(),
+            )
+        );
+    }
+
+    #[test]
+    fn multi_miller_matches_product_of_pairings() {
+        let a = G1Affine::from(G1Projective::generator() * s(3));
+        let b = G2Affine::from(G2Projective::generator() * s(5));
+        let c = G1Affine::from(G1Projective::generator() * s(15));
+        let neg_g2 = -G2Affine::generator();
+        // e(a, b) * e(c, -g2) = identity  since 3*5 - 15 = 0.
+        let result =
+            multi_miller_loop(&[(&a, &G2Prepared::from(b)), (&c, &G2Prepared::from(neg_g2))])
+                .final_exponentiation();
+        assert!(bool::from(result.is_identity()));
+    }
+
+    #[test]
+    fn compressed_roundtrip_and_garbage_rejection() {
+        let p = G1Affine::from(G1Projective::generator() * s(42));
+        let bytes = p.to_compressed();
+        assert_eq!(bytes.len(), 48);
+        let back = Option::<G1Affine>::from(G1Affine::from_compressed(&bytes)).unwrap();
+        assert_eq!(back, p);
+
+        assert!(Option::<G1Affine>::from(G1Affine::from_compressed(&[0xff; 48])).is_none());
+        assert!(Option::<G1Affine>::from(G1Affine::from_compressed(&[0x00; 48])).is_none());
+        assert!(Option::<G2Affine>::from(G2Affine::from_compressed(&[0xff; 96])).is_none());
+        assert!(Option::<G2Affine>::from(G2Affine::from_compressed(&[0x00; 96])).is_none());
+    }
+
+    #[test]
+    fn identity_compression() {
+        let id = G1Affine::from(G1Projective::identity());
+        let bytes = id.to_compressed();
+        assert_eq!(bytes[0], 0xc0);
+        let back = Option::<G1Affine>::from(G1Affine::from_compressed(&bytes)).unwrap();
+        assert!(bool::from(back.is_identity()));
+    }
+
+    #[test]
+    fn unchecked_decode_accepts_some_candidates() {
+        // Roughly half of pseudorandom candidates should "land on the
+        // curve", and acceptance must be deterministic.
+        let mut accepted = 0;
+        for i in 0..64u8 {
+            let mut candidate = [i; 48];
+            candidate[0] |= 0x80;
+            candidate[0] &= !0x40;
+            let a = G1Affine::from_compressed_unchecked(&candidate);
+            let b = G1Affine::from_compressed_unchecked(&candidate);
+            assert_eq!(bool::from(a.is_some()), bool::from(b.is_some()));
+            if bool::from(a.is_some()) {
+                assert_eq!(a.unwrap(), b.unwrap());
+                accepted += 1;
+            }
+        }
+        assert!(accepted > 8, "acceptance rate far too low: {accepted}/64");
+        assert!(accepted < 56, "acceptance rate far too high: {accepted}/64");
+    }
+
+    #[test]
+    fn scalar_bytes_roundtrip() {
+        let v = s(123456789) * s(987654321);
+        let back = Option::<Scalar>::from(Scalar::from_bytes(&v.to_bytes())).unwrap();
+        assert_eq!(back, v);
+        // A value >= r is rejected.
+        assert!(Option::<Scalar>::from(Scalar::from_bytes(&[0xff; 32])).is_none());
+    }
+
+    #[test]
+    fn from_bytes_wide_reduces() {
+        let wide = [0xabu8; 64];
+        let a = Scalar::from_bytes_wide(&wide);
+        let b = Scalar::from_bytes_wide(&wide);
+        assert_eq!(a, b);
+        assert!(!a.is_zero_bool());
+    }
+}

@@ -1,0 +1,226 @@
+//! Offline stand-in for the `criterion` crate.
+//!
+//! Provides the macro and builder surface this workspace's benches use
+//! (`criterion_group!`/`criterion_main!`, `Criterion`, `BenchmarkGroup`,
+//! `BenchmarkId`, `Bencher::iter`) with a simple mean-time measurement
+//! instead of criterion's statistical machinery. Under `cargo test` (when
+//! the harness is invoked with `--test`) each benchmark body runs exactly
+//! once so the suite stays fast. Swap in the real `criterion` when a
+//! registry is available.
+
+use std::time::{Duration, Instant};
+
+/// Re-export for bench code that uses `criterion::black_box`.
+pub fn black_box<T>(x: T) -> T {
+    std::hint::black_box(x)
+}
+
+/// Measurement settings and sink for one bench run.
+pub struct Criterion {
+    sample_size: usize,
+    measurement_time: Duration,
+    warm_up_time: Duration,
+    test_mode: bool,
+}
+
+impl Default for Criterion {
+    fn default() -> Self {
+        // Cargo passes `--bench` to harness-less bench targets only under
+        // `cargo bench`; under `cargo test --benches` they run with no
+        // arguments. Like the real criterion, anything except an explicit
+        // `--bench` invocation runs in quick test mode.
+        let args: Vec<String> = std::env::args().collect();
+        let test_mode = !args.iter().any(|a| a == "--bench") || args.iter().any(|a| a == "--test");
+        Self {
+            sample_size: 50,
+            measurement_time: Duration::from_secs(2),
+            warm_up_time: Duration::from_millis(300),
+            test_mode,
+        }
+    }
+}
+
+impl Criterion {
+    /// Sets the target number of samples (kept for API compatibility;
+    /// folded into the iteration budget here).
+    pub fn sample_size(mut self, n: usize) -> Self {
+        self.sample_size = n.max(1);
+        self
+    }
+
+    /// Sets the measurement window.
+    pub fn measurement_time(mut self, d: Duration) -> Self {
+        self.measurement_time = d;
+        self
+    }
+
+    /// Sets the warm-up window.
+    pub fn warm_up_time(mut self, d: Duration) -> Self {
+        self.warm_up_time = d;
+        self
+    }
+
+    /// Runs one benchmark.
+    pub fn bench_function(&mut self, name: &str, mut f: impl FnMut(&mut Bencher)) -> &mut Self {
+        self.run_named(name, &mut f);
+        self
+    }
+
+    /// Opens a named group of benchmarks.
+    pub fn benchmark_group(&mut self, name: &str) -> BenchmarkGroup<'_> {
+        BenchmarkGroup {
+            criterion: self,
+            name: name.to_string(),
+        }
+    }
+
+    fn run_named(&mut self, name: &str, f: &mut dyn FnMut(&mut Bencher)) {
+        if self.test_mode {
+            let mut b = Bencher {
+                iters: 1,
+                elapsed: Duration::ZERO,
+            };
+            f(&mut b);
+            println!("bench {name}: ok (test mode)");
+            return;
+        }
+        // Warm up / estimate cost with a single iteration.
+        let mut probe = Bencher {
+            iters: 1,
+            elapsed: Duration::ZERO,
+        };
+        let warm_until = Instant::now() + self.warm_up_time;
+        loop {
+            f(&mut probe);
+            if Instant::now() >= warm_until {
+                break;
+            }
+        }
+        let per_iter = probe.elapsed.max(Duration::from_nanos(1));
+        let budget_iters = (self.measurement_time.as_nanos() / per_iter.as_nanos()).max(1);
+        let iters = budget_iters.min(u128::from(u64::MAX)) as u64;
+        let iters = iters.max(self.sample_size as u64 / 10).max(1);
+        let mut b = Bencher {
+            iters,
+            elapsed: Duration::ZERO,
+        };
+        f(&mut b);
+        let mean = b.elapsed.as_nanos() as f64 / b.iters as f64;
+        println!("bench {name}: {mean:.1} ns/iter ({} iters)", b.iters);
+    }
+}
+
+/// Timing driver handed to each benchmark closure.
+pub struct Bencher {
+    iters: u64,
+    elapsed: Duration,
+}
+
+impl Bencher {
+    /// Times `inner`, running it the harness-chosen number of iterations.
+    pub fn iter<O>(&mut self, mut inner: impl FnMut() -> O) {
+        let start = Instant::now();
+        for _ in 0..self.iters {
+            std::hint::black_box(inner());
+        }
+        self.elapsed = start.elapsed();
+    }
+}
+
+/// A group of related benchmarks sharing a name prefix.
+pub struct BenchmarkGroup<'a> {
+    criterion: &'a mut Criterion,
+    name: String,
+}
+
+impl BenchmarkGroup<'_> {
+    /// Runs one parameterized benchmark in the group.
+    pub fn bench_with_input<I>(
+        &mut self,
+        id: BenchmarkId,
+        input: &I,
+        mut f: impl FnMut(&mut Bencher, &I),
+    ) -> &mut Self {
+        let name = format!("{}/{}", self.name, id.0);
+        self.criterion.run_named(&name, &mut |b| f(b, input));
+        self
+    }
+
+    /// Runs one unparameterized benchmark in the group.
+    pub fn bench_function(&mut self, name: &str, mut f: impl FnMut(&mut Bencher)) -> &mut Self {
+        let name = format!("{}/{}", self.name, name);
+        self.criterion.run_named(&name, &mut f);
+        self
+    }
+
+    /// Finishes the group (no-op; kept for API compatibility).
+    pub fn finish(self) {}
+}
+
+/// A benchmark identifier combining a function name and a parameter.
+pub struct BenchmarkId(String);
+
+impl BenchmarkId {
+    /// Builds an id like `"encrypt/40"`.
+    pub fn new(function_name: impl core::fmt::Display, parameter: impl core::fmt::Display) -> Self {
+        BenchmarkId(format!("{function_name}/{parameter}"))
+    }
+}
+
+/// Declares a group runner function (mirror of criterion's macro).
+#[macro_export]
+macro_rules! criterion_group {
+    (name = $name:ident; config = $config:expr; targets = $($target:path),+ $(,)?) => {
+        pub fn $name() {
+            let mut criterion: $crate::Criterion = $config;
+            $( $target(&mut criterion); )+
+        }
+    };
+    ($name:ident, $($target:path),+ $(,)?) => {
+        $crate::criterion_group!(
+            name = $name;
+            config = $crate::Criterion::default();
+            targets = $($target),+
+        );
+    };
+}
+
+/// Declares the bench entry point (mirror of criterion's macro).
+#[macro_export]
+macro_rules! criterion_main {
+    ($($group:path),+ $(,)?) => {
+        fn main() {
+            $( $group(); )+
+        }
+    };
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn bench_function_runs_closure() {
+        let mut c = Criterion::default()
+            .sample_size(10)
+            .measurement_time(Duration::from_millis(10))
+            .warm_up_time(Duration::from_millis(1));
+        let mut hits = 0u64;
+        c.bench_function("counter", |b| b.iter(|| hits += 1));
+        assert!(hits > 0);
+    }
+
+    #[test]
+    fn groups_and_ids() {
+        let mut c = Criterion::default()
+            .sample_size(10)
+            .measurement_time(Duration::from_millis(5))
+            .warm_up_time(Duration::from_millis(1));
+        let mut group = c.benchmark_group("g");
+        let n = 4usize;
+        group.bench_with_input(BenchmarkId::new("op", n), &n, |b, &n| {
+            b.iter(|| std::hint::black_box(n * 2))
+        });
+        group.finish();
+    }
+}

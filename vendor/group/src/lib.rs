@@ -1,0 +1,16 @@
+//! Offline stand-in for the `group` crate: the trait subset this
+//! workspace uses.
+
+use subtle::Choice;
+
+/// A cryptographic group (subset of the real `group::Group`).
+pub trait Group: Sized + Copy + Eq {
+    /// Returns the identity element.
+    fn identity() -> Self;
+    /// Returns a fixed generator.
+    fn generator() -> Self;
+    /// Whether this is the identity element.
+    fn is_identity(&self) -> Choice;
+    /// Doubles the element.
+    fn double(&self) -> Self;
+}

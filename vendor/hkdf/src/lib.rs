@@ -1,0 +1,106 @@
+//! Offline stand-in for the `hkdf` crate: RFC 5869 extract-and-expand
+//! over the vendored HMAC-SHA256.
+//!
+//! (`safetypin_primitives::hashes` carries its own domain-tagged HKDF;
+//! this crate exists so the workspace-level dependency stack matches the
+//! real one and is available to future callers.)
+
+use hmac::{Hmac, Mac};
+use sha2::Sha256;
+
+/// Error returned when the requested output is longer than 255 blocks.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct InvalidLength;
+
+impl core::fmt::Display for InvalidLength {
+    fn fmt(&self, f: &mut core::fmt::Formatter<'_>) -> core::fmt::Result {
+        write!(f, "invalid number of blocks")
+    }
+}
+
+impl std::error::Error for InvalidLength {}
+
+fn hmac_sha256(key: &[u8], data: &[u8]) -> [u8; 32] {
+    let mut mac = <Hmac<Sha256> as Mac>::new_from_slice(key).expect("any key length");
+    mac.update(data);
+    mac.finalize().into_bytes().into()
+}
+
+/// HKDF instantiated with SHA-256 (the only variant provided).
+pub struct Hkdf<D> {
+    prk: [u8; 32],
+    _marker: core::marker::PhantomData<D>,
+}
+
+impl Hkdf<Sha256> {
+    /// Extract step: derives the pseudorandom key from `salt` and `ikm`.
+    pub fn new(salt: Option<&[u8]>, ikm: &[u8]) -> Self {
+        let prk = hmac_sha256(salt.unwrap_or(&[0u8; 32]), ikm);
+        Self {
+            prk,
+            _marker: core::marker::PhantomData,
+        }
+    }
+
+    /// Expand step: fills `okm` with output keying material bound to `info`.
+    pub fn expand(&self, info: &[u8], okm: &mut [u8]) -> Result<(), InvalidLength> {
+        if okm.len() > 255 * 32 {
+            return Err(InvalidLength);
+        }
+        let mut block: Vec<u8> = Vec::new();
+        let mut counter: u8 = 1;
+        let mut written = 0;
+        while written < okm.len() {
+            let mut data = Vec::with_capacity(block.len() + info.len() + 1);
+            data.extend_from_slice(&block);
+            data.extend_from_slice(info);
+            data.push(counter);
+            block = hmac_sha256(&self.prk, &data).to_vec();
+            let take = core::cmp::min(32, okm.len() - written);
+            okm[written..written + take].copy_from_slice(&block[..take]);
+            written += take;
+            counter = counter.checked_add(1).expect("bounded by length check");
+        }
+        Ok(())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn hex(bytes: &[u8]) -> String {
+        bytes.iter().map(|b| format!("{b:02x}")).collect()
+    }
+
+    #[test]
+    fn rfc5869_case_1() {
+        let ikm = [0x0bu8; 22];
+        let salt: Vec<u8> = (0x00..=0x0c).collect();
+        let info: Vec<u8> = (0xf0..=0xf9).collect();
+        let hk = Hkdf::<Sha256>::new(Some(&salt), &ikm);
+        let mut okm = [0u8; 42];
+        hk.expand(&info, &mut okm).unwrap();
+        assert_eq!(
+            hex(&okm),
+            "3cb25f25faacd57a90434f64d0362f2a2d2d0a90cf1a5a4c5db02d56ecc4c5bf34007208d5b887185865"
+        );
+    }
+
+    #[test]
+    fn too_long_rejected() {
+        let hk = Hkdf::<Sha256>::new(None, b"ikm");
+        let mut okm = vec![0u8; 255 * 32 + 1];
+        assert_eq!(hk.expand(b"", &mut okm), Err(InvalidLength));
+    }
+
+    #[test]
+    fn prefix_property() {
+        let hk = Hkdf::<Sha256>::new(Some(b"salt"), b"ikm");
+        let mut a = [0u8; 64];
+        let mut b = [0u8; 32];
+        hk.expand(b"info", &mut a).unwrap();
+        hk.expand(b"info", &mut b).unwrap();
+        assert_eq!(&a[..32], &b[..]);
+    }
+}

@@ -1,0 +1,121 @@
+//! Offline stand-in for the `hmac` crate: RFC 2104 HMAC over the vendored
+//! SHA-256, behind the `Mac` API subset this workspace uses.
+
+use sha2::{Digest, Sha256};
+
+/// Error returned for invalid key lengths (HMAC accepts all, so this is
+/// never produced; it exists for API compatibility).
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct InvalidLength;
+
+impl core::fmt::Display for InvalidLength {
+    fn fmt(&self, f: &mut core::fmt::Formatter<'_>) -> core::fmt::Result {
+        write!(f, "invalid key length")
+    }
+}
+
+impl std::error::Error for InvalidLength {}
+
+/// Finalized MAC tag wrapper (mirror of `CtOutput`).
+pub struct CtOutput(sha2::Output);
+
+impl CtOutput {
+    /// Returns the tag bytes.
+    pub fn into_bytes(self) -> sha2::Output {
+        self.0
+    }
+}
+
+/// Mirror of the `digest::Mac` trait (subset).
+pub trait Mac: Sized {
+    /// Creates a MAC instance from a key of any length.
+    fn new_from_slice(key: &[u8]) -> Result<Self, InvalidLength>;
+    /// Absorbs message data.
+    fn update(&mut self, data: &[u8]);
+    /// Finishes and returns the tag.
+    fn finalize(self) -> CtOutput;
+}
+
+/// HMAC keyed by a digest type; only `Hmac<Sha256>` is implemented.
+#[derive(Clone)]
+pub struct Hmac<D> {
+    inner: Sha256,
+    opad_key: [u8; 64],
+    _marker: core::marker::PhantomData<D>,
+}
+
+impl Mac for Hmac<Sha256> {
+    fn new_from_slice(key: &[u8]) -> Result<Self, InvalidLength> {
+        let mut block_key = [0u8; 64];
+        if key.len() > 64 {
+            block_key[..32].copy_from_slice(Sha256::digest(key).as_slice());
+        } else {
+            block_key[..key.len()].copy_from_slice(key);
+        }
+        let mut ipad_key = [0u8; 64];
+        let mut opad_key = [0u8; 64];
+        for i in 0..64 {
+            ipad_key[i] = block_key[i] ^ 0x36;
+            opad_key[i] = block_key[i] ^ 0x5c;
+        }
+        let mut inner = Sha256::new();
+        inner.update(ipad_key);
+        Ok(Self {
+            inner,
+            opad_key,
+            _marker: core::marker::PhantomData,
+        })
+    }
+
+    fn update(&mut self, data: &[u8]) {
+        self.inner.update(data);
+    }
+
+    fn finalize(self) -> CtOutput {
+        let inner_digest = self.inner.finalize();
+        let mut outer = Sha256::new();
+        outer.update(self.opad_key);
+        outer.update(inner_digest.as_slice());
+        CtOutput(outer.finalize())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn hmac(key: &[u8], data: &[u8]) -> [u8; 32] {
+        let mut m = <Hmac<Sha256> as Mac>::new_from_slice(key).unwrap();
+        m.update(data);
+        m.finalize().into_bytes().into()
+    }
+
+    fn hex(bytes: &[u8]) -> String {
+        bytes.iter().map(|b| format!("{b:02x}")).collect()
+    }
+
+    #[test]
+    fn rfc4231_case_2() {
+        // Key "Jefe", data "what do ya want for nothing?".
+        let tag = hmac(b"Jefe", b"what do ya want for nothing?");
+        assert_eq!(
+            hex(&tag),
+            "5bdcc146bf60754e6a042426089575c75a003f089d2739839dec58b964ec3843"
+        );
+    }
+
+    #[test]
+    fn long_key_is_hashed() {
+        let long = vec![0xaau8; 131];
+        let t1 = hmac(&long, b"msg");
+        let t2 = hmac(&long, b"msg");
+        assert_eq!(t1, t2);
+        assert_ne!(t1, hmac(&long[..130], b"msg"));
+    }
+
+    #[test]
+    fn key_and_data_sensitivity() {
+        assert_ne!(hmac(b"k1", b"d"), hmac(b"k2", b"d"));
+        assert_ne!(hmac(b"k", b"d1"), hmac(b"k", b"d2"));
+    }
+}

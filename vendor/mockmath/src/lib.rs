@@ -1,0 +1,258 @@
+//! Small 256-bit modular arithmetic used by the vendored mock group
+//! backends (`p256`, `bls12_381`).
+//!
+//! This workspace builds offline, so the real curve crates cannot be
+//! fetched; the stand-ins model each group by the discrete log of its
+//! elements and only need honest arithmetic modulo a ~256-bit modulus.
+//! Values are four little-endian `u64` limbs. Nothing here is
+//! constant-time — the mock backends are explicitly not secure.
+
+/// A 256-bit unsigned integer, little-endian limbs.
+pub type U256 = [u64; 4];
+
+/// The zero value.
+pub const ZERO: U256 = [0; 4];
+
+/// The value one.
+pub const ONE: U256 = [1, 0, 0, 0];
+
+/// Compares `a` and `b`.
+pub fn cmp(a: &U256, b: &U256) -> core::cmp::Ordering {
+    for i in (0..4).rev() {
+        match a[i].cmp(&b[i]) {
+            core::cmp::Ordering::Equal => continue,
+            other => return other,
+        }
+    }
+    core::cmp::Ordering::Equal
+}
+
+/// Returns `true` iff `a == 0`.
+pub fn is_zero(a: &U256) -> bool {
+    a.iter().all(|&w| w == 0)
+}
+
+/// Plain addition; returns (sum, carry).
+pub fn adc(a: &U256, b: &U256) -> (U256, bool) {
+    let mut out = ZERO;
+    let mut carry = false;
+    for i in 0..4 {
+        let (s1, c1) = a[i].overflowing_add(b[i]);
+        let (s2, c2) = s1.overflowing_add(carry as u64);
+        out[i] = s2;
+        carry = c1 || c2;
+    }
+    (out, carry)
+}
+
+/// Plain subtraction; returns (difference, borrow).
+pub fn sbb(a: &U256, b: &U256) -> (U256, bool) {
+    let mut out = ZERO;
+    let mut borrow = false;
+    for i in 0..4 {
+        let (d1, b1) = a[i].overflowing_sub(b[i]);
+        let (d2, b2) = d1.overflowing_sub(borrow as u64);
+        out[i] = d2;
+        borrow = b1 || b2;
+    }
+    (out, borrow)
+}
+
+/// Modular addition. Requires `a, b < m`.
+pub fn add_mod(a: &U256, b: &U256, m: &U256) -> U256 {
+    let (sum, carry) = adc(a, b);
+    if carry || cmp(&sum, m) != core::cmp::Ordering::Less {
+        sbb(&sum, m).0
+    } else {
+        sum
+    }
+}
+
+/// Modular subtraction. Requires `a, b < m`.
+pub fn sub_mod(a: &U256, b: &U256, m: &U256) -> U256 {
+    let (diff, borrow) = sbb(a, b);
+    if borrow {
+        adc(&diff, m).0
+    } else {
+        diff
+    }
+}
+
+/// Modular negation. Requires `a < m`.
+pub fn neg_mod(a: &U256, m: &U256) -> U256 {
+    if is_zero(a) {
+        ZERO
+    } else {
+        sbb(m, a).0
+    }
+}
+
+/// Full 256x256 -> 512-bit product, little-endian limbs.
+pub fn mul_wide(a: &U256, b: &U256) -> [u64; 8] {
+    let mut out = [0u64; 8];
+    for i in 0..4 {
+        let mut carry: u128 = 0;
+        for j in 0..4 {
+            let acc = out[i + j] as u128 + (a[i] as u128) * (b[j] as u128) + carry;
+            out[i + j] = acc as u64;
+            carry = acc >> 64;
+        }
+        out[i + 4] = carry as u64;
+    }
+    out
+}
+
+/// Reduces a 512-bit value modulo `m` by binary long division.
+///
+/// O(512) word-ops; plenty for the mock backends, which replace scalar
+/// multiplication on the curve with a single field multiplication.
+pub fn reduce_wide(x: &[u64; 8], m: &U256) -> U256 {
+    debug_assert!(!is_zero(m), "modulus must be nonzero");
+    let mut r = ZERO;
+    for bit in (0..512).rev() {
+        // r = 2r + bit(x).
+        let mut carry = (x[bit / 64] >> (bit % 64)) & 1;
+        for limb in r.iter_mut() {
+            let hi = *limb >> 63;
+            *limb = (*limb << 1) | carry;
+            carry = hi;
+        }
+        if carry == 1 || cmp(&r, m) != core::cmp::Ordering::Less {
+            r = sbb(&r, m).0;
+        }
+    }
+    r
+}
+
+/// Modular multiplication. Requires `a, b < m`.
+pub fn mul_mod(a: &U256, b: &U256, m: &U256) -> U256 {
+    reduce_wide(&mul_wide(a, b), m)
+}
+
+/// Modular exponentiation (square-and-multiply).
+pub fn pow_mod(base: &U256, exp: &U256, m: &U256) -> U256 {
+    let mut acc = reduce_wide(&widen(&ONE), m);
+    let base = reduce_wide(&widen(base), m);
+    for bit in (0..256).rev() {
+        acc = mul_mod(&acc, &acc, m);
+        if (exp[bit / 64] >> (bit % 64)) & 1 == 1 {
+            acc = mul_mod(&acc, &base, m);
+        }
+    }
+    acc
+}
+
+/// Modular inverse for prime `m` via Fermat's little theorem.
+///
+/// Returns `None` for zero input.
+pub fn inv_mod_prime(a: &U256, m: &U256) -> Option<U256> {
+    if is_zero(a) {
+        return None;
+    }
+    let e = sbb(m, &[2, 0, 0, 0]).0; // m - 2
+    Some(pow_mod(a, &e, m))
+}
+
+fn widen(a: &U256) -> [u64; 8] {
+    [a[0], a[1], a[2], a[3], 0, 0, 0, 0]
+}
+
+/// Parses 32 big-endian bytes.
+pub fn from_be_bytes(bytes: &[u8; 32]) -> U256 {
+    let mut out = ZERO;
+    for (i, limb) in out.iter_mut().enumerate() {
+        let mut w = [0u8; 8];
+        w.copy_from_slice(&bytes[32 - 8 * (i + 1)..32 - 8 * i]);
+        *limb = u64::from_be_bytes(w);
+    }
+    out
+}
+
+/// Serializes to 32 big-endian bytes.
+pub fn to_be_bytes(a: &U256) -> [u8; 32] {
+    let mut out = [0u8; 32];
+    for (i, limb) in a.iter().enumerate() {
+        out[32 - 8 * (i + 1)..32 - 8 * i].copy_from_slice(&limb.to_be_bytes());
+    }
+    out
+}
+
+/// Parses 32 little-endian bytes.
+pub fn from_le_bytes(bytes: &[u8; 32]) -> U256 {
+    let mut out = ZERO;
+    for (i, limb) in out.iter_mut().enumerate() {
+        let mut w = [0u8; 8];
+        w.copy_from_slice(&bytes[8 * i..8 * (i + 1)]);
+        *limb = u64::from_le_bytes(w);
+    }
+    out
+}
+
+/// Serializes to 32 little-endian bytes.
+pub fn to_le_bytes(a: &U256) -> [u8; 32] {
+    let mut out = [0u8; 32];
+    for (i, limb) in a.iter().enumerate() {
+        out[8 * i..8 * (i + 1)].copy_from_slice(&limb.to_le_bytes());
+    }
+    out
+}
+
+/// Reduces 64 little-endian bytes (a 512-bit value) modulo `m`.
+pub fn reduce_le_wide(bytes: &[u8; 64], m: &U256) -> U256 {
+    let mut wide = [0u64; 8];
+    for (i, limb) in wide.iter_mut().enumerate() {
+        let mut w = [0u8; 8];
+        w.copy_from_slice(&bytes[8 * i..8 * (i + 1)]);
+        *limb = u64::from_le_bytes(w);
+    }
+    reduce_wide(&wide, m)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    // 2^255 - 19, a convenient known prime.
+    const P: U256 = [
+        0xffff_ffff_ffff_ffed,
+        0xffff_ffff_ffff_ffff,
+        0xffff_ffff_ffff_ffff,
+        0x7fff_ffff_ffff_ffff,
+    ];
+
+    #[test]
+    fn add_sub_roundtrip() {
+        let a = [5, 6, 7, 8];
+        let b = [1, 2, 3, 4];
+        assert_eq!(sub_mod(&add_mod(&a, &b, &P), &b, &P), a);
+    }
+
+    #[test]
+    fn mul_reduce_small() {
+        let a = [7, 0, 0, 0];
+        let b = [9, 0, 0, 0];
+        assert_eq!(mul_mod(&a, &b, &P), [63, 0, 0, 0]);
+    }
+
+    #[test]
+    fn inverse_times_self_is_one() {
+        let a = [0xdead_beef, 42, 7, 1];
+        let inv = inv_mod_prime(&a, &P).unwrap();
+        assert_eq!(mul_mod(&a, &inv, &P), ONE);
+    }
+
+    #[test]
+    fn byte_roundtrips() {
+        let a = [1, 2, 3, 4];
+        assert_eq!(from_be_bytes(&to_be_bytes(&a)), a);
+        assert_eq!(from_le_bytes(&to_le_bytes(&a)), a);
+    }
+
+    #[test]
+    fn reduce_wide_matches_modulus() {
+        // (P + 5) mod P == 5
+        let (sum, _) = adc(&P, &[5, 0, 0, 0]);
+        let wide = [sum[0], sum[1], sum[2], sum[3], 0, 0, 0, 0];
+        assert_eq!(reduce_wide(&wide, &P), [5, 0, 0, 0]);
+    }
+}

@@ -1,0 +1,532 @@
+//! Offline stand-in for the `p256` crate.
+//!
+//! **This is not NIST P-256.** The workspace builds without network
+//! access, so instead of real curve arithmetic this models a prime-order
+//! group symbolically: every group element is represented by its discrete
+//! logarithm modulo the prime `q = 2^255 - 19`, point addition is scalar
+//! addition, and scalar multiplication is field multiplication. All the
+//! *algebraic* behaviour downstream code relies on — ElGamal correctness,
+//! key-privacy ciphertext shapes, serialization roundtrips, ECDSA
+//! equations — holds exactly, but discrete logs are trivially readable,
+//! so nothing built on this backend is cryptographically secure. Swap in
+//! the real `p256` when a registry is available; the API subset matches.
+//!
+//! Wire formats keep the real sizes: SEC1-compressed points are 33 bytes
+//! (tag `0x02`/`0x03` + 32), the identity is the single byte `0x00`, and
+//! scalars are 32 big-endian bytes.
+
+use mockmath::U256;
+use rand::{CryptoRng, RngCore};
+use subtle::{Choice, CtOption};
+
+/// The mock group order: `2^255 - 19` (prime).
+const Q: U256 = [
+    0xffff_ffff_ffff_ffed,
+    0xffff_ffff_ffff_ffff,
+    0xffff_ffff_ffff_ffff,
+    0x7fff_ffff_ffff_ffff,
+];
+
+/// A scalar modulo the (mock) group order.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct Scalar(U256);
+
+impl Scalar {
+    /// The additive identity.
+    pub const ZERO: Scalar = Scalar(mockmath::ZERO);
+    /// The multiplicative identity.
+    pub const ONE: Scalar = Scalar(mockmath::ONE);
+
+    /// Serializes as 32 big-endian bytes.
+    pub fn to_bytes(&self) -> [u8; 32] {
+        mockmath::to_be_bytes(&self.0)
+    }
+
+    /// Reduces 64 uniform bytes into a scalar.
+    pub fn from_bytes_reduced(wide: &[u8; 64]) -> Self {
+        let mut le = [0u8; 64];
+        for (i, b) in wide.iter().rev().enumerate() {
+            le[i] = *b;
+        }
+        Scalar(mockmath::reduce_le_wide(&le, &Q))
+    }
+
+    /// Multiplicative inverse; `None` for zero.
+    pub fn invert(&self) -> CtOption<Scalar> {
+        match mockmath::inv_mod_prime(&self.0, &Q) {
+            Some(inv) => CtOption::new(Scalar(inv), Choice::from(1)),
+            None => CtOption::new(Scalar::ZERO, Choice::from(0)),
+        }
+    }
+
+    /// Whether this is the zero scalar.
+    pub fn is_zero(&self) -> Choice {
+        Choice::from(mockmath::is_zero(&self.0) as u8)
+    }
+
+    fn parity(&self) -> u8 {
+        (self.0[0] & 1) as u8
+    }
+}
+
+macro_rules! scalar_binop {
+    ($trait:ident, $method:ident, $op:path) => {
+        impl core::ops::$trait for Scalar {
+            type Output = Scalar;
+            fn $method(self, rhs: Scalar) -> Scalar {
+                Scalar($op(&self.0, &rhs.0, &Q))
+            }
+        }
+        impl core::ops::$trait<&Scalar> for Scalar {
+            type Output = Scalar;
+            fn $method(self, rhs: &Scalar) -> Scalar {
+                Scalar($op(&self.0, &rhs.0, &Q))
+            }
+        }
+    };
+}
+
+scalar_binop!(Add, add, mockmath::add_mod);
+scalar_binop!(Sub, sub, mockmath::sub_mod);
+scalar_binop!(Mul, mul, mockmath::mul_mod);
+
+impl core::ops::Neg for Scalar {
+    type Output = Scalar;
+    fn neg(self) -> Scalar {
+        Scalar(mockmath::neg_mod(&self.0, &Q))
+    }
+}
+
+/// Mirror of the `elliptic_curve` facade paths used by this workspace.
+pub mod elliptic_curve {
+    use super::*;
+
+    /// Mirror of `ff::Field` (subset).
+    pub trait Field: Sized {
+        /// Samples a uniform field element.
+        fn random(rng: impl RngCore) -> Self;
+    }
+
+    impl Field for Scalar {
+        fn random(mut rng: impl RngCore) -> Self {
+            let mut wide = [0u8; 64];
+            rng.fill_bytes(&mut wide);
+            Scalar::from_bytes_reduced(&wide)
+        }
+    }
+
+    /// Mirror of `ff::PrimeField` (subset).
+    pub trait PrimeField: Sized {
+        /// Canonical byte representation.
+        type Repr;
+
+        /// Parses a canonical representation; rejects out-of-range values.
+        fn from_repr(repr: Self::Repr) -> CtOption<Self>;
+    }
+
+    impl PrimeField for Scalar {
+        type Repr = [u8; 32];
+
+        fn from_repr(repr: Self::Repr) -> CtOption<Scalar> {
+            let v = mockmath::from_be_bytes(&repr);
+            let valid = mockmath::cmp(&v, &Q) == core::cmp::Ordering::Less;
+            CtOption::new(Scalar(v), Choice::from(valid as u8))
+        }
+    }
+
+    /// SEC1 point-encoding traits.
+    pub mod sec1 {
+        use super::super::*;
+
+        /// Decoding from a SEC1 [`EncodedPoint`].
+        pub trait FromEncodedPoint: Sized {
+            /// Parses the encoded point; invalid encodings yield none.
+            fn from_encoded_point(point: &EncodedPoint) -> CtOption<Self>;
+        }
+
+        /// Encoding to a SEC1 [`EncodedPoint`].
+        pub trait ToEncodedPoint {
+            /// Encodes the point, optionally compressed.
+            fn to_encoded_point(&self, compress: bool) -> EncodedPoint;
+        }
+    }
+}
+
+use elliptic_curve::sec1::{FromEncodedPoint, ToEncodedPoint};
+
+/// A nonzero scalar.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct NonZeroScalar(Scalar);
+
+impl NonZeroScalar {
+    /// Samples a uniform nonzero scalar.
+    pub fn random<R: RngCore + CryptoRng + ?Sized>(rng: &mut R) -> Self {
+        loop {
+            let s = <Scalar as elliptic_curve::Field>::random(&mut *rng);
+            if !bool::from(s.is_zero()) {
+                return NonZeroScalar(s);
+            }
+        }
+    }
+}
+
+impl AsRef<Scalar> for NonZeroScalar {
+    fn as_ref(&self) -> &Scalar {
+        &self.0
+    }
+}
+
+/// A group element in "projective" form (mock: its discrete log).
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct ProjectivePoint(Scalar);
+
+/// A group element in "affine" form (mock: same representation).
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct AffinePoint(Scalar);
+
+impl ProjectivePoint {
+    /// The group generator (discrete log 1).
+    pub const GENERATOR: ProjectivePoint = ProjectivePoint(Scalar::ONE);
+    /// The identity element (discrete log 0).
+    pub const IDENTITY: ProjectivePoint = ProjectivePoint(Scalar::ZERO);
+
+    /// Converts to affine form.
+    pub fn to_affine(&self) -> AffinePoint {
+        AffinePoint(self.0)
+    }
+}
+
+impl From<AffinePoint> for ProjectivePoint {
+    fn from(p: AffinePoint) -> Self {
+        ProjectivePoint(p.0)
+    }
+}
+
+impl From<ProjectivePoint> for AffinePoint {
+    fn from(p: ProjectivePoint) -> Self {
+        AffinePoint(p.0)
+    }
+}
+
+impl core::ops::Add for ProjectivePoint {
+    type Output = ProjectivePoint;
+    fn add(self, rhs: ProjectivePoint) -> ProjectivePoint {
+        ProjectivePoint(self.0 + rhs.0)
+    }
+}
+
+impl core::ops::Sub for ProjectivePoint {
+    type Output = ProjectivePoint;
+    fn sub(self, rhs: ProjectivePoint) -> ProjectivePoint {
+        ProjectivePoint(self.0 - rhs.0)
+    }
+}
+
+impl core::ops::Neg for ProjectivePoint {
+    type Output = ProjectivePoint;
+    fn neg(self) -> ProjectivePoint {
+        ProjectivePoint(-self.0)
+    }
+}
+
+impl core::ops::Mul<Scalar> for ProjectivePoint {
+    type Output = ProjectivePoint;
+    fn mul(self, rhs: Scalar) -> ProjectivePoint {
+        ProjectivePoint(self.0 * rhs)
+    }
+}
+
+impl core::ops::Mul<&Scalar> for ProjectivePoint {
+    type Output = ProjectivePoint;
+    fn mul(self, rhs: &Scalar) -> ProjectivePoint {
+        ProjectivePoint(self.0 * *rhs)
+    }
+}
+
+impl core::ops::MulAssign<Scalar> for ProjectivePoint {
+    fn mul_assign(&mut self, rhs: Scalar) {
+        self.0 = self.0 * rhs;
+    }
+}
+
+impl core::ops::AddAssign for ProjectivePoint {
+    fn add_assign(&mut self, rhs: ProjectivePoint) {
+        self.0 = self.0 + rhs.0;
+    }
+}
+
+impl AffinePoint {
+    fn is_identity(&self) -> bool {
+        bool::from(self.0.is_zero())
+    }
+}
+
+impl ToEncodedPoint for AffinePoint {
+    fn to_encoded_point(&self, compress: bool) -> EncodedPoint {
+        if self.is_identity() {
+            return EncodedPoint { bytes: vec![0u8] };
+        }
+        // The mock group has no y-coordinate; emit the "compressed" shape
+        // either way so lengths stay SEC1-faithful for non-identity points.
+        let _ = compress;
+        let mut bytes = Vec::with_capacity(33);
+        bytes.push(0x02 | self.0.parity());
+        bytes.extend_from_slice(&self.0.to_bytes());
+        EncodedPoint { bytes }
+    }
+}
+
+impl FromEncodedPoint for AffinePoint {
+    fn from_encoded_point(point: &EncodedPoint) -> CtOption<Self> {
+        let bytes = &point.bytes;
+        if bytes.len() == 1 && bytes[0] == 0 {
+            return CtOption::new(AffinePoint(Scalar::ZERO), Choice::from(1));
+        }
+        if bytes.len() != 33 || (bytes[0] != 0x02 && bytes[0] != 0x03) {
+            return CtOption::new(AffinePoint(Scalar::ZERO), Choice::from(0));
+        }
+        let mut repr = [0u8; 32];
+        repr.copy_from_slice(&bytes[1..]);
+        let scalar = mockmath::from_be_bytes(&repr);
+        let in_range = mockmath::cmp(&scalar, &Q) == core::cmp::Ordering::Less;
+        let s = Scalar(scalar);
+        // The tag must match the element's "sign" bit and the identity has
+        // its own encoding, mirroring strict SEC1 decoding.
+        let valid = in_range && s.parity() == bytes[0] - 0x02 && !mockmath::is_zero(&scalar);
+        CtOption::new(AffinePoint(s), Choice::from(valid as u8))
+    }
+}
+
+/// A SEC1-encoded point.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct EncodedPoint {
+    bytes: Vec<u8>,
+}
+
+/// Error for malformed SEC1 encodings.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct PointError;
+
+impl core::fmt::Display for PointError {
+    fn fmt(&self, f: &mut core::fmt::Formatter<'_>) -> core::fmt::Result {
+        write!(f, "invalid SEC1 point encoding")
+    }
+}
+
+impl std::error::Error for PointError {}
+
+impl EncodedPoint {
+    /// Parses SEC1 bytes; accepts the identity (1 byte) and compressed
+    /// (33 byte) forms.
+    pub fn from_bytes(bytes: impl AsRef<[u8]>) -> Result<Self, PointError> {
+        let bytes = bytes.as_ref();
+        let ok = matches!(
+            (bytes.len(), bytes.first()),
+            (1, Some(0x00)) | (33, Some(0x02)) | (33, Some(0x03))
+        );
+        if ok {
+            Ok(Self {
+                bytes: bytes.to_vec(),
+            })
+        } else {
+            Err(PointError)
+        }
+    }
+
+    /// Returns the raw encoding.
+    pub fn as_bytes(&self) -> &[u8] {
+        &self.bytes
+    }
+}
+
+/// ECDSA over the mock group.
+///
+/// The textbook ECDSA equations are evaluated with "x-coordinate of a
+/// point" taken to be its discrete log, which preserves the verify/sign
+/// algebra (and rejection of wrong keys/messages) without real curve
+/// arithmetic.
+pub mod ecdsa {
+    use super::*;
+    use sha2::{Digest, Sha256};
+
+    /// Signature verification error.
+    #[derive(Clone, Copy, Debug, PartialEq, Eq)]
+    pub struct Error;
+
+    impl core::fmt::Display for Error {
+        fn fmt(&self, f: &mut core::fmt::Formatter<'_>) -> core::fmt::Result {
+            write!(f, "ecdsa::Error")
+        }
+    }
+
+    impl std::error::Error for Error {}
+
+    /// Mirror of the `signature` crate traits.
+    pub mod signature {
+        /// Message signing.
+        pub trait Signer<S> {
+            /// Signs `msg`.
+            fn sign(&self, msg: &[u8]) -> S;
+        }
+
+        /// Signature verification.
+        pub trait Verifier<S> {
+            /// Verifies `signature` over `msg`.
+            fn verify(&self, msg: &[u8], signature: &S) -> Result<(), super::Error>;
+        }
+    }
+
+    fn hash_to_scalar(parts: &[&[u8]]) -> Scalar {
+        let mut h1 = Sha256::new();
+        let mut h2 = Sha256::new();
+        h1.update(b"mock-ecdsa-0");
+        h2.update(b"mock-ecdsa-1");
+        for p in parts {
+            h1.update((p.len() as u64).to_be_bytes());
+            h1.update(p);
+            h2.update((p.len() as u64).to_be_bytes());
+            h2.update(p);
+        }
+        let mut wide = [0u8; 64];
+        wide[..32].copy_from_slice(h1.finalize().as_slice());
+        wide[32..].copy_from_slice(h2.finalize().as_slice());
+        Scalar::from_bytes_reduced(&wide)
+    }
+
+    /// An ECDSA signature `(r, s)`.
+    #[derive(Clone, Copy, Debug, PartialEq, Eq)]
+    pub struct Signature {
+        r: Scalar,
+        s: Scalar,
+    }
+
+    /// An ECDSA signing key.
+    #[derive(Clone)]
+    pub struct SigningKey {
+        x: Scalar,
+    }
+
+    impl SigningKey {
+        /// Samples a fresh signing key.
+        pub fn random<R: RngCore + CryptoRng + ?Sized>(rng: &mut R) -> Self {
+            Self {
+                x: *NonZeroScalar::random(rng).as_ref(),
+            }
+        }
+    }
+
+    impl signature::Signer<Signature> for SigningKey {
+        fn sign(&self, msg: &[u8]) -> Signature {
+            let e = hash_to_scalar(&[b"msg", msg]);
+            // Deterministic nonce (RFC 6979 in spirit).
+            let k = hash_to_scalar(&[b"nonce", &self.x.to_bytes(), msg]);
+            let r = (ProjectivePoint::GENERATOR * k).0; // "x-coordinate" = dlog
+            let k_inv = k.invert().unwrap();
+            let s = k_inv * (e + r * self.x);
+            Signature { r, s }
+        }
+    }
+
+    /// An ECDSA verifying key.
+    #[derive(Clone, Copy, Debug, PartialEq, Eq)]
+    pub struct VerifyingKey {
+        pk: ProjectivePoint,
+    }
+
+    impl From<&SigningKey> for VerifyingKey {
+        fn from(sk: &SigningKey) -> Self {
+            Self {
+                pk: ProjectivePoint::GENERATOR * sk.x,
+            }
+        }
+    }
+
+    impl signature::Verifier<Signature> for VerifyingKey {
+        fn verify(&self, msg: &[u8], signature: &Signature) -> Result<(), Error> {
+            if bool::from(signature.r.is_zero()) || bool::from(signature.s.is_zero()) {
+                return Err(Error);
+            }
+            let e = hash_to_scalar(&[b"msg", msg]);
+            let s_inv = Option::<Scalar>::from(signature.s.invert()).ok_or(Error)?;
+            let u1 = e * s_inv;
+            let u2 = signature.r * s_inv;
+            let candidate = ProjectivePoint::GENERATOR * u1 + self.pk * u2;
+            if candidate.0 == signature.r {
+                Ok(())
+            } else {
+                Err(Error)
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::ecdsa::signature::{Signer, Verifier};
+    use super::elliptic_curve::Field as _;
+    use super::*;
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    #[test]
+    fn group_laws_hold() {
+        let mut rng = StdRng::seed_from_u64(1);
+        let a = Scalar::random(&mut rng);
+        let b = Scalar::random(&mut rng);
+        let g = ProjectivePoint::GENERATOR;
+        assert_eq!(g * a + g * b, g * (a + b));
+        assert_eq!((g * a) * b, (g * b) * a);
+        assert_eq!(g * a - g * a, ProjectivePoint::IDENTITY);
+    }
+
+    #[test]
+    fn sec1_roundtrip_and_rejection() {
+        let mut rng = StdRng::seed_from_u64(2);
+        let p = (ProjectivePoint::GENERATOR * Scalar::random(&mut rng)).to_affine();
+        let enc = p.to_encoded_point(true);
+        assert_eq!(enc.as_bytes().len(), 33);
+        let back = Option::<AffinePoint>::from(AffinePoint::from_encoded_point(&enc)).unwrap();
+        assert_eq!(back, p);
+
+        // Wrong parity tag is rejected.
+        let mut tampered = enc.as_bytes().to_vec();
+        tampered[0] ^= 1;
+        let enc2 = EncodedPoint::from_bytes(&tampered).unwrap();
+        assert!(Option::<AffinePoint>::from(AffinePoint::from_encoded_point(&enc2)).is_none());
+
+        // Bad lengths never parse.
+        assert!(EncodedPoint::from_bytes([2u8; 5]).is_err());
+        assert!(EncodedPoint::from_bytes([0x04u8; 33]).is_err());
+    }
+
+    #[test]
+    fn identity_encodes_as_single_byte() {
+        let enc = ProjectivePoint::IDENTITY.to_affine().to_encoded_point(true);
+        assert_eq!(enc.as_bytes(), &[0u8]);
+        let back = Option::<AffinePoint>::from(AffinePoint::from_encoded_point(&enc)).unwrap();
+        assert_eq!(ProjectivePoint::from(back), ProjectivePoint::IDENTITY);
+    }
+
+    #[test]
+    fn scalar_repr_rejects_out_of_range() {
+        use super::elliptic_curve::PrimeField;
+        assert!(Option::<Scalar>::from(Scalar::from_repr([0xff; 32])).is_none());
+        let s = Scalar::ONE + Scalar::ONE;
+        assert_eq!(
+            Option::<Scalar>::from(Scalar::from_repr(s.to_bytes())).unwrap(),
+            s
+        );
+    }
+
+    #[test]
+    fn ecdsa_sign_verify() {
+        let mut rng = StdRng::seed_from_u64(3);
+        let sk = ecdsa::SigningKey::random(&mut rng);
+        let vk = ecdsa::VerifyingKey::from(&sk);
+        let sig = sk.sign(b"message");
+        assert!(vk.verify(b"message", &sig).is_ok());
+        assert!(vk.verify(b"other", &sig).is_err());
+        let other = ecdsa::VerifyingKey::from(&ecdsa::SigningKey::random(&mut rng));
+        assert!(other.verify(b"message", &sig).is_err());
+    }
+}

@@ -1,0 +1,308 @@
+//! Offline stand-in for the `sha2` crate exposing a real FIPS 180-4
+//! SHA-256 behind the `Digest` API subset this workspace uses.
+//!
+//! The round constants are derived at startup with exact integer
+//! square/cube roots rather than transcribed tables, and the
+//! implementation is checked against the standard empty-string and
+//! `"abc"` test vectors in this crate's tests.
+
+use std::sync::OnceLock;
+
+/// A SHA-256 digest output (32 bytes).
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct Output([u8; 32]);
+
+impl Output {
+    /// Returns the digest as a byte slice.
+    pub fn as_slice(&self) -> &[u8] {
+        &self.0
+    }
+}
+
+impl From<Output> for [u8; 32] {
+    fn from(o: Output) -> Self {
+        o.0
+    }
+}
+
+impl AsRef<[u8]> for Output {
+    fn as_ref(&self) -> &[u8] {
+        &self.0
+    }
+}
+
+impl core::ops::Deref for Output {
+    type Target = [u8; 32];
+    fn deref(&self) -> &Self::Target {
+        &self.0
+    }
+}
+
+/// Mirror of the `digest::Digest` trait (subset).
+pub trait Digest {
+    /// Creates a fresh hasher.
+    fn new() -> Self;
+    /// Absorbs input.
+    fn update(&mut self, data: impl AsRef<[u8]>);
+    /// Finishes and returns the digest.
+    fn finalize(self) -> Output;
+    /// One-shot convenience.
+    fn digest(data: impl AsRef<[u8]>) -> Output
+    where
+        Self: Sized,
+    {
+        let mut h = Self::new();
+        h.update(data);
+        h.finalize()
+    }
+}
+
+/// Streaming SHA-256.
+#[derive(Clone)]
+pub struct Sha256 {
+    state: [u32; 8],
+    buf: [u8; 64],
+    buf_len: usize,
+    total_len: u64,
+}
+
+/// Integer square root of `n` (largest `r` with `r^2 <= n`).
+fn isqrt(n: u128) -> u128 {
+    let (mut lo, mut hi) = (0u128, 1u128 << 64);
+    while lo + 1 < hi {
+        let mid = (lo + hi) / 2;
+        if mid.checked_mul(mid).map(|m| m <= n).unwrap_or(false) {
+            lo = mid;
+        } else {
+            hi = mid;
+        }
+    }
+    lo
+}
+
+/// Integer cube root of `n` (largest `r` with `r^3 <= n`).
+fn icbrt(n: u128) -> u128 {
+    let (mut lo, mut hi) = (0u128, 1u128 << 43);
+    while lo + 1 < hi {
+        let mid = (lo + hi) / 2;
+        let cube = mid.checked_mul(mid).and_then(|m| m.checked_mul(mid));
+        if cube.map(|c| c <= n).unwrap_or(false) {
+            lo = mid;
+        } else {
+            hi = mid;
+        }
+    }
+    lo
+}
+
+fn primes(count: usize) -> Vec<u128> {
+    let mut found = Vec::with_capacity(count);
+    let mut n = 2u128;
+    while found.len() < count {
+        if found.iter().all(|&p: &u128| !n.is_multiple_of(p)) {
+            found.push(n);
+        }
+        n += 1;
+    }
+    found
+}
+
+/// H0: first 32 bits of the fractional parts of the square roots of the
+/// first 8 primes. frac(sqrt(p)) * 2^32 == isqrt(p << 64) mod 2^32.
+fn initial_state() -> [u32; 8] {
+    static H: OnceLock<[u32; 8]> = OnceLock::new();
+    *H.get_or_init(|| {
+        let mut h = [0u32; 8];
+        for (i, &p) in primes(8).iter().enumerate() {
+            h[i] = (isqrt(p << 64) & 0xffff_ffff) as u32;
+        }
+        h
+    })
+}
+
+/// K: first 32 bits of the fractional parts of the cube roots of the
+/// first 64 primes. frac(cbrt(p)) * 2^32 == icbrt(p << 96) mod 2^32.
+fn round_constants() -> &'static [u32; 64] {
+    static K: OnceLock<[u32; 64]> = OnceLock::new();
+    K.get_or_init(|| {
+        let mut k = [0u32; 64];
+        for (i, &p) in primes(64).iter().enumerate() {
+            k[i] = (icbrt(p << 96) & 0xffff_ffff) as u32;
+        }
+        k
+    })
+}
+
+impl Sha256 {
+    fn compress(&mut self, block: &[u8; 64]) {
+        let k = round_constants();
+        let mut w = [0u32; 64];
+        for (i, chunk) in block.chunks_exact(4).enumerate() {
+            w[i] = u32::from_be_bytes(chunk.try_into().expect("4-byte chunk"));
+        }
+        for i in 16..64 {
+            let s0 = w[i - 15].rotate_right(7) ^ w[i - 15].rotate_right(18) ^ (w[i - 15] >> 3);
+            let s1 = w[i - 2].rotate_right(17) ^ w[i - 2].rotate_right(19) ^ (w[i - 2] >> 10);
+            w[i] = w[i - 16]
+                .wrapping_add(s0)
+                .wrapping_add(w[i - 7])
+                .wrapping_add(s1);
+        }
+        let [mut a, mut b, mut c, mut d, mut e, mut f, mut g, mut h] = self.state;
+        for i in 0..64 {
+            let s1 = e.rotate_right(6) ^ e.rotate_right(11) ^ e.rotate_right(25);
+            let ch = (e & f) ^ (!e & g);
+            let t1 = h
+                .wrapping_add(s1)
+                .wrapping_add(ch)
+                .wrapping_add(k[i])
+                .wrapping_add(w[i]);
+            let s0 = a.rotate_right(2) ^ a.rotate_right(13) ^ a.rotate_right(22);
+            let maj = (a & b) ^ (a & c) ^ (b & c);
+            let t2 = s0.wrapping_add(maj);
+            h = g;
+            g = f;
+            f = e;
+            e = d.wrapping_add(t1);
+            d = c;
+            c = b;
+            b = a;
+            a = t1.wrapping_add(t2);
+        }
+        for (s, v) in self.state.iter_mut().zip([a, b, c, d, e, f, g, h]) {
+            *s = s.wrapping_add(v);
+        }
+    }
+}
+
+impl Digest for Sha256 {
+    fn new() -> Self {
+        Self {
+            state: initial_state(),
+            buf: [0u8; 64],
+            buf_len: 0,
+            total_len: 0,
+        }
+    }
+
+    fn update(&mut self, data: impl AsRef<[u8]>) {
+        let mut data = data.as_ref();
+        self.total_len = self
+            .total_len
+            .checked_add(data.len() as u64)
+            .expect("SHA-256 input exceeds u64 byte count");
+        if self.buf_len > 0 {
+            let take = core::cmp::min(64 - self.buf_len, data.len());
+            self.buf[self.buf_len..self.buf_len + take].copy_from_slice(&data[..take]);
+            self.buf_len += take;
+            data = &data[take..];
+            if self.buf_len == 64 {
+                let block = self.buf;
+                self.compress(&block);
+                self.buf_len = 0;
+            }
+            if data.is_empty() {
+                return;
+            }
+        }
+        while data.len() >= 64 {
+            let block: [u8; 64] = data[..64].try_into().expect("64-byte block");
+            self.compress(&block);
+            data = &data[64..];
+        }
+        self.buf[..data.len()].copy_from_slice(data);
+        self.buf_len = data.len();
+    }
+
+    fn finalize(mut self) -> Output {
+        let bit_len = self.total_len.wrapping_mul(8);
+        // Padding: 0x80, zeros, 8-byte big-endian bit length.
+        let mut pad = [0u8; 72];
+        pad[0] = 0x80;
+        let pad_len = if self.buf_len < 56 {
+            56 - self.buf_len
+        } else {
+            120 - self.buf_len
+        };
+        let mut tail = pad[..pad_len + 8].to_vec();
+        tail[pad_len..].copy_from_slice(&bit_len.to_be_bytes());
+        // Absorb without re-counting length.
+        let mut data: &[u8] = &tail;
+        if self.buf_len > 0 {
+            let take = 64 - self.buf_len;
+            self.buf[self.buf_len..].copy_from_slice(&data[..take]);
+            let block = self.buf;
+            self.compress(&block);
+            data = &data[take..];
+        }
+        while data.len() >= 64 {
+            let block: [u8; 64] = data[..64].try_into().expect("64-byte block");
+            self.compress(&block);
+            data = &data[64..];
+        }
+        debug_assert!(data.is_empty());
+        let mut out = [0u8; 32];
+        for (chunk, word) in out.chunks_exact_mut(4).zip(self.state) {
+            chunk.copy_from_slice(&word.to_be_bytes());
+        }
+        Output(out)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn hex(bytes: &[u8]) -> String {
+        bytes.iter().map(|b| format!("{b:02x}")).collect()
+    }
+
+    #[test]
+    fn empty_string_vector() {
+        let d = Sha256::digest(b"");
+        assert_eq!(
+            hex(d.as_slice()),
+            "e3b0c44298fc1c149afbf4c8996fb92427ae41e4649b934ca495991b7852b855"
+        );
+    }
+
+    #[test]
+    fn abc_vector() {
+        let d = Sha256::digest(b"abc");
+        assert_eq!(
+            hex(d.as_slice()),
+            "ba7816bf8f01cfea414140de5dae2223b00361a396177a9cb410ff61f20015ad"
+        );
+    }
+
+    #[test]
+    fn two_block_vector() {
+        // FIPS 180-4 two-block message test.
+        let d = Sha256::digest(b"abcdbcdecdefdefgefghfghighijhijkijkljklmklmnlmnomnopnopq");
+        assert_eq!(
+            hex(d.as_slice()),
+            "248d6a61d20638b8e5c026930c3e6039a33ce45964ff2167f6ecedd419db06c1"
+        );
+    }
+
+    #[test]
+    fn streaming_matches_oneshot() {
+        let mut h = Sha256::new();
+        h.update(b"hello ");
+        h.update(b"world");
+        assert_eq!(h.finalize(), Sha256::digest(b"hello world"));
+    }
+
+    #[test]
+    fn incremental_boundary_cases() {
+        // Push lengths around the 55/56/64 padding boundaries.
+        for len in [0usize, 1, 54, 55, 56, 57, 63, 64, 65, 127, 128, 1000] {
+            let data = vec![0xabu8; len];
+            let mut h = Sha256::new();
+            for b in &data {
+                h.update([*b]);
+            }
+            assert_eq!(h.finalize(), Sha256::digest(&data), "len {len}");
+        }
+    }
+}

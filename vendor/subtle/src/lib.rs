@@ -1,0 +1,149 @@
+//! Offline stand-in for the `subtle` crate: the API subset this workspace
+//! uses (`Choice`, `ConstantTimeEq`, `CtOption`).
+//!
+//! The comparison loops avoid early exit like the real crate, but no
+//! further hardening (masking, black-boxing) is attempted — this exists so
+//! the workspace builds without network access. Swap in the real `subtle`
+//! when a registry is available.
+
+/// A boolean intended for constant-time use (0 or 1).
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct Choice(u8);
+
+impl Choice {
+    /// Returns the wrapped bit.
+    pub fn unwrap_u8(&self) -> u8 {
+        self.0
+    }
+}
+
+impl From<u8> for Choice {
+    fn from(bit: u8) -> Self {
+        debug_assert!(bit <= 1);
+        Choice(bit & 1)
+    }
+}
+
+impl From<Choice> for bool {
+    fn from(c: Choice) -> bool {
+        c.0 == 1
+    }
+}
+
+impl core::ops::BitAnd for Choice {
+    type Output = Choice;
+    fn bitand(self, rhs: Choice) -> Choice {
+        Choice(self.0 & rhs.0)
+    }
+}
+
+impl core::ops::BitOr for Choice {
+    type Output = Choice;
+    fn bitor(self, rhs: Choice) -> Choice {
+        Choice(self.0 | rhs.0)
+    }
+}
+
+impl core::ops::Not for Choice {
+    type Output = Choice;
+    fn not(self) -> Choice {
+        Choice(1 - self.0)
+    }
+}
+
+/// Equality without data-dependent early exit.
+pub trait ConstantTimeEq {
+    /// Compares `self` and `other` for equality.
+    fn ct_eq(&self, other: &Self) -> Choice;
+}
+
+impl ConstantTimeEq for u8 {
+    fn ct_eq(&self, other: &Self) -> Choice {
+        let diff = self ^ other;
+        Choice((diff == 0) as u8)
+    }
+}
+
+impl ConstantTimeEq for [u8] {
+    fn ct_eq(&self, other: &Self) -> Choice {
+        if self.len() != other.len() {
+            return Choice(0);
+        }
+        let mut acc = 0u8;
+        for (a, b) in self.iter().zip(other.iter()) {
+            acc |= a ^ b;
+        }
+        Choice((acc == 0) as u8)
+    }
+}
+
+impl<const N: usize> ConstantTimeEq for [u8; N] {
+    fn ct_eq(&self, other: &Self) -> Choice {
+        self.as_slice().ct_eq(other.as_slice())
+    }
+}
+
+/// An `Option` whose discriminant is a [`Choice`].
+#[derive(Clone, Copy, Debug)]
+pub struct CtOption<T> {
+    value: T,
+    is_some: Choice,
+}
+
+impl<T> CtOption<T> {
+    /// Wraps `value`, present iff `is_some`.
+    pub fn new(value: T, is_some: Choice) -> Self {
+        Self { value, is_some }
+    }
+
+    /// Whether a value is present.
+    pub fn is_some(&self) -> Choice {
+        self.is_some
+    }
+
+    /// Whether no value is present.
+    pub fn is_none(&self) -> Choice {
+        !self.is_some
+    }
+
+    /// Extracts the value; panics if absent.
+    pub fn unwrap(self) -> T {
+        assert!(bool::from(self.is_some), "CtOption::unwrap on none");
+        self.value
+    }
+
+    /// Maps the contained value.
+    pub fn map<U, F: FnOnce(T) -> U>(self, f: F) -> CtOption<U> {
+        let is_some = self.is_some;
+        CtOption::new(f(self.value), is_some)
+    }
+}
+
+impl<T> From<CtOption<T>> for Option<T> {
+    fn from(ct: CtOption<T>) -> Option<T> {
+        if bool::from(ct.is_some) {
+            Some(ct.value)
+        } else {
+            None
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn slices_compare() {
+        assert!(bool::from([1u8, 2, 3].ct_eq(&[1, 2, 3])));
+        assert!(!bool::from([1u8, 2, 3].ct_eq(&[1, 2, 4])));
+    }
+
+    #[test]
+    fn ct_option_into_option() {
+        let some: Option<u32> = CtOption::new(7, Choice::from(1)).into();
+        let none: Option<u32> = CtOption::new(7, Choice::from(0)).into();
+        assert_eq!(some, Some(7));
+        assert_eq!(none, None);
+    }
+}
