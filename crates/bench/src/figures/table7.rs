@@ -109,6 +109,47 @@ pub fn run() {
     );
     report.line("");
     report.line("SoloKey column = paper Table 7; host column = this machine.");
+
+    // Recovery message sizes, measured from the Serialized transport's
+    // actual encoded envelopes (one small recovery, test-scale fleet)
+    // and priced at the Table 7 round-trip rates.
+    {
+        use safetypin::proto::Serialized;
+        use safetypin::{Deployment, SystemParams};
+
+        let params = SystemParams::test_small(16);
+        let mut rng2 = StdRng::seed_from_u64(77);
+        let mut deployment =
+            Deployment::provision_with_transport(params, Box::new(Serialized::cdc()), &mut rng2)
+                .unwrap();
+        let mut client = deployment.new_client(b"t7-user").unwrap();
+        let artifact = client.backup(b"123456", &[0u8; 32], 0, &mut rng2).unwrap();
+        let wire = deployment
+            .recover(&client, b"123456", &artifact, &mut rng2)
+            .expect("table7 probe recovery")
+            .wire;
+
+        report.line("");
+        report.section("measured envelope traffic, one recovery (test-scale fleet)");
+        report.table(
+            &["direction", "bytes", "CDC transfer", "HID transfer"],
+            &[
+                vec![
+                    "requests".into(),
+                    format!("{}", wire.request_bytes),
+                    format!("{:.3} s", USB_CDC.seconds_for_bytes(wire.request_bytes)),
+                    format!("{:.3} s", USB_HID.seconds_for_bytes(wire.request_bytes)),
+                ],
+                vec![
+                    "responses".into(),
+                    format!("{}", wire.response_bytes),
+                    format!("{:.3} s", USB_CDC.seconds_for_bytes(wire.response_bytes)),
+                    format!("{:.3} s", USB_HID.seconds_for_bytes(wire.response_bytes)),
+                ],
+            ],
+        );
+        report.line("bytes = actual encoded envelopes off the Serialized transport.");
+    }
     report.finish();
 }
 

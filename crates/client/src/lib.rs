@@ -26,8 +26,6 @@
 use rand::{CryptoRng, RngCore};
 use safetypin_authlog::trie::InclusionProof;
 use safetypin_bfe::BfeCiphertext;
-use safetypin_hsm::types::{build_commit_payload, ciphertext_commit_hash};
-use safetypin_hsm::{EnrollmentRecord, RecoveryRequest, RecoveryResponse};
 use safetypin_lhe::scheme::{
     encrypt_with_salt, parse_share_plaintext, reconstruct_robust, select, share_context, Salt,
 };
@@ -38,6 +36,8 @@ use safetypin_primitives::elgamal;
 use safetypin_primitives::shamir::Share;
 use safetypin_primitives::wire::{Decode, Encode};
 use safetypin_primitives::CryptoError;
+use safetypin_proto::messages::{build_commit_payload, ciphertext_commit_hash};
+use safetypin_proto::{EnrollmentRecord, RecoveryRequest, RecoveryResponse};
 
 /// The PIN used for the salt-protection layer (§6.3: "the salt itself can
 /// be encrypted using a second round of location-hiding encryption and a
@@ -79,7 +79,16 @@ impl core::fmt::Display for ClientError {
     }
 }
 
-impl std::error::Error for ClientError {}
+// The empty impl would satisfy `Box<dyn Error>` callers, but chaining the
+// underlying failure through `source()` lets them walk to the root cause.
+impl std::error::Error for ClientError {
+    fn source(&self) -> Option<&(dyn std::error::Error + 'static)> {
+        match self {
+            ClientError::Crypto(e) => Some(e),
+            _ => None,
+        }
+    }
+}
 
 impl From<CryptoError> for ClientError {
     fn from(e: CryptoError) -> Self {

@@ -10,6 +10,7 @@
 use rand::{CryptoRng, RngCore};
 use safetypin_client::{BackupArtifact, Client, ClientError};
 use safetypin_hsm::{HsmError, RecoveryPhases};
+use safetypin_proto::{Transport, TransportStats};
 use safetypin_provider::{Datacenter, ProviderError};
 use safetypin_sim::{CostModel, OpCosts};
 
@@ -78,6 +79,9 @@ pub struct RecoveryOutcome {
     /// Where the vulnerability window ended (always `Revoked` on
     /// success).
     pub window: WindowPhase,
+    /// Transport traffic this recovery generated (bytes are nonzero only
+    /// on byte-metering transports like `Serialized`).
+    pub wire: TransportStats,
 }
 
 impl RecoveryOutcome {
@@ -119,12 +123,29 @@ pub struct Deployment {
 }
 
 impl Deployment {
-    /// Provisions the fleet.
+    /// Provisions the fleet over the zero-copy `Direct` transport.
     pub fn provision<R: RngCore + CryptoRng>(
         params: SystemParams,
         rng: &mut R,
     ) -> Result<Self, DeploymentError> {
         let datacenter = Datacenter::provision(params.total(), |id| params.hsm_config(id), rng)?;
+        Ok(Self { params, datacenter })
+    }
+
+    /// Provisions the fleet with an explicit message transport (e.g.
+    /// `safetypin_proto::Serialized` for byte-true wire accounting, or a
+    /// `Faulty` wrapper for failure scenarios).
+    pub fn provision_with_transport<R: RngCore + CryptoRng>(
+        params: SystemParams,
+        transport: Box<dyn Transport>,
+        rng: &mut R,
+    ) -> Result<Self, DeploymentError> {
+        let datacenter = Datacenter::provision_with_transport(
+            params.total(),
+            |id| params.hsm_config(id),
+            transport,
+            rng,
+        )?;
         Ok(Self { params, datacenter })
     }
 
@@ -151,6 +172,7 @@ impl Deployment {
         rng: &mut R,
     ) -> Result<RecoveryOutcome, DeploymentError> {
         let attempt = client.start_recovery(pin, &artifact.ciphertext, false, rng)?;
+        let wire_before = self.datacenter.transport_stats();
 
         // Step 3: log the recovery attempt (one per identifier).
         let (id, value) = attempt.log_entry();
@@ -167,23 +189,24 @@ impl Deployment {
             .prove_inclusion(&id, &value)
             .ok_or(DeploymentError::AttemptRefused)?;
 
-        // Steps 6–7: contact the cluster. The window is now open; it
-        // closes HSM-by-HSM as each punctures before replying.
+        // Steps 6–7: contact the cluster — one batched transport round
+        // carrying every per-HSM request in a single envelope. The
+        // window is now open; it closes HSM-by-HSM as each punctures
+        // before replying. Unavailable devices (fail-stopped, or their
+        // reply lost in transit) are skipped: recovery succeeds as long
+        // as the surviving shares reach the threshold.
         let mut phases = RecoveryPhases::default();
         let mut responses = Vec::new();
         let requests = attempt.requests(&inclusion);
         let contacted = requests.len();
-        for (hsm_id, request) in requests {
-            match self
-                .datacenter
-                .route_recovery_with_phases(hsm_id, &request, rng)
-            {
+        for (_, item) in self.datacenter.route_recovery_cluster(requests, rng)? {
+            match item {
                 Ok((response, p)) => {
                     phases.add(&p);
                     responses.push(response);
                 }
-                Err(ProviderError::Hsm(HsmError::Unavailable)) => continue,
-                Err(e) => return Err(e.into()),
+                Err(HsmError::Unavailable) => continue,
+                Err(e) => return Err(ProviderError::Hsm(e).into()),
             }
         }
         let responders = responses.len();
@@ -194,6 +217,7 @@ impl Deployment {
             responders,
             contacted,
             window: WindowPhase::Revoked,
+            wire: self.datacenter.transport_stats().since(&wire_before),
         })
     }
 }

@@ -37,8 +37,9 @@
 //! (outsourced storage with secure deletion), [`safetypin_authlog`] (the
 //! distributed log), [`safetypin_multisig`] (BLS multisignatures),
 //! [`safetypin_hsm`] / [`safetypin_provider`] / [`safetypin_client`] (the
-//! three protocol roles), [`safetypin_sim`] (device cost models), and
-//! [`safetypin_analysis`] (security/cost analytics).
+//! three protocol roles), [`safetypin_proto`] (the versioned RPC message
+//! set and pluggable transports between them), [`safetypin_sim`] (device
+//! cost models), and [`safetypin_analysis`] (security/cost analytics).
 
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
@@ -59,6 +60,7 @@ pub use safetypin_hsm as hsm;
 pub use safetypin_lhe as lhe;
 pub use safetypin_multisig as multisig;
 pub use safetypin_primitives as primitives;
+pub use safetypin_proto as proto;
 pub use safetypin_provider as provider;
 pub use safetypin_seckv as seckv;
 pub use safetypin_sim as sim;

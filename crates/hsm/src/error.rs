@@ -94,3 +94,78 @@ impl From<CryptoError> for HsmError {
         HsmError::Crypto(e)
     }
 }
+
+impl From<safetypin_proto::ProtoError> for HsmError {
+    fn from(e: safetypin_proto::ProtoError) -> Self {
+        use safetypin_proto::ProtoError;
+        match e {
+            ProtoError::Wire(w) => HsmError::Wire(w),
+            ProtoError::IndexOutOfRange(_) => HsmError::NotInCluster,
+            ProtoError::DecryptFailed => HsmError::DecryptFailed,
+            // A dropped or mangled message is indistinguishable from a
+            // fail-stopped device to the caller.
+            ProtoError::Dropped | ProtoError::Corrupted => HsmError::Unavailable,
+            ProtoError::UnexpectedMessage(_) => HsmError::Wire(WireError::InvalidTag(0)),
+        }
+    }
+}
+
+impl From<&HsmError> for safetypin_proto::ErrorReply {
+    fn from(e: &HsmError) -> Self {
+        use safetypin_proto::{codes, ErrorReply};
+        let code = match e {
+            HsmError::Unavailable => codes::UNAVAILABLE,
+            HsmError::BadInclusionProof => codes::BAD_INCLUSION_PROOF,
+            HsmError::NotInCluster => codes::NOT_IN_CLUSTER,
+            HsmError::CiphertextMismatch => codes::CIPHERTEXT_MISMATCH,
+            HsmError::DecryptFailed => codes::DECRYPT_FAILED,
+            HsmError::UsernameMismatch => codes::USERNAME_MISMATCH,
+            HsmError::Audit(_) => codes::AUDIT_FAILED,
+            HsmError::WrongAuditSet => codes::WRONG_AUDIT_SET,
+            HsmError::StaleDigest => codes::STALE_DIGEST,
+            HsmError::QuorumTooSmall { .. } => codes::QUORUM_TOO_SMALL,
+            HsmError::BadAggregate => codes::BAD_AGGREGATE,
+            HsmError::BadProofOfPossession => codes::BAD_PROOF_OF_POSSESSION,
+            HsmError::MissingAuditorEndorsement => codes::MISSING_AUDITOR_ENDORSEMENT,
+            HsmError::GcLimitReached => codes::GC_LIMIT_REACHED,
+            HsmError::Wire(_) => codes::WIRE,
+            HsmError::Crypto(_) => codes::CRYPTO,
+        };
+        ErrorReply::new(code, e.to_string())
+    }
+}
+
+/// Reconstructs an [`HsmError`] from a wire [`ErrorReply`].
+///
+/// The mapping is faithful for every data-free variant; parametrized
+/// variants (`QuorumTooSmall`, `Audit`, `Wire`, `Crypto`) come back with
+/// representative inner values — the human-readable detail survives only
+/// in the reply's text. Transport-fault and unknown codes map to
+/// [`HsmError::Unavailable`], which callers already treat as "skip this
+/// device".
+///
+/// [`ErrorReply`]: safetypin_proto::ErrorReply
+impl From<&safetypin_proto::ErrorReply> for HsmError {
+    fn from(reply: &safetypin_proto::ErrorReply) -> Self {
+        use safetypin_proto::codes;
+        match reply.code {
+            codes::UNAVAILABLE => HsmError::Unavailable,
+            codes::BAD_INCLUSION_PROOF => HsmError::BadInclusionProof,
+            codes::NOT_IN_CLUSTER => HsmError::NotInCluster,
+            codes::CIPHERTEXT_MISMATCH => HsmError::CiphertextMismatch,
+            codes::DECRYPT_FAILED => HsmError::DecryptFailed,
+            codes::USERNAME_MISMATCH => HsmError::UsernameMismatch,
+            codes::AUDIT_FAILED => HsmError::Audit(AuditError::BrokenChain),
+            codes::WRONG_AUDIT_SET => HsmError::WrongAuditSet,
+            codes::STALE_DIGEST => HsmError::StaleDigest,
+            codes::QUORUM_TOO_SMALL => HsmError::QuorumTooSmall { got: 0, need: 0 },
+            codes::BAD_AGGREGATE => HsmError::BadAggregate,
+            codes::BAD_PROOF_OF_POSSESSION => HsmError::BadProofOfPossession,
+            codes::MISSING_AUDITOR_ENDORSEMENT => HsmError::MissingAuditorEndorsement,
+            codes::GC_LIMIT_REACHED => HsmError::GcLimitReached,
+            codes::WIRE => HsmError::Wire(WireError::InvalidTag(0)),
+            codes::CRYPTO => HsmError::Crypto(CryptoError::DecryptionFailed),
+            _ => HsmError::Unavailable,
+        }
+    }
+}

@@ -24,7 +24,7 @@ pub mod error;
 pub mod types;
 
 pub use error::HsmError;
-pub use types::{EnrollmentRecord, RecoveryRequest, RecoveryResponse};
+pub use types::{EnrollmentRecord, RecoveryPhases, RecoveryRequest, RecoveryResponse};
 
 use rand::{CryptoRng, RngCore};
 use safetypin_authlog::distributed::{audit_chunks_for, verify_chunk, ChunkAudit, UpdateMessage};
@@ -93,41 +93,6 @@ pub struct ExfiltratedState {
     pub bfe_root_key: [u8; 16],
     /// Current log digest the HSM trusts.
     pub log_digest: Hash256,
-}
-
-/// Per-phase cost attribution for one recovery-share operation
-/// (Figure 10's breakdown).
-#[derive(Debug, Default, Clone, Copy)]
-pub struct RecoveryPhases {
-    /// Log work: inclusion-proof and commitment checks plus request I/O.
-    pub log: OpCosts,
-    /// Location-hiding encryption work: the ElGamal share decryptions.
-    pub lhe: OpCosts,
-    /// Puncturable-encryption work: outsourced-storage reads, secure
-    /// deletion, and the associated AES traffic.
-    pub pe: OpCosts,
-    /// Public-key work for the optional encrypted reply (§8).
-    pub pke: OpCosts,
-}
-
-impl RecoveryPhases {
-    /// Sum over all phases.
-    pub fn total(&self) -> OpCosts {
-        let mut t = OpCosts::new();
-        t.add(&self.log);
-        t.add(&self.lhe);
-        t.add(&self.pe);
-        t.add(&self.pke);
-        t
-    }
-
-    /// Component-wise sum.
-    pub fn add(&mut self, other: &RecoveryPhases) {
-        self.log.add(&other.log);
-        self.lhe.add(&other.lhe);
-        self.pe.add(&other.pe);
-        self.pke.add(&other.pke);
-    }
 }
 
 /// One hardware security module.
@@ -209,6 +174,67 @@ impl Hsm {
     /// Whether the BFE key has hit the rotation threshold.
     pub fn needs_rotation(&self) -> bool {
         self.bfe_sk.needs_rotation()
+    }
+
+    /// The single message-dispatch entry point: every operation the
+    /// datacenter can ask of an HSM arrives as a
+    /// [`HsmRequest`](safetypin_proto::HsmRequest) and leaves as a
+    /// [`HsmResponse`](safetypin_proto::HsmResponse) — this is the
+    /// function a transport's serve side calls, and the only surface a
+    /// remote backend would need to expose.
+    ///
+    /// Refusals never escape as `Err`: they are encoded as
+    /// [`HsmResponse::Error`](safetypin_proto::HsmResponse::Error)
+    /// replies so they survive serialization.
+    pub fn handle<S: BlockStore, R: RngCore + CryptoRng>(
+        &mut self,
+        request: safetypin_proto::HsmRequest,
+        store: &mut S,
+        rng: &mut R,
+    ) -> safetypin_proto::HsmResponse {
+        use safetypin_proto::{HsmRequest, HsmResponse};
+        match request {
+            HsmRequest::GetEnrollment => HsmResponse::Enrollment(self.enrollment()),
+            HsmRequest::RecoverShare(req) => {
+                match self.recover_share_with_phases(&req, store, rng) {
+                    Ok((response, phases)) => HsmResponse::RecoveryShare { response, phases },
+                    Err(e) => HsmResponse::Error((&e).into()),
+                }
+            }
+            HsmRequest::AuditAndSign {
+                message,
+                active_ids,
+                failed_ids,
+                packages,
+            } => match self.audit_and_sign_with_failures(
+                &message,
+                &active_ids,
+                &failed_ids,
+                &packages,
+            ) {
+                Ok(sig) => HsmResponse::Signed(sig),
+                Err(e) => HsmResponse::Error((&e).into()),
+            },
+            HsmRequest::AcceptUpdate {
+                message,
+                signers,
+                aggregate,
+            } => {
+                let signers: Vec<usize> = signers.iter().map(|&s| s as usize).collect();
+                match self.accept_update(&message, &signers, &aggregate) {
+                    Ok(()) => HsmResponse::Ack,
+                    Err(e) => HsmResponse::Error((&e).into()),
+                }
+            }
+            HsmRequest::GarbageCollect => match self.garbage_collect() {
+                Ok(()) => HsmResponse::Ack,
+                Err(e) => HsmResponse::Error((&e).into()),
+            },
+            HsmRequest::RotateKeys => match self.rotate_keys(store, rng) {
+                Ok(_) => HsmResponse::Rotated(self.enrollment()),
+                Err(e) => HsmResponse::Error((&e).into()),
+            },
+        }
     }
 
     /// Accumulated metered costs.

@@ -10,7 +10,7 @@
 //!
 //! Two properties matter for SafetyPin:
 //!
-//! - **Key privacy** (Bellare et al. [8] in the paper): the ciphertext is a
+//! - **Key privacy** (Bellare et al. \[8\] in the paper): the ciphertext is a
 //!   uniform group element plus an AEAD ciphertext under a hashed key, so it
 //!   reveals nothing about *which* public key it was encrypted to. This is
 //!   what lets location-hiding encryption hide the recovery cluster.

@@ -74,6 +74,10 @@ pub enum WireError {
     InvalidTag(u8),
     /// Input remained after the top-level object was decoded.
     TrailingBytes,
+    /// A versioned envelope carried a protocol version this build does
+    /// not speak (`safetypin_proto` rejects anything but its own
+    /// `PROTO_VERSION` — the versioning rule is strict equality).
+    UnsupportedVersion(u16),
 }
 
 impl fmt::Display for WireError {
@@ -83,6 +87,7 @@ impl fmt::Display for WireError {
             WireError::LengthOutOfRange => write!(f, "length prefix out of range"),
             WireError::InvalidTag(t) => write!(f, "invalid tag byte {t:#04x}"),
             WireError::TrailingBytes => write!(f, "trailing bytes after object"),
+            WireError::UnsupportedVersion(v) => write!(f, "unsupported protocol version {v}"),
         }
     }
 }

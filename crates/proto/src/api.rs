@@ -1,0 +1,481 @@
+//! The request/response message sets for both role boundaries.
+//!
+//! [`HsmRequest`]/[`HsmResponse`] cover everything the datacenter sends
+//! to (and receives from) an HSM: enrollment fetch, recovery shares,
+//! epoch audit-and-sign, digest acceptance, garbage collection, and key
+//! rotation. [`ProviderRequest`]/[`ProviderResponse`] cover the
+//! untrusted-provider-facing operations a client drives: enrollment
+//! download, log insertion, inclusion proofs, epoch runs, recovery
+//! rounds, and §8 reply-copy fetches.
+//!
+//! Every variant has a stable one-byte tag; adding a message appends a
+//! new tag (and, if the change is not backwards-compatible, bumps
+//! [`PROTO_VERSION`](crate::PROTO_VERSION)).
+
+use safetypin_authlog::distributed::{ChunkAudit, UpdateMessage};
+use safetypin_authlog::trie::InclusionProof;
+use safetypin_multisig::Signature;
+use safetypin_primitives::error::WireError;
+use safetypin_primitives::wire::{Decode, Encode, Reader, Writer};
+
+use crate::messages::{EnrollmentRecord, RecoveryPhases, RecoveryRequest, RecoveryResponse};
+
+/// Stable numeric codes carried by [`ErrorReply`] messages.
+///
+/// Codes 1–16 mirror the HSM's refusal reasons; 32+ are transport-layer
+/// outcomes a faulty link can synthesize.
+pub mod codes {
+    /// The HSM has fail-stopped.
+    pub const UNAVAILABLE: u16 = 1;
+    /// The log-inclusion proof did not verify.
+    pub const BAD_INCLUSION_PROOF: u16 = 2;
+    /// The HSM is not the committed cluster member for a requested slot.
+    pub const NOT_IN_CLUSTER: u16 = 3;
+    /// The presented ciphertext does not match the committed hash.
+    pub const CIPHERTEXT_MISMATCH: u16 = 4;
+    /// Share decryption failed (punctured, wrong key, or malformed).
+    pub const DECRYPT_FAILED: u16 = 5;
+    /// The decrypted share was not bound to the requesting username.
+    pub const USERNAME_MISMATCH: u16 = 6;
+    /// A chunk audit failed.
+    pub const AUDIT_FAILED: u16 = 7;
+    /// Audit packages do not match the deterministic assignment.
+    pub const WRONG_AUDIT_SET: u16 = 8;
+    /// The update's old digest does not match the held digest.
+    pub const STALE_DIGEST: u16 = 9;
+    /// Too few signers behind an aggregate signature.
+    pub const QUORUM_TOO_SMALL: u16 = 10;
+    /// The aggregate signature did not verify.
+    pub const BAD_AGGREGATE: u16 = 11;
+    /// A fleet key's proof of possession failed.
+    pub const BAD_PROOF_OF_POSSESSION: u16 = 12;
+    /// A designated-auditor endorsement was missing or invalid.
+    pub const MISSING_AUDITOR_ENDORSEMENT: u16 = 13;
+    /// The provider exhausted its garbage-collection budget.
+    pub const GC_LIMIT_REACHED: u16 = 14;
+    /// Malformed wire input inside a payload.
+    pub const WIRE: u16 = 15;
+    /// An underlying cryptographic failure.
+    pub const CRYPTO: u16 = 16;
+    /// The addressed HSM does not exist.
+    pub const UNKNOWN_HSM: u16 = 17;
+    /// A log insertion was refused (attempt already consumed).
+    pub const LOG_REFUSED: u16 = 18;
+    /// The epoch protocol failed to assemble a quorum.
+    pub const EPOCH_FAILED: u16 = 19;
+    /// The transport dropped the message.
+    pub const DROPPED: u16 = 32;
+    /// The transport corrupted the message beyond parsing.
+    pub const CORRUPTED: u16 = 33;
+}
+
+/// A wire-transportable refusal: a stable numeric code plus a
+/// human-readable detail string.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct ErrorReply {
+    /// One of the [`codes`] constants (unknown codes are preserved).
+    pub code: u16,
+    /// Human-readable context; never interpreted programmatically.
+    pub detail: String,
+}
+
+impl ErrorReply {
+    /// Builds a reply from a code and detail text.
+    pub fn new(code: u16, detail: impl Into<String>) -> Self {
+        Self {
+            code,
+            detail: detail.into(),
+        }
+    }
+
+    /// The reply a transport synthesizes for a dropped message.
+    pub fn dropped() -> Self {
+        Self::new(codes::DROPPED, "message dropped in transit")
+    }
+
+    /// The reply a transport synthesizes for an unparseable message.
+    pub fn corrupted() -> Self {
+        Self::new(codes::CORRUPTED, "message corrupted in transit")
+    }
+
+    /// True for the transport-fault codes a caller should treat like a
+    /// fail-stopped HSM (skip and carry on) rather than a protocol error.
+    pub fn is_transport_fault(&self) -> bool {
+        self.code == codes::DROPPED || self.code == codes::CORRUPTED
+    }
+}
+
+impl core::fmt::Display for ErrorReply {
+    fn fmt(&self, f: &mut core::fmt::Formatter<'_>) -> core::fmt::Result {
+        write!(f, "error {}: {}", self.code, self.detail)
+    }
+}
+
+impl Encode for ErrorReply {
+    fn encode(&self, w: &mut Writer) {
+        w.put_u16(self.code);
+        w.put_bytes(self.detail.as_bytes());
+    }
+}
+
+impl Decode for ErrorReply {
+    fn decode(r: &mut Reader<'_>) -> core::result::Result<Self, WireError> {
+        let code = r.get_u16()?;
+        // Detail is advisory text; tolerate (lossily repair) non-UTF-8 so
+        // a mangled detail string never masks the code it carries.
+        let detail = String::from_utf8_lossy(r.get_bytes()?).into_owned();
+        Ok(Self { code, detail })
+    }
+}
+
+/// Datacenter → HSM operations.
+#[derive(Debug, Clone, PartialEq)]
+pub enum HsmRequest {
+    /// Fetch the HSM's enrollment record (identity, BLS, and BFE keys).
+    GetEnrollment,
+    /// Process one recovery-share request (§4.2 check list + puncture).
+    RecoverShare(RecoveryRequest),
+    /// Audit the supplied chunk packages for an epoch update and, if
+    /// every assigned chunk verifies, sign `(d, d', R)` (Figure 5 +
+    /// Appendix B.3 re-audits).
+    AuditAndSign {
+        /// The update tuple to sign.
+        message: UpdateMessage,
+        /// Ids of HSMs participating this epoch.
+        active_ids: Vec<u64>,
+        /// Ids of fail-stopped HSMs whose chunks must be re-audited.
+        failed_ids: Vec<u64>,
+        /// The audit packages covering this HSM's assignment.
+        packages: Vec<ChunkAudit>,
+    },
+    /// Accept a new digest under a quorum aggregate signature.
+    AcceptUpdate {
+        /// The certified update tuple.
+        message: UpdateMessage,
+        /// Fleet indices whose keys are aggregated.
+        signers: Vec<u64>,
+        /// The aggregate BLS signature.
+        aggregate: Signature,
+    },
+    /// Follow a provider garbage collection (bounded per HSM, §6.2).
+    GarbageCollect,
+    /// Rotate the BFE keypair (§7.1 / §9.1).
+    RotateKeys,
+}
+
+impl Encode for HsmRequest {
+    fn encode(&self, w: &mut Writer) {
+        match self {
+            HsmRequest::GetEnrollment => w.put_u8(0),
+            HsmRequest::RecoverShare(req) => {
+                w.put_u8(1);
+                req.encode(w);
+            }
+            HsmRequest::AuditAndSign {
+                message,
+                active_ids,
+                failed_ids,
+                packages,
+            } => {
+                w.put_u8(2);
+                message.encode(w);
+                w.put_seq(active_ids);
+                w.put_seq(failed_ids);
+                w.put_seq(packages);
+            }
+            HsmRequest::AcceptUpdate {
+                message,
+                signers,
+                aggregate,
+            } => {
+                w.put_u8(3);
+                message.encode(w);
+                w.put_seq(signers);
+                aggregate.encode(w);
+            }
+            HsmRequest::GarbageCollect => w.put_u8(4),
+            HsmRequest::RotateKeys => w.put_u8(5),
+        }
+    }
+}
+
+impl Decode for HsmRequest {
+    fn decode(r: &mut Reader<'_>) -> core::result::Result<Self, WireError> {
+        match r.get_u8()? {
+            0 => Ok(HsmRequest::GetEnrollment),
+            1 => Ok(HsmRequest::RecoverShare(RecoveryRequest::decode(r)?)),
+            2 => Ok(HsmRequest::AuditAndSign {
+                message: UpdateMessage::decode(r)?,
+                active_ids: r.get_seq()?,
+                failed_ids: r.get_seq()?,
+                packages: r.get_seq()?,
+            }),
+            3 => Ok(HsmRequest::AcceptUpdate {
+                message: UpdateMessage::decode(r)?,
+                signers: r.get_seq()?,
+                aggregate: Signature::decode(r)?,
+            }),
+            4 => Ok(HsmRequest::GarbageCollect),
+            5 => Ok(HsmRequest::RotateKeys),
+            t => Err(WireError::InvalidTag(t)),
+        }
+    }
+}
+
+impl HsmRequest {
+    /// True for recovery-share traffic (the messages a
+    /// [`Faulty`](crate::transport::Faulty) transport scoped to
+    /// recovery faults will touch).
+    pub fn is_recovery(&self) -> bool {
+        matches!(self, HsmRequest::RecoverShare(_))
+    }
+}
+
+/// HSM → datacenter replies, one per [`HsmRequest`] variant plus a
+/// typed refusal.
+// Variant sizes intentionally differ: responses are transient values
+// that are encoded or consumed immediately, never stored in bulk.
+#[allow(clippy::large_enum_variant)]
+#[derive(Debug, Clone, PartialEq)]
+pub enum HsmResponse {
+    /// Reply to [`HsmRequest::GetEnrollment`].
+    Enrollment(EnrollmentRecord),
+    /// Reply to [`HsmRequest::RecoverShare`]: the shares plus the
+    /// Figure 10 per-phase cost attribution.
+    RecoveryShare {
+        /// The decrypted (or §8-encrypted) shares.
+        response: RecoveryResponse,
+        /// Metered cost, attributed to protocol phases.
+        phases: RecoveryPhases,
+    },
+    /// Reply to [`HsmRequest::AuditAndSign`]: this HSM's BLS signature
+    /// over `(d, d', R)`.
+    Signed(Signature),
+    /// Success reply for requests with no payload (digest acceptance,
+    /// garbage collection).
+    Ack,
+    /// Reply to [`HsmRequest::RotateKeys`]: the refreshed enrollment
+    /// record carrying the new BFE public key and epoch.
+    Rotated(EnrollmentRecord),
+    /// The HSM (or the transport on its behalf) refused the request.
+    Error(ErrorReply),
+}
+
+impl Encode for HsmResponse {
+    fn encode(&self, w: &mut Writer) {
+        match self {
+            HsmResponse::Enrollment(e) => {
+                w.put_u8(0);
+                e.encode(w);
+            }
+            HsmResponse::RecoveryShare { response, phases } => {
+                w.put_u8(1);
+                response.encode(w);
+                phases.encode(w);
+            }
+            HsmResponse::Signed(sig) => {
+                w.put_u8(2);
+                sig.encode(w);
+            }
+            HsmResponse::Ack => w.put_u8(3),
+            HsmResponse::Rotated(e) => {
+                w.put_u8(4);
+                e.encode(w);
+            }
+            HsmResponse::Error(e) => {
+                w.put_u8(5);
+                e.encode(w);
+            }
+        }
+    }
+}
+
+impl Decode for HsmResponse {
+    fn decode(r: &mut Reader<'_>) -> core::result::Result<Self, WireError> {
+        match r.get_u8()? {
+            0 => Ok(HsmResponse::Enrollment(EnrollmentRecord::decode(r)?)),
+            1 => Ok(HsmResponse::RecoveryShare {
+                response: RecoveryResponse::decode(r)?,
+                phases: RecoveryPhases::decode(r)?,
+            }),
+            2 => Ok(HsmResponse::Signed(Signature::decode(r)?)),
+            3 => Ok(HsmResponse::Ack),
+            4 => Ok(HsmResponse::Rotated(EnrollmentRecord::decode(r)?)),
+            5 => Ok(HsmResponse::Error(ErrorReply::decode(r)?)),
+            t => Err(WireError::InvalidTag(t)),
+        }
+    }
+}
+
+impl HsmResponse {
+    /// The error reply, if this is one.
+    pub fn as_error(&self) -> Option<&ErrorReply> {
+        match self {
+            HsmResponse::Error(e) => Some(e),
+            _ => None,
+        }
+    }
+}
+
+/// Client → untrusted-provider operations (Figure 3's numbered steps).
+#[derive(Debug, Clone, PartialEq)]
+pub enum ProviderRequest {
+    /// Download the fleet's enrollment records (the master public key).
+    FetchEnrollments,
+    /// Insert a recovery-attempt record into the log (step 3).
+    InsertLog {
+        /// Log identifier (the username).
+        id: Vec<u8>,
+        /// Log value (the serialized commitment).
+        value: Vec<u8>,
+    },
+    /// Fetch an inclusion proof for a logged entry (step 5).
+    ProveInclusion {
+        /// Log identifier.
+        id: Vec<u8>,
+        /// Log value.
+        value: Vec<u8>,
+    },
+    /// Run one Figure 5 epoch update (step 4; batches all pending
+    /// insertions).
+    RunEpoch,
+    /// Route a batched recovery round to the committed cluster
+    /// (steps 6–7); one entry per distinct HSM.
+    Recover(Vec<(u64, RecoveryRequest)>),
+    /// Fetch the provider's stored §8 reply copies for a username
+    /// (replacement-device recovery).
+    FetchReplyCopies {
+        /// The username whose reply copies to return.
+        username: Vec<u8>,
+    },
+}
+
+impl Encode for ProviderRequest {
+    fn encode(&self, w: &mut Writer) {
+        match self {
+            ProviderRequest::FetchEnrollments => w.put_u8(0),
+            ProviderRequest::InsertLog { id, value } => {
+                w.put_u8(1);
+                w.put_bytes(id);
+                w.put_bytes(value);
+            }
+            ProviderRequest::ProveInclusion { id, value } => {
+                w.put_u8(2);
+                w.put_bytes(id);
+                w.put_bytes(value);
+            }
+            ProviderRequest::RunEpoch => w.put_u8(3),
+            ProviderRequest::Recover(items) => {
+                w.put_u8(4);
+                w.put_seq(items);
+            }
+            ProviderRequest::FetchReplyCopies { username } => {
+                w.put_u8(5);
+                w.put_bytes(username);
+            }
+        }
+    }
+}
+
+impl Decode for ProviderRequest {
+    fn decode(r: &mut Reader<'_>) -> core::result::Result<Self, WireError> {
+        match r.get_u8()? {
+            0 => Ok(ProviderRequest::FetchEnrollments),
+            1 => Ok(ProviderRequest::InsertLog {
+                id: r.get_bytes()?.to_vec(),
+                value: r.get_bytes()?.to_vec(),
+            }),
+            2 => Ok(ProviderRequest::ProveInclusion {
+                id: r.get_bytes()?.to_vec(),
+                value: r.get_bytes()?.to_vec(),
+            }),
+            3 => Ok(ProviderRequest::RunEpoch),
+            4 => Ok(ProviderRequest::Recover(r.get_seq()?)),
+            5 => Ok(ProviderRequest::FetchReplyCopies {
+                username: r.get_bytes()?.to_vec(),
+            }),
+            t => Err(WireError::InvalidTag(t)),
+        }
+    }
+}
+
+/// Untrusted-provider → client replies.
+#[derive(Debug, Clone, PartialEq)]
+pub enum ProviderResponse {
+    /// Reply to [`ProviderRequest::FetchEnrollments`].
+    Enrollments(Vec<EnrollmentRecord>),
+    /// Success reply for [`ProviderRequest::InsertLog`].
+    Ack,
+    /// Reply to [`ProviderRequest::ProveInclusion`]; `None` when the
+    /// entry is not in the log.
+    Inclusion(Option<InclusionProof>),
+    /// Reply to [`ProviderRequest::RunEpoch`]: the certified tuple and
+    /// how many HSMs signed it.
+    EpochCertified {
+        /// The certified `(d, d', R, K)` tuple.
+        message: UpdateMessage,
+        /// Number of fleet signatures aggregated.
+        signer_count: u32,
+    },
+    /// Reply to [`ProviderRequest::Recover`]: per-HSM outcomes, in
+    /// request order.
+    Recovered(Vec<(u64, HsmResponse)>),
+    /// Reply to [`ProviderRequest::FetchReplyCopies`].
+    ReplyCopies(Vec<RecoveryResponse>),
+    /// The provider refused or failed the request.
+    Error(ErrorReply),
+}
+
+impl Encode for ProviderResponse {
+    fn encode(&self, w: &mut Writer) {
+        match self {
+            ProviderResponse::Enrollments(es) => {
+                w.put_u8(0);
+                w.put_seq(es);
+            }
+            ProviderResponse::Ack => w.put_u8(1),
+            ProviderResponse::Inclusion(p) => {
+                w.put_u8(2);
+                w.put_option(p);
+            }
+            ProviderResponse::EpochCertified {
+                message,
+                signer_count,
+            } => {
+                w.put_u8(3);
+                message.encode(w);
+                w.put_u32(*signer_count);
+            }
+            ProviderResponse::Recovered(items) => {
+                w.put_u8(4);
+                w.put_seq(items);
+            }
+            ProviderResponse::ReplyCopies(rs) => {
+                w.put_u8(5);
+                w.put_seq(rs);
+            }
+            ProviderResponse::Error(e) => {
+                w.put_u8(6);
+                e.encode(w);
+            }
+        }
+    }
+}
+
+impl Decode for ProviderResponse {
+    fn decode(r: &mut Reader<'_>) -> core::result::Result<Self, WireError> {
+        match r.get_u8()? {
+            0 => Ok(ProviderResponse::Enrollments(r.get_seq()?)),
+            1 => Ok(ProviderResponse::Ack),
+            2 => Ok(ProviderResponse::Inclusion(r.get_option()?)),
+            3 => Ok(ProviderResponse::EpochCertified {
+                message: UpdateMessage::decode(r)?,
+                signer_count: r.get_u32()?,
+            }),
+            4 => Ok(ProviderResponse::Recovered(r.get_seq()?)),
+            5 => Ok(ProviderResponse::ReplyCopies(r.get_seq()?)),
+            6 => Ok(ProviderResponse::Error(ErrorReply::decode(r)?)),
+            t => Err(WireError::InvalidTag(t)),
+        }
+    }
+}

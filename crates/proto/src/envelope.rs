@@ -1,0 +1,134 @@
+//! The versioned wire envelope every transported message travels in.
+//!
+//! # Envelope format
+//!
+//! ```text
+//! +----------------+-----------+------------------+
+//! | version (u16)  | tag (u8)  | message payload  |
+//! +----------------+-----------+------------------+
+//! ```
+//!
+//! The version is checked *first*: an envelope whose version is not
+//! exactly [`PROTO_VERSION`] is rejected with
+//! [`WireError::UnsupportedVersion`] before a single payload byte is
+//! parsed. The tag selects the [`Message`] kind; payloads use the strict
+//! length-prefixed codec of [`safetypin_primitives::wire`], so
+//! truncation, trailing bytes, and unknown tags are all typed decode
+//! errors rather than garbage reads.
+
+use safetypin_primitives::error::WireError;
+use safetypin_primitives::wire::{Decode, Encode, Reader, Writer};
+
+use crate::api::{HsmRequest, HsmResponse, ProviderRequest, ProviderResponse};
+
+/// The protocol version this build speaks. The versioning rule is strict
+/// equality: a decoder rejects every other version, so any change to an
+/// existing message's encoding must bump this constant (purely additive
+/// variants may keep it).
+pub const PROTO_VERSION: u16 = 1;
+
+/// Every message kind that can travel in an [`Envelope`].
+///
+/// The batch variants pack one entry per addressed HSM so a whole
+/// cluster recovery round (or epoch fan-out) pays a single envelope
+/// framing instead of one per device.
+#[derive(Debug, Clone, PartialEq)]
+pub enum Message {
+    /// Datacenter → one HSM.
+    HsmRequest(HsmRequest),
+    /// One HSM → datacenter.
+    HsmResponse(HsmResponse),
+    /// Datacenter → many HSMs, one envelope (batched fan-out).
+    HsmBatchRequest(Vec<(u64, HsmRequest)>),
+    /// Many HSMs → datacenter, one envelope.
+    HsmBatchResponse(Vec<(u64, HsmResponse)>),
+    /// Client → untrusted provider.
+    ProviderRequest(ProviderRequest),
+    /// Untrusted provider → client.
+    ProviderResponse(ProviderResponse),
+}
+
+impl Encode for Message {
+    fn encode(&self, w: &mut Writer) {
+        match self {
+            Message::HsmRequest(m) => {
+                w.put_u8(0);
+                m.encode(w);
+            }
+            Message::HsmResponse(m) => {
+                w.put_u8(1);
+                m.encode(w);
+            }
+            Message::HsmBatchRequest(items) => {
+                w.put_u8(2);
+                w.put_seq(items);
+            }
+            Message::HsmBatchResponse(items) => {
+                w.put_u8(3);
+                w.put_seq(items);
+            }
+            Message::ProviderRequest(m) => {
+                w.put_u8(4);
+                m.encode(w);
+            }
+            Message::ProviderResponse(m) => {
+                w.put_u8(5);
+                m.encode(w);
+            }
+        }
+    }
+}
+
+impl Decode for Message {
+    fn decode(r: &mut Reader<'_>) -> core::result::Result<Self, WireError> {
+        match r.get_u8()? {
+            0 => Ok(Message::HsmRequest(HsmRequest::decode(r)?)),
+            1 => Ok(Message::HsmResponse(HsmResponse::decode(r)?)),
+            2 => Ok(Message::HsmBatchRequest(r.get_seq()?)),
+            3 => Ok(Message::HsmBatchResponse(r.get_seq()?)),
+            4 => Ok(Message::ProviderRequest(ProviderRequest::decode(r)?)),
+            5 => Ok(Message::ProviderResponse(ProviderResponse::decode(r)?)),
+            t => Err(WireError::InvalidTag(t)),
+        }
+    }
+}
+
+/// A versioned envelope around one [`Message`].
+#[derive(Debug, Clone, PartialEq)]
+pub struct Envelope {
+    /// Protocol version (always [`PROTO_VERSION`] for locally built
+    /// envelopes; decoding rejects every other value).
+    pub version: u16,
+    /// The carried message.
+    pub msg: Message,
+}
+
+impl Envelope {
+    /// Seals a message in a current-version envelope.
+    pub fn seal(msg: Message) -> Self {
+        Self {
+            version: PROTO_VERSION,
+            msg,
+        }
+    }
+}
+
+impl Encode for Envelope {
+    fn encode(&self, w: &mut Writer) {
+        w.put_u16(self.version);
+        self.msg.encode(w);
+    }
+}
+
+impl Decode for Envelope {
+    fn decode(r: &mut Reader<'_>) -> core::result::Result<Self, WireError> {
+        let version = r.get_u16()?;
+        if version != PROTO_VERSION {
+            return Err(WireError::UnsupportedVersion(version));
+        }
+        Ok(Self {
+            version,
+            msg: Message::decode(r)?,
+        })
+    }
+}

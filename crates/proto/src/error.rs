@@ -1,0 +1,54 @@
+//! Protocol-layer error type.
+
+use core::fmt;
+
+use safetypin_primitives::error::WireError;
+
+/// Errors raised by the message-passing layer itself — envelope codec
+/// failures, transport faults, and malformed protocol payloads. Role
+/// errors (an HSM *refusing* a request) travel inside
+/// [`ErrorReply`](crate::api::ErrorReply) messages instead.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum ProtoError {
+    /// An envelope or payload failed the strict wire codec.
+    Wire(WireError),
+    /// An envelope decoded to a message kind the receiver cannot accept
+    /// (e.g. a response where a request was expected).
+    UnexpectedMessage(&'static str),
+    /// The transport dropped the message (fail-stop link fault).
+    Dropped,
+    /// The transport delivered bytes that no longer parse as an envelope.
+    Corrupted,
+    /// A cluster-slot index pointed outside the recovery ciphertext.
+    IndexOutOfRange(u32),
+    /// A payload decryption (encrypted recovery reply) failed.
+    DecryptFailed,
+}
+
+impl fmt::Display for ProtoError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            ProtoError::Wire(e) => write!(f, "wire codec error: {e}"),
+            ProtoError::UnexpectedMessage(what) => write!(f, "unexpected message: {what}"),
+            ProtoError::Dropped => write!(f, "message dropped in transit"),
+            ProtoError::Corrupted => write!(f, "message corrupted in transit"),
+            ProtoError::IndexOutOfRange(i) => write!(f, "share index {i} out of range"),
+            ProtoError::DecryptFailed => write!(f, "payload decryption failed"),
+        }
+    }
+}
+
+impl std::error::Error for ProtoError {
+    fn source(&self) -> Option<&(dyn std::error::Error + 'static)> {
+        match self {
+            ProtoError::Wire(e) => Some(e),
+            _ => None,
+        }
+    }
+}
+
+impl From<WireError> for ProtoError {
+    fn from(e: WireError) -> Self {
+        ProtoError::Wire(e)
+    }
+}

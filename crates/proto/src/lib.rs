@@ -1,0 +1,64 @@
+//! `safetypin-proto`: the versioned message-passing service API between
+//! the SafetyPin roles.
+//!
+//! The paper's deployment is inherently distributed — an untrusted
+//! datacenter routes messages between clients and a fleet of HSMs over a
+//! real transport (USB HID/CDC, §9 / Table 7). This crate makes those
+//! role boundaries explicit: every operation a client asks of the
+//! provider, and every operation the provider asks of an HSM, is a
+//! message with a canonical wire encoding, carried by a pluggable
+//! [`Transport`].
+//!
+//! # Envelope format
+//!
+//! Every transported message is wrapped in an [`Envelope`]:
+//!
+//! ```text
+//! version : u16   — must equal PROTO_VERSION, checked before anything else
+//! tag     : u8    — selects the Message kind (request/response/batch, per role)
+//! payload : bytes — the message, in the strict length-prefixed codec of
+//!                   safetypin_primitives::wire
+//! ```
+//!
+//! Decoding is strict end to end: truncated input, trailing bytes,
+//! unknown tags, and unknown versions are all *typed* errors
+//! ([`WireError::UnexpectedEof`], [`WireError::TrailingBytes`],
+//! [`WireError::InvalidTag`], [`WireError::UnsupportedVersion`]).
+//!
+//! # Versioning rule
+//!
+//! [`PROTO_VERSION`] uses strict equality — a decoder rejects every
+//! version but its own. Adding a new message variant is allowed within a
+//! version (new trailing tag); changing the encoding of an *existing*
+//! variant requires bumping `PROTO_VERSION`. Version negotiation is
+//! deliberately out of scope: SafetyPin's provider controls both sides
+//! of every hop, so fleets upgrade in lockstep (§6.2's epoch machinery
+//! already serializes configuration changes).
+//!
+//! # Transports
+//!
+//! The [`transport`] module defines the [`Transport`] trait and three
+//! backends — [`Direct`] (in-process, zero-copy), [`Serialized`] (full
+//! codec round-trip, byte-metered and priced against a USB profile), and
+//! [`Faulty`] (seeded drop/delay/corrupt injection). See the module docs
+//! for how to add a backend.
+//!
+//! [`WireError::UnexpectedEof`]: safetypin_primitives::error::WireError::UnexpectedEof
+//! [`WireError::TrailingBytes`]: safetypin_primitives::error::WireError::TrailingBytes
+//! [`WireError::InvalidTag`]: safetypin_primitives::error::WireError::InvalidTag
+//! [`WireError::UnsupportedVersion`]: safetypin_primitives::error::WireError::UnsupportedVersion
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod api;
+pub mod envelope;
+pub mod error;
+pub mod messages;
+pub mod transport;
+
+pub use api::{codes, ErrorReply, HsmRequest, HsmResponse, ProviderRequest, ProviderResponse};
+pub use envelope::{Envelope, Message, PROTO_VERSION};
+pub use error::ProtoError;
+pub use messages::{EnrollmentRecord, RecoveryPhases, RecoveryRequest, RecoveryResponse};
+pub use transport::{Direct, FaultPlan, FaultScope, Faulty, Serialized, Transport, TransportStats};

@@ -1,0 +1,308 @@
+//! Protocol payloads shared by the client, provider, and HSM roles.
+//!
+//! These types were born in `safetypin-hsm`; they live here now so every
+//! role (and the transport layer) can speak them without depending on the
+//! HSM implementation. `safetypin-hsm` re-exports them for compatibility.
+
+use safetypin_authlog::trie::InclusionProof;
+use safetypin_bfe::{BfeCiphertext, BfePublicKey};
+use safetypin_lhe::scheme::Salt;
+use safetypin_lhe::LheCiphertext;
+use safetypin_multisig as multisig;
+use safetypin_primitives::elgamal;
+use safetypin_primitives::error::WireError;
+use safetypin_primitives::hashes::{hash_parts, Domain, Hash256};
+use safetypin_primitives::shamir::Share;
+use safetypin_primitives::wire::{Decode, Encode, Reader, Writer};
+use safetypin_sim::OpCosts;
+
+use crate::error::ProtoError;
+
+/// What an HSM publishes at provisioning time.
+#[derive(Debug, Clone, PartialEq)]
+pub struct EnrollmentRecord {
+    /// Datacenter index.
+    pub id: u64,
+    /// Long-term identity (hashed-ElGamal) public key.
+    pub identity_pk: elgamal::PublicKey,
+    /// BLS verification key for log updates.
+    pub sig_vk: multisig::VerifyKey,
+    /// Proof of possession for `sig_vk` (anti rogue-key).
+    pub sig_pop: multisig::ProofOfPossession,
+    /// Current Bloom-filter-encryption public key.
+    pub bfe_pk: BfePublicKey,
+    /// BFE key-rotation epoch.
+    pub key_epoch: u64,
+}
+
+impl EnrollmentRecord {
+    /// Serialized size in bytes — what a client downloads per HSM
+    /// (the §9.2 bandwidth numbers).
+    pub fn serialized_len(&self) -> usize {
+        self.to_bytes().len()
+    }
+}
+
+impl Encode for EnrollmentRecord {
+    fn encode(&self, w: &mut Writer) {
+        w.put_u64(self.id);
+        self.identity_pk.encode(w);
+        self.sig_vk.encode(w);
+        self.sig_pop.encode(w);
+        self.bfe_pk.encode(w);
+        w.put_u64(self.key_epoch);
+    }
+}
+
+impl Decode for EnrollmentRecord {
+    fn decode(r: &mut Reader<'_>) -> core::result::Result<Self, WireError> {
+        Ok(Self {
+            id: r.get_u64()?,
+            identity_pk: elgamal::PublicKey::decode(r)?,
+            sig_vk: multisig::VerifyKey::decode(r)?,
+            sig_pop: multisig::ProofOfPossession::decode(r)?,
+            bfe_pk: BfePublicKey::decode(r)?,
+            key_epoch: r.get_u64()?,
+        })
+    }
+}
+
+/// A client's recovery-share request to one HSM (Figure 3, step 6).
+///
+/// Carries the opening of the logged commitment, the log-inclusion proof,
+/// the full recovery ciphertext, and *all* cluster positions this HSM
+/// serves — the cluster is sampled with replacement, so one HSM may hold
+/// several shares, and it must decrypt every one before the single
+/// puncture revokes its tag.
+#[derive(Debug, Clone, PartialEq)]
+pub struct RecoveryRequest {
+    /// Requesting username.
+    pub username: Vec<u8>,
+    /// The ciphertext's public salt.
+    pub salt: Salt,
+    /// Opening of the commitment the client logged.
+    pub opening: safetypin_primitives::commit::Opening,
+    /// Proof that `(username, commitment)` is in the log.
+    pub inclusion: InclusionProof,
+    /// The serialized recovery ciphertext (`LheCiphertext<BfeCiphertext>`).
+    pub ciphertext: Vec<u8>,
+    /// Cluster positions (indices into the committed cluster) this HSM
+    /// must serve.
+    pub share_indices: Vec<u32>,
+    /// Optional per-recovery public key for encrypted replies (§8).
+    pub recovery_pk: Option<elgamal::PublicKey>,
+    /// Designated-auditor endorsements of the latest log digest, in the
+    /// order of the HSM's configured auditor set (§6.3). Empty when the
+    /// deployment designates no auditors.
+    pub auditor_endorsements: Vec<multisig::Signature>,
+}
+
+impl Encode for RecoveryRequest {
+    fn encode(&self, w: &mut Writer) {
+        w.put_bytes(&self.username);
+        self.salt.encode(w);
+        self.opening.encode(w);
+        self.inclusion.encode(w);
+        w.put_bytes(&self.ciphertext);
+        w.put_u32(self.share_indices.len() as u32);
+        for i in &self.share_indices {
+            w.put_u32(*i);
+        }
+        w.put_option(&self.recovery_pk);
+        w.put_seq(&self.auditor_endorsements);
+    }
+}
+
+impl Decode for RecoveryRequest {
+    fn decode(r: &mut Reader<'_>) -> core::result::Result<Self, WireError> {
+        let username = r.get_bytes()?.to_vec();
+        let salt = Salt::decode(r)?;
+        let opening = safetypin_primitives::commit::Opening::decode(r)?;
+        let inclusion = InclusionProof::decode(r)?;
+        let ciphertext = r.get_bytes()?.to_vec();
+        let n = r.get_u32()? as usize;
+        if n > 1024 {
+            return Err(WireError::LengthOutOfRange);
+        }
+        let mut share_indices = Vec::with_capacity(n);
+        for _ in 0..n {
+            share_indices.push(r.get_u32()?);
+        }
+        Ok(Self {
+            username,
+            salt,
+            opening,
+            inclusion,
+            ciphertext,
+            share_indices,
+            recovery_pk: r.get_option()?,
+            auditor_endorsements: r.get_seq()?,
+        })
+    }
+}
+
+/// The HSM's reply: this HSM's decrypted shares, plain or encrypted under
+/// the client's per-recovery key.
+#[derive(Debug, Clone, PartialEq)]
+pub enum RecoveryResponse {
+    /// Decrypted shares in cluster-position order.
+    Plain(Vec<Share>),
+    /// Wire-encoded shares encrypted under the per-recovery key.
+    Encrypted(elgamal::Ciphertext),
+}
+
+impl RecoveryResponse {
+    /// Decrypts an [`RecoveryResponse::Encrypted`] reply with the
+    /// per-recovery secret key; passes through plain replies.
+    pub fn open(
+        self,
+        sk: Option<&elgamal::SecretKey>,
+        context: &[u8],
+    ) -> Result<Vec<Share>, ProtoError> {
+        match self {
+            RecoveryResponse::Plain(shares) => Ok(shares),
+            RecoveryResponse::Encrypted(ct) => {
+                let sk = sk.ok_or(ProtoError::DecryptFailed)?;
+                let pt =
+                    elgamal::decrypt(sk, context, &ct).map_err(|_| ProtoError::DecryptFailed)?;
+                let mut r = Reader::new(&pt);
+                let shares = r.get_seq().map_err(ProtoError::Wire)?;
+                Ok(shares)
+            }
+        }
+    }
+}
+
+impl Encode for RecoveryResponse {
+    fn encode(&self, w: &mut Writer) {
+        match self {
+            RecoveryResponse::Plain(shares) => {
+                w.put_u8(0);
+                w.put_seq(shares);
+            }
+            RecoveryResponse::Encrypted(ct) => {
+                w.put_u8(1);
+                ct.encode(w);
+            }
+        }
+    }
+}
+
+impl Decode for RecoveryResponse {
+    fn decode(r: &mut Reader<'_>) -> core::result::Result<Self, WireError> {
+        match r.get_u8()? {
+            0 => Ok(RecoveryResponse::Plain(r.get_seq()?)),
+            1 => Ok(RecoveryResponse::Encrypted(elgamal::Ciphertext::decode(r)?)),
+            t => Err(WireError::InvalidTag(t)),
+        }
+    }
+}
+
+/// Per-phase cost attribution for one recovery-share operation
+/// (Figure 10's breakdown). Rides along with the shares in a
+/// [`HsmResponse::RecoveryShare`](crate::api::HsmResponse::RecoveryShare)
+/// so metering survives serialization.
+#[derive(Debug, Default, Clone, Copy, PartialEq, Eq)]
+pub struct RecoveryPhases {
+    /// Log work: inclusion-proof and commitment checks plus request I/O.
+    pub log: OpCosts,
+    /// Location-hiding encryption work: the ElGamal share decryptions.
+    pub lhe: OpCosts,
+    /// Puncturable-encryption work: outsourced-storage reads, secure
+    /// deletion, and the associated AES traffic.
+    pub pe: OpCosts,
+    /// Public-key work for the optional encrypted reply (§8).
+    pub pke: OpCosts,
+}
+
+impl RecoveryPhases {
+    /// Sum over all phases.
+    pub fn total(&self) -> OpCosts {
+        let mut t = OpCosts::new();
+        t.add(&self.log);
+        t.add(&self.lhe);
+        t.add(&self.pe);
+        t.add(&self.pke);
+        t
+    }
+
+    /// Component-wise sum.
+    pub fn add(&mut self, other: &RecoveryPhases) {
+        self.log.add(&other.log);
+        self.lhe.add(&other.lhe);
+        self.pe.add(&other.pe);
+        self.pke.add(&other.pke);
+    }
+}
+
+impl Encode for RecoveryPhases {
+    fn encode(&self, w: &mut Writer) {
+        self.log.encode(w);
+        self.lhe.encode(w);
+        self.pe.encode(w);
+        self.pke.encode(w);
+    }
+}
+
+impl Decode for RecoveryPhases {
+    fn decode(r: &mut Reader<'_>) -> core::result::Result<Self, WireError> {
+        Ok(Self {
+            log: OpCosts::decode(r)?,
+            lhe: OpCosts::decode(r)?,
+            pe: OpCosts::decode(r)?,
+            pke: OpCosts::decode(r)?,
+        })
+    }
+}
+
+/// Builds the payload the client commits to in the log: the cluster
+/// member ids and the hash of the recovery ciphertext (§4.2).
+pub fn build_commit_payload(cluster: &[u64], ct_hash: &Hash256) -> Vec<u8> {
+    let mut w = Writer::new();
+    w.put_u32(cluster.len() as u32);
+    for &id in cluster {
+        w.put_u64(id);
+    }
+    w.put_fixed(ct_hash);
+    w.into_bytes()
+}
+
+/// Parses a commitment payload back into `(cluster, ct_hash)`.
+pub fn parse_commit_payload(payload: &[u8]) -> Result<(Vec<u64>, Hash256), WireError> {
+    let mut r = Reader::new(payload);
+    let n = r.get_u32()? as usize;
+    if n > 1024 {
+        return Err(WireError::LengthOutOfRange);
+    }
+    let mut cluster = Vec::with_capacity(n);
+    for _ in 0..n {
+        cluster.push(r.get_u64()?);
+    }
+    let ct_hash: Hash256 = r.get_array()?;
+    if !r.is_exhausted() {
+        return Err(WireError::TrailingBytes);
+    }
+    Ok((cluster, ct_hash))
+}
+
+/// The ciphertext hash bound into the commitment.
+pub fn ciphertext_commit_hash(ct_bytes: &[u8]) -> Hash256 {
+    hash_parts(Domain::RecoveryCommit, &[b"ct", ct_bytes])
+}
+
+/// Extracts the share ciphertext at cluster position `index` from a
+/// serialized recovery ciphertext.
+pub fn share_ct_at(ct_bytes: &[u8], index: u32) -> Result<BfeCiphertext, ProtoError> {
+    let ct: LheCiphertext<BfeCiphertext> =
+        LheCiphertext::from_bytes(ct_bytes).map_err(ProtoError::Wire)?;
+    ct.share_cts
+        .get(index as usize)
+        .cloned()
+        .ok_or(ProtoError::IndexOutOfRange(index))
+}
+
+/// The BFE puncture tag for `(username, salt)` — re-exported from the LHE
+/// crate so protocol code has one import point.
+pub fn puncture_tag(username: &[u8], salt: &Salt) -> Vec<u8> {
+    safetypin_lhe::puncture_tag(username, salt)
+}

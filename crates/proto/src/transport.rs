@@ -1,0 +1,528 @@
+//! Pluggable transports carrying [`Envelope`]s between the datacenter
+//! front-end and the HSM fleet.
+//!
+//! A [`Transport`] moves a request to an HSM and its response back. The
+//! HSM side is supplied by the caller as a `serve` closure (the
+//! datacenter owns the devices), so a transport decides only *how* the
+//! message travels:
+//!
+//! * [`Direct`] — in-process, zero-copy: the request value is handed to
+//!   `serve` untouched. This is the pre-RPC behavior and the fastest
+//!   path; it counts messages but moves no bytes.
+//! * [`Serialized`] — every message round-trips through the canonical
+//!   wire codec in both directions and is priced against a
+//!   [`TransportProfile`] (USB HID/CDC), making the Table 7 bandwidth
+//!   numbers measured rather than estimated.
+//! * [`Faulty`] — wraps another transport and injects configurable
+//!   drop / delay / corrupt faults (seeded, deterministic) for
+//!   failure-scenario tests.
+//!
+//! # Adding a transport backend
+//!
+//! Implement [`Transport::exchange`] (and override
+//! [`Transport::exchange_batch`] if the medium can amortize framing
+//! across a fan-out). Encode with [`Envelope::seal`] +
+//! [`Encode::to_bytes`]; decode with [`Envelope::from_bytes`] and
+//! reject unexpected message kinds with
+//! [`ProtoError::UnexpectedMessage`]. Report moved bytes through
+//! [`TransportStats`] so benchmarks pick the backend up automatically.
+
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+use safetypin_primitives::wire::{Decode, Encode};
+use safetypin_sim::transport::{TransportProfile, USB_CDC};
+
+use crate::api::{ErrorReply, HsmRequest, HsmResponse};
+use crate::envelope::{Envelope, Message};
+use crate::error::ProtoError;
+
+/// The HSM-side handler a transport delivers requests to. The `u64` is
+/// the addressed HSM's datacenter index.
+pub type ServeFn<'a> = dyn FnMut(u64, HsmRequest) -> HsmResponse + 'a;
+
+/// Byte/message/time accounting for one transport.
+#[derive(Debug, Default, Clone, Copy, PartialEq)]
+pub struct TransportStats {
+    /// Envelopes sealed and shipped (a batch counts once per direction).
+    pub envelopes: u64,
+    /// Logical messages carried (a batch counts once per item).
+    pub messages: u64,
+    /// Encoded request bytes shipped toward HSMs.
+    pub request_bytes: u64,
+    /// Encoded response bytes shipped back.
+    pub response_bytes: u64,
+    /// Messages dropped by fault injection.
+    pub dropped: u64,
+    /// Messages corrupted by fault injection.
+    pub corrupted: u64,
+    /// Simulated transfer time under the transport's profile.
+    pub seconds: f64,
+}
+
+impl TransportStats {
+    /// Total bytes moved in both directions.
+    pub fn total_bytes(&self) -> u64 {
+        self.request_bytes + self.response_bytes
+    }
+
+    /// Component-wise sum.
+    pub fn absorb(&mut self, other: &TransportStats) {
+        self.envelopes += other.envelopes;
+        self.messages += other.messages;
+        self.request_bytes += other.request_bytes;
+        self.response_bytes += other.response_bytes;
+        self.dropped += other.dropped;
+        self.corrupted += other.corrupted;
+        self.seconds += other.seconds;
+    }
+
+    /// The delta accumulated since `earlier` (a snapshot of the same
+    /// counter taken before some operation).
+    pub fn since(&self, earlier: &TransportStats) -> TransportStats {
+        TransportStats {
+            envelopes: self.envelopes - earlier.envelopes,
+            messages: self.messages - earlier.messages,
+            request_bytes: self.request_bytes - earlier.request_bytes,
+            response_bytes: self.response_bytes - earlier.response_bytes,
+            dropped: self.dropped - earlier.dropped,
+            corrupted: self.corrupted - earlier.corrupted,
+            seconds: self.seconds - earlier.seconds,
+        }
+    }
+}
+
+/// A channel between the datacenter front-end and its HSMs.
+pub trait Transport {
+    /// Human-readable backend name (for reports).
+    fn name(&self) -> &'static str;
+
+    /// Carries one request to HSM `hsm_id` and returns its response.
+    fn exchange(
+        &mut self,
+        hsm_id: u64,
+        request: HsmRequest,
+        serve: &mut ServeFn<'_>,
+    ) -> Result<HsmResponse, ProtoError>;
+
+    /// Carries a fan-out of per-HSM requests and returns per-HSM
+    /// responses in request order.
+    ///
+    /// The default forwards item by item; per-item transport faults
+    /// become [`ErrorReply`] responses so the rest of the batch still
+    /// flows (a lost reply from one HSM must not sink a cluster round).
+    fn exchange_batch(
+        &mut self,
+        batch: Vec<(u64, HsmRequest)>,
+        serve: &mut ServeFn<'_>,
+    ) -> Result<Vec<(u64, HsmResponse)>, ProtoError> {
+        let mut out = Vec::with_capacity(batch.len());
+        for (id, req) in batch {
+            let resp = match self.exchange(id, req, serve) {
+                Ok(resp) => resp,
+                Err(ProtoError::Dropped) => HsmResponse::Error(ErrorReply::dropped()),
+                Err(ProtoError::Corrupted) | Err(ProtoError::Wire(_)) => {
+                    HsmResponse::Error(ErrorReply::corrupted())
+                }
+                Err(e) => return Err(e),
+            };
+            out.push((id, resp));
+        }
+        Ok(out)
+    }
+
+    /// Accumulated accounting since construction (or the last
+    /// [`take_stats`](Transport::take_stats)).
+    fn stats(&self) -> TransportStats;
+
+    /// Drains the accounting, returning the old value.
+    fn take_stats(&mut self) -> TransportStats;
+}
+
+// ---------------------------------------------------------------------
+// Direct
+// ---------------------------------------------------------------------
+
+/// In-process, zero-copy delivery: requests and responses are passed by
+/// value, no encoding happens, and only message counts are recorded.
+#[derive(Debug, Default)]
+pub struct Direct {
+    stats: TransportStats,
+}
+
+impl Direct {
+    /// Creates the direct transport.
+    pub fn new() -> Self {
+        Self::default()
+    }
+}
+
+impl Transport for Direct {
+    fn name(&self) -> &'static str {
+        "direct"
+    }
+
+    fn exchange(
+        &mut self,
+        hsm_id: u64,
+        request: HsmRequest,
+        serve: &mut ServeFn<'_>,
+    ) -> Result<HsmResponse, ProtoError> {
+        self.stats.envelopes += 2;
+        self.stats.messages += 2;
+        Ok(serve(hsm_id, request))
+    }
+
+    fn exchange_batch(
+        &mut self,
+        batch: Vec<(u64, HsmRequest)>,
+        serve: &mut ServeFn<'_>,
+    ) -> Result<Vec<(u64, HsmResponse)>, ProtoError> {
+        // One (virtual) envelope per direction, like every batching
+        // backend, so envelope counts stay comparable across transports.
+        self.stats.envelopes += 2;
+        self.stats.messages += 2 * batch.len() as u64;
+        Ok(batch
+            .into_iter()
+            .map(|(id, req)| (id, serve(id, req)))
+            .collect())
+    }
+
+    fn stats(&self) -> TransportStats {
+        self.stats
+    }
+
+    fn take_stats(&mut self) -> TransportStats {
+        std::mem::take(&mut self.stats)
+    }
+}
+
+// ---------------------------------------------------------------------
+// Serialized
+// ---------------------------------------------------------------------
+
+/// Full-codec delivery: every message is sealed in an [`Envelope`],
+/// encoded, decoded on the far side, served, and the response makes the
+/// same trip back. Byte counts and transfer seconds (per the configured
+/// [`TransportProfile`]) accumulate in [`TransportStats`].
+#[derive(Debug)]
+pub struct Serialized {
+    profile: TransportProfile,
+    stats: TransportStats,
+}
+
+impl Serialized {
+    /// A serialized transport priced against `profile`.
+    pub fn new(profile: TransportProfile) -> Self {
+        Self {
+            profile,
+            stats: TransportStats::default(),
+        }
+    }
+
+    /// The paper's evaluation transport (USB CDC).
+    pub fn cdc() -> Self {
+        Self::new(USB_CDC)
+    }
+
+    /// The profile this transport prices transfers against.
+    pub fn profile(&self) -> TransportProfile {
+        self.profile
+    }
+
+    fn ship_request(&mut self, msg: Message) -> Result<Message, ProtoError> {
+        let bytes = Envelope::seal(msg).to_bytes();
+        self.stats.envelopes += 1;
+        self.stats.request_bytes += bytes.len() as u64;
+        self.stats.seconds += self.profile.seconds_for_bytes(bytes.len() as u64);
+        Ok(Envelope::from_bytes(&bytes)?.msg)
+    }
+
+    fn ship_response(&mut self, msg: Message) -> Result<Message, ProtoError> {
+        let bytes = Envelope::seal(msg).to_bytes();
+        self.stats.envelopes += 1;
+        self.stats.response_bytes += bytes.len() as u64;
+        self.stats.seconds += self.profile.seconds_for_bytes(bytes.len() as u64);
+        Ok(Envelope::from_bytes(&bytes)?.msg)
+    }
+}
+
+impl Transport for Serialized {
+    fn name(&self) -> &'static str {
+        "serialized"
+    }
+
+    fn exchange(
+        &mut self,
+        hsm_id: u64,
+        request: HsmRequest,
+        serve: &mut ServeFn<'_>,
+    ) -> Result<HsmResponse, ProtoError> {
+        self.stats.messages += 2;
+        let delivered = match self.ship_request(Message::HsmRequest(request))? {
+            Message::HsmRequest(req) => req,
+            _ => return Err(ProtoError::UnexpectedMessage("expected HSM request")),
+        };
+        let response = serve(hsm_id, delivered);
+        match self.ship_response(Message::HsmResponse(response))? {
+            Message::HsmResponse(resp) => Ok(resp),
+            _ => Err(ProtoError::UnexpectedMessage("expected HSM response")),
+        }
+    }
+
+    fn exchange_batch(
+        &mut self,
+        batch: Vec<(u64, HsmRequest)>,
+        serve: &mut ServeFn<'_>,
+    ) -> Result<Vec<(u64, HsmResponse)>, ProtoError> {
+        self.stats.messages += 2 * batch.len() as u64;
+        let delivered = match self.ship_request(Message::HsmBatchRequest(batch))? {
+            Message::HsmBatchRequest(items) => items,
+            _ => return Err(ProtoError::UnexpectedMessage("expected HSM batch request")),
+        };
+        let served: Vec<(u64, HsmResponse)> = delivered
+            .into_iter()
+            .map(|(id, req)| (id, serve(id, req)))
+            .collect();
+        match self.ship_response(Message::HsmBatchResponse(served))? {
+            Message::HsmBatchResponse(items) => Ok(items),
+            _ => Err(ProtoError::UnexpectedMessage("expected HSM batch response")),
+        }
+    }
+
+    fn stats(&self) -> TransportStats {
+        self.stats
+    }
+
+    fn take_stats(&mut self) -> TransportStats {
+        std::mem::take(&mut self.stats)
+    }
+}
+
+// ---------------------------------------------------------------------
+// Faulty
+// ---------------------------------------------------------------------
+
+/// Which messages a [`Faulty`] transport may fault.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum FaultScope {
+    /// Fault any message kind.
+    All,
+    /// Fault only recovery-share traffic. Epoch certification and key
+    /// management flow cleanly — this scope models the §8
+    /// failure-during-recovery scenarios without stalling the log.
+    RecoveryOnly,
+}
+
+/// Fault-injection configuration for [`Faulty`].
+#[derive(Debug, Clone, Copy)]
+pub struct FaultPlan {
+    /// Probability a message (request or response) is dropped.
+    pub drop_prob: f64,
+    /// Probability a delivered response has one byte flipped in its
+    /// encoded envelope.
+    pub corrupt_prob: f64,
+    /// Probability a delivered message is delayed.
+    pub delay_prob: f64,
+    /// Simulated delay, in seconds, charged per delayed message.
+    pub delay_seconds: f64,
+    /// Which messages the faults apply to.
+    pub scope: FaultScope,
+}
+
+impl Default for FaultPlan {
+    fn default() -> Self {
+        Self {
+            drop_prob: 0.0,
+            corrupt_prob: 0.0,
+            delay_prob: 0.0,
+            delay_seconds: 0.0,
+            scope: FaultScope::All,
+        }
+    }
+}
+
+impl FaultPlan {
+    /// A plan that drops each in-scope message with probability `p`.
+    pub fn drop(p: f64) -> Self {
+        Self {
+            drop_prob: p,
+            ..Self::default()
+        }
+    }
+
+    /// Sets the corruption probability.
+    pub fn with_corrupt(mut self, p: f64) -> Self {
+        self.corrupt_prob = p;
+        self
+    }
+
+    /// Sets the delay probability and per-message delay.
+    pub fn with_delay(mut self, p: f64, seconds: f64) -> Self {
+        self.delay_prob = p;
+        self.delay_seconds = seconds;
+        self
+    }
+
+    /// Restricts the faults to recovery-share traffic.
+    pub fn recovery_only(mut self) -> Self {
+        self.scope = FaultScope::RecoveryOnly;
+        self
+    }
+}
+
+/// A fault-injecting wrapper around another transport.
+///
+/// Faults are decided by a seeded deterministic generator, so a failing
+/// scenario replays exactly. Dropped messages surface as
+/// [`ProtoError::Dropped`] from [`exchange`](Transport::exchange), or as
+/// [`ErrorReply::dropped`] per-item responses from
+/// [`exchange_batch`](Transport::exchange_batch). Corruption flips one
+/// byte in the *encoded* response envelope and then attempts a decode —
+/// sometimes that yields a typed parse failure, sometimes a structurally
+/// valid envelope with mangled content, exactly like a real flaky link.
+pub struct Faulty {
+    inner: Box<dyn Transport>,
+    plan: FaultPlan,
+    rng: StdRng,
+    faults: TransportStats,
+}
+
+enum Fate {
+    Deliver,
+    Drop,
+    Corrupt,
+    Delay,
+}
+
+impl Faulty {
+    /// Wraps `inner`, faulting per `plan`, seeded with `seed`.
+    pub fn new(inner: Box<dyn Transport>, plan: FaultPlan, seed: u64) -> Self {
+        Self {
+            inner,
+            plan,
+            rng: StdRng::seed_from_u64(seed),
+            faults: TransportStats::default(),
+        }
+    }
+
+    fn in_scope(&self, request: &HsmRequest) -> bool {
+        match self.plan.scope {
+            FaultScope::All => true,
+            FaultScope::RecoveryOnly => request.is_recovery(),
+        }
+    }
+
+    fn fate(&mut self) -> Fate {
+        if self.rng.gen_bool(self.plan.drop_prob) {
+            Fate::Drop
+        } else if self.rng.gen_bool(self.plan.corrupt_prob) {
+            Fate::Corrupt
+        } else if self.rng.gen_bool(self.plan.delay_prob) {
+            Fate::Delay
+        } else {
+            Fate::Deliver
+        }
+    }
+
+    /// Flips one byte of the response's encoded envelope and re-decodes.
+    fn corrupt_response(&mut self, response: HsmResponse) -> Result<HsmResponse, ProtoError> {
+        let mut bytes = Envelope::seal(Message::HsmResponse(response)).to_bytes();
+        if !bytes.is_empty() {
+            let pos = self.rng.gen_range(0..bytes.len());
+            let bit = 1u8 << self.rng.gen_range(0..8u32);
+            bytes[pos] ^= bit;
+        }
+        match Envelope::from_bytes(&bytes) {
+            Ok(Envelope {
+                msg: Message::HsmResponse(resp),
+                ..
+            }) => Ok(resp),
+            _ => Err(ProtoError::Corrupted),
+        }
+    }
+
+    /// Applies the response-side fate decided for one in-scope message.
+    fn apply_response_fate(&mut self, response: HsmResponse) -> Result<HsmResponse, ProtoError> {
+        match self.fate() {
+            Fate::Deliver => Ok(response),
+            Fate::Drop => {
+                self.faults.dropped += 1;
+                Err(ProtoError::Dropped)
+            }
+            Fate::Corrupt => {
+                self.faults.corrupted += 1;
+                self.corrupt_response(response)
+            }
+            Fate::Delay => {
+                self.faults.seconds += self.plan.delay_seconds;
+                Ok(response)
+            }
+        }
+    }
+}
+
+impl Transport for Faulty {
+    fn name(&self) -> &'static str {
+        "faulty"
+    }
+
+    fn exchange(
+        &mut self,
+        hsm_id: u64,
+        request: HsmRequest,
+        serve: &mut ServeFn<'_>,
+    ) -> Result<HsmResponse, ProtoError> {
+        if !self.in_scope(&request) {
+            return self.inner.exchange(hsm_id, request, serve);
+        }
+        match self.fate() {
+            Fate::Drop => {
+                self.faults.dropped += 1;
+                return Err(ProtoError::Dropped);
+            }
+            Fate::Delay => self.faults.seconds += self.plan.delay_seconds,
+            Fate::Deliver | Fate::Corrupt => {}
+        }
+        let response = self.inner.exchange(hsm_id, request, serve)?;
+        self.apply_response_fate(response)
+    }
+
+    fn exchange_batch(
+        &mut self,
+        batch: Vec<(u64, HsmRequest)>,
+        serve: &mut ServeFn<'_>,
+    ) -> Result<Vec<(u64, HsmResponse)>, ProtoError> {
+        // Batch faults hit the *response* leg: the request still reaches
+        // the HSM (which may puncture its key before replying — the §8
+        // failure-during-recovery scenario), but the reply is lost or
+        // mangled on the way back and surfaces as an error item.
+        let in_scope: Vec<bool> = batch.iter().map(|(_, req)| self.in_scope(req)).collect();
+        let served = self.inner.exchange_batch(batch, serve)?;
+        let mut out = Vec::with_capacity(served.len());
+        for ((id, resp), scoped) in served.into_iter().zip(in_scope) {
+            if !scoped {
+                out.push((id, resp));
+                continue;
+            }
+            let resp = match self.apply_response_fate(resp) {
+                Ok(resp) => resp,
+                Err(ProtoError::Dropped) => HsmResponse::Error(ErrorReply::dropped()),
+                Err(_) => HsmResponse::Error(ErrorReply::corrupted()),
+            };
+            out.push((id, resp));
+        }
+        Ok(out)
+    }
+
+    fn stats(&self) -> TransportStats {
+        let mut s = self.inner.stats();
+        s.absorb(&self.faults);
+        s
+    }
+
+    fn take_stats(&mut self) -> TransportStats {
+        let mut s = self.inner.take_stats();
+        s.absorb(&std::mem::take(&mut self.faults));
+        s
+    }
+}

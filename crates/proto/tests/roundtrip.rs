@@ -1,0 +1,294 @@
+//! Codec conformance for every proto message: `encode ∘ decode = id`
+//! round-trips, plus strict-decoding negative tests (truncation at every
+//! prefix length, trailing bytes, unknown version tags) — the satellite
+//! guarantees that make the envelope format safe to speak over a real
+//! link.
+
+use proptest::prelude::*;
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+use safetypin_primitives::error::WireError;
+use safetypin_primitives::wire::{Decode, Encode};
+use safetypin_primitives::{commit, elgamal, shamir};
+use safetypin_proto::{
+    codes, Envelope, ErrorReply, HsmRequest, HsmResponse, Message, ProviderRequest,
+    ProviderResponse, RecoveryPhases, RecoveryRequest, RecoveryResponse, PROTO_VERSION,
+};
+use safetypin_sim::OpCosts;
+
+/// Builds real protocol objects (commitments, inclusion proofs, BLS
+/// signatures, BFE keys) from a seed, then covers every message variant
+/// with them.
+fn sample_envelopes(seed: u64) -> Vec<Envelope> {
+    let mut rng = StdRng::seed_from_u64(seed);
+
+    // A small real log with a provable entry and a certifiable epoch.
+    let mut log = safetypin_authlog::log::Log::new();
+    log.insert(b"alice", b"commitment-bytes").unwrap();
+    log.insert(b"bob", b"other-bytes").unwrap();
+    let inclusion = log.prove_includes(b"alice", b"commitment-bytes").unwrap();
+    let cut = log.cut_epoch(2);
+    let update = safetypin_authlog::distributed::EpochUpdate::build(&cut).unwrap();
+    let message = update.message();
+    let package = update.audit_package(0).unwrap();
+
+    // Real keys and signatures.
+    let sig_key = safetypin_multisig::SigningKey::generate(&mut rng);
+    let signature = sig_key.sign(b"epoch tuple");
+    let kp = elgamal::KeyPair::generate(&mut rng);
+
+    // A real (tiny) enrollment record, BFE key included.
+    let mut store = safetypin_seckv::MemStore::new();
+    let (bfe_pk, _sk, _report) = safetypin_bfe::keygen(
+        safetypin_bfe::BfeParams::new(32, 2).unwrap(),
+        &mut store,
+        &mut rng,
+    )
+    .unwrap();
+    let enrollment = safetypin_proto::EnrollmentRecord {
+        id: 7,
+        identity_pk: kp.pk,
+        sig_vk: sig_key.verify_key(),
+        sig_pop: sig_key.prove_possession(),
+        bfe_pk,
+        key_epoch: 3,
+    };
+
+    let (_commitment, opening) = commit::commit(b"cluster || ct-hash", &mut rng);
+    let recovery_request = RecoveryRequest {
+        username: b"alice".to_vec(),
+        salt: safetypin_lhe::Salt::random(&mut rng),
+        opening,
+        inclusion: inclusion.clone(),
+        ciphertext: vec![0xA5; 96],
+        share_indices: vec![0, 2, 3],
+        recovery_pk: Some(kp.pk),
+        auditor_endorsements: vec![signature],
+    };
+
+    let shares = shamir::share(b"transport key", 2, 4, &mut rng).unwrap();
+    let phases = RecoveryPhases {
+        log: OpCosts {
+            sha_ops: 11,
+            io_bytes: 2048,
+            io_messages: 2,
+            ..OpCosts::new()
+        },
+        lhe: OpCosts {
+            elgamal_decs: 3,
+            ..OpCosts::new()
+        },
+        pe: OpCosts {
+            aes_blocks: 40,
+            io_bytes: 960,
+            io_messages: 10,
+            ..OpCosts::new()
+        },
+        pke: OpCosts {
+            group_mults: 2,
+            ..OpCosts::new()
+        },
+    };
+    let encrypted_reply = elgamal::encrypt(&kp.pk, b"ctx", b"wire-encoded shares", &mut rng);
+
+    let hsm_requests = vec![
+        HsmRequest::GetEnrollment,
+        HsmRequest::RecoverShare(recovery_request.clone()),
+        HsmRequest::AuditAndSign {
+            message,
+            active_ids: vec![0, 1, 3],
+            failed_ids: vec![2],
+            packages: vec![package],
+        },
+        HsmRequest::AcceptUpdate {
+            message,
+            signers: vec![0, 1, 3],
+            aggregate: signature,
+        },
+        HsmRequest::GarbageCollect,
+        HsmRequest::RotateKeys,
+    ];
+    let hsm_responses = vec![
+        HsmResponse::Enrollment(enrollment.clone()),
+        HsmResponse::RecoveryShare {
+            response: RecoveryResponse::Plain(shares.clone()),
+            phases,
+        },
+        HsmResponse::RecoveryShare {
+            response: RecoveryResponse::Encrypted(encrypted_reply),
+            phases,
+        },
+        HsmResponse::Signed(signature),
+        HsmResponse::Ack,
+        HsmResponse::Rotated(enrollment.clone()),
+        HsmResponse::Error(ErrorReply::new(
+            codes::DECRYPT_FAILED,
+            "share decryption failed",
+        )),
+    ];
+    let provider_requests = vec![
+        ProviderRequest::FetchEnrollments,
+        ProviderRequest::InsertLog {
+            id: b"alice".to_vec(),
+            value: b"commitment-bytes".to_vec(),
+        },
+        ProviderRequest::ProveInclusion {
+            id: b"alice".to_vec(),
+            value: b"commitment-bytes".to_vec(),
+        },
+        ProviderRequest::RunEpoch,
+        ProviderRequest::Recover(vec![(1, recovery_request.clone()), (3, recovery_request)]),
+        ProviderRequest::FetchReplyCopies {
+            username: b"alice".to_vec(),
+        },
+    ];
+    let provider_responses = vec![
+        ProviderResponse::Enrollments(vec![enrollment]),
+        ProviderResponse::Ack,
+        ProviderResponse::Inclusion(Some(inclusion)),
+        ProviderResponse::Inclusion(None),
+        ProviderResponse::EpochCertified {
+            message,
+            signer_count: 3,
+        },
+        ProviderResponse::Recovered(vec![(
+            1,
+            HsmResponse::RecoveryShare {
+                response: RecoveryResponse::Plain(shares.clone()),
+                phases,
+            },
+        )]),
+        ProviderResponse::ReplyCopies(vec![RecoveryResponse::Plain(shares)]),
+        ProviderResponse::Error(ErrorReply::new(codes::LOG_REFUSED, "attempt consumed")),
+    ];
+
+    let mut envelopes = Vec::new();
+    let mut batch_req = Vec::new();
+    let mut batch_resp = Vec::new();
+    for (i, req) in hsm_requests.into_iter().enumerate() {
+        envelopes.push(Envelope::seal(Message::HsmRequest(req.clone())));
+        batch_req.push((i as u64, req));
+    }
+    for (i, resp) in hsm_responses.into_iter().enumerate() {
+        envelopes.push(Envelope::seal(Message::HsmResponse(resp.clone())));
+        batch_resp.push((i as u64, resp));
+    }
+    envelopes.push(Envelope::seal(Message::HsmBatchRequest(batch_req)));
+    envelopes.push(Envelope::seal(Message::HsmBatchResponse(batch_resp)));
+    for req in provider_requests {
+        envelopes.push(Envelope::seal(Message::ProviderRequest(req)));
+    }
+    for resp in provider_responses {
+        envelopes.push(Envelope::seal(Message::ProviderResponse(resp)));
+    }
+    envelopes
+}
+
+#[test]
+fn every_message_variant_roundtrips() {
+    for (i, envelope) in sample_envelopes(0x5AFE_0071).into_iter().enumerate() {
+        let bytes = envelope.to_bytes();
+        let back = Envelope::from_bytes(&bytes)
+            .unwrap_or_else(|e| panic!("envelope {i} failed to decode: {e}"));
+        // Structural equality AND canonical re-encoding (encode ∘ decode
+        // ∘ encode = encode).
+        assert_eq!(back, envelope, "envelope {i} did not roundtrip");
+        assert_eq!(
+            back.to_bytes(),
+            bytes,
+            "envelope {i} re-encoded differently"
+        );
+    }
+}
+
+#[test]
+fn every_truncation_is_a_typed_error() {
+    // Exhaustive truncation of a representative sample (not proptest:
+    // we want *every* prefix length of every variant).
+    for envelope in sample_envelopes(0x5AFE_0072) {
+        let bytes = envelope.to_bytes();
+        for len in 0..bytes.len() {
+            match Envelope::from_bytes(&bytes[..len]) {
+                Err(_) => {}
+                // A prefix that still decodes must be impossible: the
+                // full-input rule would flag leftover bytes.
+                Ok(_) => panic!("truncated envelope (len {len}/{}) decoded", bytes.len()),
+            }
+        }
+    }
+}
+
+#[test]
+fn trailing_bytes_rejected() {
+    for envelope in sample_envelopes(0x5AFE_0073) {
+        let mut bytes = envelope.to_bytes();
+        bytes.push(0x00);
+        assert_eq!(
+            Envelope::from_bytes(&bytes).unwrap_err(),
+            WireError::TrailingBytes
+        );
+    }
+}
+
+#[test]
+fn unknown_version_tag_rejected_with_typed_error() {
+    let envelope = Envelope::seal(Message::HsmRequest(HsmRequest::GetEnrollment));
+    let mut bytes = envelope.to_bytes();
+    // Overwrite the big-endian u16 version prefix.
+    bytes[0] = 0x00;
+    bytes[1] = 0x02;
+    assert_eq!(
+        Envelope::from_bytes(&bytes).unwrap_err(),
+        WireError::UnsupportedVersion(2)
+    );
+    bytes[0] = 0xFF;
+    bytes[1] = 0xFF;
+    assert_eq!(
+        Envelope::from_bytes(&bytes).unwrap_err(),
+        WireError::UnsupportedVersion(0xFFFF)
+    );
+    // Version 0 (a zeroed header) is just as dead.
+    bytes[0] = 0x00;
+    bytes[1] = 0x00;
+    assert_eq!(
+        Envelope::from_bytes(&bytes).unwrap_err(),
+        WireError::UnsupportedVersion(0)
+    );
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    /// Random seeds generate random-but-valid protocol objects; all of
+    /// them must roundtrip bit-exactly.
+    #[test]
+    fn roundtrip_holds_for_arbitrary_seeds(seed in any::<u64>()) {
+        for envelope in sample_envelopes(seed) {
+            let bytes = envelope.to_bytes();
+            let back = Envelope::from_bytes(&bytes).unwrap();
+            prop_assert_eq!(&back, &envelope);
+            prop_assert_eq!(back.to_bytes(), bytes);
+        }
+    }
+
+    /// Arbitrary junk never panics the decoder and never silently
+    /// succeeds with the wrong version.
+    #[test]
+    fn junk_never_panics(junk in proptest::collection::vec(any::<u8>(), 0..512)) {
+        if let Ok(envelope) = Envelope::from_bytes(&junk) {
+            prop_assert_eq!(envelope.version, PROTO_VERSION);
+        }
+    }
+
+    /// Flipping any single byte of a valid envelope either fails with a
+    /// typed error or still decodes (possibly to different content) —
+    /// never panics, never over-reads.
+    #[test]
+    fn single_byte_corruption_is_safe(pos_seed in any::<u64>(), bit in 0u8..8) {
+        let envelope = &sample_envelopes(0x5AFE_0074)[1]; // RecoverShare: biggest payload
+        let mut bytes = envelope.to_bytes();
+        let pos = (pos_seed as usize) % bytes.len();
+        bytes[pos] ^= 1 << bit;
+        let _ = Envelope::from_bytes(&bytes);
+    }
+}

@@ -8,6 +8,17 @@
 //! serves inclusion proofs, routes recovery requests, and keeps copies of
 //! recovery replies for the failure-during-recovery flow (§8).
 //!
+//! Since the message-passing redesign, **all HSM traffic flows through a
+//! pluggable [`Transport`]**: every operation is a
+//! [`HsmRequest`]/[`HsmResponse`] exchange served by
+//! [`Hsm::handle`], and the transport decides whether messages pass
+//! in-process ([`Direct`]), round-trip through the canonical wire codec
+//! with byte metering ([`safetypin_proto::Serialized`]), or suffer
+//! injected faults ([`safetypin_proto::Faulty`]). The client-facing
+//! operations are likewise exposed as one
+//! [`ProviderRequest`]/[`ProviderResponse`] dispatch via
+//! [`Datacenter::handle`].
+//!
 //! The provider is **untrusted** in SafetyPin's threat model: every check
 //! that matters runs on the HSMs or the client. This crate's tests play
 //! both roles — the honest orchestrator and the cheating provider the
@@ -21,9 +32,13 @@ use safetypin_authlog::distributed::{EpochUpdate, UpdateMessage};
 use safetypin_authlog::log::{Log, LogEntry, LogError};
 use safetypin_authlog::trie::InclusionProof;
 use safetypin_hsm::{
-    EnrollmentRecord, Hsm, HsmConfig, HsmError, RecoveryRequest, RecoveryResponse,
+    EnrollmentRecord, Hsm, HsmConfig, HsmError, RecoveryPhases, RecoveryRequest, RecoveryResponse,
 };
 use safetypin_multisig::{aggregate_signatures, Signature};
+use safetypin_proto::{
+    codes, Direct, ErrorReply, HsmRequest, HsmResponse, ProtoError, ProviderRequest,
+    ProviderResponse, Transport, TransportStats,
+};
 use safetypin_seckv::MemStore;
 use safetypin_sim::OpCosts;
 
@@ -39,6 +54,8 @@ pub enum ProviderError {
     UnknownHsm(u64),
     /// An HSM refused an operation.
     Hsm(HsmError),
+    /// The transport failed to carry a message.
+    Transport(ProtoError),
 }
 
 impl core::fmt::Display for ProviderError {
@@ -48,11 +65,21 @@ impl core::fmt::Display for ProviderError {
             ProviderError::EpochFailed(why) => write!(f, "epoch failed: {why}"),
             ProviderError::UnknownHsm(id) => write!(f, "unknown HSM {id}"),
             ProviderError::Hsm(e) => write!(f, "HSM error: {e}"),
+            ProviderError::Transport(e) => write!(f, "transport error: {e}"),
         }
     }
 }
 
-impl std::error::Error for ProviderError {}
+impl std::error::Error for ProviderError {
+    fn source(&self) -> Option<&(dyn std::error::Error + 'static)> {
+        match self {
+            ProviderError::Log(e) => Some(e),
+            ProviderError::Hsm(e) => Some(e),
+            ProviderError::Transport(e) => Some(e),
+            _ => None,
+        }
+    }
+}
 
 impl From<LogError> for ProviderError {
     fn from(e: LogError) -> Self {
@@ -66,10 +93,16 @@ impl From<HsmError> for ProviderError {
     }
 }
 
+impl From<ProtoError> for ProviderError {
+    fn from(e: ProtoError) -> Self {
+        ProviderError::Transport(e)
+    }
+}
+
 /// The outcome of one epoch update.
 #[derive(Debug, Clone)]
 pub struct EpochOutcome {
-    /// The certified message `(d, d', R, K)`.
+    /// The certified message `(d, d', R)`.
     pub message: UpdateMessage,
     /// Fleet indices that signed.
     pub signers: Vec<usize>,
@@ -82,7 +115,8 @@ pub struct EpochOutcome {
     pub audit_bytes: u64,
 }
 
-/// The datacenter: HSM fleet + outsourced stores + log state.
+/// The datacenter: HSM fleet + outsourced stores + log state, fronted by
+/// a message [`Transport`].
 pub struct Datacenter {
     hsms: Vec<Hsm>,
     stores: Vec<MemStore>,
@@ -91,14 +125,49 @@ pub struct Datacenter {
     update_history: Vec<UpdateMessage>,
     reply_copies: Vec<(Vec<u8>, RecoveryResponse)>,
     epoch_chunks: usize,
+    transport: Box<dyn Transport>,
+}
+
+/// Builds the serve side of a transport exchange: looks up the addressed
+/// HSM and hands the request to [`Hsm::handle`]. Unknown ids become
+/// typed error replies instead of panics — on the wire there is no such
+/// thing as an out-of-bounds index, only a device that does not answer.
+fn serve_fleet<'a, R: RngCore + CryptoRng>(
+    hsms: &'a mut [Hsm],
+    stores: &'a mut [MemStore],
+    rng: &'a mut R,
+) -> impl FnMut(u64, HsmRequest) -> HsmResponse + 'a {
+    move |id, request| {
+        let idx = id as usize;
+        if idx >= hsms.len() {
+            return HsmResponse::Error(ErrorReply::new(
+                codes::UNKNOWN_HSM,
+                format!("no HSM with id {id}"),
+            ));
+        }
+        hsms[idx].handle(request, &mut stores[idx], rng)
+    }
 }
 
 impl Datacenter {
     /// Provisions a fleet of `total` HSMs and registers the fleet keys on
     /// every device (each HSM verifies every proof of possession itself).
+    /// Messages flow over the zero-copy [`Direct`] transport; use
+    /// [`provision_with_transport`](Self::provision_with_transport) or
+    /// [`set_transport`](Self::set_transport) for other backends.
     pub fn provision<R: RngCore + CryptoRng>(
         total: u64,
         config_for: impl Fn(u64) -> HsmConfig,
+        rng: &mut R,
+    ) -> Result<Self, ProviderError> {
+        Self::provision_with_transport(total, config_for, Box::new(Direct::new()), rng)
+    }
+
+    /// [`provision`](Self::provision) with an explicit transport backend.
+    pub fn provision_with_transport<R: RngCore + CryptoRng>(
+        total: u64,
+        config_for: impl Fn(u64) -> HsmConfig,
+        transport: Box<dyn Transport>,
         rng: &mut R,
     ) -> Result<Self, ProviderError> {
         let mut hsms = Vec::with_capacity(total as usize);
@@ -128,7 +197,31 @@ impl Datacenter {
             update_history: Vec::new(),
             reply_copies: Vec::new(),
             epoch_chunks,
+            transport,
         })
+    }
+
+    /// Swaps the transport backend (e.g. to `Serialized` for byte-true
+    /// accounting, or to `Faulty` for failure scenarios). Accumulated
+    /// stats of the old transport are discarded with it.
+    pub fn set_transport(&mut self, transport: Box<dyn Transport>) {
+        self.transport = transport;
+    }
+
+    /// The active transport backend's name.
+    pub fn transport_name(&self) -> &'static str {
+        self.transport.name()
+    }
+
+    /// Accumulated transport accounting (bytes, messages, faults,
+    /// simulated seconds).
+    pub fn transport_stats(&self) -> TransportStats {
+        self.transport.stats()
+    }
+
+    /// Drains the transport accounting, returning the old value.
+    pub fn take_transport_stats(&mut self) -> TransportStats {
+        self.transport.take_stats()
     }
 
     /// Number of HSMs in the fleet.
@@ -137,9 +230,36 @@ impl Datacenter {
     }
 
     /// The published enrollment records — what a client downloads as the
-    /// "master public key" `mpk` (§3).
+    /// "master public key" `mpk` (§3). Reads live device state
+    /// in-process (so rotated keys are already reflected);
+    /// [`fetch_enrollments`](Self::fetch_enrollments) performs the same
+    /// read as a metered transport round and skips unreachable devices.
     pub fn enrollments(&self) -> Vec<EnrollmentRecord> {
         self.hsms.iter().map(|h| h.enrollment()).collect()
+    }
+
+    /// Fetches every HSM's current enrollment record over the transport
+    /// (one batched `GetEnrollment` round) — picks up rotated BFE keys.
+    /// Failed or unreachable devices are skipped.
+    pub fn fetch_enrollments(&mut self) -> Result<Vec<EnrollmentRecord>, ProviderError> {
+        let batch: Vec<_> = (0..self.hsms.len() as u64)
+            .map(|id| (id, HsmRequest::GetEnrollment))
+            .collect();
+        let mut rng = rand::thread_rng();
+        let Self {
+            hsms,
+            stores,
+            transport,
+            ..
+        } = self;
+        let replies = transport.exchange_batch(batch, &mut serve_fleet(hsms, stores, &mut rng))?;
+        Ok(replies
+            .into_iter()
+            .filter_map(|(_, resp)| match resp {
+                HsmResponse::Enrollment(e) => Some(e),
+                _ => None,
+            })
+            .collect())
     }
 
     /// Read access to one HSM (experiments).
@@ -185,6 +305,11 @@ impl Datacenter {
 
     /// Runs the Figure 5 epoch-update protocol: cut, commit, audit
     /// (including B.3 re-audits for failed HSMs), aggregate, distribute.
+    ///
+    /// Both the audit fan-out and the certified-digest distribution are
+    /// batched transport rounds. An HSM whose audit reply is lost to a
+    /// transport fault simply misses this epoch's signer set; the epoch
+    /// still certifies if the quorum holds.
     pub fn run_epoch(&mut self) -> Result<EpochOutcome, ProviderError> {
         let cut = self.log.cut_epoch(self.epoch_chunks);
         let update =
@@ -207,14 +332,11 @@ impl Datacenter {
             return Err(ProviderError::EpochFailed("no active HSMs"));
         }
 
-        let mut sigs = Vec::new();
-        let mut signers = Vec::new();
+        // Assemble each active HSM's audit packages (deterministic
+        // Appendix B.3 assignment, recomputed provider-side).
+        let mut audit_batch = Vec::with_capacity(active_ids.len());
         let mut audit_bytes = 0u64;
-        for idx in 0..self.hsms.len() {
-            let hsm = &mut self.hsms[idx];
-            if hsm.status() == safetypin_hsm::HsmStatus::Failed {
-                continue;
-            }
+        for hsm in self.hsms.iter().filter(|h| active_ids.contains(&h.id())) {
             let mut chunks: std::collections::BTreeSet<u32> =
                 hsm.audit_assignment(&message).into_iter().collect();
             chunks.extend(safetypin_authlog::distributed::reaudit_chunks_for(
@@ -230,20 +352,87 @@ impl Datacenter {
                 .map(|&c| update.audit_package(c).expect("chunk in range"))
                 .collect();
             audit_bytes += packages.iter().map(|p| p.proof_bytes() as u64).sum::<u64>();
-            let sig =
-                hsm.audit_and_sign_with_failures(&message, &active_ids, &failed_ids, &packages)?;
-            sigs.push(sig);
-            signers.push(idx);
+            audit_batch.push((
+                hsm.id(),
+                HsmRequest::AuditAndSign {
+                    message,
+                    active_ids: active_ids.clone(),
+                    failed_ids: failed_ids.clone(),
+                    packages,
+                },
+            ));
+        }
+
+        let mut rng = rand::thread_rng();
+        let mut sigs = Vec::new();
+        let mut signers = Vec::new();
+        {
+            let Self {
+                hsms,
+                stores,
+                transport,
+                ..
+            } = &mut *self;
+            let replies =
+                transport.exchange_batch(audit_batch, &mut serve_fleet(hsms, stores, &mut rng))?;
+            for (id, resp) in replies {
+                match resp {
+                    HsmResponse::Signed(sig) => {
+                        sigs.push(sig);
+                        signers.push(id as usize);
+                    }
+                    HsmResponse::Error(e) if e.is_transport_fault() => continue,
+                    HsmResponse::Error(e) => return Err(ProviderError::Hsm((&e).into())),
+                    _ => {
+                        return Err(ProviderError::Transport(ProtoError::UnexpectedMessage(
+                            "expected Signed reply to AuditAndSign",
+                        )))
+                    }
+                }
+            }
         }
 
         let aggregate = aggregate_signatures(&sigs)
             .ok_or(ProviderError::EpochFailed("no signatures to aggregate"))?;
-        for idx in 0..self.hsms.len() {
-            let hsm = &mut self.hsms[idx];
-            if hsm.status() == safetypin_hsm::HsmStatus::Failed {
-                continue;
+
+        let accept_batch: Vec<_> = active_ids
+            .iter()
+            .map(|&id| {
+                (
+                    id,
+                    HsmRequest::AcceptUpdate {
+                        message,
+                        signers: signers.iter().map(|&s| s as u64).collect(),
+                        aggregate,
+                    },
+                )
+            })
+            .collect();
+        {
+            let Self {
+                hsms,
+                stores,
+                transport,
+                ..
+            } = &mut *self;
+            let replies =
+                transport.exchange_batch(accept_batch, &mut serve_fleet(hsms, stores, &mut rng))?;
+            for (_, resp) in replies {
+                match resp {
+                    HsmResponse::Ack => {}
+                    // A lost Ack means that HSM missed the certified
+                    // digest (it will report StaleDigest next epoch and
+                    // resync) — the epoch itself still stands, exactly
+                    // like the audit phase above.
+                    HsmResponse::Error(e) if e.is_transport_fault() => continue,
+                    HsmResponse::Error(e) => return Err(ProviderError::Hsm((&e).into())),
+                    _ => {
+                        return Err(ProviderError::Transport(ProtoError::UnexpectedMessage(
+                            "expected Ack reply to AcceptUpdate",
+                        )))
+                    }
+                }
             }
-            hsm.accept_update(&message, &signers, &aggregate)?;
         }
         self.update_history.push(message);
         Ok(EpochOutcome {
@@ -275,16 +464,147 @@ impl Datacenter {
         hsm_id: u64,
         request: &RecoveryRequest,
         rng: &mut R,
-    ) -> Result<(RecoveryResponse, safetypin_hsm::RecoveryPhases), ProviderError> {
-        let idx = hsm_id as usize;
-        if idx >= self.hsms.len() {
+    ) -> Result<(RecoveryResponse, RecoveryPhases), ProviderError> {
+        if hsm_id as usize >= self.hsms.len() {
             return Err(ProviderError::UnknownHsm(hsm_id));
         }
-        let (response, phases) =
-            self.hsms[idx].recover_share_with_phases(request, &mut self.stores[idx], rng)?;
-        self.reply_copies
-            .push((request.username.clone(), response.clone()));
-        Ok((response, phases))
+        let username = request.username.clone();
+        let reply = {
+            let Self {
+                hsms,
+                stores,
+                transport,
+                ..
+            } = &mut *self;
+            transport.exchange(
+                hsm_id,
+                HsmRequest::RecoverShare(request.clone()),
+                &mut serve_fleet(hsms, stores, rng),
+            )?
+        };
+        match reply {
+            HsmResponse::RecoveryShare { response, phases } => {
+                self.reply_copies.push((username, response.clone()));
+                Ok((response, phases))
+            }
+            HsmResponse::Error(e) => Err(ProviderError::Hsm((&e).into())),
+            _ => Err(ProviderError::Transport(ProtoError::UnexpectedMessage(
+                "expected RecoveryShare reply",
+            ))),
+        }
+    }
+
+    /// The batched multi-HSM recovery round (Figure 3 steps 6–7 for the
+    /// whole cluster): packs every per-HSM request into **one** transport
+    /// envelope, fans it out, and returns per-HSM outcomes in request
+    /// order. Lost or refused replies come back as per-item errors so
+    /// the caller can reconstruct from whatever cleared the threshold.
+    #[allow(clippy::type_complexity)]
+    pub fn route_recovery_cluster<R: RngCore + CryptoRng>(
+        &mut self,
+        requests: Vec<(u64, RecoveryRequest)>,
+        rng: &mut R,
+    ) -> Result<Vec<(u64, Result<(RecoveryResponse, RecoveryPhases), HsmError>)>, ProviderError>
+    {
+        let usernames: std::collections::BTreeMap<u64, Vec<u8>> = requests
+            .iter()
+            .map(|(id, r)| (*id, r.username.clone()))
+            .collect();
+        let batch: Vec<_> = requests
+            .into_iter()
+            .map(|(id, r)| (id, HsmRequest::RecoverShare(r)))
+            .collect();
+        let replies = {
+            let Self {
+                hsms,
+                stores,
+                transport,
+                ..
+            } = &mut *self;
+            transport.exchange_batch(batch, &mut serve_fleet(hsms, stores, rng))?
+        };
+        let mut out = Vec::with_capacity(replies.len());
+        for (id, resp) in replies {
+            let item = match resp {
+                HsmResponse::RecoveryShare { response, phases } => {
+                    if let Some(username) = usernames.get(&id) {
+                        self.reply_copies.push((username.clone(), response.clone()));
+                    }
+                    Ok((response, phases))
+                }
+                HsmResponse::Error(e) => Err(HsmError::from(&e)),
+                _ => Err(HsmError::Wire(
+                    safetypin_primitives::error::WireError::InvalidTag(0),
+                )),
+            };
+            out.push((id, item));
+        }
+        Ok(out)
+    }
+
+    /// Single dispatch for the client-facing message set: every
+    /// [`ProviderRequest`] maps onto the corresponding orchestration
+    /// method, with failures encoded as [`ProviderResponse::Error`]
+    /// replies. This is the surface a network front-end would expose.
+    pub fn handle<R: RngCore + CryptoRng>(
+        &mut self,
+        request: ProviderRequest,
+        rng: &mut R,
+    ) -> ProviderResponse {
+        match request {
+            ProviderRequest::FetchEnrollments => ProviderResponse::Enrollments(self.enrollments()),
+            ProviderRequest::InsertLog { id, value } => match self.insert_log(&id, &value) {
+                Ok(()) => ProviderResponse::Ack,
+                Err(e) => {
+                    ProviderResponse::Error(ErrorReply::new(codes::LOG_REFUSED, e.to_string()))
+                }
+            },
+            ProviderRequest::ProveInclusion { id, value } => {
+                ProviderResponse::Inclusion(self.prove_inclusion(&id, &value))
+            }
+            ProviderRequest::RunEpoch => match self.run_epoch() {
+                Ok(outcome) => ProviderResponse::EpochCertified {
+                    message: outcome.message,
+                    signer_count: outcome.signers.len() as u32,
+                },
+                Err(e) => {
+                    ProviderResponse::Error(ErrorReply::new(codes::EPOCH_FAILED, e.to_string()))
+                }
+            },
+            ProviderRequest::Recover(requests) => {
+                match self.route_recovery_cluster(requests, rng) {
+                    Ok(items) => ProviderResponse::Recovered(
+                        items
+                            .into_iter()
+                            .map(|(id, item)| {
+                                let resp = match item {
+                                    Ok((response, phases)) => {
+                                        HsmResponse::RecoveryShare { response, phases }
+                                    }
+                                    Err(e) => HsmResponse::Error((&e).into()),
+                                };
+                                (id, resp)
+                            })
+                            .collect(),
+                    ),
+                    // route_recovery_cluster only fails whole-round on a
+                    // transport-level error (per-HSM refusals come back
+                    // as items), so report it with a transport code.
+                    Err(ProviderError::Transport(ProtoError::Dropped)) => {
+                        ProviderResponse::Error(ErrorReply::dropped())
+                    }
+                    Err(e) => {
+                        ProviderResponse::Error(ErrorReply::new(codes::CORRUPTED, e.to_string()))
+                    }
+                }
+            }
+            ProviderRequest::FetchReplyCopies { username } => ProviderResponse::ReplyCopies(
+                self.reply_copies_for(&username)
+                    .into_iter()
+                    .cloned()
+                    .collect(),
+            ),
+        }
     }
 
     /// Stored reply copies for `username` (replacement-device recovery,
@@ -297,27 +617,71 @@ impl Datacenter {
             .collect()
     }
 
-    /// Rotates one HSM's BFE keys (provider schedules rotations as keys
-    /// fill up; §9.1).
+    /// Rotates one HSM's BFE keys over the transport (provider schedules
+    /// rotations as keys fill up; §9.1).
     pub fn rotate_hsm<R: RngCore + CryptoRng>(
         &mut self,
         hsm_id: u64,
         rng: &mut R,
     ) -> Result<(), ProviderError> {
-        let idx = hsm_id as usize;
-        if idx >= self.hsms.len() {
+        if hsm_id as usize >= self.hsms.len() {
             return Err(ProviderError::UnknownHsm(hsm_id));
         }
-        self.hsms[idx].rotate_keys(&mut self.stores[idx], rng)?;
-        Ok(())
+        let reply = {
+            let Self {
+                hsms,
+                stores,
+                transport,
+                ..
+            } = &mut *self;
+            transport.exchange(
+                hsm_id,
+                HsmRequest::RotateKeys,
+                &mut serve_fleet(hsms, stores, rng),
+            )?
+        };
+        match reply {
+            HsmResponse::Rotated(_) => Ok(()),
+            HsmResponse::Error(e) => Err(ProviderError::Hsm((&e).into())),
+            _ => Err(ProviderError::Transport(ProtoError::UnexpectedMessage(
+                "expected Rotated reply",
+            ))),
+        }
     }
 
     /// Garbage-collects the log: archives entries, resets the log, and
-    /// asks every HSM to follow (each enforces its own GC budget).
+    /// asks every live HSM (one batched round) to follow — each enforces
+    /// its own GC budget.
     pub fn garbage_collect(&mut self) -> Result<(), ProviderError> {
-        for hsm in self.hsms.iter_mut() {
-            if hsm.status() != safetypin_hsm::HsmStatus::Failed {
-                hsm.garbage_collect()?;
+        let batch: Vec<_> = self
+            .hsms
+            .iter()
+            .filter(|h| h.status() != safetypin_hsm::HsmStatus::Failed)
+            .map(|h| (h.id(), HsmRequest::GarbageCollect))
+            .collect();
+        let mut rng = rand::thread_rng();
+        {
+            let Self {
+                hsms,
+                stores,
+                transport,
+                ..
+            } = &mut *self;
+            let replies =
+                transport.exchange_batch(batch, &mut serve_fleet(hsms, stores, &mut rng))?;
+            for (_, resp) in replies {
+                match resp {
+                    HsmResponse::Ack => {}
+                    // A lost Ack: that HSM keeps the old digest and its
+                    // GC budget untouched; the collection proceeds.
+                    HsmResponse::Error(e) if e.is_transport_fault() => continue,
+                    HsmResponse::Error(e) => return Err(ProviderError::Hsm((&e).into())),
+                    _ => {
+                        return Err(ProviderError::Transport(ProtoError::UnexpectedMessage(
+                            "expected Ack reply to GarbageCollect",
+                        )))
+                    }
+                }
             }
         }
         let archived = self.log.garbage_collect();

@@ -177,3 +177,36 @@ fn adaptive_attack_main_path() {
         .recover(&victim, b"314159", &artifact, &mut rng)
         .is_err());
 }
+
+/// `examples/remote_fleet.rs`: backup/recover over the `Serialized`
+/// transport with a `Faulty` wrapper dropping a minority of HSM
+/// responses — recovery still succeeds at threshold, and the wire
+/// counters record real envelope bytes plus the injected drop.
+#[test]
+fn remote_fleet_main_path() {
+    use safetypin::proto::{FaultPlan, Faulty, Serialized};
+
+    let mut rng = StdRng::seed_from_u64(0xF1EE7);
+    let transport = Faulty::new(
+        Box::new(Serialized::cdc()),
+        FaultPlan::drop(0.25).recovery_only(),
+        0, // same fault seed as the example: loses one of three replies
+    );
+    let params = SystemParams::test_small(16);
+    let mut deployment =
+        Deployment::provision_with_transport(params, Box::new(transport), &mut rng).unwrap();
+
+    let mut phone = deployment.new_client(b"remote@example.com").unwrap();
+    let disk_key = b"32-byte disk-encryption key!!!!!";
+    let artifact = phone.backup(b"493201", disk_key, 0, &mut rng).unwrap();
+
+    let outcome = deployment
+        .recover(&phone, b"493201", &artifact, &mut rng)
+        .unwrap();
+    assert_eq!(outcome.message, disk_key);
+    assert!(outcome.responders < outcome.contacted, "a reply must drop");
+
+    let stats = deployment.datacenter.transport_stats();
+    assert!(stats.dropped >= 1);
+    assert!(stats.total_bytes() > 0, "envelopes must be measured");
+}
