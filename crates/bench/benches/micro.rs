@@ -12,10 +12,20 @@ fn bench_micro(c: &mut Criterion) {
     // g^x on P-256.
     {
         use p256::elliptic_curve::Field;
-        use p256::{ProjectivePoint, Scalar};
+        use p256::{FixedBaseTable, ProjectivePoint, Scalar};
         let s = Scalar::random(&mut rng);
         let p = ProjectivePoint::GENERATOR;
         c.bench_function("p256_point_mul", |b| b.iter(|| std::hint::black_box(p * s)));
+        // The windowed fixed-base path used by keygen-style g^x.
+        let table = FixedBaseTable::generator();
+        c.bench_function("p256_fixed_base_mul", |b| {
+            b.iter(|| std::hint::black_box(table.mul(&s)))
+        });
+        // The shared-scalar multi-base path used by BFE encrypt (k=4).
+        let bases: Vec<ProjectivePoint> = (0..4).map(|_| p * Scalar::random(&mut rng)).collect();
+        c.bench_function("p256_mul_many_k4", |b| {
+            b.iter(|| std::hint::black_box(p256::mul_many(&bases, &s)))
+        });
     }
 
     // Pairing on BLS12-381.

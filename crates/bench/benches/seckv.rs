@@ -38,6 +38,25 @@ fn bench_seckv(c: &mut Criterion) {
             })
         });
 
+        // One k=4 puncture-shaped batch per iteration vs. the 4
+        // independent deletes above (shared path prefixes re-keyed once).
+        group.bench_with_input(
+            BenchmarkId::new("tree_delete_batch4", size),
+            &size,
+            |b, _| {
+                let mut rng = StdRng::seed_from_u64(2);
+                let mut store = MemStore::new();
+                let mut arr = SecureArray::setup(&mut store, &data, &mut rng).unwrap();
+                let mut i = 0u64;
+                b.iter(|| {
+                    let n = size as u64;
+                    let batch = [i % n, (i + n / 3) % n, (i + n / 2) % n, (i + 2 * n / 3) % n];
+                    i += 1;
+                    arr.delete_batch(&mut store, &batch, &mut rng).unwrap()
+                })
+            },
+        );
+
         group.bench_with_input(BenchmarkId::new("naive_delete", size), &size, |b, _| {
             let mut rng = StdRng::seed_from_u64(3);
             let mut store = MemStore::new();

@@ -1,0 +1,7 @@
+//! Regenerates the hot-path optimization scorecard (baseline vs
+//! optimized), mirroring to `bench_out/perf.txt` and
+//! `bench_out/BENCH_perf.json`.
+
+fn main() {
+    safetypin_bench::figures::perf::run();
+}

@@ -3,7 +3,10 @@
 //! Everything prints as aligned monospace tables (the paper's tables) or
 //! `x y1 y2 …` series blocks (the paper's figures), and every run is also
 //! mirrored to `bench_out/<name>.txt` when the `BENCH_OUT` environment
-//! variable or default output directory is writable.
+//! variable or default output directory is writable. Figures that record
+//! [`metric`](Report::metric) values additionally emit a machine-readable
+//! `bench_out/BENCH_<name>.json` so the performance trajectory of the
+//! repository can accumulate across commits (see README "Performance").
 
 use std::fmt::Write as _;
 use std::fs;
@@ -12,7 +15,9 @@ use std::path::PathBuf;
 /// A rendered report that prints to stdout and mirrors to `bench_out/`.
 pub struct Report {
     name: &'static str,
+    title: String,
     body: String,
+    metrics: Vec<(String, f64)>,
 }
 
 impl Report {
@@ -20,7 +25,19 @@ impl Report {
     pub fn new(name: &'static str, title: &str) -> Self {
         let mut body = String::new();
         let _ = writeln!(body, "== {name}: {title}");
-        Self { name, body }
+        Self {
+            name,
+            title: title.to_string(),
+            body,
+            metrics: Vec::new(),
+        }
+    }
+
+    /// Records one machine-readable metric (a timing in seconds, an op
+    /// count, a byte count …) for the `BENCH_<name>.json` mirror. Keys
+    /// should be snake_case with a unit suffix (`_s`, `_ops`, `_bytes`).
+    pub fn metric(&mut self, key: &str, value: f64) {
+        self.metrics.push((key.to_string(), value));
     }
 
     /// Adds a blank-line-separated section heading.
@@ -62,14 +79,62 @@ impl Report {
         }
     }
 
-    /// Finishes: prints to stdout and writes `bench_out/<name>.txt`.
+    /// Finishes: prints to stdout, writes `bench_out/<name>.txt`, and —
+    /// when metrics were recorded — `bench_out/BENCH_<name>.json`.
     pub fn finish(self) {
         println!("{}", self.body);
         let dir = std::env::var("BENCH_OUT").unwrap_or_else(|_| "bench_out".to_string());
         let dir = PathBuf::from(dir);
         if fs::create_dir_all(&dir).is_ok() {
             let _ = fs::write(dir.join(format!("{}.txt", self.name)), &self.body);
+            if !self.metrics.is_empty() {
+                let _ = fs::write(
+                    dir.join(format!("BENCH_{}.json", self.name)),
+                    self.metrics_json(),
+                );
+            }
         }
+    }
+
+    /// Renders the recorded metrics as a small self-contained JSON
+    /// object (no external serializer: the workspace builds offline).
+    fn metrics_json(&self) -> String {
+        fn escape(s: &str) -> String {
+            let mut out = String::with_capacity(s.len());
+            for c in s.chars() {
+                match c {
+                    '"' => out.push_str("\\\""),
+                    '\\' => out.push_str("\\\\"),
+                    '\n' => out.push_str("\\n"),
+                    c if (c as u32) < 0x20 => {
+                        let _ = write!(out, "\\u{:04x}", c as u32);
+                    }
+                    c => out.push(c),
+                }
+            }
+            out
+        }
+        fn number(v: f64) -> String {
+            if !v.is_finite() {
+                "null".to_string()
+            } else if v == v.trunc() && v.abs() < 1e15 {
+                format!("{}", v as i64)
+            } else {
+                format!("{v}")
+            }
+        }
+        let mut out = String::new();
+        let _ = writeln!(out, "{{");
+        let _ = writeln!(out, "  \"name\": \"{}\",", escape(self.name));
+        let _ = writeln!(out, "  \"title\": \"{}\",", escape(&self.title));
+        let _ = writeln!(out, "  \"metrics\": {{");
+        for (i, (key, value)) in self.metrics.iter().enumerate() {
+            let comma = if i + 1 < self.metrics.len() { "," } else { "" };
+            let _ = writeln!(out, "    \"{}\": {}{}", escape(key), number(*value), comma);
+        }
+        let _ = writeln!(out, "  }}");
+        let _ = writeln!(out, "}}");
+        out
     }
 }
 

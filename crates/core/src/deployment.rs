@@ -149,6 +149,25 @@ impl Deployment {
         Ok(Self { params, datacenter })
     }
 
+    /// [`provision_with_transport`](Self::provision_with_transport) with
+    /// an explicit worker-thread cap for the per-HSM provisioning fan-out
+    /// (1 = serial; the provisioned fleet is byte-identical for any cap).
+    pub fn provision_with_workers<R: RngCore + CryptoRng>(
+        params: SystemParams,
+        transport: Box<dyn Transport>,
+        workers: usize,
+        rng: &mut R,
+    ) -> Result<Self, DeploymentError> {
+        let datacenter = Datacenter::provision_with_workers(
+            params.total(),
+            |id| params.hsm_config(id),
+            transport,
+            workers,
+            rng,
+        )?;
+        Ok(Self { params, datacenter })
+    }
+
     /// Creates a client that has downloaded the fleet's enrollment
     /// records.
     pub fn new_client(&self, username: &[u8]) -> Result<Client, DeploymentError> {

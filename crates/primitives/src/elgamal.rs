@@ -71,6 +71,24 @@ impl PublicKey {
         }
         Ok(Self(point))
     }
+
+    /// Wraps an already-validated group element; rejects the identity.
+    ///
+    /// This is the hot-path constructor for code that just computed the
+    /// point (keygen, shared-secret derivation): it skips the SEC1
+    /// encode/parse round-trip that [`from_sec1`](Self::from_sec1) pays.
+    pub fn from_point(point: ProjectivePoint) -> Result<Self> {
+        if point == ProjectivePoint::IDENTITY {
+            return Err(CryptoError::InvalidPoint);
+        }
+        Ok(Self(point))
+    }
+
+    /// The underlying group element (hot paths that multiply by this key
+    /// directly, avoiding a decode per use).
+    pub fn as_point(&self) -> &ProjectivePoint {
+        &self.0
+    }
 }
 
 impl Encode for PublicKey {
@@ -117,9 +135,10 @@ impl SecretKey {
         Ok(Self(scalar))
     }
 
-    /// Returns the matching public key `g^x`.
+    /// Returns the matching public key `g^x` (via the precomputed
+    /// fixed-base generator table).
     pub fn public_key(&self) -> PublicKey {
-        PublicKey(ProjectivePoint::GENERATOR * self.0)
+        PublicKey(p256::FixedBaseTable::generator().mul(&self.0))
     }
 }
 
@@ -207,7 +226,7 @@ pub fn encrypt<R: RngCore + CryptoRng>(
     rng: &mut R,
 ) -> Ciphertext {
     let r = NonZeroScalar::random(rng);
-    let eph = PublicKey(ProjectivePoint::GENERATOR * r.as_ref());
+    let eph = PublicKey(p256::FixedBaseTable::generator().mul(r.as_ref()));
     let shared = pk.0 * r.as_ref();
     let key = derive_dem_key(&shared, &eph, context);
     let dem = aead::seal(&key, context, msg, rng);

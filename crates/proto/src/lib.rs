@@ -61,4 +61,7 @@ pub use api::{codes, ErrorReply, HsmRequest, HsmResponse, ProviderRequest, Provi
 pub use envelope::{Envelope, Message, PROTO_VERSION};
 pub use error::ProtoError;
 pub use messages::{EnrollmentRecord, RecoveryPhases, RecoveryRequest, RecoveryResponse};
-pub use transport::{Direct, FaultPlan, FaultScope, Faulty, Serialized, Transport, TransportStats};
+pub use transport::{
+    Direct, FaultPlan, FaultScope, Faulty, Serialized, ServeBatchFn, ServeFn, Transport,
+    TransportStats,
+};

@@ -19,9 +19,10 @@
 //!
 //! # Adding a transport backend
 //!
-//! Implement [`Transport::exchange`] (and override
-//! [`Transport::exchange_batch`] if the medium can amortize framing
-//! across a fan-out). Encode with [`Envelope::seal`] +
+//! Implement [`Transport::exchange`] and [`Transport::exchange_batch`]
+//! (a batch is delivered to the fleet in one `serve` call, so the
+//! datacenter can fan independent HSMs out across threads regardless of
+//! the medium). Encode with [`Envelope::seal`] +
 //! [`Encode::to_bytes`]; decode with [`Envelope::from_bytes`] and
 //! reject unexpected message kinds with
 //! [`ProtoError::UnexpectedMessage`]. Report moved bytes through
@@ -39,6 +40,16 @@ use crate::error::ProtoError;
 /// The HSM-side handler a transport delivers requests to. The `u64` is
 /// the addressed HSM's datacenter index.
 pub type ServeFn<'a> = dyn FnMut(u64, HsmRequest) -> HsmResponse + 'a;
+
+/// The HSM-side handler a transport delivers a whole fan-out batch to,
+/// returning per-item responses in request order.
+///
+/// The fleet owner decides how the delivered batch is *served* — the
+/// datacenter fans independent per-HSM groups out across threads
+/// ([`std::thread::scope`] in `safetypin-provider`) — while the transport
+/// decides only how the envelope *travels*. Implementations must return
+/// exactly one response per request, in request order.
+pub type ServeBatchFn<'a> = dyn FnMut(Vec<(u64, HsmRequest)>) -> Vec<(u64, HsmResponse)> + 'a;
 
 /// Byte/message/time accounting for one transport.
 #[derive(Debug, Default, Clone, Copy, PartialEq)]
@@ -107,28 +118,15 @@ pub trait Transport {
     /// Carries a fan-out of per-HSM requests and returns per-HSM
     /// responses in request order.
     ///
-    /// The default forwards item by item; per-item transport faults
+    /// The whole batch is handed to `serve` in one call so the fleet can
+    /// process independent HSMs concurrently; per-item transport faults
     /// become [`ErrorReply`] responses so the rest of the batch still
     /// flows (a lost reply from one HSM must not sink a cluster round).
     fn exchange_batch(
         &mut self,
         batch: Vec<(u64, HsmRequest)>,
-        serve: &mut ServeFn<'_>,
-    ) -> Result<Vec<(u64, HsmResponse)>, ProtoError> {
-        let mut out = Vec::with_capacity(batch.len());
-        for (id, req) in batch {
-            let resp = match self.exchange(id, req, serve) {
-                Ok(resp) => resp,
-                Err(ProtoError::Dropped) => HsmResponse::Error(ErrorReply::dropped()),
-                Err(ProtoError::Corrupted) | Err(ProtoError::Wire(_)) => {
-                    HsmResponse::Error(ErrorReply::corrupted())
-                }
-                Err(e) => return Err(e),
-            };
-            out.push((id, resp));
-        }
-        Ok(out)
-    }
+        serve: &mut ServeBatchFn<'_>,
+    ) -> Result<Vec<(u64, HsmResponse)>, ProtoError>;
 
     /// Accumulated accounting since construction (or the last
     /// [`take_stats`](Transport::take_stats)).
@@ -175,16 +173,13 @@ impl Transport for Direct {
     fn exchange_batch(
         &mut self,
         batch: Vec<(u64, HsmRequest)>,
-        serve: &mut ServeFn<'_>,
+        serve: &mut ServeBatchFn<'_>,
     ) -> Result<Vec<(u64, HsmResponse)>, ProtoError> {
         // One (virtual) envelope per direction, like every batching
         // backend, so envelope counts stay comparable across transports.
         self.stats.envelopes += 2;
         self.stats.messages += 2 * batch.len() as u64;
-        Ok(batch
-            .into_iter()
-            .map(|(id, req)| (id, serve(id, req)))
-            .collect())
+        Ok(serve(batch))
     }
 
     fn stats(&self) -> TransportStats {
@@ -272,17 +267,14 @@ impl Transport for Serialized {
     fn exchange_batch(
         &mut self,
         batch: Vec<(u64, HsmRequest)>,
-        serve: &mut ServeFn<'_>,
+        serve: &mut ServeBatchFn<'_>,
     ) -> Result<Vec<(u64, HsmResponse)>, ProtoError> {
         self.stats.messages += 2 * batch.len() as u64;
         let delivered = match self.ship_request(Message::HsmBatchRequest(batch))? {
             Message::HsmBatchRequest(items) => items,
             _ => return Err(ProtoError::UnexpectedMessage("expected HSM batch request")),
         };
-        let served: Vec<(u64, HsmResponse)> = delivered
-            .into_iter()
-            .map(|(id, req)| (id, serve(id, req)))
-            .collect();
+        let served = serve(delivered);
         match self.ship_response(Message::HsmBatchResponse(served))? {
             Message::HsmBatchResponse(items) => Ok(items),
             _ => Err(ProtoError::UnexpectedMessage("expected HSM batch response")),
@@ -490,7 +482,7 @@ impl Transport for Faulty {
     fn exchange_batch(
         &mut self,
         batch: Vec<(u64, HsmRequest)>,
-        serve: &mut ServeFn<'_>,
+        serve: &mut ServeBatchFn<'_>,
     ) -> Result<Vec<(u64, HsmResponse)>, ProtoError> {
         // Batch faults hit the *response* leg: the request still reaches
         // the HSM (which may puncture its key before replying — the §8

@@ -1,0 +1,239 @@
+//! Parallel per-HSM fan-out for the datacenter's batched rounds.
+//!
+//! Every HSM in the fleet is an independent device with its own state and
+//! its own outsourced block store, so a batched round (epoch audit /
+//! accept, cluster recovery, enrollment fetch, GC) and fleet provisioning
+//! are embarrassingly parallel across devices. This module fans that work
+//! out with [`std::thread::scope`] — no extra dependencies — while
+//! keeping two guarantees the transport tests pin:
+//!
+//! * **Deterministic results.** Each device's work runs under its own
+//!   RNG stream, seeded *sequentially* from the caller's RNG in a fixed
+//!   order (ascending HSM id). The outcome is therefore a pure function
+//!   of the caller's RNG state — independent of thread count and
+//!   scheduling, and byte-identical whether the batch arrived over the
+//!   `Direct` or the `Serialized` transport.
+//! * **Request order.** Responses are reassembled into request order, and
+//!   several requests addressed to one HSM are served in their original
+//!   relative order by the same worker.
+
+use rand::rngs::StdRng;
+use rand::{CryptoRng, RngCore, SeedableRng};
+use safetypin_hsm::{Hsm, HsmConfig, HsmError};
+use safetypin_proto::{codes, ErrorReply, HsmRequest, HsmResponse};
+use safetypin_seckv::MemStore;
+
+/// Worker-thread cap for `jobs` independent work items.
+pub(crate) fn worker_count(jobs: usize) -> usize {
+    std::thread::available_parallelism()
+        .map(|n| n.get())
+        .unwrap_or(1)
+        .clamp(1, jobs.max(1))
+}
+
+/// Builds the serve side of a batched transport exchange: groups the
+/// batch by addressed HSM, fans the groups out across worker threads,
+/// and reassembles responses in request order. Unknown ids become typed
+/// error replies — on the wire there is no out-of-bounds index, only a
+/// device that does not answer.
+pub(crate) fn serve_fleet_batch<'a, R: RngCore + CryptoRng>(
+    hsms: &'a mut [Hsm],
+    stores: &'a mut [MemStore],
+    rng: &'a mut R,
+) -> impl FnMut(Vec<(u64, HsmRequest)>) -> Vec<(u64, HsmResponse)> + 'a {
+    move |batch| serve_batch(hsms, stores, rng, batch)
+}
+
+struct Job<'b> {
+    id: u64,
+    hsm: &'b mut Hsm,
+    store: &'b mut MemStore,
+    seed: [u8; 32],
+    items: Vec<(usize, HsmRequest)>,
+}
+
+fn run_job(job: &mut Job<'_>, out: &mut Vec<(usize, u64, HsmResponse)>) {
+    let mut rng = StdRng::from_seed(job.seed);
+    for (pos, req) in job.items.drain(..) {
+        let resp = job.hsm.handle(req, job.store, &mut rng);
+        out.push((pos, job.id, resp));
+    }
+}
+
+fn serve_batch<R: RngCore + CryptoRng>(
+    hsms: &mut [Hsm],
+    stores: &mut [MemStore],
+    rng: &mut R,
+    batch: Vec<(u64, HsmRequest)>,
+) -> Vec<(u64, HsmResponse)> {
+    let n = batch.len();
+    let mut results: Vec<Option<(u64, HsmResponse)>> = Vec::with_capacity(n);
+    results.resize_with(n, || None);
+
+    // Group per addressed HSM, preserving each HSM's request order.
+    let mut groups: std::collections::BTreeMap<u64, Vec<(usize, HsmRequest)>> =
+        std::collections::BTreeMap::new();
+    for (pos, (id, req)) in batch.into_iter().enumerate() {
+        if (id as usize) < hsms.len() {
+            groups.entry(id).or_default().push((pos, req));
+        } else {
+            results[pos] = Some((
+                id,
+                HsmResponse::Error(ErrorReply::new(
+                    codes::UNKNOWN_HSM,
+                    format!("no HSM with id {id}"),
+                )),
+            ));
+        }
+    }
+
+    // Seeds drawn sequentially in ascending id order: the only RNG
+    // consumption the caller observes, identical for any worker count.
+    let mut devices: Vec<Option<(&mut Hsm, &mut MemStore)>> =
+        hsms.iter_mut().zip(stores.iter_mut()).map(Some).collect();
+    let mut jobs: Vec<Job<'_>> = Vec::with_capacity(groups.len());
+    for (id, items) in groups {
+        let mut seed = [0u8; 32];
+        rng.fill_bytes(&mut seed);
+        let (hsm, store) = devices[id as usize].take().expect("one group per id");
+        jobs.push(Job {
+            id,
+            hsm,
+            store,
+            seed,
+            items,
+        });
+    }
+
+    let workers = worker_count(jobs.len());
+    let mut served: Vec<(usize, u64, HsmResponse)> = Vec::with_capacity(n);
+    if workers <= 1 || jobs.len() <= 1 {
+        for job in &mut jobs {
+            run_job(job, &mut served);
+        }
+    } else {
+        let chunk = jobs.len().div_ceil(workers);
+        let collected: Vec<Vec<(usize, u64, HsmResponse)>> = std::thread::scope(|s| {
+            let handles: Vec<_> = jobs
+                .chunks_mut(chunk)
+                .map(|chunk| {
+                    s.spawn(move || {
+                        let mut out = Vec::new();
+                        for job in chunk {
+                            run_job(job, &mut out);
+                        }
+                        out
+                    })
+                })
+                .collect();
+            handles
+                .into_iter()
+                .map(|h| h.join().expect("HSM fan-out worker panicked"))
+                .collect()
+        });
+        for part in collected {
+            served.extend(part);
+        }
+    }
+    for (pos, id, resp) in served {
+        results[pos] = Some((id, resp));
+    }
+    results
+        .into_iter()
+        .map(|r| r.expect("every batch item served"))
+        .collect()
+}
+
+/// Provisions `configs.len()` HSMs (key generation plus secret-array
+/// setup — the dominant fleet-bringup cost) across up to `workers`
+/// threads, returning devices in id order. Seeds are drawn sequentially
+/// from `rng`, so the fleet is a deterministic function of the caller's
+/// RNG state regardless of the worker count.
+pub(crate) fn provision_fleet<R: RngCore + CryptoRng>(
+    configs: Vec<HsmConfig>,
+    workers: usize,
+    rng: &mut R,
+) -> Result<Vec<(Hsm, MemStore)>, HsmError> {
+    let mut jobs: Vec<(HsmConfig, [u8; 32])> = configs
+        .into_iter()
+        .map(|config| {
+            let mut seed = [0u8; 32];
+            rng.fill_bytes(&mut seed);
+            (config, seed)
+        })
+        .collect();
+    let workers = workers.clamp(1, worker_count(jobs.len()));
+
+    fn provision_one(config: HsmConfig, seed: [u8; 32]) -> Result<(Hsm, MemStore), HsmError> {
+        let mut rng = StdRng::from_seed(seed);
+        let mut store = MemStore::new();
+        let hsm = Hsm::provision(config, &mut store, &mut rng)?;
+        Ok((hsm, store))
+    }
+
+    let provisioned: Vec<Result<(Hsm, MemStore), HsmError>> = if workers <= 1 || jobs.len() <= 1 {
+        jobs.drain(..)
+            .map(|(config, seed)| provision_one(config, seed))
+            .collect()
+    } else {
+        let chunk = jobs.len().div_ceil(workers);
+        std::thread::scope(|s| {
+            let handles: Vec<_> = jobs
+                .chunks(chunk)
+                .map(|chunk| {
+                    s.spawn(move || {
+                        chunk
+                            .iter()
+                            .map(|&(config, seed)| provision_one(config, seed))
+                            .collect::<Vec<_>>()
+                    })
+                })
+                .collect();
+            handles
+                .into_iter()
+                .flat_map(|h| h.join().expect("provisioning worker panicked"))
+                .collect()
+        })
+    };
+    provisioned.into_iter().collect()
+}
+
+/// Runs each HSM's fleet-key registration (N proof-of-possession checks
+/// per device — the quadratic half of bringup) across up to `workers`
+/// threads. Registration consumes no randomness, so parallel execution
+/// is trivially deterministic.
+pub(crate) fn register_fleet_parallel(
+    hsms: &mut [Hsm],
+    fleet: &[(
+        safetypin_multisig::VerifyKey,
+        safetypin_multisig::ProofOfPossession,
+    )],
+    workers: usize,
+) -> Result<(), HsmError> {
+    let workers = workers.clamp(1, worker_count(hsms.len()));
+    if workers <= 1 || hsms.len() <= 1 {
+        for hsm in hsms.iter_mut() {
+            hsm.register_fleet(fleet)?;
+        }
+        return Ok(());
+    }
+    let chunk = hsms.len().div_ceil(workers);
+    let outcomes: Vec<Result<(), HsmError>> = std::thread::scope(|s| {
+        let handles: Vec<_> = hsms
+            .chunks_mut(chunk)
+            .map(|chunk| {
+                s.spawn(move || {
+                    for hsm in chunk {
+                        hsm.register_fleet(fleet)?;
+                    }
+                    Ok(())
+                })
+            })
+            .collect();
+        handles
+            .into_iter()
+            .map(|h| h.join().expect("registration worker panicked"))
+            .collect()
+    });
+    outcomes.into_iter().collect()
+}

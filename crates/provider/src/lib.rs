@@ -27,6 +27,8 @@
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
+mod fanout;
+
 use rand::{CryptoRng, RngCore};
 use safetypin_authlog::distributed::{EpochUpdate, UpdateMessage};
 use safetypin_authlog::log::{Log, LogEntry, LogError};
@@ -128,10 +130,13 @@ pub struct Datacenter {
     transport: Box<dyn Transport>,
 }
 
-/// Builds the serve side of a transport exchange: looks up the addressed
-/// HSM and hands the request to [`Hsm::handle`]. Unknown ids become
-/// typed error replies instead of panics — on the wire there is no such
-/// thing as an out-of-bounds index, only a device that does not answer.
+/// Builds the serve side of a single-message transport exchange: looks
+/// up the addressed HSM and hands the request to [`Hsm::handle`].
+/// Unknown ids become typed error replies instead of panics — on the
+/// wire there is no such thing as an out-of-bounds index, only a device
+/// that does not answer. Batched rounds go through
+/// [`fanout::serve_fleet_batch`], which fans independent HSMs out across
+/// threads.
 fn serve_fleet<'a, R: RngCore + CryptoRng>(
     hsms: &'a mut [Hsm],
     stores: &'a mut [MemStore],
@@ -164,20 +169,36 @@ impl Datacenter {
     }
 
     /// [`provision`](Self::provision) with an explicit transport backend.
+    /// Provisioning fans out across all available cores; see
+    /// [`provision_with_workers`](Self::provision_with_workers) to cap
+    /// the worker count (1 = the serial baseline).
     pub fn provision_with_transport<R: RngCore + CryptoRng>(
         total: u64,
         config_for: impl Fn(u64) -> HsmConfig,
         transport: Box<dyn Transport>,
         rng: &mut R,
     ) -> Result<Self, ProviderError> {
-        let mut hsms = Vec::with_capacity(total as usize);
-        let mut stores = Vec::with_capacity(total as usize);
-        for id in 0..total {
-            let mut store = MemStore::new();
-            let hsm = Hsm::provision(config_for(id), &mut store, rng)?;
-            hsms.push(hsm);
-            stores.push(store);
-        }
+        Self::provision_with_workers(total, config_for, transport, usize::MAX, rng)
+    }
+
+    /// [`provision_with_transport`](Self::provision_with_transport) with
+    /// an explicit worker-thread cap for the per-HSM key generation and
+    /// fleet-key registration fan-outs. The provisioned fleet is a
+    /// deterministic function of `rng` regardless of `workers` (each HSM
+    /// runs under its own sequentially-derived seed), so `workers: 1`
+    /// serves as a byte-identical serial baseline for benchmarks.
+    pub fn provision_with_workers<R: RngCore + CryptoRng>(
+        total: u64,
+        config_for: impl Fn(u64) -> HsmConfig,
+        transport: Box<dyn Transport>,
+        workers: usize,
+        rng: &mut R,
+    ) -> Result<Self, ProviderError> {
+        let configs: Vec<HsmConfig> = (0..total).map(config_for).collect();
+        let (mut hsms, stores): (Vec<Hsm>, Vec<MemStore>) =
+            fanout::provision_fleet(configs, workers, rng)?
+                .into_iter()
+                .unzip();
         let fleet: Vec<_> = hsms
             .iter()
             .map(|h| {
@@ -185,9 +206,7 @@ impl Datacenter {
                 (e.sig_vk, e.sig_pop)
             })
             .collect();
-        for h in hsms.iter_mut() {
-            h.register_fleet(&fleet)?;
-        }
+        fanout::register_fleet_parallel(&mut hsms, &fleet, workers)?;
         let epoch_chunks = hsms.len();
         Ok(Self {
             hsms,
@@ -252,7 +271,10 @@ impl Datacenter {
             transport,
             ..
         } = self;
-        let replies = transport.exchange_batch(batch, &mut serve_fleet(hsms, stores, &mut rng))?;
+        let replies = transport.exchange_batch(
+            batch,
+            &mut fanout::serve_fleet_batch(hsms, stores, &mut rng),
+        )?;
         Ok(replies
             .into_iter()
             .filter_map(|(_, resp)| match resp {
@@ -373,8 +395,10 @@ impl Datacenter {
                 transport,
                 ..
             } = &mut *self;
-            let replies =
-                transport.exchange_batch(audit_batch, &mut serve_fleet(hsms, stores, &mut rng))?;
+            let replies = transport.exchange_batch(
+                audit_batch,
+                &mut fanout::serve_fleet_batch(hsms, stores, &mut rng),
+            )?;
             for (id, resp) in replies {
                 match resp {
                     HsmResponse::Signed(sig) => {
@@ -415,8 +439,10 @@ impl Datacenter {
                 transport,
                 ..
             } = &mut *self;
-            let replies =
-                transport.exchange_batch(accept_batch, &mut serve_fleet(hsms, stores, &mut rng))?;
+            let replies = transport.exchange_batch(
+                accept_batch,
+                &mut fanout::serve_fleet_batch(hsms, stores, &mut rng),
+            )?;
             for (_, resp) in replies {
                 match resp {
                     HsmResponse::Ack => {}
@@ -521,7 +547,7 @@ impl Datacenter {
                 transport,
                 ..
             } = &mut *self;
-            transport.exchange_batch(batch, &mut serve_fleet(hsms, stores, rng))?
+            transport.exchange_batch(batch, &mut fanout::serve_fleet_batch(hsms, stores, rng))?
         };
         let mut out = Vec::with_capacity(replies.len());
         for (id, resp) in replies {
@@ -667,8 +693,10 @@ impl Datacenter {
                 transport,
                 ..
             } = &mut *self;
-            let replies =
-                transport.exchange_batch(batch, &mut serve_fleet(hsms, stores, &mut rng))?;
+            let replies = transport.exchange_batch(
+                batch,
+                &mut fanout::serve_fleet_batch(hsms, stores, &mut rng),
+            )?;
             for (_, resp) in replies {
                 match resp {
                     HsmResponse::Ack => {}

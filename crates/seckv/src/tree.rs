@@ -33,7 +33,9 @@ const ZERO_KEY: [u8; KEY_LEN] = [0u8; KEY_LEN];
 ///
 /// The simulation layer converts these into SoloKey-calibrated time
 /// (AES blocks at Table 7 rates); the store's own [`crate::StoreStats`]
-/// covers the I/O half.
+/// covers the I/O half. The block counters make provider round-trips
+/// observable, so batching wins (shared path prefixes re-keyed once
+/// instead of once per delete) show up directly in the meters.
 #[derive(Debug, Default, Clone, Copy, PartialEq, Eq)]
 pub struct Metrics {
     /// AEAD seal operations performed.
@@ -44,6 +46,10 @@ pub struct Metrics {
     pub bytes_encrypted: u64,
     /// Ciphertext bytes opened.
     pub bytes_decrypted: u64,
+    /// Blocks fetched from the provider store.
+    pub blocks_fetched: u64,
+    /// Blocks written to the provider store.
+    pub blocks_written: u64,
 }
 
 impl Metrics {
@@ -83,10 +89,10 @@ pub struct SecureArray {
     metrics: Metrics,
 }
 
-fn aad_for(array_id: &[u8; 16], addr: u64) -> Vec<u8> {
-    let mut aad = Vec::with_capacity(16 + 8);
-    aad.extend_from_slice(array_id);
-    aad.extend_from_slice(&addr.to_be_bytes());
+fn aad_for(array_id: &[u8; 16], addr: u64) -> [u8; 24] {
+    let mut aad = [0u8; 24];
+    aad[..16].copy_from_slice(array_id);
+    aad[16..].copy_from_slice(&addr.to_be_bytes());
     aad
 }
 
@@ -137,6 +143,7 @@ impl SecureArray {
             let block = data.get(i as usize).unwrap_or(&empty);
             let ct = aead::seal(&key, &aad_for(&array_id, addr), block, rng);
             metrics.record_enc(block.len());
+            metrics.blocks_written += 1;
             store.put(addr, ct.to_bytes());
             level_keys.push(key);
         }
@@ -154,6 +161,7 @@ impl SecureArray {
                 pt.extend_from_slice(level_keys[2 * j + 1].as_bytes());
                 let ct = aead::seal(&key, &aad_for(&array_id, addr), &pt, rng);
                 metrics.record_enc(pt.len());
+                metrics.blocks_written += 1;
                 store.put(addr, ct.to_bytes());
                 parent_keys.push(key);
             }
@@ -224,6 +232,7 @@ impl SecureArray {
 
     fn fetch(&mut self, store: &mut impl BlockStore, addr: u64) -> Result<AeadCiphertext> {
         let raw = store.get(addr).ok_or(StorageError::MissingBlock(addr))?;
+        self.metrics.blocks_fetched += 1;
         AeadCiphertext::from_bytes(&raw).map_err(|_| StorageError::AuthFailure(addr))
     }
 
@@ -272,58 +281,113 @@ impl SecureArray {
         i: u64,
         rng: &mut R,
     ) -> Result<()> {
-        self.check_index(i)?;
+        self.delete_batch(store, &[i], rng)
+    }
+
+    /// Securely deletes many items in one pass, sharing root-to-leaf path
+    /// prefixes: every interior node on the union of the target paths is
+    /// decrypted once and re-keyed once, instead of once per target as a
+    /// sequence of [`delete`](Self::delete) calls would.
+    ///
+    /// Semantically equivalent to deleting each index in turn — same
+    /// subsequent read/delete outcomes, same root-key-freshness guarantee
+    /// (the root is re-keyed whenever `indices` is nonempty) — but a batch
+    /// of `k` targets in a height-`h` tree costs `|union of paths|` AEAD
+    /// opens/seals and block round-trips instead of up to `k·h` of each.
+    /// Duplicate indices and already-deleted leaves are permitted; an empty
+    /// batch is a no-op. Any out-of-range index fails the whole call before
+    /// the tree is touched.
+    ///
+    /// Trusted-memory cost is one key pair per union-of-paths node —
+    /// `O(k·h)` for a `k`-target batch, which is what a puncture issues.
+    /// Mass deletion (key rotation retires half of all slots) should be
+    /// issued as a sequence of bounded-size batches: each chunk still
+    /// amortizes its shared prefixes while keeping HSM memory constant,
+    /// preserving the constant-trusted-state model of Appendix C.
+    pub fn delete_batch<R: RngCore + CryptoRng>(
+        &mut self,
+        store: &mut impl BlockStore,
+        indices: &[u64],
+        rng: &mut R,
+    ) -> Result<()> {
+        for &i in indices {
+            self.check_index(i)?;
+        }
+        if indices.is_empty() {
+            return Ok(());
+        }
         if self.height == 0 {
             // Single-item array: "deleting" means forgetting the root key.
             self.root_key = AeadKey::from_bytes(ZERO_KEY);
             return Ok(());
         }
-        let leaf_addr = (1u64 << self.height) + i;
 
-        // Descend: collect each interior node's (addr, children keys).
-        let mut path: Vec<(u64, AeadKey, AeadKey)> = Vec::with_capacity(self.height as usize);
-        let mut key = self.root_key.clone();
-        for level in (1..=self.height).rev() {
-            let addr = leaf_addr >> level;
-            let ct = self.fetch(store, addr)?;
-            let pt = self.open_node(&key, addr, &ct)?;
-            let (left, right) = split_pair(&pt).map_err(|_| StorageError::AuthFailure(addr))?;
-            let bit = (i >> (level - 1)) & 1;
-            key = if bit == 0 {
-                left.clone()
-            } else {
-                right.clone()
-            };
-            path.push((addr, left, right));
-            // A zero key partway down means the leaf is already gone; we
-            // still re-key the prefix of the path we traversed.
-            if key.as_bytes() == &ZERO_KEY {
-                break;
+        // The union of interior-node addresses on the target paths. BTree
+        // ordering puts parents before children (addr(parent) = addr/2),
+        // so one ascending sweep is a level-order descent.
+        let mut needed: std::collections::BTreeSet<u64> = std::collections::BTreeSet::new();
+        for &i in indices {
+            let leaf_addr = (1u64 << self.height) + i;
+            for level in 1..=self.height {
+                needed.insert(leaf_addr >> level);
             }
         }
 
-        // Ascend: replace the child key (zero at the leaf level), re-encrypt
-        // each node under a fresh key.
-        let mut child_key = AeadKey::from_bytes(ZERO_KEY);
-        for (depth_from_root, (addr, left, right)) in path.iter().enumerate().rev() {
-            // The level of this node above the leaves.
-            let level = self.height - depth_from_root as u32;
-            let bit = (i >> (level - 1)) & 1;
-            let (new_left, new_right) = if bit == 0 {
-                (child_key.clone(), right.clone())
+        // Descend: decrypt each needed node once. Every needed node is an
+        // *interior* node and interior keys are always fresh random values
+        // (deletion zeroes leaf-key slots only and re-keys interior nodes),
+        // so each node's key is available from its already-decrypted
+        // parent — parents precede children in the ascending sweep.
+        let mut nodes: std::collections::BTreeMap<u64, (AeadKey, AeadKey)> =
+            std::collections::BTreeMap::new();
+        for &addr in &needed {
+            let key = if addr == 1 {
+                self.root_key.clone()
             } else {
-                (left.clone(), child_key.clone())
+                let (left, right) = nodes.get(&(addr >> 1)).expect("parent decrypted first");
+                let key = if addr & 1 == 0 { left } else { right };
+                key.clone()
             };
-            let fresh = AeadKey::random(rng);
-            let mut pt = Vec::with_capacity(2 * KEY_LEN);
-            pt.extend_from_slice(new_left.as_bytes());
-            pt.extend_from_slice(new_right.as_bytes());
-            let ct = aead::seal(&fresh, &aad_for(&self.array_id, *addr), &pt, rng);
-            self.metrics.record_enc(pt.len());
-            store.put(*addr, ct.to_bytes());
-            child_key = fresh;
+            let ct = self.fetch(store, addr)?;
+            let pt = self.open_node(&key, addr, &ct)?;
+            let pair = split_pair(&pt).map_err(|_| StorageError::AuthFailure(addr))?;
+            nodes.insert(addr, pair);
         }
-        self.root_key = child_key;
+
+        // Zero the leaf keys of every target (re-zeroing an
+        // already-deleted leaf's slot is a no-op by construction).
+
+        for &i in indices {
+            let leaf_addr = (1u64 << self.height) + i;
+            let (left, right) = nodes
+                .get_mut(&(leaf_addr >> 1))
+                .expect("every target's parent was decrypted");
+            let slot = if leaf_addr & 1 == 0 { left } else { right };
+            *slot = AeadKey::from_bytes(ZERO_KEY);
+        }
+
+        // Ascend (descending address order = children before parents):
+        // re-encrypt every decrypted node under a fresh key and install
+        // that key in its parent; the root's fresh key becomes HSM state.
+        let addrs: Vec<u64> = nodes.keys().rev().copied().collect();
+        for addr in addrs {
+            let fresh = AeadKey::random(rng);
+            let (left, right) = nodes.get(&addr).expect("decrypted node");
+            let mut pt = Vec::with_capacity(2 * KEY_LEN);
+            pt.extend_from_slice(left.as_bytes());
+            pt.extend_from_slice(right.as_bytes());
+            let ct = aead::seal(&fresh, &aad_for(&self.array_id, addr), &pt, rng);
+            self.metrics.record_enc(pt.len());
+            self.metrics.blocks_written += 1;
+            store.put(addr, ct.to_bytes());
+            if addr == 1 {
+                self.root_key = fresh;
+            } else {
+                let (left, right) = nodes.get_mut(&(addr >> 1)).expect("parent decrypted");
+                let slot = if addr & 1 == 0 { left } else { right };
+                *slot = fresh;
+            }
+        }
         Ok(())
     }
 }
@@ -581,6 +645,163 @@ mod tests {
         // 64 leaves + 63 interior nodes.
         assert_eq!(arr.metrics().aead_enc_ops, 127);
         assert_eq!(store.stats().writes, 127);
+    }
+
+    #[test]
+    fn delete_batch_matches_sequential_semantics() {
+        let mut rng = rng();
+        for n in [1usize, 2, 5, 16, 33] {
+            let data = blocks(n);
+            let mut store_b = MemStore::new();
+            let mut batched = SecureArray::setup(&mut store_b, &data, &mut rng).unwrap();
+            let mut store_s = MemStore::new();
+            let mut seq = SecureArray::setup(&mut store_s, &data, &mut rng).unwrap();
+            let targets: Vec<u64> = (0..n as u64).step_by(3).collect();
+            batched
+                .delete_batch(&mut store_b, &targets, &mut rng)
+                .unwrap();
+            for &i in &targets {
+                seq.delete(&mut store_s, i, &mut rng).unwrap();
+            }
+            for i in 0..n as u64 {
+                let b = batched.read(&mut store_b, i);
+                let s = seq.read(&mut store_s, i);
+                assert_eq!(b.is_ok(), s.is_ok(), "n={n} i={i}");
+                if targets.contains(&i) {
+                    assert_eq!(b.unwrap_err(), StorageError::Deleted(i));
+                } else {
+                    assert_eq!(b.unwrap(), data[i as usize]);
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn delete_batch_shares_path_prefixes() {
+        // A batch of k targets must touch each union-of-paths node once;
+        // k sequential deletes re-key the shared upper levels k times.
+        let mut rng = rng();
+        let data = blocks(1024); // height 10
+        let targets = [3u64, 5, 700, 701];
+
+        let mut store_s = MemStore::new();
+        let mut seq = SecureArray::setup(&mut store_s, &data, &mut rng).unwrap();
+        seq.reset_metrics();
+        for &i in &targets {
+            seq.delete(&mut store_s, i, &mut rng).unwrap();
+        }
+        let m_seq = seq.metrics();
+
+        let mut store_b = MemStore::new();
+        let mut batched = SecureArray::setup(&mut store_b, &data, &mut rng).unwrap();
+        batched.reset_metrics();
+        store_b.reset_stats();
+        batched
+            .delete_batch(&mut store_b, &targets, &mut rng)
+            .unwrap();
+        let m_bat = batched.metrics();
+
+        // Expected union: every interior node on some target path.
+        let mut union = std::collections::BTreeSet::new();
+        for &i in &targets {
+            let leaf = (1u64 << 10) + i;
+            for level in 1..=10 {
+                union.insert(leaf >> level);
+            }
+        }
+        let nodes = union.len() as u64;
+        assert_eq!(m_bat.aead_dec_ops, nodes);
+        assert_eq!(m_bat.aead_enc_ops, nodes);
+        assert_eq!(m_bat.blocks_fetched, nodes);
+        assert_eq!(m_bat.blocks_written, nodes);
+        assert_eq!(store_b.stats().reads, nodes);
+        assert_eq!(store_b.stats().writes, nodes);
+
+        // Sequential pays the full per-target path each time (no target
+        // here shares a fully-deleted subtree, so no early stops).
+        assert_eq!(m_seq.aead_dec_ops, 4 * 10);
+        assert_eq!(m_seq.aead_enc_ops, 4 * 10);
+        assert!(
+            m_bat.aead_dec_ops + m_bat.aead_enc_ops < m_seq.aead_dec_ops + m_seq.aead_enc_ops,
+            "batching must beat sequential: {} vs {}",
+            m_bat.aead_dec_ops + m_bat.aead_enc_ops,
+            m_seq.aead_dec_ops + m_seq.aead_enc_ops
+        );
+    }
+
+    #[test]
+    fn delete_batch_handles_duplicates_and_already_deleted() {
+        let mut rng = rng();
+        let mut store = MemStore::new();
+        let data = blocks(16);
+        let mut arr = SecureArray::setup(&mut store, &data, &mut rng).unwrap();
+        arr.delete(&mut store, 2, &mut rng).unwrap();
+        let before = arr.root_key_bytes();
+        arr.delete_batch(&mut store, &[2, 7, 7, 2, 3], &mut rng)
+            .unwrap();
+        assert_ne!(before, arr.root_key_bytes(), "root must be re-keyed");
+        for i in [2u64, 3, 7] {
+            assert_eq!(
+                arr.read(&mut store, i).unwrap_err(),
+                StorageError::Deleted(i)
+            );
+        }
+        for i in [0u64, 1, 4, 5, 6, 8, 15] {
+            assert_eq!(arr.read(&mut store, i).unwrap(), data[i as usize]);
+        }
+    }
+
+    #[test]
+    fn delete_batch_empty_is_noop() {
+        let mut rng = rng();
+        let mut store = MemStore::new();
+        let mut arr = SecureArray::setup(&mut store, &blocks(8), &mut rng).unwrap();
+        let before = arr.root_key_bytes();
+        arr.reset_metrics();
+        arr.delete_batch(&mut store, &[], &mut rng).unwrap();
+        assert_eq!(before, arr.root_key_bytes());
+        assert_eq!(arr.metrics(), Metrics::default());
+    }
+
+    #[test]
+    fn delete_batch_out_of_range_rejected_before_mutation() {
+        let mut rng = rng();
+        let mut store = MemStore::new();
+        let mut arr = SecureArray::setup(&mut store, &blocks(8), &mut rng).unwrap();
+        let before = arr.root_key_bytes();
+        assert!(matches!(
+            arr.delete_batch(&mut store, &[1, 99], &mut rng),
+            Err(StorageError::IndexOutOfRange { .. })
+        ));
+        assert_eq!(before, arr.root_key_bytes());
+        assert!(arr.read(&mut store, 1).is_ok());
+    }
+
+    #[test]
+    fn delete_batch_height_zero() {
+        let mut rng = rng();
+        let mut store = MemStore::new();
+        let mut arr = SecureArray::setup(&mut store, &blocks(1), &mut rng).unwrap();
+        arr.delete_batch(&mut store, &[0, 0], &mut rng).unwrap();
+        assert!(matches!(
+            arr.read(&mut store, 0),
+            Err(StorageError::Deleted(0))
+        ));
+    }
+
+    #[test]
+    fn delete_batch_all_leaves() {
+        let mut rng = rng();
+        let mut store = MemStore::new();
+        let mut arr = SecureArray::setup(&mut store, &blocks(32), &mut rng).unwrap();
+        arr.reset_metrics();
+        let all: Vec<u64> = (0..32).collect();
+        arr.delete_batch(&mut store, &all, &mut rng).unwrap();
+        for i in 0..32u64 {
+            assert!(arr.read(&mut store, i).is_err());
+        }
+        // Whole interior re-keyed exactly once: 31 nodes for 32 leaves.
+        assert_eq!(arr.metrics().aead_enc_ops, 31);
     }
 
     #[test]

@@ -197,6 +197,84 @@ proptest! {
         }
     }
 
+    // `delete_batch` must be semantically byte-equivalent to sequential
+    // `delete`s: same subsequent read/delete outcomes on every index
+    // (including overlapping paths, duplicate targets, and already-deleted
+    // leaves) and the same root-key-freshness guarantee. Covers the
+    // height-0 single-leaf array via `size in 1..`.
+    #[test]
+    fn seckv_delete_batch_equivalent_to_sequential(
+        size in 1usize..48,
+        predeleted in proptest::collection::vec(any::<u8>(), 0..6),
+        batch in proptest::collection::vec(any::<u8>(), 0..12),
+        followup in any::<u8>(),
+        seed in any::<u64>(),
+    ) {
+        let data: Vec<Vec<u8>> = (0..size).map(|i| vec![i as u8; 4]).collect();
+        let mut rng = StdRng::seed_from_u64(seed);
+        let mut store_b = MemStore::new();
+        let mut arr_b = SecureArray::setup(&mut store_b, &data, &mut rng).unwrap();
+        let mut store_s = MemStore::new();
+        let mut arr_s = SecureArray::setup(&mut store_s, &data, &mut rng).unwrap();
+
+        // Pre-delete some leaves on both sides so the batch also crosses
+        // already-deleted paths (early-terminating descents).
+        for raw in predeleted {
+            let i = (raw as usize % size) as u64;
+            arr_b.delete(&mut store_b, i, &mut rng).unwrap();
+            arr_s.delete(&mut store_s, i, &mut rng).unwrap();
+        }
+
+        let batch: Vec<u64> = batch.into_iter().map(|raw| (raw as usize % size) as u64).collect();
+        let root_before = arr_b.root_key_bytes();
+        arr_b.delete_batch(&mut store_b, &batch, &mut rng).unwrap();
+        for &i in &batch {
+            arr_s.delete(&mut store_s, i, &mut rng).unwrap();
+        }
+        if !batch.is_empty() {
+            if arr_b.height() == 0 {
+                // Single-leaf array: "deletion" is forgetting the root key.
+                prop_assert_eq!(arr_b.root_key_bytes(), [0u8; 16]);
+            } else {
+                prop_assert_ne!(
+                    root_before,
+                    arr_b.root_key_bytes(),
+                    "nonempty batch must re-key the root"
+                );
+            }
+        }
+
+        // Same read outcome on every index.
+        for i in 0..size as u64 {
+            let b = arr_b.read(&mut store_b, i);
+            let s = arr_s.read(&mut store_s, i);
+            match (b, s) {
+                (Ok(vb), Ok(vs)) => {
+                    prop_assert_eq!(&vb, &vs);
+                    prop_assert_eq!(vb, data[i as usize].clone());
+                }
+                (Err(StorageError::Deleted(db)), Err(StorageError::Deleted(ds))) => {
+                    prop_assert_eq!(db, i);
+                    prop_assert_eq!(ds, i);
+                }
+                (b, s) => prop_assert!(false, "diverged at {i}: batch={b:?} seq={s:?}"),
+            }
+        }
+
+        // Same subsequent-delete outcome: deleting one more index leaves
+        // both trees fully readable/unreadable in lockstep.
+        let extra = (followup as usize % size) as u64;
+        arr_b.delete(&mut store_b, extra, &mut rng).unwrap();
+        arr_s.delete(&mut store_s, extra, &mut rng).unwrap();
+        for i in 0..size as u64 {
+            prop_assert_eq!(
+                arr_b.read(&mut store_b, i).is_ok(),
+                arr_s.read(&mut store_s, i).is_ok(),
+                "post-batch delete diverged at {}", i
+            );
+        }
+    }
+
     // ---------------- Hashed ElGamal ---------------------------------------
 
     #[test]

@@ -261,6 +261,84 @@ impl AffinePoint {
     }
 }
 
+/// A precomputed table for repeated multiplications by one fixed base —
+/// the classic `2^w`-windowed fixed-base method: the scalar is split into
+/// `⌈256/w⌉` windows and each window's contribution `d·2^{wi}·B` is read
+/// from a precomputed row, so a multiplication costs `⌈256/w⌉` point
+/// additions instead of a full double-and-add ladder.
+///
+/// On this mock backend point addition and scalar multiplication are both
+/// single field operations, so the table is about API shape rather than
+/// raw speed; the windowed arithmetic is still executed for real (and
+/// cross-checked against naive multiplication in tests) so that swapping
+/// in the genuine `p256` backend changes constants, not call sites.
+pub struct FixedBaseTable {
+    /// `rows[i][d-1] = (d · 2^{w·i}) · base` for `d ∈ 1..2^w`.
+    rows: Vec<[ProjectivePoint; FixedBaseTable::WINDOW_MASK]>,
+}
+
+impl FixedBaseTable {
+    /// Window width in bits.
+    pub const WINDOW_BITS: usize = 8;
+    const WINDOW_MASK: usize = (1 << Self::WINDOW_BITS) - 1;
+    const WINDOWS: usize = 256 / Self::WINDOW_BITS;
+
+    /// Precomputes the windowed table for `base` (one-off linear cost,
+    /// amortized across every later [`mul`](Self::mul)).
+    pub fn new(base: &ProjectivePoint) -> Self {
+        let mut rows = Vec::with_capacity(Self::WINDOWS);
+        let mut window_base = *base; // 2^{w·i} · base
+        for _ in 0..Self::WINDOWS {
+            let mut row = [ProjectivePoint::IDENTITY; Self::WINDOW_MASK];
+            let mut acc = ProjectivePoint::IDENTITY;
+            for entry in row.iter_mut() {
+                acc += window_base;
+                *entry = acc;
+            }
+            // Next row's base is 2^w times this row's: double w times.
+            for _ in 0..Self::WINDOW_BITS {
+                window_base += window_base;
+            }
+            rows.push(row);
+        }
+        Self { rows }
+    }
+
+    /// The process-wide table for the group generator (used by every
+    /// keygen-style `g^x`; built once, on first use).
+    pub fn generator() -> &'static FixedBaseTable {
+        use std::sync::OnceLock;
+        static TABLE: OnceLock<FixedBaseTable> = OnceLock::new();
+        TABLE.get_or_init(|| FixedBaseTable::new(&ProjectivePoint::GENERATOR))
+    }
+
+    /// Multiplies the fixed base by `scalar` using the precomputed
+    /// windows.
+    pub fn mul(&self, scalar: &Scalar) -> ProjectivePoint {
+        let bytes = scalar.to_bytes(); // big-endian
+        let mut acc = ProjectivePoint::IDENTITY;
+        for (i, row) in self.rows.iter().enumerate() {
+            // Window i covers bits [w·i, w·(i+1)) — byte 31-i in BE.
+            let digit = bytes[31 - i] as usize;
+            if digit != 0 {
+                acc += row[digit - 1];
+            }
+        }
+        acc
+    }
+}
+
+/// Multiplies many bases by one shared scalar (the BFE encrypt shape:
+/// `X_i^r` for every Bloom slot of a tag under one ephemeral `r`).
+///
+/// A real curve backend shares the scalar recoding (e.g. one wNAF digit
+/// expansion) across all bases; the mock's multiplication is a single
+/// field operation, so this reduces to a map — the point is a stable API
+/// seam for the hot path.
+pub fn mul_many(bases: &[ProjectivePoint], scalar: &Scalar) -> Vec<ProjectivePoint> {
+    bases.iter().map(|b| *b * scalar).collect()
+}
+
 impl ToEncodedPoint for AffinePoint {
     fn to_encoded_point(&self, compress: bool) -> EncodedPoint {
         if self.is_identity() {
@@ -516,6 +594,43 @@ mod tests {
             Option::<Scalar>::from(Scalar::from_repr(s.to_bytes())).unwrap(),
             s
         );
+    }
+
+    #[test]
+    fn fixed_base_table_matches_naive_mul() {
+        let mut rng = StdRng::seed_from_u64(4);
+        let base = ProjectivePoint::GENERATOR * Scalar::random(&mut rng);
+        let table = FixedBaseTable::new(&base);
+        for _ in 0..32 {
+            let s = Scalar::random(&mut rng);
+            assert_eq!(table.mul(&s), base * s);
+        }
+        assert_eq!(table.mul(&Scalar::ZERO), ProjectivePoint::IDENTITY);
+        assert_eq!(table.mul(&Scalar::ONE), base);
+    }
+
+    #[test]
+    fn generator_table_is_generator_base() {
+        let mut rng = StdRng::seed_from_u64(5);
+        let s = Scalar::random(&mut rng);
+        assert_eq!(
+            FixedBaseTable::generator().mul(&s),
+            ProjectivePoint::GENERATOR * s
+        );
+    }
+
+    #[test]
+    fn mul_many_matches_per_base_mul() {
+        let mut rng = StdRng::seed_from_u64(6);
+        let bases: Vec<ProjectivePoint> = (0..5)
+            .map(|_| ProjectivePoint::GENERATOR * Scalar::random(&mut rng))
+            .collect();
+        let s = Scalar::random(&mut rng);
+        let out = mul_many(&bases, &s);
+        assert_eq!(out.len(), bases.len());
+        for (b, o) in bases.iter().zip(&out) {
+            assert_eq!(*o, *b * s);
+        }
     }
 
     #[test]
