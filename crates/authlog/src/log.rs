@@ -7,7 +7,9 @@
 //! current log and starts a fresh one; HSMs bound how many times they will
 //! follow a GC (see the HSM crate).
 
+use safetypin_primitives::error::WireError;
 use safetypin_primitives::hashes::Hash256;
+use safetypin_primitives::wire::{Decode, Encode, Reader, Writer};
 
 use crate::trie::{ExtensionProof, InclusionProof, InsertStep, MerkleTrie, TrieError};
 
@@ -21,6 +23,22 @@ pub struct LogEntry {
     pub value: Vec<u8>,
 }
 
+impl Encode for LogEntry {
+    fn encode(&self, w: &mut Writer) {
+        w.put_bytes(&self.id);
+        w.put_bytes(&self.value);
+    }
+}
+
+impl Decode for LogEntry {
+    fn decode(r: &mut Reader<'_>) -> core::result::Result<Self, WireError> {
+        Ok(Self {
+            id: r.get_bytes()?.to_vec(),
+            value: r.get_bytes()?.to_vec(),
+        })
+    }
+}
+
 /// Errors from log operations.
 #[derive(Debug, Clone, PartialEq, Eq)]
 pub enum LogError {
@@ -28,6 +46,9 @@ pub enum LogError {
     DuplicateIdentifier,
     /// Internal dictionary failure.
     Trie(TrieError),
+    /// A snapshot's fields contradict each other (e.g. more pending
+    /// insertions than entries).
+    InvalidSnapshot(&'static str),
 }
 
 impl core::fmt::Display for LogError {
@@ -35,6 +56,7 @@ impl core::fmt::Display for LogError {
         match self {
             LogError::DuplicateIdentifier => write!(f, "identifier already defined in log"),
             LogError::Trie(e) => write!(f, "dictionary error: {e}"),
+            LogError::InvalidSnapshot(why) => write!(f, "invalid log snapshot: {why}"),
         }
     }
 }
@@ -182,6 +204,73 @@ impl Log {
     pub fn entries(&self) -> &[LogEntry] {
         &self.entries
     }
+
+    /// Captures the log's persistent state: the entry list plus the two
+    /// scalars the trie cannot rederive from it (how many trailing
+    /// insertions are not yet covered by an epoch cut, and the
+    /// garbage-collection generation).
+    pub fn snapshot(&self) -> LogSnapshot {
+        LogSnapshot {
+            entries: self.entries.clone(),
+            pending: self.pending.len() as u64,
+            generation: self.generation,
+        }
+    }
+
+    /// Rebuilds a log from a snapshot by replaying every entry into a
+    /// fresh authenticated dictionary — insert steps are a deterministic
+    /// function of the insertion order, so the rebuilt trie, digest,
+    /// pending steps, and epoch-cut baseline are byte-identical to the
+    /// snapshotted log's.
+    pub fn from_snapshot(snapshot: LogSnapshot) -> Result<Self, LogError> {
+        if snapshot.pending > snapshot.entries.len() as u64 {
+            return Err(LogError::InvalidSnapshot(
+                "pending count exceeds entry count",
+            ));
+        }
+        let pending = snapshot.pending as usize;
+        let cut_at = snapshot.entries.len() - pending;
+        let mut log = Log::new();
+        log.generation = snapshot.generation;
+        for (i, entry) in snapshot.entries.iter().enumerate() {
+            log.insert(&entry.id, &entry.value)?;
+            if i + 1 == cut_at {
+                log.last_epoch_digest = Some(log.digest());
+                log.pending.clear();
+            }
+        }
+        Ok(log)
+    }
+}
+
+/// Serializable persistent state of a [`Log`] (see [`Log::snapshot`]).
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct LogSnapshot {
+    /// All entries, in insertion order.
+    pub entries: Vec<LogEntry>,
+    /// How many trailing entries are pending (inserted after the last
+    /// epoch cut).
+    pub pending: u64,
+    /// Completed garbage collections.
+    pub generation: u64,
+}
+
+impl Encode for LogSnapshot {
+    fn encode(&self, w: &mut Writer) {
+        w.put_seq(&self.entries);
+        w.put_u64(self.pending);
+        w.put_u64(self.generation);
+    }
+}
+
+impl Decode for LogSnapshot {
+    fn decode(r: &mut Reader<'_>) -> core::result::Result<Self, WireError> {
+        Ok(Self {
+            entries: r.get_seq()?,
+            pending: r.get_u64()?,
+            generation: r.get_u64()?,
+        })
+    }
 }
 
 /// The provider's materials for one epoch update.
@@ -275,6 +364,70 @@ mod tests {
         let c2 = log.cut_epoch(2);
         assert_eq!(c1.new_digest, c2.old_digest);
         assert_ne!(c2.old_digest, c2.new_digest);
+    }
+
+    #[test]
+    fn snapshot_roundtrip_mid_epoch() {
+        use safetypin_primitives::wire::{Decode, Encode};
+        let mut log = Log::new();
+        for i in 0..9 {
+            log.insert(format!("u{i}").as_bytes(), format!("v{i}").as_bytes())
+                .unwrap();
+        }
+        let _ = log.cut_epoch(2);
+        // Three more insertions pending mid-epoch.
+        for i in 9..12 {
+            log.insert(format!("u{i}").as_bytes(), format!("v{i}").as_bytes())
+                .unwrap();
+        }
+        let snap = log.snapshot();
+        let decoded = LogSnapshot::from_bytes(&snap.to_bytes()).expect("snapshot wire roundtrip");
+        assert_eq!(decoded, snap);
+        let mut restored = Log::from_snapshot(decoded).unwrap();
+
+        assert_eq!(restored.digest(), log.digest());
+        assert_eq!(restored.pending_count(), 3);
+        assert_eq!(restored.generation(), log.generation());
+        assert_eq!(restored.entries(), log.entries());
+        // The next epoch cut must chain from the same baseline digest
+        // and cover exactly the pending insertions.
+        let a = log.cut_epoch(2);
+        let b = restored.cut_epoch(2);
+        assert_eq!(a.old_digest, b.old_digest);
+        assert_eq!(a.new_digest, b.new_digest);
+        assert_eq!(a.chunk_proofs.len(), b.chunk_proofs.len());
+        // Inclusion proofs keep verifying against the restored digest.
+        let proof = restored.prove_includes(b"u10", b"v10").unwrap();
+        assert!(MerkleTrie::does_include(
+            &restored.digest(),
+            b"u10",
+            b"v10",
+            &proof
+        ));
+    }
+
+    #[test]
+    fn snapshot_with_impossible_pending_rejected() {
+        let mut log = Log::new();
+        log.insert(b"a", b"1").unwrap();
+        let mut snap = log.snapshot();
+        snap.pending = 2; // claims more pending than entries exist
+        assert!(matches!(
+            Log::from_snapshot(snap),
+            Err(LogError::InvalidSnapshot(_))
+        ));
+    }
+
+    #[test]
+    fn snapshot_roundtrip_after_gc() {
+        let mut log = Log::new();
+        log.insert(b"a", b"1").unwrap();
+        log.garbage_collect();
+        log.insert(b"b", b"2").unwrap();
+        let restored = Log::from_snapshot(log.snapshot()).unwrap();
+        assert_eq!(restored.generation(), 1);
+        assert_eq!(restored.len(), 1);
+        assert_eq!(restored.digest(), log.digest());
     }
 
     #[test]

@@ -31,6 +31,7 @@ use safetypin::{Deployment, SystemParams};
 use safetypin_bfe::{encrypt, keygen, BfeParams};
 use safetypin_primitives::elgamal::PublicKey;
 use safetypin_seckv::{MemStore, SecureArray};
+use safetypin_store::FileOptions;
 
 use crate::report::{secs, Report};
 use crate::{time_mean, time_once};
@@ -43,6 +44,7 @@ struct Scale {
     tags: u64,
     keygen_iters: u32,
     enc_iters: u32,
+    storm_users: u64,
 }
 
 fn scale() -> Scale {
@@ -54,6 +56,7 @@ fn scale() -> Scale {
             tags: 16,
             keygen_iters: 1,
             enc_iters: 50,
+            storm_users: 6,
         }
     } else {
         Scale {
@@ -63,6 +66,7 @@ fn scale() -> Scale {
             tags: 256,
             keygen_iters: 3,
             enc_iters: 2_000,
+            storm_users: 32,
         }
     }
 }
@@ -83,6 +87,7 @@ pub fn run() {
     puncture_batching(&mut report, &scale);
     fixed_base_and_batch_encrypt(&mut report, &scale);
     parallel_fanout(&mut report, &scale);
+    cold_start(&mut report, &scale);
     report.finish();
 }
 
@@ -420,4 +425,108 @@ fn parallel_fanout(report: &mut Report, scale: &Scale) {
         secs(recover_s)
     ));
     report.metric("recovery_e2e_s", recover_s);
+}
+
+/// Part 4: cold start — restoring a persisted fleet from disk vs.
+/// provisioning it from scratch, plus the block-cache hit rate under a
+/// recovery storm on the restored (FileStore-backed) fleet.
+fn cold_start(report: &mut Report, scale: &Scale) {
+    let params = SystemParams::scaled(scale.fleet, scale.cluster, scale.slots).unwrap();
+    let dir = std::env::temp_dir().join(format!("safetypin-perf-coldstart-{}", std::process::id()));
+    let _ = std::fs::remove_dir_all(&dir);
+
+    // Warm provision: key generation for the whole fleet, in memory.
+    let mut rng = StdRng::seed_from_u64(0xc01d);
+    let (mut deployment, provision_s) =
+        time_once(|| Deployment::provision(params, &mut rng).unwrap());
+
+    // Persist (sealed HSM states + checkpointed block files), then drop
+    // the whole fleet and restore it from disk. Relaxed durability keeps
+    // the numbers about the format, not the host's fsync latency.
+    let (_, persist_s) = time_once(|| {
+        deployment
+            .persist(&dir, FileOptions::relaxed(), &mut rng)
+            .unwrap()
+    });
+    drop(deployment);
+    let (restored, restore_s) =
+        time_once(|| Deployment::restore_from(&dir, FileOptions::relaxed()).unwrap());
+    let (mut restored, _) = restored;
+
+    report.section(
+        format!(
+            "4. cold start: restore-from-disk vs in-memory provision \
+             (N = {}, {}-slot keys)",
+            scale.fleet, scale.slots
+        )
+        .as_str(),
+    );
+    report.table(
+        &["operation", "time", "vs provision"],
+        &[
+            vec![
+                "provision (keygen)".into(),
+                secs(provision_s),
+                "1.00x".into(),
+            ],
+            vec![
+                "persist to disk".into(),
+                secs(persist_s),
+                format!("{:.2}x", provision_s / persist_s),
+            ],
+            vec![
+                "restore from disk".into(),
+                secs(restore_s),
+                format!("{:.2}x", provision_s / restore_s),
+            ],
+        ],
+    );
+    report.line(format!(
+        "restoring skips all {} per-HSM group exponentiations: {:.1}x \
+         faster than re-provisioning",
+        scale.fleet * scale.slots,
+        provision_s / restore_s
+    ));
+    report.metric("cold_start_provision_s", provision_s);
+    report.metric("cold_start_persist_s", persist_s);
+    report.metric("cold_start_restore_s", restore_s);
+    report.metric("cold_start_restore_speedup", provision_s / restore_s);
+
+    // Recovery storm on the restored fleet: every share decryption and
+    // puncture walks root-to-leaf paths through the on-disk block trees;
+    // the LRU absorbs the shared upper levels (within one recovery's
+    // k paths, the re-read during puncture, and across users).
+    let mut storm_rng = StdRng::seed_from_u64(0x5702);
+    let before = restored.datacenter.fleet_store_stats();
+    let (_, storm_s) = time_once(|| {
+        for u in 0..scale.storm_users {
+            let name = format!("storm-user-{u}");
+            let mut client = restored.new_client(name.as_bytes()).unwrap();
+            let artifact = client
+                .backup(b"314159", b"storm payload", 0, &mut storm_rng)
+                .unwrap();
+            let outcome = restored
+                .recover(&client, b"314159", &artifact, &mut storm_rng)
+                .unwrap();
+            assert_eq!(outcome.message, b"storm payload");
+        }
+    });
+    let after = restored.datacenter.fleet_store_stats();
+    let hits = after.cache_hits - before.cache_hits;
+    let misses = after.cache_misses - before.cache_misses;
+    let hit_rate = hits as f64 / (hits + misses).max(1) as f64;
+    report.line(format!(
+        "recovery storm: {} users in {}, {} block reads, LRU hit rate {:.1}% \
+         ({} hits / {} misses)",
+        scale.storm_users,
+        secs(storm_s),
+        hits + misses,
+        100.0 * hit_rate,
+        hits,
+        misses
+    ));
+    report.metric("recovery_storm_users", scale.storm_users as f64);
+    report.metric("recovery_storm_s", storm_s);
+    report.metric("recovery_storm_cache_hit_rate", hit_rate);
+    let _ = std::fs::remove_dir_all(&dir);
 }

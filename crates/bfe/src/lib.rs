@@ -42,7 +42,7 @@ use safetypin_primitives::error::WireError;
 use safetypin_primitives::hashes::{hash_parts, indices_from_seed, Domain};
 use safetypin_primitives::wire::{Decode, Encode, Reader, Writer};
 use safetypin_primitives::{CryptoError, Result};
-use safetypin_seckv::{BlockStore, SecureArray, StorageError};
+use safetypin_seckv::{ArrayState, BlockStore, SecureArray, StorageError};
 
 /// Bloom-filter-encryption parameters.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
@@ -364,10 +364,65 @@ impl OpReport {
     }
 }
 
+/// The constant trusted state of a [`BfeSecretKey`]: the secure-array
+/// handle (root key included — seal before persisting) plus the
+/// puncture bookkeeping that drives the rotation trigger.
+#[derive(Debug, Clone, PartialEq)]
+pub struct BfeKeyState {
+    /// Filter parameters.
+    pub params: BfeParams,
+    array: ArrayState,
+    punctures: u64,
+    slots_deleted: u64,
+}
+
+impl Encode for BfeKeyState {
+    fn encode(&self, w: &mut Writer) {
+        self.params.encode(w);
+        self.array.encode(w);
+        w.put_u64(self.punctures);
+        w.put_u64(self.slots_deleted);
+    }
+}
+
+impl Decode for BfeKeyState {
+    fn decode(r: &mut Reader<'_>) -> core::result::Result<Self, WireError> {
+        Ok(Self {
+            params: BfeParams::decode(r)?,
+            array: ArrayState::decode(r)?,
+            punctures: r.get_u64()?,
+            slots_deleted: r.get_u64()?,
+        })
+    }
+}
+
 impl BfeSecretKey {
     /// Punctures performed so far.
     pub fn punctures(&self) -> u64 {
         self.punctures
+    }
+
+    /// Exports the key's constant trusted state for sealed persistence.
+    /// The per-slot scalars stay in the outsourced block store and are
+    /// not part of this state.
+    pub fn export_state(&self) -> BfeKeyState {
+        BfeKeyState {
+            params: self.params,
+            array: self.array.export_state(),
+            punctures: self.punctures,
+            slots_deleted: self.slots_deleted,
+        }
+    }
+
+    /// Rebuilds a secret-key handle from exported state; the caller must
+    /// present the block store the original key wrote its slot array to.
+    pub fn from_state(state: BfeKeyState) -> Self {
+        Self {
+            params: state.params,
+            array: SecureArray::from_state(state.array),
+            punctures: state.punctures,
+            slots_deleted: state.slots_deleted,
+        }
     }
 
     /// Bloom slots securely deleted so far.
@@ -649,6 +704,36 @@ mod tests {
             sequential_ops
         );
         assert!(report.blocks_read + report.blocks_written < sequential_ops);
+    }
+
+    #[test]
+    fn secret_key_state_roundtrip_preserves_punctures() {
+        let mut rng = rng();
+        let mut store = MemStore::new();
+        let (pk, mut sk, _) = keygen(small_params(), &mut store, &mut rng).unwrap();
+        let ct1 = encrypt(&pk, b"tag-1", b"ctx", b"m1", &mut rng);
+        let ct2 = encrypt(&pk, b"tag-2", b"ctx", b"m2", &mut rng);
+        sk.puncture(&mut store, b"tag-1", &mut rng).unwrap();
+
+        let state = sk.export_state();
+        let back = BfeKeyState::from_bytes(&state.to_bytes()).unwrap();
+        assert_eq!(back, state);
+        let mut restored = BfeSecretKey::from_state(back);
+        assert_eq!(restored.punctures(), 1);
+        assert_eq!(restored.slots_deleted(), sk.slots_deleted());
+        // The punctured tag stays dead, the fresh tag still decrypts.
+        assert!(restored
+            .decrypt(&mut store, b"tag-1", b"ctx", &ct1)
+            .is_err());
+        let (pt, _) = restored
+            .decrypt(&mut store, b"tag-2", b"ctx", &ct2)
+            .unwrap();
+        assert_eq!(pt, b"m2");
+        // And the restored handle can keep puncturing.
+        restored.puncture(&mut store, b"tag-2", &mut rng).unwrap();
+        assert!(restored
+            .decrypt(&mut store, b"tag-2", b"ctx", &ct2)
+            .is_err());
     }
 
     #[test]

@@ -10,9 +10,11 @@
 use rand::{CryptoRng, RngCore};
 use safetypin_client::{BackupArtifact, Client, ClientError};
 use safetypin_hsm::{HsmError, RecoveryPhases};
-use safetypin_proto::{Transport, TransportStats};
+use safetypin_proto::{SnapshotMeta, Transport, TransportStats};
 use safetypin_provider::{Datacenter, ProviderError};
+use safetypin_seckv::{BlockStore, MemStore};
 use safetypin_sim::{CostModel, OpCosts};
+use safetypin_store::{FileOptions, FileStore, SnapshotBlocks, StoreError};
 
 use crate::params::SystemParams;
 
@@ -115,14 +117,19 @@ impl RecoveryOutcome {
 }
 
 /// A complete SafetyPin deployment: parameters plus the datacenter.
-pub struct Deployment {
+///
+/// Generic over the outsourced-block backend `S` (see
+/// [`Datacenter`]): freshly provisioned fleets default to in-memory
+/// [`MemStore`]s; [`Deployment::restore_from`] brings a persisted fleet
+/// back live on crash-safe [`FileStore`]s.
+pub struct Deployment<S: BlockStore = MemStore> {
     /// Deployment parameters.
     pub params: SystemParams,
     /// The datacenter (fleet + log + storage).
-    pub datacenter: Datacenter,
+    pub datacenter: Datacenter<S>,
 }
 
-impl Deployment {
+impl Deployment<MemStore> {
     /// Provisions the fleet over the zero-copy `Direct` transport.
     pub fn provision<R: RngCore + CryptoRng>(
         params: SystemParams,
@@ -167,7 +174,9 @@ impl Deployment {
         )?;
         Ok(Self { params, datacenter })
     }
+}
 
+impl<S: BlockStore + Send> Deployment<S> {
     /// Creates a client that has downloaded the fleet's enrollment
     /// records.
     pub fn new_client(&self, username: &[u8]) -> Result<Client, DeploymentError> {
@@ -238,6 +247,52 @@ impl Deployment {
             window: WindowPhase::Revoked,
             wire: self.datacenter.transport_stats().since(&wire_before),
         })
+    }
+}
+
+impl<S: SnapshotBlocks + Send> Deployment<S> {
+    /// Persists the whole deployment into `dir`: the system parameters,
+    /// the provider's plaintext state, each HSM's sealed trusted state
+    /// plus checkpointed block files, the device keyring, and a
+    /// versioned snapshot-metadata envelope (see
+    /// [`Datacenter::persist`]). `rng` feeds sealing only — protocol
+    /// state is untouched, so persisting mid-recovery or mid-epoch is
+    /// always safe.
+    pub fn persist<R: RngCore + CryptoRng>(
+        &mut self,
+        dir: &std::path::Path,
+        opts: FileOptions,
+        rng: &mut R,
+    ) -> Result<SnapshotMeta, StoreError> {
+        use safetypin_primitives::wire::Encode;
+        std::fs::create_dir_all(dir)?;
+        safetypin_store::write_atomic(&dir.join("params.bin"), &self.params.to_bytes())?;
+        self.datacenter.persist(dir, opts, rng)
+    }
+}
+
+impl Deployment<FileStore> {
+    /// Restores a persisted deployment from `dir`, running live on the
+    /// snapshot's crash-safe block files. The snapshot's protocol
+    /// version is checked before any sealed state is opened
+    /// ([`StoreError::VersionMismatch`] on a mismatch), and the restored
+    /// fleet completes in-flight work — a recovery whose attempt was
+    /// already logged, an epoch cut mid-certification — exactly as the
+    /// original would have.
+    pub fn restore_from(
+        dir: &std::path::Path,
+        opts: FileOptions,
+    ) -> Result<(Self, SnapshotMeta), StoreError> {
+        use safetypin_primitives::wire::Decode;
+        let params_bytes = safetypin_store::read_component(&dir.join("params.bin"), "params")?;
+        let params = SystemParams::from_bytes(&params_bytes)?;
+        let (datacenter, meta) = Datacenter::restore_from(dir, opts)?;
+        if meta.fleet_size != params.total() {
+            return Err(StoreError::Inconsistent(
+                "snapshot fleet size disagrees with persisted parameters",
+            ));
+        }
+        Ok((Self { params, datacenter }, meta))
     }
 }
 

@@ -3,6 +3,8 @@
 use safetypin_bfe::BfeParams;
 use safetypin_hsm::HsmConfig;
 use safetypin_lhe::LheParams;
+use safetypin_primitives::error::WireError;
+use safetypin_primitives::wire::{Decode, Encode, Reader, Writer};
 use safetypin_primitives::CryptoError;
 
 /// Parameters for a full SafetyPin deployment.
@@ -108,9 +110,59 @@ impl SystemParams {
     }
 }
 
+impl Encode for SystemParams {
+    fn encode(&self, w: &mut Writer) {
+        w.put_u64(self.lhe.total);
+        w.put_u64(self.lhe.cluster as u64);
+        w.put_u64(self.lhe.threshold as u64);
+        w.put_u64(self.lhe.pin_space);
+        w.put_u64(self.f_secret_inv);
+        w.put_u64(self.f_live_inv);
+        self.bfe.encode(w);
+        w.put_u32(self.audits_per_epoch);
+        w.put_u64(self.max_gc);
+    }
+}
+
+impl Decode for SystemParams {
+    fn decode(r: &mut Reader<'_>) -> core::result::Result<Self, WireError> {
+        let total = r.get_u64()?;
+        let cluster = r.get_u64()? as usize;
+        let threshold = r.get_u64()? as usize;
+        let pin_space = r.get_u64()?;
+        let lhe = LheParams::new(total, cluster, threshold, pin_space)
+            .map_err(|_| WireError::LengthOutOfRange)?;
+        Ok(Self {
+            lhe,
+            f_secret_inv: r.get_u64()?,
+            f_live_inv: r.get_u64()?,
+            bfe: BfeParams::decode(r)?,
+            audits_per_epoch: r.get_u32()?,
+            max_gc: r.get_u64()?,
+        })
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
+
+    #[test]
+    fn params_wire_roundtrip() {
+        for p in [
+            SystemParams::test_small(8),
+            SystemParams::paper_default(),
+            SystemParams::scaled(512, 40, 1024).unwrap(),
+        ] {
+            let back = SystemParams::from_bytes(&p.to_bytes()).unwrap();
+            assert_eq!(back.lhe, p.lhe);
+            assert_eq!(back.bfe, p.bfe);
+            assert_eq!(back.f_secret_inv, p.f_secret_inv);
+            assert_eq!(back.f_live_inv, p.f_live_inv);
+            assert_eq!(back.audits_per_epoch, p.audits_per_epoch);
+            assert_eq!(back.max_gc, p.max_gc);
+        }
+    }
 
     #[test]
     fn paper_default_matches_evaluation_section() {

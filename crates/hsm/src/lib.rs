@@ -21,9 +21,11 @@
 #![warn(missing_docs)]
 
 pub mod error;
+pub mod state;
 pub mod types;
 
 pub use error::HsmError;
+pub use state::HsmState;
 pub use types::{EnrollmentRecord, RecoveryPhases, RecoveryRequest, RecoveryResponse};
 
 use rand::{CryptoRng, RngCore};
@@ -125,6 +127,7 @@ impl Hsm {
             safetypin_bfe::keygen(config.bfe_params, store, rng).map_err(HsmError::Crypto)?;
         let mut costs = OpCosts::new();
         costs.group_mults += report.group_ops + 2; // BFE slots + identity + BLS keygen
+        store.flush();
         Ok(Self {
             config,
             identity,
@@ -187,6 +190,21 @@ impl Hsm {
     /// [`HsmResponse::Error`](safetypin_proto::HsmResponse::Error)
     /// replies so they survive serialization.
     pub fn handle<S: BlockStore, R: RngCore + CryptoRng>(
+        &mut self,
+        request: safetypin_proto::HsmRequest,
+        store: &mut S,
+        rng: &mut R,
+    ) -> safetypin_proto::HsmResponse {
+        let response = self.handle_inner(request, store, rng);
+        // One durability barrier per served request: on a persistent
+        // backend everything this request wrote (punctures, rotation)
+        // commits before the reply leaves the device, so a crash can
+        // never hand out a share whose revocation evaporates.
+        store.flush();
+        response
+    }
+
+    fn handle_inner<S: BlockStore, R: RngCore + CryptoRng>(
         &mut self,
         request: safetypin_proto::HsmRequest,
         store: &mut S,

@@ -20,6 +20,7 @@ use safetypin_primitives::error::WireError;
 use safetypin_primitives::wire::{Decode, Encode, Reader, Writer};
 
 use crate::api::{HsmRequest, HsmResponse, ProviderRequest, ProviderResponse};
+use crate::messages::SnapshotMeta;
 
 /// The protocol version this build speaks. The versioning rule is strict
 /// equality: a decoder rejects every other version, so any change to an
@@ -46,6 +47,10 @@ pub enum Message {
     ProviderRequest(ProviderRequest),
     /// Untrusted provider → client.
     ProviderResponse(ProviderResponse),
+    /// Snapshot metadata stamped onto a persisted fleet (additive
+    /// variant; carried in the envelope so restoring a snapshot runs
+    /// the same strict version handshake as live traffic).
+    SnapshotMeta(SnapshotMeta),
 }
 
 impl Encode for Message {
@@ -75,6 +80,10 @@ impl Encode for Message {
                 w.put_u8(5);
                 m.encode(w);
             }
+            Message::SnapshotMeta(m) => {
+                w.put_u8(6);
+                m.encode(w);
+            }
         }
     }
 }
@@ -88,6 +97,7 @@ impl Decode for Message {
             3 => Ok(Message::HsmBatchResponse(r.get_seq()?)),
             4 => Ok(Message::ProviderRequest(ProviderRequest::decode(r)?)),
             5 => Ok(Message::ProviderResponse(ProviderResponse::decode(r)?)),
+            6 => Ok(Message::SnapshotMeta(SnapshotMeta::decode(r)?)),
             t => Err(WireError::InvalidTag(t)),
         }
     }

@@ -60,7 +60,9 @@ pub mod transport;
 pub use api::{codes, ErrorReply, HsmRequest, HsmResponse, ProviderRequest, ProviderResponse};
 pub use envelope::{Envelope, Message, PROTO_VERSION};
 pub use error::ProtoError;
-pub use messages::{EnrollmentRecord, RecoveryPhases, RecoveryRequest, RecoveryResponse};
+pub use messages::{
+    EnrollmentRecord, RecoveryPhases, RecoveryRequest, RecoveryResponse, SnapshotMeta,
+};
 pub use transport::{
     Direct, FaultPlan, FaultScope, Faulty, Serialized, ServeBatchFn, ServeFn, Transport,
     TransportStats,

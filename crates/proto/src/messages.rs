@@ -267,6 +267,70 @@ pub fn build_commit_payload(cluster: &[u64], ct_hash: &Hash256) -> Vec<u8> {
     w.into_bytes()
 }
 
+/// Metadata stamped onto every persisted fleet snapshot.
+///
+/// A restored fleet re-handshakes versions through this message: the
+/// snapshot directory stores it wrapped in a standard
+/// [`Envelope`](crate::Envelope), so a snapshot written by a build
+/// speaking a different [`PROTO_VERSION`](crate::PROTO_VERSION) is
+/// rejected with a typed `UnsupportedVersion` *before* any sealed state
+/// is opened — exactly the strict-equality rule every transported
+/// message already follows.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct SnapshotMeta {
+    /// Protocol version of the writing build (redundant with the
+    /// envelope check; kept so the metadata is self-describing when
+    /// inspected standalone).
+    pub proto_version: u16,
+    /// Number of HSMs in the persisted fleet.
+    pub fleet_size: u64,
+    /// Certified log epochs at persist time.
+    pub epoch_count: u64,
+    /// Provider-log garbage-collection generation.
+    pub log_generation: u64,
+    /// Per-HSM BFE key-rotation epochs, in id order. A restored client
+    /// compares these against its cached enrollment records to decide
+    /// whether a re-download is needed.
+    pub key_epochs: Vec<u64>,
+}
+
+impl Encode for SnapshotMeta {
+    fn encode(&self, w: &mut Writer) {
+        w.put_u16(self.proto_version);
+        w.put_u64(self.fleet_size);
+        w.put_u64(self.epoch_count);
+        w.put_u64(self.log_generation);
+        w.put_u32(self.key_epochs.len() as u32);
+        for e in &self.key_epochs {
+            w.put_u64(*e);
+        }
+    }
+}
+
+impl Decode for SnapshotMeta {
+    fn decode(r: &mut Reader<'_>) -> core::result::Result<Self, WireError> {
+        let proto_version = r.get_u16()?;
+        let fleet_size = r.get_u64()?;
+        let epoch_count = r.get_u64()?;
+        let log_generation = r.get_u64()?;
+        let n = r.get_u32()? as usize;
+        if n > 1 << 24 {
+            return Err(WireError::LengthOutOfRange);
+        }
+        let mut key_epochs = Vec::with_capacity(n.min(1 << 16));
+        for _ in 0..n {
+            key_epochs.push(r.get_u64()?);
+        }
+        Ok(Self {
+            proto_version,
+            fleet_size,
+            epoch_count,
+            log_generation,
+            key_epochs,
+        })
+    }
+}
+
 /// Parses a commitment payload back into `(cluster, ct_hash)`.
 pub fn parse_commit_payload(payload: &[u8]) -> Result<(Vec<u64>, Hash256), WireError> {
     let mut r = Reader::new(payload);

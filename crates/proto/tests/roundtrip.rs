@@ -12,7 +12,8 @@ use safetypin_primitives::wire::{Decode, Encode};
 use safetypin_primitives::{commit, elgamal, shamir};
 use safetypin_proto::{
     codes, Envelope, ErrorReply, HsmRequest, HsmResponse, Message, ProviderRequest,
-    ProviderResponse, RecoveryPhases, RecoveryRequest, RecoveryResponse, PROTO_VERSION,
+    ProviderResponse, RecoveryPhases, RecoveryRequest, RecoveryResponse, SnapshotMeta,
+    PROTO_VERSION,
 };
 use safetypin_sim::OpCosts;
 
@@ -181,6 +182,20 @@ fn sample_envelopes(seed: u64) -> Vec<Envelope> {
     for resp in provider_responses {
         envelopes.push(Envelope::seal(Message::ProviderResponse(resp)));
     }
+    envelopes.push(Envelope::seal(Message::SnapshotMeta(SnapshotMeta {
+        proto_version: PROTO_VERSION,
+        fleet_size: 16,
+        epoch_count: 3,
+        log_generation: 1,
+        key_epochs: vec![0, 0, 1, 0, 2],
+    })));
+    envelopes.push(Envelope::seal(Message::SnapshotMeta(SnapshotMeta {
+        proto_version: PROTO_VERSION,
+        fleet_size: 0,
+        epoch_count: 0,
+        log_generation: 0,
+        key_epochs: Vec::new(),
+    })));
     envelopes
 }
 

@@ -21,7 +21,7 @@ use rand::rngs::StdRng;
 use rand::{CryptoRng, RngCore, SeedableRng};
 use safetypin_hsm::{Hsm, HsmConfig, HsmError};
 use safetypin_proto::{codes, ErrorReply, HsmRequest, HsmResponse};
-use safetypin_seckv::MemStore;
+use safetypin_seckv::{BlockStore, MemStore};
 
 /// Worker-thread cap for `jobs` independent work items.
 pub(crate) fn worker_count(jobs: usize) -> usize {
@@ -36,23 +36,23 @@ pub(crate) fn worker_count(jobs: usize) -> usize {
 /// and reassembles responses in request order. Unknown ids become typed
 /// error replies — on the wire there is no out-of-bounds index, only a
 /// device that does not answer.
-pub(crate) fn serve_fleet_batch<'a, R: RngCore + CryptoRng>(
+pub(crate) fn serve_fleet_batch<'a, S: BlockStore + Send, R: RngCore + CryptoRng>(
     hsms: &'a mut [Hsm],
-    stores: &'a mut [MemStore],
+    stores: &'a mut [S],
     rng: &'a mut R,
 ) -> impl FnMut(Vec<(u64, HsmRequest)>) -> Vec<(u64, HsmResponse)> + 'a {
     move |batch| serve_batch(hsms, stores, rng, batch)
 }
 
-struct Job<'b> {
+struct Job<'b, S> {
     id: u64,
     hsm: &'b mut Hsm,
-    store: &'b mut MemStore,
+    store: &'b mut S,
     seed: [u8; 32],
     items: Vec<(usize, HsmRequest)>,
 }
 
-fn run_job(job: &mut Job<'_>, out: &mut Vec<(usize, u64, HsmResponse)>) {
+fn run_job<S: BlockStore>(job: &mut Job<'_, S>, out: &mut Vec<(usize, u64, HsmResponse)>) {
     let mut rng = StdRng::from_seed(job.seed);
     for (pos, req) in job.items.drain(..) {
         let resp = job.hsm.handle(req, job.store, &mut rng);
@@ -60,9 +60,9 @@ fn run_job(job: &mut Job<'_>, out: &mut Vec<(usize, u64, HsmResponse)>) {
     }
 }
 
-fn serve_batch<R: RngCore + CryptoRng>(
+fn serve_batch<S: BlockStore + Send, R: RngCore + CryptoRng>(
     hsms: &mut [Hsm],
-    stores: &mut [MemStore],
+    stores: &mut [S],
     rng: &mut R,
     batch: Vec<(u64, HsmRequest)>,
 ) -> Vec<(u64, HsmResponse)> {
@@ -89,9 +89,9 @@ fn serve_batch<R: RngCore + CryptoRng>(
 
     // Seeds drawn sequentially in ascending id order: the only RNG
     // consumption the caller observes, identical for any worker count.
-    let mut devices: Vec<Option<(&mut Hsm, &mut MemStore)>> =
+    let mut devices: Vec<Option<(&mut Hsm, &mut S)>> =
         hsms.iter_mut().zip(stores.iter_mut()).map(Some).collect();
-    let mut jobs: Vec<Job<'_>> = Vec::with_capacity(groups.len());
+    let mut jobs: Vec<Job<'_, S>> = Vec::with_capacity(groups.len());
     for (id, items) in groups {
         let mut seed = [0u8; 32];
         rng.fill_bytes(&mut seed);

@@ -41,8 +41,9 @@ use safetypin_proto::{
     codes, Direct, ErrorReply, HsmRequest, HsmResponse, ProtoError, ProviderRequest,
     ProviderResponse, Transport, TransportStats,
 };
-use safetypin_seckv::MemStore;
+use safetypin_seckv::{BlockStore, MemStore};
 use safetypin_sim::OpCosts;
+use safetypin_store::{FileOptions, FileStore, SnapshotBlocks, StoreError};
 
 /// Errors from datacenter orchestration.
 #[derive(Debug, Clone, PartialEq, Eq)]
@@ -119,9 +120,14 @@ pub struct EpochOutcome {
 
 /// The datacenter: HSM fleet + outsourced stores + log state, fronted by
 /// a message [`Transport`].
-pub struct Datacenter {
+///
+/// Generic over the outsourced-block backend `S`: a freshly provisioned
+/// fleet runs on in-memory [`MemStore`]s (the default), while a fleet
+/// restored from a snapshot runs live on crash-safe
+/// [`FileStore`]s — same orchestration code either way.
+pub struct Datacenter<S: BlockStore = MemStore> {
     hsms: Vec<Hsm>,
-    stores: Vec<MemStore>,
+    stores: Vec<S>,
     log: Log,
     archived_logs: Vec<Vec<LogEntry>>,
     update_history: Vec<UpdateMessage>,
@@ -137,9 +143,9 @@ pub struct Datacenter {
 /// that does not answer. Batched rounds go through
 /// [`fanout::serve_fleet_batch`], which fans independent HSMs out across
 /// threads.
-fn serve_fleet<'a, R: RngCore + CryptoRng>(
+fn serve_fleet<'a, S: BlockStore, R: RngCore + CryptoRng>(
     hsms: &'a mut [Hsm],
-    stores: &'a mut [MemStore],
+    stores: &'a mut [S],
     rng: &'a mut R,
 ) -> impl FnMut(u64, HsmRequest) -> HsmResponse + 'a {
     move |id, request| {
@@ -154,7 +160,7 @@ fn serve_fleet<'a, R: RngCore + CryptoRng>(
     }
 }
 
-impl Datacenter {
+impl Datacenter<MemStore> {
     /// Provisions a fleet of `total` HSMs and registers the fleet keys on
     /// every device (each HSM verifies every proof of possession itself).
     /// Messages flow over the zero-copy [`Direct`] transport; use
@@ -219,7 +225,9 @@ impl Datacenter {
             transport,
         })
     }
+}
 
+impl<S: BlockStore + Send> Datacenter<S> {
     /// Swaps the transport backend (e.g. to `Serialized` for byte-true
     /// accounting, or to `Faulty` for failure scenarios). Accumulated
     /// stats of the old transport are discarded with it.
@@ -746,6 +754,17 @@ impl Datacenter {
         total
     }
 
+    /// Sum of the fleet's outsourced-store I/O statistics (reads,
+    /// writes, cache hits/misses — nonzero only on instrumented
+    /// backends like `MemStore` and `FileStore`).
+    pub fn fleet_store_stats(&self) -> safetypin_seckv::StoreStats {
+        let mut total = safetypin_seckv::StoreStats::default();
+        for store in &self.stores {
+            total.add(&store.io_stats());
+        }
+        total
+    }
+
     /// Which HSMs currently need key rotation.
     pub fn rotation_queue(&self) -> Vec<u64> {
         self.hsms
@@ -753,6 +772,218 @@ impl Datacenter {
             .filter(|h| h.needs_rotation())
             .map(|h| h.id())
             .collect()
+    }
+}
+
+// ---------------------------------------------------------------------
+// Persistence (crash-safe snapshots; see safetypin-store)
+// ---------------------------------------------------------------------
+
+/// Snapshot-directory filenames.
+mod snapshot_files {
+    /// Versioned snapshot metadata (a proto [`Envelope`](safetypin_proto::Envelope)).
+    pub const META: &str = "snapshot.meta";
+    /// The fleet's device keys (stands in for on-chip flash — see
+    /// [`safetypin_store::Keyring`]).
+    pub const KEYRING: &str = "devices.keys";
+    /// Plaintext provider state (log, archives, update history, reply
+    /// copies).
+    pub const PROVIDER: &str = "provider.bin";
+    /// Per-HSM outsourced block stores live under `blocks/hsm-<id>/`.
+    pub const BLOCKS_DIR: &str = "blocks";
+}
+
+fn blocks_dir(dir: &std::path::Path, id: u64) -> std::path::PathBuf {
+    dir.join(snapshot_files::BLOCKS_DIR)
+        .join(format!("hsm-{id}"))
+}
+
+/// Provider-side plaintext state, bundled for `provider.bin`.
+struct ProviderState {
+    log: safetypin_authlog::LogSnapshot,
+    archived_logs: Vec<Vec<LogEntry>>,
+    update_history: Vec<UpdateMessage>,
+    reply_copies: Vec<(Vec<u8>, RecoveryResponse)>,
+    epoch_chunks: u64,
+}
+
+impl safetypin_primitives::wire::Encode for ProviderState {
+    fn encode(&self, w: &mut safetypin_primitives::wire::Writer) {
+        self.log.encode(w);
+        w.put_u32(self.archived_logs.len() as u32);
+        for archive in &self.archived_logs {
+            w.put_seq(archive);
+        }
+        w.put_seq(&self.update_history);
+        w.put_seq(&self.reply_copies);
+        w.put_u64(self.epoch_chunks);
+    }
+}
+
+impl safetypin_primitives::wire::Decode for ProviderState {
+    fn decode(
+        r: &mut safetypin_primitives::wire::Reader<'_>,
+    ) -> Result<Self, safetypin_primitives::error::WireError> {
+        let log = safetypin_authlog::LogSnapshot::decode(r)?;
+        let n = r.get_u32()? as usize;
+        if n > r.remaining() {
+            return Err(safetypin_primitives::error::WireError::LengthOutOfRange);
+        }
+        let mut archived_logs = Vec::with_capacity(n);
+        for _ in 0..n {
+            archived_logs.push(r.get_seq()?);
+        }
+        Ok(Self {
+            log,
+            archived_logs,
+            update_history: r.get_seq()?,
+            reply_copies: r.get_seq()?,
+            epoch_chunks: r.get_u64()?,
+        })
+    }
+}
+
+impl<S: SnapshotBlocks + Send> Datacenter<S> {
+    /// Persists the whole datacenter into `dir`:
+    ///
+    /// * each HSM's trusted state, **sealed** under its per-device key
+    ///   ([`safetypin_hsm::Hsm::persist`]) — reused from an existing
+    ///   snapshot's keyring when re-persisting, freshly generated
+    ///   otherwise;
+    /// * the device [`Keyring`](safetypin_store::Keyring) (standing in
+    ///   for the fleet's on-chip flash — kept in its own file so the
+    ///   trust boundary is explicit);
+    /// * each HSM's outsourced block store, checkpointed
+    ///   plaintext-on-host (it is AEAD ciphertext already);
+    /// * the provider's plaintext state (log + archives + certified
+    ///   update history + §8 reply copies);
+    /// * a versioned [`SnapshotMeta`](safetypin_proto::SnapshotMeta)
+    ///   envelope, checked before anything else on restore.
+    ///
+    /// Returns the metadata that was stamped onto the snapshot. `rng`
+    /// feeds device-key generation and sealing nonces only — persisting
+    /// never perturbs protocol state.
+    pub fn persist<R: RngCore + CryptoRng>(
+        &mut self,
+        dir: &std::path::Path,
+        opts: FileOptions,
+        rng: &mut R,
+    ) -> Result<safetypin_proto::SnapshotMeta, StoreError> {
+        use safetypin_primitives::wire::Encode;
+        std::fs::create_dir_all(dir)?;
+
+        // Re-persisting over an existing snapshot reuses its device keys
+        // and writes the keyring *before* any sealed file is replaced:
+        // with a stable ring, a crash mid-persist leaves every sealed
+        // file openable (per-device staleness surfaces as typed AEAD
+        // errors for that device, never total snapshot loss). Fresh keys
+        // are generated only when no usable ring covers the fleet —
+        // i.e. when there is no prior snapshot worth preserving.
+        let keyring_path = dir.join(snapshot_files::KEYRING);
+        let keyring = match safetypin_store::Keyring::load(&keyring_path) {
+            Ok(ring) if ring.len() >= self.hsms.len() => ring,
+            Ok(_) | Err(StoreError::MissingComponent(_)) | Err(StoreError::Wire(_)) => {
+                safetypin_store::Keyring::generate(self.hsms.len(), rng)
+            }
+            Err(e) => return Err(e),
+        };
+        keyring.save(&keyring_path)?;
+        for (hsm, store) in self.hsms.iter().zip(self.stores.iter_mut()) {
+            let key = keyring.device(hsm.id()).expect("keyring covers fleet");
+            hsm.persist(dir, key, rng)?;
+            store.checkpoint_into(&blocks_dir(dir, hsm.id()), opts)?;
+        }
+
+        let state = ProviderState {
+            log: self.log.snapshot(),
+            archived_logs: self.archived_logs.clone(),
+            update_history: self.update_history.clone(),
+            reply_copies: self.reply_copies.clone(),
+            epoch_chunks: self.epoch_chunks as u64,
+        };
+        safetypin_store::write_atomic(&dir.join(snapshot_files::PROVIDER), &state.to_bytes())?;
+
+        let meta = safetypin_proto::SnapshotMeta {
+            proto_version: safetypin_proto::PROTO_VERSION,
+            fleet_size: self.hsms.len() as u64,
+            epoch_count: self.update_history.len() as u64,
+            log_generation: self.log.generation(),
+            key_epochs: self.hsms.iter().map(|h| h.key_epoch()).collect(),
+        };
+        let envelope =
+            safetypin_proto::Envelope::seal(safetypin_proto::Message::SnapshotMeta(meta.clone()));
+        safetypin_store::write_atomic(&dir.join(snapshot_files::META), &envelope.to_bytes())?;
+        Ok(meta)
+    }
+}
+
+impl Datacenter<FileStore> {
+    /// Restores a datacenter from a snapshot directory, running **live**
+    /// on the snapshot's crash-safe block files (every subsequent
+    /// puncture and rotation is WAL-committed in place).
+    ///
+    /// The restored fleet re-handshakes versions first: the metadata
+    /// envelope is decoded before any sealed state is touched, so a
+    /// snapshot written by a build speaking a different
+    /// [`PROTO_VERSION`](safetypin_proto::PROTO_VERSION) fails with a
+    /// typed [`StoreError::VersionMismatch`]. Messages flow over the
+    /// zero-copy [`Direct`] transport; use
+    /// [`set_transport`](Self::set_transport) afterwards for others.
+    pub fn restore_from(
+        dir: &std::path::Path,
+        opts: FileOptions,
+    ) -> Result<(Self, safetypin_proto::SnapshotMeta), StoreError> {
+        use safetypin_primitives::wire::Decode;
+
+        let meta_bytes =
+            safetypin_store::read_component(&dir.join(snapshot_files::META), "snapshot metadata")?;
+        let envelope = safetypin_proto::Envelope::from_bytes(&meta_bytes).map_err(|e| match e {
+            safetypin_primitives::error::WireError::UnsupportedVersion(found) => {
+                StoreError::VersionMismatch {
+                    found,
+                    expected: safetypin_proto::PROTO_VERSION,
+                }
+            }
+            other => StoreError::Wire(other),
+        })?;
+        let safetypin_proto::Message::SnapshotMeta(meta) = envelope.msg else {
+            return Err(StoreError::Inconsistent(
+                "snapshot.meta does not carry a SnapshotMeta message",
+            ));
+        };
+
+        let keyring = safetypin_store::Keyring::load(&dir.join(snapshot_files::KEYRING))?;
+        if (keyring.len() as u64) < meta.fleet_size {
+            return Err(StoreError::Inconsistent("keyring does not cover the fleet"));
+        }
+
+        let mut hsms = Vec::with_capacity(meta.fleet_size as usize);
+        let mut stores = Vec::with_capacity(meta.fleet_size as usize);
+        for id in 0..meta.fleet_size {
+            let key = keyring.device(id).expect("bounds checked above");
+            hsms.push(Hsm::restore_from(dir, id, key)?);
+            stores.push(FileStore::open(blocks_dir(dir, id), opts)?);
+        }
+
+        let provider_bytes =
+            safetypin_store::read_component(&dir.join(snapshot_files::PROVIDER), "provider state")?;
+        let state = ProviderState::from_bytes(&provider_bytes)?;
+        let log = Log::from_snapshot(state.log)
+            .map_err(|_| StoreError::Inconsistent("provider log failed to replay"))?;
+
+        Ok((
+            Self {
+                hsms,
+                stores,
+                log,
+                archived_logs: state.archived_logs,
+                update_history: state.update_history,
+                reply_copies: state.reply_copies,
+                epoch_chunks: state.epoch_chunks as usize,
+                transport: Box::new(Direct::new()),
+            },
+            meta,
+        ))
     }
 }
 

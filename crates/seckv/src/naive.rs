@@ -115,7 +115,7 @@ impl NaiveArray {
         let ct = aead::seal(&self.key, &self.aad(), &pt, rng);
         self.metrics.aead_enc_ops += 1;
         self.metrics.bytes_encrypted += pt.len() as u64;
-        store.put(BLOB_ADDR, ct.to_bytes());
+        store.put(BLOB_ADDR, &ct.to_bytes());
     }
 
     fn read_blob(&mut self, store: &mut impl BlockStore) -> Result<Vec<Option<Vec<u8>>>> {
@@ -205,7 +205,7 @@ mod tests {
         let mut arr = NaiveArray::setup(&mut store, &blocks(4), &mut rng).unwrap();
         let old_blob = store.get(0).unwrap();
         arr.delete(&mut store, 0, &mut rng).unwrap();
-        store.put(0, old_blob);
+        store.put(0, &old_blob);
         assert!(matches!(
             arr.read(&mut store, 1),
             Err(StorageError::AuthFailure(0))

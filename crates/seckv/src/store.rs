@@ -12,12 +12,38 @@ use std::collections::HashMap;
 /// `get` takes `&mut self` so that instrumented and adversarial
 /// implementations can update counters or mutate their replay state on
 /// reads.
+///
+/// `put` borrows the block (`&[u8]`) rather than taking ownership: the
+/// hot write paths (`SecureArray` re-keying, `delete_batch`'s shared-
+/// prefix sweep) serialize a ciphertext once and hand the same buffer to
+/// the store, so an owning signature would force a clone per re-keyed
+/// node. Backends that need ownership (e.g. an in-memory map) copy
+/// exactly once, inside the store.
 pub trait BlockStore {
     /// Stores `block` at `addr`, replacing any previous block.
-    fn put(&mut self, addr: u64, block: Vec<u8>);
+    fn put(&mut self, addr: u64, block: &[u8]);
 
     /// Retrieves the block at `addr`, or `None` if absent.
     fn get(&mut self, addr: u64) -> Option<Vec<u8>>;
+
+    /// Forgets the block at `addr` (space reclamation after secure
+    /// deletion made the ciphertext useless). Absent addresses are a
+    /// no-op, and so is the default implementation: keeping a dead block
+    /// around is always *safe* — it can no longer be decrypted — so
+    /// backends opt in to reclamation.
+    fn remove(&mut self, _addr: u64) {}
+
+    /// Durability barrier: a persistent backend commits everything
+    /// written so far (write-ahead-log commit record + fsync, per its
+    /// durability mode) before returning. Volatile and adversarial
+    /// stores keep the default no-op.
+    fn flush(&mut self) {}
+
+    /// Accumulated I/O statistics. Instrumented backends override this;
+    /// the default reports nothing (all-zero counters).
+    fn io_stats(&self) -> StoreStats {
+        StoreStats::default()
+    }
 }
 
 /// Byte/operation counters for a store.
@@ -27,10 +53,40 @@ pub struct StoreStats {
     pub reads: u64,
     /// Number of `put` calls.
     pub writes: u64,
+    /// Number of `remove` calls.
+    pub removes: u64,
     /// Total bytes returned by `get`.
     pub bytes_read: u64,
     /// Total bytes accepted by `put`.
     pub bytes_written: u64,
+    /// `get` calls served from a block cache (backends with one).
+    pub cache_hits: u64,
+    /// `get` calls that missed the block cache and went to the backing
+    /// medium.
+    pub cache_misses: u64,
+}
+
+impl StoreStats {
+    /// Component-wise sum (fleet-level aggregation).
+    pub fn add(&mut self, other: &StoreStats) {
+        self.reads += other.reads;
+        self.writes += other.writes;
+        self.removes += other.removes;
+        self.bytes_read += other.bytes_read;
+        self.bytes_written += other.bytes_written;
+        self.cache_hits += other.cache_hits;
+        self.cache_misses += other.cache_misses;
+    }
+
+    /// Cache hit rate over all cache-visible reads, or `None` when the
+    /// backend recorded no cache traffic (e.g. [`MemStore`]).
+    pub fn cache_hit_rate(&self) -> Option<f64> {
+        let total = self.cache_hits + self.cache_misses;
+        if total == 0 {
+            return None;
+        }
+        Some(self.cache_hits as f64 / total as f64)
+    }
 }
 
 /// An in-memory block store with instrumentation, used as the honest
@@ -74,10 +130,10 @@ impl MemStore {
 }
 
 impl BlockStore for MemStore {
-    fn put(&mut self, addr: u64, block: Vec<u8>) {
+    fn put(&mut self, addr: u64, block: &[u8]) {
         self.stats.writes += 1;
         self.stats.bytes_written += block.len() as u64;
-        self.blocks.insert(addr, block);
+        self.blocks.insert(addr, block.to_vec());
     }
 
     fn get(&mut self, addr: u64) -> Option<Vec<u8>> {
@@ -87,6 +143,15 @@ impl BlockStore for MemStore {
             self.stats.bytes_read += b.len() as u64;
         }
         block
+    }
+
+    fn remove(&mut self, addr: u64) {
+        self.stats.removes += 1;
+        self.blocks.remove(&addr);
+    }
+
+    fn io_stats(&self) -> StoreStats {
+        self.stats
     }
 }
 
@@ -114,8 +179,12 @@ pub mod adversarial {
     }
 
     impl<S: BlockStore> BlockStore for TamperingStore<S> {
-        fn put(&mut self, addr: u64, block: Vec<u8>) {
+        fn put(&mut self, addr: u64, block: &[u8]) {
             self.inner.put(addr, block);
+        }
+
+        fn remove(&mut self, addr: u64) {
+            self.inner.remove(addr);
         }
 
         fn get(&mut self, addr: u64) -> Option<Vec<u8>> {
@@ -147,12 +216,15 @@ pub mod adversarial {
     }
 
     impl BlockStore for ReplayStore {
-        fn put(&mut self, addr: u64, block: Vec<u8>) {
+        fn put(&mut self, addr: u64, block: &[u8]) {
             self.first_writes
                 .entry(addr)
-                .or_insert_with(|| block.clone());
+                .or_insert_with(|| block.to_vec());
             self.current.put(addr, block);
         }
+
+        // `remove` keeps the default no-op: a rollback attacker never
+        // forgets a block it has seen.
 
         fn get(&mut self, addr: u64) -> Option<Vec<u8>> {
             if self.replay_enabled {
@@ -182,8 +254,12 @@ pub mod adversarial {
     }
 
     impl<S: BlockStore> BlockStore for DroppingStore<S> {
-        fn put(&mut self, addr: u64, block: Vec<u8>) {
+        fn put(&mut self, addr: u64, block: &[u8]) {
             self.inner.put(addr, block);
+        }
+
+        fn remove(&mut self, addr: u64) {
+            self.inner.remove(addr);
         }
 
         fn get(&mut self, addr: u64) -> Option<Vec<u8>> {
@@ -202,8 +278,8 @@ mod tests {
     #[test]
     fn memstore_roundtrip_and_stats() {
         let mut s = MemStore::new();
-        s.put(1, vec![1, 2, 3]);
-        s.put(2, vec![4]);
+        s.put(1, &[1, 2, 3]);
+        s.put(2, &[4]);
         assert_eq!(s.get(1), Some(vec![1, 2, 3]));
         assert_eq!(s.get(3), None);
         let st = s.stats();
@@ -216,8 +292,8 @@ mod tests {
     #[test]
     fn memstore_overwrite() {
         let mut s = MemStore::new();
-        s.put(7, vec![1]);
-        s.put(7, vec![2]);
+        s.put(7, &[1]);
+        s.put(7, &[2]);
         assert_eq!(s.get(7), Some(vec![2]));
         assert_eq!(s.block_count(), 1);
     }
@@ -225,8 +301,8 @@ mod tests {
     #[test]
     fn tampering_store_corrupts_selected() {
         let mut inner = MemStore::new();
-        inner.put(1, vec![0xAA]);
-        inner.put(2, vec![0xBB]);
+        inner.put(1, &[0xAA]);
+        inner.put(2, &[0xBB]);
         let mut t = adversarial::TamperingStore::new(inner, |addr| addr == 1);
         assert_eq!(t.get(1), Some(vec![0xAB]));
         assert_eq!(t.get(2), Some(vec![0xBB]));
@@ -235,8 +311,8 @@ mod tests {
     #[test]
     fn replay_store_rolls_back() {
         let mut r = adversarial::ReplayStore::new();
-        r.put(5, vec![1]);
-        r.put(5, vec![2]);
+        r.put(5, &[1]);
+        r.put(5, &[2]);
         assert_eq!(r.get(5), Some(vec![2]));
         r.replay_enabled = true;
         assert_eq!(r.get(5), Some(vec![1]));
@@ -245,7 +321,7 @@ mod tests {
     #[test]
     fn dropping_store_hides_blocks() {
         let mut inner = MemStore::new();
-        inner.put(9, vec![9]);
+        inner.put(9, &[9]);
         let mut d = adversarial::DroppingStore::new(inner, |addr| addr == 9);
         assert_eq!(d.get(9), None);
     }

@@ -20,7 +20,8 @@
 
 use rand::{CryptoRng, RngCore};
 use safetypin_primitives::aead::{self, AeadCiphertext, AeadKey, KEY_LEN};
-use safetypin_primitives::wire::{Decode, Encode};
+use safetypin_primitives::error::WireError;
+use safetypin_primitives::wire::{Decode, Encode, Reader, Writer};
 
 use crate::store::BlockStore;
 use crate::{Result, StorageError};
@@ -61,6 +62,79 @@ impl Metrics {
     fn record_dec(&mut self, ciphertext_len: usize) {
         self.aead_dec_ops += 1;
         self.bytes_decrypted += ciphertext_len as u64;
+    }
+}
+
+impl Encode for Metrics {
+    fn encode(&self, w: &mut Writer) {
+        w.put_u64(self.aead_enc_ops);
+        w.put_u64(self.aead_dec_ops);
+        w.put_u64(self.bytes_encrypted);
+        w.put_u64(self.bytes_decrypted);
+        w.put_u64(self.blocks_fetched);
+        w.put_u64(self.blocks_written);
+    }
+}
+
+impl Decode for Metrics {
+    fn decode(r: &mut Reader<'_>) -> core::result::Result<Self, WireError> {
+        Ok(Self {
+            aead_enc_ops: r.get_u64()?,
+            aead_dec_ops: r.get_u64()?,
+            bytes_encrypted: r.get_u64()?,
+            bytes_decrypted: r.get_u64()?,
+            blocks_fetched: r.get_u64()?,
+            blocks_written: r.get_u64()?,
+        })
+    }
+}
+
+/// The complete trusted state of a [`SecureArray`] — what an HSM must
+/// carry across a restart for the outsourced tree to stay readable.
+///
+/// Contains the root AEAD key, so a serialized `ArrayState` is exactly as
+/// sensitive as the HSM's internal flash: the persistence layer
+/// (`safetypin-store`) always seals it under a device key before it
+/// leaves trusted memory. The blocks themselves stay at the untrusted
+/// provider and are *not* part of this state.
+#[derive(Clone, PartialEq, Eq)]
+pub struct ArrayState {
+    root_key: [u8; KEY_LEN],
+    len: u64,
+    height: u32,
+    array_id: [u8; 16],
+    metrics: Metrics,
+}
+
+impl core::fmt::Debug for ArrayState {
+    fn fmt(&self, f: &mut core::fmt::Formatter<'_>) -> core::fmt::Result {
+        f.debug_struct("ArrayState")
+            .field("root_key", &"<redacted>")
+            .field("len", &self.len)
+            .field("height", &self.height)
+            .finish_non_exhaustive()
+    }
+}
+
+impl Encode for ArrayState {
+    fn encode(&self, w: &mut Writer) {
+        w.put_fixed(&self.root_key);
+        w.put_u64(self.len);
+        w.put_u32(self.height);
+        w.put_fixed(&self.array_id);
+        self.metrics.encode(w);
+    }
+}
+
+impl Decode for ArrayState {
+    fn decode(r: &mut Reader<'_>) -> core::result::Result<Self, WireError> {
+        Ok(Self {
+            root_key: r.get_array::<KEY_LEN>()?,
+            len: r.get_u64()?,
+            height: r.get_u32()?,
+            array_id: r.get_array::<16>()?,
+            metrics: Metrics::decode(r)?,
+        })
     }
 }
 
@@ -144,7 +218,7 @@ impl SecureArray {
             let ct = aead::seal(&key, &aad_for(&array_id, addr), block, rng);
             metrics.record_enc(block.len());
             metrics.blocks_written += 1;
-            store.put(addr, ct.to_bytes());
+            store.put(addr, &ct.to_bytes());
             level_keys.push(key);
         }
 
@@ -162,7 +236,7 @@ impl SecureArray {
                 let ct = aead::seal(&key, &aad_for(&array_id, addr), &pt, rng);
                 metrics.record_enc(pt.len());
                 metrics.blocks_written += 1;
-                store.put(addr, ct.to_bytes());
+                store.put(addr, &ct.to_bytes());
                 parent_keys.push(key);
             }
             level_keys = parent_keys;
@@ -218,6 +292,34 @@ impl SecureArray {
     /// tests; never used by the protocol itself).
     pub fn root_key_bytes(&self) -> [u8; KEY_LEN] {
         *self.root_key.as_bytes()
+    }
+
+    /// Exports the array's constant trusted state for persistence.
+    ///
+    /// The returned [`ArrayState`] contains the root key; callers must
+    /// seal it (see `safetypin-store`) before writing it to host storage.
+    pub fn export_state(&self) -> ArrayState {
+        ArrayState {
+            root_key: *self.root_key.as_bytes(),
+            len: self.len,
+            height: self.height,
+            array_id: self.array_id,
+            metrics: self.metrics,
+        }
+    }
+
+    /// Reconstructs an array handle from exported state. The caller is
+    /// responsible for presenting the same block store the original
+    /// handle wrote to; mismatches surface as AEAD authentication
+    /// failures on the first read.
+    pub fn from_state(state: ArrayState) -> Self {
+        Self {
+            root_key: AeadKey::from_bytes(state.root_key),
+            len: state.len,
+            height: state.height,
+            array_id: state.array_id,
+            metrics: state.metrics,
+        }
     }
 
     fn check_index(&self, i: u64) -> Result<()> {
@@ -319,6 +421,9 @@ impl SecureArray {
         if self.height == 0 {
             // Single-item array: "deleting" means forgetting the root key.
             self.root_key = AeadKey::from_bytes(ZERO_KEY);
+            // The lone ciphertext is now undecryptable; let the provider
+            // reclaim it.
+            store.remove(1);
             return Ok(());
         }
 
@@ -364,6 +469,12 @@ impl SecureArray {
                 .expect("every target's parent was decrypted");
             let slot = if leaf_addr & 1 == 0 { left } else { right };
             *slot = AeadKey::from_bytes(ZERO_KEY);
+            // The leaf ciphertext can never be decrypted again (its key
+            // slot is zeroed and the path above is about to be re-keyed):
+            // tell the provider it may reclaim the block. Purely an
+            // optimization — a backend that ignores `remove` keeps a
+            // dead ciphertext.
+            store.remove(leaf_addr);
         }
 
         // Ascend (descending address order = children before parents):
@@ -379,7 +490,7 @@ impl SecureArray {
             let ct = aead::seal(&fresh, &aad_for(&self.array_id, addr), &pt, rng);
             self.metrics.record_enc(pt.len());
             self.metrics.blocks_written += 1;
-            store.put(addr, ct.to_bytes());
+            store.put(addr, &ct.to_bytes());
             if addr == 1 {
                 self.root_key = fresh;
             } else {
@@ -554,8 +665,8 @@ mod tests {
         let mut arr = SecureArray::setup(&mut store, &blocks(4), &mut rng).unwrap();
         let a = store.get(4).unwrap();
         let b = store.get(5).unwrap();
-        store.put(4, b);
-        store.put(5, a);
+        store.put(4, &b);
+        store.put(5, &a);
         assert!(arr.read(&mut store, 0).is_err());
         assert!(arr.read(&mut store, 1).is_err());
     }
@@ -602,7 +713,7 @@ mod tests {
         // Overwrite A's blocks with B's blocks.
         for addr in 1..=7u64 {
             if let Some(b) = store_b.get(addr) {
-                store_a.put(addr, b);
+                store_a.put(addr, &b);
             }
         }
         assert!(arr_a.read(&mut store_a, 0).is_err());
@@ -802,6 +913,49 @@ mod tests {
         }
         // Whole interior re-keyed exactly once: 31 nodes for 32 leaves.
         assert_eq!(arr.metrics().aead_enc_ops, 31);
+    }
+
+    #[test]
+    fn state_export_restores_working_handle() {
+        use safetypin_primitives::wire::{Decode, Encode};
+        let mut rng = rng();
+        let mut store = MemStore::new();
+        let data = blocks(16);
+        let mut arr = SecureArray::setup(&mut store, &data, &mut rng).unwrap();
+        arr.delete(&mut store, 9, &mut rng).unwrap();
+
+        // Export, serialize, decode, rebuild — the restored handle reads
+        // and deletes against the same store exactly like the original.
+        let state = arr.export_state();
+        let back = ArrayState::from_bytes(&state.to_bytes()).unwrap();
+        assert_eq!(back, state);
+        let mut restored = SecureArray::from_state(back);
+        assert_eq!(restored.len(), 16);
+        assert_eq!(restored.metrics(), arr.metrics());
+        for i in 0..16u64 {
+            let got = restored.read(&mut store, i);
+            if i == 9 {
+                assert_eq!(got.unwrap_err(), StorageError::Deleted(9));
+            } else {
+                assert_eq!(got.unwrap(), data[i as usize]);
+            }
+        }
+        restored.delete(&mut store, 3, &mut rng).unwrap();
+        assert!(restored.read(&mut store, 3).is_err());
+    }
+
+    #[test]
+    fn delete_reclaims_leaf_blocks() {
+        let mut rng = rng();
+        let mut store = MemStore::new();
+        let mut arr = SecureArray::setup(&mut store, &blocks(8), &mut rng).unwrap();
+        let before = store.block_count();
+        arr.delete_batch(&mut store, &[1, 6], &mut rng).unwrap();
+        assert_eq!(store.block_count(), before - 2);
+        assert_eq!(store.stats().removes, 2);
+        // Leaves 1 and 6 live at 8+1 and 8+6.
+        assert!(store.get(9).is_none());
+        assert!(store.get(14).is_none());
     }
 
     #[test]

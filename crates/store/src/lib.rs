@@ -1,0 +1,82 @@
+//! Crash-safe persistent storage for HSM state and the provider log.
+//!
+//! SafetyPin's HSMs keep only a small root secret on-chip and outsource
+//! the bulky puncturable-encryption tree to untrusted host storage
+//! (paper §6, Table 7). This crate gives the reproduction the host side
+//! of that bargain — durable, restartable storage — in two layers:
+//!
+//! 1. **[`FileStore`]** — a [`BlockStore`](safetypin_seckv::BlockStore)
+//!    backend over an append-only
+//!    segment file plus a write-ahead log with atomic checkpointing,
+//!    per-record CRC/length framing for torn-write detection, and a
+//!    byte-budgeted LRU block cache whose hit/miss counters fold into
+//!    [`StoreStats`](safetypin_seckv::StoreStats). Recovered state after
+//!    a crash is always the state at some commit boundary, never a torn
+//!    hybrid (pinned by a crash-point property test over every WAL
+//!    truncation offset).
+//! 2. **Sealed snapshots** — [`DeviceKey`]/[`Keyring`] seal each HSM's
+//!    trusted state (secure-array root key, identity/signing secrets,
+//!    log bookkeeping) under a per-device AEAD key before it reaches the
+//!    host filesystem, while provider-side state (audit log, enrollment
+//!    table, the block files themselves) stays plaintext-on-host, just
+//!    like a live datacenter. The role crates (`safetypin-hsm`,
+//!    `safetypin-provider`, `safetypin`) build their `persist`/`restore`
+//!    entry points on these primitives.
+//!
+//! Durability is tunable: [`Durability::Strict`] fsyncs at every commit
+//! and checkpoint; [`Durability::Relaxed`] keeps the identical WAL
+//! discipline but elides the syncs, which is what CI uses to run the
+//! crash-recovery suite quickly.
+//!
+//! For failure injection, [`CrashingStore`] extends the adversarial
+//! store family of `safetypin-seckv` with a host that dies after a byte
+//! budget, tearing the write in flight.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod crash;
+pub mod error;
+pub mod file;
+pub mod lru;
+pub mod seal;
+pub mod snapshot;
+pub mod wal;
+
+pub use crash::CrashingStore;
+pub use error::StoreError;
+pub use file::{Durability, FileOptions, FileStore, RecoveryReport};
+pub use seal::{seal_domain, DeviceKey, Keyring};
+pub use snapshot::SnapshotBlocks;
+
+use std::io::Write;
+use std::path::Path;
+
+/// Writes `bytes` to `path` atomically: a sibling tmp file is written,
+/// synced, and renamed into place, then the parent directory is synced
+/// so the rename itself survives power loss. Readers observe either the
+/// old or the new contents — never a torn file.
+pub fn write_atomic(path: &Path, bytes: &[u8]) -> Result<(), StoreError> {
+    let tmp = path.with_extension("tmp");
+    {
+        let mut f = std::fs::File::create(&tmp)?;
+        f.write_all(bytes)?;
+        f.sync_all()?;
+    }
+    std::fs::rename(&tmp, path)?;
+    if let Some(parent) = path.parent() {
+        std::fs::File::open(parent)?.sync_all()?;
+    }
+    Ok(())
+}
+
+/// Reads a snapshot component, mapping absence to a typed error.
+pub fn read_component(path: &Path, what: &'static str) -> Result<Vec<u8>, StoreError> {
+    match std::fs::read(path) {
+        Ok(bytes) => Ok(bytes),
+        Err(e) if e.kind() == std::io::ErrorKind::NotFound => {
+            Err(StoreError::MissingComponent(what))
+        }
+        Err(e) => Err(StoreError::Io(e)),
+    }
+}

@@ -1,0 +1,159 @@
+//! A byte-budgeted least-recently-used block cache.
+//!
+//! The provider-side block files hold the Bloom-filter secret arrays —
+//! 64 MB per HSM at paper scale — while the hot working set of a
+//! recovery is the union of a few root-to-leaf paths. A small LRU in
+//! front of the file absorbs the repeated upper-tree reads (every path
+//! shares the top levels), which is what the `cold_start` benchmark's
+//! recovery-storm hit rate measures.
+//!
+//! Recency is tracked with a monotonic tick per entry plus an ordered
+//! tick → address map, so touch and eviction are both `O(log n)` with no
+//! unsafe linked-list plumbing.
+
+use std::collections::{BTreeMap, HashMap};
+
+/// A bounded LRU mapping block addresses to block bytes.
+#[derive(Debug)]
+pub struct LruCache {
+    capacity_bytes: u64,
+    used_bytes: u64,
+    tick: u64,
+    entries: HashMap<u64, (Vec<u8>, u64)>,
+    order: BTreeMap<u64, u64>,
+}
+
+impl LruCache {
+    /// Creates a cache holding at most `capacity_bytes` of block data.
+    /// A capacity of 0 disables caching entirely.
+    pub fn new(capacity_bytes: u64) -> Self {
+        Self {
+            capacity_bytes,
+            used_bytes: 0,
+            tick: 0,
+            entries: HashMap::new(),
+            order: BTreeMap::new(),
+        }
+    }
+
+    /// Current number of cached blocks.
+    pub fn len(&self) -> usize {
+        self.entries.len()
+    }
+
+    /// True when nothing is cached.
+    pub fn is_empty(&self) -> bool {
+        self.entries.is_empty()
+    }
+
+    /// Bytes of block data currently held.
+    pub fn used_bytes(&self) -> u64 {
+        self.used_bytes
+    }
+
+    /// Looks up `addr`, refreshing its recency on a hit.
+    pub fn get(&mut self, addr: u64) -> Option<&[u8]> {
+        self.tick += 1;
+        let tick = self.tick;
+        let (block, last) = self.entries.get_mut(&addr)?;
+        self.order.remove(last);
+        *last = tick;
+        self.order.insert(tick, addr);
+        Some(block.as_slice())
+    }
+
+    /// Inserts (or replaces) `addr`, evicting least-recently-used
+    /// entries until the budget holds. Blocks larger than the whole
+    /// budget are not cached.
+    pub fn put(&mut self, addr: u64, block: &[u8]) {
+        if block.len() as u64 > self.capacity_bytes {
+            self.remove(addr);
+            return;
+        }
+        self.remove(addr);
+        self.tick += 1;
+        self.used_bytes += block.len() as u64;
+        self.entries.insert(addr, (block.to_vec(), self.tick));
+        self.order.insert(self.tick, addr);
+        while self.used_bytes > self.capacity_bytes {
+            let (&oldest, &victim) = self.order.iter().next().expect("over budget implies entry");
+            self.order.remove(&oldest);
+            let (block, _) = self.entries.remove(&victim).expect("order tracks entries");
+            self.used_bytes -= block.len() as u64;
+        }
+    }
+
+    /// Drops `addr` from the cache, if present.
+    pub fn remove(&mut self, addr: u64) {
+        if let Some((block, last)) = self.entries.remove(&addr) {
+            self.order.remove(&last);
+            self.used_bytes -= block.len() as u64;
+        }
+    }
+
+    /// Empties the cache.
+    pub fn clear(&mut self) {
+        self.entries.clear();
+        self.order.clear();
+        self.used_bytes = 0;
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn hit_refreshes_recency() {
+        let mut c = LruCache::new(3);
+        c.put(1, &[1]);
+        c.put(2, &[2]);
+        c.put(3, &[3]);
+        // Touch 1 so 2 becomes the LRU victim.
+        assert!(c.get(1).is_some());
+        c.put(4, &[4]);
+        assert!(c.get(2).is_none());
+        assert!(c.get(1).is_some());
+        assert_eq!(c.len(), 3);
+    }
+
+    #[test]
+    fn byte_budget_enforced() {
+        let mut c = LruCache::new(10);
+        c.put(1, &[0; 6]);
+        c.put(2, &[0; 6]);
+        assert_eq!(c.len(), 1);
+        assert!(c.get(1).is_none());
+        assert_eq!(c.used_bytes(), 6);
+    }
+
+    #[test]
+    fn oversized_block_not_cached_and_invalidates() {
+        let mut c = LruCache::new(4);
+        c.put(1, &[1; 2]);
+        c.put(1, &[1; 100]);
+        assert!(c.get(1).is_none());
+        assert_eq!(c.used_bytes(), 0);
+    }
+
+    #[test]
+    fn replace_updates_bytes() {
+        let mut c = LruCache::new(10);
+        c.put(1, &[0; 8]);
+        c.put(1, &[0; 2]);
+        assert_eq!(c.used_bytes(), 2);
+        assert_eq!(c.get(1).unwrap().len(), 2);
+    }
+
+    #[test]
+    fn zero_capacity_disables() {
+        let mut c = LruCache::new(0);
+        c.put(1, &[]);
+        c.put(2, &[1]);
+        assert!(c.get(2).is_none());
+        // Empty blocks fit a zero budget (0 <= 0).
+        assert!(c.get(1).is_some());
+        c.remove(1);
+        assert!(c.is_empty());
+    }
+}

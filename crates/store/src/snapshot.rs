@@ -1,0 +1,116 @@
+//! How a live backend's blocks reach a snapshot directory.
+//!
+//! The datacenter persists each HSM's outsourced block store alongside
+//! the sealed device state. The blocks are AEAD ciphertext already —
+//! they live *at the provider* in the threat model — so they go to disk
+//! plaintext-on-host, as a checkpointed [`FileStore`] (segment only,
+//! empty WAL): the most compact, fastest-to-reopen representation.
+//!
+//! [`SnapshotBlocks`] abstracts over the live backend: an in-memory
+//! fleet ([`MemStore`]) streams its blocks into a fresh `FileStore`,
+//! while a disk-backed fleet whose store already *is* the snapshot
+//! directory just commits and checkpoints in place.
+
+use std::path::Path;
+
+use safetypin_seckv::{BlockStore, MemStore};
+
+use crate::error::StoreError;
+use crate::file::{FileOptions, FileStore};
+
+/// Backends whose blocks can be captured into (and served from) a
+/// snapshot directory.
+pub trait SnapshotBlocks: BlockStore {
+    /// Writes every live block into a checkpointed [`FileStore`] rooted
+    /// at `dir`, replacing whatever that directory held.
+    fn checkpoint_into(&mut self, dir: &Path, opts: FileOptions) -> Result<(), StoreError>;
+}
+
+fn rebuild_into(
+    blocks: impl IntoIterator<Item = (u64, Vec<u8>)>,
+    dir: &Path,
+    opts: FileOptions,
+) -> Result<(), StoreError> {
+    if dir.exists() {
+        std::fs::remove_dir_all(dir)?;
+    }
+    std::fs::create_dir_all(dir)?;
+    // Write the segment directly — one framed `Put` per block in
+    // ascending address order plus a closing `Commit`, exactly what a
+    // checkpoint produces — instead of detouring every block through
+    // the WAL and rewriting it during a checkpoint (2x the bytes at
+    // 64 MB-per-HSM scale). `write_atomic` gives the same
+    // tmp + fsync + rename + dir-sync publication as a live checkpoint.
+    let mut sorted: Vec<(u64, Vec<u8>)> = blocks.into_iter().collect();
+    sorted.sort_unstable_by_key(|(addr, _)| *addr);
+    let mut bytes = Vec::new();
+    for (addr, block) in sorted {
+        bytes.extend_from_slice(&crate::wal::Record::Put { addr, block }.to_frame());
+    }
+    bytes.extend_from_slice(&crate::wal::Record::Commit { seq: 1 }.to_frame());
+    crate::write_atomic(&dir.join(crate::file::SEGMENT_FILE), &bytes)?;
+    // Validate what we wrote replays cleanly (and create the WAL file).
+    FileStore::open(dir, opts)?;
+    Ok(())
+}
+
+impl SnapshotBlocks for MemStore {
+    fn checkpoint_into(&mut self, dir: &Path, opts: FileOptions) -> Result<(), StoreError> {
+        rebuild_into(self.snapshot(), dir, opts)
+    }
+}
+
+impl SnapshotBlocks for FileStore {
+    fn checkpoint_into(&mut self, dir: &Path, opts: FileOptions) -> Result<(), StoreError> {
+        if self.dir() == dir {
+            // The live store already is the snapshot: fold the WAL into
+            // the segment so reopening is a pure segment load.
+            self.commit()?;
+            self.checkpoint()?;
+            return Ok(());
+        }
+        rebuild_into(self.snapshot(), dir, opts)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn tmpdir(tag: &str) -> std::path::PathBuf {
+        let dir =
+            std::env::temp_dir().join(format!("safetypin-snapblocks-{}-{tag}", std::process::id()));
+        let _ = std::fs::remove_dir_all(&dir);
+        dir
+    }
+
+    #[test]
+    fn memstore_checkpoints_into_filestore() {
+        let dir = tmpdir("mem");
+        let mut mem = MemStore::new();
+        mem.put(3, &[3; 10]);
+        mem.put(9, &[9; 4]);
+        mem.checkpoint_into(&dir, FileOptions::relaxed()).unwrap();
+        let mut back = FileStore::open(&dir, FileOptions::relaxed()).unwrap();
+        assert_eq!(back.snapshot(), mem.snapshot());
+        assert_eq!(back.wal_len(), 0, "snapshot is segment-only");
+        std::fs::remove_dir_all(&dir).unwrap();
+    }
+
+    #[test]
+    fn filestore_checkpoints_in_place_and_elsewhere() {
+        let dir = tmpdir("fs-live");
+        let other = tmpdir("fs-copy");
+        let mut live = FileStore::open(&dir, FileOptions::relaxed()).unwrap();
+        live.put(1, &[1]);
+        live.flush();
+        live.checkpoint_into(&dir, FileOptions::relaxed()).unwrap();
+        assert_eq!(live.wal_len(), 0);
+        live.checkpoint_into(&other, FileOptions::relaxed())
+            .unwrap();
+        let mut copy = FileStore::open(&other, FileOptions::relaxed()).unwrap();
+        assert_eq!(copy.get(1), Some(vec![1]));
+        std::fs::remove_dir_all(&dir).unwrap();
+        std::fs::remove_dir_all(&other).unwrap();
+    }
+}

@@ -1,0 +1,86 @@
+//! Durable fleet: provision → back up → persist to disk → kill the
+//! process state → restore → recover.
+//!
+//! Demonstrates the `safetypin-store` persistence subsystem: the
+//! datacenter's state survives on disk — each HSM's trusted state
+//! sealed under its device key, the outsourced block trees as
+//! crash-safe WAL+segment files, the provider's log in plaintext — and
+//! a restored fleet completes a PIN recovery exactly as the original
+//! would have, then keeps running *live* on the crash-safe files.
+//!
+//! Run with: `cargo run --release --example durable_fleet`
+
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+use safetypin::{Deployment, SystemParams};
+use safetypin_store::FileOptions;
+
+fn main() {
+    let mut rng = StdRng::seed_from_u64(0xD15C);
+    let dir = std::env::temp_dir().join(format!("safetypin-durable-fleet-{}", std::process::id()));
+    let _ = std::fs::remove_dir_all(&dir);
+
+    // Day 0: provision a fleet and take a backup.
+    println!("provisioning a 16-HSM SafetyPin datacenter (in-memory)...");
+    let params = SystemParams::test_small(16);
+    let mut deployment = Deployment::provision(params, &mut rng).expect("provisioning succeeds");
+    let mut phone = deployment.new_client(b"alice@example.com").unwrap();
+    let disk_key = b"32-byte disk-encryption key!!!!!";
+    let artifact = phone.backup(b"493201", disk_key, 0, &mut rng).unwrap();
+    println!(
+        "backup created: {} byte recovery ciphertext",
+        artifact.ciphertext.len()
+    );
+
+    // The datacenter saves its state: sealed HSM snapshots + device
+    // keyring + checkpointed block files + provider log + versioned
+    // metadata.
+    println!("persisting the deployment to {}...", dir.display());
+    let meta = deployment
+        .persist(&dir, FileOptions::default(), &mut rng)
+        .expect("persist succeeds");
+    println!(
+        "snapshot written: {} HSMs, protocol v{}, {} certified epochs",
+        meta.fleet_size, meta.proto_version, meta.epoch_count
+    );
+
+    // Power cut. Every in-memory structure is gone.
+    drop(deployment);
+    println!("process state dropped (simulated power cut)");
+
+    // Restart: restore the fleet from disk. The protocol version is
+    // re-handshaked from the snapshot metadata before any sealed state
+    // is opened, and the restored fleet runs live on the crash-safe
+    // file stores.
+    let (mut restored, meta) =
+        Deployment::restore_from(&dir, FileOptions::default()).expect("restore succeeds");
+    println!(
+        "restored {} HSMs from disk (protocol v{} re-handshake ok)",
+        meta.fleet_size, meta.proto_version
+    );
+
+    // The replacement phone recovers with the PIN alone — served
+    // entirely by the restored fleet.
+    let outcome = restored
+        .recover(&phone, b"493201", &artifact, &mut rng)
+        .expect("recovery against the restored fleet succeeds");
+    assert_eq!(outcome.message, disk_key);
+    println!(
+        "recovered the disk key via {} of {} restored HSMs",
+        outcome.responders, outcome.contacted
+    );
+
+    // Forward secrecy survived the restart too: the HSMs punctured
+    // before replying, and those punctures are WAL-committed on disk.
+    let punctures: u64 = (0..meta.fleet_size)
+        .map(|i| restored.datacenter.hsm(i).unwrap().punctures())
+        .sum();
+    println!("punctures committed to crash-safe storage: {punctures}");
+    assert!(restored
+        .recover(&phone, b"493201", &artifact, &mut rng)
+        .is_err());
+    println!("second recovery attempt refused (log + punctured keys) — as designed");
+
+    let _ = std::fs::remove_dir_all(&dir);
+    println!("done.");
+}

@@ -210,3 +210,40 @@ fn remote_fleet_main_path() {
     assert!(stats.dropped >= 1);
     assert!(stats.total_bytes() > 0, "envelopes must be measured");
 }
+
+/// `examples/durable_fleet.rs`: provision → backup → persist → drop →
+/// restore → recover, with punctures committed to crash-safe storage.
+#[test]
+fn durable_fleet_main_path() {
+    use safetypin_store::FileOptions;
+
+    let dir = std::env::temp_dir().join(format!("safetypin-smoke-durable-{}", std::process::id()));
+    let _ = std::fs::remove_dir_all(&dir);
+
+    let (mut deployment, mut rng) = deployment(6);
+    let mut phone = deployment.new_client(b"alice@example.com").unwrap();
+    let disk_key = b"32-byte disk-encryption key!!!!!";
+    let artifact = phone.backup(b"493201", disk_key, 0, &mut rng).unwrap();
+
+    let meta = deployment
+        .persist(&dir, FileOptions::relaxed(), &mut rng)
+        .unwrap();
+    assert_eq!(meta.fleet_size, 16);
+    drop(deployment);
+
+    let (mut restored, meta) =
+        safetypin::Deployment::restore_from(&dir, FileOptions::relaxed()).unwrap();
+    assert_eq!(meta.proto_version, safetypin::proto::PROTO_VERSION);
+    let outcome = restored
+        .recover(&phone, b"493201", &artifact, &mut rng)
+        .unwrap();
+    assert_eq!(outcome.message, disk_key);
+    let punctures: u64 = (0..meta.fleet_size)
+        .map(|i| restored.datacenter.hsm(i).unwrap().punctures())
+        .sum();
+    assert!(punctures > 0, "punctures must be committed on disk");
+    assert!(restored
+        .recover(&phone, b"493201", &artifact, &mut rng)
+        .is_err());
+    let _ = std::fs::remove_dir_all(&dir);
+}

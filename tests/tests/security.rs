@@ -192,7 +192,7 @@ fn exfiltrated_storage_cannot_resurrect_deleted_shares() {
 
     // Adversarial provider restores the pre-puncture blocks.
     for (addr, block) in snapshot {
-        store.put(addr, block);
+        store.put(addr, &block);
     }
     assert!(
         sk.decrypt(&mut store, b"tag", b"ctx", &ct).is_err(),
