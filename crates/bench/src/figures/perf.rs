@@ -27,7 +27,7 @@ use p256::{NonZeroScalar, ProjectivePoint};
 use rand::rngs::StdRng;
 use rand::SeedableRng;
 use safetypin::proto::Direct;
-use safetypin::{Deployment, SystemParams};
+use safetypin::{Deployment, RecoverManyOptions, RecoverySession, SystemParams};
 use safetypin_bfe::{encrypt, keygen, BfeParams};
 use safetypin_primitives::elgamal::PublicKey;
 use safetypin_seckv::{MemStore, SecureArray};
@@ -45,6 +45,8 @@ struct Scale {
     keygen_iters: u32,
     enc_iters: u32,
     storm_users: u64,
+    /// Concurrency ladder for the `throughput` section (users per storm).
+    throughput_users: &'static [u64],
 }
 
 fn scale() -> Scale {
@@ -57,6 +59,7 @@ fn scale() -> Scale {
             keygen_iters: 1,
             enc_iters: 50,
             storm_users: 6,
+            throughput_users: &[1, 4, 8],
         }
     } else {
         Scale {
@@ -67,6 +70,7 @@ fn scale() -> Scale {
             keygen_iters: 3,
             enc_iters: 2_000,
             storm_users: 32,
+            throughput_users: &[1, 8, 32, 128],
         }
     }
 }
@@ -88,6 +92,7 @@ pub fn run() {
     fixed_base_and_batch_encrypt(&mut report, &scale);
     parallel_fanout(&mut report, &scale);
     cold_start(&mut report, &scale);
+    throughput(&mut report, &scale);
     report.finish();
 }
 
@@ -528,5 +533,190 @@ fn cold_start(report: &mut Report, scale: &Scale) {
     report.metric("recovery_storm_users", scale.storm_users as f64);
     report.metric("recovery_storm_s", storm_s);
     report.metric("recovery_storm_cache_hit_rate", hit_rate);
+    if std::env::var_os("PERF_QUICK").is_none() {
+        // Satellite acceptance: pinning the top secure-array levels in
+        // the LRU must lift the storm hit rate above the pre-pinning
+        // 55.4% measured on this workload.
+        assert!(
+            hit_rate > 0.554,
+            "storm hit rate {:.1}% did not beat the unpinned 55.4% baseline",
+            100.0 * hit_rate
+        );
+    }
     let _ = std::fs::remove_dir_all(&dir);
+}
+
+/// Part 5: the multi-user recovery throughput engine — recoveries/sec
+/// vs concurrency, serial one-at-a-time baseline vs
+/// `Deployment::recover_many` (cross-user coalesced envelopes, batched
+/// punctures, group-commit durability), plus the fsync-per-recovery and
+/// MSM-vs-naive scalar-multiplication counters.
+fn throughput(report: &mut Report, scale: &Scale) {
+    let params = SystemParams::scaled(scale.fleet, scale.cluster, scale.slots).unwrap();
+    let base =
+        std::env::temp_dir().join(format!("safetypin-perf-throughput-{}", std::process::id()));
+    let _ = std::fs::remove_dir_all(&base);
+    let dir_serial = base.join("serial");
+    let dir_engine = base.join("engine");
+
+    // One provisioned fleet persisted twice: two independent on-disk
+    // twins, so the serial baseline and the engine each mutate their own
+    // crash-safe FileStore state (where fsyncs and cache hits are real).
+    let mut rng = StdRng::seed_from_u64(0x7410);
+    let mut fleet = Deployment::provision(params, &mut rng).unwrap();
+    let mut seal_rng = StdRng::seed_from_u64(0x7411);
+    fleet
+        .persist(&dir_serial, FileOptions::relaxed(), &mut seal_rng)
+        .unwrap();
+    fleet
+        .persist(&dir_engine, FileOptions::relaxed(), &mut seal_rng)
+        .unwrap();
+    drop(fleet);
+    let (mut serial, _) = Deployment::restore_from(&dir_serial, FileOptions::relaxed()).unwrap();
+    let (mut engine, _) = Deployment::restore_from(&dir_engine, FileOptions::relaxed()).unwrap();
+
+    report.section(
+        format!(
+            "5. throughput engine: multi-user recovery, serial vs engine \
+             (N = {}, {}-slot keys, FileStore-backed)",
+            scale.fleet, scale.slots
+        )
+        .as_str(),
+    );
+
+    let mut rows: Vec<Vec<String>> = Vec::new();
+    let mut user_counter = 0u64;
+    let mut engine_hit_rate_last = 0.0f64;
+    for &users in scale.throughput_users {
+        // Fresh users for this rung (tags stay distinct per world).
+        let names: Vec<String> = (0..users)
+            .map(|_| {
+                let name = format!("tp-user-{user_counter}");
+                user_counter += 1;
+                name
+            })
+            .collect();
+
+        // --- serial baseline: one epoch + one cluster round per user,
+        // one WAL commit per served request. ---
+        let mut rng_s = StdRng::seed_from_u64(0x7412 ^ users);
+        let mut serial_sessions = Vec::with_capacity(names.len());
+        for name in &names {
+            let mut client = serial.new_client(name.as_bytes()).unwrap();
+            let artifact = client
+                .backup(b"314159", b"throughput payload", 0, &mut rng_s)
+                .unwrap();
+            serial_sessions.push((client, artifact));
+        }
+        let store_before = serial.datacenter.fleet_store_stats();
+        let _ = p256::take_op_counts();
+        let (_, serial_secs) = time_once(|| {
+            for (client, artifact) in &serial_sessions {
+                let outcome = serial
+                    .recover(client, b"314159", artifact, &mut rng_s)
+                    .unwrap();
+                assert_eq!(outcome.message, b"throughput payload");
+            }
+        });
+        let serial_ops = p256::take_op_counts();
+        let serial_store = serial.datacenter.fleet_store_stats();
+        let serial_fsyncs = serial_store.flushes - store_before.flushes;
+
+        // --- engine: one wave — one epoch, one envelope per HSM per
+        // direction, cross-user coalesced punctures, one group commit
+        // per device. ---
+        let mut rng_e = StdRng::seed_from_u64(0x7412 ^ users);
+        let mut engine_sessions = Vec::with_capacity(names.len());
+        for name in &names {
+            let mut client = engine.new_client(name.as_bytes()).unwrap();
+            let artifact = client
+                .backup(b"314159", b"throughput payload", 0, &mut rng_e)
+                .unwrap();
+            engine_sessions.push((client, artifact));
+        }
+        let store_before = engine.datacenter.fleet_store_stats();
+        let _ = p256::take_op_counts();
+        let (_, engine_secs) = time_once(|| {
+            let sessions: Vec<RecoverySession<'_>> = engine_sessions
+                .iter()
+                .map(|(client, artifact)| RecoverySession {
+                    client,
+                    pin: b"314159",
+                    artifact,
+                })
+                .collect();
+            for outcome in engine.recover_many(&sessions, RecoverManyOptions::default(), &mut rng_e)
+            {
+                assert_eq!(outcome.unwrap().message, b"throughput payload");
+            }
+        });
+        let engine_ops = p256::take_op_counts();
+        let engine_store = engine.datacenter.fleet_store_stats();
+        let engine_fsyncs = engine_store.flushes - store_before.flushes;
+        let hits = engine_store.cache_hits - store_before.cache_hits;
+        let misses = engine_store.cache_misses - store_before.cache_misses;
+        engine_hit_rate_last = hits as f64 / (hits + misses).max(1) as f64;
+
+        let serial_rps = users as f64 / serial_secs;
+        let engine_rps = users as f64 / engine_secs;
+        rows.push(vec![
+            users.to_string(),
+            format!("{serial_rps:.1}"),
+            format!("{engine_rps:.1}"),
+            format!("{:.2}x", engine_rps / serial_rps),
+            format!("{:.1}", serial_fsyncs as f64 / users as f64),
+            format!("{:.1}", engine_fsyncs as f64 / users as f64),
+        ]);
+        report.metric(&format!("throughput_serial_rps_{users}"), serial_rps);
+        report.metric(&format!("throughput_engine_rps_{users}"), engine_rps);
+        report.metric(
+            &format!("throughput_speedup_{users}"),
+            engine_rps / serial_rps,
+        );
+        report.metric(
+            &format!("throughput_serial_fsyncs_per_recovery_{users}"),
+            serial_fsyncs as f64 / users as f64,
+        );
+        report.metric(
+            &format!("throughput_engine_fsyncs_per_recovery_{users}"),
+            engine_fsyncs as f64 / users as f64,
+        );
+        report.metric(
+            &format!("throughput_serial_naive_mults_{users}"),
+            serial_ops.var_mults as f64,
+        );
+        report.metric(
+            &format!("throughput_engine_msm_terms_{users}"),
+            engine_ops.msm_terms as f64,
+        );
+        report.metric(
+            &format!("throughput_engine_msm_calls_{users}"),
+            engine_ops.msm_calls as f64,
+        );
+    }
+    report.table(
+        &[
+            "users",
+            "serial rec/s",
+            "engine rec/s",
+            "speedup",
+            "fsync/rec serial",
+            "fsync/rec engine",
+        ],
+        &rows,
+    );
+    report.line(
+        "the engine amortizes one epoch + one envelope per HSM per direction + \
+         one group-commit fsync per device across every user in the wave; \
+         serial pays all three per user.",
+    );
+    report.line(format!(
+        "engine storm LRU hit rate (largest rung): {:.1}% — note the engine's \
+         shared-prefix batch reads eliminate the redundant upper-level \
+         fetches that would have been hits, so its *rate* is not comparable \
+         to the serial storm's; the absolute read count is what shrinks.",
+        100.0 * engine_hit_rate_last
+    ));
+    report.metric("throughput_engine_hit_rate", engine_hit_rate_last);
+    let _ = std::fs::remove_dir_all(&base);
 }

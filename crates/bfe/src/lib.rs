@@ -154,6 +154,42 @@ impl BfePublicKey {
     pub fn serialized_len(&self) -> u64 {
         self.params.public_key_bytes()
     }
+
+    /// Batch-audits slot scalars read back from outsourced storage
+    /// against this public key in **one multi-scalar multiplication**.
+    ///
+    /// Checks `Σᵢ wᵢ·Xᵢ = g^(Σᵢ wᵢ·xᵢ)` for fresh random weights `wᵢ`:
+    /// if every presented scalar matches its published slot point the
+    /// identity holds; any substituted scalar survives only with the
+    /// probability of guessing a random weight relation (≈ 2⁻²⁵²). The
+    /// naive equivalent is one `g^xᵢ` fixed-base check per scalar; the
+    /// MSM folds a whole coalesced batch — across users — into one
+    /// [`p256::mul_multi`] plus a single fixed-base multiplication,
+    /// which is what an HSM serving a recovery storm calls once per
+    /// batch ([`decrypt_traced`](BfeSecretKey::decrypt_traced) supplies
+    /// the traces). An empty batch passes.
+    pub fn audit_slot_scalars<R: RngCore + CryptoRng>(
+        &self,
+        traces: &[(u64, Scalar)],
+        rng: &mut R,
+    ) -> bool {
+        if traces.is_empty() {
+            return true;
+        }
+        let mut bases = Vec::with_capacity(traces.len());
+        let mut weights = Vec::with_capacity(traces.len());
+        let mut exponent = Scalar::ZERO;
+        for &(idx, scalar) in traces {
+            if idx >= self.params.slots {
+                return false;
+            }
+            let w = *NonZeroScalar::random(rng).as_ref();
+            bases.push(*self.slot(idx).as_point());
+            exponent = exponent + w * scalar;
+            weights.push(w);
+        }
+        p256::mul_multi(&bases, &weights) == FixedBaseTable::generator().mul(&exponent)
+    }
 }
 
 impl Encode for BfePublicKey {
@@ -239,8 +275,13 @@ pub fn keygen<S: BlockStore, R: RngCore + CryptoRng>(
     ))
 }
 
-fn point_sec1(point: &ProjectivePoint) -> Vec<u8> {
-    point.to_affine().to_encoded_point(true).as_bytes().to_vec()
+/// Compressed SEC1 bytes of a non-identity point, on the stack (the
+/// shared-secret hash input — encode only, never re-parsed).
+fn point_sec1(point: &ProjectivePoint) -> [u8; POINT_LEN] {
+    let enc = point.to_affine().to_encoded_point(true);
+    let mut out = [0u8; POINT_LEN];
+    out.copy_from_slice(enc.as_bytes());
+    out
 }
 
 /// A BFE ciphertext: one shared ephemeral nonce plus one DEM per Bloom slot
@@ -292,14 +333,23 @@ impl Decode for BfeCiphertext {
     }
 }
 
-fn dem_key(shared: &ProjectivePoint, eph: &PublicKey, slot: u64, context: &[u8]) -> AeadKey {
+/// Derives one slot's DEM key. `eph_sec1` is the ephemeral point's SEC1
+/// encoding, computed **once per operation** by the caller and reused
+/// across all `k` slots (the last encode→hash hop the `perf` scorecard's
+/// `bfe_encrypt` row was still paying per slot).
+fn dem_key(
+    shared: &ProjectivePoint,
+    eph_sec1: &[u8; POINT_LEN],
+    slot: u64,
+    context: &[u8],
+) -> AeadKey {
     let shared_bytes = point_sec1(shared);
     let digest = hash_parts(
         Domain::ElGamalKdf,
         &[
             b"bfe",
             &shared_bytes,
-            &eph.to_sec1(),
+            eph_sec1,
             &slot.to_be_bytes(),
             context,
         ],
@@ -328,9 +378,10 @@ pub fn encrypt<R: RngCore + CryptoRng>(
     // slot per encryption).
     let bases: Vec<ProjectivePoint> = indices.iter().map(|&i| *pk.slot(i).as_point()).collect();
     let shareds = p256::mul_many(&bases, r.as_ref());
+    let eph_sec1 = eph.to_sec1();
     let mut slots = Vec::with_capacity(indices.len());
     for (idx, shared) in indices.into_iter().zip(shareds) {
-        let key = dem_key(&shared, &eph, idx, context);
+        let key = dem_key(&shared, &eph_sec1, idx, context);
         let dem = aead::seal(&key, context, msg, rng);
         slots.push((idx, dem));
     }
@@ -462,8 +513,28 @@ impl BfeSecretKey {
         context: &[u8],
         ct: &BfeCiphertext,
     ) -> Result<(Vec<u8>, OpReport)> {
+        self.decrypt_traced(store, tag, context, ct)
+            .map(|(pt, report, _)| (pt, report))
+    }
+
+    /// Like [`decrypt`](Self::decrypt), additionally returning the
+    /// `(slot index, slot scalar)` that produced the plaintext.
+    ///
+    /// The trace is what lets an HSM serving a **coalesced multi-user
+    /// batch** audit every slot scalar it read from outsourced storage
+    /// against its own published public key in a single multi-scalar
+    /// multiplication ([`BfePublicKey::audit_slot_scalars`]) instead of
+    /// one naive `g^x` check per share.
+    pub fn decrypt_traced<S: BlockStore>(
+        &mut self,
+        store: &mut S,
+        tag: &[u8],
+        context: &[u8],
+        ct: &BfeCiphertext,
+    ) -> Result<(Vec<u8>, OpReport, (u64, Scalar))> {
         let mut report = OpReport::default();
         let expected = self.params.indices_for_tag(tag);
+        let eph_sec1 = ct.eph.to_sec1();
         for idx in expected {
             // Find the DEM the encryptor placed for this slot.
             let Some((_, dem)) = ct.slots.iter().find(|(slot, _)| *slot == idx) else {
@@ -487,15 +558,132 @@ impl BfeSecretKey {
                 Option::<Scalar>::from(Scalar::from_repr(arr)).ok_or(CryptoError::InvalidScalar)?;
             let shared = *ct.eph.as_point() * scalar;
             report.group_ops += 1;
-            let key = dem_key(&shared, &ct.eph, idx, context);
+            let key = dem_key(&shared, &eph_sec1, idx, context);
             report.aead_ops += 1;
             if let Ok(pt) = aead::open(&key, context, dem) {
-                return Ok((pt, report));
+                return Ok((pt, report, (idx, scalar)));
             }
             // An authentication failure on a surviving slot means the
             // ciphertext is malformed for this tag; try remaining slots.
         }
         Err(CryptoError::DecryptionFailed)
+    }
+
+    /// Decrypts many ciphertexts — typically **many users'** coalesced
+    /// share decryptions on one HSM — in rounds of shared-prefix batch
+    /// reads.
+    ///
+    /// Each item needs one surviving Bloom slot; per round, every
+    /// unresolved item's next candidate slot is read through
+    /// [`SecureArray::read_batch`], so the union of all items'
+    /// root-to-leaf paths is fetched and AEAD-opened **once** instead of
+    /// once per item (a recovery storm's paths share their upper
+    /// levels). Outcomes per item are exactly what
+    /// [`decrypt_traced`](Self::decrypt_traced) would produce — same
+    /// slot-candidate order, same error cases — only the meters differ.
+    ///
+    /// Returns per-item results in input order plus one aggregate
+    /// [`OpReport`] for the whole batch.
+    #[allow(clippy::type_complexity)]
+    pub fn decrypt_many_traced<S: BlockStore>(
+        &mut self,
+        store: &mut S,
+        items: &[(&[u8], &[u8], &BfeCiphertext)],
+    ) -> (Vec<Result<(Vec<u8>, (u64, Scalar))>>, OpReport) {
+        let mut report = OpReport::default();
+        let mut out: Vec<Option<Result<(Vec<u8>, (u64, Scalar))>>> =
+            Vec::with_capacity(items.len());
+        out.resize_with(items.len(), || None);
+
+        // Per item: candidate slots in tag order, restricted (like the
+        // serial path) to slots the encryptor actually placed a DEM for,
+        // plus the ephemeral point's SEC1 encoding hoisted once per item
+        // (the same hoist the serial path performs per ciphertext).
+        let mut eph_sec1: Vec<[u8; POINT_LEN]> = Vec::with_capacity(items.len());
+        let mut active: Vec<(usize, Vec<u64>, usize)> = Vec::with_capacity(items.len());
+        for (k, (tag, _, ct)) in items.iter().enumerate() {
+            eph_sec1.push(ct.eph.to_sec1());
+            let slots: Vec<u64> = self
+                .params
+                .indices_for_tag(tag)
+                .into_iter()
+                .filter(|idx| ct.slots.iter().any(|(slot, _)| slot == idx))
+                .collect();
+            if slots.is_empty() {
+                // No candidate slot carries a DEM for this tag — the
+                // serial path would exhaust its loop and fail.
+                out[k] = Some(Err(CryptoError::DecryptionFailed));
+            } else {
+                active.push((k, slots, 0));
+            }
+        }
+
+        while !active.is_empty() {
+            let wanted: Vec<u64> = active.iter().map(|(_, slots, next)| slots[*next]).collect();
+            let before = self.array.metrics();
+            let reads = self.array.read_batch(store, &wanted);
+            let after = self.array.metrics();
+            report.aead_ops += after.aead_dec_ops - before.aead_dec_ops;
+            report.aead_bytes += after.bytes_decrypted - before.bytes_decrypted;
+            report.blocks_read += after.blocks_fetched - before.blocks_fetched;
+
+            let mut still_active = Vec::with_capacity(active.len());
+            for ((k, slots, mut next), read) in active.into_iter().zip(reads) {
+                let idx = slots[next];
+                let (_, _, ct) = items[k];
+                let result =
+                    match read {
+                        Ok(scalar_bytes) => {
+                            let parsed = scalar_bytes.as_slice().try_into().ok().and_then(
+                                |arr: [u8; 32]| Option::<Scalar>::from(Scalar::from_repr(arr)),
+                            );
+                            match parsed {
+                                // A malformed stored scalar is a hard error,
+                                // exactly like the serial path.
+                                None => Some(Err(CryptoError::InvalidScalar)),
+                                Some(scalar) => {
+                                    let shared = *ct.eph.as_point() * scalar;
+                                    report.group_ops += 1;
+                                    let key = dem_key(&shared, &eph_sec1[k], idx, items[k].1);
+                                    report.aead_ops += 1;
+                                    let dem = ct
+                                        .slots
+                                        .iter()
+                                        .find(|(slot, _)| *slot == idx)
+                                        .map(|(_, dem)| dem)
+                                        .expect("candidate list was filtered to present slots");
+                                    match aead::open(&key, items[k].1, dem) {
+                                        Ok(pt) => Some(Ok((pt, (idx, scalar)))),
+                                        // Auth failure on a surviving slot:
+                                        // try the remaining candidates.
+                                        Err(_) => None,
+                                    }
+                                }
+                            }
+                        }
+                        Err(StorageError::Deleted(_)) => None,
+                        Err(_) => Some(Err(CryptoError::DecryptionFailed)),
+                    };
+                match result {
+                    Some(done) => out[k] = Some(done),
+                    None => {
+                        next += 1;
+                        if next < slots.len() {
+                            still_active.push((k, slots, next));
+                        } else {
+                            out[k] = Some(Err(CryptoError::DecryptionFailed));
+                        }
+                    }
+                }
+            }
+            active = still_active;
+        }
+        (
+            out.into_iter()
+                .map(|r| r.expect("every item resolved"))
+                .collect(),
+            report,
+        )
     }
 
     /// Punctures `tag`: securely deletes all of its slot secrets.
@@ -535,6 +723,54 @@ impl BfeSecretKey {
         report.blocks_read += after.blocks_fetched - before.blocks_fetched;
         report.blocks_written += after.blocks_written - before.blocks_written;
         self.punctures += 1;
+        Ok(report)
+    }
+
+    /// Punctures many **distinct** tags in one coalesced pass: the union
+    /// of every tag's Bloom-slot indices is securely deleted by a single
+    /// [`SecureArray::delete_batch`], so the shared upper tree levels are
+    /// decrypted and re-keyed once for the whole batch instead of once
+    /// per tag — the cross-user amortization a recovery-storm engine
+    /// lives on.
+    ///
+    /// Semantically equivalent to puncturing each tag in turn (same
+    /// subsequent decrypt outcomes, same conservative per-tag rotation
+    /// accounting); callers coalescing requests must still apply the
+    /// serial ordering rule themselves — a tag that must observe an
+    /// *earlier* puncture of the same tag cannot ride the same batch.
+    /// An empty batch is a no-op.
+    pub fn puncture_many<S: BlockStore, R: RngCore + CryptoRng>(
+        &mut self,
+        store: &mut S,
+        tags: &[&[u8]],
+        rng: &mut R,
+    ) -> Result<OpReport> {
+        let mut report = OpReport::default();
+        if tags.is_empty() {
+            return Ok(report);
+        }
+        let mut union: Vec<u64> = Vec::new();
+        let mut requested = 0u64;
+        for tag in tags {
+            let indices = self.params.indices_for_tag(tag);
+            requested += indices.len() as u64;
+            union.extend(indices);
+        }
+        let before = self.array.metrics();
+        if self.array.delete_batch(store, &union, rng).is_err() {
+            return Err(CryptoError::DecryptionFailed);
+        }
+        // Same conservative rotation trigger as sequential puncturing:
+        // every *requested* slot counts, overlaps included.
+        self.slots_deleted += requested;
+        let after = self.array.metrics();
+        report.aead_ops +=
+            (after.aead_dec_ops - before.aead_dec_ops) + (after.aead_enc_ops - before.aead_enc_ops);
+        report.aead_bytes += (after.bytes_decrypted - before.bytes_decrypted)
+            + (after.bytes_encrypted - before.bytes_encrypted);
+        report.blocks_read += after.blocks_fetched - before.blocks_fetched;
+        report.blocks_written += after.blocks_written - before.blocks_written;
+        self.punctures += tags.len() as u64;
         Ok(report)
     }
 
@@ -704,6 +940,179 @@ mod tests {
             sequential_ops
         );
         assert!(report.blocks_read + report.blocks_written < sequential_ops);
+    }
+
+    #[test]
+    fn puncture_many_matches_sequential_punctures() {
+        let mut rng = rng();
+        let tags: Vec<&[u8]> = vec![b"tag-a", b"tag-b", b"tag-c"];
+
+        let mut store_seq = MemStore::new();
+        let (_, mut seq, _) = keygen(small_params(), &mut store_seq, &mut rng).unwrap();
+        let mut store_bat = MemStore::new();
+        let (pk, mut bat, _) = keygen(small_params(), &mut store_bat, &mut rng).unwrap();
+
+        for tag in &tags {
+            seq.puncture(&mut store_seq, tag, &mut rng).unwrap();
+        }
+        let report = bat.puncture_many(&mut store_bat, &tags, &mut rng).unwrap();
+
+        assert_eq!(bat.punctures(), seq.punctures());
+        assert_eq!(bat.slots_deleted(), seq.slots_deleted());
+        // The coalesced pass must beat three sequential punctures on
+        // block round-trips (shared upper levels touched once).
+        assert!(report.blocks_read + report.blocks_written > 0);
+
+        // Every punctured tag is dead on both keys; a fresh tag lives.
+        for tag in &tags {
+            let ct = encrypt(&pk, tag, b"c", b"m", &mut rng);
+            assert!(bat.decrypt(&mut store_bat, tag, b"c", &ct).is_err());
+        }
+        let ct = encrypt(&pk, b"tag-d", b"c", b"m", &mut rng);
+        assert!(bat.decrypt(&mut store_bat, b"tag-d", b"c", &ct).is_ok());
+    }
+
+    #[test]
+    fn puncture_many_coalescing_beats_sequential_roundtrips() {
+        let mut rng = rng();
+        let tags: Vec<Vec<u8>> = (0..8u64).map(|t| t.to_be_bytes().to_vec()).collect();
+        let tag_refs: Vec<&[u8]> = tags.iter().map(|t| t.as_slice()).collect();
+
+        let mut store_seq = MemStore::new();
+        let (_, mut seq, _) = keygen(small_params(), &mut store_seq, &mut rng).unwrap();
+        let mut store_bat = MemStore::new();
+        let (_, mut bat, _) = keygen(small_params(), &mut store_bat, &mut rng).unwrap();
+
+        let mut seq_report = OpReport::default();
+        for tag in &tag_refs {
+            seq_report.add(&seq.puncture(&mut store_seq, tag, &mut rng).unwrap());
+        }
+        let bat_report = bat
+            .puncture_many(&mut store_bat, &tag_refs, &mut rng)
+            .unwrap();
+        assert!(
+            bat_report.aead_ops < seq_report.aead_ops,
+            "coalesced {} vs sequential {}",
+            bat_report.aead_ops,
+            seq_report.aead_ops
+        );
+        assert!(
+            bat_report.blocks_read + bat_report.blocks_written
+                < seq_report.blocks_read + seq_report.blocks_written
+        );
+    }
+
+    #[test]
+    fn puncture_many_empty_is_noop() {
+        let mut rng = rng();
+        let mut store = MemStore::new();
+        let (_, mut sk, _) = keygen(small_params(), &mut store, &mut rng).unwrap();
+        let report = sk.puncture_many(&mut store, &[], &mut rng).unwrap();
+        assert_eq!(report, OpReport::default());
+        assert_eq!(sk.punctures(), 0);
+    }
+
+    #[test]
+    fn decrypt_many_traced_matches_serial_decrypts() {
+        let mut rng = rng();
+        let mut store_a = MemStore::new();
+        let (pk, mut serial, _) = keygen(small_params(), &mut store_a, &mut rng).unwrap();
+        let mut store_b = MemStore::new();
+        let mut rng2 = StdRng::seed_from_u64(31337); // twin keygen stream
+        let (_, mut batch, _) = keygen(small_params(), &mut store_b, &mut rng2).unwrap();
+
+        // A mix of live tags, a punctured tag, and a wrong-tag item.
+        let cts: Vec<(Vec<u8>, BfeCiphertext)> = (0..6u64)
+            .map(|t| {
+                let tag = t.to_be_bytes().to_vec();
+                let ct = encrypt(&pk, &tag, b"ctx", format!("m{t}").as_bytes(), &mut rng);
+                (tag, ct)
+            })
+            .collect();
+        serial
+            .puncture(&mut store_a, &2u64.to_be_bytes(), &mut rng)
+            .unwrap();
+        batch
+            .puncture(&mut store_b, &2u64.to_be_bytes(), &mut rng)
+            .unwrap();
+
+        let wrong_tag = 99u64.to_be_bytes().to_vec();
+        let mut items: Vec<(&[u8], &[u8], &BfeCiphertext)> = cts
+            .iter()
+            .map(|(tag, ct)| (tag.as_slice(), b"ctx" as &[u8], ct))
+            .collect();
+        items.push((wrong_tag.as_slice(), b"ctx", &cts[0].1));
+
+        let (batched, report) = batch.decrypt_many_traced(&mut store_b, &items);
+        assert!(report.aead_ops > 0 && report.blocks_read > 0);
+        for (k, (tag, context, ct)) in items.iter().enumerate() {
+            let single = serial.decrypt_traced(&mut store_a, tag, context, ct);
+            match (&batched[k], &single) {
+                (Ok((pt_b, trace_b)), Ok((pt_s, _, trace_s))) => {
+                    assert_eq!(pt_b, pt_s, "item {k}");
+                    assert_eq!(trace_b, trace_s, "item {k}");
+                }
+                (Err(_), Err(_)) => {}
+                other => panic!("item {k} diverged: {other:?}"),
+            }
+        }
+
+        // The shared-prefix pass must beat one-at-a-time on block reads.
+        let mut store_c = MemStore::new();
+        let mut rng3 = StdRng::seed_from_u64(31337);
+        let (_, mut lone, _) = keygen(small_params(), &mut store_c, &mut rng3).unwrap();
+        let mut serial_report = OpReport::default();
+        for (tag, context, ct) in &items {
+            if let Ok((_, r, _)) = lone.decrypt_traced(&mut store_c, tag, context, ct) {
+                serial_report.add(&r);
+            }
+        }
+        assert!(
+            report.blocks_read < serial_report.blocks_read + 30,
+            "batched reads {} should not exceed serial {} by the failed items' walks",
+            report.blocks_read,
+            serial_report.blocks_read
+        );
+    }
+
+    #[test]
+    fn decrypt_traced_exposes_the_surviving_slot() {
+        let mut rng = rng();
+        let mut store = MemStore::new();
+        let (pk, mut sk, _) = keygen(small_params(), &mut store, &mut rng).unwrap();
+        let ct = encrypt(&pk, b"t", b"c", b"m", &mut rng);
+        let (pt, _, (idx, scalar)) = sk.decrypt_traced(&mut store, b"t", b"c", &ct).unwrap();
+        assert_eq!(pt, b"m");
+        // The trace is the slot's true discrete log.
+        assert!(pk.params.indices_for_tag(b"t").contains(&idx));
+        assert!(pk.audit_slot_scalars(&[(idx, scalar)], &mut rng));
+    }
+
+    #[test]
+    fn audit_slot_scalars_accepts_honest_and_rejects_substituted() {
+        use p256::elliptic_curve::Field as _;
+        let mut rng = rng();
+        let mut store = MemStore::new();
+        let (pk, mut sk, _) = keygen(small_params(), &mut store, &mut rng).unwrap();
+        // Collect honest traces across several "users" (tags).
+        let mut traces = Vec::new();
+        for t in 0..4u64 {
+            let tag = t.to_be_bytes();
+            let ct = encrypt(&pk, &tag, b"c", b"m", &mut rng);
+            let (_, _, trace) = sk.decrypt_traced(&mut store, &tag, b"c", &ct).unwrap();
+            traces.push(trace);
+        }
+        assert!(pk.audit_slot_scalars(&traces, &mut rng));
+        assert!(pk.audit_slot_scalars(&[], &mut rng), "empty batch passes");
+
+        // One substituted scalar sinks the whole batch.
+        let mut bad = traces.clone();
+        bad[2].1 = Scalar::random(&mut rng);
+        assert!(!pk.audit_slot_scalars(&bad, &mut rng));
+        // Out-of-range slot index is rejected outright.
+        let mut oob = traces;
+        oob[0].0 = pk.params.slots;
+        assert!(!pk.audit_slot_scalars(&oob, &mut rng));
     }
 
     #[test]

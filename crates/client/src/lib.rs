@@ -403,13 +403,33 @@ impl RecoveryAttempt {
 
     /// Completes recovery from the HSM responses; tolerates missing HSMs
     /// (fail-stop) and corrupted shares via bounded robust reconstruction.
+    ///
+    /// §8 encrypted replies are all addressed to the one per-recovery
+    /// key, so their ElGamal decryptions run as a single shared-scalar
+    /// batch ([`elgamal::decrypt_many`]) rather than one exponentiation
+    /// at a time.
     pub fn finish(&self, responses: Vec<RecoveryResponse>) -> Result<Vec<u8>, ClientError> {
         let context = share_context(&self.username, &self.ct.salt);
         let mut shares: Vec<Share> = Vec::new();
+        let mut encrypted: Vec<elgamal::Ciphertext> = Vec::new();
         for response in responses {
-            let sk = self.recovery_kp.as_ref().map(|kp| &kp.sk);
-            if let Ok(batch) = response.open(sk, &context) {
-                shares.extend(batch);
+            match response {
+                RecoveryResponse::Plain(batch) => shares.extend(batch),
+                RecoveryResponse::Encrypted(ct) => encrypted.push(ct),
+            }
+        }
+        if !encrypted.is_empty() {
+            if let Some(kp) = &self.recovery_kp {
+                let items: Vec<(&[u8], &elgamal::Ciphertext)> = encrypted
+                    .iter()
+                    .map(|ct| (context.as_slice(), ct))
+                    .collect();
+                for pt in elgamal::decrypt_many(&kp.sk, &items).into_iter().flatten() {
+                    let mut r = safetypin_primitives::wire::Reader::new(&pt);
+                    if let Ok(batch) = r.get_seq::<Share>() {
+                        shares.extend(batch);
+                    }
+                }
             }
         }
         if shares.len() < self.params.threshold {

@@ -8,7 +8,7 @@
 //! window tracking (Figure 4).
 
 use rand::{CryptoRng, RngCore};
-use safetypin_client::{BackupArtifact, Client, ClientError};
+use safetypin_client::{BackupArtifact, Client, ClientError, RecoveryAttempt};
 use safetypin_hsm::{HsmError, RecoveryPhases};
 use safetypin_proto::{SnapshotMeta, Transport, TransportStats};
 use safetypin_provider::{Datacenter, ProviderError};
@@ -176,6 +176,33 @@ impl Deployment<MemStore> {
     }
 }
 
+/// One user's recovery job for [`Deployment::recover_many`].
+pub struct RecoverySession<'a> {
+    /// The recovering client (must have downloaded the enrollments).
+    pub client: &'a Client,
+    /// The PIN the user typed.
+    pub pin: &'a [u8],
+    /// The backup being recovered.
+    pub artifact: &'a BackupArtifact,
+}
+
+/// Tuning for the multi-user recovery engine. The default (`wave: 0`,
+/// `workers: 0`) runs everyone in one wave across all cores.
+#[derive(Debug, Clone, Copy, Default)]
+pub struct RecoverManyOptions {
+    /// Users per engine wave (`0` = everyone in one wave). Each wave is
+    /// one log epoch plus one grouped transport round; smaller waves
+    /// bound the per-device group size (and therefore the deferred
+    /// trusted-memory obligation per group commit) at the cost of more
+    /// epochs.
+    pub wave: usize,
+    /// Worker-thread cap for the per-HSM fan-out (`0` = all cores;
+    /// `1` = the serial baseline). Outcomes are byte-identical for any
+    /// value — every device's group runs under its own sequentially
+    /// seeded RNG stream.
+    pub workers: usize,
+}
+
 impl<S: BlockStore + Send> Deployment<S> {
     /// Creates a client that has downloaded the fleet's enrollment
     /// records.
@@ -247,6 +274,179 @@ impl<S: BlockStore + Send> Deployment<S> {
             window: WindowPhase::Revoked,
             wire: self.datacenter.transport_stats().since(&wire_before),
         })
+    }
+
+    /// The multi-user recovery engine: serves many users' recoveries
+    /// **concurrently**, amortizing everything a one-at-a-time loop pays
+    /// per user across the whole wave:
+    ///
+    /// * one log epoch certifies every attempt in the wave (vs one epoch
+    ///   per user);
+    /// * every request bound for the same HSM travels in **one envelope
+    ///   per device per direction**
+    ///   ([`Datacenter::route_recovery_multi`]);
+    /// * each device serves its coalesced group with cross-user batched
+    ///   punctures, one MSM slot audit, and a **single group-commit
+    ///   durability barrier** — punctures for the whole group commit
+    ///   before any share leaves any device.
+    ///
+    /// Outcomes come back per user, in session order; one user's refusal
+    /// (attempt already consumed, wrong PIN) never sinks the wave. The
+    /// served shares are **byte-identical** to recovering the same users
+    /// sequentially through [`recover`](Self::recover), for any worker
+    /// count and wave size (pinned by `tests/tests/throughput.rs`); the
+    /// per-user `wire` stats report the wave's traffic amortized evenly
+    /// across its users — the engine's whole point is that this number
+    /// falls as the wave grows.
+    pub fn recover_many<R: RngCore + CryptoRng>(
+        &mut self,
+        sessions: &[RecoverySession<'_>],
+        opts: RecoverManyOptions,
+        rng: &mut R,
+    ) -> Vec<Result<RecoveryOutcome, DeploymentError>> {
+        let mut outcomes: Vec<Option<Result<RecoveryOutcome, DeploymentError>>> =
+            Vec::with_capacity(sessions.len());
+        outcomes.resize_with(sessions.len(), || None);
+        let wave_size = if opts.wave == 0 {
+            sessions.len().max(1)
+        } else {
+            opts.wave
+        };
+        let workers = if opts.workers == 0 {
+            usize::MAX
+        } else {
+            opts.workers
+        };
+
+        for (wave_index, wave) in sessions.chunks(wave_size).enumerate() {
+            let wave_start = wave_index * wave_size;
+            let wire_before = self.datacenter.transport_stats();
+
+            // Steps 2–3 per user: prepare the attempt, log it. A refused
+            // insertion (attempt already consumed) fails that user only.
+            let mut staged: Vec<(usize, RecoveryAttempt, Vec<u8>, Vec<u8>)> = Vec::new();
+            for (offset, session) in wave.iter().enumerate() {
+                let idx = wave_start + offset;
+                let attempt = match session.client.start_recovery(
+                    session.pin,
+                    &session.artifact.ciphertext,
+                    false,
+                    rng,
+                ) {
+                    Ok(attempt) => attempt,
+                    Err(e) => {
+                        outcomes[idx] = Some(Err(e.into()));
+                        continue;
+                    }
+                };
+                let (id, value) = attempt.log_entry();
+                if self.datacenter.insert_log(&id, &value).is_err() {
+                    outcomes[idx] = Some(Err(DeploymentError::AttemptRefused));
+                    continue;
+                }
+                staged.push((idx, attempt, id, value));
+            }
+            if staged.is_empty() {
+                continue;
+            }
+
+            // Step 4, once per wave: a single epoch certifies every
+            // logged attempt in the batch.
+            if let Err(e) = self.datacenter.run_epoch() {
+                for (idx, ..) in staged {
+                    outcomes[idx] = Some(Err(e.clone().into()));
+                }
+                continue;
+            }
+
+            // Step 5 per user: inclusion proof + per-HSM requests.
+            let mut rounds = Vec::with_capacity(staged.len());
+            let mut meta: Vec<(usize, RecoveryAttempt, usize)> = Vec::with_capacity(staged.len());
+            for (idx, attempt, id, value) in staged {
+                match self.datacenter.prove_inclusion(&id, &value) {
+                    Some(inclusion) => {
+                        let requests = attempt.requests(&inclusion);
+                        meta.push((idx, attempt, requests.len()));
+                        rounds.push(requests);
+                    }
+                    None => outcomes[idx] = Some(Err(DeploymentError::AttemptRefused)),
+                }
+            }
+            if rounds.is_empty() {
+                continue;
+            }
+
+            // Steps 6–7, one grouped round for the whole wave.
+            let served = match self
+                .datacenter
+                .route_recovery_multi_with_workers(rounds, workers, rng)
+            {
+                Ok(served) => served,
+                Err(e) => {
+                    for (idx, ..) in meta {
+                        outcomes[idx] = Some(Err(e.clone().into()));
+                    }
+                    continue;
+                }
+            };
+
+            // The wave's wire traffic, amortized evenly per user. The
+            // per-user counters are floor-divided, so a fault count
+            // smaller than the wave (e.g. 3 drops across 32 users) can
+            // round to 0 in every outcome — callers needing exact fault
+            // totals should diff `Datacenter::transport_stats` around
+            // the call instead.
+            let delta = self.datacenter.transport_stats().since(&wire_before);
+            let users = meta.len() as u64;
+            let wire_share = TransportStats {
+                envelopes: delta.envelopes / users,
+                messages: delta.messages / users,
+                request_bytes: delta.request_bytes / users,
+                response_bytes: delta.response_bytes / users,
+                dropped: delta.dropped / users,
+                corrupted: delta.corrupted / users,
+                seconds: delta.seconds / users as f64,
+            };
+
+            for ((idx, attempt, contacted), items) in meta.into_iter().zip(served) {
+                let mut phases = RecoveryPhases::default();
+                let mut responses = Vec::new();
+                let mut hard_error: Option<DeploymentError> = None;
+                for (_, item) in items {
+                    match item {
+                        Ok((response, p)) => {
+                            phases.add(&p);
+                            responses.push(response);
+                        }
+                        Err(HsmError::Unavailable) => continue,
+                        Err(e) => {
+                            hard_error = Some(ProviderError::Hsm(e).into());
+                            break;
+                        }
+                    }
+                }
+                if let Some(e) = hard_error {
+                    outcomes[idx] = Some(Err(e));
+                    continue;
+                }
+                let responders = responses.len();
+                outcomes[idx] = Some(match attempt.finish(responses) {
+                    Ok(message) => Ok(RecoveryOutcome {
+                        message,
+                        phases,
+                        responders,
+                        contacted,
+                        window: WindowPhase::Revoked,
+                        wire: wire_share,
+                    }),
+                    Err(e) => Err(e.into()),
+                });
+            }
+        }
+        outcomes
+            .into_iter()
+            .map(|o| o.expect("every session resolves to an outcome"))
+            .collect()
     }
 }
 

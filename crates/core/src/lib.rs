@@ -48,7 +48,9 @@ pub mod baseline;
 pub mod deployment;
 pub mod params;
 
-pub use deployment::{Deployment, DeploymentError, RecoveryOutcome};
+pub use deployment::{
+    Deployment, DeploymentError, RecoverManyOptions, RecoveryOutcome, RecoverySession,
+};
 pub use params::SystemParams;
 
 // Re-export the component crates under one roof for downstream users.

@@ -97,6 +97,46 @@ pub struct ExfiltratedState {
     pub log_digest: Hash256,
 }
 
+/// One request's decrypted share plaintexts with their slot traces,
+/// accumulated while a serving segment resolves its batched decrypts.
+type SlotOutcomes = Vec<(Vec<u8>, (u64, p256::Scalar))>;
+
+/// Part `i` of `total` split evenly over `parts`, remainder on part 0 —
+/// how a coalesced group's shared cost is attributed to its members'
+/// per-request phase meters (the aggregate always matches exactly).
+fn split_evenly(total: u64, parts: u64, i: u64) -> u64 {
+    total / parts + if i == 0 { total % parts } else { 0 }
+}
+
+/// A recovery that has cleared the §4.2 validation (steps 1–5) but not
+/// yet touched the outsourced store: what remains is the share
+/// decryptions and the puncture obligation.
+struct CheckedRecovery {
+    phases: RecoveryPhases,
+    tag: Vec<u8>,
+    context: Vec<u8>,
+    username: Vec<u8>,
+    /// The share ciphertexts this HSM must decrypt, in requested order.
+    share_cts: Vec<safetypin_bfe::BfeCiphertext>,
+    recovery_pk: Option<elgamal::PublicKey>,
+}
+
+/// A recovery that has passed every §4.2 check and decrypted its shares
+/// but **not yet punctured**: the puncture is an obligation the caller
+/// must discharge (immediately on the serial path, coalesced across
+/// users on the batched path) before any response bytes are built.
+struct PreparedRecovery {
+    shares: Vec<Share>,
+    phases: RecoveryPhases,
+    /// The tag whose slots the obligated puncture must delete.
+    tag: Vec<u8>,
+    context: Vec<u8>,
+    /// `(slot index, slot scalar)` of every share decryption, for the
+    /// batched MSM audit against the published public key.
+    trace: Vec<(u64, p256::Scalar)>,
+    recovery_pk: Option<elgamal::PublicKey>,
+}
+
 /// One hardware security module.
 pub struct Hsm {
     config: HsmConfig,
@@ -202,6 +242,296 @@ impl Hsm {
         // never hand out a share whose revocation evaporates.
         store.flush();
         response
+    }
+
+    /// Serves a whole coalesced request group — typically **many users'**
+    /// recoveries bound for this device in one multi-client round — under
+    /// a **single group-commit durability barrier**.
+    ///
+    /// Where [`handle`](Self::handle) flushes the block store once per
+    /// request, this method serves the entire group and flushes once:
+    /// every puncture the group performed commits together, *before* any
+    /// response is returned, so the durability boundary moves from
+    /// per-request to per-batch without ever letting a share leave the
+    /// device ahead of its revocation.
+    ///
+    /// Cross-request coalescing inside the group:
+    ///
+    /// * **Punctures** for distinct tags are deferred and applied as one
+    ///   [`BfeSecretKey::puncture_many`] pass (the union of all tags'
+    ///   Bloom slots shares root-to-leaf path prefixes). A request whose
+    ///   tag's Bloom slots are **entirely covered** by the pending tags'
+    ///   slots (a repeated tag is the common case; full cross-tag
+    ///   coverage is the rare one), or any non-recovery request, is a
+    ///   barrier: pending punctures land first, so outcomes are
+    ///   identical to serving the group serially. Partial slot overlap
+    ///   needs no barrier — any surviving slot decrypts the same
+    ///   plaintext, so the released bytes cannot differ.
+    /// * **Slot-scalar auditing** runs once per group: every share
+    ///   decryption's `(slot, scalar)` trace is batch-verified against
+    ///   the published BFE public key in a single multi-scalar
+    ///   multiplication ([`BfePublicKey::audit_slot_scalars`]) instead of
+    ///   one naive fixed-base check per share.
+    ///
+    /// Responses come back in request order, one per request, with
+    /// refusals encoded as [`HsmResponse::Error`] items exactly like
+    /// [`handle`](Self::handle).
+    ///
+    /// [`HsmResponse::Error`]: safetypin_proto::HsmResponse::Error
+    pub fn handle_batch<S: BlockStore, R: RngCore + CryptoRng>(
+        &mut self,
+        requests: Vec<safetypin_proto::HsmRequest>,
+        store: &mut S,
+        rng: &mut R,
+    ) -> Vec<safetypin_proto::HsmResponse> {
+        use safetypin_proto::{HsmRequest, HsmResponse};
+        let n = requests.len();
+        let mut responses: Vec<Option<HsmResponse>> = Vec::with_capacity(n);
+        responses.resize_with(n, || None);
+        let mut segment: Vec<(usize, RecoveryRequest)> = Vec::new();
+        // Union of the pending tags' Bloom slots: O(1) membership makes
+        // the barrier check O(k) per request, not O(segment²).
+        let mut segment_slots: std::collections::HashSet<u64> = std::collections::HashSet::new();
+
+        for (pos, request) in requests.into_iter().enumerate() {
+            match request {
+                HsmRequest::RecoverShare(req) => {
+                    let tag = types::puncture_tag(&req.username, &req.salt);
+                    let slots = self.config.bfe_params.indices_for_tag(&tag);
+                    if !segment.is_empty() && slots.iter().all(|s| segment_slots.contains(s)) {
+                        // Serial semantics: if EVERY slot this tag could
+                        // decrypt through will be punctured by pending
+                        // requests (a repeated tag, or full cross-tag
+                        // Bloom coverage), this request must observe
+                        // those punctures — flush them first. Partial
+                        // overlap is fine: a surviving slot yields the
+                        // same plaintext either way.
+                        self.serve_recovery_segment(&mut segment, &mut responses, store, rng);
+                        segment_slots.clear();
+                    }
+                    segment_slots.extend(slots);
+                    segment.push((pos, req));
+                }
+                other => {
+                    // Barrier: a rotation (or any other mutation) must not
+                    // overtake punctures that logically precede it.
+                    self.serve_recovery_segment(&mut segment, &mut responses, store, rng);
+                    segment_slots.clear();
+                    responses[pos] = Some(self.handle_inner(other, store, rng));
+                }
+            }
+        }
+        self.serve_recovery_segment(&mut segment, &mut responses, store, rng);
+
+        // THE durability barrier: everything the whole group wrote —
+        // every user's punctures, any rotation — commits in one flush
+        // (one WAL commit record, one fsync under strict durability)
+        // before a single response leaves the device.
+        store.flush();
+        responses
+            .into_iter()
+            .map(|r| r.expect("every request in the group is served"))
+            .collect()
+    }
+
+    /// Serves one coalesced recovery segment (requests whose tags'
+    /// Bloom slots are never fully covered by the tags before them, so
+    /// deferring every puncture past every decrypt cannot change any
+    /// outcome) end to end:
+    ///
+    /// 1. §4.2 validation per request ([`recover_share_checks`]);
+    /// 2. **all** surviving requests' share decryptions in one
+    ///    shared-prefix batch ([`BfeSecretKey::decrypt_many_traced`] —
+    ///    the union of every root-to-leaf path is AEAD-opened once);
+    /// 3. username-binding checks per share;
+    /// 4. the deferred-puncture discharge ([`discharge_pending`]): one
+    ///    MSM slot audit, one coalesced multi-tag puncture, responses.
+    ///
+    /// Outcomes per request match serving the segment serially; only
+    /// the meters (and their attribution across the group) differ.
+    ///
+    /// [`recover_share_checks`]: Self::recover_share_checks
+    /// [`discharge_pending`]: Self::discharge_pending
+    fn serve_recovery_segment<S: BlockStore, R: RngCore + CryptoRng>(
+        &mut self,
+        segment: &mut Vec<(usize, RecoveryRequest)>,
+        responses: &mut [Option<safetypin_proto::HsmResponse>],
+        store: &mut S,
+        rng: &mut R,
+    ) {
+        use safetypin_proto::HsmResponse;
+        if segment.is_empty() {
+            return;
+        }
+
+        // Phase 1: validation. Refusals resolve immediately.
+        let mut checked: Vec<(usize, CheckedRecovery)> = Vec::with_capacity(segment.len());
+        for (pos, request) in segment.drain(..) {
+            match self.recover_share_checks(&request) {
+                Ok(c) => checked.push((pos, c)),
+                Err(e) => responses[pos] = Some(HsmResponse::Error((&e).into())),
+            }
+        }
+        if checked.is_empty() {
+            return;
+        }
+
+        // Phase 2: one shared-prefix batch decrypt across every share of
+        // every surviving request in the segment.
+        let mut owners: Vec<usize> = Vec::new();
+        let mut items: Vec<(&[u8], &[u8], &safetypin_bfe::BfeCiphertext)> = Vec::new();
+        for (ci, (_, c)) in checked.iter().enumerate() {
+            for share_ct in &c.share_cts {
+                owners.push(ci);
+                items.push((c.tag.as_slice(), c.context.as_slice(), share_ct));
+            }
+        }
+        let (decrypted, report) = self.bfe_sk.decrypt_many_traced(store, &items);
+
+        // Attribute the batch's decrypt cost evenly across the jobs
+        // (remainder on the first), mirroring the serial per-share
+        // phase mapping: group ops → LHE, AEAD bytes and block traffic
+        // → PE.
+        let jobs = items.len() as u64;
+        let aes_total = report.aead_bytes.div_ceil(16);
+        let io_total = (report.blocks_read + report.blocks_written) * 96;
+        let job_phase = |i: u64| {
+            (
+                split_evenly(report.group_ops, jobs, i),
+                split_evenly(aes_total, jobs, i),
+                split_evenly(io_total, jobs, i),
+            )
+        };
+
+        // Phase 3: per request, fold in its jobs' outcomes and enforce
+        // the §4.1 username binding.
+        let mut pending: Vec<(usize, PreparedRecovery)> = Vec::with_capacity(checked.len());
+        let mut outcomes: Vec<Result<SlotOutcomes, HsmError>> =
+            checked.iter().map(|_| Ok(Vec::new())).collect();
+        for (i, (owner, item)) in owners.iter().zip(decrypted).enumerate() {
+            let (decs, aes, io) = job_phase(i as u64);
+            let c = &mut checked[*owner].1;
+            c.phases.lhe.elgamal_decs += decs;
+            c.phases.pe.aes_blocks += aes;
+            c.phases.pe.add_io(io);
+            if let Ok(slot_outcomes) = &mut outcomes[*owner] {
+                match item {
+                    Ok((pt, trace)) => slot_outcomes.push((pt, trace)),
+                    Err(_) => outcomes[*owner] = Err(HsmError::DecryptFailed),
+                }
+            }
+        }
+        for ((pos, c), outcome) in checked.into_iter().zip(outcomes) {
+            let CheckedRecovery {
+                phases,
+                tag,
+                context,
+                username,
+                recovery_pk,
+                ..
+            } = c;
+            let resolved = outcome.and_then(|slot_outcomes| {
+                let mut shares = Vec::with_capacity(slot_outcomes.len());
+                let mut trace = Vec::with_capacity(slot_outcomes.len());
+                for (pt, slot_trace) in slot_outcomes {
+                    let share = parse_share_plaintext(&pt, &username)
+                        .map_err(|_| HsmError::UsernameMismatch)?;
+                    shares.push(share);
+                    trace.push(slot_trace);
+                }
+                Ok((shares, trace))
+            });
+            match resolved {
+                Ok((shares, trace)) => pending.push((
+                    pos,
+                    PreparedRecovery {
+                        shares,
+                        phases,
+                        tag,
+                        context,
+                        trace,
+                        recovery_pk,
+                    },
+                )),
+                Err(e) => {
+                    self.costs.add(&phases.total());
+                    responses[pos] = Some(HsmResponse::Error((&e).into()));
+                }
+            }
+        }
+
+        // Phase 4: audit + coalesced puncture + response building.
+        self.discharge_pending(&mut pending, responses, store, rng);
+    }
+
+    /// Discharges the deferred puncture obligations accumulated by
+    /// [`serve_recovery_segment`](Self::serve_recovery_segment): one MSM
+    /// audit over every pending share decryption's slot trace, one
+    /// coalesced multi-tag puncture, then the pending responses are
+    /// built in request order.
+    fn discharge_pending<S: BlockStore, R: RngCore + CryptoRng>(
+        &mut self,
+        pending: &mut Vec<(usize, PreparedRecovery)>,
+        responses: &mut [Option<safetypin_proto::HsmResponse>],
+        store: &mut S,
+        rng: &mut R,
+    ) {
+        use safetypin_proto::HsmResponse;
+        if pending.is_empty() {
+            return;
+        }
+
+        // Batched defense-in-depth: every slot scalar this group read
+        // from outsourced storage is checked against the published
+        // public key in one MSM (instead of one g^x per share). An AEAD
+        // layer already authenticates the array, so an honest store can
+        // never fail this; a failure means the storage substrate is
+        // compromised and no share from this group may leave.
+        let traces: Vec<(u64, p256::Scalar)> = pending
+            .iter()
+            .flat_map(|(_, p)| p.trace.iter().copied())
+            .collect();
+        let audited = self.bfe_pk.audit_slot_scalars(&traces, rng);
+        // One MSM plus one fixed-base multiplication for the whole group.
+        self.costs.group_mults += 2;
+        if !audited {
+            for (pos, prepared) in pending.drain(..) {
+                self.costs.add(&prepared.phases.total());
+                responses[pos] = Some(HsmResponse::Error((&HsmError::DecryptFailed).into()));
+            }
+            return;
+        }
+
+        // One coalesced puncture across the group's distinct tags: the
+        // union of every tag's slots is deleted in a single
+        // shared-prefix `delete_batch` pass.
+        let tags: Vec<&[u8]> = pending.iter().map(|(_, p)| p.tag.as_slice()).collect();
+        let report = match self.bfe_sk.puncture_many(store, &tags, rng) {
+            Ok(report) => report,
+            Err(_) => {
+                for (pos, prepared) in pending.drain(..) {
+                    self.costs.add(&prepared.phases.total());
+                    responses[pos] = Some(HsmResponse::Error((&HsmError::DecryptFailed).into()));
+                }
+                return;
+            }
+        };
+
+        // Attribute the shared puncture cost evenly across the group
+        // (the remainder lands on the first request) — the aggregate
+        // matches the meters, per-request phases are an attribution.
+        let k = pending.len() as u64;
+        let aes_total = report.aead_bytes.div_ceil(16);
+        let io_total = (report.blocks_read + report.blocks_written) * 96;
+        for (i, (pos, mut prepared)) in pending.drain(..).enumerate() {
+            prepared.phases.pe.aes_blocks += split_evenly(aes_total, k, i as u64);
+            prepared
+                .phases
+                .pe
+                .add_io(split_evenly(io_total, k, i as u64));
+            let (response, phases) = self.finish_recovery_response(prepared, rng);
+            responses[pos] = Some(HsmResponse::RecoveryShare { response, phases });
+        }
     }
 
     fn handle_inner<S: BlockStore, R: RngCore + CryptoRng>(
@@ -359,6 +689,30 @@ impl Hsm {
         store: &mut S,
         rng: &mut R,
     ) -> Result<(RecoveryResponse, RecoveryPhases), HsmError> {
+        let mut prepared = self.recover_share_prepare(request, store)?;
+        let report = self
+            .bfe_sk
+            .puncture(store, &prepared.tag, rng)
+            .map_err(|_| {
+                self.costs.add(&prepared.phases.total());
+                HsmError::DecryptFailed
+            })?;
+        prepared.phases.pe.aes_blocks += report.aead_bytes.div_ceil(16);
+        prepared
+            .phases
+            .pe
+            .add_io((report.blocks_read + report.blocks_written) * 96);
+        Ok(self.finish_recovery_response(prepared, rng))
+    }
+
+    /// Steps 1–5 of the §4.2 check list — everything *before* the store
+    /// is touched: validate the commitment, inclusion proof, cluster
+    /// membership, and ciphertext binding, and extract the share
+    /// ciphertexts this HSM must decrypt.
+    fn recover_share_checks(
+        &mut self,
+        request: &RecoveryRequest,
+    ) -> Result<CheckedRecovery, HsmError> {
         self.ensure_active()?;
         self.check_auditor_endorsements(&request.auditor_endorsements)?;
         let mut phases = RecoveryPhases::default();
@@ -409,22 +763,61 @@ impl Hsm {
             return Err(HsmError::CiphertextMismatch);
         }
 
-        // 6. Decrypt every requested share, then puncture ONCE — the
-        //    cluster is sampled with replacement, and one puncture revokes
-        //    this HSM's whole tag.
-        let tag = types::puncture_tag(&request.username, &request.salt);
-        let context = share_context(&request.username, &request.salt);
-        let mut shares: Vec<Share> = Vec::with_capacity(request.share_indices.len());
+        let mut share_cts = Vec::with_capacity(request.share_indices.len());
         for &j in &request.share_indices {
-            let share_ct = types::share_ct_at(&request.ciphertext, j)?;
-            let (pt, report) = self
+            share_cts.push(types::share_ct_at(&request.ciphertext, j)?);
+        }
+        Ok(CheckedRecovery {
+            phases,
+            tag: types::puncture_tag(&request.username, &request.salt),
+            context: share_context(&request.username, &request.salt),
+            username: request.username.clone(),
+            share_cts,
+            recovery_pk: request.recovery_pk,
+        })
+    }
+
+    /// Steps 1–7 of the §4.2 check list — everything up to (but not
+    /// including) the puncture: [`recover_share_checks`] followed by the
+    /// share decryptions. The puncture is returned as an obligation
+    /// inside [`PreparedRecovery`] so the serial path
+    /// ([`recover_share`]) can discharge it immediately while the
+    /// batched path ([`handle_batch`](Self::handle_batch)) coalesces
+    /// many users' punctures into one shared-prefix pass. Either way no
+    /// response bytes exist until the puncture has been applied.
+    ///
+    /// [`recover_share`]: Self::recover_share
+    /// [`recover_share_checks`]: Self::recover_share_checks
+    fn recover_share_prepare<S: BlockStore>(
+        &mut self,
+        request: &RecoveryRequest,
+        store: &mut S,
+    ) -> Result<PreparedRecovery, HsmError> {
+        let checked = self.recover_share_checks(request)?;
+        let CheckedRecovery {
+            mut phases,
+            tag,
+            context,
+            username,
+            share_cts,
+            recovery_pk,
+        } = checked;
+
+        // 6. Decrypt every requested share; the puncture (ONE per tag —
+        //    the cluster is sampled with replacement, and one puncture
+        //    revokes this HSM's whole tag) is the caller's obligation.
+        let mut shares: Vec<Share> = Vec::with_capacity(share_cts.len());
+        let mut trace: Vec<(u64, p256::Scalar)> = Vec::with_capacity(share_cts.len());
+        for share_ct in &share_cts {
+            let (pt, report, slot_trace) = self
                 .bfe_sk
-                .decrypt(store, &tag, &context, &share_ct)
+                .decrypt_traced(store, &tag, &context, share_ct)
                 .map_err(|e| {
                     self.costs.add(&phases.total());
                     let _ = e;
                     HsmError::DecryptFailed
                 })?;
+            trace.push(slot_trace);
             // The ElGamal half of the share decryption is the
             // "location-hiding encryption" phase; the outsourced-storage
             // traffic is the "puncturable encryption" phase.
@@ -436,24 +829,39 @@ impl Hsm {
 
             // 7. The decrypted plaintext must carry the requesting
             //    username (§4.1 binding).
-            let share = parse_share_plaintext(&pt, &request.username).map_err(|_| {
+            let share = parse_share_plaintext(&pt, &username).map_err(|_| {
                 self.costs.add(&phases.total());
                 HsmError::UsernameMismatch
             })?;
             shares.push(share);
         }
-        let report = self.bfe_sk.puncture(store, &tag, rng).map_err(|_| {
-            self.costs.add(&phases.total());
-            HsmError::DecryptFailed
-        })?;
-        phases.pe.aes_blocks += report.aead_bytes.div_ceil(16);
-        phases
-            .pe
-            .add_io((report.blocks_read + report.blocks_written) * 96);
+        Ok(PreparedRecovery {
+            shares,
+            phases,
+            tag,
+            context,
+            trace,
+            recovery_pk,
+        })
+    }
 
-        // 8. Reply — optionally encrypted under the client's per-recovery
-        //    public key (§8, failure-during-recovery).
-        let response = match &request.recovery_pk {
+    /// Step 8: builds the reply — optionally encrypted under the
+    /// client's per-recovery public key (§8, failure-during-recovery) —
+    /// and folds the accumulated phase costs into the device meter. The
+    /// caller must have discharged the puncture obligation first.
+    fn finish_recovery_response<R: RngCore + CryptoRng>(
+        &mut self,
+        prepared: PreparedRecovery,
+        rng: &mut R,
+    ) -> (RecoveryResponse, RecoveryPhases) {
+        let PreparedRecovery {
+            shares,
+            mut phases,
+            context,
+            recovery_pk,
+            ..
+        } = prepared;
+        let response = match &recovery_pk {
             None => RecoveryResponse::Plain(shares),
             Some(pk) => {
                 let mut w = safetypin_primitives::wire::Writer::new();
@@ -465,7 +873,7 @@ impl Hsm {
         };
         phases.log.add_io(response.to_bytes().len() as u64);
         self.costs.add(&phases.total());
-        Ok((response, phases))
+        (response, phases)
     }
 
     // ------------------------------------------------------------------

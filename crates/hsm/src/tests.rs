@@ -30,6 +30,10 @@ struct Fixture {
 }
 
 fn fixture() -> Fixture {
+    fixture_with_bfe(BfeParams::new(128, 3).unwrap())
+}
+
+fn fixture_with_bfe(bfe_params: BfeParams) -> Fixture {
     let mut rng = StdRng::seed_from_u64(20_20);
     let mut hsms = Vec::new();
     let mut stores = Vec::new();
@@ -37,7 +41,7 @@ fn fixture() -> Fixture {
         let mut store = MemStore::new();
         let config = HsmConfig {
             id,
-            bfe_params: BfeParams::new(128, 3).unwrap(),
+            bfe_params,
             audits_per_epoch: 4,
             max_gc: 2,
             min_signers: TOTAL as usize,
@@ -592,4 +596,330 @@ fn designated_auditors_gate_recovery() {
     fx.hsms[hsm_id as usize]
         .recover_share(&request, &mut fx.stores[hsm_id as usize], &mut rng)
         .unwrap();
+}
+
+// ---------------------------------------------------------------------
+// Grouped serving (handle_batch): cross-user coalescing + group commit
+// ---------------------------------------------------------------------
+
+/// Client-side prep shared by the grouped-serving tests: two users back
+/// up, both attempts are logged under ONE epoch, and the per-HSM request
+/// groups are assembled in user order.
+#[allow(clippy::type_complexity)]
+fn two_user_round(
+    fx: &mut Fixture,
+) -> (
+    Vec<(Vec<u8>, LheCiphertext<BfeCiphertext>)>,
+    std::collections::BTreeMap<u64, Vec<RecoveryRequest>>,
+) {
+    let users: [(&[u8], &[u8], &[u8]); 2] = [
+        (b"storm-1", b"111111", b"key one"),
+        (b"storm-2", b"222222", b"key two"),
+    ];
+    let mut backups = Vec::new();
+    let mut staged = Vec::new();
+    for &(username, pin, msg) in &users {
+        let (ct, ct_bytes, salt) = fx.backup(username, pin, msg);
+        let cluster = select(&fx.params, &salt, pin);
+        let payload = build_commit_payload(&cluster, &ciphertext_commit_hash(&ct_bytes));
+        let (commitment, opening) = commit::commit(&payload, &mut fx.rng);
+        fx.log.insert(username, &commitment.to_bytes()).unwrap();
+        staged.push((
+            username,
+            salt,
+            cluster,
+            opening,
+            commitment,
+            ct_bytes.clone(),
+        ));
+        backups.push((username.to_vec(), ct));
+    }
+    // One epoch certifies BOTH attempts — the cross-user amortization.
+    fx.run_epoch();
+    let mut groups: std::collections::BTreeMap<u64, Vec<RecoveryRequest>> = Default::default();
+    for (username, salt, cluster, opening, commitment, ct_bytes) in staged {
+        let inclusion = fx
+            .log
+            .prove_includes(username, &commitment.to_bytes())
+            .unwrap();
+        for (hsm_id, positions) in Fixture::grouped(&cluster) {
+            groups.entry(hsm_id).or_default().push(RecoveryRequest {
+                username: username.to_vec(),
+                salt,
+                opening: opening.clone(),
+                inclusion: inclusion.clone(),
+                ciphertext: ct_bytes.clone(),
+                share_indices: positions,
+                recovery_pk: None,
+                auditor_endorsements: Vec::new(),
+            });
+        }
+    }
+    (backups, groups)
+}
+
+#[test]
+fn handle_batch_matches_serial_serving_byte_for_byte() {
+    use safetypin_proto::{HsmRequest, HsmResponse};
+    // Identically-seeded twin fixtures: A serves each request through
+    // `handle` (one flush per request), B serves each HSM's whole group
+    // through `handle_batch` (coalesced punctures, one flush per group).
+    let mut fx_a = fixture();
+    let mut fx_b = fixture();
+    let (_, groups_a) = two_user_round(&mut fx_a);
+    let (_, groups_b) = two_user_round(&mut fx_b);
+    assert_eq!(
+        groups_a.keys().collect::<Vec<_>>(),
+        groups_b.keys().collect::<Vec<_>>(),
+        "identical seeds must produce identical rounds"
+    );
+
+    for (hsm_id, requests) in groups_b {
+        let serial = &groups_a[&hsm_id];
+        let mut rng_a = StdRng::seed_from_u64(hsm_id);
+        let serial_responses: Vec<HsmResponse> = serial
+            .iter()
+            .map(|req| {
+                fx_a.hsms[hsm_id as usize].handle(
+                    HsmRequest::RecoverShare(req.clone()),
+                    &mut fx_a.stores[hsm_id as usize],
+                    &mut rng_a,
+                )
+            })
+            .collect();
+        let mut rng_b = StdRng::seed_from_u64(hsm_id);
+        let grouped_responses = fx_b.hsms[hsm_id as usize].handle_batch(
+            requests.into_iter().map(HsmRequest::RecoverShare).collect(),
+            &mut fx_b.stores[hsm_id as usize],
+            &mut rng_b,
+        );
+        assert_eq!(serial_responses.len(), grouped_responses.len());
+        for (s, g) in serial_responses.iter().zip(&grouped_responses) {
+            match (s, g) {
+                (
+                    HsmResponse::RecoveryShare { response: rs, .. },
+                    HsmResponse::RecoveryShare { response: rg, .. },
+                ) => assert_eq!(
+                    rs.to_bytes(),
+                    rg.to_bytes(),
+                    "grouped serving must release byte-identical shares"
+                ),
+                (HsmResponse::Error(es), HsmResponse::Error(eg)) => {
+                    assert_eq!(es.code, eg.code)
+                }
+                other => panic!("response shapes diverged: {other:?}"),
+            }
+        }
+        // Both paths punctured once per served user.
+        assert_eq!(
+            fx_a.hsms[hsm_id as usize].punctures(),
+            fx_b.hsms[hsm_id as usize].punctures()
+        );
+    }
+}
+
+#[test]
+fn handle_batch_repeated_tag_observes_earlier_puncture() {
+    use safetypin_proto::{HsmRequest, HsmResponse};
+    let mut fx = fixture();
+    let (_, ct_bytes, salt) = fx.backup(b"repeat", b"424242", b"payload");
+    let (cluster, opening, inclusion) = fx.log_recovery(b"repeat", b"424242", &ct_bytes, &salt);
+    let (hsm_id, positions) = Fixture::grouped(&cluster).into_iter().next().unwrap();
+    let request = RecoveryRequest {
+        username: b"repeat".to_vec(),
+        salt,
+        opening,
+        inclusion,
+        ciphertext: ct_bytes,
+        share_indices: positions,
+        recovery_pk: None,
+        auditor_endorsements: Vec::new(),
+    };
+    let mut rng = StdRng::seed_from_u64(7);
+    let responses = fx.hsms[hsm_id as usize].handle_batch(
+        vec![
+            HsmRequest::RecoverShare(request.clone()),
+            HsmRequest::RecoverShare(request),
+        ],
+        &mut fx.stores[hsm_id as usize],
+        &mut rng,
+    );
+    // Exactly like serial serving: the first succeeds, the second finds
+    // its tag already punctured.
+    assert!(matches!(responses[0], HsmResponse::RecoveryShare { .. }));
+    match &responses[1] {
+        HsmResponse::Error(e) => assert_eq!(e.code, safetypin_proto::codes::DECRYPT_FAILED),
+        other => panic!("expected DecryptFailed for the repeated tag, got {other:?}"),
+    }
+    assert_eq!(fx.hsms[hsm_id as usize].punctures(), 1);
+}
+
+#[test]
+fn handle_batch_group_commits_once_per_group() {
+    use safetypin_proto::{HsmRequest, HsmResponse};
+    use safetypin_seckv::BlockStore as _;
+    // Serve a two-user group against a crash-safe FileStore and count
+    // durability barriers: one WAL commit for the WHOLE group, with the
+    // punctures committed before the responses exist.
+    let mut fx = fixture();
+    let (_, groups) = two_user_round(&mut fx);
+    let (hsm_id, requests) = groups
+        .into_iter()
+        .max_by_key(|(_, reqs)| reqs.len())
+        .unwrap();
+
+    // Migrate this HSM's blocks into a FileStore (flush-metered).
+    let dir = std::env::temp_dir().join(format!(
+        "safetypin-hsm-groupcommit-{}-{hsm_id}",
+        std::process::id()
+    ));
+    let _ = std::fs::remove_dir_all(&dir);
+    let mut fstore =
+        safetypin_store::FileStore::open(&dir, safetypin_store::FileOptions::relaxed()).unwrap();
+    for (addr, block) in fx.stores[hsm_id as usize].snapshot() {
+        fstore.put(addr, &block);
+    }
+    fstore.flush();
+    let flushes_before = fstore.stats().flushes;
+
+    let mut rng = StdRng::seed_from_u64(11);
+    let served = requests.len();
+    let responses = fx.hsms[hsm_id as usize].handle_batch(
+        requests.into_iter().map(HsmRequest::RecoverShare).collect(),
+        &mut fstore,
+        &mut rng,
+    );
+    assert_eq!(responses.len(), served);
+    assert!(responses
+        .iter()
+        .all(|r| matches!(r, HsmResponse::RecoveryShare { .. })));
+    assert_eq!(
+        fstore.stats().flushes - flushes_before,
+        1,
+        "a served group must commit exactly once"
+    );
+    assert_eq!(
+        fstore.uncommitted_ops(),
+        0,
+        "no puncture may remain staged after the group returns"
+    );
+    std::fs::remove_dir_all(&dir).unwrap();
+}
+
+#[test]
+fn handle_batch_cross_tag_slot_coverage_matches_serial() {
+    use safetypin_proto::{HsmRequest, HsmResponse};
+    // Tiny Bloom filters (4 slots, k = 2) make full cross-tag slot
+    // coverage findable: when user B's slots are a subset of user A's,
+    // serial serving punctures A first and B's decrypt finds every
+    // candidate slot deleted. The batched path must flush its segment
+    // at that point (the coverage barrier) and match serially — this is
+    // the one shape where deferring punctures past decrypts would
+    // otherwise hand B a share serial serving refuses.
+    let bfe = BfeParams::new(4, 2).unwrap();
+    let mut fx_serial = fixture_with_bfe(bfe);
+    let mut fx_batch = fixture_with_bfe(bfe);
+
+    // A shared salt + pin gives both users the same cluster; search for
+    // usernames whose puncture tags exhibit full slot coverage.
+    let salt = Salt::random(&mut fx_serial.rng);
+    let _ = Salt::random(&mut fx_batch.rng); // keep the twin streams aligned
+    let slots_of = |name: &[u8]| bfe.indices_for_tag(&crate::types::puncture_tag(name, &salt));
+    let mut pair = None;
+    'search: for a in 0..64u32 {
+        for b in 0..64u32 {
+            let (na, nb) = (format!("cov-a-{a}"), format!("cov-b-{b}"));
+            let (sa, sb) = (slots_of(na.as_bytes()), slots_of(nb.as_bytes()));
+            if na != nb && sb.iter().all(|s| sa.contains(s)) {
+                pair = Some((na, nb));
+                break 'search;
+            }
+        }
+    }
+    let (name_a, name_b) = pair.expect("4-slot filters admit a covering pair");
+
+    let run = |fx: &mut Fixture, batched: bool| -> Vec<HsmResponse> {
+        let pks = fx.bfe_pks.clone();
+        let mut staged = Vec::new();
+        for name in [name_a.as_bytes(), name_b.as_bytes()] {
+            let dir = BfeDirectory::new(&pks, name, &salt);
+            let ct = encrypt_with_salt(
+                &fx.params,
+                &dir,
+                name,
+                b"0000",
+                salt,
+                0,
+                b"payload",
+                &mut fx.rng,
+            )
+            .unwrap();
+            let ct_bytes = ct.to_bytes();
+            let cluster = select(&fx.params, &salt, b"0000");
+            let payload = build_commit_payload(&cluster, &ciphertext_commit_hash(&ct_bytes));
+            let (commitment, opening) = commit::commit(&payload, &mut fx.rng);
+            fx.log.insert(name, &commitment.to_bytes()).unwrap();
+            staged.push((name.to_vec(), cluster, opening, commitment, ct_bytes));
+        }
+        fx.run_epoch();
+        // Same salt + pin: both users share a cluster; take its first HSM.
+        let hsm_id = *Fixture::grouped(&staged[0].1).keys().next().unwrap();
+        let mut requests = Vec::new();
+        for (name, cluster, opening, commitment, ct_bytes) in staged {
+            let inclusion = fx
+                .log
+                .prove_includes(&name, &commitment.to_bytes())
+                .unwrap();
+            let positions = Fixture::grouped(&cluster).remove(&hsm_id).unwrap();
+            requests.push(RecoveryRequest {
+                username: name,
+                salt,
+                opening,
+                inclusion,
+                ciphertext: ct_bytes,
+                share_indices: positions,
+                recovery_pk: None,
+                auditor_endorsements: Vec::new(),
+            });
+        }
+        let mut rng = StdRng::seed_from_u64(0xC0FE);
+        if batched {
+            fx.hsms[hsm_id as usize].handle_batch(
+                requests.into_iter().map(HsmRequest::RecoverShare).collect(),
+                &mut fx.stores[hsm_id as usize],
+                &mut rng,
+            )
+        } else {
+            requests
+                .into_iter()
+                .map(|req| {
+                    fx.hsms[hsm_id as usize].handle(
+                        HsmRequest::RecoverShare(req),
+                        &mut fx.stores[hsm_id as usize],
+                        &mut rng,
+                    )
+                })
+                .collect()
+        }
+    };
+
+    let serial = run(&mut fx_serial, false);
+    let batched = run(&mut fx_batch, true);
+    assert_eq!(serial.len(), batched.len());
+    for (k, (s, b)) in serial.iter().zip(&batched).enumerate() {
+        match (s, b) {
+            (
+                HsmResponse::RecoveryShare { response: rs, .. },
+                HsmResponse::RecoveryShare { response: rb, .. },
+            ) => assert_eq!(rs.to_bytes(), rb.to_bytes(), "request {k}"),
+            (HsmResponse::Error(es), HsmResponse::Error(eb)) => {
+                assert_eq!(es.code, eb.code, "request {k}")
+            }
+            other => panic!("request {k}: outcomes diverged across paths: {other:?}"),
+        }
+    }
+    // The coverage case itself: user A clears, user B's tag is dead on
+    // BOTH paths (the whole point of the barrier).
+    assert!(matches!(serial[0], HsmResponse::RecoveryShare { .. }));
+    assert!(matches!(serial[1], HsmResponse::Error(_)));
 }

@@ -240,6 +240,31 @@ pub fn decrypt(sk: &SecretKey, context: &[u8], ct: &Ciphertext) -> Result<Vec<u8
     aead::open(&key, context, &ct.dem)
 }
 
+/// Decrypts many ciphertexts under **one** secret key in a single
+/// shared-scalar batch pass.
+///
+/// All the `ephᵢ^x` shared-point computations go through one
+/// [`p256::mul_many`] call (one scalar recoding amortized across the
+/// batch on a real curve), and the ephemeral points are consumed as
+/// validated group elements — no per-item SEC1 re-parse. This is the
+/// client-side shape of a multi-user recovery round: a batch of §8
+/// encrypted replies, every one addressed to the same per-recovery key.
+///
+/// Returns one result per item, in input order; a failed item (wrong
+/// key, wrong context, mauled DEM) does not disturb its neighbours.
+pub fn decrypt_many(sk: &SecretKey, items: &[(&[u8], &Ciphertext)]) -> Vec<Result<Vec<u8>>> {
+    let ephs: Vec<ProjectivePoint> = items.iter().map(|(_, ct)| ct.eph.0).collect();
+    let shareds = p256::mul_many(&ephs, &sk.0);
+    items
+        .iter()
+        .zip(shareds)
+        .map(|((context, ct), shared)| {
+            let key = derive_dem_key(&shared, &ct.eph, context);
+            aead::open(&key, context, &ct.dem)
+        })
+        .collect()
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -256,6 +281,31 @@ mod tests {
         let kp = KeyPair::generate(&mut rng);
         let ct = encrypt(&kp.pk, b"ctx", b"hello", &mut rng);
         assert_eq!(decrypt(&kp.sk, b"ctx", &ct).unwrap(), b"hello");
+    }
+
+    #[test]
+    fn decrypt_many_matches_per_item_decrypt() {
+        let mut rng = rng();
+        let kp = KeyPair::generate(&mut rng);
+        let other = KeyPair::generate(&mut rng);
+        let cts: Vec<Ciphertext> = (0..5)
+            .map(|i| encrypt(&kp.pk, b"ctx", format!("m{i}").as_bytes(), &mut rng))
+            .collect();
+        let stray = encrypt(&other.pk, b"ctx", b"not ours", &mut rng);
+        let mut items: Vec<(&[u8], &Ciphertext)> =
+            cts.iter().map(|c| (b"ctx" as &[u8], c)).collect();
+        items.insert(2, (b"ctx", &stray));
+        let batch = decrypt_many(&kp.sk, &items);
+        assert_eq!(batch.len(), 6);
+        for (i, (context, ct)) in items.iter().enumerate() {
+            let single = decrypt(&kp.sk, context, ct);
+            assert_eq!(batch[i].is_ok(), single.is_ok(), "item {i}");
+            if let (Ok(a), Ok(b)) = (&batch[i], &single) {
+                assert_eq!(a, b);
+            }
+        }
+        assert!(batch[2].is_err(), "wrong-key item fails in place");
+        assert!(decrypt_many(&kp.sk, &[]).is_empty());
     }
 
     #[test]

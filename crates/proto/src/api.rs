@@ -348,6 +348,45 @@ pub enum ProviderRequest {
         /// The username whose reply copies to return.
         username: Vec<u8>,
     },
+    /// Route **many users'** recovery rounds in one request (steps 6–7
+    /// across the whole batch): one entry per user, each a per-HSM
+    /// request list exactly as [`ProviderRequest::Recover`] carries for
+    /// a single user. The provider coalesces every request bound for
+    /// the same HSM into one envelope per device per direction and the
+    /// devices serve each coalesced group under a single group-commit
+    /// durability barrier. Decoding rejects batches larger than
+    /// [`MAX_RECOVER_BATCH_USERS`] with a typed error.
+    RecoverBatch(Vec<Vec<(u64, RecoveryRequest)>>),
+}
+
+/// Upper bound on the users one [`ProviderRequest::RecoverBatch`] may
+/// carry; oversized batches fail decoding with
+/// [`WireError::LengthOutOfRange`] before any payload is parsed.
+pub const MAX_RECOVER_BATCH_USERS: usize = 1024;
+
+/// Encodes a per-user list-of-rounds structure (`u32` user count, then
+/// one `u32`-prefixed per-HSM sequence per user).
+fn put_user_rounds<T: Encode>(w: &mut Writer, users: &[Vec<(u64, T)>]) {
+    w.put_u32(users.len() as u32);
+    for round in users {
+        w.put_seq(round);
+    }
+}
+
+/// Decodes the structure written by [`put_user_rounds`], enforcing
+/// [`MAX_RECOVER_BATCH_USERS`].
+fn get_user_rounds<T: Decode>(
+    r: &mut Reader<'_>,
+) -> core::result::Result<Vec<Vec<(u64, T)>>, WireError> {
+    let users = r.get_u32()? as usize;
+    if users > MAX_RECOVER_BATCH_USERS || users > r.remaining() {
+        return Err(WireError::LengthOutOfRange);
+    }
+    let mut out = Vec::with_capacity(users);
+    for _ in 0..users {
+        out.push(r.get_seq()?);
+    }
+    Ok(out)
 }
 
 impl Encode for ProviderRequest {
@@ -373,6 +412,10 @@ impl Encode for ProviderRequest {
                 w.put_u8(5);
                 w.put_bytes(username);
             }
+            ProviderRequest::RecoverBatch(users) => {
+                w.put_u8(6);
+                put_user_rounds(w, users);
+            }
         }
     }
 }
@@ -394,6 +437,7 @@ impl Decode for ProviderRequest {
             5 => Ok(ProviderRequest::FetchReplyCopies {
                 username: r.get_bytes()?.to_vec(),
             }),
+            6 => Ok(ProviderRequest::RecoverBatch(get_user_rounds(r)?)),
             t => Err(WireError::InvalidTag(t)),
         }
     }
@@ -424,6 +468,10 @@ pub enum ProviderResponse {
     ReplyCopies(Vec<RecoveryResponse>),
     /// The provider refused or failed the request.
     Error(ErrorReply),
+    /// Reply to [`ProviderRequest::RecoverBatch`]: per-user outcomes in
+    /// request order, each the per-HSM response list a single-user
+    /// [`ProviderResponse::Recovered`] would carry.
+    RecoveredBatch(Vec<Vec<(u64, HsmResponse)>>),
 }
 
 impl Encode for ProviderResponse {
@@ -458,6 +506,10 @@ impl Encode for ProviderResponse {
                 w.put_u8(6);
                 e.encode(w);
             }
+            ProviderResponse::RecoveredBatch(users) => {
+                w.put_u8(7);
+                put_user_rounds(w, users);
+            }
         }
     }
 }
@@ -475,6 +527,7 @@ impl Decode for ProviderResponse {
             4 => Ok(ProviderResponse::Recovered(r.get_seq()?)),
             5 => Ok(ProviderResponse::ReplyCopies(r.get_seq()?)),
             6 => Ok(ProviderResponse::Error(ErrorReply::decode(r)?)),
+            7 => Ok(ProviderResponse::RecoveredBatch(get_user_rounds(r)?)),
             t => Err(WireError::InvalidTag(t)),
         }
     }

@@ -51,7 +51,34 @@ pub enum Message {
     /// variant; carried in the envelope so restoring a snapshot runs
     /// the same strict version handshake as live traffic).
     SnapshotMeta(SnapshotMeta),
+    /// Datacenter → one HSM: **all** of one round's requests bound for
+    /// that device — possibly many users' — in a single envelope. The
+    /// multi-user recovery engine ships one of these per HSM per round
+    /// (one envelope per HSM per direction), and the device serves the
+    /// whole group under a single durability barrier
+    /// (`Hsm::handle_batch`'s group commit).
+    HsmGroupRequest {
+        /// The addressed HSM's datacenter index.
+        id: u64,
+        /// The coalesced requests, in serve order.
+        requests: Vec<HsmRequest>,
+    },
+    /// One HSM → datacenter: the group's responses, in request order,
+    /// in a single envelope.
+    HsmGroupResponse {
+        /// The responding HSM's datacenter index.
+        id: u64,
+        /// One response per request, in request order.
+        responses: Vec<HsmResponse>,
+    },
 }
+
+/// Upper bound on the requests one [`Message::HsmGroupRequest`] may
+/// coalesce for a single HSM (and on the responses coming back). A
+/// decoded group larger than this is rejected with
+/// [`WireError::LengthOutOfRange`] before any item is parsed — a wire
+/// peer cannot force an unbounded serve loop onto a device.
+pub const MAX_GROUP_REQUESTS: usize = 4096;
 
 impl Encode for Message {
     fn encode(&self, w: &mut Writer) {
@@ -84,8 +111,33 @@ impl Encode for Message {
                 w.put_u8(6);
                 m.encode(w);
             }
+            Message::HsmGroupRequest { id, requests } => {
+                w.put_u8(7);
+                w.put_u64(*id);
+                w.put_seq(requests);
+            }
+            Message::HsmGroupResponse { id, responses } => {
+                w.put_u8(8);
+                w.put_u64(*id);
+                w.put_seq(responses);
+            }
         }
     }
+}
+
+/// Reads a group payload (`id` + item sequence), enforcing
+/// [`MAX_GROUP_REQUESTS`] before any item parses.
+fn get_group<T: Decode>(r: &mut Reader<'_>) -> core::result::Result<(u64, Vec<T>), WireError> {
+    let id = r.get_u64()?;
+    let len = r.get_u32()? as usize;
+    if len > MAX_GROUP_REQUESTS || len > r.remaining() {
+        return Err(WireError::LengthOutOfRange);
+    }
+    let mut items = Vec::with_capacity(len);
+    for _ in 0..len {
+        items.push(T::decode(r)?);
+    }
+    Ok((id, items))
 }
 
 impl Decode for Message {
@@ -98,6 +150,14 @@ impl Decode for Message {
             4 => Ok(Message::ProviderRequest(ProviderRequest::decode(r)?)),
             5 => Ok(Message::ProviderResponse(ProviderResponse::decode(r)?)),
             6 => Ok(Message::SnapshotMeta(SnapshotMeta::decode(r)?)),
+            7 => {
+                let (id, requests) = get_group(r)?;
+                Ok(Message::HsmGroupRequest { id, requests })
+            }
+            8 => {
+                let (id, responses) = get_group(r)?;
+                Ok(Message::HsmGroupResponse { id, responses })
+            }
             t => Err(WireError::InvalidTag(t)),
         }
     }

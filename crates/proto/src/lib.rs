@@ -57,13 +57,16 @@ pub mod error;
 pub mod messages;
 pub mod transport;
 
-pub use api::{codes, ErrorReply, HsmRequest, HsmResponse, ProviderRequest, ProviderResponse};
-pub use envelope::{Envelope, Message, PROTO_VERSION};
+pub use api::{
+    codes, ErrorReply, HsmRequest, HsmResponse, ProviderRequest, ProviderResponse,
+    MAX_RECOVER_BATCH_USERS,
+};
+pub use envelope::{Envelope, Message, MAX_GROUP_REQUESTS, PROTO_VERSION};
 pub use error::ProtoError;
 pub use messages::{
     EnrollmentRecord, RecoveryPhases, RecoveryRequest, RecoveryResponse, SnapshotMeta,
 };
 pub use transport::{
-    Direct, FaultPlan, FaultScope, Faulty, Serialized, ServeBatchFn, ServeFn, Transport,
-    TransportStats,
+    Direct, FaultPlan, FaultScope, Faulty, Serialized, ServeBatchFn, ServeFn, ServeGroupFn,
+    Transport, TransportStats,
 };

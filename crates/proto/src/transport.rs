@@ -51,6 +51,21 @@ pub type ServeFn<'a> = dyn FnMut(u64, HsmRequest) -> HsmResponse + 'a;
 /// exactly one response per request, in request order.
 pub type ServeBatchFn<'a> = dyn FnMut(Vec<(u64, HsmRequest)>) -> Vec<(u64, HsmResponse)> + 'a;
 
+/// The HSM-side handler for a **grouped** round: per addressed HSM, the
+/// whole coalesced request group — possibly many users' requests — in
+/// one delivery, answered with one response list per group in request
+/// order.
+///
+/// Grouped delivery is the multi-user engine's shape: each HSM receives
+/// exactly one envelope per direction per round and serves its group
+/// under a single durability barrier (`Hsm::handle_batch`'s group
+/// commit), so cross-user coalescing amortizes framing *and* fsyncs.
+/// Implementations must return exactly one `(id, responses)` entry per
+/// delivered group, in group order, with `responses.len()` equal to the
+/// group's request count.
+pub type ServeGroupFn<'a> =
+    dyn FnMut(Vec<(u64, Vec<HsmRequest>)>) -> Vec<(u64, Vec<HsmResponse>)> + 'a;
+
 /// Byte/message/time accounting for one transport.
 #[derive(Debug, Default, Clone, Copy, PartialEq)]
 pub struct TransportStats {
@@ -128,6 +143,22 @@ pub trait Transport {
         serve: &mut ServeBatchFn<'_>,
     ) -> Result<Vec<(u64, HsmResponse)>, ProtoError>;
 
+    /// Carries a **grouped** round: one coalesced request group per
+    /// addressed HSM, one envelope per HSM per direction, returning the
+    /// per-group response lists in group order.
+    ///
+    /// This is the multi-user recovery engine's transport shape
+    /// (`Deployment::recover_many`): a 128-user storm whose clusters
+    /// overlap pays one framing per *device*, not one per user-device
+    /// pair. Per-item transport faults must surface as [`ErrorReply`]
+    /// responses inside the affected group so the rest of the round
+    /// still flows.
+    fn exchange_grouped(
+        &mut self,
+        groups: Vec<(u64, Vec<HsmRequest>)>,
+        serve: &mut ServeGroupFn<'_>,
+    ) -> Result<Vec<(u64, Vec<HsmResponse>)>, ProtoError>;
+
     /// Accumulated accounting since construction (or the last
     /// [`take_stats`](Transport::take_stats)).
     fn stats(&self) -> TransportStats;
@@ -180,6 +211,18 @@ impl Transport for Direct {
         self.stats.envelopes += 2;
         self.stats.messages += 2 * batch.len() as u64;
         Ok(serve(batch))
+    }
+
+    fn exchange_grouped(
+        &mut self,
+        groups: Vec<(u64, Vec<HsmRequest>)>,
+        serve: &mut ServeGroupFn<'_>,
+    ) -> Result<Vec<(u64, Vec<HsmResponse>)>, ProtoError> {
+        // One (virtual) envelope per HSM per direction — the grouped
+        // contract — so envelope counts stay comparable with Serialized.
+        self.stats.envelopes += 2 * groups.len() as u64;
+        self.stats.messages += 2 * groups.iter().map(|(_, g)| g.len() as u64).sum::<u64>();
+        Ok(serve(groups))
     }
 
     fn stats(&self) -> TransportStats {
@@ -279,6 +322,35 @@ impl Transport for Serialized {
             Message::HsmBatchResponse(items) => Ok(items),
             _ => Err(ProtoError::UnexpectedMessage("expected HSM batch response")),
         }
+    }
+
+    fn exchange_grouped(
+        &mut self,
+        groups: Vec<(u64, Vec<HsmRequest>)>,
+        serve: &mut ServeGroupFn<'_>,
+    ) -> Result<Vec<(u64, Vec<HsmResponse>)>, ProtoError> {
+        // One envelope per HSM per direction: each device's coalesced
+        // group ships (and is byte-metered) as its own sealed envelope,
+        // but the whole round is handed to the fleet in one serve call
+        // so independent devices can still be served concurrently.
+        let mut delivered = Vec::with_capacity(groups.len());
+        for (id, requests) in groups {
+            self.stats.messages += requests.len() as u64;
+            match self.ship_request(Message::HsmGroupRequest { id, requests })? {
+                Message::HsmGroupRequest { id, requests } => delivered.push((id, requests)),
+                _ => return Err(ProtoError::UnexpectedMessage("expected HSM group request")),
+            }
+        }
+        let served = serve(delivered);
+        let mut out = Vec::with_capacity(served.len());
+        for (id, responses) in served {
+            self.stats.messages += responses.len() as u64;
+            match self.ship_response(Message::HsmGroupResponse { id, responses })? {
+                Message::HsmGroupResponse { id, responses } => out.push((id, responses)),
+                _ => return Err(ProtoError::UnexpectedMessage("expected HSM group response")),
+            }
+        }
+        Ok(out)
     }
 
     fn stats(&self) -> TransportStats {
@@ -502,6 +574,40 @@ impl Transport for Faulty {
                 Err(_) => HsmResponse::Error(ErrorReply::corrupted()),
             };
             out.push((id, resp));
+        }
+        Ok(out)
+    }
+
+    fn exchange_grouped(
+        &mut self,
+        groups: Vec<(u64, Vec<HsmRequest>)>,
+        serve: &mut ServeGroupFn<'_>,
+    ) -> Result<Vec<(u64, Vec<HsmResponse>)>, ProtoError> {
+        // Same discipline as the batch path: the request leg is clean
+        // (the HSM may puncture before its reply is lost — §8), faults
+        // land per item on the response leg so one mangled reply never
+        // sinks a whole device group, let alone the round.
+        let scopes: Vec<Vec<bool>> = groups
+            .iter()
+            .map(|(_, reqs)| reqs.iter().map(|r| self.in_scope(r)).collect())
+            .collect();
+        let served = self.inner.exchange_grouped(groups, serve)?;
+        let mut out = Vec::with_capacity(served.len());
+        for ((id, responses), scoped) in served.into_iter().zip(scopes) {
+            let mut group_out = Vec::with_capacity(responses.len());
+            for (resp, in_scope) in responses.into_iter().zip(scoped) {
+                if !in_scope {
+                    group_out.push(resp);
+                    continue;
+                }
+                let resp = match self.apply_response_fate(resp) {
+                    Ok(resp) => resp,
+                    Err(ProtoError::Dropped) => HsmResponse::Error(ErrorReply::dropped()),
+                    Err(_) => HsmResponse::Error(ErrorReply::corrupted()),
+                };
+                group_out.push(resp);
+            }
+            out.push((id, group_out));
         }
         Ok(out)
     }

@@ -138,10 +138,19 @@ fn sample_envelopes(seed: u64) -> Vec<Envelope> {
             value: b"commitment-bytes".to_vec(),
         },
         ProviderRequest::RunEpoch,
-        ProviderRequest::Recover(vec![(1, recovery_request.clone()), (3, recovery_request)]),
+        ProviderRequest::Recover(vec![
+            (1, recovery_request.clone()),
+            (3, recovery_request.clone()),
+        ]),
         ProviderRequest::FetchReplyCopies {
             username: b"alice".to_vec(),
         },
+        // The multi-user engine's request: two users' rounds (one of
+        // them empty — a user whose cluster collapsed entirely).
+        ProviderRequest::RecoverBatch(vec![
+            vec![(1, recovery_request.clone()), (3, recovery_request.clone())],
+            Vec::new(),
+        ]),
     ];
     let provider_responses = vec![
         ProviderResponse::Enrollments(vec![enrollment]),
@@ -159,8 +168,19 @@ fn sample_envelopes(seed: u64) -> Vec<Envelope> {
                 phases,
             },
         )]),
-        ProviderResponse::ReplyCopies(vec![RecoveryResponse::Plain(shares)]),
+        ProviderResponse::ReplyCopies(vec![RecoveryResponse::Plain(shares.clone())]),
         ProviderResponse::Error(ErrorReply::new(codes::LOG_REFUSED, "attempt consumed")),
+        ProviderResponse::RecoveredBatch(vec![
+            vec![(
+                1,
+                HsmResponse::RecoveryShare {
+                    response: RecoveryResponse::Plain(shares),
+                    phases,
+                },
+            )],
+            vec![(3, HsmResponse::Error(ErrorReply::dropped()))],
+            Vec::new(),
+        ]),
     ];
 
     let mut envelopes = Vec::new();
@@ -174,8 +194,24 @@ fn sample_envelopes(seed: u64) -> Vec<Envelope> {
         envelopes.push(Envelope::seal(Message::HsmResponse(resp.clone())));
         batch_resp.push((i as u64, resp));
     }
-    envelopes.push(Envelope::seal(Message::HsmBatchRequest(batch_req)));
-    envelopes.push(Envelope::seal(Message::HsmBatchResponse(batch_resp)));
+    envelopes.push(Envelope::seal(Message::HsmBatchRequest(batch_req.clone())));
+    envelopes.push(Envelope::seal(Message::HsmBatchResponse(
+        batch_resp.clone(),
+    )));
+    // Grouped per-device envelopes (the multi-user engine ships one per
+    // HSM per direction), including the empty-group edge.
+    envelopes.push(Envelope::seal(Message::HsmGroupRequest {
+        id: 3,
+        requests: batch_req.into_iter().map(|(_, req)| req).collect(),
+    }));
+    envelopes.push(Envelope::seal(Message::HsmGroupResponse {
+        id: 3,
+        responses: batch_resp.into_iter().map(|(_, resp)| resp).collect(),
+    }));
+    envelopes.push(Envelope::seal(Message::HsmGroupRequest {
+        id: u64::MAX,
+        requests: Vec::new(),
+    }));
     for req in provider_requests {
         envelopes.push(Envelope::seal(Message::ProviderRequest(req)));
     }
@@ -268,6 +304,69 @@ fn unknown_version_tag_rejected_with_typed_error() {
     assert_eq!(
         Envelope::from_bytes(&bytes).unwrap_err(),
         WireError::UnsupportedVersion(0)
+    );
+}
+
+/// The engine's batch messages carry explicit size ceilings: a declared
+/// batch larger than the limit fails with a typed error *before* any
+/// payload parses — a wire peer cannot force an unbounded serve loop.
+#[test]
+fn oversized_recover_batch_rejected_with_typed_error() {
+    use safetypin_primitives::wire::Writer;
+    use safetypin_proto::MAX_RECOVER_BATCH_USERS;
+
+    // Envelope header + ProviderRequest (message tag 4) + RecoverBatch
+    // (variant tag 6) + an oversized user count, with enough padding
+    // that only the explicit ceiling can reject it.
+    let mut w = Writer::new();
+    w.put_u16(PROTO_VERSION);
+    w.put_u8(4);
+    w.put_u8(6);
+    w.put_u32(MAX_RECOVER_BATCH_USERS as u32 + 1);
+    let mut bytes = w.into_bytes();
+    bytes.extend(std::iter::repeat_n(0u8, MAX_RECOVER_BATCH_USERS + 64));
+    assert_eq!(
+        Envelope::from_bytes(&bytes).unwrap_err(),
+        WireError::LengthOutOfRange
+    );
+
+    // The limit itself is fine structurally (each user round empty).
+    let within = ProviderRequest::RecoverBatch(vec![Vec::new(); MAX_RECOVER_BATCH_USERS]);
+    let encoded = Envelope::seal(Message::ProviderRequest(within)).to_bytes();
+    assert!(Envelope::from_bytes(&encoded).is_ok());
+}
+
+/// Same ceiling on the per-device group envelope.
+#[test]
+fn oversized_hsm_group_rejected_with_typed_error() {
+    use safetypin_primitives::wire::Writer;
+    use safetypin_proto::MAX_GROUP_REQUESTS;
+
+    // Envelope header + HsmGroupRequest (message tag 7) + id + an
+    // oversized request count, padded past the allocation guard.
+    let mut w = Writer::new();
+    w.put_u16(PROTO_VERSION);
+    w.put_u8(7);
+    w.put_u64(9);
+    w.put_u32(MAX_GROUP_REQUESTS as u32 + 1);
+    let mut bytes = w.into_bytes();
+    bytes.extend(std::iter::repeat_n(0u8, MAX_GROUP_REQUESTS + 64));
+    assert_eq!(
+        Envelope::from_bytes(&bytes).unwrap_err(),
+        WireError::LengthOutOfRange
+    );
+
+    // And the response direction (message tag 8) enforces it too.
+    let mut w = Writer::new();
+    w.put_u16(PROTO_VERSION);
+    w.put_u8(8);
+    w.put_u64(9);
+    w.put_u32(MAX_GROUP_REQUESTS as u32 + 1);
+    let mut bytes = w.into_bytes();
+    bytes.extend(std::iter::repeat_n(0u8, MAX_GROUP_REQUESTS + 64));
+    assert_eq!(
+        Envelope::from_bytes(&bytes).unwrap_err(),
+        WireError::LengthOutOfRange
     );
 }
 

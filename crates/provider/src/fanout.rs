@@ -144,6 +144,141 @@ fn serve_batch<S: BlockStore + Send, R: RngCore + CryptoRng>(
         .collect()
 }
 
+/// Builds the serve side of a **grouped** transport exchange: one
+/// coalesced request group per addressed HSM (the multi-user engine's
+/// shape), each served by [`Hsm::handle_batch`] — cross-user coalesced
+/// punctures, one MSM slot audit, one group-commit flush — with
+/// independent devices fanned out across up to `workers` threads.
+///
+/// Seeds are drawn sequentially in ascending HSM id order, exactly like
+/// the per-request batch path, so the served outcome is a deterministic
+/// function of the caller's RNG for any worker count. Unknown ids (and a
+/// device addressed twice in one round) come back as per-request typed
+/// error replies.
+pub(crate) fn serve_fleet_grouped<'a, S: BlockStore + Send, R: RngCore + CryptoRng>(
+    hsms: &'a mut [Hsm],
+    stores: &'a mut [S],
+    rng: &'a mut R,
+    workers: usize,
+) -> impl FnMut(Vec<RequestGroup>) -> Vec<ResponseGroup> + 'a {
+    move |groups| serve_grouped(hsms, stores, rng, workers, groups)
+}
+
+/// One device's coalesced request group in a grouped round.
+type RequestGroup = (u64, Vec<HsmRequest>);
+/// One device's response list in a grouped round.
+type ResponseGroup = (u64, Vec<HsmResponse>);
+
+struct GroupJob<'b, S> {
+    pos: usize,
+    id: u64,
+    hsm: &'b mut Hsm,
+    store: &'b mut S,
+    seed: [u8; 32],
+    requests: Vec<HsmRequest>,
+}
+
+fn error_group(id: u64, len: usize, detail: String) -> (u64, Vec<HsmResponse>) {
+    (
+        id,
+        (0..len)
+            .map(|_| HsmResponse::Error(ErrorReply::new(codes::UNKNOWN_HSM, detail.clone())))
+            .collect(),
+    )
+}
+
+fn serve_grouped<S: BlockStore + Send, R: RngCore + CryptoRng>(
+    hsms: &mut [Hsm],
+    stores: &mut [S],
+    rng: &mut R,
+    workers: usize,
+    groups: Vec<(u64, Vec<HsmRequest>)>,
+) -> Vec<(u64, Vec<HsmResponse>)> {
+    let n = groups.len();
+    let mut results: Vec<Option<(u64, Vec<HsmResponse>)>> = Vec::with_capacity(n);
+    results.resize_with(n, || None);
+
+    let mut devices: Vec<Option<(&mut Hsm, &mut S)>> =
+        hsms.iter_mut().zip(stores.iter_mut()).map(Some).collect();
+    // Stage jobs in ascending id order so seeds are drawn exactly like
+    // the batch path: the caller's RNG consumption is independent of the
+    // arrival order of the groups.
+    let mut staged: Vec<(usize, u64, Vec<HsmRequest>)> = Vec::with_capacity(n);
+    for (pos, (id, requests)) in groups.into_iter().enumerate() {
+        staged.push((pos, id, requests));
+    }
+    staged.sort_by_key(|&(_, id, _)| id);
+
+    let mut jobs: Vec<GroupJob<'_, S>> = Vec::with_capacity(staged.len());
+    for (pos, id, requests) in staged {
+        let device = if (id as usize) < devices.len() {
+            devices[id as usize].take()
+        } else {
+            None
+        };
+        match device {
+            Some((hsm, store)) => {
+                let mut seed = [0u8; 32];
+                rng.fill_bytes(&mut seed);
+                jobs.push(GroupJob {
+                    pos,
+                    id,
+                    hsm,
+                    store,
+                    seed,
+                    requests,
+                });
+            }
+            None => {
+                results[pos] = Some(error_group(
+                    id,
+                    requests.len(),
+                    format!("no HSM with id {id} (or device addressed twice in one round)"),
+                ));
+            }
+        }
+    }
+
+    fn run_group_job<S: BlockStore>(job: &mut GroupJob<'_, S>) -> (usize, u64, Vec<HsmResponse>) {
+        let mut rng = StdRng::from_seed(job.seed);
+        let requests = std::mem::take(&mut job.requests);
+        let responses = job.hsm.handle_batch(requests, job.store, &mut rng);
+        (job.pos, job.id, responses)
+    }
+
+    let workers = workers.clamp(1, worker_count(jobs.len()));
+    let mut served: Vec<(usize, u64, Vec<HsmResponse>)> = Vec::with_capacity(jobs.len());
+    if workers <= 1 || jobs.len() <= 1 {
+        for job in &mut jobs {
+            served.push(run_group_job(job));
+        }
+    } else {
+        let chunk = jobs.len().div_ceil(workers);
+        let collected: Vec<Vec<(usize, u64, Vec<HsmResponse>)>> = std::thread::scope(|s| {
+            let handles: Vec<_> = jobs
+                .chunks_mut(chunk)
+                .map(|chunk| {
+                    s.spawn(move || chunk.iter_mut().map(run_group_job).collect::<Vec<_>>())
+                })
+                .collect();
+            handles
+                .into_iter()
+                .map(|h| h.join().expect("grouped HSM fan-out worker panicked"))
+                .collect()
+        });
+        for part in collected {
+            served.extend(part);
+        }
+    }
+    for (pos, id, responses) in served {
+        results[pos] = Some((id, responses));
+    }
+    results
+        .into_iter()
+        .map(|r| r.expect("every group served"))
+        .collect()
+}
+
 /// Provisions `configs.len()` HSMs (key generation plus secret-array
 /// setup — the dominant fleet-bringup cost) across up to `workers`
 /// threads, returning devices in id order. Seeds are drawn sequentially

@@ -576,6 +576,104 @@ impl<S: BlockStore + Send> Datacenter<S> {
         Ok(out)
     }
 
+    /// The **multi-user** recovery round (the serving engine's transport
+    /// leg): takes one per-HSM request list per user, coalesces every
+    /// request bound for the same HSM — across users — into **one
+    /// envelope per HSM per direction**, and lets each device serve its
+    /// whole group under a single group-commit durability barrier
+    /// ([`Hsm::handle_batch`]). Per-user outcomes come back in request
+    /// order, exactly shaped like
+    /// [`route_recovery_cluster`](Self::route_recovery_cluster)'s.
+    ///
+    /// Reply copies for the §8 failure-during-recovery flow are stored
+    /// for every share that cleared, per user, like the single-user
+    /// path.
+    #[allow(clippy::type_complexity)]
+    pub fn route_recovery_multi<R: RngCore + CryptoRng>(
+        &mut self,
+        users: Vec<Vec<(u64, RecoveryRequest)>>,
+        rng: &mut R,
+    ) -> Result<Vec<Vec<(u64, Result<(RecoveryResponse, RecoveryPhases), HsmError>)>>, ProviderError>
+    {
+        self.route_recovery_multi_with_workers(users, usize::MAX, rng)
+    }
+
+    /// [`route_recovery_multi`](Self::route_recovery_multi) with an
+    /// explicit worker-thread cap for the per-HSM fan-out (1 = serial;
+    /// outcomes are byte-identical for any cap — each device's group
+    /// runs under its own sequentially-seeded RNG stream).
+    #[allow(clippy::type_complexity)]
+    pub fn route_recovery_multi_with_workers<R: RngCore + CryptoRng>(
+        &mut self,
+        users: Vec<Vec<(u64, RecoveryRequest)>>,
+        workers: usize,
+        rng: &mut R,
+    ) -> Result<Vec<Vec<(u64, Result<(RecoveryResponse, RecoveryPhases), HsmError>)>>, ProviderError>
+    {
+        // Coalesce across users: one group per addressed HSM, items in
+        // (user, position) order, with a slot map to reassemble.
+        let mut groups: std::collections::BTreeMap<u64, Vec<HsmRequest>> = Default::default();
+        let mut slots: std::collections::BTreeMap<u64, Vec<(usize, usize, Vec<u8>)>> =
+            Default::default();
+        let mut out: Vec<Vec<(u64, Result<(RecoveryResponse, RecoveryPhases), HsmError>)>> =
+            Vec::with_capacity(users.len());
+        for (user, round) in users.into_iter().enumerate() {
+            let mut user_out = Vec::with_capacity(round.len());
+            for (pos, (id, request)) in round.into_iter().enumerate() {
+                let username = request.username.clone();
+                groups
+                    .entry(id)
+                    .or_default()
+                    .push(HsmRequest::RecoverShare(request));
+                slots.entry(id).or_default().push((user, pos, username));
+                // Placeholder, overwritten from the served group below.
+                user_out.push((id, Err(HsmError::Unavailable)));
+            }
+            out.push(user_out);
+        }
+
+        let grouped: Vec<(u64, Vec<HsmRequest>)> = groups.into_iter().collect();
+        let replies = {
+            let Self {
+                hsms,
+                stores,
+                transport,
+                ..
+            } = &mut *self;
+            transport.exchange_grouped(
+                grouped,
+                &mut fanout::serve_fleet_grouped(hsms, stores, rng, workers),
+            )?
+        };
+
+        for (id, responses) in replies {
+            let Some(slot_list) = slots.remove(&id) else {
+                return Err(ProviderError::Transport(ProtoError::UnexpectedMessage(
+                    "group response for an HSM that was never addressed",
+                )));
+            };
+            if slot_list.len() != responses.len() {
+                return Err(ProviderError::Transport(ProtoError::UnexpectedMessage(
+                    "group response count does not match the request group",
+                )));
+            }
+            for ((user, pos, username), resp) in slot_list.into_iter().zip(responses) {
+                let item = match resp {
+                    HsmResponse::RecoveryShare { response, phases } => {
+                        self.reply_copies.push((username, response.clone()));
+                        Ok((response, phases))
+                    }
+                    HsmResponse::Error(e) => Err(HsmError::from(&e)),
+                    _ => Err(HsmError::Wire(
+                        safetypin_primitives::error::WireError::InvalidTag(0),
+                    )),
+                };
+                out[user][pos] = (id, item);
+            }
+        }
+        Ok(out)
+    }
+
     /// Single dispatch for the client-facing message set: every
     /// [`ProviderRequest`] maps onto the corresponding orchestration
     /// method, with failures encoded as [`ProviderResponse::Error`]
@@ -638,6 +736,31 @@ impl<S: BlockStore + Send> Datacenter<S> {
                     .cloned()
                     .collect(),
             ),
+            ProviderRequest::RecoverBatch(users) => match self.route_recovery_multi(users, rng) {
+                Ok(per_user) => ProviderResponse::RecoveredBatch(
+                    per_user
+                        .into_iter()
+                        .map(|items| {
+                            items
+                                .into_iter()
+                                .map(|(id, item)| {
+                                    let resp = match item {
+                                        Ok((response, phases)) => {
+                                            HsmResponse::RecoveryShare { response, phases }
+                                        }
+                                        Err(e) => HsmResponse::Error((&e).into()),
+                                    };
+                                    (id, resp)
+                                })
+                                .collect()
+                        })
+                        .collect(),
+                ),
+                Err(ProviderError::Transport(ProtoError::Dropped)) => {
+                    ProviderResponse::Error(ErrorReply::dropped())
+                }
+                Err(e) => ProviderResponse::Error(ErrorReply::new(codes::CORRUPTED, e.to_string())),
+            },
         }
     }
 

@@ -64,6 +64,13 @@ pub struct StoreStats {
     /// `get` calls that missed the block cache and went to the backing
     /// medium.
     pub cache_misses: u64,
+    /// Durability barriers that actually committed staged work (on a
+    /// write-ahead-logged backend, each is a commit record and — under
+    /// strict durability — an fsync). `flush` calls with nothing staged
+    /// are not counted, so this meters real fsync pressure: the
+    /// throughput engine's group commit drives it down from one per
+    /// served request to one per served batch.
+    pub flushes: u64,
 }
 
 impl StoreStats {
@@ -76,6 +83,7 @@ impl StoreStats {
         self.bytes_written += other.bytes_written;
         self.cache_hits += other.cache_hits;
         self.cache_misses += other.cache_misses;
+        self.flushes += other.flushes;
     }
 
     /// Cache hit rate over all cache-visible reads, or `None` when the

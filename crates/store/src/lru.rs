@@ -13,11 +13,29 @@
 
 use std::collections::{BTreeMap, HashMap};
 
-/// A bounded LRU mapping block addresses to block bytes.
+/// A bounded LRU mapping block addresses to block bytes, with an
+/// optional **pinned address prefix**.
+///
+/// The secure-deletion tree uses heap addressing (root at 1, children of
+/// `a` at `2a`/`2a+1`), so addresses below `2^T` are exactly the top `T`
+/// levels — the nodes every root-to-leaf walk touches. Pinning that
+/// prefix keeps a recovery storm's shared upper levels resident no
+/// matter how many distinct leaves the storm drags through the cache,
+/// which is what lifts the storm-time hit rate (see the `perf` bench's
+/// `throughput` section).
 #[derive(Debug)]
 pub struct LruCache {
     capacity_bytes: u64,
     used_bytes: u64,
+    /// Bytes held by *unpinned* entries — the only bytes the eviction
+    /// budget governs. Pinned bytes live outside the budget (total
+    /// residency is bounded by `capacity_bytes` plus the pinned prefix,
+    /// which is tiny by construction — the top tree levels), so a large
+    /// pinned set can never starve the LRU half into thrashing.
+    unpinned_bytes: u64,
+    /// Addresses `< pinned_below` are held outside the LRU order and are
+    /// never evicted.
+    pinned_below: u64,
     tick: u64,
     entries: HashMap<u64, (Vec<u8>, u64)>,
     order: BTreeMap<u64, u64>,
@@ -27,13 +45,28 @@ impl LruCache {
     /// Creates a cache holding at most `capacity_bytes` of block data.
     /// A capacity of 0 disables caching entirely.
     pub fn new(capacity_bytes: u64) -> Self {
+        Self::with_pinned(capacity_bytes, 0)
+    }
+
+    /// [`new`](Self::new) plus a pinned address prefix: blocks at
+    /// addresses `< pinned_below` are cached outside the eviction order
+    /// and never evicted. Pinning is moot when `capacity_bytes` is 0
+    /// (caching disabled entirely).
+    pub fn with_pinned(capacity_bytes: u64, pinned_below: u64) -> Self {
         Self {
             capacity_bytes,
             used_bytes: 0,
+            unpinned_bytes: 0,
+            pinned_below: if capacity_bytes == 0 { 0 } else { pinned_below },
             tick: 0,
             entries: HashMap::new(),
             order: BTreeMap::new(),
         }
+    }
+
+    /// The pinned address bound (`0` = nothing pinned).
+    pub fn pinned_below(&self) -> u64 {
+        self.pinned_below
     }
 
     /// Current number of cached blocks.
@@ -51,8 +84,13 @@ impl LruCache {
         self.used_bytes
     }
 
-    /// Looks up `addr`, refreshing its recency on a hit.
+    /// Looks up `addr`, refreshing its recency on a hit. Pinned entries
+    /// sit outside the recency order — a hit on one is free.
     pub fn get(&mut self, addr: u64) -> Option<&[u8]> {
+        if addr < self.pinned_below {
+            let (block, _) = self.entries.get(&addr)?;
+            return Some(block.as_slice());
+        }
         self.tick += 1;
         let tick = self.tick;
         let (block, last) = self.entries.get_mut(&addr)?;
@@ -63,8 +101,8 @@ impl LruCache {
     }
 
     /// Inserts (or replaces) `addr`, evicting least-recently-used
-    /// entries until the budget holds. Blocks larger than the whole
-    /// budget are not cached.
+    /// *unpinned* entries until the budget holds. Blocks larger than the
+    /// whole budget are not cached.
     pub fn put(&mut self, addr: u64, block: &[u8]) {
         if block.len() as u64 > self.capacity_bytes {
             self.remove(addr);
@@ -73,21 +111,35 @@ impl LruCache {
         self.remove(addr);
         self.tick += 1;
         self.used_bytes += block.len() as u64;
-        self.entries.insert(addr, (block.to_vec(), self.tick));
-        self.order.insert(self.tick, addr);
-        while self.used_bytes > self.capacity_bytes {
+        if addr < self.pinned_below {
+            self.entries.insert(addr, (block.to_vec(), 0));
+        } else {
+            self.unpinned_bytes += block.len() as u64;
+            self.entries.insert(addr, (block.to_vec(), self.tick));
+            self.order.insert(self.tick, addr);
+        }
+        // The budget governs unpinned bytes only: the pinned prefix is a
+        // fixed overhead on top, never a reason to evict the LRU half.
+        while self.unpinned_bytes > self.capacity_bytes {
             let (&oldest, &victim) = self.order.iter().next().expect("over budget implies entry");
             self.order.remove(&oldest);
             let (block, _) = self.entries.remove(&victim).expect("order tracks entries");
             self.used_bytes -= block.len() as u64;
+            self.unpinned_bytes -= block.len() as u64;
         }
     }
 
-    /// Drops `addr` from the cache, if present.
+    /// Drops `addr` from the cache, if present (pinned entries included —
+    /// secure deletion must not leave stale bytes resident).
     pub fn remove(&mut self, addr: u64) {
         if let Some((block, last)) = self.entries.remove(&addr) {
-            self.order.remove(&last);
             self.used_bytes -= block.len() as u64;
+            // A tick of 0 marks a pinned entry (unpinned entries get a
+            // tick >= 1 at insertion).
+            if last != 0 {
+                self.order.remove(&last);
+                self.unpinned_bytes -= block.len() as u64;
+            }
         }
     }
 
@@ -96,6 +148,7 @@ impl LruCache {
         self.entries.clear();
         self.order.clear();
         self.used_bytes = 0;
+        self.unpinned_bytes = 0;
     }
 }
 
@@ -143,6 +196,67 @@ mod tests {
         c.put(1, &[0; 2]);
         assert_eq!(c.used_bytes(), 2);
         assert_eq!(c.get(1).unwrap().len(), 2);
+    }
+
+    #[test]
+    fn pinned_prefix_survives_eviction_pressure() {
+        // Budget 4, addresses < 2 pinned: the pinned root stays resident
+        // while a stream of leaves churns the budget (which the pinned
+        // bytes do not consume: 2 unpinned 2-byte leaves fit).
+        let mut c = LruCache::with_pinned(4, 2);
+        c.put(1, &[0xAA; 2]); // pinned
+        for leaf in 100..200u64 {
+            c.put(leaf, &[leaf as u8; 2]);
+        }
+        assert_eq!(c.get(1), Some(&[0xAA; 2][..]), "pinned entry evicted");
+        assert_eq!(c.len(), 3, "one pinned + two unpinned within budget");
+    }
+
+    #[test]
+    fn large_pinned_set_does_not_starve_the_unpinned_lru() {
+        // Regression: the pinned set exceeds the whole budget, yet
+        // unpinned entries must still cache normally — pinned bytes
+        // live OUTSIDE the eviction budget.
+        let mut c = LruCache::with_pinned(8, 64);
+        for addr in 1..64u64 {
+            c.put(addr, &[addr as u8; 4]); // 252 pinned bytes >> budget 8
+        }
+        c.put(1000, &[7; 4]);
+        c.put(1001, &[8; 4]);
+        assert!(c.get(1000).is_some(), "unpinned LRU starved by pinned set");
+        assert!(c.get(1001).is_some());
+        // The budget still governs the unpinned half.
+        c.put(1002, &[9; 4]);
+        assert!(c.get(1000).is_none(), "LRU victim must still be evicted");
+        for addr in 1..64u64 {
+            assert!(c.get(addr).is_some(), "pinned entry {addr} lost");
+        }
+    }
+
+    #[test]
+    fn pinned_entries_can_still_be_removed_and_replaced() {
+        let mut c = LruCache::with_pinned(10, 4);
+        c.put(1, &[1; 4]);
+        c.put(1, &[2; 2]);
+        assert_eq!(c.get(1), Some(&[2; 2][..]));
+        assert_eq!(c.used_bytes(), 2);
+        c.remove(1);
+        assert!(c.get(1).is_none());
+        assert_eq!(c.used_bytes(), 0);
+    }
+
+    #[test]
+    fn pinned_set_may_overshoot_budget_without_spinning() {
+        let mut c = LruCache::with_pinned(4, 8);
+        for addr in 1..8u64 {
+            c.put(addr, &[addr as u8; 2]);
+        }
+        // All pinned: nothing evictable, overshoot tolerated.
+        assert_eq!(c.len(), 7);
+        assert!(c.used_bytes() > 4);
+        for addr in 1..8u64 {
+            assert!(c.get(addr).is_some());
+        }
     }
 
     #[test]

@@ -223,6 +223,103 @@ fn punctures_after_restore_survive_a_second_restart() {
     std::fs::remove_dir_all(&dir).unwrap();
 }
 
+/// The engine's durability boundary: a multi-user wave's punctures are
+/// group-committed **before** any share leaves a device. Kill the
+/// process between the batch commit and the responses being delivered,
+/// restore from disk, and the recovered-from-crash fleet must refuse to
+/// serve those users' ciphertexts ever again — the share that was "in
+/// flight" at the crash is gone for good, exactly the fail-closed
+/// ordering Figure 4's revocation demands.
+#[test]
+fn engine_wave_punctures_survive_a_kill_before_response_delivery() {
+    use safetypin::{RecoverManyOptions, RecoverySession};
+
+    let mut rng = StdRng::seed_from_u64(SEED ^ 5);
+    let params = SystemParams::test_small(8);
+    let mut d = Deployment::provision(params, &mut rng).unwrap();
+    let mut clients = Vec::new();
+    for u in 0..2 {
+        let name = format!("wave-user-{u}");
+        let mut client = d.new_client(name.as_bytes()).unwrap();
+        let artifact = client
+            .backup(b"161803", b"wave payload", 0, &mut rng)
+            .unwrap();
+        clients.push((client, artifact));
+    }
+    let dir = tmpdir("engine-crash");
+    let mut seal_rng = StdRng::seed_from_u64(0x5EA6);
+    d.persist(&dir, FileOptions::relaxed(), &mut seal_rng)
+        .unwrap();
+    drop(d);
+
+    // Restored fleet runs LIVE on crash-safe FileStores. Stage a
+    // two-user engine wave by hand up to the grouped HSM round.
+    let (mut restored, _) = Deployment::restore_from(&dir, FileOptions::relaxed()).unwrap();
+    let mut rounds = Vec::new();
+    for (client, artifact) in &clients {
+        let attempt = client
+            .start_recovery(b"161803", &artifact.ciphertext, false, &mut rng)
+            .unwrap();
+        let (id, value) = attempt.log_entry();
+        restored.datacenter.insert_log(&id, &value).unwrap();
+        rounds.push((attempt, id, value));
+    }
+    restored.datacenter.run_epoch().unwrap();
+    let mut requests = Vec::new();
+    for (attempt, id, value) in &rounds {
+        let inclusion = restored.datacenter.prove_inclusion(id, value).unwrap();
+        requests.push(attempt.requests(&inclusion));
+    }
+    let contacted_hsms: std::collections::BTreeSet<u64> = requests
+        .iter()
+        .flat_map(|round| round.iter().map(|(id, _)| *id))
+        .collect();
+
+    // The grouped round: every contacted device serves its coalesced
+    // group and commits ONCE — the batch commit — before returning.
+    let flushes_before = restored.datacenter.fleet_store_stats().flushes;
+    let served = restored
+        .datacenter
+        .route_recovery_multi(requests, &mut rng)
+        .unwrap();
+    let flushes_after = restored.datacenter.fleet_store_stats().flushes;
+    assert_eq!(
+        flushes_after - flushes_before,
+        contacted_hsms.len() as u64,
+        "one group commit per contacted device, not one per request"
+    );
+    // The shares exist in memory — they are exactly what the crash is
+    // about to destroy before delivery.
+    assert!(served.iter().flatten().all(|(_, item)| item.is_ok()));
+
+    // CRASH: the process dies after the batch commit, before any
+    // response reaches a client. Nothing is persisted.
+    drop(served);
+    drop(restored);
+
+    // Restart from disk. The devices' sealed trusted state predates the
+    // wave, but the punctures' re-keyed blocks were WAL-committed by
+    // the group commit: no combination of on-disk state can produce
+    // those shares again. The users' recoveries must fail.
+    let (mut after_crash, _) = Deployment::restore_from(&dir, FileOptions::relaxed()).unwrap();
+    let sessions: Vec<RecoverySession<'_>> = clients
+        .iter()
+        .map(|(client, artifact)| RecoverySession {
+            client,
+            pin: b"161803",
+            artifact,
+        })
+        .collect();
+    let outcomes = after_crash.recover_many(&sessions, RecoverManyOptions::default(), &mut rng);
+    for (u, outcome) in outcomes.iter().enumerate() {
+        assert!(
+            outcome.is_err(),
+            "user {u}: a share served before the crash must be unrecoverable after it"
+        );
+    }
+    std::fs::remove_dir_all(&dir).unwrap();
+}
+
 /// Sealed-state integrity: tampering with a sealed HSM file, removing
 /// the keyring, or presenting a wrong-version snapshot all fail typed.
 #[test]

@@ -232,6 +232,7 @@ impl core::ops::Neg for ProjectivePoint {
 impl core::ops::Mul<Scalar> for ProjectivePoint {
     type Output = ProjectivePoint;
     fn mul(self, rhs: Scalar) -> ProjectivePoint {
+        ops::VAR_MULTS.fetch_add(1, Ordering::Relaxed);
         ProjectivePoint(self.0 * rhs)
     }
 }
@@ -239,12 +240,22 @@ impl core::ops::Mul<Scalar> for ProjectivePoint {
 impl core::ops::Mul<&Scalar> for ProjectivePoint {
     type Output = ProjectivePoint;
     fn mul(self, rhs: &Scalar) -> ProjectivePoint {
+        ops::VAR_MULTS.fetch_add(1, Ordering::Relaxed);
+        ProjectivePoint(self.0 * *rhs)
+    }
+}
+
+impl ProjectivePoint {
+    /// Uncounted scalar multiplication for the batch APIs (their terms
+    /// are metered as batch/MSM work, not as naive multiplications).
+    fn raw_mul(&self, rhs: &Scalar) -> ProjectivePoint {
         ProjectivePoint(self.0 * *rhs)
     }
 }
 
 impl core::ops::MulAssign<Scalar> for ProjectivePoint {
     fn mul_assign(&mut self, rhs: Scalar) {
+        ops::VAR_MULTS.fetch_add(1, Ordering::Relaxed);
         self.0 = self.0 * rhs;
     }
 }
@@ -315,6 +326,7 @@ impl FixedBaseTable {
     /// Multiplies the fixed base by `scalar` using the precomputed
     /// windows.
     pub fn mul(&self, scalar: &Scalar) -> ProjectivePoint {
+        ops::FIXED_MULTS.fetch_add(1, Ordering::Relaxed);
         let bytes = scalar.to_bytes(); // big-endian
         let mut acc = ProjectivePoint::IDENTITY;
         for (i, row) in self.rows.iter().enumerate() {
@@ -336,8 +348,204 @@ impl FixedBaseTable {
 /// field operation, so this reduces to a map — the point is a stable API
 /// seam for the hot path.
 pub fn mul_many(bases: &[ProjectivePoint], scalar: &Scalar) -> Vec<ProjectivePoint> {
-    bases.iter().map(|b| *b * scalar).collect()
+    ops::BATCH_CALLS.fetch_add(1, Ordering::Relaxed);
+    ops::BATCH_TERMS.fetch_add(bases.len() as u64, Ordering::Relaxed);
+    bases.iter().map(|b| b.raw_mul(scalar)).collect()
 }
+
+/// Multi-scalar multiplication `Σᵢ sᵢ·Pᵢ` (Straus/Pippenger).
+///
+/// Small inputs run the interleaved-window Straus method (a 4-bit digit
+/// table per base, one shared doubling chain); larger inputs switch to
+/// Pippenger's bucket method, whose cost per point *falls* as the batch
+/// grows — this is what makes cross-user batch verification cheaper than
+/// per-user naive multiplication on a real curve. On this mock backend a
+/// naive multiplication is a single field operation, so the windowed
+/// arithmetic is about executing (and testing) the real algorithm, not
+/// raw speed; the [`op_counts`] meters record how many naive
+/// multiplications each MSM call replaced so benchmarks can report the
+/// real-curve saving.
+///
+/// # Panics
+///
+/// Panics if `bases` and `scalars` have different lengths.
+pub fn mul_multi(bases: &[ProjectivePoint], scalars: &[Scalar]) -> ProjectivePoint {
+    assert_eq!(
+        bases.len(),
+        scalars.len(),
+        "mul_multi needs one scalar per base"
+    );
+    ops::MSM_CALLS.fetch_add(1, Ordering::Relaxed);
+    ops::MSM_TERMS.fetch_add(bases.len() as u64, Ordering::Relaxed);
+    if bases.is_empty() {
+        return ProjectivePoint::IDENTITY;
+    }
+    if bases.len() <= 32 {
+        msm_straus(bases, scalars)
+    } else {
+        msm_pippenger(bases, scalars)
+    }
+}
+
+/// Straus interleaved 4-bit windows: per-base digit tables, one shared
+/// doubling chain of 64 windows.
+fn msm_straus(bases: &[ProjectivePoint], scalars: &[Scalar]) -> ProjectivePoint {
+    const W: usize = 4;
+    const MASK: usize = (1 << W) - 1; // 15 table entries per base
+                                      // tables[i][d-1] = d · Pᵢ for d ∈ 1..=15, built with additions only.
+    let tables: Vec<[ProjectivePoint; MASK]> = bases
+        .iter()
+        .map(|base| {
+            let mut row = [ProjectivePoint::IDENTITY; MASK];
+            let mut acc = ProjectivePoint::IDENTITY;
+            for entry in row.iter_mut() {
+                acc += *base;
+                *entry = acc;
+            }
+            row
+        })
+        .collect();
+    let digits: Vec<[u8; 32]> = scalars.iter().map(|s| s.to_bytes()).collect();
+    let mut acc = ProjectivePoint::IDENTITY;
+    // Windows from the most significant nibble down; 4 doublings between.
+    for w in (0..64).rev() {
+        if acc != ProjectivePoint::IDENTITY {
+            for _ in 0..W {
+                acc += acc;
+            }
+        }
+        let byte = 31 - w / 2;
+        let shift = if w % 2 == 1 { 4 } else { 0 };
+        for (table, bytes) in tables.iter().zip(&digits) {
+            let digit = ((bytes[byte] >> shift) as usize) & MASK;
+            if digit != 0 {
+                acc += table[digit - 1];
+            }
+        }
+    }
+    acc
+}
+
+/// Pippenger buckets: per window, drop each base into the bucket of its
+/// digit, then fold the buckets with a running-sum sweep. Window width
+/// grows with `log₂ n` so per-point cost shrinks as the batch grows.
+fn msm_pippenger(bases: &[ProjectivePoint], scalars: &[Scalar]) -> ProjectivePoint {
+    let w: usize = match bases.len() {
+        0..=127 => 5,
+        128..=1023 => 7,
+        _ => 9,
+    };
+    let windows = 256usize.div_ceil(w);
+    let digits: Vec<[u8; 32]> = scalars.iter().map(|s| s.to_bytes()).collect();
+    // Little-endian bit extraction of the digit at window `win`.
+    let digit_at = |bytes: &[u8; 32], win: usize| -> usize {
+        let bit = win * w;
+        let mut d = 0usize;
+        for k in 0..w {
+            let pos = bit + k;
+            if pos >= 256 {
+                break;
+            }
+            // to_bytes is big-endian: bit 0 lives in bytes[31] & 1.
+            let byte = bytes[31 - pos / 8];
+            if (byte >> (pos % 8)) & 1 == 1 {
+                d |= 1 << k;
+            }
+        }
+        d
+    };
+    let mut acc = ProjectivePoint::IDENTITY;
+    for win in (0..windows).rev() {
+        if acc != ProjectivePoint::IDENTITY {
+            for _ in 0..w {
+                acc += acc;
+            }
+        }
+        let mut buckets = vec![ProjectivePoint::IDENTITY; (1 << w) - 1];
+        for (base, bytes) in bases.iter().zip(&digits) {
+            let d = digit_at(bytes, win);
+            if d != 0 {
+                buckets[d - 1] += *base;
+            }
+        }
+        // Running-sum fold: Σ d·bucket[d] with 2·(2^w − 1) additions.
+        let mut running = ProjectivePoint::IDENTITY;
+        let mut window_sum = ProjectivePoint::IDENTITY;
+        for bucket in buckets.iter().rev() {
+            running += *bucket;
+            window_sum += running;
+        }
+        acc += window_sum;
+    }
+    acc
+}
+
+use core::sync::atomic::Ordering;
+
+/// Process-wide group-operation meters.
+///
+/// The mock backend costs every operation one field multiplication, so
+/// wall-clock alone cannot show what a real curve would save; these
+/// counters record the *shape* of the work — how many naive variable-base
+/// multiplications ran, how many went through the fixed-base table, and
+/// how many scalar-point terms were folded into shared-recoding batches
+/// ([`mul_many`]) or true multi-scalar multiplications ([`mul_multi`])
+/// instead. Benchmarks snapshot them with [`take_op_counts`].
+pub mod ops {
+    use core::sync::atomic::{AtomicU64, Ordering};
+
+    pub(crate) static VAR_MULTS: AtomicU64 = AtomicU64::new(0);
+    pub(crate) static FIXED_MULTS: AtomicU64 = AtomicU64::new(0);
+    pub(crate) static BATCH_CALLS: AtomicU64 = AtomicU64::new(0);
+    pub(crate) static BATCH_TERMS: AtomicU64 = AtomicU64::new(0);
+    pub(crate) static MSM_CALLS: AtomicU64 = AtomicU64::new(0);
+    pub(crate) static MSM_TERMS: AtomicU64 = AtomicU64::new(0);
+
+    /// A snapshot of the process-wide group-operation counters.
+    #[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+    pub struct OpCounts {
+        /// Naive one-off variable-base scalar multiplications.
+        pub var_mults: u64,
+        /// Multiplications served by a precomputed fixed-base table.
+        pub fixed_mults: u64,
+        /// Shared-scalar batch calls (`mul_many`).
+        pub batch_calls: u64,
+        /// Scalar-point terms folded into shared-scalar batches.
+        pub batch_terms: u64,
+        /// Multi-scalar multiplication calls (`mul_multi`).
+        pub msm_calls: u64,
+        /// Scalar-point terms folded into MSMs (each one replaces a
+        /// naive variable-base multiplication).
+        pub msm_terms: u64,
+    }
+
+    /// Reads the counters without resetting them.
+    pub fn op_counts() -> OpCounts {
+        OpCounts {
+            var_mults: VAR_MULTS.load(Ordering::Relaxed),
+            fixed_mults: FIXED_MULTS.load(Ordering::Relaxed),
+            batch_calls: BATCH_CALLS.load(Ordering::Relaxed),
+            batch_terms: BATCH_TERMS.load(Ordering::Relaxed),
+            msm_calls: MSM_CALLS.load(Ordering::Relaxed),
+            msm_terms: MSM_TERMS.load(Ordering::Relaxed),
+        }
+    }
+
+    /// Drains the counters, returning the values accumulated since the
+    /// last drain (or process start).
+    pub fn take_op_counts() -> OpCounts {
+        OpCounts {
+            var_mults: VAR_MULTS.swap(0, Ordering::Relaxed),
+            fixed_mults: FIXED_MULTS.swap(0, Ordering::Relaxed),
+            batch_calls: BATCH_CALLS.swap(0, Ordering::Relaxed),
+            batch_terms: BATCH_TERMS.swap(0, Ordering::Relaxed),
+            msm_calls: MSM_CALLS.swap(0, Ordering::Relaxed),
+            msm_terms: MSM_TERMS.swap(0, Ordering::Relaxed),
+        }
+    }
+}
+
+pub use ops::{op_counts, take_op_counts, OpCounts};
 
 impl ToEncodedPoint for AffinePoint {
     fn to_encoded_point(&self, compress: bool) -> EncodedPoint {
@@ -631,6 +839,67 @@ mod tests {
         for (b, o) in bases.iter().zip(&out) {
             assert_eq!(*o, *b * s);
         }
+    }
+
+    #[test]
+    fn mul_multi_matches_naive_sum_straus_and_pippenger() {
+        let mut rng = StdRng::seed_from_u64(7);
+        // 5 terms exercises Straus, 200 exercises Pippenger (w = 7),
+        // 1100 exercises the widest bucket width.
+        for n in [0usize, 1, 2, 5, 31, 33, 200, 1100] {
+            let bases: Vec<ProjectivePoint> = (0..n)
+                .map(|_| ProjectivePoint::GENERATOR * Scalar::random(&mut rng))
+                .collect();
+            let scalars: Vec<Scalar> = (0..n).map(|_| Scalar::random(&mut rng)).collect();
+            let mut naive = ProjectivePoint::IDENTITY;
+            for (b, s) in bases.iter().zip(&scalars) {
+                naive += b.raw_mul(s);
+            }
+            assert_eq!(mul_multi(&bases, &scalars), naive, "n={n}");
+        }
+    }
+
+    #[test]
+    fn mul_multi_edge_scalars() {
+        let mut rng = StdRng::seed_from_u64(8);
+        let p = ProjectivePoint::GENERATOR * Scalar::random(&mut rng);
+        let q = ProjectivePoint::GENERATOR * Scalar::random(&mut rng);
+        // Zero scalars contribute nothing; ones pass bases through.
+        assert_eq!(
+            mul_multi(&[p, q], &[Scalar::ZERO, Scalar::ONE]),
+            q,
+            "0·P + 1·Q = Q"
+        );
+        assert_eq!(mul_multi(&[p], &[Scalar::ZERO]), ProjectivePoint::IDENTITY);
+        // Identity bases are absorbed.
+        let s = Scalar::random(&mut rng);
+        assert_eq!(
+            mul_multi(&[ProjectivePoint::IDENTITY, p], &[s, Scalar::ONE]),
+            p
+        );
+    }
+
+    #[test]
+    #[should_panic(expected = "one scalar per base")]
+    fn mul_multi_length_mismatch_panics() {
+        let _ = mul_multi(&[ProjectivePoint::GENERATOR], &[]);
+    }
+
+    #[test]
+    fn op_counters_track_shapes() {
+        let mut rng = StdRng::seed_from_u64(9);
+        let _ = take_op_counts(); // isolate (best effort; tests run in parallel)
+        let p = ProjectivePoint::GENERATOR * Scalar::random(&mut rng);
+        let s = Scalar::random(&mut rng);
+        let before = op_counts();
+        let _ = p * s;
+        let _ = mul_many(&[p, p, p], &s);
+        let _ = mul_multi(&[p, p], &[s, s]);
+        let after = op_counts();
+        assert!(after.var_mults > before.var_mults);
+        assert!(after.batch_terms >= before.batch_terms + 3);
+        assert!(after.msm_calls > before.msm_calls);
+        assert!(after.msm_terms >= before.msm_terms + 2);
     }
 
     #[test]
