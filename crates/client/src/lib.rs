@@ -23,6 +23,8 @@
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
+pub mod remote;
+
 use rand::{CryptoRng, RngCore};
 use safetypin_authlog::trie::InclusionProof;
 use safetypin_bfe::BfeCiphertext;

@@ -7,14 +7,20 @@
 //! the evaluation needs: per-phase cost attribution and vulnerability-
 //! window tracking (Figure 4).
 
+use std::path::PathBuf;
+
 use rand::{CryptoRng, RngCore};
 use safetypin_client::{BackupArtifact, Client, ClientError, RecoveryAttempt};
 use safetypin_hsm::{HsmError, RecoveryPhases};
-use safetypin_proto::{SnapshotMeta, Transport, TransportStats};
+use safetypin_primitives::CryptoError;
+use safetypin_proto::{
+    ProviderRequest, ProviderResponse, SnapshotMeta, StatusReport, Traffic, TrafficReply,
+    Transport, TransportStats,
+};
 use safetypin_provider::{Datacenter, ProviderError};
 use safetypin_seckv::{BlockStore, MemStore};
 use safetypin_sim::{CostModel, OpCosts};
-use safetypin_store::{FileOptions, FileStore, SnapshotBlocks, StoreError};
+use safetypin_store::{Durability, FileOptions, FileStore, SnapshotBlocks, StoreError};
 
 use crate::params::SystemParams;
 
@@ -25,6 +31,14 @@ pub enum DeploymentError {
     Provider(ProviderError),
     /// Client-side failure.
     Client(ClientError),
+    /// Persistent-store failure while opening or persisting the
+    /// deployment.
+    Store(StoreError),
+    /// Parameter derivation failed (invalid LHE/BFE shape).
+    Params(CryptoError),
+    /// The builder was asked for something its configuration cannot do
+    /// (e.g. [`DeploymentBuilder::open`] without a store directory).
+    Config(&'static str),
     /// The recovery attempt was refused (e.g., attempt already logged for
     /// this identifier — the PIN-guess limit).
     AttemptRefused,
@@ -35,12 +49,25 @@ impl core::fmt::Display for DeploymentError {
         match self {
             DeploymentError::Provider(e) => write!(f, "provider: {e}"),
             DeploymentError::Client(e) => write!(f, "client: {e}"),
+            DeploymentError::Store(e) => write!(f, "store: {e}"),
+            DeploymentError::Params(e) => write!(f, "invalid parameters: {e}"),
+            DeploymentError::Config(what) => write!(f, "builder misconfigured: {what}"),
             DeploymentError::AttemptRefused => write!(f, "recovery attempt refused"),
         }
     }
 }
 
-impl std::error::Error for DeploymentError {}
+impl std::error::Error for DeploymentError {
+    fn source(&self) -> Option<&(dyn std::error::Error + 'static)> {
+        match self {
+            DeploymentError::Provider(e) => Some(e),
+            DeploymentError::Client(e) => Some(e),
+            DeploymentError::Store(e) => Some(e),
+            DeploymentError::Params(e) => Some(e),
+            DeploymentError::Config(_) | DeploymentError::AttemptRefused => None,
+        }
+    }
+}
 
 impl From<ProviderError> for DeploymentError {
     fn from(e: ProviderError) -> Self {
@@ -51,6 +78,18 @@ impl From<ProviderError> for DeploymentError {
 impl From<ClientError> for DeploymentError {
     fn from(e: ClientError) -> Self {
         DeploymentError::Client(e)
+    }
+}
+
+impl From<StoreError> for DeploymentError {
+    fn from(e: StoreError) -> Self {
+        DeploymentError::Store(e)
+    }
+}
+
+impl From<CryptoError> for DeploymentError {
+    fn from(e: CryptoError) -> Self {
+        DeploymentError::Params(e)
     }
 }
 
@@ -176,6 +215,153 @@ impl Deployment<MemStore> {
     }
 }
 
+/// Builder for a [`Deployment`]: one place to set every provisioning
+/// knob, replacing the positional-argument constructor ladder
+/// (`provision` / `provision_with_transport` /
+/// `provision_with_workers`).
+///
+/// ```
+/// use safetypin::{DeploymentBuilder, SystemParams};
+///
+/// let mut rng = rand::thread_rng();
+/// let deployment = DeploymentBuilder::new(SystemParams::test_small(8))
+///     .workers(2)
+///     .provision(&mut rng)
+///     .unwrap();
+/// assert_eq!(deployment.params.total(), 8);
+/// ```
+///
+/// Two terminal methods:
+///
+/// * [`provision`](Self::provision) — a fresh in-memory fleet
+///   ([`Deployment<MemStore>`]);
+/// * [`open`](Self::open) — a persistent fleet at
+///   [`store_dir`](Self::store_dir): restores the snapshot if one
+///   exists, otherwise provisions and persists a fresh one, either way
+///   running live on crash-safe [`FileStore`]s. This is what
+///   `safetypind` boots from.
+pub struct DeploymentBuilder {
+    params: SystemParams,
+    transport: Option<Box<dyn Transport>>,
+    workers: usize,
+    store_dir: Option<PathBuf>,
+    file_options: FileOptions,
+}
+
+impl DeploymentBuilder {
+    /// Starts a builder from explicit [`SystemParams`].
+    pub fn new(params: SystemParams) -> Self {
+        Self {
+            params,
+            transport: None,
+            workers: 0,
+            store_dir: None,
+            file_options: FileOptions::default(),
+        }
+    }
+
+    /// Starts from [`SystemParams::scaled`] — `total` HSMs with
+    /// `bfe_slots`-slot puncturable keys, paper ratios elsewhere.
+    pub fn scaled(total: u64, cluster: usize, bfe_slots: u64) -> Result<Self, DeploymentError> {
+        Ok(Self::new(SystemParams::scaled(total, cluster, bfe_slots)?))
+    }
+
+    /// Starts from [`SystemParams::test_small`] (unit-test scale).
+    pub fn test_small(total: u64) -> Self {
+        Self::new(SystemParams::test_small(total))
+    }
+
+    /// Message transport between the provider and the fleet (default:
+    /// the zero-copy `Direct`). With [`open`](Self::open), the
+    /// transport is installed after restore/provision — provisioning
+    /// itself always runs `Direct`, so the persisted fleet is
+    /// byte-identical regardless of this setting.
+    pub fn transport(mut self, transport: Box<dyn Transport>) -> Self {
+        self.transport = Some(transport);
+        self
+    }
+
+    /// Worker-thread cap for the per-HSM provisioning fan-out (`0` =
+    /// all cores; `1` = serial). The provisioned fleet is
+    /// byte-identical for any cap.
+    pub fn workers(mut self, workers: usize) -> Self {
+        self.workers = workers;
+        self
+    }
+
+    /// Snapshot directory for [`open`](Self::open).
+    pub fn store_dir(mut self, dir: impl Into<PathBuf>) -> Self {
+        self.store_dir = Some(dir.into());
+        self
+    }
+
+    /// fsync policy for the block files (shorthand for the
+    /// [`file_options`](Self::file_options) field of the same name).
+    pub fn durability(mut self, durability: Durability) -> Self {
+        self.file_options.durability = durability;
+        self
+    }
+
+    /// Full [`FileOptions`] for the crash-safe block files.
+    pub fn file_options(mut self, opts: FileOptions) -> Self {
+        self.file_options = opts;
+        self
+    }
+
+    /// Provisions a fresh in-memory fleet.
+    pub fn provision<R: RngCore + CryptoRng>(
+        self,
+        rng: &mut R,
+    ) -> Result<Deployment<MemStore>, DeploymentError> {
+        let transport = self
+            .transport
+            .unwrap_or_else(|| Box::new(safetypin_proto::Direct::new()));
+        let workers = if self.workers == 0 {
+            usize::MAX
+        } else {
+            self.workers
+        };
+        Deployment::provision_with_workers(self.params, transport, workers, rng)
+    }
+
+    /// Opens the persistent deployment at [`store_dir`](Self::store_dir):
+    /// restores the snapshot if one exists (verifying its protocol
+    /// version and that its fleet matches `params`), otherwise
+    /// provisions a fresh fleet and persists it first. Either way the
+    /// returned deployment runs live on crash-safe [`FileStore`]s.
+    pub fn open<R: RngCore + CryptoRng>(
+        self,
+        rng: &mut R,
+    ) -> Result<(Deployment<FileStore>, SnapshotMeta), DeploymentError> {
+        let dir = self
+            .store_dir
+            .ok_or(DeploymentError::Config("open requires store_dir"))?;
+        if !dir.join("params.bin").exists() {
+            let mut fresh = Deployment::provision_with_workers(
+                self.params,
+                Box::new(safetypin_proto::Direct::new()),
+                if self.workers == 0 {
+                    usize::MAX
+                } else {
+                    self.workers
+                },
+                rng,
+            )?;
+            fresh.persist(&dir, self.file_options, rng)?;
+        }
+        let (mut deployment, meta) = Deployment::restore_from(&dir, self.file_options)?;
+        if deployment.params.total() != self.params.total() {
+            return Err(DeploymentError::Store(StoreError::Inconsistent(
+                "snapshot fleet size disagrees with the builder's parameters",
+            )));
+        }
+        if let Some(transport) = self.transport {
+            deployment.datacenter.set_transport(transport);
+        }
+        Ok((deployment, meta))
+    }
+}
+
 /// One user's recovery job for [`Deployment::recover_many`].
 pub struct RecoverySession<'a> {
     /// The recovering client (must have downloaded the enrollments).
@@ -203,6 +389,20 @@ pub struct RecoverManyOptions {
     pub workers: usize,
 }
 
+impl RecoverManyOptions {
+    /// Users per engine wave (`0` = everyone in one wave).
+    pub fn with_wave(mut self, wave: usize) -> Self {
+        self.wave = wave;
+        self
+    }
+
+    /// Worker-thread cap for the per-HSM fan-out (`0` = all cores).
+    pub fn with_workers(mut self, workers: usize) -> Self {
+        self.workers = workers;
+        self
+    }
+}
+
 impl<S: BlockStore + Send> Deployment<S> {
     /// Creates a client that has downloaded the fleet's enrollment
     /// records.
@@ -212,6 +412,49 @@ impl<S: BlockStore + Send> Deployment<S> {
             self.params.lhe,
             self.datacenter.enrollments(),
         )?)
+    }
+
+    /// A point-in-time [`StatusReport`]: the datacenter's fleet-level
+    /// counters plus this deployment's LHE parameters (cluster size,
+    /// threshold, PIN space) — everything a bare remote client needs to
+    /// configure itself. The connection/admission fields stay zeroed;
+    /// the daemon fills them in before the report goes over the wire.
+    pub fn status_report(&self) -> StatusReport {
+        StatusReport {
+            cluster: self.params.lhe.cluster as u32,
+            threshold: self.params.lhe.threshold as u32,
+            pin_space: self.params.lhe.pin_space,
+            ..self.datacenter.status_report()
+        }
+    }
+
+    /// Dispatches one client-facing [`ProviderRequest`]. Identical to
+    /// [`Datacenter::handle`] except that `Status` is answered here,
+    /// where the LHE parameters are known.
+    pub fn handle<R: RngCore + CryptoRng>(
+        &mut self,
+        request: ProviderRequest,
+        rng: &mut R,
+    ) -> ProviderResponse {
+        match request {
+            ProviderRequest::Status => ProviderResponse::Status(self.status_report()),
+            other => self.datacenter.handle(other, rng),
+        }
+    }
+
+    /// Serves one round of any [`Traffic`] class — provider-level
+    /// requests through [`handle`](Self::handle), HSM-level traffic
+    /// straight into the fleet. This is the entry point `safetypind`
+    /// plugs each decoded frame into.
+    pub fn serve_round<R: RngCore + CryptoRng>(
+        &mut self,
+        traffic: Traffic,
+        rng: &mut R,
+    ) -> TrafficReply {
+        match traffic {
+            Traffic::Provider(request) => TrafficReply::Provider(self.handle(request, rng)),
+            other => self.datacenter.serve_round(other, rng),
+        }
     }
 
     /// Runs the full Figure 3 recovery flow: log the attempt, run a log
@@ -507,6 +750,92 @@ mod tests {
         let params = SystemParams::test_small(total);
         let d = Deployment::provision(params, &mut rng).unwrap();
         (d, rng)
+    }
+
+    #[test]
+    fn builder_provision_matches_positional_constructor() {
+        // Same seed, same params: the builder must provision the exact
+        // fleet the positional constructor does.
+        let params = SystemParams::test_small(8);
+        let mut rng_a = StdRng::seed_from_u64(77);
+        let a = Deployment::provision(params, &mut rng_a).unwrap();
+        let mut rng_b = StdRng::seed_from_u64(77);
+        let b = crate::DeploymentBuilder::new(params)
+            .provision(&mut rng_b)
+            .unwrap();
+        let enc = |d: &Deployment| {
+            use safetypin_primitives::wire::Encode;
+            d.datacenter
+                .enrollments()
+                .iter()
+                .flat_map(|e| e.to_bytes())
+                .collect::<Vec<u8>>()
+        };
+        assert_eq!(enc(&a), enc(&b));
+    }
+
+    #[test]
+    fn builder_open_provisions_then_restores() {
+        let dir =
+            std::env::temp_dir().join(format!("safetypin-builder-open-{}", std::process::id()));
+        let _ = std::fs::remove_dir_all(&dir);
+        let params = SystemParams::test_small(8);
+
+        // First open: no snapshot yet — provisions and persists.
+        let mut rng = StdRng::seed_from_u64(42);
+        let (mut d, meta) = crate::DeploymentBuilder::new(params)
+            .store_dir(&dir)
+            .file_options(FileOptions::relaxed())
+            .open(&mut rng)
+            .unwrap();
+        assert_eq!(meta.fleet_size, 8);
+        let mut client = d.new_client(b"alice").unwrap();
+        let artifact = client.backup(b"493201", b"the key", 0, &mut rng).unwrap();
+        d.persist(&dir, FileOptions::relaxed(), &mut rng).unwrap();
+        drop(d);
+
+        // Second open: the snapshot exists — restores it, and the
+        // restored fleet serves the recovery.
+        let (mut d, meta) = crate::DeploymentBuilder::new(params)
+            .store_dir(&dir)
+            .file_options(FileOptions::relaxed())
+            .open(&mut rng)
+            .unwrap();
+        assert_eq!(meta.fleet_size, 8);
+        let outcome = d.recover(&client, b"493201", &artifact, &mut rng).unwrap();
+        assert_eq!(outcome.message, b"the key");
+
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn builder_open_without_store_dir_is_a_config_error() {
+        let mut rng = StdRng::seed_from_u64(1);
+        match crate::DeploymentBuilder::test_small(8).open(&mut rng) {
+            Err(DeploymentError::Config(_)) => {}
+            Err(e) => panic!("expected a Config error, got {e}"),
+            Ok(_) => panic!("open without store_dir must fail"),
+        }
+    }
+
+    #[test]
+    fn status_report_carries_lhe_params_and_counters() {
+        let (mut d, mut rng) = deployment(8);
+        let mut client = d.new_client(b"fred").unwrap();
+        let artifact = client.backup(b"555555", b"m", 0, &mut rng).unwrap();
+        d.recover(&client, b"555555", &artifact, &mut rng).unwrap();
+        let report = d.status_report();
+        assert_eq!(report.fleet_size, 8);
+        assert_eq!(report.cluster, d.params.lhe.cluster as u32);
+        assert_eq!(report.threshold, d.params.lhe.threshold as u32);
+        assert_eq!(report.pin_space, d.params.lhe.pin_space);
+        assert_eq!(report.epoch_count, 1);
+        assert!(report.log_entries >= 1);
+        assert!(report.reply_copies >= 1);
+        // Deployment::handle answers Status itself (the datacenter
+        // cannot know the LHE parameters).
+        let resp = d.handle(ProviderRequest::Status, &mut rng);
+        assert_eq!(resp, ProviderResponse::Status(report));
     }
 
     #[test]

@@ -49,7 +49,8 @@ pub mod deployment;
 pub mod params;
 
 pub use deployment::{
-    Deployment, DeploymentError, RecoverManyOptions, RecoveryOutcome, RecoverySession,
+    Deployment, DeploymentBuilder, DeploymentError, RecoverManyOptions, RecoveryOutcome,
+    RecoverySession,
 };
 pub use params::SystemParams;
 

@@ -1,0 +1,105 @@
+//! `safetypin-cli` — a thin client for a running `safetypind`.
+//!
+//! The client is bare: it learns the fleet parameters from the
+//! daemon's status report and downloads (and verifies) the enrollment
+//! records itself before every command, exactly as a fresh phone
+//! would.
+
+use std::process::ExitCode;
+
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+use safetypin_client::remote;
+use safetypin_proto::tcp::{Tcp, TcpConfig};
+use safetypin_proto::{ProviderRequest, ProviderResponse};
+
+const USAGE: &str = "\
+usage: safetypin-cli <addr> <command> [...]
+
+commands:
+  status                         print the daemon's status report
+  save <username> <pin> <secret> back up <secret> under <pin>
+  recover <username> <pin>       recover the secret; prints it to stdout
+  shutdown                       ask the daemon to drain and persist
+";
+
+fn run() -> Result<(), String> {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let (addr, command, rest) = match args.as_slice() {
+        [addr, command, rest @ ..] => (addr, command.as_str(), rest),
+        _ => return Err(USAGE.to_string()),
+    };
+    let mut tcp =
+        Tcp::connect(TcpConfig::new(addr.clone())).map_err(|e| format!("connect {addr}: {e}"))?;
+    // Seed from the OS so repeated commands don't reuse client nonces.
+    let mut rng = StdRng::from_entropy();
+    match (command, rest) {
+        ("status", []) => {
+            let report = remote::fetch_status(&mut tcp).map_err(|e| e.to_string())?;
+            println!("fleet_size          {}", report.fleet_size);
+            println!("cluster             {}", report.cluster);
+            println!("threshold           {}", report.threshold);
+            println!("pin_space           {}", report.pin_space);
+            println!("epoch_count         {}", report.epoch_count);
+            println!("log_entries         {}", report.log_entries);
+            println!("backups             {}", report.backups);
+            println!("reply_copies        {}", report.reply_copies);
+            println!("active_connections  {}", report.active_connections);
+            println!("served_requests     {}", report.served_requests);
+            println!("rejected_requests   {}", report.rejected_requests);
+            println!("draining            {}", report.draining);
+            Ok(())
+        }
+        ("save", [username, pin, secret]) => {
+            let mut client = remote::connect(&mut tcp, username.as_bytes())
+                .map_err(|e| format!("connect client: {e}"))?;
+            let artifact = remote::save(
+                &mut tcp,
+                &mut client,
+                pin.as_bytes(),
+                secret.as_bytes(),
+                &mut rng,
+            )
+            .map_err(|e| format!("save: {e}"))?;
+            println!(
+                "saved {} ciphertext bytes under username {username}",
+                artifact.ciphertext.len()
+            );
+            Ok(())
+        }
+        ("recover", [username, pin]) => {
+            let client = remote::connect(&mut tcp, username.as_bytes())
+                .map_err(|e| format!("connect client: {e}"))?;
+            let artifact = remote::fetch_backup(&mut tcp, username.as_bytes())
+                .map_err(|e| format!("fetch backup: {e}"))?;
+            let plaintext = remote::recover(&mut tcp, &client, pin.as_bytes(), &artifact, &mut rng)
+                .map_err(|e| format!("recover: {e}"))?;
+            println!("{}", String::from_utf8_lossy(&plaintext));
+            Ok(())
+        }
+        ("shutdown", []) => {
+            match tcp
+                .call(ProviderRequest::Shutdown)
+                .map_err(|e| format!("shutdown: {e}"))?
+            {
+                ProviderResponse::Ack => {
+                    println!("daemon is draining");
+                    Ok(())
+                }
+                ProviderResponse::Error(e) => Err(format!("shutdown refused: {e}")),
+                _ => Err("unexpected reply to shutdown".to_string()),
+            }
+        }
+        _ => Err(USAGE.to_string()),
+    }
+}
+
+fn main() -> ExitCode {
+    match run() {
+        Ok(()) => ExitCode::SUCCESS,
+        Err(msg) => {
+            eprintln!("{msg}");
+            ExitCode::FAILURE
+        }
+    }
+}

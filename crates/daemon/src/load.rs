@@ -1,0 +1,294 @@
+//! The over-the-wire load generator.
+//!
+//! [`run`] drives a running `safetypind` through the full client
+//! protocol — no shortcuts through in-process state — in three phases:
+//!
+//! 1. **save**: every user backs up a distinct secret under a distinct
+//!    PIN and uploads the artifact, fanned out over
+//!    [`LoadOptions::threads`] connections;
+//! 2. **solo recover**: half the users run the individual Figure 3
+//!    recovery ([`remote::recover`]), again over concurrent
+//!    connections. The log-to-recover critical section is serialized
+//!    by a client-side lock — an inclusion proof must be used against
+//!    the epoch that produced it, and the daemon serializes fleet work
+//!    anyway, so the measured rate is the honest end-to-end one;
+//! 3. **batch wave**: the other half recovers in one
+//!    [`ProviderRequest::RecoverBatch`] wave — one epoch, one frame of
+//!    per-user request rounds — measuring the multi-user engine's
+//!    throughput over the socket.
+//!
+//! Every recovered plaintext is checked against the secret that was
+//! saved; a mismatch is an error, not a statistic. The resulting
+//! [`LoadReport`] renders `wire_*` metrics for
+//! [`perf::merge_metrics`](crate::perf::merge_metrics).
+
+use std::sync::Mutex;
+use std::time::Instant;
+
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+use safetypin::lhe::LheParams;
+use safetypin_client::remote::{self, RemoteError};
+use safetypin_client::{Client, ClientError};
+use safetypin_proto::tcp::{Tcp, TcpConfig};
+use safetypin_proto::{codes, ErrorReply, HsmResponse, ProviderRequest, ProviderResponse};
+
+/// Load-generator knobs.
+#[derive(Debug, Clone)]
+pub struct LoadOptions {
+    /// The daemon address (`host:port`).
+    pub addr: String,
+    /// Total users (half recover solo, half in the batch wave).
+    pub users: usize,
+    /// Concurrent connections for the save and solo-recover phases.
+    pub threads: usize,
+}
+
+impl LoadOptions {
+    /// Defaults: 24 users over 4 connections.
+    pub fn new(addr: impl Into<String>) -> Self {
+        Self {
+            addr: addr.into(),
+            users: 24,
+            threads: 4,
+        }
+    }
+
+    /// Quick mode (CI): 6 users over 2 connections.
+    pub fn quick(mut self) -> Self {
+        self.users = 6;
+        self.threads = 2;
+        self
+    }
+}
+
+/// Measured outcomes of one load run.
+#[derive(Debug, Clone)]
+pub struct LoadReport {
+    /// Users exercised.
+    pub users: usize,
+    /// Backups saved (phase 1) and the phase's wall-clock seconds.
+    pub saves: usize,
+    /// Wall-clock seconds of the save phase.
+    pub save_secs: f64,
+    /// Individual recoveries completed (phase 2).
+    pub solo_recoveries: usize,
+    /// Wall-clock seconds of the solo-recover phase.
+    pub recover_secs: f64,
+    /// Users recovered by the batch wave (phase 3).
+    pub wave_recoveries: usize,
+    /// Wall-clock seconds of the batch wave.
+    pub wave_secs: f64,
+}
+
+impl LoadReport {
+    /// The `wire_*` metrics for the `BENCH_perf.json` trajectory.
+    pub fn metrics(&self) -> Vec<(String, f64)> {
+        fn rate(count: usize, secs: f64) -> f64 {
+            count as f64 / secs.max(1e-9)
+        }
+        vec![
+            ("wire_users".to_string(), self.users as f64),
+            (
+                "wire_saves_per_sec".to_string(),
+                rate(self.saves, self.save_secs),
+            ),
+            (
+                "wire_recoveries_per_sec".to_string(),
+                rate(self.solo_recoveries, self.recover_secs),
+            ),
+            (
+                "wire_batch_recoveries_per_sec".to_string(),
+                rate(self.wave_recoveries, self.wave_secs),
+            ),
+        ]
+    }
+}
+
+fn username(i: usize) -> Vec<u8> {
+    format!("load-user-{i}").into_bytes()
+}
+
+fn pin(i: usize) -> Vec<u8> {
+    format!("{:06}", (1319 * i + 71) % 1_000_000).into_bytes()
+}
+
+fn secret(i: usize) -> Vec<u8> {
+    format!("wire-secret-{i}").into_bytes()
+}
+
+fn connect(addr: &str) -> Result<Tcp, RemoteError> {
+    Ok(Tcp::connect(TcpConfig::new(addr))?)
+}
+
+fn refused(e: ErrorReply) -> RemoteError {
+    RemoteError::Refused(e)
+}
+
+/// Runs the three phases against `opts.addr`. Returns an error on the
+/// first wrong byte, refused request, or socket failure.
+pub fn run(opts: &LoadOptions) -> Result<LoadReport, RemoteError> {
+    // One status + enrollment fetch serves every user: the clients
+    // share fleet parameters and public keys, only usernames differ.
+    let mut tcp = connect(&opts.addr)?;
+    let status = remote::fetch_status(&mut tcp)?;
+    let params = LheParams::new(
+        status.fleet_size,
+        status.cluster as usize,
+        status.threshold as usize,
+        status.pin_space,
+    )
+    .map_err(|e| RemoteError::Client(ClientError::Crypto(e)))?;
+    let enrollments = match tcp.call(ProviderRequest::FetchEnrollments)? {
+        ProviderResponse::Enrollments(list) => list,
+        ProviderResponse::Error(e) => return Err(refused(e)),
+        _ => return Err(RemoteError::Protocol("expected an Enrollments reply")),
+    };
+    let mut clients = Vec::with_capacity(opts.users);
+    for i in 0..opts.users {
+        clients.push(Client::new(&username(i), params, enrollments.clone())?);
+    }
+
+    let threads = opts.threads.max(1);
+    let chunk = opts.users.div_ceil(threads).max(1);
+
+    // Phase 1: concurrent saves.
+    let save_start = Instant::now();
+    std::thread::scope(|s| -> Result<(), RemoteError> {
+        let mut workers = Vec::new();
+        for (tid, chunk_clients) in clients.chunks_mut(chunk).enumerate() {
+            let addr = &opts.addr;
+            workers.push(s.spawn(move || -> Result<(), RemoteError> {
+                let mut tcp = connect(addr)?;
+                let mut rng = StdRng::seed_from_u64(0x5AFE_0001 + tid as u64);
+                for (j, client) in chunk_clients.iter_mut().enumerate() {
+                    let i = tid * chunk + j;
+                    remote::save(&mut tcp, client, &pin(i), &secret(i), &mut rng)?;
+                }
+                Ok(())
+            }));
+        }
+        for worker in workers {
+            worker.join().expect("save worker panicked")?;
+        }
+        Ok(())
+    })?;
+    let save_secs = save_start.elapsed().as_secs_f64();
+
+    // Phase 2: concurrent solo recoveries over the first half. The
+    // lock serializes each user's log-insert → epoch → proof → recover
+    // span; backup fetches overlap freely.
+    let solo_count = opts.users.div_ceil(2);
+    let (solo, wave) = clients.split_at(solo_count);
+    let epoch_lock = Mutex::new(());
+    let solo_chunk = solo_count.div_ceil(threads).max(1);
+    let recover_start = Instant::now();
+    std::thread::scope(|s| -> Result<(), RemoteError> {
+        let mut workers = Vec::new();
+        for (tid, chunk_clients) in solo.chunks(solo_chunk).enumerate() {
+            let addr = &opts.addr;
+            let epoch_lock = &epoch_lock;
+            workers.push(s.spawn(move || -> Result<(), RemoteError> {
+                let mut tcp = connect(addr)?;
+                let mut rng = StdRng::seed_from_u64(0x5AFE_1001 + tid as u64);
+                for (j, client) in chunk_clients.iter().enumerate() {
+                    let i = tid * solo_chunk + j;
+                    let artifact = remote::fetch_backup(&mut tcp, client.username())?;
+                    let guard = epoch_lock.lock().unwrap_or_else(|e| e.into_inner());
+                    let plaintext =
+                        remote::recover(&mut tcp, client, &pin(i), &artifact, &mut rng)?;
+                    drop(guard);
+                    if plaintext != secret(i) {
+                        return Err(RemoteError::Protocol("solo recovery returned wrong bytes"));
+                    }
+                }
+                Ok(())
+            }));
+        }
+        for worker in workers {
+            worker.join().expect("recover worker panicked")?;
+        }
+        Ok(())
+    })?;
+    let recover_secs = recover_start.elapsed().as_secs_f64();
+
+    // Phase 3: the second half recovers as one RecoverBatch wave.
+    let wave_start = Instant::now();
+    let mut rng = StdRng::seed_from_u64(0x5AFE_2001);
+    let mut attempts = Vec::with_capacity(wave.len());
+    for (k, client) in wave.iter().enumerate() {
+        let i = solo_count + k;
+        let artifact = remote::fetch_backup(&mut tcp, client.username())?;
+        let attempt = client.start_recovery(&pin(i), &artifact.ciphertext, false, &mut rng)?;
+        let (id, value) = attempt.log_entry();
+        match tcp.call(ProviderRequest::InsertLog { id, value })? {
+            ProviderResponse::Ack => {}
+            ProviderResponse::Error(e) => return Err(refused(e)),
+            _ => return Err(RemoteError::Protocol("expected an Ack reply")),
+        }
+        attempts.push(attempt);
+    }
+    let mut wave_recoveries = 0;
+    if !attempts.is_empty() {
+        match tcp.call(ProviderRequest::RunEpoch)? {
+            ProviderResponse::EpochCertified { .. } => {}
+            ProviderResponse::Error(e) => return Err(refused(e)),
+            _ => return Err(RemoteError::Protocol("expected an EpochCertified reply")),
+        }
+        let mut batch = Vec::with_capacity(attempts.len());
+        for attempt in &attempts {
+            let (id, value) = attempt.log_entry();
+            let proof = match tcp.call(ProviderRequest::ProveInclusion { id, value })? {
+                ProviderResponse::Inclusion(Some(proof)) => proof,
+                ProviderResponse::Inclusion(None) => {
+                    return Err(refused(ErrorReply::new(
+                        codes::LOG_REFUSED,
+                        "the logged attempt has no inclusion proof",
+                    )))
+                }
+                ProviderResponse::Error(e) => return Err(refused(e)),
+                _ => return Err(RemoteError::Protocol("expected an Inclusion reply")),
+            };
+            batch.push(attempt.requests(&proof));
+        }
+        let per_user = match tcp.call(ProviderRequest::RecoverBatch(batch))? {
+            ProviderResponse::RecoveredBatch(per_user) => per_user,
+            ProviderResponse::Error(e) => return Err(refused(e)),
+            _ => return Err(RemoteError::Protocol("expected a RecoveredBatch reply")),
+        };
+        if per_user.len() != attempts.len() {
+            return Err(RemoteError::Protocol("batch reply has wrong user count"));
+        }
+        for (k, (attempt, replies)) in attempts.iter().zip(per_user).enumerate() {
+            let mut responses = Vec::new();
+            for (_, reply) in replies {
+                match reply {
+                    HsmResponse::RecoveryShare { response, .. } => responses.push(response),
+                    HsmResponse::Error(e)
+                        if e.is_transport_fault() || e.code == codes::UNAVAILABLE =>
+                    {
+                        continue
+                    }
+                    HsmResponse::Error(e) => return Err(refused(e)),
+                    _ => return Err(RemoteError::Protocol("expected a RecoveryShare item")),
+                }
+            }
+            let plaintext = attempt.finish(responses)?;
+            if plaintext != secret(solo_count + k) {
+                return Err(RemoteError::Protocol("wave recovery returned wrong bytes"));
+            }
+            wave_recoveries += 1;
+        }
+    }
+    let wave_secs = wave_start.elapsed().as_secs_f64();
+
+    Ok(LoadReport {
+        users: opts.users,
+        saves: opts.users,
+        save_secs,
+        solo_recoveries: solo_count,
+        recover_secs,
+        wave_recoveries,
+        wave_secs,
+    })
+}

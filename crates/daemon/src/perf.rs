@@ -1,0 +1,204 @@
+//! Folding wire-throughput metrics into the `BENCH_perf.json`
+//! trajectory.
+//!
+//! The bench harness (`safetypin-bench`, `figures/perf.rs`) emits
+//! `bench_out/BENCH_perf.json` as a small self-contained JSON object —
+//! `name`, `title`, then a flat `metrics` map of snake_case keys. The
+//! load generator measures throughput *over the socket*, which belongs
+//! in the same file so the trajectory stays one artifact per commit.
+//! [`merge_metrics`] re-reads whatever the harness wrote (tolerating a
+//! missing file), drops any stale keys with the caller's prefix, and
+//! re-emits the file with the fresh measurements appended — same
+//! format, same key order for everything it kept.
+
+use std::fmt::Write as _;
+use std::fs;
+use std::io;
+use std::path::{Path, PathBuf};
+
+/// The bench-out directory: `$BENCH_OUT` or `bench_out`.
+pub fn bench_out_dir() -> PathBuf {
+    PathBuf::from(std::env::var("BENCH_OUT").unwrap_or_else(|_| "bench_out".to_string()))
+}
+
+/// One parsed `BENCH_<name>.json` document.
+struct Doc {
+    name: String,
+    title: String,
+    metrics: Vec<(String, f64)>,
+}
+
+/// Extracts the quoted string from a `"key": "value"[,]` line.
+fn quoted_value(line: &str) -> Option<String> {
+    let rest = line.split_once(':')?.1.trim().trim_end_matches(',').trim();
+    let inner = rest.strip_prefix('"')?.strip_suffix('"')?;
+    Some(inner.to_string())
+}
+
+/// Extracts `(key, value)` from a `"key": <number>[,]` metric line.
+fn metric_line(line: &str) -> Option<(String, f64)> {
+    let (key_part, value_part) = line.trim().split_once(':')?;
+    let key = key_part.trim().strip_prefix('"')?.strip_suffix('"')?;
+    let value: f64 = value_part.trim().trim_end_matches(',').parse().ok()?;
+    Some((key.to_string(), value))
+}
+
+fn parse(text: &str) -> Doc {
+    let mut doc = Doc {
+        name: String::new(),
+        title: String::new(),
+        metrics: Vec::new(),
+    };
+    let mut in_metrics = false;
+    for line in text.lines() {
+        let trimmed = line.trim();
+        if trimmed.starts_with("\"metrics\"") {
+            in_metrics = true;
+        } else if in_metrics {
+            if trimmed.starts_with('}') {
+                in_metrics = false;
+            } else if let Some(metric) = metric_line(line) {
+                doc.metrics.push(metric);
+            }
+        } else if trimmed.starts_with("\"name\"") {
+            doc.name = quoted_value(trimmed).unwrap_or_default();
+        } else if trimmed.starts_with("\"title\"") {
+            doc.title = quoted_value(trimmed).unwrap_or_default();
+        }
+    }
+    doc
+}
+
+fn escape(s: &str) -> String {
+    let mut out = String::with_capacity(s.len());
+    for c in s.chars() {
+        match c {
+            '"' => out.push_str("\\\""),
+            '\\' => out.push_str("\\\\"),
+            '\n' => out.push_str("\\n"),
+            c if (c as u32) < 0x20 => {
+                let _ = write!(out, "\\u{:04x}", c as u32);
+            }
+            c => out.push(c),
+        }
+    }
+    out
+}
+
+fn number(v: f64) -> String {
+    if !v.is_finite() {
+        "null".to_string()
+    } else if v == v.trunc() && v.abs() < 1e15 {
+        format!("{}", v as i64)
+    } else {
+        format!("{v}")
+    }
+}
+
+fn render(doc: &Doc) -> String {
+    let mut out = String::new();
+    let _ = writeln!(out, "{{");
+    let _ = writeln!(out, "  \"name\": \"{}\",", escape(&doc.name));
+    let _ = writeln!(out, "  \"title\": \"{}\",", escape(&doc.title));
+    let _ = writeln!(out, "  \"metrics\": {{");
+    for (i, (key, value)) in doc.metrics.iter().enumerate() {
+        let comma = if i + 1 < doc.metrics.len() { "," } else { "" };
+        let _ = writeln!(out, "    \"{}\": {}{}", escape(key), number(*value), comma);
+    }
+    let _ = writeln!(out, "  }}");
+    let _ = writeln!(out, "}}");
+    out
+}
+
+/// Merges `metrics` into the `BENCH_<name>.json` at `dir`: existing
+/// non-`prefix` metrics (and the document's name/title, if present)
+/// are preserved in order; existing `prefix` keys are dropped; the new
+/// metrics land at the end. Creates the file (and `dir`) when absent.
+pub fn merge_metrics(
+    dir: &Path,
+    name: &str,
+    title: &str,
+    prefix: &str,
+    metrics: &[(String, f64)],
+) -> io::Result<PathBuf> {
+    fs::create_dir_all(dir)?;
+    let path = dir.join(format!("BENCH_{name}.json"));
+    let mut doc = match fs::read_to_string(&path) {
+        Ok(text) => parse(&text),
+        Err(e) if e.kind() == io::ErrorKind::NotFound => Doc {
+            name: String::new(),
+            title: String::new(),
+            metrics: Vec::new(),
+        },
+        Err(e) => return Err(e),
+    };
+    if doc.name.is_empty() {
+        doc.name = name.to_string();
+    }
+    if doc.title.is_empty() {
+        doc.title = title.to_string();
+    }
+    doc.metrics.retain(|(key, _)| !key.starts_with(prefix));
+    doc.metrics.extend(metrics.iter().cloned());
+    fs::write(&path, render(&doc))?;
+    Ok(path)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn merge_preserves_existing_metrics_and_replaces_prefixed_ones() {
+        let dir = std::env::temp_dir().join(format!("safetypin-perf-merge-{}", std::process::id()));
+        let _ = fs::remove_dir_all(&dir);
+        fs::create_dir_all(&dir).unwrap();
+        let existing = concat!(
+            "{\n",
+            "  \"name\": \"perf\",\n",
+            "  \"title\": \"hot-path timings\",\n",
+            "  \"metrics\": {\n",
+            "    \"puncture_s\": 0.25,\n",
+            "    \"wire_recoveries_per_sec\": 3,\n",
+            "    \"perf_quick\": 1\n",
+            "  }\n",
+            "}\n",
+        );
+        fs::write(dir.join("BENCH_perf.json"), existing).unwrap();
+        let fresh = vec![
+            ("wire_recoveries_per_sec".to_string(), 7.5),
+            ("wire_saves_per_sec".to_string(), 40.0),
+        ];
+        let path = merge_metrics(&dir, "perf", "unused", "wire_", &fresh).unwrap();
+        let merged = fs::read_to_string(path).unwrap();
+        let doc = parse(&merged);
+        assert_eq!(doc.name, "perf");
+        assert_eq!(doc.title, "hot-path timings");
+        assert_eq!(
+            doc.metrics,
+            vec![
+                ("puncture_s".to_string(), 0.25),
+                ("perf_quick".to_string(), 1.0),
+                ("wire_recoveries_per_sec".to_string(), 7.5),
+                ("wire_saves_per_sec".to_string(), 40.0),
+            ]
+        );
+        // Round-trips through the same renderer byte-for-byte.
+        assert_eq!(render(&doc), merged);
+        let _ = fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn merge_creates_the_file_when_absent() {
+        let dir =
+            std::env::temp_dir().join(format!("safetypin-perf-create-{}", std::process::id()));
+        let _ = fs::remove_dir_all(&dir);
+        let fresh = vec![("wire_users".to_string(), 6.0)];
+        merge_metrics(&dir, "perf", "recovery hot paths", "wire_", &fresh).unwrap();
+        let doc = parse(&fs::read_to_string(dir.join("BENCH_perf.json")).unwrap());
+        assert_eq!(doc.name, "perf");
+        assert_eq!(doc.title, "recovery hot paths");
+        assert_eq!(doc.metrics, fresh);
+        let _ = fs::remove_dir_all(&dir);
+    }
+}

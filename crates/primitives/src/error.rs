@@ -78,6 +78,19 @@ pub enum WireError {
     /// not speak (`safetypin_proto` rejects anything but its own
     /// `PROTO_VERSION` — the versioning rule is strict equality).
     UnsupportedVersion(u16),
+    /// An I/O failure while moving framed bytes over a real medium
+    /// (socket transports). Only the [`std::io::ErrorKind`] is kept so
+    /// the error stays `Copy` and comparable in tests.
+    Io(std::io::ErrorKind),
+    /// A length-prefixed frame declared a size beyond the transport's
+    /// cap. The frame body is never read: a peer cannot make a receiver
+    /// allocate an unbounded buffer by lying in a 4-byte header.
+    FrameTooLarge {
+        /// The length the frame header declared.
+        len: u64,
+        /// The cap the receiver enforces.
+        max: u64,
+    },
 }
 
 impl fmt::Display for WireError {
@@ -88,8 +101,18 @@ impl fmt::Display for WireError {
             WireError::InvalidTag(t) => write!(f, "invalid tag byte {t:#04x}"),
             WireError::TrailingBytes => write!(f, "trailing bytes after object"),
             WireError::UnsupportedVersion(v) => write!(f, "unsupported protocol version {v}"),
+            WireError::Io(kind) => write!(f, "i/o error: {kind:?}"),
+            WireError::FrameTooLarge { len, max } => {
+                write!(f, "frame of {len} bytes exceeds the {max}-byte cap")
+            }
         }
     }
 }
 
 impl std::error::Error for WireError {}
+
+impl From<std::io::Error> for WireError {
+    fn from(e: std::io::Error) -> Self {
+        WireError::Io(e.kind())
+    }
+}

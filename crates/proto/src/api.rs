@@ -18,7 +18,9 @@ use safetypin_multisig::Signature;
 use safetypin_primitives::error::WireError;
 use safetypin_primitives::wire::{Decode, Encode, Reader, Writer};
 
-use crate::messages::{EnrollmentRecord, RecoveryPhases, RecoveryRequest, RecoveryResponse};
+use crate::messages::{
+    EnrollmentRecord, RecoveryPhases, RecoveryRequest, RecoveryResponse, StatusReport,
+};
 
 /// Stable numeric codes carried by [`ErrorReply`] messages.
 ///
@@ -67,6 +69,19 @@ pub mod codes {
     pub const DROPPED: u16 = 32;
     /// The transport corrupted the message beyond parsing.
     pub const CORRUPTED: u16 = 33;
+    /// The service refused the request because the connection exceeded
+    /// its request-rate budget; retry after backing off.
+    pub const RATE_LIMITED: u16 = 34;
+    /// The service refused the connection or request because it is at
+    /// its concurrent-client capacity.
+    pub const OVERLOADED: u16 = 35;
+    /// The service is draining toward a persist-on-shutdown and accepts
+    /// no new work.
+    pub const SHUTTING_DOWN: u16 = 36;
+    /// The endpoint cannot serve this request class (e.g. raw HSM
+    /// traffic sent to a fleet-less endpoint, or a service-level
+    /// request sent to a bare datacenter).
+    pub const UNSUPPORTED: u16 = 37;
 }
 
 /// A wire-transportable refusal: a stable numeric code plus a
@@ -357,6 +372,29 @@ pub enum ProviderRequest {
     /// durability barrier. Decoding rejects batches larger than
     /// [`MAX_RECOVER_BATCH_USERS`] with a typed error.
     RecoverBatch(Vec<Vec<(u64, RecoveryRequest)>>),
+    /// Store a user's encrypted backup blob with the provider (the
+    /// provider is untrusted storage: the blob is the client-sealed
+    /// recovery ciphertext plus public envelope fields). Overwrites any
+    /// previous blob for the same username.
+    PutBackup {
+        /// The owning username.
+        username: Vec<u8>,
+        /// The opaque client-encoded backup artifact.
+        blob: Vec<u8>,
+    },
+    /// Fetch the stored backup blob for a username (a recovering device
+    /// has only the username and PIN).
+    FetchBackup {
+        /// The username whose blob to return.
+        username: Vec<u8>,
+    },
+    /// Fetch the service's status report: deployment parameters (so a
+    /// bare client can configure itself) plus load counters.
+    Status,
+    /// Ask the service to drain and persist. A bare datacenter refuses
+    /// this with [`codes::UNSUPPORTED`]; `safetypind` acks it, stops
+    /// accepting connections, and persists its fleet before exiting.
+    Shutdown,
 }
 
 /// Upper bound on the users one [`ProviderRequest::RecoverBatch`] may
@@ -416,6 +454,17 @@ impl Encode for ProviderRequest {
                 w.put_u8(6);
                 put_user_rounds(w, users);
             }
+            ProviderRequest::PutBackup { username, blob } => {
+                w.put_u8(7);
+                w.put_bytes(username);
+                w.put_bytes(blob);
+            }
+            ProviderRequest::FetchBackup { username } => {
+                w.put_u8(8);
+                w.put_bytes(username);
+            }
+            ProviderRequest::Status => w.put_u8(9),
+            ProviderRequest::Shutdown => w.put_u8(10),
         }
     }
 }
@@ -438,6 +487,15 @@ impl Decode for ProviderRequest {
                 username: r.get_bytes()?.to_vec(),
             }),
             6 => Ok(ProviderRequest::RecoverBatch(get_user_rounds(r)?)),
+            7 => Ok(ProviderRequest::PutBackup {
+                username: r.get_bytes()?.to_vec(),
+                blob: r.get_bytes()?.to_vec(),
+            }),
+            8 => Ok(ProviderRequest::FetchBackup {
+                username: r.get_bytes()?.to_vec(),
+            }),
+            9 => Ok(ProviderRequest::Status),
+            10 => Ok(ProviderRequest::Shutdown),
             t => Err(WireError::InvalidTag(t)),
         }
     }
@@ -472,6 +530,11 @@ pub enum ProviderResponse {
     /// request order, each the per-HSM response list a single-user
     /// [`ProviderResponse::Recovered`] would carry.
     RecoveredBatch(Vec<Vec<(u64, HsmResponse)>>),
+    /// Reply to [`ProviderRequest::FetchBackup`]; `None` when no blob
+    /// is stored for the username.
+    Backup(Option<Vec<u8>>),
+    /// Reply to [`ProviderRequest::Status`].
+    Status(StatusReport),
 }
 
 impl Encode for ProviderResponse {
@@ -510,6 +573,14 @@ impl Encode for ProviderResponse {
                 w.put_u8(7);
                 put_user_rounds(w, users);
             }
+            ProviderResponse::Backup(blob) => {
+                w.put_u8(8);
+                w.put_option(blob);
+            }
+            ProviderResponse::Status(report) => {
+                w.put_u8(9);
+                report.encode(w);
+            }
         }
     }
 }
@@ -528,6 +599,8 @@ impl Decode for ProviderResponse {
             5 => Ok(ProviderResponse::ReplyCopies(r.get_seq()?)),
             6 => Ok(ProviderResponse::Error(ErrorReply::decode(r)?)),
             7 => Ok(ProviderResponse::RecoveredBatch(get_user_rounds(r)?)),
+            8 => Ok(ProviderResponse::Backup(r.get_option()?)),
+            9 => Ok(ProviderResponse::Status(StatusReport::decode(r)?)),
             t => Err(WireError::InvalidTag(t)),
         }
     }

@@ -37,11 +37,15 @@
 //!
 //! # Transports
 //!
-//! The [`transport`] module defines the [`Transport`] trait and three
-//! backends — [`Direct`] (in-process, zero-copy), [`Serialized`] (full
-//! codec round-trip, byte-metered and priced against a USB profile), and
-//! [`Faulty`] (seeded drop/delay/corrupt injection). See the module docs
-//! for how to add a backend.
+//! The [`transport`] module defines the [`Transport`] trait — one
+//! required [`round`](Transport::round) method over a request-class
+//! enum ([`Traffic`]), with typed conveniences default-implemented on
+//! top — and four backends: [`Direct`] (in-process, zero-copy),
+//! [`Serialized`] (full codec round-trip, byte-metered and priced
+//! against a USB profile), [`Faulty`] (seeded drop/delay/corrupt
+//! injection), and [`Tcp`] (length-prefixed envelope frames over a real
+//! socket to a `safetypind` server, with a versioned handshake). See
+//! the module docs for how to add a backend.
 //!
 //! [`WireError::UnexpectedEof`]: safetypin_primitives::error::WireError::UnexpectedEof
 //! [`WireError::TrailingBytes`]: safetypin_primitives::error::WireError::TrailingBytes
@@ -55,6 +59,7 @@ pub mod api;
 pub mod envelope;
 pub mod error;
 pub mod messages;
+pub mod tcp;
 pub mod transport;
 
 pub use api::{
@@ -64,9 +69,10 @@ pub use api::{
 pub use envelope::{Envelope, Message, MAX_GROUP_REQUESTS, PROTO_VERSION};
 pub use error::ProtoError;
 pub use messages::{
-    EnrollmentRecord, RecoveryPhases, RecoveryRequest, RecoveryResponse, SnapshotMeta,
+    EnrollmentRecord, RecoveryPhases, RecoveryRequest, RecoveryResponse, SnapshotMeta, StatusReport,
 };
+pub use tcp::{Tcp, TcpConfig, MAX_FRAME_BYTES};
 pub use transport::{
-    Direct, FaultPlan, FaultScope, Faulty, Serialized, ServeBatchFn, ServeFn, ServeGroupFn,
+    Direct, FaultPlan, FaultScope, Faulty, Serialized, ServeTrafficFn, Traffic, TrafficReply,
     Transport, TransportStats,
 };

@@ -331,6 +331,79 @@ impl Decode for SnapshotMeta {
     }
 }
 
+/// A service status snapshot, returned by
+/// [`ProviderRequest::Status`](crate::api::ProviderRequest::Status).
+///
+/// The first four fields restate the deployment's LHE parameters so a
+/// bare client (username + PIN, nothing cached) can configure itself
+/// before downloading enrollments; the rest are observability counters.
+/// A bare datacenter fills only the fleet-level fields; `safetypind`
+/// adds its connection accounting on top.
+#[derive(Debug, Default, Clone, PartialEq, Eq)]
+pub struct StatusReport {
+    /// Total HSMs in the fleet (the LHE `total`).
+    pub fleet_size: u64,
+    /// Recovery cluster size (the LHE `cluster`).
+    pub cluster: u32,
+    /// Shamir reconstruction threshold (the LHE `threshold`).
+    pub threshold: u32,
+    /// PIN space size (the LHE `pin_space`).
+    pub pin_space: u64,
+    /// Certified log epochs so far.
+    pub epoch_count: u64,
+    /// Entries in the provider log.
+    pub log_entries: u64,
+    /// Stored backup blobs.
+    pub backups: u64,
+    /// Stored §8 reply copies.
+    pub reply_copies: u64,
+    /// Client connections currently being served (daemon only).
+    pub active_connections: u32,
+    /// Requests served since boot (daemon only).
+    pub served_requests: u64,
+    /// Requests or connections refused by admission control or rate
+    /// limiting since boot (daemon only).
+    pub rejected_requests: u64,
+    /// True once the service has begun draining toward shutdown.
+    pub draining: bool,
+}
+
+impl Encode for StatusReport {
+    fn encode(&self, w: &mut Writer) {
+        w.put_u64(self.fleet_size);
+        w.put_u32(self.cluster);
+        w.put_u32(self.threshold);
+        w.put_u64(self.pin_space);
+        w.put_u64(self.epoch_count);
+        w.put_u64(self.log_entries);
+        w.put_u64(self.backups);
+        w.put_u64(self.reply_copies);
+        w.put_u32(self.active_connections);
+        w.put_u64(self.served_requests);
+        w.put_u64(self.rejected_requests);
+        w.put_bool(self.draining);
+    }
+}
+
+impl Decode for StatusReport {
+    fn decode(r: &mut Reader<'_>) -> core::result::Result<Self, WireError> {
+        Ok(Self {
+            fleet_size: r.get_u64()?,
+            cluster: r.get_u32()?,
+            threshold: r.get_u32()?,
+            pin_space: r.get_u64()?,
+            epoch_count: r.get_u64()?,
+            log_entries: r.get_u64()?,
+            backups: r.get_u64()?,
+            reply_copies: r.get_u64()?,
+            active_connections: r.get_u32()?,
+            served_requests: r.get_u64()?,
+            rejected_requests: r.get_u64()?,
+            draining: r.get_bool()?,
+        })
+    }
+}
+
 /// Parses a commitment payload back into `(cluster, ct_hash)`.
 pub fn parse_commit_payload(payload: &[u8]) -> Result<(Vec<u64>, Hash256), WireError> {
     let mut r = Reader::new(payload);

@@ -1,10 +1,12 @@
-//! Pluggable transports carrying [`Envelope`]s between the datacenter
-//! front-end and the HSM fleet.
+//! Pluggable transports carrying [`Envelope`]s between protocol peers —
+//! the datacenter front-end and its HSM fleet, or a remote client and
+//! the provider service.
 //!
-//! A [`Transport`] moves a request to an HSM and its response back. The
-//! HSM side is supplied by the caller as a `serve` closure (the
-//! datacenter owns the devices), so a transport decides only *how* the
-//! message travels:
+//! A [`Transport`] moves one *round* of [`Traffic`] to the serving peer
+//! and its [`TrafficReply`] back. The serving side is supplied by the
+//! caller as a `serve` closure (the datacenter owns the devices; the
+//! daemon owns the deployment), so a transport decides only *how* the
+//! messages travel:
 //!
 //! * [`Direct`] — in-process, zero-copy: the request value is handed to
 //!   `serve` untouched. This is the pre-RPC behavior and the fastest
@@ -16,15 +18,22 @@
 //! * [`Faulty`] — wraps another transport and injects configurable
 //!   drop / delay / corrupt faults (seeded, deterministic) for
 //!   failure-scenario tests.
+//! * [`Tcp`](crate::tcp::Tcp) — the real thing: length-prefixed frames
+//!   over [`std::net::TcpStream`] to a `safetypind` server, with the
+//!   same versioned envelope handshake.
 //!
 //! # Adding a transport backend
 //!
-//! Implement [`Transport::exchange`] and [`Transport::exchange_batch`]
-//! (a batch is delivered to the fleet in one `serve` call, so the
-//! datacenter can fan independent HSMs out across threads regardless of
-//! the medium). Encode with [`Envelope::seal`] +
-//! [`Encode::to_bytes`]; decode with [`Envelope::from_bytes`] and
-//! reject unexpected message kinds with
+//! Implement exactly one required method, [`Transport::round`]: given
+//! one [`Traffic`] value, deliver it (however the medium does that) and
+//! return the matching [`TrafficReply`] class. The convenience methods
+//! ([`exchange`](Transport::exchange),
+//! [`exchange_batch`](Transport::exchange_batch),
+//! [`exchange_grouped`](Transport::exchange_grouped),
+//! [`call_provider`](Transport::call_provider)) are default-implemented
+//! on top of `round` and never need overriding. Encode with
+//! [`Envelope::seal`] + [`Encode::to_bytes`]; decode with
+//! [`Envelope::from_bytes`] and reject unexpected message kinds with
 //! [`ProtoError::UnexpectedMessage`]. Report moved bytes through
 //! [`TransportStats`] so benchmarks pick the backend up automatically.
 
@@ -33,38 +42,56 @@ use rand::{Rng, SeedableRng};
 use safetypin_primitives::wire::{Decode, Encode};
 use safetypin_sim::transport::{TransportProfile, USB_CDC};
 
-use crate::api::{ErrorReply, HsmRequest, HsmResponse};
+use crate::api::{ErrorReply, HsmRequest, HsmResponse, ProviderRequest, ProviderResponse};
 use crate::envelope::{Envelope, Message};
 use crate::error::ProtoError;
 
-/// The HSM-side handler a transport delivers requests to. The `u64` is
-/// the addressed HSM's datacenter index.
-pub type ServeFn<'a> = dyn FnMut(u64, HsmRequest) -> HsmResponse + 'a;
+/// One round of requests, classified by shape. Every transport speaks
+/// all four classes through the single [`Transport::round`] method.
+#[derive(Debug, Clone, PartialEq)]
+#[allow(clippy::large_enum_variant)] // Single inlines an HsmRequest, same trade as HsmRequest itself
+pub enum Traffic {
+    /// One request for one HSM (the `u64` is its datacenter index).
+    Single(u64, HsmRequest),
+    /// A fan-out of per-HSM requests, answered in request order. The
+    /// whole batch is handed to `serve` in one call so the fleet can
+    /// process independent HSMs concurrently.
+    Batch(Vec<(u64, HsmRequest)>),
+    /// A **grouped** round: per addressed HSM, the whole coalesced
+    /// request group — possibly many users' requests — in one delivery
+    /// (one envelope per HSM per direction), served under a single
+    /// durability barrier (`Hsm::handle_batch`'s group commit).
+    Grouped(Vec<(u64, Vec<HsmRequest>)>),
+    /// A client-facing provider request (the service API: log inserts,
+    /// epoch runs, recovery waves, backup storage, status).
+    Provider(ProviderRequest),
+}
 
-/// The HSM-side handler a transport delivers a whole fan-out batch to,
-/// returning per-item responses in request order.
-///
-/// The fleet owner decides how the delivered batch is *served* — the
-/// datacenter fans independent per-HSM groups out across threads
-/// ([`std::thread::scope`] in `safetypin-provider`) — while the transport
-/// decides only how the envelope *travels*. Implementations must return
-/// exactly one response per request, in request order.
-pub type ServeBatchFn<'a> = dyn FnMut(Vec<(u64, HsmRequest)>) -> Vec<(u64, HsmResponse)> + 'a;
+/// The reply to one [`Traffic`] round, in the matching class.
+#[derive(Debug, Clone, PartialEq)]
+#[allow(clippy::large_enum_variant)] // Single inlines an HsmResponse, same trade as HsmResponse itself
+pub enum TrafficReply {
+    /// Reply to [`Traffic::Single`].
+    Single(HsmResponse),
+    /// Reply to [`Traffic::Batch`], one response per request, in
+    /// request order.
+    Batch(Vec<(u64, HsmResponse)>),
+    /// Reply to [`Traffic::Grouped`], one `(id, responses)` entry per
+    /// delivered group, in group order, each list in request order.
+    Grouped(Vec<(u64, Vec<HsmResponse>)>),
+    /// Reply to [`Traffic::Provider`].
+    Provider(ProviderResponse),
+}
 
-/// The HSM-side handler for a **grouped** round: per addressed HSM, the
-/// whole coalesced request group — possibly many users' requests — in
-/// one delivery, answered with one response list per group in request
-/// order.
-///
-/// Grouped delivery is the multi-user engine's shape: each HSM receives
-/// exactly one envelope per direction per round and serves its group
-/// under a single durability barrier (`Hsm::handle_batch`'s group
-/// commit), so cross-user coalescing amortizes framing *and* fsyncs.
-/// Implementations must return exactly one `(id, responses)` entry per
-/// delivered group, in group order, with `responses.len()` equal to the
-/// group's request count.
-pub type ServeGroupFn<'a> =
-    dyn FnMut(Vec<(u64, Vec<HsmRequest>)>) -> Vec<(u64, Vec<HsmResponse>)> + 'a;
+/// The serving peer a transport delivers [`Traffic`] to. The fleet
+/// owner decides how delivered traffic is *served* — the datacenter
+/// fans independent per-HSM groups out across threads
+/// ([`std::thread::scope`] in `safetypin-provider`) — while the
+/// transport decides only how the envelopes *travel*. Implementations
+/// must reply in the delivered class: per-item responses in request
+/// order for batches, one `(id, responses)` entry per group in group
+/// order for grouped rounds.
+pub type ServeTrafficFn<'a> = dyn FnMut(Traffic) -> TrafficReply + 'a;
 
 /// Byte/message/time accounting for one transport.
 #[derive(Debug, Default, Clone, Copy, PartialEq)]
@@ -73,7 +100,7 @@ pub struct TransportStats {
     pub envelopes: u64,
     /// Logical messages carried (a batch counts once per item).
     pub messages: u64,
-    /// Encoded request bytes shipped toward HSMs.
+    /// Encoded request bytes shipped toward the serving peer.
     pub request_bytes: u64,
     /// Encoded response bytes shipped back.
     pub response_bytes: u64,
@@ -81,7 +108,8 @@ pub struct TransportStats {
     pub dropped: u64,
     /// Messages corrupted by fault injection.
     pub corrupted: u64,
-    /// Simulated transfer time under the transport's profile.
+    /// Transfer time: simulated under the transport's profile for
+    /// in-process backends, wall-clock for real sockets.
     pub seconds: f64,
 }
 
@@ -117,47 +145,30 @@ impl TransportStats {
     }
 }
 
-/// A channel between the datacenter front-end and its HSMs.
-pub trait Transport {
+/// A channel between protocol peers.
+///
+/// Backends implement [`round`](Transport::round) (plus the accounting
+/// accessors); callers mostly use the typed conveniences, which wrap a
+/// request into its [`Traffic`] class and unwrap the matching reply.
+/// Backends are `Send` so a fleet can be owned by one service thread
+/// and served to many connection threads (what `safetypind` does).
+pub trait Transport: Send {
     /// Human-readable backend name (for reports).
     fn name(&self) -> &'static str;
 
-    /// Carries one request to HSM `hsm_id` and returns its response.
-    fn exchange(
-        &mut self,
-        hsm_id: u64,
-        request: HsmRequest,
-        serve: &mut ServeFn<'_>,
-    ) -> Result<HsmResponse, ProtoError>;
-
-    /// Carries a fan-out of per-HSM requests and returns per-HSM
-    /// responses in request order.
+    /// Carries one round of traffic to the serving peer and returns its
+    /// reply.
     ///
-    /// The whole batch is handed to `serve` in one call so the fleet can
-    /// process independent HSMs concurrently; per-item transport faults
-    /// become [`ErrorReply`] responses so the rest of the batch still
-    /// flows (a lost reply from one HSM must not sink a cluster round).
-    fn exchange_batch(
+    /// Per-item transport faults inside batch and grouped rounds must
+    /// surface as [`ErrorReply`] responses in place (a lost reply from
+    /// one HSM must not sink a cluster round); whole-round faults are
+    /// `Err`. The reply must be in the delivered class — a mismatch is
+    /// [`ProtoError::UnexpectedMessage`].
+    fn round(
         &mut self,
-        batch: Vec<(u64, HsmRequest)>,
-        serve: &mut ServeBatchFn<'_>,
-    ) -> Result<Vec<(u64, HsmResponse)>, ProtoError>;
-
-    /// Carries a **grouped** round: one coalesced request group per
-    /// addressed HSM, one envelope per HSM per direction, returning the
-    /// per-group response lists in group order.
-    ///
-    /// This is the multi-user recovery engine's transport shape
-    /// (`Deployment::recover_many`): a 128-user storm whose clusters
-    /// overlap pays one framing per *device*, not one per user-device
-    /// pair. Per-item transport faults must surface as [`ErrorReply`]
-    /// responses inside the affected group so the rest of the round
-    /// still flows.
-    fn exchange_grouped(
-        &mut self,
-        groups: Vec<(u64, Vec<HsmRequest>)>,
-        serve: &mut ServeGroupFn<'_>,
-    ) -> Result<Vec<(u64, Vec<HsmResponse>)>, ProtoError>;
+        traffic: Traffic,
+        serve: &mut ServeTrafficFn<'_>,
+    ) -> Result<TrafficReply, ProtoError>;
 
     /// Accumulated accounting since construction (or the last
     /// [`take_stats`](Transport::take_stats)).
@@ -165,6 +176,62 @@ pub trait Transport {
 
     /// Drains the accounting, returning the old value.
     fn take_stats(&mut self) -> TransportStats;
+
+    /// Carries one request to HSM `hsm_id` and returns its response.
+    fn exchange(
+        &mut self,
+        hsm_id: u64,
+        request: HsmRequest,
+        serve: &mut ServeTrafficFn<'_>,
+    ) -> Result<HsmResponse, ProtoError> {
+        match self.round(Traffic::Single(hsm_id, request), serve)? {
+            TrafficReply::Single(resp) => Ok(resp),
+            _ => Err(ProtoError::UnexpectedMessage("expected a single HSM reply")),
+        }
+    }
+
+    /// Carries a fan-out of per-HSM requests and returns per-HSM
+    /// responses in request order.
+    fn exchange_batch(
+        &mut self,
+        batch: Vec<(u64, HsmRequest)>,
+        serve: &mut ServeTrafficFn<'_>,
+    ) -> Result<Vec<(u64, HsmResponse)>, ProtoError> {
+        match self.round(Traffic::Batch(batch), serve)? {
+            TrafficReply::Batch(items) => Ok(items),
+            _ => Err(ProtoError::UnexpectedMessage("expected an HSM batch reply")),
+        }
+    }
+
+    /// Carries a grouped round (one coalesced request group per
+    /// addressed HSM), returning per-group response lists in group
+    /// order. This is the multi-user recovery engine's transport shape
+    /// (`Deployment::recover_many`): a 128-user storm whose clusters
+    /// overlap pays one framing per *device*, not one per user-device
+    /// pair.
+    fn exchange_grouped(
+        &mut self,
+        groups: Vec<(u64, Vec<HsmRequest>)>,
+        serve: &mut ServeTrafficFn<'_>,
+    ) -> Result<Vec<(u64, Vec<HsmResponse>)>, ProtoError> {
+        match self.round(Traffic::Grouped(groups), serve)? {
+            TrafficReply::Grouped(groups) => Ok(groups),
+            _ => Err(ProtoError::UnexpectedMessage("expected an HSM group reply")),
+        }
+    }
+
+    /// Carries one provider (service-API) request and returns the
+    /// provider's response.
+    fn call_provider(
+        &mut self,
+        request: ProviderRequest,
+        serve: &mut ServeTrafficFn<'_>,
+    ) -> Result<ProviderResponse, ProtoError> {
+        match self.round(Traffic::Provider(request), serve)? {
+            TrafficReply::Provider(resp) => Ok(resp),
+            _ => Err(ProtoError::UnexpectedMessage("expected a provider reply")),
+        }
+    }
 }
 
 // ---------------------------------------------------------------------
@@ -190,39 +257,31 @@ impl Transport for Direct {
         "direct"
     }
 
-    fn exchange(
+    fn round(
         &mut self,
-        hsm_id: u64,
-        request: HsmRequest,
-        serve: &mut ServeFn<'_>,
-    ) -> Result<HsmResponse, ProtoError> {
-        self.stats.envelopes += 2;
-        self.stats.messages += 2;
-        Ok(serve(hsm_id, request))
-    }
-
-    fn exchange_batch(
-        &mut self,
-        batch: Vec<(u64, HsmRequest)>,
-        serve: &mut ServeBatchFn<'_>,
-    ) -> Result<Vec<(u64, HsmResponse)>, ProtoError> {
-        // One (virtual) envelope per direction, like every batching
-        // backend, so envelope counts stay comparable across transports.
-        self.stats.envelopes += 2;
-        self.stats.messages += 2 * batch.len() as u64;
-        Ok(serve(batch))
-    }
-
-    fn exchange_grouped(
-        &mut self,
-        groups: Vec<(u64, Vec<HsmRequest>)>,
-        serve: &mut ServeGroupFn<'_>,
-    ) -> Result<Vec<(u64, Vec<HsmResponse>)>, ProtoError> {
-        // One (virtual) envelope per HSM per direction — the grouped
-        // contract — so envelope counts stay comparable with Serialized.
-        self.stats.envelopes += 2 * groups.len() as u64;
-        self.stats.messages += 2 * groups.iter().map(|(_, g)| g.len() as u64).sum::<u64>();
-        Ok(serve(groups))
+        traffic: Traffic,
+        serve: &mut ServeTrafficFn<'_>,
+    ) -> Result<TrafficReply, ProtoError> {
+        // Virtual envelope counts match what a batching wire backend
+        // would ship for the same round, so envelope counts stay
+        // comparable across transports: one per direction for single,
+        // batch, and provider rounds; one per HSM per direction for
+        // grouped rounds (the grouped contract).
+        match &traffic {
+            Traffic::Single(..) | Traffic::Provider(_) => {
+                self.stats.envelopes += 2;
+                self.stats.messages += 2;
+            }
+            Traffic::Batch(batch) => {
+                self.stats.envelopes += 2;
+                self.stats.messages += 2 * batch.len() as u64;
+            }
+            Traffic::Grouped(groups) => {
+                self.stats.envelopes += 2 * groups.len() as u64;
+                self.stats.messages += 2 * groups.iter().map(|(_, g)| g.len() as u64).sum::<u64>();
+            }
+        }
+        Ok(serve(traffic))
     }
 
     fn stats(&self) -> TransportStats {
@@ -282,53 +341,53 @@ impl Serialized {
         self.stats.seconds += self.profile.seconds_for_bytes(bytes.len() as u64);
         Ok(Envelope::from_bytes(&bytes)?.msg)
     }
-}
 
-impl Transport for Serialized {
-    fn name(&self) -> &'static str {
-        "serialized"
-    }
-
-    fn exchange(
+    fn round_single(
         &mut self,
         hsm_id: u64,
         request: HsmRequest,
-        serve: &mut ServeFn<'_>,
-    ) -> Result<HsmResponse, ProtoError> {
+        serve: &mut ServeTrafficFn<'_>,
+    ) -> Result<TrafficReply, ProtoError> {
         self.stats.messages += 2;
         let delivered = match self.ship_request(Message::HsmRequest(request))? {
             Message::HsmRequest(req) => req,
             _ => return Err(ProtoError::UnexpectedMessage("expected HSM request")),
         };
-        let response = serve(hsm_id, delivered);
+        let response = match serve(Traffic::Single(hsm_id, delivered)) {
+            TrafficReply::Single(resp) => resp,
+            _ => return Err(ProtoError::UnexpectedMessage("expected a single HSM reply")),
+        };
         match self.ship_response(Message::HsmResponse(response))? {
-            Message::HsmResponse(resp) => Ok(resp),
+            Message::HsmResponse(resp) => Ok(TrafficReply::Single(resp)),
             _ => Err(ProtoError::UnexpectedMessage("expected HSM response")),
         }
     }
 
-    fn exchange_batch(
+    fn round_batch(
         &mut self,
         batch: Vec<(u64, HsmRequest)>,
-        serve: &mut ServeBatchFn<'_>,
-    ) -> Result<Vec<(u64, HsmResponse)>, ProtoError> {
+        serve: &mut ServeTrafficFn<'_>,
+    ) -> Result<TrafficReply, ProtoError> {
         self.stats.messages += 2 * batch.len() as u64;
         let delivered = match self.ship_request(Message::HsmBatchRequest(batch))? {
             Message::HsmBatchRequest(items) => items,
             _ => return Err(ProtoError::UnexpectedMessage("expected HSM batch request")),
         };
-        let served = serve(delivered);
+        let served = match serve(Traffic::Batch(delivered)) {
+            TrafficReply::Batch(items) => items,
+            _ => return Err(ProtoError::UnexpectedMessage("expected an HSM batch reply")),
+        };
         match self.ship_response(Message::HsmBatchResponse(served))? {
-            Message::HsmBatchResponse(items) => Ok(items),
+            Message::HsmBatchResponse(items) => Ok(TrafficReply::Batch(items)),
             _ => Err(ProtoError::UnexpectedMessage("expected HSM batch response")),
         }
     }
 
-    fn exchange_grouped(
+    fn round_grouped(
         &mut self,
         groups: Vec<(u64, Vec<HsmRequest>)>,
-        serve: &mut ServeGroupFn<'_>,
-    ) -> Result<Vec<(u64, Vec<HsmResponse>)>, ProtoError> {
+        serve: &mut ServeTrafficFn<'_>,
+    ) -> Result<TrafficReply, ProtoError> {
         // One envelope per HSM per direction: each device's coalesced
         // group ships (and is byte-metered) as its own sealed envelope,
         // but the whole round is handed to the fleet in one serve call
@@ -341,7 +400,10 @@ impl Transport for Serialized {
                 _ => return Err(ProtoError::UnexpectedMessage("expected HSM group request")),
             }
         }
-        let served = serve(delivered);
+        let served = match serve(Traffic::Grouped(delivered)) {
+            TrafficReply::Grouped(groups) => groups,
+            _ => return Err(ProtoError::UnexpectedMessage("expected an HSM group reply")),
+        };
         let mut out = Vec::with_capacity(served.len());
         for (id, responses) in served {
             self.stats.messages += responses.len() as u64;
@@ -350,7 +412,46 @@ impl Transport for Serialized {
                 _ => return Err(ProtoError::UnexpectedMessage("expected HSM group response")),
             }
         }
-        Ok(out)
+        Ok(TrafficReply::Grouped(out))
+    }
+
+    fn round_provider(
+        &mut self,
+        request: ProviderRequest,
+        serve: &mut ServeTrafficFn<'_>,
+    ) -> Result<TrafficReply, ProtoError> {
+        self.stats.messages += 2;
+        let delivered = match self.ship_request(Message::ProviderRequest(request))? {
+            Message::ProviderRequest(req) => req,
+            _ => return Err(ProtoError::UnexpectedMessage("expected provider request")),
+        };
+        let response = match serve(Traffic::Provider(delivered)) {
+            TrafficReply::Provider(resp) => resp,
+            _ => return Err(ProtoError::UnexpectedMessage("expected a provider reply")),
+        };
+        match self.ship_response(Message::ProviderResponse(response))? {
+            Message::ProviderResponse(resp) => Ok(TrafficReply::Provider(resp)),
+            _ => Err(ProtoError::UnexpectedMessage("expected provider response")),
+        }
+    }
+}
+
+impl Transport for Serialized {
+    fn name(&self) -> &'static str {
+        "serialized"
+    }
+
+    fn round(
+        &mut self,
+        traffic: Traffic,
+        serve: &mut ServeTrafficFn<'_>,
+    ) -> Result<TrafficReply, ProtoError> {
+        match traffic {
+            Traffic::Single(id, request) => self.round_single(id, request, serve),
+            Traffic::Batch(batch) => self.round_batch(batch, serve),
+            Traffic::Grouped(groups) => self.round_grouped(groups, serve),
+            Traffic::Provider(request) => self.round_provider(request, serve),
+        }
     }
 
     fn stats(&self) -> TransportStats {
@@ -438,12 +539,12 @@ impl FaultPlan {
 ///
 /// Faults are decided by a seeded deterministic generator, so a failing
 /// scenario replays exactly. Dropped messages surface as
-/// [`ProtoError::Dropped`] from [`exchange`](Transport::exchange), or as
-/// [`ErrorReply::dropped`] per-item responses from
-/// [`exchange_batch`](Transport::exchange_batch). Corruption flips one
-/// byte in the *encoded* response envelope and then attempts a decode —
-/// sometimes that yields a typed parse failure, sometimes a structurally
-/// valid envelope with mangled content, exactly like a real flaky link.
+/// [`ProtoError::Dropped`] from single and provider rounds, or as
+/// [`ErrorReply::dropped`] per-item responses from batch and grouped
+/// rounds. Corruption flips one byte in the *encoded* response envelope
+/// and then attempts a decode — sometimes that yields a typed parse
+/// failure, sometimes a structurally valid envelope with mangled
+/// content, exactly like a real flaky link.
 pub struct Faulty {
     inner: Box<dyn Transport>,
     plan: FaultPlan,
@@ -476,6 +577,16 @@ impl Faulty {
         }
     }
 
+    fn provider_in_scope(&self, request: &ProviderRequest) -> bool {
+        match self.plan.scope {
+            FaultScope::All => true,
+            FaultScope::RecoveryOnly => matches!(
+                request,
+                ProviderRequest::Recover(_) | ProviderRequest::RecoverBatch(_)
+            ),
+        }
+    }
+
     fn fate(&mut self) -> Fate {
         if self.rng.gen_bool(self.plan.drop_prob) {
             Fate::Drop
@@ -488,19 +599,21 @@ impl Faulty {
         }
     }
 
-    /// Flips one byte of the response's encoded envelope and re-decodes.
-    fn corrupt_response(&mut self, response: HsmResponse) -> Result<HsmResponse, ProtoError> {
-        let mut bytes = Envelope::seal(Message::HsmResponse(response)).to_bytes();
+    /// Flips one byte of a sealed response envelope and re-decodes.
+    fn corrupt_message(&mut self, msg: Message) -> Option<Message> {
+        let mut bytes = Envelope::seal(msg).to_bytes();
         if !bytes.is_empty() {
             let pos = self.rng.gen_range(0..bytes.len());
             let bit = 1u8 << self.rng.gen_range(0..8u32);
             bytes[pos] ^= bit;
         }
-        match Envelope::from_bytes(&bytes) {
-            Ok(Envelope {
-                msg: Message::HsmResponse(resp),
-                ..
-            }) => Ok(resp),
+        Envelope::from_bytes(&bytes).ok().map(|env| env.msg)
+    }
+
+    /// Flips one byte of the response's encoded envelope and re-decodes.
+    fn corrupt_response(&mut self, response: HsmResponse) -> Result<HsmResponse, ProtoError> {
+        match self.corrupt_message(Message::HsmResponse(response)) {
+            Some(Message::HsmResponse(resp)) => Ok(resp),
             _ => Err(ProtoError::Corrupted),
         }
     }
@@ -523,45 +636,55 @@ impl Faulty {
             }
         }
     }
-}
 
-impl Transport for Faulty {
-    fn name(&self) -> &'static str {
-        "faulty"
-    }
-
-    fn exchange(
-        &mut self,
-        hsm_id: u64,
-        request: HsmRequest,
-        serve: &mut ServeFn<'_>,
-    ) -> Result<HsmResponse, ProtoError> {
-        if !self.in_scope(&request) {
-            return self.inner.exchange(hsm_id, request, serve);
-        }
+    /// Draws a request-leg fate for a whole-round message (single and
+    /// provider rounds): a dropped request aborts the round before the
+    /// peer sees it.
+    fn apply_request_fate(&mut self) -> Result<(), ProtoError> {
         match self.fate() {
             Fate::Drop => {
                 self.faults.dropped += 1;
-                return Err(ProtoError::Dropped);
+                Err(ProtoError::Dropped)
             }
-            Fate::Delay => self.faults.seconds += self.plan.delay_seconds,
-            Fate::Deliver | Fate::Corrupt => {}
+            Fate::Delay => {
+                self.faults.seconds += self.plan.delay_seconds;
+                Ok(())
+            }
+            Fate::Deliver | Fate::Corrupt => Ok(()),
         }
-        let response = self.inner.exchange(hsm_id, request, serve)?;
-        self.apply_response_fate(response)
     }
 
-    fn exchange_batch(
+    fn round_single(
+        &mut self,
+        hsm_id: u64,
+        request: HsmRequest,
+        serve: &mut ServeTrafficFn<'_>,
+    ) -> Result<TrafficReply, ProtoError> {
+        if !self.in_scope(&request) {
+            return self.inner.round(Traffic::Single(hsm_id, request), serve);
+        }
+        self.apply_request_fate()?;
+        let response = match self.inner.round(Traffic::Single(hsm_id, request), serve)? {
+            TrafficReply::Single(resp) => resp,
+            _ => return Err(ProtoError::UnexpectedMessage("expected a single HSM reply")),
+        };
+        self.apply_response_fate(response).map(TrafficReply::Single)
+    }
+
+    fn round_batch(
         &mut self,
         batch: Vec<(u64, HsmRequest)>,
-        serve: &mut ServeBatchFn<'_>,
-    ) -> Result<Vec<(u64, HsmResponse)>, ProtoError> {
+        serve: &mut ServeTrafficFn<'_>,
+    ) -> Result<TrafficReply, ProtoError> {
         // Batch faults hit the *response* leg: the request still reaches
         // the HSM (which may puncture its key before replying — the §8
         // failure-during-recovery scenario), but the reply is lost or
         // mangled on the way back and surfaces as an error item.
         let in_scope: Vec<bool> = batch.iter().map(|(_, req)| self.in_scope(req)).collect();
-        let served = self.inner.exchange_batch(batch, serve)?;
+        let served = match self.inner.round(Traffic::Batch(batch), serve)? {
+            TrafficReply::Batch(items) => items,
+            _ => return Err(ProtoError::UnexpectedMessage("expected an HSM batch reply")),
+        };
         let mut out = Vec::with_capacity(served.len());
         for ((id, resp), scoped) in served.into_iter().zip(in_scope) {
             if !scoped {
@@ -575,14 +698,14 @@ impl Transport for Faulty {
             };
             out.push((id, resp));
         }
-        Ok(out)
+        Ok(TrafficReply::Batch(out))
     }
 
-    fn exchange_grouped(
+    fn round_grouped(
         &mut self,
         groups: Vec<(u64, Vec<HsmRequest>)>,
-        serve: &mut ServeGroupFn<'_>,
-    ) -> Result<Vec<(u64, Vec<HsmResponse>)>, ProtoError> {
+        serve: &mut ServeTrafficFn<'_>,
+    ) -> Result<TrafficReply, ProtoError> {
         // Same discipline as the batch path: the request leg is clean
         // (the HSM may puncture before its reply is lost — §8), faults
         // land per item on the response leg so one mangled reply never
@@ -591,7 +714,10 @@ impl Transport for Faulty {
             .iter()
             .map(|(_, reqs)| reqs.iter().map(|r| self.in_scope(r)).collect())
             .collect();
-        let served = self.inner.exchange_grouped(groups, serve)?;
+        let served = match self.inner.round(Traffic::Grouped(groups), serve)? {
+            TrafficReply::Grouped(groups) => groups,
+            _ => return Err(ProtoError::UnexpectedMessage("expected an HSM group reply")),
+        };
         let mut out = Vec::with_capacity(served.len());
         for ((id, responses), scoped) in served.into_iter().zip(scopes) {
             let mut group_out = Vec::with_capacity(responses.len());
@@ -609,7 +735,59 @@ impl Transport for Faulty {
             }
             out.push((id, group_out));
         }
-        Ok(out)
+        Ok(TrafficReply::Grouped(out))
+    }
+
+    fn round_provider(
+        &mut self,
+        request: ProviderRequest,
+        serve: &mut ServeTrafficFn<'_>,
+    ) -> Result<TrafficReply, ProtoError> {
+        if !self.provider_in_scope(&request) {
+            return self.inner.round(Traffic::Provider(request), serve);
+        }
+        self.apply_request_fate()?;
+        let response = match self.inner.round(Traffic::Provider(request), serve)? {
+            TrafficReply::Provider(resp) => resp,
+            _ => return Err(ProtoError::UnexpectedMessage("expected a provider reply")),
+        };
+        match self.fate() {
+            Fate::Deliver => Ok(TrafficReply::Provider(response)),
+            Fate::Drop => {
+                self.faults.dropped += 1;
+                Err(ProtoError::Dropped)
+            }
+            Fate::Corrupt => {
+                self.faults.corrupted += 1;
+                match self.corrupt_message(Message::ProviderResponse(response)) {
+                    Some(Message::ProviderResponse(resp)) => Ok(TrafficReply::Provider(resp)),
+                    _ => Err(ProtoError::Corrupted),
+                }
+            }
+            Fate::Delay => {
+                self.faults.seconds += self.plan.delay_seconds;
+                Ok(TrafficReply::Provider(response))
+            }
+        }
+    }
+}
+
+impl Transport for Faulty {
+    fn name(&self) -> &'static str {
+        "faulty"
+    }
+
+    fn round(
+        &mut self,
+        traffic: Traffic,
+        serve: &mut ServeTrafficFn<'_>,
+    ) -> Result<TrafficReply, ProtoError> {
+        match traffic {
+            Traffic::Single(id, request) => self.round_single(id, request, serve),
+            Traffic::Batch(batch) => self.round_batch(batch, serve),
+            Traffic::Grouped(groups) => self.round_grouped(groups, serve),
+            Traffic::Provider(request) => self.round_provider(request, serve),
+        }
     }
 
     fn stats(&self) -> TransportStats {

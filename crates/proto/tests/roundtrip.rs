@@ -13,7 +13,7 @@ use safetypin_primitives::{commit, elgamal, shamir};
 use safetypin_proto::{
     codes, Envelope, ErrorReply, HsmRequest, HsmResponse, Message, ProviderRequest,
     ProviderResponse, RecoveryPhases, RecoveryRequest, RecoveryResponse, SnapshotMeta,
-    PROTO_VERSION,
+    StatusReport, PROTO_VERSION,
 };
 use safetypin_sim::OpCosts;
 
@@ -151,6 +151,20 @@ fn sample_envelopes(seed: u64) -> Vec<Envelope> {
             vec![(1, recovery_request.clone()), (3, recovery_request.clone())],
             Vec::new(),
         ]),
+        // The daemon-facing message set.
+        ProviderRequest::PutBackup {
+            username: b"alice".to_vec(),
+            blob: vec![0xC7; 128],
+        },
+        ProviderRequest::PutBackup {
+            username: Vec::new(),
+            blob: Vec::new(),
+        },
+        ProviderRequest::FetchBackup {
+            username: b"alice".to_vec(),
+        },
+        ProviderRequest::Status,
+        ProviderRequest::Shutdown,
     ];
     let provider_responses = vec![
         ProviderResponse::Enrollments(vec![enrollment]),
@@ -181,6 +195,23 @@ fn sample_envelopes(seed: u64) -> Vec<Envelope> {
             vec![(3, HsmResponse::Error(ErrorReply::dropped()))],
             Vec::new(),
         ]),
+        ProviderResponse::Backup(Some(vec![0xC7; 128])),
+        ProviderResponse::Backup(None),
+        ProviderResponse::Status(StatusReport {
+            fleet_size: 3100,
+            cluster: 40,
+            threshold: 20,
+            pin_space: 1_000_000,
+            epoch_count: 12,
+            log_entries: 4096,
+            backups: 1024,
+            reply_copies: 7,
+            active_connections: 5,
+            served_requests: 99_000,
+            rejected_requests: 3,
+            draining: true,
+        }),
+        ProviderResponse::Status(StatusReport::default()),
     ];
 
     let mut envelopes = Vec::new();

@@ -20,7 +20,7 @@
 use rand::rngs::StdRng;
 use rand::{CryptoRng, RngCore, SeedableRng};
 use safetypin_hsm::{Hsm, HsmConfig, HsmError};
-use safetypin_proto::{codes, ErrorReply, HsmRequest, HsmResponse};
+use safetypin_proto::{codes, ErrorReply, HsmRequest, HsmResponse, Traffic, TrafficReply};
 use safetypin_seckv::{BlockStore, MemStore};
 
 /// Worker-thread cap for `jobs` independent work items.
@@ -31,17 +31,64 @@ pub(crate) fn worker_count(jobs: usize) -> usize {
         .clamp(1, jobs.max(1))
 }
 
-/// Builds the serve side of a batched transport exchange: groups the
-/// batch by addressed HSM, fans the groups out across worker threads,
-/// and reassembles responses in request order. Unknown ids become typed
-/// error replies — on the wire there is no out-of-bounds index, only a
-/// device that does not answer.
-pub(crate) fn serve_fleet_batch<'a, S: BlockStore + Send, R: RngCore + CryptoRng>(
+/// Builds the fleet's serve side for every [`Traffic`] class a
+/// transport can deliver:
+///
+/// * `Single` — the addressed HSM serves inline under the caller's RNG
+///   (no per-device seed draw: a one-device round has nothing to fan
+///   out, and the direct RNG use keeps single-exchange outcomes
+///   byte-identical to the pre-unification serve path).
+/// * `Batch` — grouped by addressed HSM and fanned out across worker
+///   threads ([`serve_batch`]), responses in request order.
+/// * `Grouped` — one coalesced group per device, served by
+///   [`Hsm::handle_batch`] under a group-commit barrier
+///   ([`serve_grouped`]), up to `workers` threads.
+/// * `Provider` — refused with a typed [`codes::UNSUPPORTED`] reply:
+///   the fleet endpoint serves HSM traffic only (the datacenter's
+///   client-facing dispatch is `Datacenter::handle`).
+///
+/// Unknown ids become typed error replies — on the wire there is no
+/// out-of-bounds index, only a device that does not answer.
+pub(crate) fn serve_traffic<'a, S: BlockStore + Send, R: RngCore + CryptoRng>(
     hsms: &'a mut [Hsm],
     stores: &'a mut [S],
     rng: &'a mut R,
-) -> impl FnMut(Vec<(u64, HsmRequest)>) -> Vec<(u64, HsmResponse)> + 'a {
-    move |batch| serve_batch(hsms, stores, rng, batch)
+    workers: usize,
+) -> impl FnMut(Traffic) -> TrafficReply + 'a {
+    move |traffic| match traffic {
+        Traffic::Single(id, request) => {
+            TrafficReply::Single(serve_single(hsms, stores, rng, id, request))
+        }
+        Traffic::Batch(batch) => TrafficReply::Batch(serve_batch(hsms, stores, rng, batch)),
+        Traffic::Grouped(groups) => {
+            TrafficReply::Grouped(serve_grouped(hsms, stores, rng, workers, groups))
+        }
+        Traffic::Provider(_) => {
+            TrafficReply::Provider(safetypin_proto::ProviderResponse::Error(ErrorReply::new(
+                codes::UNSUPPORTED,
+                "the fleet endpoint serves HSM traffic only",
+            )))
+        }
+    }
+}
+
+/// Serves one request on the addressed HSM, inline, under the caller's
+/// RNG. Unknown ids become typed error replies instead of panics.
+fn serve_single<S: BlockStore, R: RngCore + CryptoRng>(
+    hsms: &mut [Hsm],
+    stores: &mut [S],
+    rng: &mut R,
+    id: u64,
+    request: HsmRequest,
+) -> HsmResponse {
+    let idx = id as usize;
+    if idx >= hsms.len() {
+        return HsmResponse::Error(ErrorReply::new(
+            codes::UNKNOWN_HSM,
+            format!("no HSM with id {id}"),
+        ));
+    }
+    hsms[idx].handle(request, &mut stores[idx], rng)
 }
 
 struct Job<'b, S> {
@@ -144,30 +191,15 @@ fn serve_batch<S: BlockStore + Send, R: RngCore + CryptoRng>(
         .collect()
 }
 
-/// Builds the serve side of a **grouped** transport exchange: one
-/// coalesced request group per addressed HSM (the multi-user engine's
-/// shape), each served by [`Hsm::handle_batch`] — cross-user coalesced
-/// punctures, one MSM slot audit, one group-commit flush — with
-/// independent devices fanned out across up to `workers` threads.
-///
-/// Seeds are drawn sequentially in ascending HSM id order, exactly like
-/// the per-request batch path, so the served outcome is a deterministic
-/// function of the caller's RNG for any worker count. Unknown ids (and a
-/// device addressed twice in one round) come back as per-request typed
-/// error replies.
-pub(crate) fn serve_fleet_grouped<'a, S: BlockStore + Send, R: RngCore + CryptoRng>(
-    hsms: &'a mut [Hsm],
-    stores: &'a mut [S],
-    rng: &'a mut R,
-    workers: usize,
-) -> impl FnMut(Vec<RequestGroup>) -> Vec<ResponseGroup> + 'a {
-    move |groups| serve_grouped(hsms, stores, rng, workers, groups)
-}
-
-/// One device's coalesced request group in a grouped round.
-type RequestGroup = (u64, Vec<HsmRequest>);
-/// One device's response list in a grouped round.
-type ResponseGroup = (u64, Vec<HsmResponse>);
+// serve_grouped: one coalesced request group per addressed HSM (the
+// multi-user engine's shape), each served by `Hsm::handle_batch` —
+// cross-user coalesced punctures, one MSM slot audit, one group-commit
+// flush — with independent devices fanned out across up to `workers`
+// threads. Seeds are drawn sequentially in ascending HSM id order,
+// exactly like the per-request batch path, so the served outcome is a
+// deterministic function of the caller's RNG for any worker count.
+// Unknown ids (and a device addressed twice in one round) come back as
+// per-request typed error replies.
 
 struct GroupJob<'b, S> {
     pos: usize,

@@ -17,7 +17,10 @@
 //! injected faults ([`safetypin_proto::Faulty`]). The client-facing
 //! operations are likewise exposed as one
 //! [`ProviderRequest`]/[`ProviderResponse`] dispatch via
-//! [`Datacenter::handle`].
+//! [`Datacenter::handle`], and the whole serve side — every
+//! [`Traffic`] class a transport or a network front-end can deliver —
+//! as [`Datacenter::serve_round`] (this is what `safetypind` plugs its
+//! connections into).
 //!
 //! The provider is **untrusted** in SafetyPin's threat model: every check
 //! that matters runs on the HSMs or the client. This crate's tests play
@@ -39,7 +42,7 @@ use safetypin_hsm::{
 use safetypin_multisig::{aggregate_signatures, Signature};
 use safetypin_proto::{
     codes, Direct, ErrorReply, HsmRequest, HsmResponse, ProtoError, ProviderRequest,
-    ProviderResponse, Transport, TransportStats,
+    ProviderResponse, StatusReport, Traffic, TrafficReply, Transport, TransportStats,
 };
 use safetypin_seckv::{BlockStore, MemStore};
 use safetypin_sim::OpCosts;
@@ -132,32 +135,9 @@ pub struct Datacenter<S: BlockStore = MemStore> {
     archived_logs: Vec<Vec<LogEntry>>,
     update_history: Vec<UpdateMessage>,
     reply_copies: Vec<(Vec<u8>, RecoveryResponse)>,
+    backups: std::collections::BTreeMap<Vec<u8>, Vec<u8>>,
     epoch_chunks: usize,
     transport: Box<dyn Transport>,
-}
-
-/// Builds the serve side of a single-message transport exchange: looks
-/// up the addressed HSM and hands the request to [`Hsm::handle`].
-/// Unknown ids become typed error replies instead of panics — on the
-/// wire there is no such thing as an out-of-bounds index, only a device
-/// that does not answer. Batched rounds go through
-/// [`fanout::serve_fleet_batch`], which fans independent HSMs out across
-/// threads.
-fn serve_fleet<'a, S: BlockStore, R: RngCore + CryptoRng>(
-    hsms: &'a mut [Hsm],
-    stores: &'a mut [S],
-    rng: &'a mut R,
-) -> impl FnMut(u64, HsmRequest) -> HsmResponse + 'a {
-    move |id, request| {
-        let idx = id as usize;
-        if idx >= hsms.len() {
-            return HsmResponse::Error(ErrorReply::new(
-                codes::UNKNOWN_HSM,
-                format!("no HSM with id {id}"),
-            ));
-        }
-        hsms[idx].handle(request, &mut stores[idx], rng)
-    }
 }
 
 impl Datacenter<MemStore> {
@@ -221,6 +201,7 @@ impl Datacenter<MemStore> {
             archived_logs: Vec::new(),
             update_history: Vec::new(),
             reply_copies: Vec::new(),
+            backups: Default::default(),
             epoch_chunks,
             transport,
         })
@@ -281,7 +262,7 @@ impl<S: BlockStore + Send> Datacenter<S> {
         } = self;
         let replies = transport.exchange_batch(
             batch,
-            &mut fanout::serve_fleet_batch(hsms, stores, &mut rng),
+            &mut fanout::serve_traffic(hsms, stores, &mut rng, usize::MAX),
         )?;
         Ok(replies
             .into_iter()
@@ -405,7 +386,7 @@ impl<S: BlockStore + Send> Datacenter<S> {
             } = &mut *self;
             let replies = transport.exchange_batch(
                 audit_batch,
-                &mut fanout::serve_fleet_batch(hsms, stores, &mut rng),
+                &mut fanout::serve_traffic(hsms, stores, &mut rng, usize::MAX),
             )?;
             for (id, resp) in replies {
                 match resp {
@@ -449,7 +430,7 @@ impl<S: BlockStore + Send> Datacenter<S> {
             } = &mut *self;
             let replies = transport.exchange_batch(
                 accept_batch,
-                &mut fanout::serve_fleet_batch(hsms, stores, &mut rng),
+                &mut fanout::serve_traffic(hsms, stores, &mut rng, usize::MAX),
             )?;
             for (_, resp) in replies {
                 match resp {
@@ -513,7 +494,7 @@ impl<S: BlockStore + Send> Datacenter<S> {
             transport.exchange(
                 hsm_id,
                 HsmRequest::RecoverShare(request.clone()),
-                &mut serve_fleet(hsms, stores, rng),
+                &mut fanout::serve_traffic(hsms, stores, rng, usize::MAX),
             )?
         };
         match reply {
@@ -555,7 +536,10 @@ impl<S: BlockStore + Send> Datacenter<S> {
                 transport,
                 ..
             } = &mut *self;
-            transport.exchange_batch(batch, &mut fanout::serve_fleet_batch(hsms, stores, rng))?
+            transport.exchange_batch(
+                batch,
+                &mut fanout::serve_traffic(hsms, stores, rng, usize::MAX),
+            )?
         };
         let mut out = Vec::with_capacity(replies.len());
         for (id, resp) in replies {
@@ -642,7 +626,7 @@ impl<S: BlockStore + Send> Datacenter<S> {
             } = &mut *self;
             transport.exchange_grouped(
                 grouped,
-                &mut fanout::serve_fleet_grouped(hsms, stores, rng, workers),
+                &mut fanout::serve_traffic(hsms, stores, rng, workers),
             )?
         };
 
@@ -761,6 +745,56 @@ impl<S: BlockStore + Send> Datacenter<S> {
                 }
                 Err(e) => ProviderResponse::Error(ErrorReply::new(codes::CORRUPTED, e.to_string())),
             },
+            ProviderRequest::PutBackup { username, blob } => {
+                self.backups.insert(username, blob);
+                ProviderResponse::Ack
+            }
+            ProviderRequest::FetchBackup { username } => {
+                ProviderResponse::Backup(self.backups.get(&username).cloned())
+            }
+            ProviderRequest::Status => ProviderResponse::Status(self.status_report()),
+            // Shutdown is a service-level request: it drains connections
+            // and persists state, which only the daemon wrapping this
+            // datacenter can do.
+            ProviderRequest::Shutdown => ProviderResponse::Error(ErrorReply::new(
+                codes::UNSUPPORTED,
+                "no daemon attached; shutdown is a service-level request",
+            )),
+        }
+    }
+
+    /// A point-in-time summary of this datacenter's fleet-level
+    /// counters. The LHE parameters (cluster/threshold/PIN space) live a
+    /// layer up — `Deployment::status_report` in the core crate fills
+    /// them in, and the daemon fills the connection/admission fields,
+    /// before a [`StatusReport`] goes over the wire.
+    pub fn status_report(&self) -> StatusReport {
+        StatusReport {
+            fleet_size: self.hsms.len() as u64,
+            epoch_count: self.update_history.len() as u64,
+            log_entries: self.log.entries().len() as u64,
+            backups: self.backups.len() as u64,
+            reply_copies: self.reply_copies.len() as u64,
+            ..StatusReport::default()
+        }
+    }
+
+    /// Serves one round of any [`Traffic`] class against this
+    /// datacenter: provider-level requests go through [`Self::handle`],
+    /// HSM-level traffic (single/batch/grouped) is dispatched straight
+    /// into the fleet. This is the single entry point a network
+    /// front-end (`safetypind`) plugs each decoded frame into.
+    pub fn serve_round<R: RngCore + CryptoRng>(
+        &mut self,
+        traffic: Traffic,
+        rng: &mut R,
+    ) -> TrafficReply {
+        match traffic {
+            Traffic::Provider(request) => TrafficReply::Provider(self.handle(request, rng)),
+            other => {
+                let Self { hsms, stores, .. } = self;
+                (fanout::serve_traffic(hsms, stores, rng, usize::MAX))(other)
+            }
         }
     }
 
@@ -794,7 +828,7 @@ impl<S: BlockStore + Send> Datacenter<S> {
             transport.exchange(
                 hsm_id,
                 HsmRequest::RotateKeys,
-                &mut serve_fleet(hsms, stores, rng),
+                &mut fanout::serve_traffic(hsms, stores, rng, usize::MAX),
             )?
         };
         match reply {
@@ -826,7 +860,7 @@ impl<S: BlockStore + Send> Datacenter<S> {
             } = &mut *self;
             let replies = transport.exchange_batch(
                 batch,
-                &mut fanout::serve_fleet_batch(hsms, stores, &mut rng),
+                &mut fanout::serve_traffic(hsms, stores, &mut rng, usize::MAX),
             )?;
             for (_, resp) in replies {
                 match resp {
@@ -927,6 +961,7 @@ struct ProviderState {
     archived_logs: Vec<Vec<LogEntry>>,
     update_history: Vec<UpdateMessage>,
     reply_copies: Vec<(Vec<u8>, RecoveryResponse)>,
+    backups: Vec<(Vec<u8>, Vec<u8>)>,
     epoch_chunks: u64,
 }
 
@@ -939,6 +974,7 @@ impl safetypin_primitives::wire::Encode for ProviderState {
         }
         w.put_seq(&self.update_history);
         w.put_seq(&self.reply_copies);
+        w.put_seq(&self.backups);
         w.put_u64(self.epoch_chunks);
     }
 }
@@ -961,6 +997,7 @@ impl safetypin_primitives::wire::Decode for ProviderState {
             archived_logs,
             update_history: r.get_seq()?,
             reply_copies: r.get_seq()?,
+            backups: r.get_seq()?,
             epoch_chunks: r.get_u64()?,
         })
     }
@@ -1022,6 +1059,11 @@ impl<S: SnapshotBlocks + Send> Datacenter<S> {
             archived_logs: self.archived_logs.clone(),
             update_history: self.update_history.clone(),
             reply_copies: self.reply_copies.clone(),
+            backups: self
+                .backups
+                .iter()
+                .map(|(k, v)| (k.clone(), v.clone()))
+                .collect(),
             epoch_chunks: self.epoch_chunks as u64,
         };
         safetypin_store::write_atomic(&dir.join(snapshot_files::PROVIDER), &state.to_bytes())?;
@@ -1102,6 +1144,7 @@ impl Datacenter<FileStore> {
                 archived_logs: state.archived_logs,
                 update_history: state.update_history,
                 reply_copies: state.reply_copies,
+                backups: state.backups.into_iter().collect(),
                 epoch_chunks: state.epoch_chunks as usize,
                 transport: Box::new(Direct::new()),
             },
