@@ -1,0 +1,479 @@
+//! A lightweight Rust lexer: just enough syntax to audit source safely.
+//!
+//! The auditor's rules are textual, but naive text search over Rust
+//! source is wrong in exactly the places that matter — `unwrap` inside
+//! a string literal, `==` inside a doc comment, a `'a` lifetime read as
+//! an unterminated char literal. This lexer tokenizes a file into
+//! identifiers, punctuation, and literals while understanding:
+//!
+//! * line (`//`) and nested block (`/* /* */ */`) comments, collected
+//!   separately so waiver comments can be parsed;
+//! * string, raw-string (`r#"…"#`, any hash depth), byte-string, and
+//!   C-string literals;
+//! * char literals vs. lifetimes (`'x'` vs. `'x`);
+//! * raw identifiers (`r#match`).
+//!
+//! It deliberately does **not** build a syntax tree: rules work over
+//! the flat token stream plus brace matching, which keeps the auditor
+//! dependency-free (no `syn`) and resilient to code it has never seen.
+
+/// What kind of lexeme a [`Token`] is.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum TokKind {
+    /// An identifier or keyword (`unwrap`, `fn`, `match`, …).
+    Ident,
+    /// An operator or delimiter, possibly multi-character (`==`, `::`).
+    Punct,
+    /// A string literal of any flavor (the token text is the *content*).
+    Str,
+    /// A character literal (content, unescaped only for simple chars).
+    Char,
+    /// A numeric literal (the raw spelling, suffix included).
+    Num,
+    /// A lifetime (`'a`; text excludes the quote).
+    Lifetime,
+}
+
+/// One lexed token with its 1-based source line.
+#[derive(Debug, Clone)]
+pub struct Token {
+    /// The token's kind.
+    pub kind: TokKind,
+    /// The token's text (see [`TokKind`] for what is stored).
+    pub text: String,
+    /// 1-based line the token starts on.
+    pub line: usize,
+}
+
+impl Token {
+    /// True when this token is the identifier `s`.
+    pub fn is_ident(&self, s: &str) -> bool {
+        self.kind == TokKind::Ident && self.text == s
+    }
+
+    /// True when this token is the punctuation `s`.
+    pub fn is_punct(&self, s: &str) -> bool {
+        self.kind == TokKind::Punct && self.text == s
+    }
+}
+
+/// One comment with its location, kept out of the token stream.
+#[derive(Debug, Clone)]
+pub struct Comment {
+    /// Comment text without the `//` / `/* */` markers.
+    pub text: String,
+    /// 1-based line the comment starts on.
+    pub line: usize,
+    /// True when a token precedes the comment on the same line (a
+    /// trailing comment annotates its own line; a whole-line comment
+    /// annotates the next).
+    pub trailing: bool,
+}
+
+/// The output of [`lex`]: tokens plus the comments that were stripped.
+#[derive(Debug, Default)]
+pub struct Lexed {
+    /// All non-comment tokens in source order.
+    pub tokens: Vec<Token>,
+    /// All comments in source order.
+    pub comments: Vec<Comment>,
+}
+
+/// Multi-character operators, longest first so maximal munch is a
+/// simple prefix scan.
+const OPERATORS: &[&str] = &[
+    "..=", "<<=", ">>=", "::", "==", "!=", "<=", ">=", "->", "=>", "..", "&&", "||", "<<", ">>",
+    "+=", "-=", "*=", "/=", "%=", "^=", "&=", "|=",
+];
+
+/// Tokenizes `src`. The lexer never fails: unterminated constructs are
+/// consumed to end of input (the audited tree must already compile, so
+/// this only matters for garbage fixtures).
+pub fn lex(src: &str) -> Lexed {
+    let bytes = src.as_bytes();
+    let mut out = Lexed::default();
+    let mut i = 0;
+    let mut line = 1;
+    let mut last_token_line = 0;
+
+    while i < bytes.len() {
+        let c = bytes[i];
+        match c {
+            b'\n' => {
+                line += 1;
+                i += 1;
+            }
+            c if c.is_ascii_whitespace() => i += 1,
+            b'/' if bytes.get(i + 1) == Some(&b'/') => {
+                let start = i + 2;
+                while i < bytes.len() && bytes[i] != b'\n' {
+                    i += 1;
+                }
+                out.comments.push(Comment {
+                    text: src[start..i].to_string(),
+                    line,
+                    trailing: last_token_line == line,
+                });
+            }
+            b'/' if bytes.get(i + 1) == Some(&b'*') => {
+                let start_line = line;
+                let start = i + 2;
+                let mut depth = 1;
+                i += 2;
+                while i < bytes.len() && depth > 0 {
+                    if bytes[i] == b'/' && bytes.get(i + 1) == Some(&b'*') {
+                        depth += 1;
+                        i += 2;
+                    } else if bytes[i] == b'*' && bytes.get(i + 1) == Some(&b'/') {
+                        depth -= 1;
+                        i += 2;
+                    } else {
+                        if bytes[i] == b'\n' {
+                            line += 1;
+                        }
+                        i += 1;
+                    }
+                }
+                let end = i.saturating_sub(2).max(start);
+                out.comments.push(Comment {
+                    text: src[start..end].to_string(),
+                    line: start_line,
+                    trailing: last_token_line == start_line,
+                });
+            }
+            b'"' => {
+                let (text, ni, nl) = scan_string(src, i + 1, line);
+                out.tokens.push(Token {
+                    kind: TokKind::Str,
+                    text,
+                    line,
+                });
+                last_token_line = line;
+                line = nl;
+                i = ni;
+            }
+            b'\'' => {
+                let (tok, ni) = scan_quote(src, i, line);
+                last_token_line = line;
+                out.tokens.push(tok);
+                i = ni;
+            }
+            c if c.is_ascii_digit() => {
+                let start = i;
+                i += 1;
+                while i < bytes.len() {
+                    let b = bytes[i];
+                    let fraction_dot = b == b'.'
+                        && bytes.get(i + 1).is_some_and(|n| n.is_ascii_digit())
+                        && !src[start..i].contains('.');
+                    if b.is_ascii_alphanumeric() || b == b'_' || fraction_dot {
+                        i += 1;
+                    } else {
+                        break;
+                    }
+                }
+                out.tokens.push(Token {
+                    kind: TokKind::Num,
+                    text: src[start..i].to_string(),
+                    line,
+                });
+                last_token_line = line;
+            }
+            c if c.is_ascii_alphabetic() || c == b'_' => {
+                let start = i;
+                while i < bytes.len() && (bytes[i].is_ascii_alphanumeric() || bytes[i] == b'_') {
+                    i += 1;
+                }
+                let word = &src[start..i];
+                // Literal prefixes: r"…", r#"…"#, b"…", br#"…"#, c"…",
+                // plus raw identifiers r#name.
+                if i < bytes.len() && matches!(word, "r" | "b" | "br" | "c" | "cr" | "rb") {
+                    if bytes[i] == b'"' {
+                        let (text, ni, nl) = scan_string(src, i + 1, line);
+                        out.tokens.push(Token {
+                            kind: TokKind::Str,
+                            text,
+                            line,
+                        });
+                        last_token_line = line;
+                        line = nl;
+                        i = ni;
+                        continue;
+                    }
+                    if bytes[i] == b'#' {
+                        let mut hashes = 0;
+                        while bytes.get(i + hashes) == Some(&b'#') {
+                            hashes += 1;
+                        }
+                        if bytes.get(i + hashes) == Some(&b'"') {
+                            let (text, ni, nl) = scan_raw_string(src, i + hashes + 1, hashes, line);
+                            out.tokens.push(Token {
+                                kind: TokKind::Str,
+                                text,
+                                line,
+                            });
+                            last_token_line = line;
+                            line = nl;
+                            i = ni;
+                            continue;
+                        }
+                        if word == "r" && hashes == 1 {
+                            // Raw identifier r#name: emit `name`.
+                            let rstart = i + 1;
+                            let mut j = rstart;
+                            while j < bytes.len()
+                                && (bytes[j].is_ascii_alphanumeric() || bytes[j] == b'_')
+                            {
+                                j += 1;
+                            }
+                            out.tokens.push(Token {
+                                kind: TokKind::Ident,
+                                text: src[rstart..j].to_string(),
+                                line,
+                            });
+                            last_token_line = line;
+                            i = j;
+                            continue;
+                        }
+                    }
+                    if bytes[i] == b'\'' && word == "b" {
+                        let (tok, ni) = scan_quote(src, i, line);
+                        last_token_line = line;
+                        out.tokens.push(tok);
+                        i = ni;
+                        continue;
+                    }
+                }
+                out.tokens.push(Token {
+                    kind: TokKind::Ident,
+                    text: word.to_string(),
+                    line,
+                });
+                last_token_line = line;
+            }
+            _ => {
+                let rest = &src[i..];
+                let op = OPERATORS.iter().find(|op| rest.starts_with(**op));
+                let text = match op {
+                    Some(op) => (*op).to_string(),
+                    None => (c as char).to_string(),
+                };
+                i += text.len();
+                out.tokens.push(Token {
+                    kind: TokKind::Punct,
+                    text,
+                    line,
+                });
+                last_token_line = line;
+            }
+        }
+    }
+    out
+}
+
+/// Scans a `"…"` body starting *after* the opening quote. Returns the
+/// content, the index after the closing quote, and the updated line.
+fn scan_string(src: &str, mut i: usize, mut line: usize) -> (String, usize, usize) {
+    let bytes = src.as_bytes();
+    let start = i;
+    while i < bytes.len() {
+        match bytes[i] {
+            b'\\' => i += 2,
+            b'"' => {
+                return (src[start..i].to_string(), i + 1, line);
+            }
+            b'\n' => {
+                line += 1;
+                i += 1;
+            }
+            _ => i += 1,
+        }
+    }
+    (src[start..].to_string(), i, line)
+}
+
+/// Scans a raw-string body (`hashes` trailing `#`s end it) starting
+/// *after* the opening quote.
+fn scan_raw_string(
+    src: &str,
+    mut i: usize,
+    hashes: usize,
+    mut line: usize,
+) -> (String, usize, usize) {
+    let bytes = src.as_bytes();
+    let start = i;
+    let closer: String = std::iter::once('"')
+        .chain(std::iter::repeat_n('#', hashes))
+        .collect();
+    while i < bytes.len() {
+        if src[i..].starts_with(&closer) {
+            return (src[start..i].to_string(), i + closer.len(), line);
+        }
+        if bytes[i] == b'\n' {
+            line += 1;
+        }
+        i += 1;
+    }
+    (src[start..].to_string(), i, line)
+}
+
+/// Scans from a `'`: either a char literal or a lifetime.
+fn scan_quote(src: &str, i: usize, line: usize) -> (Token, usize) {
+    let bytes = src.as_bytes();
+    // b'…' byte literal arrives with i pointing at the quote.
+    let q = if bytes[i] == b'\'' { i } else { i + 1 };
+    // Escaped char: definitely a literal.
+    if bytes.get(q + 1) == Some(&b'\\') {
+        let mut j = q + 2;
+        while j < bytes.len() && bytes[j] != b'\'' {
+            j += 1;
+        }
+        return (
+            Token {
+                kind: TokKind::Char,
+                text: src[q + 1..j.min(src.len())].to_string(),
+                line,
+            },
+            (j + 1).min(src.len()),
+        );
+    }
+    // `'ident` with no closing quote after one char run = lifetime.
+    let mut j = q + 1;
+    while j < bytes.len() && (bytes[j].is_ascii_alphanumeric() || bytes[j] == b'_') {
+        j += 1;
+    }
+    if j > q + 1 && bytes.get(j) != Some(&b'\'') {
+        return (
+            Token {
+                kind: TokKind::Lifetime,
+                text: src[q + 1..j].to_string(),
+                line,
+            },
+            j,
+        );
+    }
+    // Plain char literal like 'x' or '{' — find the closing quote.
+    let mut k = q + 1;
+    if k < bytes.len() {
+        if bytes[k] == b'\n' {
+            // Stray quote; treat as punct to stay robust.
+            return (
+                Token {
+                    kind: TokKind::Punct,
+                    text: "'".to_string(),
+                    line,
+                },
+                q + 1,
+            );
+        }
+        // Multibyte chars: advance one full UTF-8 scalar.
+        let ch_len = src[k..].chars().next().map_or(1, |c| c.len_utf8());
+        k += ch_len;
+    }
+    if bytes.get(k) == Some(&b'\'') {
+        (
+            Token {
+                kind: TokKind::Char,
+                text: src[q + 1..k].to_string(),
+                line,
+            },
+            k + 1,
+        )
+    } else {
+        (
+            Token {
+                kind: TokKind::Punct,
+                text: "'".to_string(),
+                line,
+            },
+            q + 1,
+        )
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn idents(src: &str) -> Vec<String> {
+        lex(src)
+            .tokens
+            .iter()
+            .filter(|t| t.kind == TokKind::Ident)
+            .map(|t| t.text.clone())
+            .collect()
+    }
+
+    #[test]
+    fn strings_and_comments_hide_their_contents() {
+        let src = r##"
+            // unwrap in a comment
+            /* panic! in /* a nested */ block */
+            let s = "x.unwrap()";
+            let r = r#"y.expect("no")"#;
+            s.len();
+        "##;
+        let ids = idents(src);
+        assert!(!ids.contains(&"unwrap".to_string()));
+        assert!(!ids.contains(&"panic".to_string()));
+        assert!(!ids.contains(&"expect".to_string()));
+        assert!(ids.contains(&"len".to_string()));
+        let lexed = lex(src);
+        assert_eq!(lexed.comments.len(), 2);
+        assert!(lexed.comments[0].text.contains("unwrap in a comment"));
+    }
+
+    #[test]
+    fn lifetimes_do_not_eat_the_rest_of_the_file() {
+        let src = "fn f<'a>(x: &'a str) -> &'a str { x.trim() }";
+        let ids = idents(src);
+        assert!(ids.contains(&"trim".to_string()));
+        let lifetimes: Vec<_> = lex(src)
+            .tokens
+            .into_iter()
+            .filter(|t| t.kind == TokKind::Lifetime)
+            .collect();
+        assert_eq!(lifetimes.len(), 3);
+    }
+
+    #[test]
+    fn char_literals_including_escapes() {
+        let src = r"let c = 'x'; let n = '\n'; let q = '\''; let b = b'a'; c == n";
+        let lexed = lex(src);
+        let chars: Vec<_> = lexed
+            .tokens
+            .iter()
+            .filter(|t| t.kind == TokKind::Char)
+            .collect();
+        assert_eq!(chars.len(), 4);
+        assert!(lexed.tokens.iter().any(|t| t.is_punct("==")));
+    }
+
+    #[test]
+    fn operators_munch_maximally() {
+        let src = "a == b != c :: d => e .. f";
+        let puncts: Vec<String> = lex(src)
+            .tokens
+            .into_iter()
+            .filter(|t| t.kind == TokKind::Punct)
+            .map(|t| t.text)
+            .collect();
+        assert_eq!(puncts, vec!["==", "!=", "::", "=>", ".."]);
+    }
+
+    #[test]
+    fn trailing_comments_are_marked() {
+        let src = "let x = 1; // audit:allow(test) reason\n// own line\nlet y = 2;";
+        let lexed = lex(src);
+        assert!(lexed.comments[0].trailing);
+        assert!(!lexed.comments[1].trailing);
+    }
+
+    #[test]
+    fn line_numbers_survive_multiline_constructs() {
+        let src = "let a = \"two\nlines\";\nlet b = 1;";
+        let lexed = lex(src);
+        let b = lexed.tokens.iter().find(|t| t.is_ident("b")).unwrap();
+        assert_eq!(b.line, 3);
+    }
+}

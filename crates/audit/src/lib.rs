@@ -1,0 +1,262 @@
+//! `safetypin-audit`: a workspace source auditor for the SafetyPin
+//! reproduction.
+//!
+//! SafetyPin's security argument (Dauterman et al., OSDI 2020) rests
+//! on code-level discipline the type system does not enforce: secret
+//! key material must never leak through `Debug` or logging, secret
+//! comparisons must be constant-time, and the serve path of an HSM
+//! daemon must not panic mid-request — a panic between a puncture
+//! commit and a reply is exactly the crash point the persistence tests
+//! guard. This crate makes those invariants mechanical: a hand-rolled
+//! lexer (no `syn`; the workspace vendors all dependencies) feeds a
+//! small rule engine that reports `file:line` findings, honors inline
+//! waivers, and exits non-zero under `--deny` for CI gating.
+//!
+//! The launch rules, catalogued in `RULES.md`:
+//!
+//! * [`panic-path`](rules::panic_path) — no panicking constructs or
+//!   raw indexing in designated serve-path code;
+//! * [`secret-hygiene`](rules::secret_hygiene) — registered secret
+//!   types must not derive `Debug`, must not be fed to `format!`-family
+//!   macros, and must wipe themselves in `Drop`;
+//! * [`constant-time`](rules::constant_time) — secret-looking byte
+//!   comparisons in the crypto crates must use `ConstantTimeEq`;
+//! * [`wire-exhaustiveness`](rules::wire_exhaustive) — every wire enum
+//!   variant is named in both a roundtrip and a negative test;
+//! * [`error-code-registry`](rules::error_codes) — wire error codes
+//!   live in exactly one module and are never re-spelled.
+//!
+//! Waiver syntax: `// audit:allow(<rule>[, <rule>]) <reason>`. The
+//! reason is mandatory; reasonless, unknown-rule, and unused waivers
+//! are themselves findings (rule `waiver-hygiene`).
+
+pub mod lexer;
+pub mod report;
+pub mod rules;
+pub mod source;
+
+use std::path::{Path, PathBuf};
+
+use source::SourceFile;
+
+/// The rule ids the engine knows, with one-line summaries.
+pub const RULES: &[(&str, &str)] = &[
+    (
+        "panic-path",
+        "no panicking constructs or raw indexing in serve-path code",
+    ),
+    (
+        "secret-hygiene",
+        "secret types: no Debug derive, no format! use, wiping Drop impl",
+    ),
+    (
+        "constant-time",
+        "secret byte comparisons in crypto crates use ConstantTimeEq",
+    ),
+    (
+        "wire-exhaustiveness",
+        "every wire enum variant has a roundtrip and a negative test",
+    ),
+    (
+        "error-code-registry",
+        "wire error codes defined once, never re-spelled",
+    ),
+    (
+        "waiver-hygiene",
+        "every waiver names known rules, carries a reason, and is used",
+    ),
+];
+
+/// One rule violation at a source location.
+#[derive(Debug, Clone)]
+pub struct Finding {
+    /// The rule id (one of [`RULES`]).
+    pub rule: &'static str,
+    /// Path relative to the audited root.
+    pub file: String,
+    /// 1-based line number.
+    pub line: usize,
+    /// Human-readable description of the violation.
+    pub message: String,
+}
+
+/// Coverage counters proving the pass actually inspected what it
+/// claims to. The workspace self-test asserts on these so a rule that
+/// silently stops matching (e.g. after a file move) fails loudly
+/// instead of auditing nothing.
+#[derive(Debug, Default, Clone)]
+pub struct Stats {
+    /// Files lexed and scanned.
+    pub files_scanned: usize,
+    /// Serve-path scopes (files or functions) the panic rule walked.
+    pub panic_scopes: usize,
+    /// Registered secret types whose defining file was found.
+    pub secret_types_checked: usize,
+    /// Wire enums located and parsed.
+    pub enums_checked: usize,
+    /// Wire enum variants checked for test coverage.
+    pub variants_checked: usize,
+    /// Error-code constants found in the registry module.
+    pub error_codes: usize,
+    /// Well-formed waivers that suppressed at least one finding.
+    pub waivers_used: usize,
+}
+
+/// The result of one audit pass.
+#[derive(Debug, Default)]
+pub struct Report {
+    /// All findings, sorted by file then line.
+    pub findings: Vec<Finding>,
+    /// Coverage counters.
+    pub stats: Stats,
+}
+
+impl Report {
+    /// Appends a finding unless a well-formed waiver covers it.
+    /// `waiver-hygiene` findings are never suppressible.
+    pub fn push(&mut self, file: &SourceFile, rule: &'static str, line: usize, message: String) {
+        if rule != "waiver-hygiene" && file.is_waived(rule, line) {
+            return;
+        }
+        self.findings.push(Finding {
+            rule,
+            file: file.path_str(),
+            line,
+            message,
+        });
+    }
+}
+
+/// One analyzed file: the source plus the derived structure every rule
+/// needs (test mask, `fn` spans).
+pub struct Analyzed {
+    /// The lexed file and its waivers.
+    pub file: SourceFile,
+    /// `test_mask[i]` is true when token `i` is test-only code.
+    pub test_mask: Vec<bool>,
+    /// Every `fn` item with a body.
+    pub fns: Vec<rules::FnSpan>,
+}
+
+impl Analyzed {
+    /// Lexes and analyzes one file.
+    pub fn new(file: SourceFile) -> Self {
+        let test_mask = rules::test_mask(&file.lexed.tokens);
+        let fns = rules::fn_spans(&file.lexed.tokens);
+        Analyzed {
+            file,
+            test_mask,
+            fns,
+        }
+    }
+}
+
+/// Runs the audit over every first-party `.rs` file under `root`.
+/// `rule_filter`, when set, runs only the named rule (waiver staleness
+/// is skipped in that case, since other rules never got the chance to
+/// use their waivers).
+pub fn audit(root: &Path, rule_filter: Option<&str>) -> std::io::Result<Report> {
+    let mut files = Vec::new();
+    for (abs, rel) in source::collect_rs_files(root)? {
+        files.push(Analyzed::new(SourceFile::load(&abs, rel)?));
+    }
+    Ok(audit_files(&files, rule_filter))
+}
+
+/// Runs the audit over pre-loaded files (used by unit tests).
+pub fn audit_files(files: &[Analyzed], rule_filter: Option<&str>) -> Report {
+    let mut report = Report::default();
+    report.stats.files_scanned = files.len();
+
+    let enabled = |id: &str| rule_filter.is_none_or(|f| f == id);
+    if enabled("panic-path") {
+        rules::panic_path::check(files, &mut report);
+    }
+    if enabled("secret-hygiene") {
+        rules::secret_hygiene::check(files, &mut report);
+    }
+    if enabled("constant-time") {
+        rules::constant_time::check(files, &mut report);
+    }
+    if enabled("wire-exhaustiveness") {
+        rules::wire_exhaustive::check(files, &mut report);
+    }
+    if enabled("error-code-registry") {
+        rules::error_codes::check(files, &mut report);
+    }
+    if enabled("waiver-hygiene") {
+        check_waivers(files, rule_filter.is_none(), &mut report);
+    }
+
+    report
+        .findings
+        .sort_by(|a, b| (&a.file, a.line, a.rule).cmp(&(&b.file, b.line, b.rule)));
+    report
+}
+
+/// The waiver-hygiene pass: reasonless, unknown-rule, and (when every
+/// rule ran) unused waivers are findings.
+fn check_waivers(files: &[Analyzed], all_rules_ran: bool, report: &mut Report) {
+    let known: Vec<&str> = RULES.iter().map(|(id, _)| *id).collect();
+    for a in files {
+        for w in &a.file.waivers {
+            if w.reason.is_empty() {
+                report.push(
+                    &a.file,
+                    "waiver-hygiene",
+                    w.at_line,
+                    "waiver has no reason; write `// audit:allow(<rule>) <why this is safe>`"
+                        .to_string(),
+                );
+                continue;
+            }
+            let unknown: Vec<&String> = w
+                .rules
+                .iter()
+                .filter(|r| !known.contains(&r.as_str()))
+                .collect();
+            if w.rules.is_empty() || !unknown.is_empty() {
+                report.push(
+                    &a.file,
+                    "waiver-hygiene",
+                    w.at_line,
+                    format!(
+                        "waiver names unknown rule(s) {:?}; known rules: {}",
+                        unknown,
+                        known.join(", ")
+                    ),
+                );
+                continue;
+            }
+            if all_rules_ran && !w.used.get() {
+                report.push(
+                    &a.file,
+                    "waiver-hygiene",
+                    w.at_line,
+                    format!(
+                        "stale waiver: no finding for {:?} on line {} — remove it",
+                        w.rules, w.covers_line
+                    ),
+                );
+            } else if w.used.get() {
+                report.stats.waivers_used += 1;
+            }
+        }
+    }
+}
+
+/// Finds the workspace root by walking up from `start` looking for a
+/// `Cargo.toml` that declares `[workspace]`.
+pub fn find_workspace_root(start: &Path) -> Option<PathBuf> {
+    let mut dir = Some(start.to_path_buf());
+    while let Some(d) = dir {
+        let manifest = d.join("Cargo.toml");
+        if let Ok(text) = std::fs::read_to_string(&manifest) {
+            if text.contains("[workspace]") {
+                return Some(d);
+            }
+        }
+        dir = d.parent().map(Path::to_path_buf);
+    }
+    None
+}

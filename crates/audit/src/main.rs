@@ -1,0 +1,102 @@
+//! The `safetypin-audit` CLI.
+//!
+//! ```text
+//! safetypin-audit [--root <dir>] [--deny] [--json <path>] [--rule <id>] [--list-rules]
+//! ```
+//!
+//! * `--root <dir>` — tree to audit; defaults to the enclosing cargo
+//!   workspace (found by walking up from the current directory);
+//! * `--deny` — exit non-zero when there are findings (CI mode);
+//! * `--json <path>` — also write the machine-readable report;
+//! * `--rule <id>` — run a single rule (waiver staleness is skipped);
+//! * `--list-rules` — print the rule catalogue and exit.
+
+use std::path::PathBuf;
+use std::process::ExitCode;
+
+use safetypin_audit::{audit, find_workspace_root, report, RULES};
+
+fn main() -> ExitCode {
+    let mut root: Option<PathBuf> = None;
+    let mut deny = false;
+    let mut json_path: Option<PathBuf> = None;
+    let mut rule: Option<String> = None;
+
+    let mut args = std::env::args().skip(1);
+    while let Some(arg) = args.next() {
+        match arg.as_str() {
+            "--root" => root = args.next().map(PathBuf::from),
+            "--deny" => deny = true,
+            "--json" => json_path = args.next().map(PathBuf::from),
+            "--rule" => rule = args.next(),
+            "--list-rules" => {
+                for (id, desc) in RULES {
+                    println!("{id:>22}  {desc}");
+                }
+                return ExitCode::SUCCESS;
+            }
+            "--help" | "-h" => {
+                println!(
+                    "usage: safetypin-audit [--root <dir>] [--deny] [--json <path>] \
+                     [--rule <id>] [--list-rules]"
+                );
+                return ExitCode::SUCCESS;
+            }
+            other => {
+                eprintln!("safetypin-audit: unknown argument `{other}` (try --help)");
+                return ExitCode::from(2);
+            }
+        }
+    }
+
+    if let Some(r) = &rule {
+        if !RULES.iter().any(|(id, _)| id == r) {
+            eprintln!("safetypin-audit: unknown rule `{r}` (try --list-rules)");
+            return ExitCode::from(2);
+        }
+    }
+
+    let root = match root {
+        Some(r) => r,
+        None => {
+            let cwd = match std::env::current_dir() {
+                Ok(c) => c,
+                Err(e) => {
+                    eprintln!("safetypin-audit: cannot read current dir: {e}");
+                    return ExitCode::from(2);
+                }
+            };
+            match find_workspace_root(&cwd) {
+                Some(r) => r,
+                None => {
+                    eprintln!(
+                        "safetypin-audit: no enclosing cargo workspace found; pass --root <dir>"
+                    );
+                    return ExitCode::from(2);
+                }
+            }
+        }
+    };
+
+    let rep = match audit(&root, rule.as_deref()) {
+        Ok(r) => r,
+        Err(e) => {
+            eprintln!("safetypin-audit: audit of {} failed: {e}", root.display());
+            return ExitCode::from(2);
+        }
+    };
+
+    print!("{}", report::human(&rep));
+    if let Some(path) = json_path {
+        if let Err(e) = std::fs::write(&path, report::json(&rep)) {
+            eprintln!("safetypin-audit: cannot write {}: {e}", path.display());
+            return ExitCode::from(2);
+        }
+    }
+
+    if deny && !rep.findings.is_empty() {
+        ExitCode::FAILURE
+    } else {
+        ExitCode::SUCCESS
+    }
+}

@@ -1,0 +1,146 @@
+//! Rendering: the human report and the machine-readable JSON document.
+//!
+//! The JSON writer is hand-rolled (the workspace vendors every
+//! dependency and the schema is four fields deep); strings are escaped
+//! per RFC 8259.
+
+use std::fmt::Write as _;
+
+use crate::{Report, RULES};
+
+/// Renders the human-readable report.
+pub fn human(report: &Report) -> String {
+    let mut out = String::new();
+    for f in &report.findings {
+        let _ = writeln!(out, "{}:{}: [{}] {}", f.file, f.line, f.rule, f.message);
+    }
+    let s = &report.stats;
+    let _ = writeln!(
+        out,
+        "audited {} files: {} serve-path scopes, {} secret types, {} wire enums \
+         ({} variants), {} error codes, {} waivers in use",
+        s.files_scanned,
+        s.panic_scopes,
+        s.secret_types_checked,
+        s.enums_checked,
+        s.variants_checked,
+        s.error_codes,
+        s.waivers_used,
+    );
+    if report.findings.is_empty() {
+        let _ = writeln!(out, "clean: no findings");
+    } else {
+        let _ = writeln!(out, "{} finding(s)", report.findings.len());
+    }
+    out
+}
+
+/// Renders the JSON document uploaded as the CI artifact.
+pub fn json(report: &Report) -> String {
+    let mut out = String::from("{\n  \"findings\": [");
+    for (i, f) in report.findings.iter().enumerate() {
+        if i > 0 {
+            out.push(',');
+        }
+        let _ = write!(
+            out,
+            "\n    {{\"rule\": {}, \"file\": {}, \"line\": {}, \"message\": {}}}",
+            json_str(f.rule),
+            json_str(&f.file),
+            f.line,
+            json_str(&f.message)
+        );
+    }
+    if !report.findings.is_empty() {
+        out.push_str("\n  ");
+    }
+    let s = &report.stats;
+    let _ = write!(
+        out,
+        "],\n  \"stats\": {{\"files_scanned\": {}, \"panic_scopes\": {}, \
+         \"secret_types_checked\": {}, \"enums_checked\": {}, \"variants_checked\": {}, \
+         \"error_codes\": {}, \"waivers_used\": {}}},\n  \"rules\": [",
+        s.files_scanned,
+        s.panic_scopes,
+        s.secret_types_checked,
+        s.enums_checked,
+        s.variants_checked,
+        s.error_codes,
+        s.waivers_used
+    );
+    for (i, (id, desc)) in RULES.iter().enumerate() {
+        if i > 0 {
+            out.push(',');
+        }
+        let _ = write!(
+            out,
+            "\n    {{\"id\": {}, \"summary\": {}}}",
+            json_str(id),
+            json_str(desc)
+        );
+    }
+    out.push_str("\n  ]\n}\n");
+    out
+}
+
+/// Escapes `s` as a JSON string literal.
+fn json_str(s: &str) -> String {
+    let mut out = String::with_capacity(s.len() + 2);
+    out.push('"');
+    for c in s.chars() {
+        match c {
+            '"' => out.push_str("\\\""),
+            '\\' => out.push_str("\\\\"),
+            '\n' => out.push_str("\\n"),
+            '\r' => out.push_str("\\r"),
+            '\t' => out.push_str("\\t"),
+            c if (c as u32) < 0x20 => {
+                let _ = write!(out, "\\u{:04x}", c as u32);
+            }
+            c => out.push(c),
+        }
+    }
+    out.push('"');
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::Finding;
+
+    fn sample() -> Report {
+        let mut r = Report::default();
+        r.stats.files_scanned = 2;
+        r.findings.push(Finding {
+            rule: "panic-path",
+            file: "crates/daemon/src/lib.rs".to_string(),
+            line: 7,
+            message: "`.unwrap()` with \"quotes\" and \\ backslash".to_string(),
+        });
+        r
+    }
+
+    #[test]
+    fn human_report_names_file_line_rule() {
+        let h = human(&sample());
+        assert!(h.contains("crates/daemon/src/lib.rs:7: [panic-path]"));
+        assert!(h.contains("1 finding(s)"));
+    }
+
+    #[test]
+    fn json_escapes_and_is_well_formed_enough() {
+        let j = json(&sample());
+        assert!(j.contains("\\\"quotes\\\""));
+        assert!(j.contains("\\\\ backslash"));
+        assert_eq!(j.matches('{').count(), j.matches('}').count());
+        assert!(j.contains("\"files_scanned\": 2"));
+    }
+
+    #[test]
+    fn clean_report_says_clean() {
+        let r = Report::default();
+        assert!(human(&r).contains("clean: no findings"));
+        assert!(json(&r).contains("\"findings\": []"));
+    }
+}

@@ -1,0 +1,218 @@
+//! Rule `constant-time`: secret comparisons in the crypto crates must
+//! not short-circuit.
+//!
+//! `==` on byte slices compiles to a length check plus an early-exit
+//! memcmp; the time it takes reveals the length of the matching
+//! prefix. For key material, AEAD tags, and recovery shares that is a
+//! byte-at-a-time oracle — the class of leak SafetyPin's HSM-side
+//! checks exist to prevent. Inside `crates/primitives`, `crates/bfe`,
+//! and `crates/seckv`, any `==`/`!=` whose operand text looks
+//! secret-bearing (mentions `key`, `secret`, `share`, `tag`, `mac`,
+//! `digest`, or `seed`) must instead go through
+//! `subtle::ConstantTimeEq` (`ct_eq(..)`).
+//!
+//! This is a lexical heuristic, tuned to the workspace: comparisons
+//! mentioning lengths, counts, or indices are excluded, as is test
+//! code. A comparison the heuristic misreads can carry a reasoned
+//! `// audit:allow(constant-time) …` waiver; a comparison it misses is
+//! exactly why the secret types also redact `Debug` and wipe on drop —
+//! the rules overlap on purpose.
+
+use crate::lexer::{TokKind, Token};
+use crate::{Analyzed, Report};
+
+/// Crates whose comparisons are in scope.
+const CRATE_SCOPES: &[&str] = &["crates/primitives/", "crates/bfe/", "crates/seckv/"];
+
+/// Operand substrings that mark a comparison secret-bearing.
+const SECRET_MARKERS: &[&str] = &["key", "secret", "share", "tag", "mac", "digest", "seed"];
+
+/// Operand substrings that mark a comparison as bookkeeping, not
+/// secret bytes.
+const BENIGN_MARKERS: &[&str] = &[
+    "len", "count", "capacity", "is_empty", "idx", "index", "version", "kind", "depth", "width",
+    "size", "id",
+];
+
+/// Runs the rule over the crypto crates.
+pub fn check(files: &[Analyzed], report: &mut Report) {
+    for a in files {
+        let path = a.file.path_str();
+        if !CRATE_SCOPES.iter().any(|p| path.starts_with(p)) {
+            continue;
+        }
+        let tokens = &a.file.lexed.tokens;
+        for (i, t) in tokens.iter().enumerate() {
+            if a.test_mask[i] || t.kind != TokKind::Punct || (t.text != "==" && t.text != "!=") {
+                continue;
+            }
+            let lhs = operand_left(tokens, i).to_lowercase();
+            let rhs = operand_right(tokens, i).to_lowercase();
+            let secretish = |s: &str| SECRET_MARKERS.iter().any(|m| s.contains(m));
+            let benign = |s: &str| BENIGN_MARKERS.iter().any(|m| s.contains(m));
+            if (secretish(&lhs) || secretish(&rhs)) && !benign(&lhs) && !benign(&rhs) {
+                report.push(
+                    &a.file,
+                    "constant-time",
+                    t.line,
+                    format!(
+                        "`{lhs} {} {rhs}` short-circuits; compare secrets with \
+                         subtle::ConstantTimeEq (`ct_eq`)",
+                        t.text
+                    ),
+                );
+            }
+        }
+    }
+}
+
+/// Statement keywords that terminate an operand.
+const STOP_KEYWORDS: &[&str] = &[
+    "if", "else", "while", "for", "match", "return", "let", "in", "loop", "break", "continue",
+];
+
+/// Reconstructs the text of the operand ending just before token `op`.
+fn operand_left(tokens: &[Token], op: usize) -> String {
+    let mut parts = Vec::new();
+    let mut i = op;
+    while i > 0 {
+        i -= 1;
+        let t = &tokens[i];
+        match t.kind {
+            TokKind::Ident if STOP_KEYWORDS.contains(&t.text.as_str()) => break,
+            TokKind::Ident | TokKind::Num => parts.push(t.text.clone()),
+            TokKind::Str => parts.push(format!("\"{}\"", t.text)),
+            TokKind::Punct => match t.text.as_str() {
+                "." | "::" | "&" | "*" | "?" => parts.push(t.text.clone()),
+                ")" | "]" => {
+                    let open = matching_open(tokens, i);
+                    for tok in tokens[open..=i].iter().rev() {
+                        parts.push(tok.text.clone());
+                    }
+                    i = open;
+                }
+                _ => break,
+            },
+            _ => break,
+        }
+    }
+    parts.reverse();
+    parts.join("")
+}
+
+/// Reconstructs the text of the operand starting just after token `op`.
+fn operand_right(tokens: &[Token], op: usize) -> String {
+    let mut parts = Vec::new();
+    let mut i = op + 1;
+    while i < tokens.len() {
+        let t = &tokens[i];
+        match t.kind {
+            TokKind::Ident if STOP_KEYWORDS.contains(&t.text.as_str()) => break,
+            TokKind::Ident | TokKind::Num => parts.push(t.text.clone()),
+            TokKind::Str => parts.push(format!("\"{}\"", t.text)),
+            TokKind::Punct => match t.text.as_str() {
+                "." | "::" => parts.push(t.text.clone()),
+                // Prefix borrows/derefs only make sense before the
+                // first real token.
+                "&" | "*" if parts.is_empty() => parts.push(t.text.clone()),
+                "(" | "[" => {
+                    let close = crate::rules::matching_close(tokens, i);
+                    for tok in &tokens[i..=close] {
+                        parts.push(tok.text.clone());
+                    }
+                    i = close;
+                }
+                _ => break,
+            },
+            _ => break,
+        }
+        i += 1;
+    }
+    parts.join("")
+}
+
+/// Backward delimiter matching: index of the `(`/`[` that opens the
+/// group closed at `close`.
+fn matching_open(tokens: &[Token], close: usize) -> usize {
+    let (o, c) = match tokens[close].text.as_str() {
+        ")" => ("(", ")"),
+        "]" => ("[", "]"),
+        _ => return close,
+    };
+    let mut depth = 0usize;
+    let mut i = close + 1;
+    while i > 0 {
+        i -= 1;
+        let t = &tokens[i];
+        if t.kind == TokKind::Punct {
+            if t.text == c {
+                depth += 1;
+            } else if t.text == o {
+                depth -= 1;
+                if depth == 0 {
+                    return i;
+                }
+            }
+        }
+    }
+    0
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::source::SourceFile;
+    use std::path::PathBuf;
+
+    fn run(path: &str, src: &str) -> Report {
+        let a = Analyzed::new(SourceFile::from_text(PathBuf::from(path), src.to_string()));
+        let mut r = Report::default();
+        check(&[a], &mut r);
+        r
+    }
+
+    #[test]
+    fn key_comparison_flagged() {
+        let r = run(
+            "crates/seckv/src/tree.rs",
+            "fn f(k: &AeadKey) -> bool { k.as_bytes() == &ZERO_KEY }",
+        );
+        assert_eq!(r.findings.len(), 1);
+        assert!(r.findings[0].message.contains("ct_eq"));
+    }
+
+    #[test]
+    fn length_bookkeeping_is_fine() {
+        let r = run(
+            "crates/seckv/src/tree.rs",
+            "fn f(k: &[u8]) -> bool { k.len() == KEY_LEN && key_count != 0 }",
+        );
+        assert!(r.findings.is_empty(), "{:?}", r.findings);
+    }
+
+    #[test]
+    fn non_secret_comparisons_are_fine() {
+        let r = run(
+            "crates/primitives/src/shamir.rs",
+            "fn f(a: u8, b: u8) -> bool { a == b }",
+        );
+        assert!(r.findings.is_empty());
+    }
+
+    #[test]
+    fn out_of_scope_crates_ignored() {
+        let r = run(
+            "crates/daemon/src/lib.rs",
+            "fn f(k: &[u8], z: &[u8]) -> bool { k == secret_key }",
+        );
+        assert!(r.findings.is_empty());
+    }
+
+    #[test]
+    fn test_code_exempt_and_waivers_work() {
+        let src = "#[cfg(test)]\nmod t { fn f() { assert!(key_a == key_b); } }\n\
+                   fn g() -> bool { tag_a == tag_b // audit:allow(constant-time) public tags\n }";
+        let r = run("crates/bfe/src/lib.rs", src);
+        assert!(r.findings.is_empty(), "{:?}", r.findings);
+    }
+}

@@ -1,0 +1,221 @@
+//! Rule `error-code-registry`: wire error codes have one home.
+//!
+//! Error codes cross the wire as `u16`s inside `ErrorReply`; clients
+//! branch on them to decide whether to retry, back off, or give up. A
+//! code spelled as a bare numeric literal at a reply site, or a
+//! constant re-declared in a second module, will drift the moment one
+//! copy changes — and a drifted retryable/fatal classification is a
+//! liveness bug in the recovery path. The registry is the `codes`
+//! module in `crates/proto/src/api.rs`; everywhere else must reference
+//! `codes::NAME`. This rule flags, outside the registry:
+//!
+//! * a `const` re-declaring a known registry name;
+//! * a string literal re-spelling a known registry name (match on the
+//!   name, branch on the constant instead);
+//! * a numeric literal used where a code is expected
+//!   (`ErrorReply::new(3, …)` or a `code: 3` struct field).
+
+use crate::lexer::TokKind;
+use crate::rules::matching_close;
+use crate::{Analyzed, Report};
+
+/// The file whose `codes` module is the registry.
+const REGISTRY_FILE: &str = "crates/proto/src/api.rs";
+
+/// The registry module name.
+const REGISTRY_MOD: &str = "codes";
+
+/// Runs the rule.
+pub fn check(files: &[Analyzed], report: &mut Report) {
+    let Some(reg) = files.iter().find(|a| a.file.path_str() == REGISTRY_FILE) else {
+        return; // fixture tree without a registry — skip
+    };
+    let Some((mod_open, mod_close)) = registry_span(reg) else {
+        return;
+    };
+    let names = registry_consts(reg, mod_open, mod_close);
+    if names.is_empty() {
+        return;
+    }
+    report.stats.error_codes = names.len();
+
+    for a in files {
+        let in_registry_file = a.file.path_str() == REGISTRY_FILE;
+        let tokens = &a.file.lexed.tokens;
+        for (i, t) in tokens.iter().enumerate() {
+            if a.test_mask[i] {
+                continue;
+            }
+            if in_registry_file && i >= mod_open && i <= mod_close {
+                continue;
+            }
+            match t.kind {
+                // const RATE_LIMITED: u16 = … outside the registry.
+                TokKind::Ident
+                    if t.text == "const"
+                        && tokens
+                            .get(i + 1)
+                            .is_some_and(|n| names.iter().any(|c| n.is_ident(c))) =>
+                {
+                    report.push(
+                        &a.file,
+                        "error-code-registry",
+                        t.line,
+                        format!(
+                            "`const {}` re-declares a registry code; reference \
+                             `codes::{}` from {REGISTRY_FILE} instead",
+                            tokens[i + 1].text,
+                            tokens[i + 1].text
+                        ),
+                    );
+                }
+                // "RATE_LIMITED" re-spelled as a string.
+                TokKind::Str if names.contains(&t.text) => {
+                    report.push(
+                        &a.file,
+                        "error-code-registry",
+                        t.line,
+                        format!(
+                            "error code `{}` re-spelled as a string literal; branch on \
+                             `codes::{}` instead",
+                            t.text, t.text
+                        ),
+                    );
+                }
+                // ErrorReply::new(3, …) or `code: 3` with a bare number.
+                TokKind::Ident if t.text == "ErrorReply" => {
+                    if let (Some(a2), Some(b), Some(c)) =
+                        (tokens.get(i + 1), tokens.get(i + 2), tokens.get(i + 3))
+                    {
+                        if a2.is_punct("::")
+                            && b.is_ident("new")
+                            && c.is_punct("(")
+                            && tokens.get(i + 4).is_some_and(|n| n.kind == TokKind::Num)
+                        {
+                            report.push(
+                                &a.file,
+                                "error-code-registry",
+                                t.line,
+                                format!(
+                                    "`ErrorReply::new({}, …)` uses a bare numeric code; use a \
+                                     `codes::` constant",
+                                    tokens[i + 4].text
+                                ),
+                            );
+                        }
+                    }
+                }
+                TokKind::Ident
+                    if t.text == "code"
+                        && tokens.get(i + 1).is_some_and(|n| n.is_punct(":"))
+                        && tokens.get(i + 2).is_some_and(|n| n.kind == TokKind::Num) =>
+                {
+                    report.push(
+                        &a.file,
+                        "error-code-registry",
+                        t.line,
+                        format!(
+                            "`code: {}` uses a bare numeric error code; use a `codes::` constant",
+                            tokens[i + 2].text
+                        ),
+                    );
+                }
+                _ => {}
+            }
+        }
+    }
+}
+
+/// Token span (inclusive) of `mod codes { … }` in the registry file.
+fn registry_span(a: &Analyzed) -> Option<(usize, usize)> {
+    let tokens = &a.file.lexed.tokens;
+    let start = tokens
+        .windows(2)
+        .position(|w| w[0].is_ident("mod") && w[1].is_ident(REGISTRY_MOD))?;
+    let mut i = start + 2;
+    while i < tokens.len() && !tokens[i].is_punct("{") {
+        i += 1;
+    }
+    if i >= tokens.len() {
+        return None;
+    }
+    Some((start, matching_close(tokens, i)))
+}
+
+/// The `const` names declared inside the registry span.
+fn registry_consts(a: &Analyzed, open: usize, close: usize) -> Vec<String> {
+    let tokens = &a.file.lexed.tokens;
+    let mut out = Vec::new();
+    for i in open..close.min(tokens.len()) {
+        if tokens[i].is_ident("const")
+            && tokens.get(i + 1).is_some_and(|n| n.kind == TokKind::Ident)
+        {
+            out.push(tokens[i + 1].text.clone());
+        }
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::source::SourceFile;
+    use std::path::PathBuf;
+
+    const REGISTRY: &str = "pub mod codes {\n  pub const RATE_LIMITED: u16 = 34;\n  pub const OVERLOADED: u16 = 35;\n}";
+
+    fn analyzed(path: &str, src: &str) -> Analyzed {
+        Analyzed::new(SourceFile::from_text(PathBuf::from(path), src.to_string()))
+    }
+
+    fn run(other_path: &str, other_src: &str) -> Report {
+        let reg = analyzed("crates/proto/src/api.rs", REGISTRY);
+        let other = analyzed(other_path, other_src);
+        let mut r = Report::default();
+        check(&[reg, other], &mut r);
+        r
+    }
+
+    #[test]
+    fn registry_itself_is_clean() {
+        let reg = analyzed("crates/proto/src/api.rs", REGISTRY);
+        let mut r = Report::default();
+        check(&[reg], &mut r);
+        assert!(r.findings.is_empty(), "{:?}", r.findings);
+        assert_eq!(r.stats.error_codes, 2);
+    }
+
+    #[test]
+    fn redeclaration_flagged() {
+        let r = run("crates/daemon/src/lib.rs", "const RATE_LIMITED: u16 = 34;");
+        assert_eq!(r.findings.len(), 1);
+        assert!(r.findings[0].message.contains("re-declares"));
+    }
+
+    #[test]
+    fn string_respelling_flagged() {
+        let r = run(
+            "crates/cli/src/main.rs",
+            "fn f(s: &str) -> bool { s == \"RATE_LIMITED\" }",
+        );
+        assert_eq!(r.findings.len(), 1);
+    }
+
+    #[test]
+    fn bare_numeric_codes_flagged() {
+        let r = run(
+            "crates/provider/src/lib.rs",
+            "fn f() { let e = ErrorReply::new(34, \"slow down\"); let s = ErrorReply { code: 35, detail: d }; }",
+        );
+        assert_eq!(r.findings.len(), 2);
+    }
+
+    #[test]
+    fn codes_constants_are_the_blessed_spelling() {
+        let r = run(
+            "crates/provider/src/lib.rs",
+            "fn f() { let e = ErrorReply::new(codes::RATE_LIMITED, \"slow down\"); }",
+        );
+        assert!(r.findings.is_empty(), "{:?}", r.findings);
+    }
+}

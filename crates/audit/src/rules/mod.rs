@@ -1,0 +1,228 @@
+//! The audit rules and the token-stream helpers they share.
+//!
+//! Each rule is a plain function from the analyzed workspace to a list
+//! of findings; there is no trait indirection because rules differ in
+//! shape (panic-path is per-file, wire-exhaustiveness is cross-file).
+//! The helpers here implement the few pieces of structure the rules
+//! need beyond a flat token stream: delimiter matching, `#[cfg(test)]`
+//! masking, and `fn` body spans.
+
+pub mod constant_time;
+pub mod error_codes;
+pub mod panic_path;
+pub mod secret_hygiene;
+pub mod wire_exhaustive;
+
+use crate::lexer::{TokKind, Token};
+
+/// A `fn` item: its name and the token span of its body (inclusive of
+/// the braces). Used to scope rules to named functions and to classify
+/// test coverage by test-function name.
+#[derive(Debug, Clone)]
+pub struct FnSpan {
+    /// The function's name.
+    pub name: String,
+    /// Token index of the `fn` keyword.
+    pub fn_tok: usize,
+    /// Token index of the opening `{` of the body.
+    pub body_open: usize,
+    /// Token index of the matching `}`.
+    pub body_close: usize,
+}
+
+/// Returns the index of the delimiter that closes `tokens[open]`
+/// (one of `(`, `[`, `{`), or `tokens.len() - 1` when unbalanced.
+pub fn matching_close(tokens: &[Token], open: usize) -> usize {
+    let (o, c) = match tokens[open].text.as_str() {
+        "(" => ("(", ")"),
+        "[" => ("[", "]"),
+        "{" => ("{", "}"),
+        _ => return open,
+    };
+    let mut depth = 0usize;
+    for (i, t) in tokens.iter().enumerate().skip(open) {
+        if t.kind == TokKind::Punct {
+            if t.text == o {
+                depth += 1;
+            } else if t.text == c {
+                depth -= 1;
+                if depth == 0 {
+                    return i;
+                }
+            }
+        }
+    }
+    tokens.len().saturating_sub(1)
+}
+
+/// Marks every token that belongs to test-only code: an item annotated
+/// `#[test]`, `#[cfg(test)]`, or any attribute whose idents include
+/// `test`. The mask covers the attribute itself through the end of the
+/// item body (matching `{…}`), or through the trailing `;` for
+/// body-less items like `use`.
+pub fn test_mask(tokens: &[Token]) -> Vec<bool> {
+    let mut mask = vec![false; tokens.len()];
+    let mut i = 0;
+    while i < tokens.len() {
+        if tokens[i].is_punct("#") && i + 1 < tokens.len() && tokens[i + 1].is_punct("[") {
+            let close = matching_close(tokens, i + 1);
+            let is_test_attr = tokens[i + 2..close]
+                .iter()
+                .any(|t| t.kind == TokKind::Ident && t.text == "test");
+            if is_test_attr {
+                // Mask from the attribute through the end of the item.
+                let mut j = close + 1;
+                // Skip further stacked attributes.
+                while j + 1 < tokens.len() && tokens[j].is_punct("#") && tokens[j + 1].is_punct("[")
+                {
+                    j = matching_close(tokens, j + 1) + 1;
+                }
+                // Find the item body's `{` or a terminating `;`.
+                let mut k = j;
+                while k < tokens.len() && !tokens[k].is_punct("{") && !tokens[k].is_punct(";") {
+                    k += 1;
+                }
+                let end = if k < tokens.len() && tokens[k].is_punct("{") {
+                    matching_close(tokens, k)
+                } else {
+                    k.min(tokens.len().saturating_sub(1))
+                };
+                for m in mask.iter_mut().take(end + 1).skip(i) {
+                    *m = true;
+                }
+                i = end + 1;
+                continue;
+            }
+            i = close + 1;
+            continue;
+        }
+        i += 1;
+    }
+    mask
+}
+
+/// Finds every `fn` item and its body span. Signatures never contain
+/// braces in this codebase, so the first `{` after the name opens the
+/// body; `fn` declarations ending in `;` (trait methods) are skipped.
+pub fn fn_spans(tokens: &[Token]) -> Vec<FnSpan> {
+    let mut out = Vec::new();
+    let mut i = 0;
+    while i < tokens.len() {
+        if tokens[i].is_ident("fn") && i + 1 < tokens.len() && tokens[i + 1].kind == TokKind::Ident
+        {
+            let name = tokens[i + 1].text.clone();
+            let mut k = i + 2;
+            while k < tokens.len() && !tokens[k].is_punct("{") && !tokens[k].is_punct(";") {
+                k += 1;
+            }
+            if k < tokens.len() && tokens[k].is_punct("{") {
+                let close = matching_close(tokens, k);
+                out.push(FnSpan {
+                    name,
+                    fn_tok: i,
+                    body_open: k,
+                    body_close: close,
+                });
+            }
+            i = k + 1;
+            continue;
+        }
+        i += 1;
+    }
+    out
+}
+
+/// Collects the idents of every `#[derive(…)]` attribute stacked
+/// directly above token index `item`, walking backward over visibility
+/// modifiers and other attributes.
+pub fn derives_before(tokens: &[Token], item: usize) -> Vec<String> {
+    let mut derives = Vec::new();
+    let mut j = item;
+    while j > 0 {
+        j -= 1;
+        let t = &tokens[j];
+        if t.kind == TokKind::Ident && matches!(t.text.as_str(), "pub" | "crate" | "in" | "super") {
+            continue;
+        }
+        if t.is_punct("(") || t.is_punct(")") {
+            continue;
+        }
+        if t.is_punct("]") {
+            // Walk back to the matching `[`.
+            let mut depth = 1usize;
+            let mut k = j;
+            while k > 0 && depth > 0 {
+                k -= 1;
+                if tokens[k].is_punct("]") {
+                    depth += 1;
+                } else if tokens[k].is_punct("[") {
+                    depth -= 1;
+                }
+            }
+            if k > 0 && tokens[k - 1].is_punct("#") {
+                let inner = &tokens[k + 1..j];
+                if inner.first().is_some_and(|t| t.is_ident("derive")) {
+                    derives.extend(
+                        inner
+                            .iter()
+                            .skip(1)
+                            .filter(|t| t.kind == TokKind::Ident)
+                            .map(|t| t.text.clone()),
+                    );
+                }
+                j = k - 1;
+                continue;
+            }
+            break;
+        }
+        break;
+    }
+    derives
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::lexer::lex;
+
+    #[test]
+    fn test_mask_covers_cfg_test_modules() {
+        let src = "fn real() { a.unwrap(); }\n#[cfg(test)]\nmod tests { fn t() { b.unwrap(); } }";
+        let lexed = lex(src);
+        let mask = test_mask(&lexed.tokens);
+        for (t, m) in lexed.tokens.iter().zip(&mask) {
+            if t.is_ident("a") {
+                assert!(!m);
+            }
+            if t.is_ident("b") {
+                assert!(m);
+            }
+        }
+    }
+
+    #[test]
+    fn fn_spans_find_bodies() {
+        let src = "fn alpha(x: u8) -> u8 { x }\nimpl T { fn handle_one(&self) { self.go(); } }";
+        let lexed = lex(src);
+        let spans = fn_spans(&lexed.tokens);
+        assert_eq!(spans.len(), 2);
+        assert_eq!(spans[0].name, "alpha");
+        assert_eq!(spans[1].name, "handle_one");
+        assert!(spans[1].body_close > spans[1].body_open);
+    }
+
+    #[test]
+    fn derives_are_collected_through_stacked_attributes() {
+        let src = "#[derive(Debug, Clone)]\n#[repr(C)]\npub struct Key([u8; 32]);";
+        let lexed = lex(src);
+        let item = lexed
+            .tokens
+            .iter()
+            .position(|t| t.is_ident("struct"))
+            .unwrap();
+        let d = derives_before(&lexed.tokens, item);
+        assert!(d.contains(&"Debug".to_string()));
+        assert!(d.contains(&"Clone".to_string()));
+        assert!(!d.contains(&"C".to_string()));
+    }
+}

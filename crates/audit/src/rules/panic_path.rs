@@ -1,0 +1,216 @@
+//! Rule `panic-path`: serve-path code must not be able to panic.
+//!
+//! A panic inside the daemon's request path aborts the worker thread
+//! mid-request; between a puncture commit and the reply it is exactly
+//! the crash window the persistence tests guard, and it converts a
+//! malformed request into a denial of service. Inside the designated
+//! scopes this rule forbids:
+//!
+//! * `.unwrap()` / `.expect()` (and their `_err` variants);
+//! * `panic!`, `unreachable!`, `todo!`, `unimplemented!`, and the
+//!   `assert!` family;
+//! * raw slice indexing `x[i]` / `x[a..b]`, which panics on
+//!   out-of-bounds (use `get`/`get_mut` or pattern matching).
+//!
+//! Scopes are the modules the paper's threat model cares about: the
+//! whole daemon crate, the TCP framing layer, the provider fan-out
+//! engine, and the `handle*` entry points of the HSM and datacenter.
+//! Test code (`#[cfg(test)]` / `#[test]`) is exempt; anything else
+//! needs an explicit reasoned waiver.
+
+use crate::lexer::{TokKind, Token};
+use crate::{Analyzed, Report};
+
+/// Whole files (prefix match on the relative path) on the serve path.
+const FILE_SCOPES: &[&str] = &[
+    "crates/daemon/src/",
+    "crates/proto/src/tcp.rs",
+    "crates/provider/src/fanout.rs",
+];
+
+/// Function-level scopes: (file, function-name prefix).
+const FN_SCOPES: &[(&str, &str)] = &[
+    ("crates/hsm/src/lib.rs", "handle"),
+    ("crates/provider/src/lib.rs", "handle"),
+];
+
+/// Method names that panic on `None`/`Err`.
+const PANICKY_METHODS: &[&str] = &["unwrap", "expect", "unwrap_err", "expect_err"];
+
+/// Macros that panic by design.
+const PANICKY_MACROS: &[&str] = &[
+    "panic",
+    "unreachable",
+    "todo",
+    "unimplemented",
+    "assert",
+    "assert_eq",
+    "assert_ne",
+];
+
+/// Keywords that may legitimately precede `[` (slice patterns, array
+/// literals) and therefore do not indicate indexing.
+const NON_INDEX_KEYWORDS: &[&str] = &[
+    "let", "in", "return", "if", "else", "match", "mut", "ref", "move", "for", "while", "loop",
+    "break", "continue", "as", "where", "impl", "fn", "pub", "use", "mod", "struct", "enum",
+    "type", "const", "static", "dyn", "box",
+];
+
+/// Runs the rule over every in-scope region of the workspace.
+pub fn check(files: &[Analyzed], report: &mut Report) {
+    for a in files {
+        let path = a.file.path_str();
+        if FILE_SCOPES.iter().any(|p| path.starts_with(p)) {
+            report.stats.panic_scopes += 1;
+            scan_range(a, 0, a.file.lexed.tokens.len(), report);
+            continue;
+        }
+        for (file, prefix) in FN_SCOPES {
+            if path == *file {
+                for f in &a.fns {
+                    if f.name.starts_with(prefix) && !a.test_mask[f.fn_tok] {
+                        report.stats.panic_scopes += 1;
+                        scan_range(a, f.body_open, f.body_close + 1, report);
+                    }
+                }
+            }
+        }
+    }
+}
+
+/// Scans `tokens[start..end]`, skipping test-masked tokens.
+fn scan_range(a: &Analyzed, start: usize, end: usize, report: &mut Report) {
+    let tokens = &a.file.lexed.tokens;
+    for i in start..end.min(tokens.len()) {
+        if a.test_mask[i] {
+            continue;
+        }
+        let t = &tokens[i];
+        match t.kind {
+            TokKind::Ident => {
+                if PANICKY_METHODS.contains(&t.text.as_str())
+                    && i > 0
+                    && tokens[i - 1].is_punct(".")
+                {
+                    report.push(
+                        &a.file,
+                        "panic-path",
+                        t.line,
+                        format!(
+                            "`.{}()` on the serve path can panic; return a typed error instead",
+                            t.text
+                        ),
+                    );
+                } else if PANICKY_MACROS.contains(&t.text.as_str())
+                    && tokens.get(i + 1).is_some_and(|n| n.is_punct("!"))
+                    // `::` before means a path like `std::assert` —
+                    // still the same macro, keep it flagged; but a `.`
+                    // before means a method call named e.g. `todo`.
+                    && !(i > 0 && tokens[i - 1].is_punct("."))
+                {
+                    report.push(
+                        &a.file,
+                        "panic-path",
+                        t.line,
+                        format!(
+                            "`{}!` on the serve path aborts the worker mid-request",
+                            t.text
+                        ),
+                    );
+                }
+            }
+            TokKind::Punct if t.text == "[" && i > 0 && is_index_site(&tokens[i - 1]) => {
+                report.push(
+                    &a.file,
+                    "panic-path",
+                    t.line,
+                    "raw indexing on the serve path panics out-of-bounds; use `get`/`get_mut`"
+                        .to_string(),
+                );
+            }
+            _ => {}
+        }
+    }
+}
+
+/// True when the token before `[` makes it an indexing expression
+/// rather than an array literal, slice pattern, type, or attribute.
+fn is_index_site(prev: &Token) -> bool {
+    match prev.kind {
+        TokKind::Ident => !NON_INDEX_KEYWORDS.contains(&prev.text.as_str()),
+        TokKind::Punct => prev.text == ")" || prev.text == "]",
+        _ => false,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::source::SourceFile;
+    use std::path::PathBuf;
+
+    fn run(path: &str, src: &str) -> Report {
+        let a = Analyzed::new(SourceFile::from_text(PathBuf::from(path), src.to_string()));
+        let mut r = Report::default();
+        check(&[a], &mut r);
+        r
+    }
+
+    #[test]
+    fn unwrap_in_daemon_is_flagged() {
+        let r = run("crates/daemon/src/lib.rs", "fn f() { x.unwrap(); }");
+        assert_eq!(r.findings.len(), 1);
+        assert_eq!(r.findings[0].rule, "panic-path");
+    }
+
+    #[test]
+    fn unwrap_or_else_is_fine() {
+        let r = run(
+            "crates/daemon/src/lib.rs",
+            "fn f() { x.unwrap_or_else(|e| e.into_inner()); }",
+        );
+        assert!(r.findings.is_empty());
+    }
+
+    #[test]
+    fn macros_and_indexing_flagged() {
+        let src = "fn f(v: &[u8]) { let a = v[0]; panic!(\"no\"); assert_eq!(1, 1); }";
+        let r = run("crates/proto/src/tcp.rs", src);
+        assert_eq!(r.findings.len(), 3);
+    }
+
+    #[test]
+    fn array_literals_and_patterns_are_not_indexing() {
+        let src = "fn f() { let a = [0u8; 4]; let [x, y] = pair; vec![1, 2]; }";
+        let r = run("crates/daemon/src/lib.rs", src);
+        assert!(r.findings.is_empty(), "{:?}", r.findings);
+    }
+
+    #[test]
+    fn test_code_is_exempt() {
+        let src = "#[cfg(test)]\nmod tests { fn t() { x.unwrap(); } }";
+        let r = run("crates/daemon/src/lib.rs", src);
+        assert!(r.findings.is_empty());
+    }
+
+    #[test]
+    fn fn_scope_only_covers_named_fns() {
+        let src = "impl Hsm { fn handle(&self) { x.unwrap(); } fn other(&self) { y.unwrap(); } }";
+        let r = run("crates/hsm/src/lib.rs", src);
+        assert_eq!(r.findings.len(), 1);
+    }
+
+    #[test]
+    fn reasoned_waiver_suppresses() {
+        let src =
+            "fn f(h: [u8; 6]) { let a = &h[..4]; // audit:allow(panic-path) constant range on [u8; 6]\n }";
+        let r = run("crates/proto/src/tcp.rs", src);
+        assert!(r.findings.is_empty(), "{:?}", r.findings);
+    }
+
+    #[test]
+    fn out_of_scope_files_are_ignored() {
+        let r = run("crates/primitives/src/aead.rs", "fn f() { x.unwrap(); }");
+        assert!(r.findings.is_empty());
+    }
+}

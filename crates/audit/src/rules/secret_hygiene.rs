@@ -1,0 +1,235 @@
+//! Rule `secret-hygiene`: registered secret types must not leak and
+//! must wipe themselves.
+//!
+//! SafetyPin's threat model assumes the provider is compromised after
+//! the fact: anything a secret type leaves behind — a `Debug` dump in
+//! a log line, key bytes lingering in freed memory — is material the
+//! adversary harvests. For every type in the [`REGISTRY`] this rule
+//! enforces, in the type's defining file:
+//!
+//! * no `#[derive(Debug)]` — a `Debug` impl must be hand-written and
+//!   redacting (deriving prints the key bytes);
+//! * no `impl Display` at all — secrets have no user-facing rendering;
+//! * an `impl Drop` must exist in the same file, wiping key bytes
+//!   (the zeroize helpers in `safetypin-primitives` do the
+//!   volatile-write part);
+//!
+//! and, across the whole workspace, the type's name must never appear
+//! inside a `format!`-family macro invocation. The macro check is by
+//! name: it catches `format!("{:?}", AeadKey::from(..))`-style leaks;
+//! leaks through a variable of secret type are out of reach for a
+//! lexer and remain the redacting-`Debug` impl's job.
+
+use crate::lexer::TokKind;
+use crate::rules::{derives_before, matching_close};
+use crate::{Analyzed, Report};
+
+/// The secret-type registry: (type name, defining file).
+///
+/// Adding a secret-bearing type to the workspace means adding it here;
+/// the self-test pins the registry size so the list cannot silently
+/// rot when files move.
+pub const REGISTRY: &[(&str, &str)] = &[
+    ("AeadKey", "crates/primitives/src/aead.rs"),
+    ("SecretKey", "crates/primitives/src/elgamal.rs"),
+    ("Share", "crates/primitives/src/shamir.rs"),
+    ("ArrayState", "crates/seckv/src/tree.rs"),
+    ("BfeSecretKey", "crates/bfe/src/lib.rs"),
+    ("BfeKeyState", "crates/bfe/src/lib.rs"),
+    ("DeviceKey", "crates/store/src/seal.rs"),
+    ("Keyring", "crates/store/src/seal.rs"),
+];
+
+/// `format!`-family macros (anything that renders its arguments).
+const FORMAT_MACROS: &[&str] = &[
+    "format",
+    "print",
+    "println",
+    "eprint",
+    "eprintln",
+    "write",
+    "writeln",
+    "panic",
+    "assert",
+    "assert_eq",
+    "assert_ne",
+    "debug",
+    "info",
+    "warn",
+    "error",
+    "trace",
+];
+
+/// Runs the rule: per-type checks in defining files, then the
+/// workspace-wide format-macro scan.
+pub fn check(files: &[Analyzed], report: &mut Report) {
+    for (name, def_file) in REGISTRY {
+        let Some(a) = files.iter().find(|a| a.file.path_str() == *def_file) else {
+            continue; // file absent (fixture tree) — skip gracefully
+        };
+        check_definition(a, name, report);
+    }
+    for a in files {
+        scan_format_macros(a, report);
+    }
+}
+
+/// Checks derive/Display/Drop for one registered type in its file.
+fn check_definition(a: &Analyzed, name: &str, report: &mut Report) {
+    let tokens = &a.file.lexed.tokens;
+    let mut def_line = None;
+    for (i, t) in tokens.iter().enumerate() {
+        if (t.is_ident("struct") || t.is_ident("enum"))
+            && tokens.get(i + 1).is_some_and(|n| n.is_ident(name))
+        {
+            def_line = Some(t.line);
+            let derives = derives_before(tokens, i);
+            if derives.iter().any(|d| d == "Debug") {
+                report.push(
+                    &a.file,
+                    "secret-hygiene",
+                    t.line,
+                    format!(
+                        "secret type `{name}` derives Debug, which prints key bytes; \
+                         hand-write a redacting impl"
+                    ),
+                );
+            }
+            break;
+        }
+    }
+    let Some(def_line) = def_line else {
+        return; // type not in this file (renamed?) — registry rot is
+                // caught by the self-test's stats assertion
+    };
+    report.stats.secret_types_checked += 1;
+
+    let mut has_drop = false;
+    for (i, t) in tokens.iter().enumerate() {
+        // Matches `… Debug for Name` / `… Drop for Name`, whether the
+        // trait is spelled bare or as a full path.
+        if t.is_ident("for") && tokens.get(i + 1).is_some_and(|n| n.is_ident(name)) && i > 0 {
+            let trait_tok = &tokens[i - 1];
+            if trait_tok.is_ident("Drop") {
+                has_drop = true;
+            } else if trait_tok.is_ident("Display") {
+                report.push(
+                    &a.file,
+                    "secret-hygiene",
+                    t.line,
+                    format!("secret type `{name}` implements Display; secrets must not render"),
+                );
+            }
+        }
+    }
+    if !has_drop {
+        report.push(
+            &a.file,
+            "secret-hygiene",
+            def_line,
+            format!(
+                "secret type `{name}` has no Drop impl; key bytes must be wiped \
+                 (see safetypin_primitives::zeroize)"
+            ),
+        );
+    }
+}
+
+/// Flags registered type names appearing inside format-family macro
+/// invocations (outside test code).
+fn scan_format_macros(a: &Analyzed, report: &mut Report) {
+    let tokens = &a.file.lexed.tokens;
+    let mut i = 0;
+    while i < tokens.len() {
+        let t = &tokens[i];
+        if t.kind == TokKind::Ident
+            && FORMAT_MACROS.contains(&t.text.as_str())
+            && tokens.get(i + 1).is_some_and(|n| n.is_punct("!"))
+            && tokens
+                .get(i + 2)
+                .is_some_and(|n| n.is_punct("(") || n.is_punct("["))
+            && !a.test_mask[i]
+        {
+            let close = matching_close(tokens, i + 2);
+            for arg in &tokens[i + 3..close] {
+                if arg.kind == TokKind::Ident && REGISTRY.iter().any(|(name, _)| arg.text == *name)
+                {
+                    report.push(
+                        &a.file,
+                        "secret-hygiene",
+                        arg.line,
+                        format!(
+                            "secret type `{}` passed to `{}!`; secrets must not be formatted",
+                            arg.text, t.text
+                        ),
+                    );
+                }
+            }
+            i = close + 1;
+            continue;
+        }
+        i += 1;
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::source::SourceFile;
+    use std::path::PathBuf;
+
+    fn run(path: &str, src: &str) -> Report {
+        let a = Analyzed::new(SourceFile::from_text(PathBuf::from(path), src.to_string()));
+        let mut r = Report::default();
+        check(&[a], &mut r);
+        r
+    }
+
+    #[test]
+    fn derived_debug_and_missing_drop_flagged() {
+        let src = "#[derive(Debug, Clone)]\npub struct Keyring { keys: Vec<u8> }";
+        let r = run("crates/store/src/seal.rs", src);
+        let rules: Vec<_> = r.findings.iter().map(|f| f.message.clone()).collect();
+        assert_eq!(r.findings.len(), 2, "{rules:?}");
+    }
+
+    #[test]
+    fn manual_debug_plus_drop_is_clean() {
+        let src = "pub struct Keyring { keys: Vec<u8> }\n\
+                   impl core::fmt::Debug for Keyring { }\n\
+                   impl Drop for Keyring { fn drop(&mut self) { self.wipe(); } }";
+        let r = run("crates/store/src/seal.rs", src);
+        assert!(r.findings.is_empty(), "{:?}", r.findings);
+    }
+
+    #[test]
+    fn display_impl_flagged() {
+        let src = "pub struct DeviceKey;\nimpl Drop for DeviceKey {}\n\
+                   impl std::fmt::Display for DeviceKey {}";
+        let r = run("crates/store/src/seal.rs", src);
+        assert_eq!(r.findings.len(), 1);
+        assert!(r.findings[0].message.contains("Display"));
+    }
+
+    #[test]
+    fn format_macro_use_flagged_anywhere() {
+        let src = "fn f() { let s = format!(\"{:?}\", DeviceKey::load()); }";
+        let r = run("crates/cli/src/main.rs", src);
+        assert_eq!(r.findings.len(), 1);
+        assert!(r.findings[0].message.contains("DeviceKey"));
+    }
+
+    #[test]
+    fn format_in_tests_is_exempt() {
+        let src = "#[cfg(test)]\nmod t { fn f() { println!(\"{:?}\", DeviceKey::load()); } }";
+        let r = run("crates/cli/src/main.rs", src);
+        assert!(r.findings.is_empty());
+    }
+
+    #[test]
+    fn absent_defining_file_is_skipped() {
+        let r = run("crates/other/src/lib.rs", "fn f() {}");
+        assert!(r.findings.is_empty());
+        assert_eq!(r.stats.secret_types_checked, 0);
+    }
+}

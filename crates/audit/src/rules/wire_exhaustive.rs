@@ -1,0 +1,284 @@
+//! Rule `wire-exhaustiveness`: no wire enum variant lands untested.
+//!
+//! The wire surface (`Message` and the four request/response enums) is
+//! the contract between daemon, provider, and recovering clients. A
+//! variant added without a serialization roundtrip test can silently
+//! corrupt on the wire; one without a truncation/negative test can
+//! turn a short read into a panic or a mis-parse — and the enums have
+//! grown every PR. This rule parses the wire enums out of
+//! `crates/proto/src`, then requires every variant to be named (as
+//! `Enum::Variant`) under `crates/proto/tests` in both:
+//!
+//! * a **roundtrip** context — a test fn whose name contains
+//!   `roundtrip`, or a helper fn referenced by one;
+//! * a **negative** context — a test fn whose name contains
+//!   `truncat`, `negative`, or `reject`, or a helper referenced by
+//!   one.
+//!
+//! Helper attribution is one call level deep: the shared
+//! `sample_envelopes()` corpus counts for whichever test fns use it.
+
+use std::collections::{HashMap, HashSet};
+
+use crate::lexer::TokKind;
+use crate::rules::matching_close;
+use crate::{Analyzed, Report};
+
+/// The wire enums and their defining files.
+const WIRE_ENUMS: &[(&str, &str)] = &[
+    ("Message", "crates/proto/src/envelope.rs"),
+    ("HsmRequest", "crates/proto/src/api.rs"),
+    ("HsmResponse", "crates/proto/src/api.rs"),
+    ("ProviderRequest", "crates/proto/src/api.rs"),
+    ("ProviderResponse", "crates/proto/src/api.rs"),
+];
+
+/// Directory holding the proto integration tests.
+const TEST_DIR: &str = "crates/proto/tests/";
+
+/// Fn-name fragments classifying a test as roundtrip coverage.
+const ROUNDTRIP_HINTS: &[&str] = &["roundtrip"];
+
+/// Fn-name fragments classifying a test as negative coverage.
+const NEGATIVE_HINTS: &[&str] = &["truncat", "negative", "reject"];
+
+/// One located wire enum: name, defining file, and `(variant, line)`s.
+type LocatedEnum<'a> = (&'a str, &'a Analyzed, Vec<(String, usize)>);
+
+/// Runs the rule.
+pub fn check(files: &[Analyzed], report: &mut Report) {
+    // Parse every wire enum's variants out of its defining file.
+    let mut enums: Vec<LocatedEnum<'_>> = Vec::new();
+    for (name, def_file) in WIRE_ENUMS {
+        let Some(a) = files.iter().find(|a| a.file.path_str() == *def_file) else {
+            continue; // fixture tree without this file — skip
+        };
+        let variants = enum_variants(a, name);
+        if !variants.is_empty() {
+            report.stats.enums_checked += 1;
+            report.stats.variants_checked += variants.len();
+            enums.push((name, a, variants));
+        }
+    }
+    if enums.is_empty() {
+        return;
+    }
+
+    // Collect coverage from the proto test files.
+    let mut roundtrip: HashSet<(String, String)> = HashSet::new();
+    let mut negative: HashSet<(String, String)> = HashSet::new();
+    for a in files {
+        if !a.file.path_str().starts_with(TEST_DIR) {
+            continue;
+        }
+        collect_coverage(a, &mut roundtrip, &mut negative);
+    }
+
+    for (enum_name, a, variants) in enums {
+        for (variant, line) in variants {
+            let key = (enum_name.to_string(), variant.clone());
+            if !roundtrip.contains(&key) {
+                report.push(
+                    &a.file,
+                    "wire-exhaustiveness",
+                    line,
+                    format!(
+                        "`{enum_name}::{variant}` is not named in any roundtrip test under \
+                         {TEST_DIR}"
+                    ),
+                );
+            }
+            if !negative.contains(&key) {
+                report.push(
+                    &a.file,
+                    "wire-exhaustiveness",
+                    line,
+                    format!(
+                        "`{enum_name}::{variant}` is not named in any truncation/negative test \
+                         under {TEST_DIR}"
+                    ),
+                );
+            }
+        }
+    }
+}
+
+/// Parses the variant names (and lines) of `enum name { … }` in `a`.
+fn enum_variants(a: &Analyzed, name: &str) -> Vec<(String, usize)> {
+    let tokens = &a.file.lexed.tokens;
+    let mut out = Vec::new();
+    let Some(start) = tokens
+        .windows(2)
+        .position(|w| w[0].is_ident("enum") && w[1].is_ident(name))
+    else {
+        return out;
+    };
+    let mut i = start + 2;
+    while i < tokens.len() && !tokens[i].is_punct("{") {
+        i += 1;
+    }
+    if i >= tokens.len() {
+        return out;
+    }
+    let close = matching_close(tokens, i);
+    let mut j = i + 1;
+    while j < close {
+        // Skip variant attributes.
+        if tokens[j].is_punct("#") && j + 1 < close && tokens[j + 1].is_punct("[") {
+            j = matching_close(tokens, j + 1) + 1;
+            continue;
+        }
+        if tokens[j].kind == TokKind::Ident {
+            out.push((tokens[j].text.clone(), tokens[j].line));
+            // Skip the variant payload to the next `,` at this depth.
+            let mut depth = 0usize;
+            while j < close {
+                let t = &tokens[j];
+                if t.kind == TokKind::Punct {
+                    match t.text.as_str() {
+                        "(" | "[" | "{" => depth += 1,
+                        ")" | "]" | "}" => depth = depth.saturating_sub(1),
+                        "," if depth == 0 => break,
+                        _ => {}
+                    }
+                }
+                j += 1;
+            }
+        }
+        j += 1;
+    }
+    out
+}
+
+/// Gathers `(Enum, Variant)` pairs covered by this test file, with one
+/// level of helper-call attribution.
+fn collect_coverage(
+    a: &Analyzed,
+    roundtrip: &mut HashSet<(String, String)>,
+    negative: &mut HashSet<(String, String)>,
+) {
+    let tokens = &a.file.lexed.tokens;
+    let enum_names: Vec<&str> = WIRE_ENUMS.iter().map(|(n, _)| *n).collect();
+
+    // Per-fn: the Enum::Variant pairs it names, and every ident its
+    // body mentions (for helper attribution).
+    let mut fn_pairs: HashMap<&str, HashSet<(String, String)>> = HashMap::new();
+    let mut fn_mentions: HashMap<&str, HashSet<&str>> = HashMap::new();
+    for f in &a.fns {
+        let body = &tokens[f.body_open..=f.body_close.min(tokens.len() - 1)];
+        let mut pairs = HashSet::new();
+        for w in body.windows(3) {
+            if w[0].kind == TokKind::Ident
+                && enum_names.contains(&w[0].text.as_str())
+                && w[1].is_punct("::")
+                && w[2].kind == TokKind::Ident
+            {
+                pairs.insert((w[0].text.clone(), w[2].text.clone()));
+            }
+        }
+        fn_pairs.insert(&f.name, pairs);
+        fn_mentions.insert(
+            &f.name,
+            body.iter()
+                .filter(|t| t.kind == TokKind::Ident)
+                .map(|t| t.text.as_str())
+                .collect(),
+        );
+    }
+
+    let classify = |name: &str, hints: &[&str]| hints.iter().any(|h| name.contains(h));
+    for f in &a.fns {
+        let is_rt = classify(&f.name, ROUNDTRIP_HINTS);
+        let is_neg = classify(&f.name, NEGATIVE_HINTS);
+        if !is_rt && !is_neg {
+            continue;
+        }
+        // Own pairs plus pairs of every helper this test mentions.
+        let mut covered: HashSet<(String, String)> = fn_pairs[f.name.as_str()].clone();
+        for (helper, pairs) in &fn_pairs {
+            if *helper != f.name && fn_mentions[f.name.as_str()].contains(helper) {
+                covered.extend(pairs.iter().cloned());
+            }
+        }
+        if is_rt {
+            roundtrip.extend(covered.iter().cloned());
+        }
+        if is_neg {
+            negative.extend(covered.iter().cloned());
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::source::SourceFile;
+    use std::path::PathBuf;
+
+    fn analyzed(path: &str, src: &str) -> Analyzed {
+        Analyzed::new(SourceFile::from_text(PathBuf::from(path), src.to_string()))
+    }
+
+    const API: &str = "pub enum HsmRequest { Ping, Recover { idx: u8 } }";
+
+    #[test]
+    fn uncovered_variant_yields_two_findings() {
+        let api = analyzed("crates/proto/src/api.rs", API);
+        let mut r = Report::default();
+        check(&[api], &mut r);
+        // Ping and Recover each missing roundtrip + negative.
+        assert_eq!(r.findings.len(), 4);
+        assert_eq!(r.stats.variants_checked, 2);
+    }
+
+    #[test]
+    fn direct_coverage_in_both_classes_is_clean() {
+        let api = analyzed("crates/proto/src/api.rs", API);
+        let tests = analyzed(
+            "crates/proto/tests/roundtrip.rs",
+            "fn ping_roundtrip() { let _ = HsmRequest::Ping; let _ = HsmRequest::Recover { idx: 0 }; }\n\
+             fn ping_truncation_rejected() { let _ = HsmRequest::Ping; let _ = HsmRequest::Recover { idx: 0 }; }",
+        );
+        let mut r = Report::default();
+        check(&[api, tests], &mut r);
+        assert!(r.findings.is_empty(), "{:?}", r.findings);
+    }
+
+    #[test]
+    fn helper_attribution_is_one_level() {
+        let api = analyzed("crates/proto/src/api.rs", API);
+        let tests = analyzed(
+            "crates/proto/tests/roundtrip.rs",
+            "fn samples() -> Vec<HsmRequest> { vec![HsmRequest::Ping, HsmRequest::Recover { idx: 1 }] }\n\
+             fn everything_roundtrips() { for s in samples() {} }\n\
+             fn truncations_rejected() { for s in samples() {} }",
+        );
+        let mut r = Report::default();
+        check(&[api, tests], &mut r);
+        assert!(r.findings.is_empty(), "{:?}", r.findings);
+    }
+
+    #[test]
+    fn missing_negative_coverage_is_flagged() {
+        let api = analyzed("crates/proto/src/api.rs", API);
+        let tests = analyzed(
+            "crates/proto/tests/roundtrip.rs",
+            "fn all_roundtrip() { let _ = HsmRequest::Ping; let _ = HsmRequest::Recover { idx: 0 }; }",
+        );
+        let mut r = Report::default();
+        check(&[api, tests], &mut r);
+        assert_eq!(r.findings.len(), 2);
+        assert!(r.findings.iter().all(|f| f.message.contains("negative")));
+    }
+
+    #[test]
+    fn variant_attributes_and_payloads_are_skipped() {
+        let api = analyzed(
+            "crates/proto/src/envelope.rs",
+            "pub enum Message { #[allow(dead_code)] A(Vec<u8>), B { x: [u8; 4], y: Inner }, C }",
+        );
+        let mut r = Report::default();
+        check(&[api], &mut r);
+        assert_eq!(r.stats.variants_checked, 3);
+    }
+}

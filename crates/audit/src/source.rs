@@ -1,0 +1,206 @@
+//! Source-file loading, waiver parsing, and workspace traversal.
+//!
+//! A [`SourceFile`] is one lexed `.rs` file plus the audit waivers
+//! parsed out of its comments. A waiver is written inline as
+//!
+//! ```text
+//! // audit:allow(rule-id, other-rule) reason the violation is safe
+//! ```
+//!
+//! A waiver on its own line covers the *next* source line; a trailing
+//! waiver covers its *own* line. A waiver with no reason text, or one
+//! naming an unknown rule, is itself reported (rule `waiver-hygiene`)
+//! and suppresses nothing — the issue tracker's contract is that every
+//! shipped waiver carries a reason.
+
+use std::cell::Cell;
+use std::path::{Path, PathBuf};
+
+use crate::lexer::{self, Lexed};
+
+/// Directories never audited: third-party code, build output, and the
+/// auditor's own violation fixtures.
+const SKIP_DIRS: &[&str] = &[
+    "vendor",
+    "target",
+    "bench_out",
+    "fixtures",
+    ".git",
+    ".github",
+];
+
+/// One parsed `audit:allow` waiver.
+#[derive(Debug)]
+pub struct Waiver {
+    /// Rule ids listed inside `allow(…)`.
+    pub rules: Vec<String>,
+    /// Free-text justification after the closing paren.
+    pub reason: String,
+    /// 1-based line the waiver *covers* (the comment's own line for a
+    /// trailing comment, the following line otherwise).
+    pub covers_line: usize,
+    /// 1-based line the waiver comment itself sits on.
+    pub at_line: usize,
+    /// Set when some rule consulted the waiver and suppressed a
+    /// finding with it; unused waivers are reported as stale.
+    pub used: Cell<bool>,
+}
+
+/// One loaded, lexed source file.
+pub struct SourceFile {
+    /// Path relative to the audited root (stable across machines).
+    pub rel_path: PathBuf,
+    /// Raw file contents.
+    pub text: String,
+    /// Lexer output: tokens and comments.
+    pub lexed: Lexed,
+    /// Waivers parsed from the comments, in source order.
+    pub waivers: Vec<Waiver>,
+}
+
+impl SourceFile {
+    /// Loads and lexes one file. `rel_path` is how the file will be
+    /// named in findings.
+    pub fn load(abs: &Path, rel_path: PathBuf) -> std::io::Result<Self> {
+        let text = std::fs::read_to_string(abs)?;
+        Ok(Self::from_text(rel_path, text))
+    }
+
+    /// Builds a source file from in-memory text (used by unit tests).
+    pub fn from_text(rel_path: PathBuf, text: String) -> Self {
+        let lexed = lexer::lex(&text);
+        let waivers = parse_waivers(&lexed);
+        SourceFile {
+            rel_path,
+            text,
+            lexed,
+            waivers,
+        }
+    }
+
+    /// The findings path string for this file.
+    pub fn path_str(&self) -> String {
+        self.rel_path.display().to_string()
+    }
+
+    /// True when `rule` is waived for `line` by a well-formed waiver.
+    /// Marks the waiver used.
+    pub fn is_waived(&self, rule: &str, line: usize) -> bool {
+        for w in &self.waivers {
+            if w.covers_line == line && !w.reason.is_empty() && w.rules.iter().any(|r| r == rule) {
+                w.used.set(true);
+                return true;
+            }
+        }
+        false
+    }
+}
+
+/// Extracts `audit:allow(...)` waivers from lexed comments.
+fn parse_waivers(lexed: &Lexed) -> Vec<Waiver> {
+    let mut out = Vec::new();
+    for c in &lexed.comments {
+        let text = c.text.trim();
+        let Some(rest) = text.strip_prefix("audit:allow") else {
+            continue;
+        };
+        let rest = rest.trim_start();
+        let (rules, reason) = match rest.strip_prefix('(') {
+            Some(inner) => match inner.split_once(')') {
+                Some((list, reason)) => {
+                    let rules = list
+                        .split(',')
+                        .map(|r| r.trim().to_string())
+                        .filter(|r| !r.is_empty())
+                        .collect();
+                    (rules, reason.trim().to_string())
+                }
+                // `audit:allow(rule` with no close paren: keep the
+                // rule list, force an empty reason so hygiene trips.
+                None => (
+                    inner.split(',').map(|r| r.trim().to_string()).collect(),
+                    String::new(),
+                ),
+            },
+            // `audit:allow` with no parens at all.
+            None => (Vec::new(), String::new()),
+        };
+        out.push(Waiver {
+            rules,
+            reason,
+            covers_line: if c.trailing { c.line } else { c.line + 1 },
+            at_line: c.line,
+            used: Cell::new(false),
+        });
+    }
+    out
+}
+
+/// Recursively collects every first-party `.rs` file under `root`,
+/// skipping `SKIP_DIRS` (vendored code, build output, the auditor's
+/// own fixtures). Paths come back sorted for stable reports.
+pub fn collect_rs_files(root: &Path) -> std::io::Result<Vec<(PathBuf, PathBuf)>> {
+    let mut out = Vec::new();
+    walk(root, root, &mut out)?;
+    out.sort();
+    Ok(out.into_iter().map(|rel| (root.join(&rel), rel)).collect())
+}
+
+fn walk(root: &Path, dir: &Path, out: &mut Vec<PathBuf>) -> std::io::Result<()> {
+    for entry in std::fs::read_dir(dir)? {
+        let entry = entry?;
+        let path = entry.path();
+        let name = entry.file_name();
+        let name = name.to_string_lossy();
+        if path.is_dir() {
+            if SKIP_DIRS.contains(&name.as_ref()) || name.starts_with('.') {
+                continue;
+            }
+            walk(root, &path, out)?;
+        } else if name.ends_with(".rs") {
+            if let Ok(rel) = path.strip_prefix(root) {
+                out.push(rel.to_path_buf());
+            }
+        }
+    }
+    Ok(())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn file(src: &str) -> SourceFile {
+        SourceFile::from_text(PathBuf::from("x.rs"), src.to_string())
+    }
+
+    #[test]
+    fn own_line_waiver_covers_next_line() {
+        let f = file("// audit:allow(panic-path) constant index cannot panic\nlet x = a[0];\n");
+        assert!(f.is_waived("panic-path", 2));
+        assert!(!f.is_waived("panic-path", 1));
+        assert!(f.waivers[0].used.get());
+    }
+
+    #[test]
+    fn trailing_waiver_covers_its_own_line() {
+        let f = file("let x = a[0]; // audit:allow(panic-path) fixed-size array\n");
+        assert!(f.is_waived("panic-path", 1));
+    }
+
+    #[test]
+    fn waiver_without_reason_suppresses_nothing() {
+        let f = file("// audit:allow(panic-path)\nlet x = a[0];\n");
+        assert!(!f.is_waived("panic-path", 2));
+        assert_eq!(f.waivers.len(), 1);
+        assert!(f.waivers[0].reason.is_empty());
+    }
+
+    #[test]
+    fn multi_rule_waiver() {
+        let f = file("let x = k == z; // audit:allow(panic-path, constant-time) test shim\n");
+        assert!(f.is_waived("panic-path", 1));
+        assert!(f.is_waived("constant-time", 1));
+        assert!(!f.is_waived("secret-hygiene", 1));
+    }
+}

@@ -1,0 +1,198 @@
+//! End-to-end tests for the `safetypin-audit` binary: exit-code
+//! semantics over the fixture corpus, and the self-test that the real
+//! workspace audits clean under `--deny`.
+//!
+//! The fixtures under `tests/fixtures/` are miniature workspace trees
+//! mirroring the real layout (`crates/daemon/src/lib.rs`, …) so the
+//! binary's built-in scope configuration is exercised as-is.
+
+use std::path::{Path, PathBuf};
+use std::process::{Command, Output};
+
+fn bin() -> &'static str {
+    env!("CARGO_BIN_EXE_safetypin-audit")
+}
+
+fn fixture(name: &str) -> PathBuf {
+    Path::new(env!("CARGO_MANIFEST_DIR"))
+        .join("tests/fixtures")
+        .join(name)
+}
+
+fn workspace_root() -> PathBuf {
+    Path::new(env!("CARGO_MANIFEST_DIR"))
+        .ancestors()
+        .nth(2)
+        .expect("crates/audit has a grandparent")
+        .to_path_buf()
+}
+
+fn run(args: &[&str]) -> (Option<i32>, String, String) {
+    let Output {
+        status,
+        stdout,
+        stderr,
+    } = Command::new(bin())
+        .args(args)
+        .output()
+        .expect("spawn safetypin-audit");
+    (
+        status.code(),
+        String::from_utf8_lossy(&stdout).into_owned(),
+        String::from_utf8_lossy(&stderr).into_owned(),
+    )
+}
+
+fn audit_fixture(name: &str) -> (Option<i32>, String) {
+    let root = fixture(name);
+    let root = root.to_str().expect("fixture path is utf-8");
+    let (code, stdout, stderr) = run(&["--root", root, "--deny"]);
+    assert!(stderr.is_empty(), "unexpected stderr: {stderr}");
+    (code, stdout)
+}
+
+#[test]
+fn violation_fixtures_fail_under_deny() {
+    // (fixture, rule id expected in the report, expected finding count)
+    let cases = [
+        ("panic_violation", "panic-path", 4),
+        ("secret_violation", "secret-hygiene", 4),
+        ("ct_violation", "constant-time", 1),
+        ("wire_violation", "wire-exhaustiveness", 5),
+        ("codes_violation", "error-code-registry", 4),
+    ];
+    for (name, rule, count) in cases {
+        let (code, stdout) = audit_fixture(name);
+        assert_eq!(code, Some(1), "{name} should fail --deny:\n{stdout}");
+        assert!(
+            stdout.contains(&format!("[{rule}]")),
+            "{name} report should cite {rule}:\n{stdout}"
+        );
+        assert!(
+            stdout.contains(&format!("{count} finding(s)")),
+            "{name} should yield {count} finding(s):\n{stdout}"
+        );
+    }
+}
+
+#[test]
+fn clean_fixtures_pass_under_deny() {
+    for name in [
+        "panic_clean",
+        "secret_clean",
+        "ct_clean",
+        "wire_clean",
+        "codes_clean",
+    ] {
+        let (code, stdout) = audit_fixture(name);
+        assert_eq!(code, Some(0), "{name} should pass --deny:\n{stdout}");
+        assert!(stdout.contains("clean: no findings"), "{name}:\n{stdout}");
+    }
+}
+
+#[test]
+fn reasoned_waiver_suppresses_and_counts() {
+    let (code, stdout) = audit_fixture("waiver_accepted");
+    assert_eq!(code, Some(0), "{stdout}");
+    assert!(stdout.contains("1 waivers in use"), "{stdout}");
+    assert!(stdout.contains("clean: no findings"), "{stdout}");
+}
+
+#[test]
+fn malformed_waivers_are_findings_and_suppress_nothing() {
+    let (code, stdout) = audit_fixture("waiver_rejected");
+    assert_eq!(code, Some(1), "{stdout}");
+    // The reasonless waiver is reported and the finding it sat on
+    // still fires.
+    assert!(stdout.contains("waiver has no reason"), "{stdout}");
+    assert!(stdout.contains("[panic-path]"), "{stdout}");
+    // Unknown rule id and stale waiver are reported too.
+    assert!(stdout.contains("unknown rule"), "{stdout}");
+    assert!(stdout.contains("stale waiver"), "{stdout}");
+    assert!(stdout.contains("4 finding(s)"), "{stdout}");
+}
+
+#[test]
+fn rule_filter_restricts_the_pass() {
+    let root = fixture("panic_violation");
+    let root = root.to_str().expect("fixture path is utf-8");
+    // The panic fixture is dirty, but only under its own rule.
+    let (code, stdout, _) = run(&["--root", root, "--deny", "--rule", "secret-hygiene"]);
+    assert_eq!(code, Some(0), "{stdout}");
+    let (code, stdout, _) = run(&["--root", root, "--deny", "--rule", "panic-path"]);
+    assert_eq!(code, Some(1), "{stdout}");
+}
+
+/// Pulls the number following `"key": ` out of the JSON report.
+fn json_stat(json: &str, key: &str) -> usize {
+    let pat = format!("\"{key}\": ");
+    let at = json.find(&pat).unwrap_or_else(|| panic!("{key} in {json}"));
+    json[at + pat.len()..]
+        .chars()
+        .take_while(char::is_ascii_digit)
+        .collect::<String>()
+        .parse()
+        .expect("stat is a number")
+}
+
+#[test]
+fn real_workspace_audits_clean_with_deny() {
+    let root = workspace_root();
+    assert!(root.join("Cargo.toml").exists(), "bad root {root:?}");
+    let json_path =
+        std::env::temp_dir().join(format!("safetypin-audit-{}.json", std::process::id()));
+    let (code, stdout, stderr) = run(&[
+        "--root",
+        root.to_str().expect("workspace path is utf-8"),
+        "--deny",
+        "--json",
+        json_path.to_str().expect("temp path is utf-8"),
+    ]);
+    assert_eq!(
+        code,
+        Some(0),
+        "workspace must audit clean:\n{stdout}\n{stderr}"
+    );
+    assert!(stdout.contains("clean: no findings"), "{stdout}");
+
+    // The stats prove the pass saw what it claims to watch; a rule
+    // that silently stops matching (file moved, registry rotted)
+    // fails here instead of auditing nothing. Lower bounds, so adding
+    // code never breaks this test.
+    let json = std::fs::read_to_string(&json_path).expect("JSON artifact written");
+    let _ = std::fs::remove_file(&json_path);
+    assert!(json.contains("\"findings\": []"), "{json}");
+    assert!(json_stat(&json, "files_scanned") >= 100, "{json}");
+    assert!(json_stat(&json, "panic_scopes") >= 10, "{json}");
+    assert!(json_stat(&json, "secret_types_checked") >= 8, "{json}");
+    assert!(json_stat(&json, "enums_checked") >= 5, "{json}");
+    assert!(json_stat(&json, "variants_checked") >= 42, "{json}");
+    assert!(json_stat(&json, "error_codes") >= 26, "{json}");
+    assert!(json_stat(&json, "waivers_used") >= 1, "{json}");
+}
+
+#[test]
+fn usage_errors_exit_two() {
+    let (code, _, stderr) = run(&["--frobnicate"]);
+    assert_eq!(code, Some(2));
+    assert!(stderr.contains("unknown argument"), "{stderr}");
+    let (code, _, stderr) = run(&["--rule", "no-such-rule"]);
+    assert_eq!(code, Some(2));
+    assert!(stderr.contains("unknown rule"), "{stderr}");
+}
+
+#[test]
+fn list_rules_names_the_catalogue() {
+    let (code, stdout, _) = run(&["--list-rules"]);
+    assert_eq!(code, Some(0));
+    for rule in [
+        "panic-path",
+        "secret-hygiene",
+        "constant-time",
+        "wire-exhaustiveness",
+        "error-code-registry",
+        "waiver-hygiene",
+    ] {
+        assert!(stdout.contains(rule), "{stdout}");
+    }
+}

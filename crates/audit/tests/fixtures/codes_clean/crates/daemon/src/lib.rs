@@ -1,0 +1,12 @@
+//! Fixture: error codes referenced through the registry constants.
+
+pub fn reply_rate_limited() -> ErrorReply {
+    ErrorReply::new(codes::RATE_LIMITED, "slow down")
+}
+
+pub fn build_unknown_hsm() -> ErrorReply {
+    ErrorReply {
+        code: codes::UNKNOWN_HSM,
+        detail: String::new(),
+    }
+}

@@ -1,0 +1,21 @@
+//! Fixture: error codes re-spelled outside the registry.
+//!
+//! Expected findings: a `const` re-declaration, a bare numeric code in
+//! `ErrorReply::new`, a string re-spelling, and a bare `code:` field.
+
+const RATE_LIMITED: u16 = 34;
+
+pub fn reply_rate_limited() -> ErrorReply {
+    ErrorReply::new(34, "slow down")
+}
+
+pub fn is_rate_limit(name: &str) -> bool {
+    name == "RATE_LIMITED"
+}
+
+pub fn build_unknown_hsm() -> ErrorReply {
+    ErrorReply {
+        code: 2,
+        detail: String::new(),
+    }
+}

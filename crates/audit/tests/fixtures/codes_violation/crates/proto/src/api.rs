@@ -1,0 +1,11 @@
+//! Fixture: the error-code registry (rule `error-code-registry`).
+
+pub struct ErrorReply {
+    pub code: u16,
+    pub detail: String,
+}
+
+pub mod codes {
+    pub const RATE_LIMITED: u16 = 34;
+    pub const UNKNOWN_HSM: u16 = 2;
+}

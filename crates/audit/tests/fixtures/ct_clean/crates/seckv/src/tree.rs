@@ -1,0 +1,7 @@
+//! Fixture: constant-time comparison via `subtle` (rule `constant-time`).
+
+use subtle::ConstantTimeEq;
+
+pub fn slot_is_vacant(root_key: &[u8; 16], zero_key: &[u8; 16]) -> bool {
+    root_key.len() == zero_key.len() && bool::from(root_key.ct_eq(zero_key))
+}

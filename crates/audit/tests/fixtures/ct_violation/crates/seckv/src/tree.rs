@@ -1,0 +1,5 @@
+//! Fixture: short-circuiting secret comparison (rule `constant-time`).
+
+pub fn slot_is_vacant(root_key: &[u8; 16], zero_key: &[u8; 16]) -> bool {
+    root_key == zero_key
+}

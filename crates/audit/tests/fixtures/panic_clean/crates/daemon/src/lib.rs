@@ -1,0 +1,10 @@
+//! Fixture: serve-path code with typed errors only (rule `panic-path`).
+
+pub fn serve(frames: Vec<Vec<u8>>) -> Result<Vec<u8>, &'static str> {
+    let first = frames.first().ok_or("missing frame")?;
+    match first.first() {
+        Some(0) => Err("empty header"),
+        Some(_) => Ok(first.clone()),
+        None => Err("empty frame"),
+    }
+}

@@ -1,0 +1,12 @@
+//! Fixture: serve-path code that can panic (rule `panic-path`).
+//!
+//! Expected findings: `.unwrap()`, raw indexing, `panic!`, `.expect()`.
+
+pub fn serve(frames: Vec<Vec<u8>>) -> Vec<u8> {
+    let first = frames.first().unwrap().clone();
+    let header = first[0];
+    if header == 0 {
+        panic!("empty header");
+    }
+    frames.get(1).expect("second frame").clone()
+}

@@ -1,0 +1,20 @@
+//! Fixture: redacting `Debug`, wiping `Drop` (rule `secret-hygiene`).
+
+#[derive(Clone)]
+pub struct DeviceKey {
+    bytes: [u8; 16],
+}
+
+impl core::fmt::Debug for DeviceKey {
+    fn fmt(&self, f: &mut core::fmt::Formatter<'_>) -> core::fmt::Result {
+        write!(f, "DeviceKey(<redacted>)")
+    }
+}
+
+impl Drop for DeviceKey {
+    fn drop(&mut self) {
+        for b in self.bytes.iter_mut() {
+            *b = 0;
+        }
+    }
+}

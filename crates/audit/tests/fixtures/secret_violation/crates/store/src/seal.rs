@@ -1,0 +1,19 @@
+//! Fixture: secret type leaking everywhere (rule `secret-hygiene`).
+//!
+//! Expected findings: derived `Debug`, `Display` impl, missing `Drop`,
+//! and the type fed to a `format!`-family macro.
+
+#[derive(Debug, Clone)]
+pub struct DeviceKey {
+    bytes: [u8; 16],
+}
+
+impl core::fmt::Display for DeviceKey {
+    fn fmt(&self, f: &mut core::fmt::Formatter<'_>) -> core::fmt::Result {
+        write!(f, "{:02x?}", self.bytes)
+    }
+}
+
+pub fn log_on_load(k: &DeviceKey) {
+    println!("loaded {:?} via {}", k, DeviceKey::origin());
+}

@@ -1,0 +1,6 @@
+//! Fixture: a reasoned waiver suppressing a true finding (waiver
+//! accept case — audits clean, one waiver in use).
+
+pub fn first_byte(frame: &[u8; 4]) -> u8 {
+    frame[0] // audit:allow(panic-path) fixed-size array, index 0 is always in bounds
+}

@@ -1,0 +1,18 @@
+//! Fixture: malformed and stale waivers (waiver reject cases).
+//!
+//! Expected findings: a reasonless waiver (which suppresses nothing,
+//! so the raw index is also reported), a waiver naming an unknown
+//! rule, and a stale waiver covering a clean line.
+
+pub fn first_byte(frame: &[u8; 4]) -> u8 {
+    // audit:allow(panic-path)
+    frame[0]
+}
+
+// audit:allow(made-up-rule) the rule id does not exist
+pub fn noop() {}
+
+pub fn checked(frame: &[u8; 4]) -> u8 {
+    // audit:allow(panic-path) nothing on the covered line violates anything
+    frame.iter().copied().next().unwrap_or(0)
+}

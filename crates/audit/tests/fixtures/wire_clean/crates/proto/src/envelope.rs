@@ -1,0 +1,8 @@
+//! Fixture: wire enum fully covered through a shared helper corpus
+//! (rule `wire-exhaustiveness`).
+
+pub enum Message {
+    Hello(u16),
+    Data { bytes: Vec<u8> },
+    Bye,
+}

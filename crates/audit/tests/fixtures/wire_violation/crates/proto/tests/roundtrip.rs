@@ -1,0 +1,6 @@
+//! Fixture proto tests: cover only `Message::Hello`, roundtrip only.
+
+#[test]
+fn hello_roundtrip() {
+    let _ = Message::Hello(7);
+}

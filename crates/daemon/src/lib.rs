@@ -36,6 +36,9 @@
 //! [`codes::RATE_LIMITED`]: safetypin_proto::codes::RATE_LIMITED
 //! [`codes::SHUTTING_DOWN`]: safetypin_proto::codes::SHUTTING_DOWN
 
+// Serve-path panic discipline ([workspace.lints] + crates/audit):
+// unwrap/expect stay warnings in library code, allowed in tests.
+#![cfg_attr(test, allow(clippy::unwrap_used, clippy::expect_used))]
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
 

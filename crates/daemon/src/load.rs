@@ -169,7 +169,9 @@ pub fn run(opts: &LoadOptions) -> Result<LoadReport, RemoteError> {
             }));
         }
         for worker in workers {
-            worker.join().expect("save worker panicked")?;
+            worker
+                .join()
+                .map_err(|_| RemoteError::Protocol("save worker panicked"))??;
         }
         Ok(())
     })?;
@@ -206,7 +208,9 @@ pub fn run(opts: &LoadOptions) -> Result<LoadReport, RemoteError> {
             }));
         }
         for worker in workers {
-            worker.join().expect("recover worker panicked")?;
+            worker
+                .join()
+                .map_err(|_| RemoteError::Protocol("recover worker panicked"))??;
         }
         Ok(())
     })?;

@@ -17,6 +17,9 @@
 //! decrypt the share, verify the username inside the plaintext, and
 //! puncture before replying.
 
+// Serve-path panic discipline ([workspace.lints] + crates/audit):
+// unwrap/expect stay warnings in library code, allowed in tests.
+#![cfg_attr(test, allow(clippy::unwrap_used, clippy::expect_used))]
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
@@ -61,6 +64,8 @@ pub struct HsmConfig {
 
 impl HsmConfig {
     /// Test-scale defaults for a fleet of `total` HSMs.
+    // Constant parameters: `BfeParams::new(256, 4)` cannot fail.
+    #[allow(clippy::expect_used)]
     pub fn test_default(id: u64, total: u64) -> Self {
         Self {
             id,
@@ -317,7 +322,10 @@ impl Hsm {
                     // overtake punctures that logically precede it.
                     self.serve_recovery_segment(&mut segment, &mut responses, store, rng);
                     segment_slots.clear();
-                    responses[pos] = Some(self.handle_inner(other, store, rng));
+                    let reply = self.handle_inner(other, store, rng);
+                    if let Some(slot) = responses.get_mut(pos) {
+                        *slot = Some(reply);
+                    }
                 }
             }
         }
@@ -330,7 +338,14 @@ impl Hsm {
         store.flush();
         responses
             .into_iter()
-            .map(|r| r.expect("every request in the group is served"))
+            .map(|r| {
+                r.unwrap_or_else(|| {
+                    HsmResponse::Error(safetypin_proto::ErrorReply::new(
+                        safetypin_proto::codes::INTERNAL,
+                        "batch scheduler produced no reply for this request",
+                    ))
+                })
+            })
             .collect()
     }
 

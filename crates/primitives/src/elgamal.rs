@@ -114,6 +114,16 @@ impl core::fmt::Debug for SecretKey {
     }
 }
 
+impl Drop for SecretKey {
+    fn drop(&mut self) {
+        // The scalar type exposes no byte-level access, so the wipe
+        // overwrites it with zero (an invalid secret key — `from_bytes`
+        // rejects it) and fences so the store is not elided.
+        self.0 = Scalar::ZERO;
+        core::sync::atomic::compiler_fence(core::sync::atomic::Ordering::SeqCst);
+    }
+}
+
 impl SecretKey {
     /// Serializes the scalar as 32 big-endian bytes.
     ///

@@ -23,7 +23,9 @@
 //! (`p256`, `sha2`, `hmac`, `aes-gcm`); every protocol-level construction is
 //! implemented here from scratch.
 
-#![forbid(unsafe_code)]
+// `deny` rather than `forbid`: the `zeroize` module opts back in for
+// the volatile writes that wipe key material (the crate's only unsafe).
+#![deny(unsafe_code)]
 #![warn(missing_docs)]
 
 pub mod aead;
@@ -35,6 +37,7 @@ pub mod hashes;
 pub mod merkle;
 pub mod shamir;
 pub mod wire;
+pub mod zeroize;
 
 pub use error::CryptoError;
 

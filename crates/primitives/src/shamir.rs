@@ -19,12 +19,26 @@ use crate::{CryptoError, Result};
 
 /// One Shamir share: the evaluation point `index` (nonzero) and one byte of
 /// polynomial output per byte of the secret.
-#[derive(Debug, Clone, PartialEq, Eq)]
+#[derive(Clone, PartialEq, Eq)]
 pub struct Share {
     /// Evaluation point in [1, 255].
     pub index: u8,
     /// Polynomial evaluations, one per secret byte.
     pub data: Vec<u8>,
+}
+
+impl core::fmt::Debug for Share {
+    fn fmt(&self, f: &mut core::fmt::Formatter<'_>) -> core::fmt::Result {
+        // t-1 shares reveal nothing, but one logged share still shrinks
+        // the adversary's reconstruction threshold — redact the bytes.
+        write!(f, "Share {{ index: {}, data: <redacted> }}", self.index)
+    }
+}
+
+impl Drop for Share {
+    fn drop(&mut self) {
+        crate::zeroize::wipe_bytes(&mut self.data);
+    }
 }
 
 impl Encode for Share {

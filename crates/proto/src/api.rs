@@ -82,6 +82,9 @@ pub mod codes {
     /// traffic sent to a fleet-less endpoint, or a service-level
     /// request sent to a bare datacenter).
     pub const UNSUPPORTED: u16 = 37;
+    /// The service hit an internal fault (e.g. a fan-out worker died)
+    /// and could not produce a real reply for this request.
+    pub const INTERNAL: u16 = 38;
 }
 
 /// A wire-transportable refusal: a stable numeric code plus a

@@ -52,6 +52,9 @@
 //! [`WireError::InvalidTag`]: safetypin_primitives::error::WireError::InvalidTag
 //! [`WireError::UnsupportedVersion`]: safetypin_primitives::error::WireError::UnsupportedVersion
 
+// Serve-path panic discipline ([workspace.lints] + crates/audit):
+// unwrap/expect stay warnings in library code, allowed in tests.
+#![cfg_attr(test, allow(clippy::unwrap_used, clippy::expect_used))]
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
 

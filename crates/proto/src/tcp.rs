@@ -89,6 +89,7 @@ pub fn write_frame<W: Write>(w: &mut W, payload: &[u8]) -> Result<(), ProtoError
 fn read_full<R: Read>(r: &mut R, buf: &mut [u8]) -> Result<bool, ProtoError> {
     let mut filled = 0;
     while filled < buf.len() {
+        // audit:allow(panic-path) `filled < buf.len()` holds by the loop guard, so the range cannot panic
         match r.read(&mut buf[filled..]) {
             Ok(0) => {
                 if filled == 0 {
@@ -131,17 +132,17 @@ pub fn read_frame<R: Read>(r: &mut R, max: usize) -> Result<Option<Vec<u8>>, Pro
 }
 
 fn hello_bytes() -> [u8; 6] {
-    let mut hello = [0u8; 6];
-    hello[..4].copy_from_slice(&HANDSHAKE_MAGIC);
-    hello[4..].copy_from_slice(&PROTO_VERSION.to_be_bytes());
-    hello
+    let [m0, m1, m2, m3] = HANDSHAKE_MAGIC;
+    let [v0, v1] = PROTO_VERSION.to_be_bytes();
+    [m0, m1, m2, m3, v0, v1]
 }
 
 fn parse_hello(hello: &[u8; 6]) -> Result<u16, ProtoError> {
-    if hello[..4] != HANDSHAKE_MAGIC {
+    let [m0, m1, m2, m3, v0, v1] = *hello;
+    if [m0, m1, m2, m3] != HANDSHAKE_MAGIC {
         return Err(ProtoError::UnexpectedMessage("handshake magic mismatch"));
     }
-    Ok(u16::from_be_bytes([hello[4], hello[5]]))
+    Ok(u16::from_be_bytes([v0, v1]))
 }
 
 /// Runs the client side of the connection hello: send ours, read the

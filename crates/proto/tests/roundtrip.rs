@@ -4,6 +4,9 @@
 //! guarantees that make the envelope format safe to speak over a real
 //! link.
 
+// Test code: the serve-path unwrap/expect lints do not apply here.
+#![allow(clippy::unwrap_used, clippy::expect_used)]
+
 use proptest::prelude::*;
 use rand::rngs::StdRng;
 use rand::SeedableRng;

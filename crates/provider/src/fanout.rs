@@ -82,13 +82,13 @@ fn serve_single<S: BlockStore, R: RngCore + CryptoRng>(
     request: HsmRequest,
 ) -> HsmResponse {
     let idx = id as usize;
-    if idx >= hsms.len() {
-        return HsmResponse::Error(ErrorReply::new(
+    match (hsms.get_mut(idx), stores.get_mut(idx)) {
+        (Some(hsm), Some(store)) => hsm.handle(request, store, rng),
+        _ => HsmResponse::Error(ErrorReply::new(
             codes::UNKNOWN_HSM,
             format!("no HSM with id {id}"),
-        ));
+        )),
     }
-    hsms[idx].handle(request, &mut stores[idx], rng)
 }
 
 struct Job<'b, S> {
@@ -118,13 +118,17 @@ fn serve_batch<S: BlockStore + Send, R: RngCore + CryptoRng>(
     results.resize_with(n, || None);
 
     // Group per addressed HSM, preserving each HSM's request order.
+    // `ids[pos]` remembers every item's addressee so a position a dead
+    // worker never served can still be answered with a typed error.
+    let mut ids: Vec<u64> = Vec::with_capacity(n);
     let mut groups: std::collections::BTreeMap<u64, Vec<(usize, HsmRequest)>> =
         std::collections::BTreeMap::new();
     for (pos, (id, req)) in batch.into_iter().enumerate() {
+        ids.push(id);
         if (id as usize) < hsms.len() {
             groups.entry(id).or_default().push((pos, req));
-        } else {
-            results[pos] = Some((
+        } else if let Some(slot) = results.get_mut(pos) {
+            *slot = Some((
                 id,
                 HsmResponse::Error(ErrorReply::new(
                     codes::UNKNOWN_HSM,
@@ -142,14 +146,31 @@ fn serve_batch<S: BlockStore + Send, R: RngCore + CryptoRng>(
     for (id, items) in groups {
         let mut seed = [0u8; 32];
         rng.fill_bytes(&mut seed);
-        let (hsm, store) = devices[id as usize].take().expect("one group per id");
-        jobs.push(Job {
-            id,
-            hsm,
-            store,
-            seed,
-            items,
-        });
+        // Ids were bounds-checked above and BTreeMap keys are unique,
+        // so the device is always present; if that invariant ever
+        // breaks, the group gets typed errors instead of a panic.
+        match devices.get_mut(id as usize).and_then(Option::take) {
+            Some((hsm, store)) => jobs.push(Job {
+                id,
+                hsm,
+                store,
+                seed,
+                items,
+            }),
+            None => {
+                for (pos, _req) in items {
+                    if let Some(slot) = results.get_mut(pos) {
+                        *slot = Some((
+                            id,
+                            HsmResponse::Error(ErrorReply::new(
+                                codes::INTERNAL,
+                                format!("HSM {id} unavailable for this batch"),
+                            )),
+                        ));
+                    }
+                }
+            }
+        }
     }
 
     let workers = worker_count(jobs.len());
@@ -173,21 +194,34 @@ fn serve_batch<S: BlockStore + Send, R: RngCore + CryptoRng>(
                     })
                 })
                 .collect();
-            handles
-                .into_iter()
-                .map(|h| h.join().expect("HSM fan-out worker panicked"))
-                .collect()
+            // A panicked worker loses its chunk's replies; the
+            // positions it never filled become typed errors below
+            // instead of propagating the panic into the serve path.
+            handles.into_iter().filter_map(|h| h.join().ok()).collect()
         });
         for part in collected {
             served.extend(part);
         }
     }
     for (pos, id, resp) in served {
-        results[pos] = Some((id, resp));
+        if let Some(slot) = results.get_mut(pos) {
+            *slot = Some((id, resp));
+        }
     }
     results
         .into_iter()
-        .map(|r| r.expect("every batch item served"))
+        .enumerate()
+        .map(|(pos, r)| {
+            r.unwrap_or_else(|| {
+                (
+                    ids.get(pos).copied().unwrap_or(u64::MAX),
+                    HsmResponse::Error(ErrorReply::new(
+                        codes::INTERNAL,
+                        "fan-out worker failed before serving this request",
+                    )),
+                )
+            })
+        })
         .collect()
 }
 
@@ -210,11 +244,11 @@ struct GroupJob<'b, S> {
     requests: Vec<HsmRequest>,
 }
 
-fn error_group(id: u64, len: usize, detail: String) -> (u64, Vec<HsmResponse>) {
+fn error_group(code: u16, id: u64, len: usize, detail: String) -> (u64, Vec<HsmResponse>) {
     (
         id,
         (0..len)
-            .map(|_| HsmResponse::Error(ErrorReply::new(codes::UNKNOWN_HSM, detail.clone())))
+            .map(|_| HsmResponse::Error(ErrorReply::new(code, detail.clone())))
             .collect(),
     )
 }
@@ -241,14 +275,15 @@ fn serve_grouped<S: BlockStore + Send, R: RngCore + CryptoRng>(
     }
     staged.sort_by_key(|&(_, id, _)| id);
 
+    // `metas[pos]` remembers each group's addressee and size so a
+    // position a dead worker never served still gets typed errors.
+    let mut metas: Vec<(u64, usize)> = vec![(u64::MAX, 0); n];
     let mut jobs: Vec<GroupJob<'_, S>> = Vec::with_capacity(staged.len());
     for (pos, id, requests) in staged {
-        let device = if (id as usize) < devices.len() {
-            devices[id as usize].take()
-        } else {
-            None
-        };
-        match device {
+        if let Some(meta) = metas.get_mut(pos) {
+            *meta = (id, requests.len());
+        }
+        match devices.get_mut(id as usize).and_then(Option::take) {
             Some((hsm, store)) => {
                 let mut seed = [0u8; 32];
                 rng.fill_bytes(&mut seed);
@@ -262,11 +297,14 @@ fn serve_grouped<S: BlockStore + Send, R: RngCore + CryptoRng>(
                 });
             }
             None => {
-                results[pos] = Some(error_group(
-                    id,
-                    requests.len(),
-                    format!("no HSM with id {id} (or device addressed twice in one round)"),
-                ));
+                if let Some(slot) = results.get_mut(pos) {
+                    *slot = Some(error_group(
+                        codes::UNKNOWN_HSM,
+                        id,
+                        requests.len(),
+                        format!("no HSM with id {id} (or device addressed twice in one round)"),
+                    ));
+                }
             }
         }
     }
@@ -293,21 +331,33 @@ fn serve_grouped<S: BlockStore + Send, R: RngCore + CryptoRng>(
                     s.spawn(move || chunk.iter_mut().map(run_group_job).collect::<Vec<_>>())
                 })
                 .collect();
-            handles
-                .into_iter()
-                .map(|h| h.join().expect("grouped HSM fan-out worker panicked"))
-                .collect()
+            // A panicked worker loses its chunk's groups; the
+            // positions it never filled become typed errors below.
+            handles.into_iter().filter_map(|h| h.join().ok()).collect()
         });
         for part in collected {
             served.extend(part);
         }
     }
     for (pos, id, responses) in served {
-        results[pos] = Some((id, responses));
+        if let Some(slot) = results.get_mut(pos) {
+            *slot = Some((id, responses));
+        }
     }
     results
         .into_iter()
-        .map(|r| r.expect("every group served"))
+        .enumerate()
+        .map(|(pos, r)| {
+            r.unwrap_or_else(|| {
+                let (id, len) = metas.get(pos).copied().unwrap_or((u64::MAX, 0));
+                error_group(
+                    codes::INTERNAL,
+                    id,
+                    len,
+                    "fan-out worker failed before serving this group".to_string(),
+                )
+            })
+        })
         .collect()
 }
 
@@ -358,7 +408,12 @@ pub(crate) fn provision_fleet<R: RngCore + CryptoRng>(
                 .collect();
             handles
                 .into_iter()
-                .flat_map(|h| h.join().expect("provisioning worker panicked"))
+                .flat_map(|h| match h.join() {
+                    Ok(results) => results,
+                    // A dead worker provisions nothing; surface it as
+                    // a fail-stop instead of propagating the panic.
+                    Err(_) => vec![Err(HsmError::Unavailable)],
+                })
                 .collect()
         })
     };
@@ -399,7 +454,8 @@ pub(crate) fn register_fleet_parallel(
             .collect();
         handles
             .into_iter()
-            .map(|h| h.join().expect("registration worker panicked"))
+            // A dead worker registered nothing; fail-stop, not panic.
+            .map(|h| h.join().unwrap_or(Err(HsmError::Unavailable)))
             .collect()
     });
     outcomes.into_iter().collect()

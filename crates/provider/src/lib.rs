@@ -27,6 +27,9 @@
 //! both roles — the honest orchestrator and the cheating provider the
 //! HSMs must catch.
 
+// Serve-path panic discipline ([workspace.lints] + crates/audit):
+// unwrap/expect stay warnings in library code, allowed in tests.
+#![cfg_attr(test, allow(clippy::unwrap_used, clippy::expect_used))]
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
@@ -358,10 +361,14 @@ impl<S: BlockStore + Send> Datacenter<S> {
                 message.chunk_count,
                 hsm.audits_per_epoch(),
             ));
-            let packages: Vec<_> = chunks
-                .iter()
-                .map(|&c| update.audit_package(c).expect("chunk in range"))
-                .collect();
+            let mut packages = Vec::with_capacity(chunks.len());
+            for &c in &chunks {
+                packages.push(
+                    update
+                        .audit_package(c)
+                        .map_err(|_| ProviderError::EpochFailed("audit chunk out of range"))?,
+                );
+            }
             audit_bytes += packages.iter().map(|p| p.proof_bytes() as u64).sum::<u64>();
             audit_batch.push((
                 hsm.id(),
@@ -1049,7 +1056,9 @@ impl<S: SnapshotBlocks + Send> Datacenter<S> {
         };
         keyring.save(&keyring_path)?;
         for (hsm, store) in self.hsms.iter().zip(self.stores.iter_mut()) {
-            let key = keyring.device(hsm.id()).expect("keyring covers fleet");
+            let key = keyring
+                .device(hsm.id())
+                .ok_or(StoreError::Inconsistent("keyring does not cover the fleet"))?;
             hsm.persist(dir, key, rng)?;
             store.checkpoint_into(&blocks_dir(dir, hsm.id()), opts)?;
         }
@@ -1125,7 +1134,9 @@ impl Datacenter<FileStore> {
         let mut hsms = Vec::with_capacity(meta.fleet_size as usize);
         let mut stores = Vec::with_capacity(meta.fleet_size as usize);
         for id in 0..meta.fleet_size {
-            let key = keyring.device(id).expect("bounds checked above");
+            let key = keyring
+                .device(id)
+                .ok_or(StoreError::Inconsistent("keyring does not cover the fleet"))?;
             hsms.push(Hsm::restore_from(dir, id, key)?);
             stores.push(FileStore::open(blocks_dir(dir, id), opts)?);
         }

@@ -116,6 +116,21 @@ impl core::fmt::Debug for ArrayState {
     }
 }
 
+impl ArrayState {
+    /// Volatile-wipes the root key held in this snapshot.
+    pub fn wipe(&mut self) {
+        safetypin_primitives::zeroize::wipe_array(&mut self.root_key);
+    }
+}
+
+impl Drop for ArrayState {
+    fn drop(&mut self) {
+        // As sensitive as HSM flash (see the type docs): wipe the root
+        // key so a dropped snapshot leaves no key bytes behind.
+        self.wipe();
+    }
+}
+
 impl Encode for ArrayState {
     fn encode(&self, w: &mut Writer) {
         w.put_fixed(&self.root_key);
@@ -185,6 +200,13 @@ fn split_pair(pt: &[u8]) -> Result<(AeadKey, AeadKey)> {
 }
 
 impl SecureArray {
+    /// Volatile-wipes the root key, leaving the handle unable to read
+    /// (or further delete from) the outsourced array. Used by owners of
+    /// secret-key handles to wipe on drop.
+    pub fn wipe_root_key(&mut self) {
+        self.root_key.wipe();
+    }
+
     /// Encrypts `data` into `store` and returns the array handle holding
     /// only the root key (`Setup` in Appendix C).
     ///
@@ -351,7 +373,7 @@ impl SecureArray {
         self.check_index(i)?;
         // A zeroed root key marks a fully-deleted single-item array (the
         // height-0 case of `delete`).
-        if self.root_key.as_bytes() == &ZERO_KEY {
+        if self.root_key.is_zero() {
             return Err(StorageError::Deleted(i));
         }
         let leaf_addr = (1u64 << self.height) + i;
@@ -363,7 +385,7 @@ impl SecureArray {
             let (left, right) = split_pair(&pt).map_err(|_| StorageError::AuthFailure(addr))?;
             let bit = (i >> (level - 1)) & 1;
             key = if bit == 0 { left } else { right };
-            if key.as_bytes() == &ZERO_KEY {
+            if key.is_zero() {
                 return Err(StorageError::Deleted(i));
             }
         }
@@ -426,7 +448,7 @@ impl SecureArray {
         let mut nodes: std::collections::BTreeMap<u64, Node> = std::collections::BTreeMap::new();
         for &addr in &needed {
             let key = if addr == 1 {
-                if self.root_key.as_bytes() == &ZERO_KEY {
+                if self.root_key.is_zero() {
                     nodes.insert(addr, Node::DeletedSubtree);
                     continue;
                 }
@@ -435,7 +457,7 @@ impl SecureArray {
                 match nodes.get(&(addr >> 1)).expect("parent decrypted first") {
                     Node::Pair(left, right) => {
                         let key = if addr & 1 == 0 { left } else { right }.clone();
-                        if key.as_bytes() == &ZERO_KEY {
+                        if key.is_zero() {
                             nodes.insert(addr, Node::DeletedSubtree);
                             continue;
                         }
@@ -473,7 +495,7 @@ impl SecureArray {
                 Node::Failed(e) => Err(e.clone()),
                 Node::Pair(left, right) => {
                     let key = if leaf_addr & 1 == 0 { left } else { right };
-                    if key.as_bytes() == &ZERO_KEY {
+                    if key.is_zero() {
                         Err(StorageError::Deleted(i))
                     } else if let Some(cached) = leaves.get(&leaf_addr) {
                         cached.clone()

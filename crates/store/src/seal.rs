@@ -35,6 +35,14 @@ impl core::fmt::Debug for DeviceKey {
     }
 }
 
+impl Drop for DeviceKey {
+    fn drop(&mut self) {
+        // The contained `AeadKey` wipes itself too; this impl keeps the
+        // wipe-on-drop contract visible on the registered type.
+        self.key.wipe();
+    }
+}
+
 impl DeviceKey {
     /// Samples a fresh device key.
     pub fn random<R: RngCore + CryptoRng>(rng: &mut R) -> Self {
@@ -88,9 +96,25 @@ pub fn seal_domain(component: &str, device_id: u64) -> Vec<u8> {
 ///
 /// Serialized to its own file, standing in for on-chip flash — see the
 /// module docs for why it must live apart from the snapshot proper.
-#[derive(Debug, Clone, Default)]
+#[derive(Clone, Default)]
 pub struct Keyring {
     keys: Vec<DeviceKey>,
+}
+
+impl core::fmt::Debug for Keyring {
+    fn fmt(&self, f: &mut core::fmt::Formatter<'_>) -> core::fmt::Result {
+        write!(f, "Keyring({} keys, <redacted>)", self.keys.len())
+    }
+}
+
+impl Drop for Keyring {
+    fn drop(&mut self) {
+        // Stands in for on-chip flash (see module docs): wipe every
+        // device key before the backing memory is freed.
+        for key in &mut self.keys {
+            key.key.wipe();
+        }
+    }
 }
 
 impl Keyring {
