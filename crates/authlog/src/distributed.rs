@@ -154,6 +154,43 @@ impl EpochUpdate {
         })
     }
 
+    /// Builds the update from a certified cut — the boundary digests the
+    /// log recorded as entries arrived
+    /// ([`Log::cut_epoch_certified`](crate::log::Log::cut_epoch_certified))
+    /// — without replaying any chunk. The result is byte-identical to
+    /// [`build`](Self::build) on the same cut; only the provider's cost
+    /// changes, from O(insertions × path length) re-hashing to O(chunks).
+    ///
+    /// HSM-side auditing is untouched: every chunk is still replayed and
+    /// checked against `R` by its auditors before anyone signs.
+    pub fn from_certified(
+        cut: &EpochCut,
+        chunk_digests: Vec<Hash256>,
+    ) -> Result<Self, AuditError> {
+        if chunk_digests.len() != cut.chunk_proofs.len()
+            || chunk_digests.last().copied().unwrap_or(cut.old_digest) != cut.new_digest
+        {
+            return Err(AuditError::BrokenChain);
+        }
+        let leaves: Vec<Vec<u8>> = chunk_digests
+            .iter()
+            .enumerate()
+            .map(|(i, d)| chunk_leaf(i as u32, d))
+            .collect();
+        let tree = MerkleTree::build(&leaves);
+        Ok(Self {
+            message: UpdateMessage {
+                old_digest: cut.old_digest,
+                new_digest: cut.new_digest,
+                root: tree.root(),
+                chunk_count: cut.chunk_proofs.len() as u32,
+            },
+            chunk_digests,
+            chunk_proofs: cut.chunk_proofs.clone(),
+            tree,
+        })
+    }
+
     /// The message HSMs sign.
     pub fn message(&self) -> UpdateMessage {
         self.message
@@ -485,6 +522,55 @@ mod tests {
                 assert!(verify_chunk(&msg, &audit).is_err());
             }
         }
+    }
+
+    #[test]
+    fn certified_update_identical_to_replayed_build() {
+        // The streaming construction (boundary digests recorded at insert
+        // time) and the replaying construction commit to the same chain.
+        let mut log = Log::new();
+        for i in 0..10 {
+            log.insert(format!("pre-{i}").as_bytes(), b"v").unwrap();
+        }
+        let _ = log.cut_epoch(4);
+        log.insert(b"solo", b"v").unwrap();
+        let items: Vec<(Vec<u8>, Vec<u8>)> = (0..23)
+            .map(|i| (format!("wave-{i}").into_bytes(), b"v".to_vec()))
+            .collect();
+        log.insert_many(&items).iter().for_each(|r| {
+            r.as_ref().unwrap();
+        });
+        let (cut, digests) = log.cut_epoch_certified(4);
+        let streamed = EpochUpdate::from_certified(&cut, digests).unwrap();
+        let replayed = EpochUpdate::build(&cut).unwrap();
+        assert_eq!(streamed.message(), replayed.message());
+        assert_eq!(streamed.chunk_digests, replayed.chunk_digests);
+        for chunk in 0..4 {
+            let a = streamed.audit_package(chunk).unwrap();
+            let b = replayed.audit_package(chunk).unwrap();
+            assert_eq!(a, b);
+            verify_chunk(&streamed.message(), &a).unwrap();
+        }
+    }
+
+    #[test]
+    fn certified_update_rejects_broken_chain() {
+        let (_, cut) = populated_cut(5, 8, 4);
+        let good = EpochUpdate::build(&cut).unwrap().chunk_digests;
+        let mut bad = good.clone();
+        bad.pop();
+        assert!(matches!(
+            EpochUpdate::from_certified(&cut, bad),
+            Err(AuditError::BrokenChain)
+        ));
+        let mut tampered = good;
+        if let Some(last) = tampered.last_mut() {
+            last[0] ^= 1;
+        }
+        assert!(matches!(
+            EpochUpdate::from_certified(&cut, tampered),
+            Err(AuditError::BrokenChain)
+        ));
     }
 
     #[test]

@@ -84,6 +84,12 @@ pub struct Log {
     last_epoch_digest: Option<Hash256>,
     /// Completed garbage collections.
     generation: u64,
+    /// `(pending position, digest at that position)` marks recorded as
+    /// insertions arrive — one per step for serial inserts (the root hash
+    /// is cached, so a mark is free), one per wave for batched inserts.
+    /// Epoch cuts snap chunk boundaries to these marks, so certifying an
+    /// epoch never replays the pending steps.
+    marks: Vec<(usize, Hash256)>,
 }
 
 impl Log {
@@ -95,6 +101,7 @@ impl Log {
             pending: Vec::new(),
             last_epoch_digest: Some(MerkleTrie::empty_digest()),
             generation: 0,
+            marks: Vec::new(),
         }
     }
 
@@ -147,7 +154,47 @@ impl Log {
             value: value.to_vec(),
         });
         self.pending.push(step);
+        self.marks.push((self.pending.len(), self.digest()));
         Ok(())
+    }
+
+    /// Inserts a wave of `(id, value)` pairs through
+    /// [`MerkleTrie::insert_batch`], sharing root-to-leaf hashing across
+    /// the wave. Per-item outcomes are returned in caller order; the final
+    /// digest is byte-identical to inserting the wave's successful items
+    /// one at a time (the digest is a function of the entry *set*).
+    ///
+    /// Entries and pending steps are recorded in the batch's application
+    /// (path) order, so a snapshot replay reproduces the identical log.
+    pub fn insert_many(&mut self, items: &[(Vec<u8>, Vec<u8>)]) -> Vec<Result<(), LogError>> {
+        let batch = self.trie.insert_batch(items);
+        let mut results: Vec<Option<Result<InsertStep, TrieError>>> =
+            batch.results.into_iter().map(Some).collect();
+        let mut out: Vec<Result<(), LogError>> = results
+            .iter()
+            .map(|r| match r {
+                Some(Ok(_)) | None => Ok(()),
+                Some(Err(e)) => Err(e.clone().into()),
+            })
+            .collect();
+        for &i in &batch.order {
+            match results[i].take() {
+                Some(Ok(step)) => {
+                    self.entries.push(LogEntry {
+                        id: step.id.clone(),
+                        value: step.value.clone(),
+                    });
+                    self.pending.push(step);
+                }
+                // `order` only lists successes; a mismatch means the trie
+                // and the log disagree, so surface it to the caller.
+                _ => out[i] = Err(LogError::Trie(TrieError::InvalidProof)),
+            }
+        }
+        if !batch.order.is_empty() {
+            self.marks.push((self.pending.len(), self.digest()));
+        }
+        out
     }
 
     /// `ProveIncludes`: inclusion proof for `(id, value)` against the
@@ -164,28 +211,73 @@ impl Log {
     /// [`crate::distributed`] commits to the per-chunk intermediate digests
     /// and hands audited chunks to HSMs.
     pub fn cut_epoch(&mut self, chunks: usize) -> EpochCut {
+        self.cut_epoch_certified(chunks).0
+    }
+
+    /// [`cut_epoch`](Self::cut_epoch), also returning the post-chunk
+    /// boundary digests `d_1 … d_K` (`d_K = d'`) read off the digest marks
+    /// recorded at insert time — the provider can certify the epoch
+    /// ([`crate::distributed::EpochUpdate::from_certified`]) without
+    /// replaying a single pending step.
+    ///
+    /// Chunk boundaries are the ideal near-equal split snapped forward to
+    /// the nearest mark: identical to the equal split when every step has
+    /// a mark (serial inserts), wave-aligned after batched inserts.
+    pub fn cut_epoch_certified(&mut self, chunks: usize) -> (EpochCut, Vec<Hash256>) {
         let old = self
             .last_epoch_digest
             .unwrap_or_else(MerkleTrie::empty_digest);
         let new = self.digest();
         let steps = std::mem::take(&mut self.pending);
+        let marks = std::mem::take(&mut self.marks);
         let chunks = chunks.max(1);
         let per = steps.len().div_ceil(chunks).max(1);
-        let mut proofs: Vec<ExtensionProof> = steps
-            .chunks(per)
-            .map(|c| ExtensionProof { steps: c.to_vec() })
-            .collect();
-        // Pad with empty chunks so every epoch has exactly `chunks` chunks
-        // (empty chunks carry digests unchanged).
-        while proofs.len() < chunks {
-            proofs.push(ExtensionProof::default());
+        let digest_at = |pos: usize| -> Hash256 {
+            if pos == 0 {
+                return old;
+            }
+            if pos == steps.len() {
+                return new;
+            }
+            match marks.binary_search_by_key(&pos, |&(p, _)| p) {
+                Ok(i) => marks[i].1,
+                // Unreachable: boundaries are chosen from the marks.
+                Err(_) => new,
+            }
+        };
+        let mut proofs = Vec::with_capacity(chunks);
+        let mut digests = Vec::with_capacity(chunks);
+        let mut start = 0usize;
+        for k in 0..chunks {
+            let end = if k + 1 == chunks {
+                steps.len()
+            } else {
+                let target = ((k + 1) * per).min(steps.len());
+                // Snap forward to the first insert-time mark at or past
+                // the ideal boundary (monotone in `k`, so chunks never
+                // overlap).
+                marks
+                    .iter()
+                    .map(|&(p, _)| p)
+                    .find(|&p| p >= target)
+                    .unwrap_or(steps.len())
+                    .min(steps.len())
+            };
+            proofs.push(ExtensionProof {
+                steps: steps[start..end].to_vec(),
+            });
+            digests.push(digest_at(end));
+            start = end;
         }
         self.last_epoch_digest = Some(new);
-        EpochCut {
-            old_digest: old,
-            new_digest: new,
-            chunk_proofs: proofs,
-        }
+        (
+            EpochCut {
+                old_digest: old,
+                new_digest: new,
+                chunk_proofs: proofs,
+            },
+            digests,
+        )
     }
 
     /// Garbage collection (§6.2): archives the current entries and resets
@@ -195,6 +287,7 @@ impl Log {
         let archived = std::mem::take(&mut self.entries);
         self.trie = MerkleTrie::new();
         self.pending.clear();
+        self.marks.clear();
         self.last_epoch_digest = Some(MerkleTrie::empty_digest());
         self.generation += 1;
         archived
@@ -237,6 +330,7 @@ impl Log {
             if i + 1 == cut_at {
                 log.last_epoch_digest = Some(log.digest());
                 log.pending.clear();
+                log.marks.clear();
             }
         }
         Ok(log)
@@ -404,6 +498,127 @@ mod tests {
             b"v10",
             &proof
         ));
+    }
+
+    fn wave(from: usize, n: usize) -> Vec<(Vec<u8>, Vec<u8>)> {
+        (from..from + n)
+            .map(|i| {
+                (
+                    format!("w{i}").into_bytes(),
+                    format!("v{i}").into_bytes(),
+                )
+            })
+            .collect()
+    }
+
+    #[test]
+    fn insert_many_matches_sequential_digest() {
+        let items = wave(0, 25);
+        let mut batched = Log::new();
+        let out = batched.insert_many(&items);
+        assert!(out.iter().all(|r| r.is_ok()));
+        let mut seq = Log::new();
+        for (id, v) in &items {
+            seq.insert(id, v).unwrap();
+        }
+        assert_eq!(batched.digest(), seq.digest());
+        assert_eq!(batched.len(), seq.len());
+        // Inclusion proofs agree byte-for-byte: same entry set, same trie.
+        for (id, v) in &items {
+            assert_eq!(batched.prove_includes(id, v), seq.prove_includes(id, v));
+        }
+    }
+
+    #[test]
+    fn insert_many_reports_duplicates_in_caller_order() {
+        let mut log = Log::new();
+        log.insert(b"taken", b"v").unwrap();
+        let items = vec![
+            (b"taken".to_vec(), b"x".to_vec()),
+            (b"new".to_vec(), b"y".to_vec()),
+            (b"new".to_vec(), b"z".to_vec()),
+        ];
+        let out = log.insert_many(&items);
+        assert_eq!(out[0].as_ref().unwrap_err(), &LogError::DuplicateIdentifier);
+        assert!(out[1].is_ok());
+        assert_eq!(out[2].as_ref().unwrap_err(), &LogError::DuplicateIdentifier);
+        assert_eq!(log.len(), 2);
+        assert_eq!(log.get(b"new"), Some(b"y".as_slice()));
+    }
+
+    #[test]
+    fn insert_many_snapshot_roundtrip() {
+        let mut log = Log::new();
+        log.insert_many(&wave(0, 9)).iter().for_each(|r| {
+            r.as_ref().unwrap();
+        });
+        let _ = log.cut_epoch(3);
+        log.insert_many(&wave(9, 7)).iter().for_each(|r| {
+            r.as_ref().unwrap();
+        });
+        log.insert(b"tail", b"t").unwrap();
+        let restored = Log::from_snapshot(log.snapshot()).unwrap();
+        assert_eq!(restored.digest(), log.digest());
+        assert_eq!(restored.pending_count(), log.pending_count());
+        assert_eq!(restored.entries(), log.entries());
+        // The restored log cuts to the same chain endpoints.
+        let mut log = log;
+        let mut restored = restored;
+        let a = log.cut_epoch(4);
+        let b = restored.cut_epoch(4);
+        assert_eq!(a.old_digest, b.old_digest);
+        assert_eq!(a.new_digest, b.new_digest);
+    }
+
+    #[test]
+    fn certified_cut_serial_matches_plain_cut() {
+        // With serial inserts every position has a mark, so the certified
+        // cut's chunking is the ceil split — byte-identical to cut_epoch —
+        // and each boundary digest replays correctly.
+        let mut a = Log::new();
+        let mut b = Log::new();
+        for i in 0..17 {
+            a.insert(format!("u{i}").as_bytes(), b"v").unwrap();
+            b.insert(format!("u{i}").as_bytes(), b"v").unwrap();
+        }
+        let plain = a.cut_epoch(4);
+        let (cert, digests) = b.cut_epoch_certified(4);
+        assert_eq!(plain.old_digest, cert.old_digest);
+        assert_eq!(plain.new_digest, cert.new_digest);
+        assert_eq!(plain.chunk_proofs, cert.chunk_proofs);
+        assert_eq!(digests.len(), 4);
+        let mut d = cert.old_digest;
+        for (proof, boundary) in cert.chunk_proofs.iter().zip(&digests) {
+            d = proof.replay(&d).unwrap();
+            assert_eq!(&d, boundary);
+        }
+        assert_eq!(d, cert.new_digest);
+    }
+
+    #[test]
+    fn certified_cut_with_waves_replays() {
+        // Waves make the marks sparse: boundaries snap to wave edges, and
+        // the reported digests still match a full replay of each chunk.
+        let mut log = Log::new();
+        log.insert(b"solo-0", b"v").unwrap();
+        log.insert_many(&wave(0, 13)).iter().for_each(|r| {
+            r.as_ref().unwrap();
+        });
+        log.insert(b"solo-1", b"v").unwrap();
+        log.insert_many(&wave(13, 6)).iter().for_each(|r| {
+            r.as_ref().unwrap();
+        });
+        let (cut, digests) = log.cut_epoch_certified(5);
+        assert_eq!(cut.chunk_proofs.len(), 5);
+        assert_eq!(digests.len(), 5);
+        let total: usize = cut.chunk_proofs.iter().map(|p| p.steps.len()).sum();
+        assert_eq!(total, 21);
+        let mut d = cut.old_digest;
+        for (proof, boundary) in cut.chunk_proofs.iter().zip(&digests) {
+            d = proof.replay(&d).unwrap();
+            assert_eq!(&d, boundary);
+        }
+        assert_eq!(d, cut.new_digest);
     }
 
     #[test]

@@ -15,6 +15,11 @@
 //!    the epoch + batched cluster-recovery round that now serves
 //!    independent HSMs concurrently.
 //!
+//! Later sections extend the scorecard with cold-start restore (§4),
+//! the multi-user recovery throughput engine (§5), and the save-path
+//! throughput engine — save storms, streaming epoch certification, and
+//! mixed save/recover waves (§6).
+//!
 //! Every headline number is mirrored to `bench_out/BENCH_perf.json` so
 //! the repository's performance trajectory accumulates per commit.
 //!
@@ -47,6 +52,10 @@ struct Scale {
     storm_users: u64,
     /// Concurrency ladder for the `throughput` section (users per storm).
     throughput_users: &'static [u64],
+    /// Live insert stream length for the epoch-certification counter.
+    epoch_inserts: usize,
+    /// Chunk count for the epoch-certification counter.
+    epoch_chunks: usize,
 }
 
 fn scale() -> Scale {
@@ -60,6 +69,8 @@ fn scale() -> Scale {
             enc_iters: 50,
             storm_users: 6,
             throughput_users: &[1, 4, 8],
+            epoch_inserts: 256,
+            epoch_chunks: 8,
         }
     } else {
         Scale {
@@ -71,6 +82,8 @@ fn scale() -> Scale {
             enc_iters: 2_000,
             storm_users: 32,
             throughput_users: &[1, 8, 32, 128],
+            epoch_inserts: 2048,
+            epoch_chunks: 16,
         }
     }
 }
@@ -93,6 +106,7 @@ pub fn run() {
     parallel_fanout(&mut report, &scale);
     cold_start(&mut report, &scale);
     throughput(&mut report, &scale);
+    save_storm(&mut report, &scale);
     report.finish();
 }
 
@@ -588,8 +602,17 @@ fn throughput(report: &mut Report, scale: &Scale) {
     let mut user_counter = 0u64;
     let mut engine_hit_rate_last = 0.0f64;
     for &users in scale.throughput_users {
-        // Fresh users for this rung (tags stay distinct per world).
-        let names: Vec<String> = (0..users)
+        // A recovery consumes its log identifier, so repeated trials
+        // need fresh users. The single-user rung runs five trials per
+        // path and keeps the fastest: with the engine's single-user
+        // fast path the two code paths are identical, and min-of-5
+        // keeps a scheduler hiccup from reading as a regression.
+        // Trials interleave (serial 0, engine 0, serial 1, ...) so
+        // slow process drift — allocator state, page cache — lands on
+        // both paths instead of being booked against whichever path
+        // happens to run second.
+        let trials = if users == 1 { 5 } else { 1 };
+        let names: Vec<String> = (0..users * trials as u64)
             .map(|_| {
                 let name = format!("tp-user-{user_counter}");
                 user_counter += 1;
@@ -597,8 +620,8 @@ fn throughput(report: &mut Report, scale: &Scale) {
             })
             .collect();
 
-        // --- serial baseline: one epoch + one cluster round per user,
-        // one WAL commit per served request. ---
+        // Build both worlds' sessions up front so the timed regions
+        // hold nothing but recoveries.
         let mut rng_s = StdRng::seed_from_u64(0x7412 ^ users);
         let mut serial_sessions = Vec::with_capacity(names.len());
         for name in &names {
@@ -608,23 +631,6 @@ fn throughput(report: &mut Report, scale: &Scale) {
                 .unwrap();
             serial_sessions.push((client, artifact));
         }
-        let store_before = serial.datacenter.fleet_store_stats();
-        let _ = p256::take_op_counts();
-        let (_, serial_secs) = time_once(|| {
-            for (client, artifact) in &serial_sessions {
-                let outcome = serial
-                    .recover(client, b"314159", artifact, &mut rng_s)
-                    .unwrap();
-                assert_eq!(outcome.message, b"throughput payload");
-            }
-        });
-        let serial_ops = p256::take_op_counts();
-        let serial_store = serial.datacenter.fleet_store_stats();
-        let serial_fsyncs = serial_store.flushes - store_before.flushes;
-
-        // --- engine: one wave — one epoch, one envelope per HSM per
-        // direction, cross-user coalesced punctures, one group commit
-        // per device. ---
         let mut rng_e = StdRng::seed_from_u64(0x7412 ^ users);
         let mut engine_sessions = Vec::with_capacity(names.len());
         for name in &names {
@@ -634,38 +640,89 @@ fn throughput(report: &mut Report, scale: &Scale) {
                 .unwrap();
             engine_sessions.push((client, artifact));
         }
-        let store_before = engine.datacenter.fleet_store_stats();
-        let _ = p256::take_op_counts();
-        let (_, engine_secs) = time_once(|| {
-            let sessions: Vec<RecoverySession<'_>> = engine_sessions
-                .iter()
-                .map(|(client, artifact)| RecoverySession {
-                    client,
-                    pin: b"314159",
-                    artifact,
-                })
-                .collect();
-            for outcome in engine.recover_many(&sessions, RecoverManyOptions::default(), &mut rng_e)
-            {
-                assert_eq!(outcome.unwrap().message, b"throughput payload");
+
+        let serial_store_before = serial.datacenter.fleet_store_stats();
+        let engine_store_before = engine.datacenter.fleet_store_stats();
+        let mut serial_secs = f64::INFINITY;
+        let mut engine_secs = f64::INFINITY;
+        let mut serial_ops = p256::OpCounts::default();
+        let mut engine_ops = p256::OpCounts::default();
+        let wave = users as usize;
+        for trial in 0..trials {
+            // --- serial baseline: one epoch + one cluster round per
+            // user, one WAL commit per served request. ---
+            let chunk = &serial_sessions[trial * wave..][..wave];
+            let _ = p256::take_op_counts();
+            let (_, trial_secs) = time_once(|| {
+                for (client, artifact) in chunk {
+                    let outcome = serial
+                        .recover(client, b"314159", artifact, &mut rng_s)
+                        .unwrap();
+                    assert_eq!(outcome.message, b"throughput payload");
+                }
+            });
+            if trial == 0 {
+                serial_ops = p256::take_op_counts();
             }
-        });
-        let engine_ops = p256::take_op_counts();
+            serial_secs = serial_secs.min(trial_secs);
+
+            // --- engine: one wave — one epoch, one envelope per HSM
+            // per direction, cross-user coalesced punctures, one group
+            // commit per device. ---
+            let chunk = &engine_sessions[trial * wave..][..wave];
+            let _ = p256::take_op_counts();
+            let (_, trial_secs) = time_once(|| {
+                let sessions: Vec<RecoverySession<'_>> = chunk
+                    .iter()
+                    .map(|(client, artifact)| RecoverySession {
+                        client,
+                        pin: b"314159",
+                        artifact,
+                    })
+                    .collect();
+                for outcome in
+                    engine.recover_many(&sessions, RecoverManyOptions::default(), &mut rng_e)
+                {
+                    assert_eq!(outcome.unwrap().message, b"throughput payload");
+                }
+            });
+            if trial == 0 {
+                engine_ops = p256::take_op_counts();
+            }
+            engine_secs = engine_secs.min(trial_secs);
+        }
+        let serial_store = serial.datacenter.fleet_store_stats();
+        let serial_fsyncs = serial_store.flushes - serial_store_before.flushes;
         let engine_store = engine.datacenter.fleet_store_stats();
-        let engine_fsyncs = engine_store.flushes - store_before.flushes;
-        let hits = engine_store.cache_hits - store_before.cache_hits;
-        let misses = engine_store.cache_misses - store_before.cache_misses;
+        let engine_fsyncs = engine_store.flushes - engine_store_before.flushes;
+        let hits = engine_store.cache_hits - engine_store_before.cache_hits;
+        let misses = engine_store.cache_misses - engine_store_before.cache_misses;
         engine_hit_rate_last = hits as f64 / (hits + misses).max(1) as f64;
 
         let serial_rps = users as f64 / serial_secs;
         let engine_rps = users as f64 / engine_secs;
+        if users == 1 && std::env::var_os("PERF_QUICK").is_none() {
+            // Satellite acceptance: the single-session fast path makes
+            // recover_many degenerate to recover, so a lone user never
+            // pays for the batching machinery. The two timed paths are
+            // the same code, so the ratio is 1.0 up to timer noise —
+            // demand 1.0 at the report's two-decimal precision. The
+            // pre-fast-path overhead this pins against measured 0.95x,
+            // well outside the tolerance.
+            assert!(
+                engine_rps / serial_rps >= 0.995,
+                "single-user engine recovery regressed: {:.3}x",
+                engine_rps / serial_rps
+            );
+        }
+        let recoveries = (users * trials as u64) as f64;
         rows.push(vec![
             users.to_string(),
             format!("{serial_rps:.1}"),
             format!("{engine_rps:.1}"),
             format!("{:.2}x", engine_rps / serial_rps),
-            format!("{:.1}", serial_fsyncs as f64 / users as f64),
-            format!("{:.1}", engine_fsyncs as f64 / users as f64),
+            format!("{:.1}", serial_fsyncs as f64 / recoveries),
+            format!("{:.1}", engine_fsyncs as f64 / recoveries),
         ]);
         report.metric(&format!("throughput_serial_rps_{users}"), serial_rps);
         report.metric(&format!("throughput_engine_rps_{users}"), engine_rps);
@@ -675,11 +732,11 @@ fn throughput(report: &mut Report, scale: &Scale) {
         );
         report.metric(
             &format!("throughput_serial_fsyncs_per_recovery_{users}"),
-            serial_fsyncs as f64 / users as f64,
+            serial_fsyncs as f64 / recoveries,
         );
         report.metric(
             &format!("throughput_engine_fsyncs_per_recovery_{users}"),
-            engine_fsyncs as f64 / users as f64,
+            engine_fsyncs as f64 / recoveries,
         );
         report.metric(
             &format!("throughput_serial_naive_mults_{users}"),
@@ -719,4 +776,292 @@ fn throughput(report: &mut Report, scale: &Scale) {
     ));
     report.metric("throughput_engine_hit_rate", engine_hit_rate_last);
     let _ = std::fs::remove_dir_all(&base);
+}
+
+/// Part 6: the save-path throughput engine — provider-side saves/sec
+/// and fsyncs/save, serial `Datacenter::save` vs the `save_many` wave
+/// (one grouped enrollment round, one batched log insertion, one WAL
+/// group commit), the streaming epoch-certification hash counter, a
+/// mixed save/recover wave, and the serial ≡ engine digest pin on both
+/// the `Direct` and `Serialized` transports.
+fn save_storm(report: &mut Report, scale: &Scale) {
+    use safetypin::authlog::{EpochUpdate, Log};
+    use safetypin::primitives::hashes::take_hash_ops;
+    use safetypin::proto::{SaveRequest, Serialized, Transport};
+
+    let params = SystemParams::scaled(scale.fleet, scale.cluster, scale.slots).unwrap();
+    let base = std::env::temp_dir().join(format!("safetypin-perf-savestorm-{}", std::process::id()));
+    let _ = std::fs::remove_dir_all(&base);
+    let dir_serial = base.join("serial");
+    let dir_engine = base.join("engine");
+
+    // On-disk twins again (as in part 5): restoring re-attaches each
+    // datacenter's provider-log WAL, so flush counts are real commits.
+    let mut rng = StdRng::seed_from_u64(0x5a6e);
+    let mut fleet = Deployment::provision(params, &mut rng).unwrap();
+    let mut seal_rng = StdRng::seed_from_u64(0x5a6f);
+    fleet
+        .persist(&dir_serial, FileOptions::relaxed(), &mut seal_rng)
+        .unwrap();
+    fleet
+        .persist(&dir_engine, FileOptions::relaxed(), &mut seal_rng)
+        .unwrap();
+    drop(fleet);
+    let (mut serial, _) = Deployment::restore_from(&dir_serial, FileOptions::relaxed()).unwrap();
+    let (mut engine, _) = Deployment::restore_from(&dir_engine, FileOptions::relaxed()).unwrap();
+
+    report.section(
+        format!(
+            "6. save storm: provider-side save path, serial vs engine \
+             (N = {}, {}-slot keys, FileStore-backed, WAL-attached)",
+            scale.fleet, scale.slots
+        )
+        .as_str(),
+    );
+
+    // The blobs are opaque to the provider (phones produce them); fixed
+    // synthetic bytes keep the measurement about the save path itself.
+    let blob_for = |name: &str| format!("artifact-bytes-for-{name}").into_bytes();
+
+    let mut rows: Vec<Vec<String>> = Vec::new();
+    let mut user_counter = 0u64;
+    for &users in scale.throughput_users {
+        let waves: Vec<(Vec<u8>, Vec<u8>)> = (0..users)
+            .map(|_| {
+                let name = format!("sv-user-{user_counter}");
+                user_counter += 1;
+                (name.as_bytes().to_vec(), blob_for(&name))
+            })
+            .collect();
+
+        // --- serial baseline: one enrollment-refresh round, one log
+        // insertion, one WAL commit per save. ---
+        let fsyncs_before = serial.datacenter.log_wal_stats().map_or(0, |s| s.flushes);
+        let (_, serial_secs) = time_once(|| {
+            for (name, blob) in &waves {
+                serial.datacenter.save(name, blob).unwrap();
+            }
+        });
+        let serial_fsyncs =
+            serial.datacenter.log_wal_stats().map_or(0, |s| s.flushes) - fsyncs_before;
+
+        // --- engine: one grouped enrollment round, one batched trie
+        // insertion sharing root-to-leaf path work, one group commit. ---
+        let saves: Vec<SaveRequest> = waves
+            .iter()
+            .map(|(name, blob)| SaveRequest {
+                username: name.clone(),
+                blob: blob.clone(),
+            })
+            .collect();
+        let fsyncs_before = engine.datacenter.log_wal_stats().map_or(0, |s| s.flushes);
+        let (outcomes, engine_secs) = time_once(|| engine.datacenter.save_many(&saves).unwrap());
+        let engine_fsyncs =
+            engine.datacenter.log_wal_stats().map_or(0, |s| s.flushes) - fsyncs_before;
+        assert!(
+            outcomes.iter().all(|o| o.saved()),
+            "a save-wave user was refused"
+        );
+
+        // Same users, same blobs, two worlds: the log digests must
+        // agree byte for byte (the serial ≡ engine pin, Direct leg).
+        assert_eq!(
+            serial.datacenter.log_digest(),
+            engine.datacenter.log_digest(),
+            "serial and engine save paths diverged at {users} users"
+        );
+
+        let serial_sps = users as f64 / serial_secs.max(1e-9);
+        let engine_sps = users as f64 / engine_secs.max(1e-9);
+        rows.push(vec![
+            users.to_string(),
+            format!("{serial_sps:.0}"),
+            format!("{engine_sps:.0}"),
+            format!("{:.2}x", engine_sps / serial_sps),
+            format!("{:.2}", serial_fsyncs as f64 / users as f64),
+            format!("{:.2}", engine_fsyncs as f64 / users as f64),
+        ]);
+        report.metric(&format!("save_serial_sps_{users}"), serial_sps);
+        report.metric(&format!("save_engine_sps_{users}"), engine_sps);
+        report.metric(&format!("save_speedup_{users}"), engine_sps / serial_sps);
+        report.metric(
+            &format!("save_serial_fsyncs_per_save_{users}"),
+            serial_fsyncs as f64 / users as f64,
+        );
+        report.metric(
+            &format!("save_engine_fsyncs_per_save_{users}"),
+            engine_fsyncs as f64 / users as f64,
+        );
+    }
+    report.table(
+        &[
+            "users",
+            "serial saves/s",
+            "engine saves/s",
+            "speedup",
+            "fsync/save serial",
+            "fsync/save engine",
+        ],
+        &rows,
+    );
+    report.line(
+        "the engine amortizes one grouped enrollment round, one sorted batch \
+         trie insertion (each touched node hashed once per wave), and one \
+         WAL group commit across the wave; serial pays all three per save.",
+    );
+
+    // --- streaming epoch certification: cutting an epoch under a live
+    // insert stream. The baseline replays every chunk (O(insertions x
+    // path length) re-hashing); the certified cut reuses the digest
+    // marks the log recorded as entries arrived (O(chunks)). ---
+    let entry = |i: usize| {
+        (
+            format!("epoch-id-{i}").into_bytes(),
+            format!("epoch-value-{i}").into_bytes(),
+        )
+    };
+    let mut log_base = Log::new();
+    let mut log_eng = Log::new();
+    for i in 0..scale.epoch_inserts {
+        let (id, value) = entry(i);
+        log_base.insert(&id, &value).unwrap();
+        log_eng.insert(&id, &value).unwrap();
+    }
+    let _ = take_hash_ops();
+    let cut = log_base.cut_epoch(scale.epoch_chunks);
+    let baseline_update = EpochUpdate::build(&cut).unwrap();
+    let baseline_hashes = take_hash_ops();
+    let (cut, chunk_digests) = log_eng.cut_epoch_certified(scale.epoch_chunks);
+    let engine_update = EpochUpdate::from_certified(&cut, chunk_digests).unwrap();
+    let engine_hashes = take_hash_ops();
+    assert_eq!(
+        baseline_update.message(),
+        engine_update.message(),
+        "certified epoch cut diverged from the replaying baseline"
+    );
+    let per_insert_base = baseline_hashes as f64 / scale.epoch_inserts as f64;
+    let per_insert_eng = engine_hashes as f64 / scale.epoch_inserts as f64;
+    report.line(format!(
+        "epoch cut under a {}-insert stream ({} chunks): {} hashes replaying \
+         ({per_insert_base:.2}/insert) vs {} from certified marks \
+         ({per_insert_eng:.3}/insert), identical update message",
+        scale.epoch_inserts, scale.epoch_chunks, baseline_hashes, engine_hashes
+    ));
+    report.metric("epoch_cut_inserts", scale.epoch_inserts as f64);
+    report.metric("epoch_cut_hashes_per_insert_baseline", per_insert_base);
+    report.metric("epoch_cut_hashes_per_insert_engine", per_insert_eng);
+
+    // --- mixed save/recover: a wave of new enrollments lands while an
+    // equal wave of existing users recovers. ---
+    let mixed = scale.storm_users;
+    let mut rng_s = StdRng::seed_from_u64(0x3a1d);
+    let mut serial_sessions = Vec::with_capacity(mixed as usize);
+    let mut rng_e = StdRng::seed_from_u64(0x3a1d);
+    let mut engine_sessions = Vec::with_capacity(mixed as usize);
+    for i in 0..mixed {
+        let name = format!("mx-old-{i}");
+        let mut client = serial.new_client(name.as_bytes()).unwrap();
+        let artifact = client
+            .backup(b"314159", b"mixed payload", 0, &mut rng_s)
+            .unwrap();
+        serial_sessions.push((client, artifact));
+        let mut client = engine.new_client(name.as_bytes()).unwrap();
+        let artifact = client
+            .backup(b"314159", b"mixed payload", 0, &mut rng_e)
+            .unwrap();
+        engine_sessions.push((client, artifact));
+    }
+    let mixed_saves: Vec<(Vec<u8>, Vec<u8>)> = (0..mixed)
+        .map(|i| {
+            let name = format!("mx-new-{i}");
+            (name.as_bytes().to_vec(), blob_for(&name))
+        })
+        .collect();
+
+    let (_, mixed_serial_secs) = time_once(|| {
+        for ((name, blob), (client, artifact)) in mixed_saves.iter().zip(&serial_sessions) {
+            serial.datacenter.save(name, blob).unwrap();
+            let outcome = serial
+                .recover(client, b"314159", artifact, &mut rng_s)
+                .unwrap();
+            assert_eq!(outcome.message, b"mixed payload");
+        }
+    });
+    let (_, mixed_engine_secs) = time_once(|| {
+        let saves: Vec<SaveRequest> = mixed_saves
+            .iter()
+            .map(|(name, blob)| SaveRequest {
+                username: name.clone(),
+                blob: blob.clone(),
+            })
+            .collect();
+        let outcomes = engine.datacenter.save_many(&saves).unwrap();
+        assert!(outcomes.iter().all(|o| o.saved()));
+        let sessions: Vec<RecoverySession<'_>> = engine_sessions
+            .iter()
+            .map(|(client, artifact)| RecoverySession {
+                client,
+                pin: b"314159",
+                artifact,
+            })
+            .collect();
+        for outcome in engine.recover_many(&sessions, RecoverManyOptions::default(), &mut rng_e) {
+            assert_eq!(outcome.unwrap().message, b"mixed payload");
+        }
+    });
+    let ops = 2.0 * mixed as f64;
+    let mixed_serial_ops = ops / mixed_serial_secs.max(1e-9);
+    let mixed_engine_ops = ops / mixed_engine_secs.max(1e-9);
+    report.line(format!(
+        "mixed wave ({mixed} saves + {mixed} recoveries): {mixed_serial_ops:.1} ops/s \
+         interleaved serially vs {mixed_engine_ops:.1} ops/s as one save wave + one \
+         recovery wave ({:.2}x)",
+        mixed_engine_ops / mixed_serial_ops
+    ));
+    report.metric("mixed_users", mixed as f64);
+    report.metric("mixed_serial_ops_per_sec", mixed_serial_ops);
+    report.metric("mixed_engine_ops_per_sec", mixed_engine_ops);
+    report.metric("mixed_speedup", mixed_engine_ops / mixed_serial_ops);
+    let _ = std::fs::remove_dir_all(&base);
+
+    // --- the serial ≡ engine digest pin, Serialized leg: the on-disk
+    // twins above exercised `Direct`; the same wave through full-codec
+    // transports must land on the same bytes. ---
+    let small = SystemParams::test_small(6);
+    let mut digests = Vec::new();
+    for make in [
+        || Box::new(Direct::new()) as Box<dyn Transport>,
+        || Box::new(Serialized::cdc()) as Box<dyn Transport>,
+    ] {
+        let mut rng = StdRng::seed_from_u64(0xd16);
+        let mut ser = Deployment::provision_with_transport(small, make(), &mut rng).unwrap();
+        let mut rng = StdRng::seed_from_u64(0xd16);
+        let mut eng = Deployment::provision_with_transport(small, make(), &mut rng).unwrap();
+        let wave: Vec<SaveRequest> = (0..8)
+            .map(|i| SaveRequest {
+                username: format!("pin-user-{i}").into_bytes(),
+                blob: format!("pin-blob-{i}").into_bytes(),
+            })
+            .collect();
+        for save in &wave {
+            ser.datacenter.save(&save.username, &save.blob).unwrap();
+        }
+        let outcomes = eng.datacenter.save_many(&wave).unwrap();
+        assert!(outcomes.iter().all(|o| o.saved()));
+        assert_eq!(
+            ser.datacenter.log_digest(),
+            eng.datacenter.log_digest(),
+            "serial and engine diverged over {}",
+            ser.datacenter.transport_name()
+        );
+        digests.push(ser.datacenter.log_digest());
+    }
+    assert_eq!(
+        digests[0], digests[1],
+        "Direct and Serialized transports produced different log digests"
+    );
+    report.line(
+        "digest pin: the serial and engine save paths land on byte-identical \
+         log digests over both the Direct and Serialized transports.",
+    );
 }

@@ -14,8 +14,8 @@ use safetypin_client::{BackupArtifact, Client, ClientError, RecoveryAttempt};
 use safetypin_hsm::{HsmError, RecoveryPhases};
 use safetypin_primitives::CryptoError;
 use safetypin_proto::{
-    ProviderRequest, ProviderResponse, SnapshotMeta, StatusReport, Traffic, TrafficReply,
-    Transport, TransportStats,
+    ProviderRequest, ProviderResponse, SaveRequest, SnapshotMeta, StatusReport, Traffic,
+    TrafficReply, Transport, TransportStats,
 };
 use safetypin_provider::{Datacenter, ProviderError};
 use safetypin_seckv::{BlockStore, MemStore};
@@ -42,6 +42,9 @@ pub enum DeploymentError {
     /// The recovery attempt was refused (e.g., attempt already logged for
     /// this identifier — the PIN-guess limit).
     AttemptRefused,
+    /// The provider refused a save (e.g. the log rejected the save's
+    /// audit record).
+    SaveRefused(safetypin_proto::ErrorReply),
 }
 
 impl core::fmt::Display for DeploymentError {
@@ -53,6 +56,7 @@ impl core::fmt::Display for DeploymentError {
             DeploymentError::Params(e) => write!(f, "invalid parameters: {e}"),
             DeploymentError::Config(what) => write!(f, "builder misconfigured: {what}"),
             DeploymentError::AttemptRefused => write!(f, "recovery attempt refused"),
+            DeploymentError::SaveRefused(e) => write!(f, "save refused: {e}"),
         }
     }
 }
@@ -64,7 +68,9 @@ impl std::error::Error for DeploymentError {
             DeploymentError::Client(e) => Some(e),
             DeploymentError::Store(e) => Some(e),
             DeploymentError::Params(e) => Some(e),
-            DeploymentError::Config(_) | DeploymentError::AttemptRefused => None,
+            DeploymentError::Config(_)
+            | DeploymentError::AttemptRefused
+            | DeploymentError::SaveRefused(_) => None,
         }
     }
 }
@@ -362,6 +368,16 @@ impl DeploymentBuilder {
     }
 }
 
+/// One user's save job for [`Deployment::save_many`].
+pub struct SaveSession<'a> {
+    /// The saving username.
+    pub username: &'a [u8],
+    /// The PIN protecting the backup.
+    pub pin: &'a [u8],
+    /// The secret being backed up.
+    pub secret: &'a [u8],
+}
+
 /// One user's recovery job for [`Deployment::recover_many`].
 pub struct RecoverySession<'a> {
     /// The recovering client (must have downloaded the enrollments).
@@ -457,6 +473,97 @@ impl<S: BlockStore + Send> Deployment<S> {
         }
     }
 
+    /// Runs one user's full save flow: builds the client's backup
+    /// artifact (client-side work against the cached enrollment
+    /// records) and hands the encoded blob to the provider's serial
+    /// save path ([`Datacenter::save`]: one enrollment-refresh round,
+    /// one log insertion, one WAL commit). Returns the artifact so the
+    /// caller can later recover from it. This is the baseline
+    /// [`save_many`](Self::save_many) amortizes.
+    pub fn save<R: RngCore + CryptoRng>(
+        &mut self,
+        username: &[u8],
+        pin: &[u8],
+        secret: &[u8],
+        rng: &mut R,
+    ) -> Result<BackupArtifact, DeploymentError> {
+        let mut client = self.new_client(username)?;
+        let epoch = self.datacenter.update_history().len() as u64;
+        let artifact = client.backup(pin, secret, epoch, rng)?;
+        let blob = safetypin_client::remote::encode_artifact(&artifact);
+        self.datacenter.save(username, &blob)?;
+        Ok(artifact)
+    }
+
+    /// The save-path throughput engine: saves a whole wave of users
+    /// under **one** grouped enrollment-refresh round, **one** batched
+    /// log insertion, and **one** group-commit WAL flush
+    /// ([`Datacenter::save_many`]). Outcomes come back per user in
+    /// session order; one user's refusal never sinks the wave. Log
+    /// state and digests are byte-identical to saving the same users
+    /// sequentially through [`save`](Self::save).
+    pub fn save_many<R: RngCore + CryptoRng>(
+        &mut self,
+        sessions: &[SaveSession<'_>],
+        rng: &mut R,
+    ) -> Vec<Result<BackupArtifact, DeploymentError>> {
+        let epoch = self.datacenter.update_history().len() as u64;
+        let mut outcomes: Vec<Option<Result<BackupArtifact, DeploymentError>>> =
+            Vec::with_capacity(sessions.len());
+        outcomes.resize_with(sessions.len(), || None);
+
+        // Client-side: every artifact in the wave builds against the
+        // same cached enrollment snapshot.
+        let mut staged: Vec<(usize, BackupArtifact)> = Vec::with_capacity(sessions.len());
+        let mut saves: Vec<SaveRequest> = Vec::with_capacity(sessions.len());
+        for (idx, session) in sessions.iter().enumerate() {
+            let mut client = match self.new_client(session.username) {
+                Ok(client) => client,
+                Err(e) => {
+                    outcomes[idx] = Some(Err(e));
+                    continue;
+                }
+            };
+            match client.backup(session.pin, session.secret, epoch, rng) {
+                Ok(artifact) => {
+                    saves.push(SaveRequest {
+                        username: session.username.to_vec(),
+                        blob: safetypin_client::remote::encode_artifact(&artifact),
+                    });
+                    staged.push((idx, artifact));
+                }
+                Err(e) => outcomes[idx] = Some(Err(e.into())),
+            }
+        }
+
+        // Provider-side: the whole wave in one engine call.
+        match self.datacenter.save_many(&saves) {
+            Ok(results) => {
+                for ((idx, artifact), outcome) in staged.into_iter().zip(results) {
+                    outcomes[idx] = Some(match outcome.error {
+                        None => Ok(artifact),
+                        Some(e) => Err(DeploymentError::SaveRefused(e)),
+                    });
+                }
+            }
+            Err(e) => {
+                let shared: DeploymentError = e.into();
+                for (idx, _) in staged {
+                    outcomes[idx] = Some(Err(DeploymentError::SaveRefused(
+                        safetypin_proto::ErrorReply::new(
+                            safetypin_proto::codes::CORRUPTED,
+                            shared.to_string(),
+                        ),
+                    )));
+                }
+            }
+        }
+        outcomes
+            .into_iter()
+            .map(|o| o.expect("every session resolves to an outcome"))
+            .collect()
+    }
+
     /// Runs the full Figure 3 recovery flow: log the attempt, run a log
     /// epoch, fetch the inclusion proof, contact the cluster, reconstruct.
     ///
@@ -547,6 +654,13 @@ impl<S: BlockStore + Send> Deployment<S> {
         opts: RecoverManyOptions,
         rng: &mut R,
     ) -> Vec<Result<RecoveryOutcome, DeploymentError>> {
+        // Single-session fast path: the engine's grouped envelopes and
+        // slot bookkeeping only pay for themselves across users, so a
+        // lone session runs the serial recovery code — the engine is
+        // never slower than the baseline it replaces.
+        if let [session] = sessions {
+            return vec![self.recover(session.client, session.pin, session.artifact, rng)];
+        }
         let mut outcomes: Vec<Option<Result<RecoveryOutcome, DeploymentError>>> =
             Vec::with_capacity(sessions.len());
         outcomes.resize_with(sessions.len(), || None);

@@ -50,7 +50,7 @@ pub mod params;
 
 pub use deployment::{
     Deployment, DeploymentBuilder, DeploymentError, RecoverManyOptions, RecoveryOutcome,
-    RecoverySession,
+    RecoverySession, SaveSession,
 };
 pub use params::SystemParams;
 

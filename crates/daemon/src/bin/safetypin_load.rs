@@ -75,6 +75,12 @@ fn main() -> ExitCode {
         report.saves as f64 / report.save_secs.max(1e-9),
     );
     println!(
+        "saved {} backups in one SaveBatch wave in {:.2}s ({:.1}/s over the wire)",
+        report.wave_saves,
+        report.wave_save_secs,
+        report.wave_saves as f64 / report.wave_save_secs.max(1e-9),
+    );
+    println!(
         "recovered {} users solo in {:.2}s ({:.2}/s over the wire)",
         report.solo_recoveries,
         report.recover_secs,

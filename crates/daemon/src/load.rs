@@ -1,11 +1,16 @@
 //! The over-the-wire load generator.
 //!
 //! [`run`] drives a running `safetypind` through the full client
-//! protocol — no shortcuts through in-process state — in three phases:
+//! protocol — no shortcuts through in-process state — in four phases:
 //!
 //! 1. **save**: every user backs up a distinct secret under a distinct
 //!    PIN and uploads the artifact, fanned out over
 //!    [`LoadOptions::threads`] connections;
+//! 1b. **save storm**: a second population of the same size saves in
+//!    one [`ProviderRequest::SaveBatch`] frame — one grouped
+//!    enrollment refresh and one group-commit flush on the provider
+//!    log for the whole wave — measuring the save-path engine over
+//!    the socket against phase 1's serial rate;
 //! 2. **solo recover**: half the users run the individual Figure 3
 //!    recovery ([`remote::recover`]), again over concurrent
 //!    connections. The log-to-recover critical section is serialized
@@ -31,7 +36,9 @@ use safetypin::lhe::LheParams;
 use safetypin_client::remote::{self, RemoteError};
 use safetypin_client::{Client, ClientError};
 use safetypin_proto::tcp::{Tcp, TcpConfig};
-use safetypin_proto::{codes, ErrorReply, HsmResponse, ProviderRequest, ProviderResponse};
+use safetypin_proto::{
+    codes, ErrorReply, HsmResponse, ProviderRequest, ProviderResponse, SaveRequest,
+};
 
 /// Load-generator knobs.
 #[derive(Debug, Clone)]
@@ -71,6 +78,10 @@ pub struct LoadReport {
     pub saves: usize,
     /// Wall-clock seconds of the save phase.
     pub save_secs: f64,
+    /// Users saved by the one-frame save storm (phase 1b).
+    pub wave_saves: usize,
+    /// Wall-clock seconds of the save storm.
+    pub wave_save_secs: f64,
     /// Individual recoveries completed (phase 2).
     pub solo_recoveries: usize,
     /// Wall-clock seconds of the solo-recover phase.
@@ -94,6 +105,10 @@ impl LoadReport {
                 rate(self.saves, self.save_secs),
             ),
             (
+                "wire_batch_saves_per_sec".to_string(),
+                rate(self.wave_saves, self.wave_save_secs),
+            ),
+            (
                 "wire_recoveries_per_sec".to_string(),
                 rate(self.solo_recoveries, self.recover_secs),
             ),
@@ -107,6 +122,10 @@ impl LoadReport {
 
 fn username(i: usize) -> Vec<u8> {
     format!("load-user-{i}").into_bytes()
+}
+
+fn storm_username(i: usize) -> Vec<u8> {
+    format!("storm-user-{i}").into_bytes()
 }
 
 fn pin(i: usize) -> Vec<u8> {
@@ -176,6 +195,47 @@ pub fn run(opts: &LoadOptions) -> Result<LoadReport, RemoteError> {
         Ok(())
     })?;
     let save_secs = save_start.elapsed().as_secs_f64();
+
+    // Phase 1b: the save storm. A second population of the same size
+    // builds its artifacts client-side and uploads them as one
+    // SaveBatch frame — the save-path engine's one grouped enrollment
+    // refresh and one group-commit flush, measured over the socket
+    // against phase 1's one-round-trip-per-user rate.
+    let storm_start = Instant::now();
+    let mut storm_rng = StdRng::seed_from_u64(0x5AFE_0B01);
+    let mut saves = Vec::with_capacity(opts.users);
+    for i in 0..opts.users {
+        let name = storm_username(i);
+        let mut client = Client::new(&name, params, enrollments.clone())?;
+        let artifact = client.backup(&pin(i), &secret(i), 0, &mut storm_rng)?;
+        saves.push(SaveRequest {
+            username: name,
+            blob: remote::encode_artifact(&artifact),
+        });
+    }
+    let first_blob = saves.first().map(|s| s.blob.clone());
+    let outcomes = match tcp.call(ProviderRequest::SaveBatch(saves))? {
+        ProviderResponse::SavedBatch(outcomes) => outcomes,
+        ProviderResponse::Error(e) => return Err(refused(e)),
+        _ => return Err(RemoteError::Protocol("expected a SavedBatch reply")),
+    };
+    if outcomes.len() != opts.users {
+        return Err(RemoteError::Protocol("save wave reply has wrong user count"));
+    }
+    for outcome in outcomes {
+        if let Some(e) = outcome.error {
+            return Err(refused(e));
+        }
+    }
+    // The wave's writes are visible exactly like serial saves: read
+    // one back and compare bytes.
+    if let Some(first_blob) = first_blob {
+        let readback = remote::fetch_backup(&mut tcp, &storm_username(0))?;
+        if remote::encode_artifact(&readback) != first_blob {
+            return Err(RemoteError::Protocol("save wave stored wrong bytes"));
+        }
+    }
+    let wave_save_secs = storm_start.elapsed().as_secs_f64();
 
     // Phase 2: concurrent solo recoveries over the first half. The
     // lock serializes each user's log-insert → epoch → proof → recover
@@ -290,6 +350,8 @@ pub fn run(opts: &LoadOptions) -> Result<LoadReport, RemoteError> {
         users: opts.users,
         saves: opts.users,
         save_secs,
+        wave_saves: opts.users,
+        wave_save_secs,
         solo_recoveries: solo_count,
         recover_secs,
         wave_recoveries,

@@ -398,6 +398,91 @@ pub enum ProviderRequest {
     /// this with [`codes::UNSUPPORTED`]; `safetypind` acks it, stops
     /// accepting connections, and persists its fleet before exiting.
     Shutdown,
+    /// Store a **wave** of backup blobs in one request (the save-path
+    /// engine's transport leg): the provider batch-inserts every save's
+    /// audit record into the log, stores every blob, and makes the whole
+    /// wave durable under **one** group-commit flush. Decoding rejects
+    /// waves larger than [`MAX_SAVE_BATCH_USERS`] with a typed error.
+    SaveBatch(Vec<SaveRequest>),
+}
+
+/// One user's save inside a [`ProviderRequest::SaveBatch`] wave.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct SaveRequest {
+    /// The owning username.
+    pub username: Vec<u8>,
+    /// The opaque client-encoded backup artifact (same bytes a
+    /// [`ProviderRequest::PutBackup`] would carry).
+    pub blob: Vec<u8>,
+}
+
+impl Encode for SaveRequest {
+    fn encode(&self, w: &mut Writer) {
+        w.put_bytes(&self.username);
+        w.put_bytes(&self.blob);
+    }
+}
+
+impl Decode for SaveRequest {
+    fn decode(r: &mut Reader<'_>) -> core::result::Result<Self, WireError> {
+        Ok(Self {
+            username: r.get_bytes()?.to_vec(),
+            blob: r.get_bytes()?.to_vec(),
+        })
+    }
+}
+
+/// One user's outcome inside a [`ProviderResponse::SavedBatch`] reply.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct SaveOutcome {
+    /// The username this outcome is for (request order is preserved,
+    /// but the echo makes each outcome self-describing).
+    pub username: Vec<u8>,
+    /// `None` when the save is durably stored; the provider's refusal
+    /// otherwise.
+    pub error: Option<ErrorReply>,
+}
+
+impl SaveOutcome {
+    /// True when the save was accepted and is durable.
+    pub fn saved(&self) -> bool {
+        self.error.is_none()
+    }
+}
+
+impl Encode for SaveOutcome {
+    fn encode(&self, w: &mut Writer) {
+        w.put_bytes(&self.username);
+        w.put_option(&self.error);
+    }
+}
+
+impl Decode for SaveOutcome {
+    fn decode(r: &mut Reader<'_>) -> core::result::Result<Self, WireError> {
+        Ok(Self {
+            username: r.get_bytes()?.to_vec(),
+            error: r.get_option()?,
+        })
+    }
+}
+
+/// Upper bound on the users one [`ProviderRequest::SaveBatch`] may
+/// carry; oversized waves fail decoding with
+/// [`WireError::LengthOutOfRange`] before any payload is parsed.
+pub const MAX_SAVE_BATCH_USERS: usize = 1024;
+
+/// Decodes a `u32`-counted [`SaveRequest`]/[`SaveOutcome`] wave,
+/// enforcing [`MAX_SAVE_BATCH_USERS`] before any payload parses.
+fn get_save_wave<T: Decode>(r: &mut Reader<'_>) -> core::result::Result<Vec<T>, WireError> {
+    let users = r.get_u32()? as usize;
+    if users > MAX_SAVE_BATCH_USERS || users > r.remaining() {
+        return Err(WireError::LengthOutOfRange);
+    }
+    let mut out = Vec::with_capacity(users);
+    for _ in 0..users {
+        out.push(T::decode(r)?);
+    }
+    Ok(out)
 }
 
 /// Upper bound on the users one [`ProviderRequest::RecoverBatch`] may
@@ -468,6 +553,13 @@ impl Encode for ProviderRequest {
             }
             ProviderRequest::Status => w.put_u8(9),
             ProviderRequest::Shutdown => w.put_u8(10),
+            ProviderRequest::SaveBatch(saves) => {
+                w.put_u8(11);
+                w.put_u32(saves.len() as u32);
+                for save in saves {
+                    save.encode(w);
+                }
+            }
         }
     }
 }
@@ -499,6 +591,7 @@ impl Decode for ProviderRequest {
             }),
             9 => Ok(ProviderRequest::Status),
             10 => Ok(ProviderRequest::Shutdown),
+            11 => Ok(ProviderRequest::SaveBatch(get_save_wave(r)?)),
             t => Err(WireError::InvalidTag(t)),
         }
     }
@@ -538,6 +631,9 @@ pub enum ProviderResponse {
     Backup(Option<Vec<u8>>),
     /// Reply to [`ProviderRequest::Status`].
     Status(StatusReport),
+    /// Reply to [`ProviderRequest::SaveBatch`]: per-user outcomes in
+    /// request order.
+    SavedBatch(Vec<SaveOutcome>),
 }
 
 impl Encode for ProviderResponse {
@@ -584,6 +680,13 @@ impl Encode for ProviderResponse {
                 w.put_u8(9);
                 report.encode(w);
             }
+            ProviderResponse::SavedBatch(outcomes) => {
+                w.put_u8(10);
+                w.put_u32(outcomes.len() as u32);
+                for outcome in outcomes {
+                    outcome.encode(w);
+                }
+            }
         }
     }
 }
@@ -604,6 +707,7 @@ impl Decode for ProviderResponse {
             7 => Ok(ProviderResponse::RecoveredBatch(get_user_rounds(r)?)),
             8 => Ok(ProviderResponse::Backup(r.get_option()?)),
             9 => Ok(ProviderResponse::Status(StatusReport::decode(r)?)),
+            10 => Ok(ProviderResponse::SavedBatch(get_save_wave(r)?)),
             t => Err(WireError::InvalidTag(t)),
         }
     }

@@ -66,8 +66,8 @@ pub mod tcp;
 pub mod transport;
 
 pub use api::{
-    codes, ErrorReply, HsmRequest, HsmResponse, ProviderRequest, ProviderResponse,
-    MAX_RECOVER_BATCH_USERS,
+    codes, ErrorReply, HsmRequest, HsmResponse, ProviderRequest, ProviderResponse, SaveOutcome,
+    SaveRequest, MAX_RECOVER_BATCH_USERS, MAX_SAVE_BATCH_USERS,
 };
 pub use envelope::{Envelope, Message, MAX_GROUP_REQUESTS, PROTO_VERSION};
 pub use error::ProtoError;

@@ -15,8 +15,8 @@ use safetypin_primitives::wire::{Decode, Encode};
 use safetypin_primitives::{commit, elgamal, shamir};
 use safetypin_proto::{
     codes, Envelope, ErrorReply, HsmRequest, HsmResponse, Message, ProviderRequest,
-    ProviderResponse, RecoveryPhases, RecoveryRequest, RecoveryResponse, SnapshotMeta,
-    StatusReport, PROTO_VERSION,
+    ProviderResponse, RecoveryPhases, RecoveryRequest, RecoveryResponse, SaveOutcome, SaveRequest,
+    SnapshotMeta, StatusReport, PROTO_VERSION,
 };
 use safetypin_sim::OpCosts;
 
@@ -168,6 +168,19 @@ fn sample_envelopes(seed: u64) -> Vec<Envelope> {
         },
         ProviderRequest::Status,
         ProviderRequest::Shutdown,
+        // The save-path engine's wave: two users plus the degenerate
+        // empty-username/empty-blob and empty-wave edges.
+        ProviderRequest::SaveBatch(vec![
+            SaveRequest {
+                username: b"alice".to_vec(),
+                blob: vec![0xC7; 128],
+            },
+            SaveRequest {
+                username: Vec::new(),
+                blob: Vec::new(),
+            },
+        ]),
+        ProviderRequest::SaveBatch(Vec::new()),
     ];
     let provider_responses = vec![
         ProviderResponse::Enrollments(vec![enrollment]),
@@ -215,6 +228,17 @@ fn sample_envelopes(seed: u64) -> Vec<Envelope> {
             draining: true,
         }),
         ProviderResponse::Status(StatusReport::default()),
+        ProviderResponse::SavedBatch(vec![
+            SaveOutcome {
+                username: b"alice".to_vec(),
+                error: None,
+            },
+            SaveOutcome {
+                username: b"bob".to_vec(),
+                error: Some(ErrorReply::new(codes::LOG_REFUSED, "attempt consumed")),
+            },
+        ]),
+        ProviderResponse::SavedBatch(Vec::new()),
     ];
 
     let mut envelopes = Vec::new();
@@ -366,6 +390,53 @@ fn oversized_recover_batch_rejected_with_typed_error() {
 
     // The limit itself is fine structurally (each user round empty).
     let within = ProviderRequest::RecoverBatch(vec![Vec::new(); MAX_RECOVER_BATCH_USERS]);
+    let encoded = Envelope::seal(Message::ProviderRequest(within)).to_bytes();
+    assert!(Envelope::from_bytes(&encoded).is_ok());
+}
+
+/// Same ceiling on the save-path engine's wave, in both directions.
+#[test]
+fn oversized_save_batch_rejected_with_typed_error() {
+    use safetypin_primitives::wire::Writer;
+    use safetypin_proto::MAX_SAVE_BATCH_USERS;
+
+    // Envelope header + ProviderRequest (message tag 4) + SaveBatch
+    // (variant tag 11) + an oversized user count, padded past the
+    // allocation guard.
+    let mut w = Writer::new();
+    w.put_u16(PROTO_VERSION);
+    w.put_u8(4);
+    w.put_u8(11);
+    w.put_u32(MAX_SAVE_BATCH_USERS as u32 + 1);
+    let mut bytes = w.into_bytes();
+    bytes.extend(std::iter::repeat_n(0u8, MAX_SAVE_BATCH_USERS + 64));
+    assert_eq!(
+        Envelope::from_bytes(&bytes).unwrap_err(),
+        WireError::LengthOutOfRange
+    );
+
+    // And the ProviderResponse (message tag 5) SavedBatch (variant tag
+    // 10) direction enforces it too.
+    let mut w = Writer::new();
+    w.put_u16(PROTO_VERSION);
+    w.put_u8(5);
+    w.put_u8(10);
+    w.put_u32(MAX_SAVE_BATCH_USERS as u32 + 1);
+    let mut bytes = w.into_bytes();
+    bytes.extend(std::iter::repeat_n(0u8, MAX_SAVE_BATCH_USERS + 64));
+    assert_eq!(
+        Envelope::from_bytes(&bytes).unwrap_err(),
+        WireError::LengthOutOfRange
+    );
+
+    // The limit itself is fine structurally (empty-field saves).
+    let within = ProviderRequest::SaveBatch(vec![
+        SaveRequest {
+            username: Vec::new(),
+            blob: Vec::new(),
+        };
+        MAX_SAVE_BATCH_USERS
+    ]);
     let encoded = Envelope::seal(Message::ProviderRequest(within)).to_bytes();
     assert!(Envelope::from_bytes(&encoded).is_ok());
 }

@@ -43,9 +43,11 @@ use safetypin_hsm::{
     EnrollmentRecord, Hsm, HsmConfig, HsmError, RecoveryPhases, RecoveryRequest, RecoveryResponse,
 };
 use safetypin_multisig::{aggregate_signatures, Signature};
+use safetypin_primitives::hashes::{hash_parts, Domain};
 use safetypin_proto::{
     codes, Direct, ErrorReply, HsmRequest, HsmResponse, ProtoError, ProviderRequest,
-    ProviderResponse, StatusReport, Traffic, TrafficReply, Transport, TransportStats,
+    ProviderResponse, SaveOutcome, SaveRequest, StatusReport, Traffic, TrafficReply, Transport,
+    TransportStats,
 };
 use safetypin_seckv::{BlockStore, MemStore};
 use safetypin_sim::OpCosts;
@@ -141,6 +143,38 @@ pub struct Datacenter<S: BlockStore = MemStore> {
     backups: std::collections::BTreeMap<Vec<u8>, Vec<u8>>,
     epoch_chunks: usize,
     transport: Box<dyn Transport>,
+    /// Write-ahead log for provider-log mutations (saves + insertions)
+    /// between snapshots; `None` runs without inter-snapshot durability
+    /// (the freshly provisioned in-memory configuration).
+    log_wal: Option<Box<dyn BlockStore + Send>>,
+    /// Next free WAL block address.
+    wal_seq: u64,
+}
+
+/// WAL record kind: a raw `insert_log` entry (`id`, `value`).
+const WAL_INSERT: u8 = 0;
+/// WAL record kind: a save (`username`, `blob`); the log entry is
+/// re-derived on replay via [`save_record`].
+const WAL_SAVE: u8 = 1;
+
+/// Frames one provider-log WAL record.
+fn wal_record(kind: u8, a: &[u8], b: &[u8]) -> Vec<u8> {
+    let mut w = safetypin_primitives::wire::Writer::new();
+    w.put_u8(kind);
+    w.put_bytes(a);
+    w.put_bytes(b);
+    w.into_bytes()
+}
+
+/// Derives the content-addressed log entry a save appends: the id and
+/// value are domain-separated hashes of `(username, blob)`, computed
+/// provider-side, so the serial and batched save paths produce
+/// byte-identical log records (and an identical re-save is a detectable
+/// duplicate rather than a fresh entry).
+pub fn save_record(username: &[u8], blob: &[u8]) -> (Vec<u8>, Vec<u8>) {
+    let id = hash_parts(Domain::LogEntry, &[b"save-id", username, blob]);
+    let value = hash_parts(Domain::LogEntry, &[b"save-commit", username, blob]);
+    (id.to_vec(), value.to_vec())
 }
 
 impl Datacenter<MemStore> {
@@ -207,6 +241,8 @@ impl Datacenter<MemStore> {
             backups: Default::default(),
             epoch_chunks,
             transport,
+            log_wal: None,
+            wal_seq: 0,
         })
     }
 }
@@ -295,6 +331,13 @@ impl<S: BlockStore + Send> Datacenter<S> {
         self.log.entries()
     }
 
+    /// The authenticated log's current Merkle root digest. Two
+    /// datacenters that served the same requests — serially or through
+    /// the batched engines — must agree byte for byte.
+    pub fn log_digest(&self) -> safetypin_primitives::hashes::Hash256 {
+        self.log.digest()
+    }
+
     /// Archived (garbage-collected) logs, oldest first.
     pub fn archived_logs(&self) -> &[Vec<LogEntry>] {
         &self.archived_logs
@@ -306,9 +349,173 @@ impl<S: BlockStore + Send> Datacenter<S> {
     }
 
     /// Accepts a client's log-insertion request (Figure 3, step 3).
+    /// Durable when a WAL is attached: the entry is committed to the
+    /// provider-log WAL before the call returns.
     pub fn insert_log(&mut self, id: &[u8], value: &[u8]) -> Result<(), ProviderError> {
         self.log.insert(id, value)?;
+        self.wal_append(WAL_INSERT, id, value);
+        self.wal_flush();
         Ok(())
+    }
+
+    /// Attaches a write-ahead log for provider-log mutations, replaying
+    /// any records the backend already holds (records whose entries are
+    /// already in the log — e.g. captured by a newer snapshot — replay
+    /// as idempotent no-ops). Returns the number of entries the replay
+    /// actually added.
+    pub fn attach_log_wal(
+        &mut self,
+        mut wal: Box<dyn BlockStore + Send>,
+    ) -> Result<u64, ProviderError> {
+        const MALFORMED: ProviderError =
+            ProviderError::Log(LogError::InvalidSnapshot("malformed provider-log WAL record"));
+        let mut seq = 0u64;
+        let mut replayed = 0u64;
+        while let Some(bytes) = wal.get(seq) {
+            let mut r = safetypin_primitives::wire::Reader::new(&bytes);
+            let kind = r.get_u8().map_err(|_| MALFORMED)?;
+            let a = r.get_bytes().map_err(|_| MALFORMED)?.to_vec();
+            let b = r.get_bytes().map_err(|_| MALFORMED)?.to_vec();
+            match kind {
+                WAL_INSERT => match self.log.insert(&a, &b) {
+                    Ok(()) => replayed += 1,
+                    Err(LogError::DuplicateIdentifier) => {}
+                    Err(e) => return Err(e.into()),
+                },
+                WAL_SAVE => {
+                    let (id, value) = save_record(&a, &b);
+                    match self.log.insert(&id, &value) {
+                        Ok(()) => replayed += 1,
+                        Err(LogError::DuplicateIdentifier) => {}
+                        Err(e) => return Err(e.into()),
+                    }
+                    self.backups.insert(a, b);
+                }
+                _ => return Err(MALFORMED),
+            }
+            seq += 1;
+        }
+        self.log_wal = Some(wal);
+        self.wal_seq = seq;
+        Ok(replayed)
+    }
+
+    /// The attached provider-log WAL's I/O statistics (fsyncs land in
+    /// `flushes`), or `None` when running without a WAL.
+    pub fn log_wal_stats(&self) -> Option<safetypin_seckv::StoreStats> {
+        self.log_wal.as_ref().map(|w| w.io_stats())
+    }
+
+    /// Stages one WAL record (no-op without an attached WAL).
+    fn wal_append(&mut self, kind: u8, a: &[u8], b: &[u8]) {
+        if let Some(wal) = &mut self.log_wal {
+            wal.put(self.wal_seq, &wal_record(kind, a, b));
+            self.wal_seq += 1;
+        }
+    }
+
+    /// Commits staged WAL records — the group-commit boundary.
+    fn wal_flush(&mut self) {
+        if let Some(wal) = &mut self.log_wal {
+            wal.flush();
+        }
+    }
+
+    /// Accepts one user's save: refreshes the fleet's enrollment records
+    /// (one batched transport round, mirroring what each saving client
+    /// observes), appends the save's content-addressed audit record to
+    /// the log, stores the blob, and commits the WAL. An identical
+    /// re-save (same username and blob) is idempotent. This is the
+    /// serial baseline [`save_many`](Self::save_many) amortizes.
+    pub fn save(&mut self, username: &[u8], blob: &[u8]) -> Result<(), ProviderError> {
+        self.fetch_enrollments()?;
+        let (id, value) = save_record(username, blob);
+        match self.log.insert(&id, &value) {
+            Ok(()) => {
+                self.wal_append(WAL_SAVE, username, blob);
+                self.wal_flush();
+            }
+            Err(LogError::DuplicateIdentifier) => {}
+            Err(e) => return Err(e.into()),
+        }
+        self.backups.insert(username.to_vec(), blob.to_vec());
+        Ok(())
+    }
+
+    /// The save-path throughput engine: accepts a whole wave of saves
+    /// under **one** enrollment-refresh round (grouped envelopes per HSM
+    /// per direction via `exchange_grouped`, the save-side analogue of
+    /// the multi-user recovery round), **one** batched log insertion
+    /// ([`Log::insert_many`] — each touched trie node hashed once per
+    /// wave), and **one** group-commit WAL flush. Per-user outcomes come
+    /// back in request order; log state and digests are byte-identical
+    /// to serial [`save`](Self::save) calls in the same order.
+    pub fn save_many(&mut self, saves: &[SaveRequest]) -> Result<Vec<SaveOutcome>, ProviderError> {
+        if saves.is_empty() {
+            return Ok(Vec::new());
+        }
+        self.fetch_enrollments_grouped()?;
+        let items: Vec<(Vec<u8>, Vec<u8>)> = saves
+            .iter()
+            .map(|s| save_record(&s.username, &s.blob))
+            .collect();
+        let results = self.log.insert_many(&items);
+        let mut outcomes = Vec::with_capacity(saves.len());
+        let mut staged = false;
+        for (save, result) in saves.iter().zip(results) {
+            let error = match result {
+                Ok(()) => {
+                    self.wal_append(WAL_SAVE, &save.username, &save.blob);
+                    staged = true;
+                    None
+                }
+                // An identical re-save: already recorded, idempotent.
+                Err(LogError::DuplicateIdentifier) => None,
+                Err(e) => Some(ErrorReply::new(codes::LOG_REFUSED, e.to_string())),
+            };
+            if error.is_none() {
+                self.backups.insert(save.username.clone(), save.blob.clone());
+            }
+            outcomes.push(SaveOutcome {
+                username: save.username.clone(),
+                error,
+            });
+        }
+        if staged {
+            self.wal_flush();
+        }
+        Ok(outcomes)
+    }
+
+    /// [`fetch_enrollments`](Self::fetch_enrollments) as a grouped round
+    /// (one coalesced envelope per HSM per direction): the save engine's
+    /// amortized per-wave enrollment refresh.
+    pub fn fetch_enrollments_grouped(&mut self) -> Result<Vec<EnrollmentRecord>, ProviderError> {
+        let grouped: Vec<(u64, Vec<HsmRequest>)> = (0..self.hsms.len() as u64)
+            .map(|id| (id, vec![HsmRequest::GetEnrollment]))
+            .collect();
+        let mut rng = rand::thread_rng();
+        let replies = {
+            let Self {
+                hsms,
+                stores,
+                transport,
+                ..
+            } = &mut *self;
+            transport.exchange_grouped(
+                grouped,
+                &mut fanout::serve_traffic(hsms, stores, &mut rng, usize::MAX),
+            )?
+        };
+        let mut out = Vec::with_capacity(replies.len());
+        for (_, responses) in replies {
+            for resp in responses {
+                if let HsmResponse::Enrollment(e) = resp {
+                    out.push(e);
+                }
+            }
+        }
+        Ok(out)
     }
 
     /// Serves an inclusion proof (Figure 3, step 5). Valid against the
@@ -325,9 +532,13 @@ impl<S: BlockStore + Send> Datacenter<S> {
     /// transport fault simply misses this epoch's signer set; the epoch
     /// still certifies if the quorum holds.
     pub fn run_epoch(&mut self) -> Result<EpochOutcome, ProviderError> {
-        let cut = self.log.cut_epoch(self.epoch_chunks);
-        let update =
-            EpochUpdate::build(&cut).map_err(|_| ProviderError::EpochFailed("broken chain"))?;
+        // Streaming certification: the chunk-boundary digests were
+        // recorded incrementally as entries arrived (`Log` digest
+        // marks), so assembling the update replays no insert steps —
+        // cutting an epoch is O(chunks), not O(pending · path length).
+        let (cut, chunk_digests) = self.log.cut_epoch_certified(self.epoch_chunks);
+        let update = EpochUpdate::from_certified(&cut, chunk_digests)
+            .map_err(|_| ProviderError::EpochFailed("broken chain"))?;
         let message = update.message();
 
         let active_ids: Vec<u64> = self
@@ -756,6 +967,16 @@ impl<S: BlockStore + Send> Datacenter<S> {
                 self.backups.insert(username, blob);
                 ProviderResponse::Ack
             }
+            ProviderRequest::SaveBatch(saves) => match self.save_many(&saves) {
+                Ok(outcomes) => ProviderResponse::SavedBatch(outcomes),
+                // save_many only fails whole-wave on a transport-level
+                // error in the enrollment-refresh round (per-save
+                // refusals come back as outcomes).
+                Err(ProviderError::Transport(ProtoError::Dropped)) => {
+                    ProviderResponse::Error(ErrorReply::dropped())
+                }
+                Err(e) => ProviderResponse::Error(ErrorReply::new(codes::CORRUPTED, e.to_string())),
+            },
             ProviderRequest::FetchBackup { username } => {
                 ProviderResponse::Backup(self.backups.get(&username).cloned())
             }
@@ -1087,6 +1308,19 @@ impl<S: SnapshotBlocks + Send> Datacenter<S> {
         let envelope =
             safetypin_proto::Envelope::seal(safetypin_proto::Message::SnapshotMeta(meta.clone()));
         safetypin_store::write_atomic(&dir.join(snapshot_files::META), &envelope.to_bytes())?;
+
+        // The snapshot now captures every WAL-staged mutation; reset the
+        // WAL so replay-on-restore stays proportional to the saves since
+        // the last persist. (A crash between the snapshot write and this
+        // reset is benign: the leftover records replay as idempotent
+        // duplicates.)
+        if let Some(wal) = &mut self.log_wal {
+            for addr in 0..self.wal_seq {
+                wal.remove(addr);
+            }
+            wal.flush();
+            self.wal_seq = 0;
+        }
         Ok(meta)
     }
 }
@@ -1147,20 +1381,30 @@ impl Datacenter<FileStore> {
         let log = Log::from_snapshot(state.log)
             .map_err(|_| StoreError::Inconsistent("provider log failed to replay"))?;
 
-        Ok((
-            Self {
-                hsms,
-                stores,
-                log,
-                archived_logs: state.archived_logs,
-                update_history: state.update_history,
-                reply_copies: state.reply_copies,
-                backups: state.backups.into_iter().collect(),
-                epoch_chunks: state.epoch_chunks as usize,
-                transport: Box::new(Direct::new()),
-            },
-            meta,
-        ))
+        let mut dc = Self {
+            hsms,
+            stores,
+            log,
+            archived_logs: state.archived_logs,
+            update_history: state.update_history,
+            reply_copies: state.reply_copies,
+            backups: state.backups.into_iter().collect(),
+            epoch_chunks: state.epoch_chunks as usize,
+            transport: Box::new(Direct::new()),
+            log_wal: None,
+            wal_seq: 0,
+        };
+        // Attach (and replay) the provider-log WAL: saves committed
+        // after the snapshot was written — including a wave whose group
+        // commit landed but whose response was lost to a crash — are
+        // rolled forward to their commit boundary.
+        let wal = FileStore::open(
+            dir.join(snapshot_files::BLOCKS_DIR).join("provider-log"),
+            opts,
+        )?;
+        dc.attach_log_wal(Box::new(wal))
+            .map_err(|_| StoreError::Inconsistent("provider-log WAL failed to replay"))?;
+        Ok((dc, meta))
     }
 }
 

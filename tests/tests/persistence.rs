@@ -371,3 +371,66 @@ fn snapshot_tampering_and_version_mismatch_rejected() {
     ));
     std::fs::remove_dir_all(&dir).unwrap();
 }
+
+/// Satellite acceptance for the save-path engine: a save wave is one
+/// WAL group commit, so killing the provider anywhere between the
+/// wave's flush and its response — simulated by truncating the
+/// provider-log WAL at *every* byte — must replay to exactly one of
+/// the two commit boundaries. The pre-wave log or the full wave;
+/// never a torn wave.
+#[test]
+fn save_wave_crash_points_replay_to_a_commit_boundary() {
+    let dir = tmpdir("save-wave-crash");
+    let mut rng = StdRng::seed_from_u64(SEED + 9);
+    let params = SystemParams::test_small(4);
+    let mut deployment = Deployment::provision(params, &mut rng).unwrap();
+    deployment
+        .persist(&dir, FileOptions::relaxed(), &mut rng)
+        .unwrap();
+    drop(deployment);
+
+    // Restoring attaches the provider-log WAL, which starts empty: the
+    // bytes the wave appends below are the whole crash surface.
+    let (mut deployment, _) = Deployment::restore_from(&dir, FileOptions::relaxed()).unwrap();
+    let digest_pre = deployment.datacenter.log_digest();
+    let entries_pre = deployment.datacenter.log_entries().len();
+
+    let saves: Vec<proto::SaveRequest> = (0..4)
+        .map(|i| proto::SaveRequest {
+            username: format!("crash-user-{i}").into_bytes(),
+            blob: format!("crash-blob-{i}").into_bytes(),
+        })
+        .collect();
+    let outcomes = deployment.datacenter.save_many(&saves).unwrap();
+    assert!(outcomes.iter().all(|o| o.saved()));
+    let digest_full = deployment.datacenter.log_digest();
+    let entries_full = deployment.datacenter.log_entries().len();
+    assert_ne!(digest_pre, digest_full);
+    drop(deployment);
+
+    let wal_path = dir.join("blocks").join("provider-log").join("wal.bin");
+    let wal_bytes = std::fs::read(&wal_path).unwrap();
+    assert!(!wal_bytes.is_empty(), "the wave must have hit the WAL");
+
+    for cut in 0..=wal_bytes.len() {
+        // The crash: only a prefix of the wave's WAL reached disk.
+        // (Replay may discard a torn tail, so rewrite from the pristine
+        // bytes before every cut.)
+        std::fs::write(&wal_path, &wal_bytes[..cut]).unwrap();
+        let (restored, _) = Deployment::restore_from(&dir, FileOptions::relaxed()).unwrap();
+        let digest = restored.datacenter.log_digest();
+        let entries = restored.datacenter.log_entries().len();
+        if cut == wal_bytes.len() {
+            assert_eq!(digest, digest_full, "complete WAL must replay the wave");
+            assert_eq!(entries, entries_full);
+        } else {
+            assert_eq!(
+                digest, digest_pre,
+                "cut at byte {cut}/{} surfaced a torn wave",
+                wal_bytes.len()
+            );
+            assert_eq!(entries, entries_pre);
+        }
+    }
+    std::fs::remove_dir_all(&dir).unwrap();
+}

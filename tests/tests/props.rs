@@ -4,6 +4,7 @@ use proptest::prelude::*;
 use rand::rngs::StdRng;
 use rand::SeedableRng;
 use safetypin::authlog::trie::{ExtensionProof, MerkleTrie};
+use safetypin::authlog::Log;
 use safetypin::primitives::shamir;
 use safetypin::primitives::wire::{Decode, Encode, Reader, Writer};
 use safetypin::primitives::{aead, commit, elgamal, gf256};
@@ -272,6 +273,56 @@ proptest! {
                 arr_s.read(&mut store_s, i).is_ok(),
                 "post-batch delete diverged at {}", i
             );
+        }
+    }
+
+    // ---------------- Authenticated-log batch insertion --------------------
+
+    // The save-path engine's ordering theorem, end to end: a wave
+    // through `Log::insert_many` (sorted batch, shared root-to-leaf
+    // path work, one digest mark) must be indistinguishable from the
+    // same wave inserted one at a time — same per-item outcomes, same
+    // trie root, byte-identical inclusion proofs. Waves include
+    // duplicate identifiers (within the wave and against the prefix)
+    // and may be empty.
+    #[test]
+    fn log_insert_many_equals_sequential_insert(
+        prefix in proptest::collection::vec(
+            (proptest::collection::vec(0u8..4, 1..5), proptest::collection::vec(any::<u8>(), 0..8)),
+            0..8,
+        ),
+        wave in proptest::collection::vec(
+            (proptest::collection::vec(0u8..4, 1..5), proptest::collection::vec(any::<u8>(), 0..8)),
+            0..16,
+        ),
+    ) {
+        // Identical pre-wave state on both logs (the tiny id alphabet
+        // makes collisions common in both prefix and wave).
+        let mut batched = Log::new();
+        let mut serial = Log::new();
+        for (id, value) in &prefix {
+            let a = batched.insert(id, value);
+            let b = serial.insert(id, value);
+            prop_assert_eq!(a, b);
+        }
+
+        let results = batched.insert_many(&wave);
+        prop_assert_eq!(results.len(), wave.len());
+        for ((id, value), batch_result) in wave.iter().zip(&results) {
+            prop_assert_eq!(&serial.insert(id, value), batch_result);
+        }
+
+        prop_assert_eq!(batched.digest(), serial.digest(), "trie roots diverged");
+        prop_assert_eq!(batched.len(), serial.len());
+        for (id, _) in prefix.iter().chain(wave.iter()) {
+            let value = serial.get(id).map(<[u8]>::to_vec);
+            if let Some(value) = value {
+                prop_assert_eq!(
+                    batched.prove_includes(id, &value),
+                    serial.prove_includes(id, &value),
+                    "inclusion proofs diverged"
+                );
+            }
         }
     }
 
