@@ -14,7 +14,8 @@
 //!
 //! Scopes are the modules the paper's threat model cares about: the
 //! whole daemon crate, the TCP framing layer, the provider fan-out
-//! engine, and the `handle*` entry points of the HSM and datacenter.
+//! engine, the telemetry registry (every serve-path request records
+//! into it), and the `handle*` entry points of the HSM and datacenter.
 //! Test code (`#[cfg(test)]` / `#[test]`) is exempt; anything else
 //! needs an explicit reasoned waiver.
 
@@ -26,6 +27,7 @@ const FILE_SCOPES: &[&str] = &[
     "crates/daemon/src/",
     "crates/proto/src/tcp.rs",
     "crates/provider/src/fanout.rs",
+    "crates/telemetry/src/",
 ];
 
 /// Function-level scopes: (file, function-name prefix).

@@ -163,10 +163,7 @@ impl EpochUpdate {
     ///
     /// HSM-side auditing is untouched: every chunk is still replayed and
     /// checked against `R` by its auditors before anyone signs.
-    pub fn from_certified(
-        cut: &EpochCut,
-        chunk_digests: Vec<Hash256>,
-    ) -> Result<Self, AuditError> {
+    pub fn from_certified(cut: &EpochCut, chunk_digests: Vec<Hash256>) -> Result<Self, AuditError> {
         if chunk_digests.len() != cut.chunk_proofs.len()
             || chunk_digests.last().copied().unwrap_or(cut.old_digest) != cut.new_digest
         {

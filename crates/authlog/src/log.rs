@@ -502,12 +502,7 @@ mod tests {
 
     fn wave(from: usize, n: usize) -> Vec<(Vec<u8>, Vec<u8>)> {
         (from..from + n)
-            .map(|i| {
-                (
-                    format!("w{i}").into_bytes(),
-                    format!("v{i}").into_bytes(),
-                )
-            })
+            .map(|i| (format!("w{i}").into_bytes(), format!("v{i}").into_bytes()))
             .collect()
     }
 
@@ -562,7 +557,6 @@ mod tests {
         assert_eq!(restored.pending_count(), log.pending_count());
         assert_eq!(restored.entries(), log.entries());
         // The restored log cuts to the same chain endpoints.
-        let mut log = log;
         let mut restored = restored;
         let a = log.cut_epoch(4);
         let b = restored.cut_epoch(4);

@@ -790,7 +790,8 @@ fn save_storm(report: &mut Report, scale: &Scale) {
     use safetypin::proto::{SaveRequest, Serialized, Transport};
 
     let params = SystemParams::scaled(scale.fleet, scale.cluster, scale.slots).unwrap();
-    let base = std::env::temp_dir().join(format!("safetypin-perf-savestorm-{}", std::process::id()));
+    let base =
+        std::env::temp_dir().join(format!("safetypin-perf-savestorm-{}", std::process::id()));
     let _ = std::fs::remove_dir_all(&base);
     let dir_serial = base.join("serial");
     let dir_engine = base.join("engine");

@@ -487,11 +487,18 @@ impl<S: BlockStore + Send> Deployment<S> {
         secret: &[u8],
         rng: &mut R,
     ) -> Result<BackupArtifact, DeploymentError> {
+        safetypin_telemetry::span!("save.total");
         let mut client = self.new_client(username)?;
         let epoch = self.datacenter.update_history().len() as u64;
-        let artifact = client.backup(pin, secret, epoch, rng)?;
+        let artifact = {
+            safetypin_telemetry::span!("save.seal");
+            client.backup(pin, secret, epoch, rng)?
+        };
         let blob = safetypin_client::remote::encode_artifact(&artifact);
-        self.datacenter.save(username, &blob)?;
+        {
+            safetypin_telemetry::span!("save.commit");
+            self.datacenter.save(username, &blob)?;
+        }
         Ok(artifact)
     }
 
@@ -507,6 +514,7 @@ impl<S: BlockStore + Send> Deployment<S> {
         sessions: &[SaveSession<'_>],
         rng: &mut R,
     ) -> Vec<Result<BackupArtifact, DeploymentError>> {
+        safetypin_telemetry::span!("save.total_wave");
         let epoch = self.datacenter.update_history().len() as u64;
         let mut outcomes: Vec<Option<Result<BackupArtifact, DeploymentError>>> =
             Vec::with_capacity(sessions.len());
@@ -514,6 +522,7 @@ impl<S: BlockStore + Send> Deployment<S> {
 
         // Client-side: every artifact in the wave builds against the
         // same cached enrollment snapshot.
+        let seal_span = safetypin_telemetry::start_span("save.seal");
         let mut staged: Vec<(usize, BackupArtifact)> = Vec::with_capacity(sessions.len());
         let mut saves: Vec<SaveRequest> = Vec::with_capacity(sessions.len());
         for (idx, session) in sessions.iter().enumerate() {
@@ -536,7 +545,10 @@ impl<S: BlockStore + Send> Deployment<S> {
             }
         }
 
+        drop(seal_span);
+
         // Provider-side: the whole wave in one engine call.
+        safetypin_telemetry::span!("save.commit");
         match self.datacenter.save_many(&saves) {
             Ok(results) => {
                 for ((idx, artifact), outcome) in staged.into_iter().zip(results) {
@@ -576,23 +588,32 @@ impl<S: BlockStore + Send> Deployment<S> {
         artifact: &BackupArtifact,
         rng: &mut R,
     ) -> Result<RecoveryOutcome, DeploymentError> {
+        safetypin_telemetry::span!("recover.total");
         let attempt = client.start_recovery(pin, &artifact.ciphertext, false, rng)?;
         let wire_before = self.datacenter.transport_stats();
 
         // Step 3: log the recovery attempt (one per identifier).
         let (id, value) = attempt.log_entry();
-        self.datacenter
-            .insert_log(&id, &value)
-            .map_err(|_| DeploymentError::AttemptRefused)?;
+        {
+            safetypin_telemetry::span!("recover.log_insert");
+            self.datacenter
+                .insert_log(&id, &value)
+                .map_err(|_| DeploymentError::AttemptRefused)?;
+        }
 
         // Step 4: the provider batches and certifies the epoch.
-        self.datacenter.run_epoch()?;
+        {
+            safetypin_telemetry::span!("recover.epoch");
+            self.datacenter.run_epoch()?;
+        }
 
         // Step 5: inclusion proof.
-        let inclusion = self
-            .datacenter
-            .prove_inclusion(&id, &value)
-            .ok_or(DeploymentError::AttemptRefused)?;
+        let inclusion = {
+            safetypin_telemetry::span!("recover.inclusion");
+            self.datacenter
+                .prove_inclusion(&id, &value)
+                .ok_or(DeploymentError::AttemptRefused)?
+        };
 
         // Steps 6–7: contact the cluster — one batched transport round
         // carrying every per-HSM request in a single envelope. The
@@ -604,18 +625,24 @@ impl<S: BlockStore + Send> Deployment<S> {
         let mut responses = Vec::new();
         let requests = attempt.requests(&inclusion);
         let contacted = requests.len();
-        for (_, item) in self.datacenter.route_recovery_cluster(requests, rng)? {
-            match item {
-                Ok((response, p)) => {
-                    phases.add(&p);
-                    responses.push(response);
+        {
+            safetypin_telemetry::span!("recover.cluster_round");
+            for (_, item) in self.datacenter.route_recovery_cluster(requests, rng)? {
+                match item {
+                    Ok((response, p)) => {
+                        phases.add(&p);
+                        responses.push(response);
+                    }
+                    Err(HsmError::Unavailable) => continue,
+                    Err(e) => return Err(ProviderError::Hsm(e).into()),
                 }
-                Err(HsmError::Unavailable) => continue,
-                Err(e) => return Err(ProviderError::Hsm(e).into()),
             }
         }
         let responders = responses.len();
-        let message = attempt.finish(responses)?;
+        let message = {
+            safetypin_telemetry::span!("recover.finish");
+            attempt.finish(responses)?
+        };
         Ok(RecoveryOutcome {
             message,
             phases,
@@ -676,11 +703,13 @@ impl<S: BlockStore + Send> Deployment<S> {
         };
 
         for (wave_index, wave) in sessions.chunks(wave_size).enumerate() {
+            safetypin_telemetry::span!("recover.total_wave");
             let wave_start = wave_index * wave_size;
             let wire_before = self.datacenter.transport_stats();
 
             // Steps 2–3 per user: prepare the attempt, log it. A refused
             // insertion (attempt already consumed) fails that user only.
+            let log_span = safetypin_telemetry::start_span("recover.log_insert");
             let mut staged: Vec<(usize, RecoveryAttempt, Vec<u8>, Vec<u8>)> = Vec::new();
             for (offset, session) in wave.iter().enumerate() {
                 let idx = wave_start + offset;
@@ -703,13 +732,18 @@ impl<S: BlockStore + Send> Deployment<S> {
                 }
                 staged.push((idx, attempt, id, value));
             }
+            drop(log_span);
             if staged.is_empty() {
                 continue;
             }
 
             // Step 4, once per wave: a single epoch certifies every
             // logged attempt in the batch.
-            if let Err(e) = self.datacenter.run_epoch() {
+            let epoch_outcome = {
+                safetypin_telemetry::span!("recover.epoch");
+                self.datacenter.run_epoch()
+            };
+            if let Err(e) = epoch_outcome {
                 for (idx, ..) in staged {
                     outcomes[idx] = Some(Err(e.clone().into()));
                 }
@@ -717,6 +751,7 @@ impl<S: BlockStore + Send> Deployment<S> {
             }
 
             // Step 5 per user: inclusion proof + per-HSM requests.
+            let inclusion_span = safetypin_telemetry::start_span("recover.inclusion");
             let mut rounds = Vec::with_capacity(staged.len());
             let mut meta: Vec<(usize, RecoveryAttempt, usize)> = Vec::with_capacity(staged.len());
             for (idx, attempt, id, value) in staged {
@@ -729,11 +764,13 @@ impl<S: BlockStore + Send> Deployment<S> {
                     None => outcomes[idx] = Some(Err(DeploymentError::AttemptRefused)),
                 }
             }
+            drop(inclusion_span);
             if rounds.is_empty() {
                 continue;
             }
 
             // Steps 6–7, one grouped round for the whole wave.
+            let round_span = safetypin_telemetry::start_span("recover.cluster_round");
             let served = match self
                 .datacenter
                 .route_recovery_multi_with_workers(rounds, workers, rng)
@@ -746,6 +783,7 @@ impl<S: BlockStore + Send> Deployment<S> {
                     continue;
                 }
             };
+            drop(round_span);
 
             // The wave's wire traffic, amortized evenly per user. The
             // per-user counters are floor-divided, so a fault count
@@ -765,6 +803,7 @@ impl<S: BlockStore + Send> Deployment<S> {
                 seconds: delta.seconds / users as f64,
             };
 
+            safetypin_telemetry::span!("recover.finish");
             for ((idx, attempt, contacted), items) in meta.into_iter().zip(served) {
                 let mut phases = RecoveryPhases::default();
                 let mut responses = Vec::new();

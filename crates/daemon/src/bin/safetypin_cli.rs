@@ -18,6 +18,7 @@ usage: safetypin-cli <addr> <command> [...]
 
 commands:
   status                         print the daemon's status report
+  metrics                        print the daemon's live telemetry (text exposition)
   save <username> <pin> <secret> back up <secret> under <pin>
   recover <username> <pin>       recover the secret; prints it to stdout
   shutdown                       ask the daemon to drain and persist
@@ -49,6 +50,19 @@ fn run() -> Result<(), String> {
             println!("rejected_requests   {}", report.rejected_requests);
             println!("draining            {}", report.draining);
             Ok(())
+        }
+        ("metrics", []) => {
+            match tcp
+                .call(ProviderRequest::Metrics)
+                .map_err(|e| format!("metrics: {e}"))?
+            {
+                ProviderResponse::Metrics(report) => {
+                    print!("{}", report.render_text());
+                    Ok(())
+                }
+                ProviderResponse::Error(e) => Err(format!("metrics refused: {e}")),
+                _ => Err("unexpected reply to metrics".to_string()),
+            }
         }
         ("save", [username, pin, secret]) => {
             let mut client = remote::connect(&mut tcp, username.as_bytes())

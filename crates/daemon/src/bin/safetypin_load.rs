@@ -92,13 +92,32 @@ fn main() -> ExitCode {
         report.wave_secs,
         report.wave_recoveries as f64 / report.wave_secs.max(1e-9),
     );
+    let metrics = report.metrics();
+    let ms = |key: &str| {
+        metrics
+            .iter()
+            .find(|(name, _)| name == key)
+            .map_or(0.0, |(_, v)| *v)
+    };
+    println!(
+        "save latency p50 {:.1}ms / p95 {:.1}ms / p99 {:.1}ms",
+        ms("wire_save_p50_ms"),
+        ms("wire_save_p95_ms"),
+        ms("wire_save_p99_ms"),
+    );
+    println!(
+        "recover latency p50 {:.1}ms / p95 {:.1}ms / p99 {:.1}ms",
+        ms("wire_recover_p50_ms"),
+        ms("wire_recover_p95_ms"),
+        ms("wire_recover_p99_ms"),
+    );
     let dir = perf::bench_out_dir();
     match perf::merge_metrics(
         &dir,
         "perf",
         "hot-path optimizations, baseline vs optimized (measured)",
         "wire_",
-        &report.metrics(),
+        &metrics,
     ) {
         Ok(path) => {
             println!("merged wire_* metrics into {}", path.display());

@@ -225,6 +225,37 @@ struct World {
     rng: StdRng,
 }
 
+/// Global-registry handles resolved once at [`Daemon::bind`] so the
+/// per-request path never pays a name lookup. `daemon.requests` counts
+/// every served request, `daemon.request` records end-to-end service
+/// latency, `daemon.lock_wait` the time spent queueing on the fleet
+/// mutex, `daemon.refused.*` the policy refusals by error-code name,
+/// and the `daemon.connections` gauge tracks live connections.
+struct DaemonMeters {
+    requests: Arc<safetypin_telemetry::Counter>,
+    request_latency: Arc<safetypin_telemetry::Histogram>,
+    lock_wait: Arc<safetypin_telemetry::Histogram>,
+    refused_rate_limited: Arc<safetypin_telemetry::Counter>,
+    refused_overloaded: Arc<safetypin_telemetry::Counter>,
+    refused_shutting_down: Arc<safetypin_telemetry::Counter>,
+    connections: Arc<safetypin_telemetry::Gauge>,
+}
+
+impl DaemonMeters {
+    fn from_global() -> Self {
+        let registry = safetypin_telemetry::global();
+        Self {
+            requests: registry.counter("daemon.requests"),
+            request_latency: registry.histogram("daemon.request"),
+            lock_wait: registry.histogram("daemon.lock_wait"),
+            refused_rate_limited: registry.counter("daemon.refused.rate_limited"),
+            refused_overloaded: registry.counter("daemon.refused.overloaded"),
+            refused_shutting_down: registry.counter("daemon.refused.shutting_down"),
+            connections: registry.gauge("daemon.connections"),
+        }
+    }
+}
+
 struct Shared {
     world: Mutex<World>,
     addr: SocketAddr,
@@ -237,6 +268,7 @@ struct Shared {
     io_timeout: Duration,
     store_dir: PathBuf,
     file_options: FileOptions,
+    meters: DaemonMeters,
 }
 
 impl Shared {
@@ -244,7 +276,10 @@ impl Shared {
         // A panic while holding the lock poisons it; the fleet state
         // itself is guarded by its own WAL discipline, so serving
         // beats refusing everything forever.
-        self.world.lock().unwrap_or_else(|e| e.into_inner())
+        let start = Instant::now();
+        let world = self.world.lock().unwrap_or_else(|e| e.into_inner());
+        self.meters.lock_wait.record_duration(start.elapsed());
+        world
     }
 }
 
@@ -278,6 +313,7 @@ impl Daemon {
             io_timeout: config.io_timeout,
             store_dir: config.store_dir,
             file_options: config.file_options,
+            meters: DaemonMeters::from_global(),
         });
         let accept_shared = Arc::clone(&shared);
         let join = std::thread::spawn(move || accept_loop(listener, accept_shared));
@@ -412,19 +448,35 @@ fn serve_conn(mut stream: TcpStream, shared: Arc<Shared>) -> Result<(), ProtoErr
         let active = shared.active.fetch_add(1, Ordering::SeqCst) + 1;
         shared.max_connections == 0 || active <= shared.max_connections as u64
     };
+    shared.meters.connections.add(1);
     let mut bucket = TokenBucket::new(shared.rate_limit);
     let mut serve = |traffic: Traffic| -> TrafficReply {
+        // Every request gets a fresh trace id: spans recorded anywhere
+        // below (deployment phases, store fsyncs) run under it, and
+        // policy refusals echo it so a client report can be matched to
+        // the daemon's own records.
+        let trace = safetypin_telemetry::begin_trace();
+        let started = Instant::now();
         let units = traffic_units(&traffic);
-        match traffic {
+        shared.meters.requests.add(units);
+        let reply = match traffic {
             // Control-plane requests bypass admission and rate policy:
-            // shutdown must always land, and status must stay
-            // observable while draining or overloaded.
+            // shutdown must always land, status must stay observable
+            // while draining or overloaded, and the metrics surface is
+            // served straight from the lock-free registry — a wedged
+            // fleet mutex can never hide the numbers that explain it.
             Traffic::Provider(ProviderRequest::Shutdown) => {
                 shared.served.fetch_add(units, Ordering::SeqCst);
                 shared.draining.store(true, Ordering::SeqCst);
                 // Wake the accept loop so it observes the drain flag.
                 let _ = TcpStream::connect(shared.addr);
                 TrafficReply::Provider(ProviderResponse::Ack)
+            }
+            Traffic::Provider(ProviderRequest::Metrics) => {
+                shared.served.fetch_add(units, Ordering::SeqCst);
+                TrafficReply::Provider(ProviderResponse::Metrics(
+                    safetypin_proto::MetricsReport::from_global(),
+                ))
             }
             Traffic::Provider(ProviderRequest::Status) => {
                 shared.served.fetch_add(units, Ordering::SeqCst);
@@ -437,15 +489,30 @@ fn serve_conn(mut stream: TcpStream, shared: Arc<Shared>) -> Result<(), ProtoErr
             }
             _ if shared.draining.load(Ordering::SeqCst) => {
                 shared.rejected.fetch_add(units, Ordering::SeqCst);
-                refusal(codes::SHUTTING_DOWN, "daemon is draining; retry elsewhere")
+                shared.meters.refused_shutting_down.add(units);
+                refusal(
+                    codes::SHUTTING_DOWN,
+                    &format!("daemon is draining; retry elsewhere (trace {})", trace.id()),
+                )
             }
             _ if !admitted => {
                 shared.rejected.fetch_add(units, Ordering::SeqCst);
-                refusal(codes::OVERLOADED, "connection limit reached; retry later")
+                shared.meters.refused_overloaded.add(units);
+                refusal(
+                    codes::OVERLOADED,
+                    &format!(
+                        "connection limit reached; retry later (trace {})",
+                        trace.id()
+                    ),
+                )
             }
             _ if !bucket.admit(units) => {
                 shared.rejected.fetch_add(units, Ordering::SeqCst);
-                refusal(codes::RATE_LIMITED, "per-connection rate limit exceeded")
+                shared.meters.refused_rate_limited.add(units);
+                refusal(
+                    codes::RATE_LIMITED,
+                    &format!("per-connection rate limit exceeded (trace {})", trace.id()),
+                )
             }
             traffic => {
                 shared.served.fetch_add(units, Ordering::SeqCst);
@@ -453,9 +520,15 @@ fn serve_conn(mut stream: TcpStream, shared: Arc<Shared>) -> Result<(), ProtoErr
                 let World { deployment, rng } = &mut *world;
                 deployment.serve_round(traffic, rng)
             }
-        }
+        };
+        shared
+            .meters
+            .request_latency
+            .record_duration(started.elapsed());
+        reply
     };
     let outcome = serve_frames(&mut stream, &mut serve);
+    shared.meters.connections.add(-1);
     shared.active.fetch_sub(1, Ordering::SeqCst);
     outcome
 }

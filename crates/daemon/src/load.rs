@@ -6,8 +6,8 @@
 //! 1. **save**: every user backs up a distinct secret under a distinct
 //!    PIN and uploads the artifact, fanned out over
 //!    [`LoadOptions::threads`] connections;
-//! 1b. **save storm**: a second population of the same size saves in
-//!    one [`ProviderRequest::SaveBatch`] frame — one grouped
+//!    1b. **save storm**: a second population of the same size saves
+//!    in one [`ProviderRequest::SaveBatch`] frame — one grouped
 //!    enrollment refresh and one group-commit flush on the provider
 //!    log for the whole wave — measuring the save-path engine over
 //!    the socket against phase 1's serial rate;
@@ -90,6 +90,26 @@ pub struct LoadReport {
     pub wave_recoveries: usize,
     /// Wall-clock seconds of the batch wave.
     pub wave_secs: f64,
+    /// Per-save wall-clock microseconds (phase 1, one sample per user).
+    pub save_samples_us: Vec<u64>,
+    /// Per-recovery wall-clock microseconds (phase 2, one per solo user).
+    pub recover_samples_us: Vec<u64>,
+    /// Selected series scraped from the daemon's telemetry registry
+    /// after the storm (`ProviderRequest::Metrics`), already rendered
+    /// as `BENCH_perf.json` metric pairs.
+    pub fleet: Vec<(String, f64)>,
+}
+
+/// The exact order statistic `sorted[max(1, ceil(q·n)) - 1]` of
+/// `samples`, in milliseconds (0 when empty).
+fn percentile_ms(samples: &[u64], q: f64) -> f64 {
+    if samples.is_empty() {
+        return 0.0;
+    }
+    let mut sorted = samples.to_vec();
+    sorted.sort_unstable();
+    let rank = ((q * sorted.len() as f64).ceil() as usize).clamp(1, sorted.len());
+    sorted.get(rank - 1).map_or(0.0, |v| *v as f64 / 1000.0)
 }
 
 impl LoadReport {
@@ -98,7 +118,7 @@ impl LoadReport {
         fn rate(count: usize, secs: f64) -> f64 {
             count as f64 / secs.max(1e-9)
         }
-        vec![
+        let mut metrics = vec![
             ("wire_users".to_string(), self.users as f64),
             (
                 "wire_saves_per_sec".to_string(),
@@ -116,8 +136,51 @@ impl LoadReport {
                 "wire_batch_recoveries_per_sec".to_string(),
                 rate(self.wave_recoveries, self.wave_secs),
             ),
-        ]
+        ];
+        for (key, samples) in [
+            ("save", &self.save_samples_us),
+            ("recover", &self.recover_samples_us),
+        ] {
+            for (suffix, q) in [("p50", 0.50), ("p95", 0.95), ("p99", 0.99)] {
+                metrics.push((format!("wire_{key}_{suffix}_ms"), percentile_ms(samples, q)));
+            }
+        }
+        metrics.extend(self.fleet.iter().cloned());
+        metrics
     }
+}
+
+/// Maps a handful of fleet-side registry series onto `wire_fleet_*`
+/// metric pairs so the daemon's own view of the storm (request
+/// latency, WAL pressure) lands in `BENCH_perf.json` next to the
+/// client-observed rates.
+fn fleet_metrics(report: &safetypin_proto::MetricsReport) -> Vec<(String, f64)> {
+    let mut out = Vec::new();
+    for name in ["daemon.requests", "store.wal_appends"] {
+        if let Some(value) = report.counter(name) {
+            out.push((
+                format!("wire_fleet_{}", name.replace('.', "_")),
+                value as f64,
+            ));
+        }
+    }
+    for name in [
+        "daemon.request",
+        "recover.epoch",
+        "recover.cluster_round",
+        "save.commit",
+    ] {
+        if let Some(h) = report.histogram(name) {
+            let flat = name.replace('.', "_");
+            for (suffix, value) in [("p50", h.p50), ("p95", h.p95), ("p99", h.p99)] {
+                out.push((
+                    format!("wire_fleet_{flat}_{suffix}_ms"),
+                    value as f64 / 1000.0,
+                ));
+            }
+        }
+    }
+    out
 }
 
 fn username(i: usize) -> Vec<u8> {
@@ -171,28 +234,36 @@ pub fn run(opts: &LoadOptions) -> Result<LoadReport, RemoteError> {
     let threads = opts.threads.max(1);
     let chunk = opts.users.div_ceil(threads).max(1);
 
-    // Phase 1: concurrent saves.
+    // Phase 1: concurrent saves. Each worker samples every save's
+    // wall-clock so the report can quote per-op wire percentiles, not
+    // just the aggregate rate.
     let save_start = Instant::now();
-    std::thread::scope(|s| -> Result<(), RemoteError> {
+    let save_samples_us = std::thread::scope(|s| -> Result<Vec<u64>, RemoteError> {
         let mut workers = Vec::new();
         for (tid, chunk_clients) in clients.chunks_mut(chunk).enumerate() {
             let addr = &opts.addr;
-            workers.push(s.spawn(move || -> Result<(), RemoteError> {
+            workers.push(s.spawn(move || -> Result<Vec<u64>, RemoteError> {
                 let mut tcp = connect(addr)?;
                 let mut rng = StdRng::seed_from_u64(0x5AFE_0001 + tid as u64);
+                let mut samples = Vec::with_capacity(chunk_clients.len());
                 for (j, client) in chunk_clients.iter_mut().enumerate() {
                     let i = tid * chunk + j;
+                    let op_start = Instant::now();
                     remote::save(&mut tcp, client, &pin(i), &secret(i), &mut rng)?;
+                    samples.push(op_start.elapsed().as_micros() as u64);
                 }
-                Ok(())
+                Ok(samples)
             }));
         }
+        let mut samples = Vec::new();
         for worker in workers {
-            worker
-                .join()
-                .map_err(|_| RemoteError::Protocol("save worker panicked"))??;
+            samples.extend(
+                worker
+                    .join()
+                    .map_err(|_| RemoteError::Protocol("save worker panicked"))??,
+            );
         }
-        Ok(())
+        Ok(samples)
     })?;
     let save_secs = save_start.elapsed().as_secs_f64();
 
@@ -220,7 +291,9 @@ pub fn run(opts: &LoadOptions) -> Result<LoadReport, RemoteError> {
         _ => return Err(RemoteError::Protocol("expected a SavedBatch reply")),
     };
     if outcomes.len() != opts.users {
-        return Err(RemoteError::Protocol("save wave reply has wrong user count"));
+        return Err(RemoteError::Protocol(
+            "save wave reply has wrong user count",
+        ));
     }
     for outcome in outcomes {
         if let Some(e) = outcome.error {
@@ -245,34 +318,43 @@ pub fn run(opts: &LoadOptions) -> Result<LoadReport, RemoteError> {
     let epoch_lock = Mutex::new(());
     let solo_chunk = solo_count.div_ceil(threads).max(1);
     let recover_start = Instant::now();
-    std::thread::scope(|s| -> Result<(), RemoteError> {
+    let recover_samples_us = std::thread::scope(|s| -> Result<Vec<u64>, RemoteError> {
         let mut workers = Vec::new();
         for (tid, chunk_clients) in solo.chunks(solo_chunk).enumerate() {
             let addr = &opts.addr;
             let epoch_lock = &epoch_lock;
-            workers.push(s.spawn(move || -> Result<(), RemoteError> {
+            workers.push(s.spawn(move || -> Result<Vec<u64>, RemoteError> {
                 let mut tcp = connect(addr)?;
                 let mut rng = StdRng::seed_from_u64(0x5AFE_1001 + tid as u64);
+                let mut samples = Vec::with_capacity(chunk_clients.len());
                 for (j, client) in chunk_clients.iter().enumerate() {
                     let i = tid * solo_chunk + j;
                     let artifact = remote::fetch_backup(&mut tcp, client.username())?;
                     let guard = epoch_lock.lock().unwrap_or_else(|e| e.into_inner());
+                    // Sample inside the lock: the measured span is the
+                    // recovery protocol itself, not queueing on the
+                    // client-side epoch lock.
+                    let op_start = Instant::now();
                     let plaintext =
                         remote::recover(&mut tcp, client, &pin(i), &artifact, &mut rng)?;
+                    samples.push(op_start.elapsed().as_micros() as u64);
                     drop(guard);
                     if plaintext != secret(i) {
                         return Err(RemoteError::Protocol("solo recovery returned wrong bytes"));
                     }
                 }
-                Ok(())
+                Ok(samples)
             }));
         }
+        let mut samples = Vec::new();
         for worker in workers {
-            worker
-                .join()
-                .map_err(|_| RemoteError::Protocol("recover worker panicked"))??;
+            samples.extend(
+                worker
+                    .join()
+                    .map_err(|_| RemoteError::Protocol("recover worker panicked"))??,
+            );
         }
-        Ok(())
+        Ok(samples)
     })?;
     let recover_secs = recover_start.elapsed().as_secs_f64();
 
@@ -346,6 +428,14 @@ pub fn run(opts: &LoadOptions) -> Result<LoadReport, RemoteError> {
     }
     let wave_secs = wave_start.elapsed().as_secs_f64();
 
+    // Scrape the daemon's registry so the fleet's own view of the
+    // storm rides along in the report. An older daemon that refuses
+    // the request simply yields no fleet series — not an error.
+    let fleet = match tcp.call(ProviderRequest::Metrics) {
+        Ok(ProviderResponse::Metrics(report)) => fleet_metrics(&report),
+        _ => Vec::new(),
+    };
+
     Ok(LoadReport {
         users: opts.users,
         saves: opts.users,
@@ -356,5 +446,8 @@ pub fn run(opts: &LoadOptions) -> Result<LoadReport, RemoteError> {
         recover_secs,
         wave_recoveries,
         wave_secs,
+        save_samples_us,
+        recover_samples_us,
+        fleet,
     })
 }

@@ -335,7 +335,10 @@ impl Hsm {
         // every user's punctures, any rotation — commits in one flush
         // (one WAL commit record, one fsync under strict durability)
         // before a single response leaves the device.
-        store.flush();
+        {
+            safetypin_telemetry::span!("hsm.group_commit");
+            store.flush();
+        }
         responses
             .into_iter()
             .map(|r| {
@@ -506,7 +509,10 @@ impl Hsm {
             .iter()
             .flat_map(|(_, p)| p.trace.iter().copied())
             .collect();
-        let audited = self.bfe_pk.audit_slot_scalars(&traces, rng);
+        let audited = {
+            safetypin_telemetry::span!("hsm.msm_audit");
+            self.bfe_pk.audit_slot_scalars(&traces, rng)
+        };
         // One MSM plus one fixed-base multiplication for the whole group.
         self.costs.group_mults += 2;
         if !audited {
@@ -521,6 +527,7 @@ impl Hsm {
         // union of every tag's slots is deleted in a single
         // shared-prefix `delete_batch` pass.
         let tags: Vec<&[u8]> = pending.iter().map(|(_, p)| p.tag.as_slice()).collect();
+        let puncture_span = safetypin_telemetry::start_span("hsm.coalesced_puncture");
         let report = match self.bfe_sk.puncture_many(store, &tags, rng) {
             Ok(report) => report,
             Err(_) => {
@@ -531,6 +538,7 @@ impl Hsm {
                 return;
             }
         };
+        drop(puncture_span);
 
         // Attribute the shared puncture cost evenly across the group
         // (the remainder lands on the first request) — the aggregate

@@ -21,6 +21,7 @@ use safetypin_primitives::wire::{Decode, Encode, Reader, Writer};
 use crate::messages::{
     EnrollmentRecord, RecoveryPhases, RecoveryRequest, RecoveryResponse, StatusReport,
 };
+use crate::metrics::MetricsReport;
 
 /// Stable numeric codes carried by [`ErrorReply`] messages.
 ///
@@ -404,6 +405,12 @@ pub enum ProviderRequest {
     /// wave durable under **one** group-commit flush. Decoding rejects
     /// waves larger than [`MAX_SAVE_BATCH_USERS`] with a typed error.
     SaveBatch(Vec<SaveRequest>),
+    /// Fetch a live snapshot of the service's telemetry registry
+    /// (counters, gauges, and latency-histogram summaries — see
+    /// [`MetricsReport`]). `safetypind`
+    /// answers this lock-free, before the fleet mutex, so metrics stay
+    /// readable even while the fleet is saturated.
+    Metrics,
 }
 
 /// One user's save inside a [`ProviderRequest::SaveBatch`] wave.
@@ -560,6 +567,7 @@ impl Encode for ProviderRequest {
                     save.encode(w);
                 }
             }
+            ProviderRequest::Metrics => w.put_u8(12),
         }
     }
 }
@@ -592,6 +600,7 @@ impl Decode for ProviderRequest {
             9 => Ok(ProviderRequest::Status),
             10 => Ok(ProviderRequest::Shutdown),
             11 => Ok(ProviderRequest::SaveBatch(get_save_wave(r)?)),
+            12 => Ok(ProviderRequest::Metrics),
             t => Err(WireError::InvalidTag(t)),
         }
     }
@@ -634,6 +643,9 @@ pub enum ProviderResponse {
     /// Reply to [`ProviderRequest::SaveBatch`]: per-user outcomes in
     /// request order.
     SavedBatch(Vec<SaveOutcome>),
+    /// Reply to [`ProviderRequest::Metrics`]: the live telemetry
+    /// snapshot.
+    Metrics(MetricsReport),
 }
 
 impl Encode for ProviderResponse {
@@ -687,6 +699,10 @@ impl Encode for ProviderResponse {
                     outcome.encode(w);
                 }
             }
+            ProviderResponse::Metrics(report) => {
+                w.put_u8(11);
+                report.encode(w);
+            }
         }
     }
 }
@@ -708,6 +724,7 @@ impl Decode for ProviderResponse {
             8 => Ok(ProviderResponse::Backup(r.get_option()?)),
             9 => Ok(ProviderResponse::Status(StatusReport::decode(r)?)),
             10 => Ok(ProviderResponse::SavedBatch(get_save_wave(r)?)),
+            11 => Ok(ProviderResponse::Metrics(MetricsReport::decode(r)?)),
             t => Err(WireError::InvalidTag(t)),
         }
     }

@@ -62,6 +62,7 @@ pub mod api;
 pub mod envelope;
 pub mod error;
 pub mod messages;
+pub mod metrics;
 pub mod tcp;
 pub mod transport;
 
@@ -74,6 +75,7 @@ pub use error::ProtoError;
 pub use messages::{
     EnrollmentRecord, RecoveryPhases, RecoveryRequest, RecoveryResponse, SnapshotMeta, StatusReport,
 };
+pub use metrics::{HistogramSummary, MetricsReport, MAX_METRICS_SERIES};
 pub use tcp::{Tcp, TcpConfig, MAX_FRAME_BYTES};
 pub use transport::{
     Direct, FaultPlan, FaultScope, Faulty, Serialized, ServeTrafficFn, Traffic, TrafficReply,

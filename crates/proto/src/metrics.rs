@@ -1,0 +1,216 @@
+//! Wire form of a telemetry snapshot ([`ProviderRequest::Metrics`]).
+//!
+//! [`MetricsReport`] is the over-the-wire shape of a
+//! [`safetypin_telemetry::Snapshot`]: counters and gauges ride whole,
+//! histograms ride as summaries (count/sum/min/max plus the
+//! p50/p95/p99 estimates) so a snapshot of a busy fleet stays a few
+//! KiB. Series names are UTF-8; a peer that sends non-UTF-8 name
+//! bytes gets them replaced lossily rather than rejected, keeping the
+//! decoder total. Section lengths are capped by
+//! [`MAX_METRICS_SERIES`] so a hostile header cannot force a large
+//! allocation.
+//!
+//! [`ProviderRequest::Metrics`]: crate::api::ProviderRequest::Metrics
+
+use safetypin_primitives::error::WireError;
+use safetypin_primitives::wire::{Decode, Encode, Reader, Writer};
+use safetypin_telemetry::Snapshot;
+
+/// Upper bound on the series one [`MetricsReport`] section may carry;
+/// oversized sections fail decoding with
+/// [`WireError::LengthOutOfRange`] before any payload is parsed.
+pub const MAX_METRICS_SERIES: usize = 4096;
+
+/// One histogram's summary inside a [`MetricsReport`].
+///
+/// All values are in the histogram's recording unit — microseconds
+/// for every latency series (the workspace convention).
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct HistogramSummary {
+    /// Series name (`layer.operation`).
+    pub name: String,
+    /// Observations recorded.
+    pub count: u64,
+    /// Sum of all recorded values.
+    pub sum: u64,
+    /// Smallest recorded value (0 when the series is empty).
+    pub min: u64,
+    /// Largest recorded value.
+    pub max: u64,
+    /// Median estimate.
+    pub p50: u64,
+    /// 95th-percentile estimate.
+    pub p95: u64,
+    /// 99th-percentile estimate.
+    pub p99: u64,
+}
+
+impl Encode for HistogramSummary {
+    fn encode(&self, w: &mut Writer) {
+        w.put_bytes(self.name.as_bytes());
+        w.put_u64(self.count);
+        w.put_u64(self.sum);
+        w.put_u64(self.min);
+        w.put_u64(self.max);
+        w.put_u64(self.p50);
+        w.put_u64(self.p95);
+        w.put_u64(self.p99);
+    }
+}
+
+impl Decode for HistogramSummary {
+    fn decode(r: &mut Reader<'_>) -> core::result::Result<Self, WireError> {
+        Ok(Self {
+            name: String::from_utf8_lossy(r.get_bytes()?).into_owned(),
+            count: r.get_u64()?,
+            sum: r.get_u64()?,
+            min: r.get_u64()?,
+            max: r.get_u64()?,
+            p50: r.get_u64()?,
+            p95: r.get_u64()?,
+            p99: r.get_u64()?,
+        })
+    }
+}
+
+/// A live snapshot of a service's metric registry, served lock-free
+/// (no fleet mutex) by `safetypind` in reply to
+/// [`ProviderRequest::Metrics`](crate::api::ProviderRequest::Metrics).
+#[derive(Debug, Clone, Default, PartialEq)]
+pub struct MetricsReport {
+    /// `(name, total)` for every counter, sorted by name.
+    pub counters: Vec<(String, u64)>,
+    /// `(name, value)` for every gauge, sorted by name.
+    pub gauges: Vec<(String, i64)>,
+    /// Histogram summaries, sorted by name.
+    pub histograms: Vec<HistogramSummary>,
+}
+
+/// Decodes one `(name, u64)` section written by [`put_named_u64s`].
+fn get_named_u64s(r: &mut Reader<'_>) -> core::result::Result<Vec<(String, u64)>, WireError> {
+    let len = r.get_u32()? as usize;
+    if len > MAX_METRICS_SERIES || len > r.remaining() {
+        return Err(WireError::LengthOutOfRange);
+    }
+    let mut out = Vec::with_capacity(len);
+    for _ in 0..len {
+        let name = String::from_utf8_lossy(r.get_bytes()?).into_owned();
+        out.push((name, r.get_u64()?));
+    }
+    Ok(out)
+}
+
+/// Encodes a `(name, u64)` section with a `u32` count prefix.
+fn put_named_u64s(w: &mut Writer, items: &[(String, u64)]) {
+    w.put_u32(items.len() as u32);
+    for (name, value) in items {
+        w.put_bytes(name.as_bytes());
+        w.put_u64(*value);
+    }
+}
+
+impl Encode for MetricsReport {
+    fn encode(&self, w: &mut Writer) {
+        put_named_u64s(w, &self.counters);
+        // Gauges are signed; they ride as two's-complement u64.
+        let gauges: Vec<(String, u64)> = self
+            .gauges
+            .iter()
+            .map(|(n, v)| (n.clone(), *v as u64))
+            .collect();
+        put_named_u64s(w, &gauges);
+        let histograms = &self.histograms;
+        w.put_u32(histograms.len() as u32);
+        for h in histograms {
+            h.encode(w);
+        }
+    }
+}
+
+impl Decode for MetricsReport {
+    fn decode(r: &mut Reader<'_>) -> core::result::Result<Self, WireError> {
+        let counters = get_named_u64s(r)?;
+        let gauges = get_named_u64s(r)?
+            .into_iter()
+            .map(|(n, v)| (n, v as i64))
+            .collect();
+        let len = r.get_u32()? as usize;
+        if len > MAX_METRICS_SERIES || len > r.remaining() {
+            return Err(WireError::LengthOutOfRange);
+        }
+        let mut histograms = Vec::with_capacity(len);
+        for _ in 0..len {
+            histograms.push(HistogramSummary::decode(r)?);
+        }
+        Ok(Self {
+            counters,
+            gauges,
+            histograms,
+        })
+    }
+}
+
+impl MetricsReport {
+    /// Summarizes a registry snapshot into its wire form.
+    pub fn from_snapshot(snapshot: &Snapshot) -> Self {
+        Self {
+            counters: snapshot.counters.clone(),
+            gauges: snapshot.gauges.clone(),
+            histograms: snapshot
+                .histograms
+                .iter()
+                .map(|(name, h)| HistogramSummary {
+                    name: name.clone(),
+                    count: h.count,
+                    sum: h.sum,
+                    min: if h.count == 0 { 0 } else { h.min },
+                    max: h.max,
+                    p50: h.p50(),
+                    p95: h.p95(),
+                    p99: h.p99(),
+                })
+                .collect(),
+        }
+    }
+
+    /// Snapshots the process-wide [`safetypin_telemetry::global`]
+    /// registry — what every serving role answers `Metrics` with.
+    pub fn from_global() -> Self {
+        Self::from_snapshot(&safetypin_telemetry::global().snapshot())
+    }
+
+    /// The total for a counter, or `None` if it is absent.
+    pub fn counter(&self, name: &str) -> Option<u64> {
+        self.counters
+            .iter()
+            .find(|(n, _)| n == name)
+            .map(|(_, v)| *v)
+    }
+
+    /// The summary for a histogram, or `None` if it is absent.
+    pub fn histogram(&self, name: &str) -> Option<&HistogramSummary> {
+        self.histograms.iter().find(|h| h.name == name)
+    }
+
+    /// Renders the report one line per series — the text exposition
+    /// `safetypin-cli metrics` prints (same shape as
+    /// [`Snapshot::render_text`]).
+    pub fn render_text(&self) -> String {
+        use std::fmt::Write as _;
+        let mut out = String::new();
+        for (name, value) in &self.counters {
+            let _ = writeln!(out, "counter {name} {value}");
+        }
+        for (name, value) in &self.gauges {
+            let _ = writeln!(out, "gauge {name} {value}");
+        }
+        for h in &self.histograms {
+            let _ = writeln!(
+                out,
+                "histogram {} count={} sum={} min={} max={} p50={} p95={} p99={}",
+                h.name, h.count, h.sum, h.min, h.max, h.p50, h.p95, h.p99,
+            );
+        }
+        out
+    }
+}

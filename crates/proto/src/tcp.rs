@@ -234,6 +234,13 @@ pub fn serve_frames<S: Read + Write>(
     stream: &mut S,
     serve: &mut ServeTrafficFn<'_>,
 ) -> Result<(), ProtoError> {
+    // Server-side view of the same `tcp.*` series the client transport
+    // feeds: resolved once per connection, counted once per frame.
+    let registry = safetypin_telemetry::global();
+    let frames_in = registry.counter("tcp.frames_in");
+    let bytes_in = registry.counter("tcp.bytes_in");
+    let frames_out = registry.counter("tcp.frames_out");
+    let bytes_out = registry.counter("tcp.bytes_out");
     loop {
         let payload = match read_frame(stream, MAX_FRAME_BYTES) {
             Ok(None) => return Ok(()),
@@ -245,11 +252,16 @@ pub fn serve_frames<S: Read + Write>(
             }
             Err(e) => return Err(e),
         };
+        frames_in.incr();
+        bytes_in.add(payload.len() as u64 + 4);
         let reply = match Envelope::from_bytes(&payload) {
             Ok(envelope) => serve_envelope(envelope.msg, serve),
             Err(e) => error_message(codes::WIRE, format!("undecodable frame: {e}")),
         };
-        write_frame(stream, &Envelope::seal(reply).to_bytes())?;
+        let reply_bytes = Envelope::seal(reply).to_bytes();
+        frames_out.incr();
+        bytes_out.add(reply_bytes.len() as u64 + 4);
+        write_frame(stream, &reply_bytes)?;
     }
 }
 
@@ -308,15 +320,27 @@ pub struct Tcp {
     config: TcpConfig,
     idle: Vec<TcpStream>,
     stats: TransportStats,
+    // Cached global-registry handles (one lookup at construction, not
+    // one per frame): socket frames/bytes by direction, from this
+    // process's point of view.
+    frames_out: std::sync::Arc<safetypin_telemetry::Counter>,
+    frames_in: std::sync::Arc<safetypin_telemetry::Counter>,
+    bytes_out: std::sync::Arc<safetypin_telemetry::Counter>,
+    bytes_in: std::sync::Arc<safetypin_telemetry::Counter>,
 }
 
 impl Tcp {
     /// A transport that will dial `config.addr` on first use.
     pub fn new(config: TcpConfig) -> Self {
+        let telemetry = safetypin_telemetry::global();
         Self {
             config,
             idle: Vec::new(),
             stats: TransportStats::default(),
+            frames_out: telemetry.counter("tcp.frames_out"),
+            frames_in: telemetry.counter("tcp.frames_in"),
+            bytes_out: telemetry.counter("tcp.bytes_out"),
+            bytes_in: telemetry.counter("tcp.bytes_in"),
         }
     }
 
@@ -368,6 +392,8 @@ impl Tcp {
         let request = Envelope::seal(msg).to_bytes();
         self.stats.envelopes += 1;
         self.stats.request_bytes += request.len() as u64 + 4;
+        self.frames_out.incr();
+        self.bytes_out.add(request.len() as u64 + 4);
         let outcome = write_frame(&mut stream, &request).and_then(|()| {
             match read_frame(&mut stream, MAX_FRAME_BYTES)? {
                 Some(reply) => Ok(reply),
@@ -380,6 +406,8 @@ impl Tcp {
         let reply = outcome?;
         self.stats.envelopes += 1;
         self.stats.response_bytes += reply.len() as u64 + 4;
+        self.frames_in.incr();
+        self.bytes_in.add(reply.len() as u64 + 4);
         let msg = Envelope::from_bytes(&reply)?.msg;
         self.checkin(stream);
         Ok(msg)

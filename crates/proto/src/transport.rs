@@ -37,10 +37,13 @@
 //! [`ProtoError::UnexpectedMessage`]. Report moved bytes through
 //! [`TransportStats`] so benchmarks pick the backend up automatically.
 
+use std::sync::Arc;
+
 use rand::rngs::StdRng;
 use rand::{Rng, SeedableRng};
 use safetypin_primitives::wire::{Decode, Encode};
 use safetypin_sim::transport::{TransportProfile, USB_CDC};
+use safetypin_telemetry::{Counter, Registry};
 
 use crate::api::{ErrorReply, HsmRequest, HsmResponse, ProviderRequest, ProviderResponse};
 use crate::envelope::{Envelope, Message};
@@ -305,14 +308,25 @@ impl Transport for Direct {
 pub struct Serialized {
     profile: TransportProfile,
     stats: TransportStats,
+    // Cached global-registry handles: shipping an envelope must not
+    // pay a name lookup per frame.
+    frames_out: Arc<Counter>,
+    frames_in: Arc<Counter>,
+    bytes_out: Arc<Counter>,
+    bytes_in: Arc<Counter>,
 }
 
 impl Serialized {
     /// A serialized transport priced against `profile`.
     pub fn new(profile: TransportProfile) -> Self {
+        let telemetry = safetypin_telemetry::global();
         Self {
             profile,
             stats: TransportStats::default(),
+            frames_out: telemetry.counter("transport.frames_out"),
+            frames_in: telemetry.counter("transport.frames_in"),
+            bytes_out: telemetry.counter("transport.bytes_out"),
+            bytes_in: telemetry.counter("transport.bytes_in"),
         }
     }
 
@@ -331,6 +345,8 @@ impl Serialized {
         self.stats.envelopes += 1;
         self.stats.request_bytes += bytes.len() as u64;
         self.stats.seconds += self.profile.seconds_for_bytes(bytes.len() as u64);
+        self.frames_out.incr();
+        self.bytes_out.add(bytes.len() as u64);
         Ok(Envelope::from_bytes(&bytes)?.msg)
     }
 
@@ -339,6 +355,8 @@ impl Serialized {
         self.stats.envelopes += 1;
         self.stats.response_bytes += bytes.len() as u64;
         self.stats.seconds += self.profile.seconds_for_bytes(bytes.len() as u64);
+        self.frames_in.incr();
+        self.bytes_in.add(bytes.len() as u64);
         Ok(Envelope::from_bytes(&bytes)?.msg)
     }
 
@@ -545,11 +563,22 @@ impl FaultPlan {
 /// and then attempts a decode — sometimes that yields a typed parse
 /// failure, sometimes a structurally valid envelope with mangled
 /// content, exactly like a real flaky link.
+///
+/// Every injected fault also lands in a telemetry counter
+/// (`faults.injected_drop` / `faults.injected_corrupt` /
+/// `faults.injected_delay`), so chaos tests can assert "exactly N
+/// faults fired" instead of inferring from outcomes. Counters go to
+/// the process-wide registry by default;
+/// [`with_registry`](Self::with_registry) redirects them to a private
+/// one so concurrent test suites do not share a ledger.
 pub struct Faulty {
     inner: Box<dyn Transport>,
     plan: FaultPlan,
     rng: StdRng,
     faults: TransportStats,
+    injected_drop: Arc<Counter>,
+    injected_corrupt: Arc<Counter>,
+    injected_delay: Arc<Counter>,
 }
 
 enum Fate {
@@ -562,12 +591,25 @@ enum Fate {
 impl Faulty {
     /// Wraps `inner`, faulting per `plan`, seeded with `seed`.
     pub fn new(inner: Box<dyn Transport>, plan: FaultPlan, seed: u64) -> Self {
+        let telemetry = safetypin_telemetry::global();
         Self {
             inner,
             plan,
             rng: StdRng::seed_from_u64(seed),
             faults: TransportStats::default(),
+            injected_drop: telemetry.counter("faults.injected_drop"),
+            injected_corrupt: telemetry.counter("faults.injected_corrupt"),
+            injected_delay: telemetry.counter("faults.injected_delay"),
         }
+    }
+
+    /// Redirects this instance's fault counters into `registry`
+    /// (same series names), leaving the process-wide ledger untouched.
+    pub fn with_registry(mut self, registry: &Registry) -> Self {
+        self.injected_drop = registry.counter("faults.injected_drop");
+        self.injected_corrupt = registry.counter("faults.injected_corrupt");
+        self.injected_delay = registry.counter("faults.injected_delay");
+        self
     }
 
     fn in_scope(&self, request: &HsmRequest) -> bool {
@@ -624,14 +666,17 @@ impl Faulty {
             Fate::Deliver => Ok(response),
             Fate::Drop => {
                 self.faults.dropped += 1;
+                self.injected_drop.incr();
                 Err(ProtoError::Dropped)
             }
             Fate::Corrupt => {
                 self.faults.corrupted += 1;
+                self.injected_corrupt.incr();
                 self.corrupt_response(response)
             }
             Fate::Delay => {
                 self.faults.seconds += self.plan.delay_seconds;
+                self.injected_delay.incr();
                 Ok(response)
             }
         }
@@ -644,10 +689,12 @@ impl Faulty {
         match self.fate() {
             Fate::Drop => {
                 self.faults.dropped += 1;
+                self.injected_drop.incr();
                 Err(ProtoError::Dropped)
             }
             Fate::Delay => {
                 self.faults.seconds += self.plan.delay_seconds;
+                self.injected_delay.incr();
                 Ok(())
             }
             Fate::Deliver | Fate::Corrupt => Ok(()),
@@ -755,10 +802,12 @@ impl Faulty {
             Fate::Deliver => Ok(TrafficReply::Provider(response)),
             Fate::Drop => {
                 self.faults.dropped += 1;
+                self.injected_drop.incr();
                 Err(ProtoError::Dropped)
             }
             Fate::Corrupt => {
                 self.faults.corrupted += 1;
+                self.injected_corrupt.incr();
                 match self.corrupt_message(Message::ProviderResponse(response)) {
                     Some(Message::ProviderResponse(resp)) => Ok(TrafficReply::Provider(resp)),
                     _ => Err(ProtoError::Corrupted),
@@ -766,6 +815,7 @@ impl Faulty {
             }
             Fate::Delay => {
                 self.faults.seconds += self.plan.delay_seconds;
+                self.injected_delay.incr();
                 Ok(TrafficReply::Provider(response))
             }
         }

@@ -14,9 +14,9 @@ use safetypin_primitives::error::WireError;
 use safetypin_primitives::wire::{Decode, Encode};
 use safetypin_primitives::{commit, elgamal, shamir};
 use safetypin_proto::{
-    codes, Envelope, ErrorReply, HsmRequest, HsmResponse, Message, ProviderRequest,
-    ProviderResponse, RecoveryPhases, RecoveryRequest, RecoveryResponse, SaveOutcome, SaveRequest,
-    SnapshotMeta, StatusReport, PROTO_VERSION,
+    codes, Envelope, ErrorReply, HistogramSummary, HsmRequest, HsmResponse, Message, MetricsReport,
+    ProviderRequest, ProviderResponse, RecoveryPhases, RecoveryRequest, RecoveryResponse,
+    SaveOutcome, SaveRequest, SnapshotMeta, StatusReport, PROTO_VERSION,
 };
 use safetypin_sim::OpCosts;
 
@@ -181,6 +181,7 @@ fn sample_envelopes(seed: u64) -> Vec<Envelope> {
             },
         ]),
         ProviderRequest::SaveBatch(Vec::new()),
+        ProviderRequest::Metrics,
     ];
     let provider_responses = vec![
         ProviderResponse::Enrollments(vec![enrollment]),
@@ -239,6 +240,29 @@ fn sample_envelopes(seed: u64) -> Vec<Envelope> {
             },
         ]),
         ProviderResponse::SavedBatch(Vec::new()),
+        // A telemetry snapshot with every section populated, plus the
+        // empty-registry edge.
+        ProviderResponse::Metrics(MetricsReport {
+            counters: vec![
+                ("daemon.requests".to_string(), 42),
+                ("store.wal_appends".to_string(), u64::MAX),
+            ],
+            gauges: vec![
+                ("daemon.connections_active".to_string(), 3),
+                ("t.negative".to_string(), -7),
+            ],
+            histograms: vec![HistogramSummary {
+                name: "daemon.request".to_string(),
+                count: 42,
+                sum: 123_456,
+                min: 80,
+                max: 9_001,
+                p50: 2_500,
+                p95: 7_800,
+                p99: 8_900,
+            }],
+        }),
+        ProviderResponse::Metrics(MetricsReport::default()),
     ];
 
     let mut envelopes = Vec::new();
@@ -439,6 +463,45 @@ fn oversized_save_batch_rejected_with_typed_error() {
     ]);
     let encoded = Envelope::seal(Message::ProviderRequest(within)).to_bytes();
     assert!(Envelope::from_bytes(&encoded).is_ok());
+}
+
+/// Every [`MetricsReport`] section caps its series count before any
+/// payload parses.
+#[test]
+fn oversized_metrics_report_rejected_with_typed_error() {
+    use safetypin_primitives::wire::Writer;
+    use safetypin_proto::MAX_METRICS_SERIES;
+
+    // Envelope header + ProviderResponse (message tag 5) + Metrics
+    // (variant tag 11) + an oversized counter-section count, padded
+    // past the allocation guard.
+    let mut w = Writer::new();
+    w.put_u16(PROTO_VERSION);
+    w.put_u8(5);
+    w.put_u8(11);
+    w.put_u32(MAX_METRICS_SERIES as u32 + 1);
+    let mut bytes = w.into_bytes();
+    bytes.extend(std::iter::repeat_n(0u8, MAX_METRICS_SERIES + 64));
+    assert_eq!(
+        Envelope::from_bytes(&bytes).unwrap_err(),
+        WireError::LengthOutOfRange
+    );
+
+    // The histogram section enforces the same ceiling: an empty
+    // counter and gauge section, then an oversized summary count.
+    let mut w = Writer::new();
+    w.put_u16(PROTO_VERSION);
+    w.put_u8(5);
+    w.put_u8(11);
+    w.put_u32(0);
+    w.put_u32(0);
+    w.put_u32(MAX_METRICS_SERIES as u32 + 1);
+    let mut bytes = w.into_bytes();
+    bytes.extend(std::iter::repeat_n(0u8, MAX_METRICS_SERIES + 64));
+    assert_eq!(
+        Envelope::from_bytes(&bytes).unwrap_err(),
+        WireError::LengthOutOfRange
+    );
 }
 
 /// Same ceiling on the per-device group envelope.

@@ -367,8 +367,9 @@ impl<S: BlockStore + Send> Datacenter<S> {
         &mut self,
         mut wal: Box<dyn BlockStore + Send>,
     ) -> Result<u64, ProviderError> {
-        const MALFORMED: ProviderError =
-            ProviderError::Log(LogError::InvalidSnapshot("malformed provider-log WAL record"));
+        const MALFORMED: ProviderError = ProviderError::Log(LogError::InvalidSnapshot(
+            "malformed provider-log WAL record",
+        ));
         let mut seq = 0u64;
         let mut replayed = 0u64;
         while let Some(bytes) = wal.get(seq) {
@@ -474,7 +475,8 @@ impl<S: BlockStore + Send> Datacenter<S> {
                 Err(e) => Some(ErrorReply::new(codes::LOG_REFUSED, e.to_string())),
             };
             if error.is_none() {
-                self.backups.insert(save.username.clone(), save.blob.clone());
+                self.backups
+                    .insert(save.username.clone(), save.blob.clone());
             }
             outcomes.push(SaveOutcome {
                 username: save.username.clone(),
@@ -885,27 +887,39 @@ impl<S: BlockStore + Send> Datacenter<S> {
         request: ProviderRequest,
         rng: &mut R,
     ) -> ProviderResponse {
+        // The wire-facing phase spans mirror the in-process ones in
+        // `Deployment::recover`/`save`: a client driving the protocol
+        // request-by-request over a daemon lands in the same Figure-10
+        // histograms as one calling the library directly.
         match request {
             ProviderRequest::FetchEnrollments => ProviderResponse::Enrollments(self.enrollments()),
-            ProviderRequest::InsertLog { id, value } => match self.insert_log(&id, &value) {
-                Ok(()) => ProviderResponse::Ack,
-                Err(e) => {
-                    ProviderResponse::Error(ErrorReply::new(codes::LOG_REFUSED, e.to_string()))
+            ProviderRequest::InsertLog { id, value } => {
+                safetypin_telemetry::span!("recover.log_insert");
+                match self.insert_log(&id, &value) {
+                    Ok(()) => ProviderResponse::Ack,
+                    Err(e) => {
+                        ProviderResponse::Error(ErrorReply::new(codes::LOG_REFUSED, e.to_string()))
+                    }
                 }
-            },
+            }
             ProviderRequest::ProveInclusion { id, value } => {
+                safetypin_telemetry::span!("recover.inclusion");
                 ProviderResponse::Inclusion(self.prove_inclusion(&id, &value))
             }
-            ProviderRequest::RunEpoch => match self.run_epoch() {
-                Ok(outcome) => ProviderResponse::EpochCertified {
-                    message: outcome.message,
-                    signer_count: outcome.signers.len() as u32,
-                },
-                Err(e) => {
-                    ProviderResponse::Error(ErrorReply::new(codes::EPOCH_FAILED, e.to_string()))
+            ProviderRequest::RunEpoch => {
+                safetypin_telemetry::span!("recover.epoch");
+                match self.run_epoch() {
+                    Ok(outcome) => ProviderResponse::EpochCertified {
+                        message: outcome.message,
+                        signer_count: outcome.signers.len() as u32,
+                    },
+                    Err(e) => {
+                        ProviderResponse::Error(ErrorReply::new(codes::EPOCH_FAILED, e.to_string()))
+                    }
                 }
-            },
+            }
             ProviderRequest::Recover(requests) => {
+                safetypin_telemetry::span!("recover.cluster_round");
                 match self.route_recovery_cluster(requests, rng) {
                     Ok(items) => ProviderResponse::Recovered(
                         items
@@ -938,49 +952,71 @@ impl<S: BlockStore + Send> Datacenter<S> {
                     .cloned()
                     .collect(),
             ),
-            ProviderRequest::RecoverBatch(users) => match self.route_recovery_multi(users, rng) {
-                Ok(per_user) => ProviderResponse::RecoveredBatch(
-                    per_user
-                        .into_iter()
-                        .map(|items| {
-                            items
-                                .into_iter()
-                                .map(|(id, item)| {
-                                    let resp = match item {
-                                        Ok((response, phases)) => {
-                                            HsmResponse::RecoveryShare { response, phases }
-                                        }
-                                        Err(e) => HsmResponse::Error((&e).into()),
-                                    };
-                                    (id, resp)
-                                })
-                                .collect()
-                        })
-                        .collect(),
-                ),
-                Err(ProviderError::Transport(ProtoError::Dropped)) => {
-                    ProviderResponse::Error(ErrorReply::dropped())
+            ProviderRequest::RecoverBatch(users) => {
+                let routed = {
+                    safetypin_telemetry::span!("recover.cluster_round");
+                    self.route_recovery_multi(users, rng)
+                };
+                match routed {
+                    Ok(per_user) => ProviderResponse::RecoveredBatch(
+                        per_user
+                            .into_iter()
+                            .map(|items| {
+                                items
+                                    .into_iter()
+                                    .map(|(id, item)| {
+                                        let resp = match item {
+                                            Ok((response, phases)) => {
+                                                HsmResponse::RecoveryShare { response, phases }
+                                            }
+                                            Err(e) => HsmResponse::Error((&e).into()),
+                                        };
+                                        (id, resp)
+                                    })
+                                    .collect()
+                            })
+                            .collect(),
+                    ),
+                    Err(ProviderError::Transport(ProtoError::Dropped)) => {
+                        ProviderResponse::Error(ErrorReply::dropped())
+                    }
+                    Err(e) => {
+                        ProviderResponse::Error(ErrorReply::new(codes::CORRUPTED, e.to_string()))
+                    }
                 }
-                Err(e) => ProviderResponse::Error(ErrorReply::new(codes::CORRUPTED, e.to_string())),
-            },
+            }
             ProviderRequest::PutBackup { username, blob } => {
                 self.backups.insert(username, blob);
                 ProviderResponse::Ack
             }
-            ProviderRequest::SaveBatch(saves) => match self.save_many(&saves) {
-                Ok(outcomes) => ProviderResponse::SavedBatch(outcomes),
-                // save_many only fails whole-wave on a transport-level
-                // error in the enrollment-refresh round (per-save
-                // refusals come back as outcomes).
-                Err(ProviderError::Transport(ProtoError::Dropped)) => {
-                    ProviderResponse::Error(ErrorReply::dropped())
+            ProviderRequest::SaveBatch(saves) => {
+                let saved = {
+                    safetypin_telemetry::span!("save.commit");
+                    self.save_many(&saves)
+                };
+                match saved {
+                    Ok(outcomes) => ProviderResponse::SavedBatch(outcomes),
+                    // save_many only fails whole-wave on a transport-level
+                    // error in the enrollment-refresh round (per-save
+                    // refusals come back as outcomes).
+                    Err(ProviderError::Transport(ProtoError::Dropped)) => {
+                        ProviderResponse::Error(ErrorReply::dropped())
+                    }
+                    Err(e) => {
+                        ProviderResponse::Error(ErrorReply::new(codes::CORRUPTED, e.to_string()))
+                    }
                 }
-                Err(e) => ProviderResponse::Error(ErrorReply::new(codes::CORRUPTED, e.to_string())),
-            },
+            }
             ProviderRequest::FetchBackup { username } => {
                 ProviderResponse::Backup(self.backups.get(&username).cloned())
             }
             ProviderRequest::Status => ProviderResponse::Status(self.status_report()),
+            // Every serving role shares the one process-wide registry,
+            // so a bare datacenter answers with the same snapshot the
+            // daemon would.
+            ProviderRequest::Metrics => {
+                ProviderResponse::Metrics(safetypin_proto::MetricsReport::from_global())
+            }
             // Shutdown is a service-level request: it drains connections
             // and persists state, which only the daemon wrapping this
             // datacenter can do.

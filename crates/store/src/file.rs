@@ -151,6 +151,37 @@ enum Residence {
     Wal,
 }
 
+/// Global-registry handles resolved once at [`FileStore::open`] so the
+/// hot paths (`put`/`get`/`flush`) never pay a per-call name lookup.
+/// These mirror [`StoreStats`] into the process-wide telemetry surface:
+/// `store.wal_appends` / `store.wal_bytes` count every WAL record,
+/// `store.checkpoints` counts compactions, `store.cache_hits` /
+/// `store.cache_misses` track the block LRU, and the `store.fsync`
+/// histogram records each durability syscall's latency in microseconds.
+#[derive(Debug)]
+struct StoreMeters {
+    wal_appends: std::sync::Arc<safetypin_telemetry::Counter>,
+    wal_bytes: std::sync::Arc<safetypin_telemetry::Counter>,
+    checkpoints: std::sync::Arc<safetypin_telemetry::Counter>,
+    cache_hits: std::sync::Arc<safetypin_telemetry::Counter>,
+    cache_misses: std::sync::Arc<safetypin_telemetry::Counter>,
+    fsync: std::sync::Arc<safetypin_telemetry::Histogram>,
+}
+
+impl StoreMeters {
+    fn from_global() -> Self {
+        let registry = safetypin_telemetry::global();
+        Self {
+            wal_appends: registry.counter("store.wal_appends"),
+            wal_bytes: registry.counter("store.wal_bytes"),
+            checkpoints: registry.counter("store.checkpoints"),
+            cache_hits: registry.counter("store.cache_hits"),
+            cache_misses: registry.counter("store.cache_misses"),
+            fsync: registry.histogram("store.fsync"),
+        }
+    }
+}
+
 /// A crash-safe, file-backed block store. See the module docs.
 #[derive(Debug)]
 pub struct FileStore {
@@ -166,6 +197,7 @@ pub struct FileStore {
     cache: LruCache,
     stats: StoreStats,
     recovery: RecoveryReport,
+    meters: StoreMeters,
 }
 
 pub(crate) const SEGMENT_FILE: &str = "segment.bin";
@@ -267,6 +299,7 @@ impl FileStore {
                 torn_bytes_discarded: torn_bytes,
                 torn_reason: wal_replay.torn.map(|(_, reason)| reason),
             },
+            meters: StoreMeters::from_global(),
         };
         // Warm the pinned prefix: the top tree levels sit on every
         // root-to-leaf walk, so a freshly restored store would pay one
@@ -341,6 +374,20 @@ impl FileStore {
         self.wal.seek(SeekFrom::Start(self.wal_len))?;
         self.wal.write_all(&frame)?;
         self.wal_len += frame.len() as u64;
+        self.meters.wal_appends.incr();
+        self.meters.wal_bytes.add(frame.len() as u64);
+        Ok(())
+    }
+
+    /// fsyncs `file` and records the syscall latency in `store.fsync`.
+    fn timed_sync(meters: &StoreMeters, file: &File, data_only: bool) -> std::io::Result<()> {
+        let start = std::time::Instant::now();
+        if data_only {
+            file.sync_data()?;
+        } else {
+            file.sync_all()?;
+        }
+        meters.fsync.record_duration(start.elapsed());
         Ok(())
     }
 
@@ -352,7 +399,7 @@ impl FileStore {
         let record = Record::Commit { seq: self.seq };
         self.append_wal(&record)?;
         if self.opts.durability == Durability::Strict {
-            self.wal.sync_data()?;
+            Self::timed_sync(&self.meters, &self.wal, true)?;
         }
         self.stats.flushes += 1;
         self.uncommitted = 0;
@@ -425,21 +472,22 @@ impl FileStore {
         buf.extend_from_slice(&Record::Commit { seq: self.seq }.to_frame());
         tmp.write_all(&buf)?;
         if self.opts.durability == Durability::Strict {
-            tmp.sync_all()?;
+            Self::timed_sync(&self.meters, &tmp, false)?;
         }
         std::fs::rename(&tmp_path, self.dir.join(SEGMENT_FILE))?;
         if self.opts.durability == Durability::Strict {
             // Make the rename itself durable.
-            File::open(&self.dir)?.sync_all()?;
+            Self::timed_sync(&self.meters, &File::open(&self.dir)?, false)?;
         }
         // The handle written as tmp now *is* the segment (same inode).
         self.segment = tmp;
         self.index = new_index;
         self.wal.set_len(0)?;
         if self.opts.durability == Durability::Strict {
-            self.wal.sync_data()?;
+            Self::timed_sync(&self.meters, &self.wal, true)?;
         }
         self.wal_len = 0;
+        self.meters.checkpoints.incr();
         Ok(())
     }
 
@@ -491,10 +539,12 @@ impl BlockStore for FileStore {
         if let Some(block) = self.cache.get(addr) {
             let block = block.to_vec();
             self.stats.cache_hits += 1;
+            self.meters.cache_hits.incr();
             self.stats.bytes_read += block.len() as u64;
             return Some(block);
         }
         self.stats.cache_misses += 1;
+        self.meters.cache_misses.incr();
         let block = self
             .read_at(residence, loc)
             .expect("read of indexed block failed (host storage unavailable)");

@@ -1,0 +1,102 @@
+//! Scoped timers (spans) and per-request trace IDs.
+//!
+//! A span is a guard: created with [`start_span`] (or the
+//! [`span!`](crate::span) macro), it pushes its name onto a
+//! thread-local stack and, on drop, records the elapsed microseconds
+//! into the global histogram of the same name. The stack makes
+//! nesting observable ([`span_path`]) without any allocation on the
+//! hot path, and [`begin_trace`] stamps the current thread with a
+//! process-unique request ID that refusals and logs can echo.
+
+use std::cell::RefCell;
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::time::Instant;
+
+thread_local! {
+    /// Names of the spans currently open on this thread, outermost first.
+    static SPAN_STACK: RefCell<Vec<&'static str>> = const { RefCell::new(Vec::new()) };
+    /// The trace ID assigned to the request this thread is serving.
+    static CURRENT_TRACE: RefCell<Option<u64>> = const { RefCell::new(None) };
+}
+
+/// Times a scope and records it into the global histogram `name`.
+///
+/// Created by [`start_span`]; the measurement happens on drop.
+#[derive(Debug)]
+pub struct SpanGuard {
+    name: &'static str,
+    start: Option<Instant>,
+}
+
+impl Drop for SpanGuard {
+    fn drop(&mut self) {
+        SPAN_STACK.with(|stack| {
+            stack.borrow_mut().pop();
+        });
+        if let Some(start) = self.start {
+            crate::global()
+                .histogram(self.name)
+                .record_duration(start.elapsed());
+        }
+    }
+}
+
+/// Opens a span: pushes `name` onto the thread's span stack and starts
+/// the clock. When the returned guard drops, the elapsed microseconds
+/// are recorded into the global histogram named `name`. While the
+/// global registry is disabled the guard skips the clock entirely.
+pub fn start_span(name: &'static str) -> SpanGuard {
+    SPAN_STACK.with(|stack| stack.borrow_mut().push(name));
+    let start = crate::global().is_enabled().then(Instant::now);
+    SpanGuard { name, start }
+}
+
+/// The spans currently open on this thread, joined outermost-first
+/// with `/` (empty when no span is open).
+pub fn span_path() -> String {
+    SPAN_STACK.with(|stack| stack.borrow().join("/"))
+}
+
+/// Depth of the thread's span stack.
+pub fn span_depth() -> usize {
+    SPAN_STACK.with(|stack| stack.borrow().len())
+}
+
+/// Clears the thread's trace stamp when the request scope ends.
+#[derive(Debug)]
+pub struct TraceGuard {
+    id: u64,
+}
+
+impl TraceGuard {
+    /// The process-unique ID of this trace.
+    pub fn id(&self) -> u64 {
+        self.id
+    }
+}
+
+impl Drop for TraceGuard {
+    fn drop(&mut self) {
+        CURRENT_TRACE.with(|trace| {
+            *trace.borrow_mut() = None;
+        });
+    }
+}
+
+/// Stamps the current thread with a fresh process-unique trace ID for
+/// the duration of the returned guard. The daemon opens one per
+/// request so refusal messages and span measurements can be tied back
+/// to a single wire exchange.
+pub fn begin_trace() -> TraceGuard {
+    static NEXT_TRACE: AtomicU64 = AtomicU64::new(1);
+    let id = NEXT_TRACE.fetch_add(1, Ordering::Relaxed);
+    CURRENT_TRACE.with(|trace| {
+        *trace.borrow_mut() = Some(id);
+    });
+    TraceGuard { id }
+}
+
+/// The trace ID stamped on this thread, if a trace is open.
+pub fn current_trace() -> Option<u64> {
+    CURRENT_TRACE.with(|trace| *trace.borrow())
+}

@@ -425,7 +425,8 @@ fn save_wave_crash_points_replay_to_a_commit_boundary() {
             assert_eq!(entries, entries_full);
         } else {
             assert_eq!(
-                digest, digest_pre,
+                digest,
+                digest_pre,
                 "cut at byte {cut}/{} surfaced a torn wave",
                 wal_bytes.len()
             );
