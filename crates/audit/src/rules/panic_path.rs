@@ -15,7 +15,9 @@
 //! Scopes are the modules the paper's threat model cares about: the
 //! whole daemon crate, the TCP framing layer, the provider fan-out
 //! engine, the telemetry registry (every serve-path request records
-//! into it), and the `handle*` entry points of the HSM and datacenter.
+//! into it), the `handle*` entry points of the HSM and datacenter, and
+//! the chaos injector/driver plane (a panic there reads as a scenario
+//! failure and poisons the fault ledger it is supposed to audit).
 //! Test code (`#[cfg(test)]` / `#[test]`) is exempt; anything else
 //! needs an explicit reasoned waiver.
 
@@ -24,6 +26,10 @@ use crate::{Analyzed, Report};
 
 /// Whole files (prefix match on the relative path) on the serve path.
 const FILE_SCOPES: &[&str] = &[
+    "crates/chaos/src/bin/",
+    "crates/chaos/src/injector.rs",
+    "crates/chaos/src/ledger.rs",
+    "crates/chaos/src/plan.rs",
     "crates/daemon/src/",
     "crates/proto/src/tcp.rs",
     "crates/provider/src/fanout.rs",

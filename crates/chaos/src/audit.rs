@@ -1,0 +1,217 @@
+//! The invariant audit: every scenario ends by writing a
+//! [`ScenarioReport`] — named pass/fail checks over ground truth (log
+//! entry counts, puncture budgets, byte-identical plaintexts) plus the
+//! reconciliation of the injector's [`FaultLedger`] against the
+//! telemetry registry's fault counters. Reports serialize to JSON with
+//! the workspace's hand-rolled writer so CI can upload them as
+//! artifacts without a serde dependency.
+
+use crate::ledger::{FaultLedger, InjectorLog};
+
+/// One named invariant check.
+#[derive(Debug, Clone)]
+pub struct Check {
+    /// What invariant this check covers.
+    pub name: String,
+    /// Whether it held.
+    pub pass: bool,
+    /// Ground-truth detail (expected/actual on failure).
+    pub detail: String,
+}
+
+/// One scenario's complete audit: identity (name + seed), the
+/// injector's account of what it did, the telemetry registry's
+/// account of the same faults, and every invariant check.
+#[derive(Debug, Clone)]
+pub struct ScenarioReport {
+    /// Scenario name (stable, used for artifact filenames).
+    pub scenario: String,
+    /// The seed the whole run derives from — print it, replay it.
+    pub seed: u64,
+    /// Steps the chaos clock advanced.
+    pub steps: u64,
+    /// Transport faults as counted by the injector at injection points.
+    pub ledger: FaultLedger,
+    /// The same faults as counted by the telemetry registry.
+    pub telemetry: FaultLedger,
+    /// Structural injections (kills, restores, rotations, restarts).
+    pub injections: InjectorLog,
+    /// Every invariant checked, in execution order.
+    pub checks: Vec<Check>,
+}
+
+impl ScenarioReport {
+    /// An empty report for `scenario` at `seed`.
+    pub fn new(scenario: &str, seed: u64) -> Self {
+        Self {
+            scenario: scenario.to_string(),
+            seed,
+            steps: 0,
+            ledger: FaultLedger::default(),
+            telemetry: FaultLedger::default(),
+            injections: InjectorLog::default(),
+            checks: Vec::new(),
+        }
+    }
+
+    /// Records one named check.
+    pub fn check(&mut self, name: &str, pass: bool, detail: impl Into<String>) {
+        self.checks.push(Check {
+            name: name.to_string(),
+            pass,
+            detail: detail.into(),
+        });
+    }
+
+    /// Records an equality check, formatting both sides into the detail.
+    pub fn check_eq<T: PartialEq + core::fmt::Debug>(
+        &mut self,
+        name: &str,
+        actual: T,
+        expected: T,
+    ) {
+        let pass = actual == expected;
+        self.check(name, pass, format!("expected {expected:?}, got {actual:?}"));
+    }
+
+    /// Records the ledger-vs-telemetry reconciliation as a check (and
+    /// stores both sides for the JSON artifact).
+    pub fn reconcile(&mut self, ledger: FaultLedger, telemetry: FaultLedger) {
+        self.ledger = ledger;
+        self.telemetry = telemetry;
+        let pass = ledger == telemetry;
+        self.check(
+            "telemetry fault counters match the injector ledger",
+            pass,
+            format!("injector {ledger:?}, telemetry {telemetry:?}"),
+        );
+    }
+
+    /// Whether every check held.
+    pub fn passed(&self) -> bool {
+        self.checks.iter().all(|c| c.pass)
+    }
+
+    /// The failed checks, for compact failure output.
+    pub fn failures(&self) -> impl Iterator<Item = &Check> {
+        self.checks.iter().filter(|c| !c.pass)
+    }
+
+    /// Serializes the report as a JSON object.
+    pub fn to_json(&self) -> String {
+        let mut out = String::with_capacity(512);
+        out.push('{');
+        push_str_field(&mut out, "scenario", &self.scenario);
+        out.push(',');
+        push_u64_field(&mut out, "seed", self.seed);
+        out.push(',');
+        push_u64_field(&mut out, "steps", self.steps);
+        out.push_str(",\"passed\":");
+        out.push_str(if self.passed() { "true" } else { "false" });
+        out.push_str(",\"ledger\":");
+        push_ledger(&mut out, &self.ledger);
+        out.push_str(",\"telemetry\":");
+        push_ledger(&mut out, &self.telemetry);
+        out.push_str(",\"injections\":{");
+        push_u64_field(&mut out, "kills", self.injections.kills);
+        out.push(',');
+        push_u64_field(&mut out, "restores", self.injections.restores);
+        out.push(',');
+        push_u64_field(&mut out, "rotations", self.injections.rotations);
+        out.push(',');
+        push_u64_field(&mut out, "restarts", self.injections.restarts);
+        out.push_str("},\"checks\":[");
+        for (i, check) in self.checks.iter().enumerate() {
+            if i > 0 {
+                out.push(',');
+            }
+            out.push('{');
+            push_str_field(&mut out, "name", &check.name);
+            out.push_str(",\"pass\":");
+            out.push_str(if check.pass { "true" } else { "false" });
+            out.push(',');
+            push_str_field(&mut out, "detail", &check.detail);
+            out.push('}');
+        }
+        out.push_str("]}");
+        out
+    }
+}
+
+fn push_ledger(out: &mut String, ledger: &FaultLedger) {
+    out.push('{');
+    push_u64_field(out, "dropped", ledger.dropped);
+    out.push(',');
+    push_u64_field(out, "corrupted", ledger.corrupted);
+    out.push(',');
+    push_u64_field(out, "delayed", ledger.delayed);
+    out.push('}');
+}
+
+fn push_u64_field(out: &mut String, key: &str, value: u64) {
+    out.push('"');
+    out.push_str(key);
+    out.push_str("\":");
+    out.push_str(&value.to_string());
+}
+
+fn push_str_field(out: &mut String, key: &str, value: &str) {
+    out.push('"');
+    out.push_str(key);
+    out.push_str("\":\"");
+    for ch in value.chars() {
+        match ch {
+            '"' => out.push_str("\\\""),
+            '\\' => out.push_str("\\\\"),
+            '\n' => out.push_str("\\n"),
+            '\r' => out.push_str("\\r"),
+            '\t' => out.push_str("\\t"),
+            c if (c as u32) < 0x20 => {
+                out.push_str(&format!("\\u{:04x}", c as u32));
+            }
+            c => out.push(c),
+        }
+    }
+    out.push('"');
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn report_passes_only_when_every_check_does() {
+        let mut report = ScenarioReport::new("demo", 42);
+        report.check("first", true, "ok");
+        assert!(report.passed());
+        report.check_eq("second", 3u64, 4u64);
+        assert!(!report.passed());
+        assert_eq!(report.failures().count(), 1);
+    }
+
+    #[test]
+    fn json_is_well_formed_and_escaped() {
+        let mut report = ScenarioReport::new("quote\"and\\slash", 7);
+        report.check("tab\there", false, "line\nbreak");
+        report.reconcile(
+            FaultLedger {
+                dropped: 1,
+                corrupted: 2,
+                delayed: 3,
+            },
+            FaultLedger {
+                dropped: 1,
+                corrupted: 2,
+                delayed: 3,
+            },
+        );
+        let json = report.to_json();
+        assert!(json.contains("\"scenario\":\"quote\\\"and\\\\slash\""));
+        assert!(json.contains("\"tab\\there\""));
+        assert!(json.contains("\"line\\nbreak\""));
+        assert!(json.contains("\"dropped\":1"));
+        // The reconcile check passed but the first check failed.
+        assert!(json.contains("\"passed\":false"));
+        assert_eq!(json.matches('{').count(), json.matches('}').count());
+    }
+}

@@ -1,0 +1,136 @@
+//! `safetypin-chaos` — run the seeded fault scenarios and write their
+//! invariant-audit reports.
+//!
+//! ```text
+//! safetypin-chaos [--seed N] [--scenario NAME] [--out DIR] [--list]
+//! ```
+//!
+//! The seed is printed first thing and again on any failure: a failing
+//! run — locally or in CI's randomized-seed job — replays exactly with
+//! `--seed <that value>`. With `--out`, each scenario's report is
+//! written to `DIR/<scenario>.json` for artifact upload. Exits nonzero
+//! if any invariant check failed.
+
+use std::process::ExitCode;
+
+use safetypin_chaos::{ScenarioFn, ScenarioReport, SCENARIOS};
+
+const DEFAULT_SEED: u64 = 0xcafe_f00d;
+
+struct Args {
+    seed: u64,
+    scenario: Option<String>,
+    out: Option<std::path::PathBuf>,
+    list: bool,
+}
+
+fn usage() -> ! {
+    eprintln!("usage: safetypin-chaos [--seed N] [--scenario NAME] [--out DIR] [--list]");
+    std::process::exit(2);
+}
+
+fn parse_args() -> Args {
+    let mut args = Args {
+        seed: DEFAULT_SEED,
+        scenario: None,
+        out: None,
+        list: false,
+    };
+    let mut it = std::env::args().skip(1);
+    while let Some(arg) = it.next() {
+        match arg.as_str() {
+            "--seed" => {
+                let Some(v) = it.next().and_then(|v| v.parse().ok()) else {
+                    usage();
+                };
+                args.seed = v;
+            }
+            "--scenario" => {
+                let Some(v) = it.next() else { usage() };
+                args.scenario = Some(v);
+            }
+            "--out" => {
+                let Some(v) = it.next() else { usage() };
+                args.out = Some(v.into());
+            }
+            "--list" => args.list = true,
+            "--help" | "-h" => usage(),
+            _ => usage(),
+        }
+    }
+    args
+}
+
+fn write_report(out: &std::path::Path, report: &ScenarioReport) -> std::io::Result<()> {
+    std::fs::create_dir_all(out)?;
+    let path = out.join(format!("{}.json", report.scenario));
+    std::fs::write(&path, report.to_json())?;
+    println!("  report: {}", path.display());
+    Ok(())
+}
+
+fn main() -> ExitCode {
+    let args = parse_args();
+    if args.list {
+        for (name, _) in SCENARIOS {
+            println!("{name}");
+        }
+        return ExitCode::SUCCESS;
+    }
+
+    println!(
+        "chaos seed: {} (replay with --seed {})",
+        args.seed, args.seed
+    );
+    let selected: Vec<(&str, ScenarioFn)> = SCENARIOS
+        .iter()
+        .filter(|(n, _)| args.scenario.as_deref().is_none_or(|want| *n == want))
+        .copied()
+        .collect();
+    if selected.is_empty() {
+        eprintln!("unknown scenario; --list shows the names");
+        return ExitCode::from(2);
+    }
+
+    let mut failed = false;
+    for (name, scenario) in selected {
+        println!("== {name} (seed {}) ==", args.seed);
+        let report = match scenario(args.seed) {
+            Ok(report) => report,
+            Err(e) => {
+                eprintln!("  SCENARIO ERROR: {e}");
+                eprintln!(
+                    "  replay: safetypin-chaos --scenario {name} --seed {}",
+                    args.seed
+                );
+                failed = true;
+                continue;
+            }
+        };
+        for check in &report.checks {
+            let mark = if check.pass { "ok  " } else { "FAIL" };
+            println!("  [{mark}] {} ({})", check.name, check.detail);
+        }
+        if let Some(out) = &args.out {
+            if let Err(e) = write_report(out, &report) {
+                eprintln!("  could not write report: {e}");
+                failed = true;
+            }
+        }
+        if !report.passed() {
+            eprintln!(
+                "  FAILED — replay: safetypin-chaos --scenario {name} --seed {}",
+                args.seed
+            );
+            failed = true;
+        }
+    }
+
+    if failed {
+        eprintln!("chaos run FAILED at seed {}", args.seed);
+        ExitCode::FAILURE
+    } else {
+        println!("chaos run passed at seed {}", args.seed);
+        ExitCode::SUCCESS
+    }
+}

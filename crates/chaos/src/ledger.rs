@@ -1,0 +1,74 @@
+//! The injector's own account of what it did — the ground truth every
+//! scenario's invariant audit reconciles telemetry against.
+
+/// Transport faults actually fired, accumulated from each retired
+/// `Faulty` link's [`TransportStats`] (the injector's view — counted at
+/// the point of injection, independent of the telemetry registry).
+///
+/// [`TransportStats`]: safetypin_proto::TransportStats
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct FaultLedger {
+    /// Messages dropped in transit.
+    pub dropped: u64,
+    /// Messages corrupted in transit.
+    pub corrupted: u64,
+    /// Messages delayed in transit.
+    pub delayed: u64,
+}
+
+impl FaultLedger {
+    /// Component-wise sum.
+    pub fn absorb(&mut self, other: FaultLedger) {
+        self.dropped += other.dropped;
+        self.corrupted += other.corrupted;
+        self.delayed += other.delayed;
+    }
+
+    /// Total faults of every kind.
+    pub fn total(&self) -> u64 {
+        self.dropped + self.corrupted + self.delayed
+    }
+}
+
+/// Structural injections (fail-stops, restores, rotations, restarts) —
+/// scheduled by name, so the ledger records them exactly.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct InjectorLog {
+    /// HSMs fail-stopped.
+    pub kills: u64,
+    /// Fail-stopped HSMs brought back.
+    pub restores: u64,
+    /// HSM key rotations driven.
+    pub rotations: u64,
+    /// Persist-and-reopen cycles (daemon "kill/restart between
+    /// frames").
+    pub restarts: u64,
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn absorb_sums_componentwise() {
+        let mut a = FaultLedger {
+            dropped: 1,
+            corrupted: 2,
+            delayed: 3,
+        };
+        a.absorb(FaultLedger {
+            dropped: 10,
+            corrupted: 20,
+            delayed: 30,
+        });
+        assert_eq!(
+            a,
+            FaultLedger {
+                dropped: 11,
+                corrupted: 22,
+                delayed: 33,
+            }
+        );
+        assert_eq!(a.total(), 66);
+    }
+}

@@ -1,0 +1,71 @@
+//! # safetypin-chaos — seeded fleet-wide fault scenarios under live fire
+//!
+//! SafetyPin's security story (Dauterman et al., OSDI 2020) is only as
+//! good as its behavior when things break: HSMs fail-stop mid-epoch,
+//! the wire drops and corrupts messages, the host loses power during a
+//! WAL commit, the daemon's fleet mutex wedges. This crate composes
+//! those failures — deliberately, on a schedule — while real save and
+//! recovery traffic runs, and then audits the invariants that must
+//! survive *any* of it:
+//!
+//! * **attempt counters are exact** — every recovery attempt burns
+//!   exactly one log insert, whether or not its replies made it back;
+//!   retries never double-burn, lost replies never un-burn;
+//! * **punctured shares stay unrecoverable** — a burned identifier is
+//!   refused even with the true PIN;
+//! * **byte-identical recovery** — anything that reports success
+//!   returns exactly the saved secret (the AEAD framing turns corrupted
+//!   shares into typed errors, never wrong plaintext);
+//! * **the telemetry never lies** — the fault counters the registry
+//!   reports equal the injector's own ledger, fault for fault.
+//!
+//! ## Architecture
+//!
+//! Three planes, composed per scenario:
+//!
+//! * the **injector plane** ([`Harness`], [`ChaosPlan`]): a step clock
+//!   drives scheduled [`ChaosEvent`]s — seeded
+//!   [`Faulty`](safetypin_proto::Faulty) links on the client and fleet
+//!   hops, HSM kill/restore/rotate, torn WAL commits via
+//!   [`CrashingStore`](safetypin_store::CrashingStore);
+//! * the **traffic plane** ([`traffic`]): deterministic save/recover
+//!   storms, batched recovery waves, wrong-PIN guessing storms and
+//!   puncture-exhaustion loops, all through the client's typed
+//!   retry/backoff wrapper;
+//! * the **resilience plane** (exercised, not defined, here): the
+//!   [`Retrying`](safetypin_client::retry::Retrying) endpoint's
+//!   idempotency-aware retries and the daemon's watchdog/`DEGRADED`
+//!   self-healing.
+//!
+//! ## Determinism
+//!
+//! Every scenario is a pure function of one `u64` seed: provisioning,
+//! traffic, and each fault link draw from streams derived via
+//! [`mix`]`(seed, salt)`. A failing CI run prints its seed; re-running
+//! the same scenario with that seed replays the failure byte for byte.
+//! (The one exception is [`scenario::drain_during_storm`], which runs a
+//! real daemon on real threads — its invariants are the ones that hold
+//! under any interleaving.)
+//!
+//! Run everything from the CLI:
+//!
+//! ```text
+//! safetypin-chaos --seed 3405705229 --out chaos_out
+//! ```
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+#![cfg_attr(test, allow(clippy::unwrap_used, clippy::expect_used))]
+
+pub mod audit;
+pub mod injector;
+pub mod ledger;
+pub mod plan;
+pub mod scenario;
+pub mod traffic;
+
+pub use audit::{Check, ScenarioReport};
+pub use injector::{ChaosError, Harness, SharedStore};
+pub use ledger::{FaultLedger, InjectorLog};
+pub use plan::{mix, ChaosEvent, ChaosPlan};
+pub use scenario::{run_all, run_scenario, ScenarioFn, SCENARIOS};

@@ -1,0 +1,122 @@
+//! The injector plane's schedule: *what* goes wrong and *when*.
+//!
+//! A [`ChaosPlan`] is a list of [`ChaosEvent`]s pinned to steps of the
+//! harness's step clock ([`crate::Harness::tick`]). Everything a plan
+//! injects is itself deterministic — transport faults come from seeded
+//! [`FaultPlan`]s, structural events (kill, restore, rotate) name their
+//! target — so a scenario's whole failure history replays exactly from
+//! one `u64` seed.
+
+use safetypin_proto::FaultPlan;
+
+/// One scheduled injection.
+#[derive(Debug, Clone, Copy)]
+pub enum ChaosEvent {
+    /// Install seeded faults on the datacenter→HSM transport hop
+    /// (wrapping the fleet transport in a `Faulty`).
+    SetFleetFaults {
+        /// Probabilities, scope, and targeting for the injected faults.
+        plan: FaultPlan,
+        /// Seed for the fault generator's RNG stream.
+        seed: u64,
+    },
+    /// Restore the clean fleet transport, retiring the injected faults
+    /// into the harness's ledger.
+    ClearFleetFaults,
+    /// Install seeded faults on the client→provider hop.
+    SetClientFaults {
+        /// Probabilities, scope, and targeting for the injected faults.
+        plan: FaultPlan,
+        /// Seed for the fault generator's RNG stream.
+        seed: u64,
+    },
+    /// Restore the clean client hop.
+    ClearClientFaults,
+    /// Fail-stop one HSM mid-flight.
+    KillHsm(u64),
+    /// Bring a fail-stopped HSM back.
+    RestoreHsm(u64),
+    /// Rotate one HSM's puncturable keys.
+    RotateHsm(u64),
+}
+
+/// A seeded schedule of [`ChaosEvent`]s over the harness step clock.
+#[derive(Debug, Clone, Default)]
+pub struct ChaosPlan {
+    events: Vec<(u64, ChaosEvent)>,
+}
+
+impl ChaosPlan {
+    /// An empty plan (traffic runs unharmed).
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Schedules `event` at step `step` (steps start at 1; events at
+    /// the same step apply in insertion order).
+    pub fn at(mut self, step: u64, event: ChaosEvent) -> Self {
+        self.events.push((step, event));
+        self
+    }
+
+    /// The events scheduled for `step`, in insertion order.
+    pub fn events_at(&self, step: u64) -> impl Iterator<Item = &ChaosEvent> {
+        self.events
+            .iter()
+            .filter(move |(s, _)| *s == step)
+            .map(|(_, e)| e)
+    }
+
+    /// The last step with a scheduled event (0 for an empty plan).
+    pub fn last_step(&self) -> u64 {
+        self.events.iter().map(|(s, _)| *s).max().unwrap_or(0)
+    }
+
+    /// Total scheduled events.
+    pub fn len(&self) -> usize {
+        self.events.len()
+    }
+
+    /// Whether the plan schedules nothing.
+    pub fn is_empty(&self) -> bool {
+        self.events.is_empty()
+    }
+}
+
+/// Derives a decorrelated sub-seed from a scenario seed and a salt
+/// (SplitMix64 finalizer) — each injected fault stream and traffic RNG
+/// gets its own stream while the whole run stays a function of one
+/// seed.
+pub fn mix(seed: u64, salt: u64) -> u64 {
+    let mut z = seed ^ salt.wrapping_mul(0x9E37_79B9_7F4A_7C15);
+    z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+    z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+    z ^ (z >> 31)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn events_fire_at_their_step_in_order() {
+        let plan = ChaosPlan::new()
+            .at(2, ChaosEvent::KillHsm(1))
+            .at(1, ChaosEvent::RotateHsm(0))
+            .at(2, ChaosEvent::RestoreHsm(1));
+        assert_eq!(plan.len(), 3);
+        assert_eq!(plan.last_step(), 2);
+        assert_eq!(plan.events_at(1).count(), 1);
+        let at2: Vec<_> = plan.events_at(2).collect();
+        assert!(matches!(at2.first(), Some(ChaosEvent::KillHsm(1))));
+        assert!(matches!(at2.get(1), Some(ChaosEvent::RestoreHsm(1))));
+        assert_eq!(plan.events_at(3).count(), 0);
+    }
+
+    #[test]
+    fn mix_is_deterministic_and_decorrelated() {
+        assert_eq!(mix(42, 1), mix(42, 1));
+        assert_ne!(mix(42, 1), mix(42, 2));
+        assert_ne!(mix(42, 1), mix(43, 1));
+    }
+}

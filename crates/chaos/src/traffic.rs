@@ -1,0 +1,335 @@
+//! The traffic plane: deterministic save/recover storms driven through
+//! a [`Harness`], with the client-side retry wrapper
+//! ([`Retrying`](safetypin_client::retry::Retrying)) in the loop so
+//! scenarios exercise exactly the resilience path a real client would.
+//!
+//! Everything here is a thin, seeded driver — the corpus generators
+//! ([`user`]/[`pin`]/[`secret`]) are pure functions of the index, and
+//! every RNG a storm consumes comes in from the scenario, so the same
+//! seed replays the same storm byte for byte.
+
+use rand::rngs::StdRng;
+
+use safetypin_client::remote::{self, ProviderEndpoint, RemoteError};
+use safetypin_client::retry::{RetryPolicy, RetryStats, Retrying};
+use safetypin_client::BackupArtifact;
+use safetypin_proto::{codes, ErrorReply, HsmResponse, ProviderRequest, ProviderResponse};
+use safetypin_seckv::BlockStore;
+
+use crate::injector::{ChaosError, Harness};
+
+/// The deterministic username for corpus index `i`.
+pub fn user(i: usize) -> Vec<u8> {
+    format!("chaos-user-{i:04}").into_bytes()
+}
+
+/// The deterministic (correct) PIN for corpus index `i`.
+pub fn pin(i: usize) -> Vec<u8> {
+    format!("{:04}", (i * 37 + 11) % 10_000).into_bytes()
+}
+
+/// A PIN guaranteed wrong for corpus index `i` (differs from
+/// [`pin`]`(i)` in its prefix, not just its digits).
+pub fn wrong_pin(i: usize) -> Vec<u8> {
+    format!("not-{:04}", (i * 37 + 11) % 10_000).into_bytes()
+}
+
+/// The deterministic secret for corpus index `i`.
+pub fn secret(i: usize) -> Vec<u8> {
+    format!("disk-encryption-key-{i:04}").into_bytes()
+}
+
+/// One storm's aggregate outcome.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct StormReport {
+    /// Operations attempted.
+    pub attempted: u64,
+    /// Operations that completed successfully.
+    pub succeeded: u64,
+    /// Operations ending in a typed refusal.
+    pub refused: u64,
+    /// Operations ending in a transport-level failure (after retries).
+    pub transport_failures: u64,
+    /// Retry accounting summed over every wrapped endpoint the storm
+    /// created.
+    pub retries: RetryStats,
+}
+
+impl StormReport {
+    fn absorb_retries(&mut self, stats: RetryStats) {
+        self.retries.retries += stats.retries;
+        self.retries.exhausted += stats.exhausted;
+        self.retries.passthrough += stats.passthrough;
+    }
+}
+
+/// Saves users `range` through the harness (one [`Retrying`] endpoint
+/// per user, backoff sleeps elided). Returns the artifacts —
+/// position-aligned with `range`, `None` where the save failed — plus
+/// the storm report.
+pub fn save_storm<S: BlockStore + Send>(
+    harness: &mut Harness<S>,
+    range: core::ops::Range<usize>,
+    policy: RetryPolicy,
+    rng: &mut StdRng,
+) -> Result<(Vec<Option<BackupArtifact>>, StormReport), ChaosError> {
+    let mut report = StormReport::default();
+    let mut artifacts = Vec::with_capacity(range.len());
+    for i in range {
+        let mut client = harness.deployment.new_client(&user(i))?;
+        let mut ep = Retrying::new(harness.endpoint(), policy).with_sleeper(|_| {});
+        report.attempted += 1;
+        match remote::save(&mut ep, &mut client, &pin(i), &secret(i), rng) {
+            Ok(artifact) => {
+                report.succeeded += 1;
+                artifacts.push(Some(artifact));
+            }
+            Err(RemoteError::Refused(_)) => {
+                report.refused += 1;
+                artifacts.push(None);
+            }
+            Err(RemoteError::Transport(_)) | Err(RemoteError::Protocol(_)) => {
+                report.transport_failures += 1;
+                artifacts.push(None);
+            }
+            Err(e) => return Err(e.into()),
+        }
+        report.absorb_retries(ep.stats());
+    }
+    Ok((artifacts, report))
+}
+
+/// Runs one solo recovery for corpus index `i` with an explicit PIN
+/// (pass [`wrong_pin`] to drive a guessing storm). The client is built
+/// fresh from the fleet's *current* enrollments, so storms straddling a
+/// key rotation see the rotated keys exactly as a real client would.
+pub fn recover_solo<S: BlockStore + Send>(
+    harness: &mut Harness<S>,
+    i: usize,
+    pin_bytes: &[u8],
+    artifact: &BackupArtifact,
+    policy: RetryPolicy,
+    rng: &mut StdRng,
+) -> Result<(Result<Vec<u8>, RemoteError>, RetryStats), ChaosError> {
+    let client = harness.deployment.new_client(&user(i))?;
+    let mut ep = Retrying::new(harness.endpoint(), policy).with_sleeper(|_| {});
+    let outcome = remote::recover(&mut ep, &client, pin_bytes, artifact, rng);
+    let stats = ep.stats();
+    Ok((outcome, stats))
+}
+
+/// Per-user outcomes of a [`recover_wave`], position-aligned with the
+/// input sessions.
+pub type WaveOutcomes = Vec<Result<Vec<u8>, RemoteError>>;
+
+/// One member of a [`recover_wave`].
+pub struct WaveSession<'a> {
+    /// Corpus index (selects username via [`user`]).
+    pub index: usize,
+    /// The PIN to present.
+    pub pin: Vec<u8>,
+    /// The artifact to recover from.
+    pub artifact: &'a BackupArtifact,
+}
+
+/// Recovers a whole wave through the amortized batch path, modeled on
+/// the daemon's load generator: one `InsertLog` per user, **one**
+/// `RunEpoch`, one `ProveInclusion` per user, **one**
+/// [`ProviderRequest::RecoverBatch`] frame, then per-user client-side
+/// reconstruction. Per-user failures (a refused log insert, a cluster
+/// that lost too many replies) come back in that user's slot; a failure
+/// of the shared frames fails the wave.
+pub fn recover_wave<S: BlockStore + Send>(
+    harness: &mut Harness<S>,
+    sessions: &[WaveSession<'_>],
+    policy: RetryPolicy,
+    rng: &mut StdRng,
+) -> Result<(WaveOutcomes, StormReport), ChaosError> {
+    let mut report = StormReport {
+        attempted: sessions.len() as u64,
+        ..StormReport::default()
+    };
+    let mut clients = Vec::with_capacity(sessions.len());
+    for session in sessions {
+        clients.push(harness.deployment.new_client(&user(session.index))?);
+    }
+    let mut ep = Retrying::new(harness.endpoint(), policy).with_sleeper(|_| {});
+
+    // Phase 1: log every attempt (non-idempotent: one shot per user).
+    let mut attempts: Vec<Option<safetypin_client::RecoveryAttempt>> =
+        Vec::with_capacity(sessions.len());
+    let mut outcomes: Vec<Option<Result<Vec<u8>, RemoteError>>> =
+        (0..sessions.len()).map(|_| None).collect();
+    for ((slot, session), client) in outcomes.iter_mut().zip(sessions).zip(&clients) {
+        let attempt =
+            match client.start_recovery(&session.pin, &session.artifact.ciphertext, false, rng) {
+                Ok(attempt) => attempt,
+                Err(e) => {
+                    *slot = Some(Err(RemoteError::Client(e)));
+                    attempts.push(None);
+                    continue;
+                }
+            };
+        let (id, value) = attempt.log_entry();
+        match ep.call(ProviderRequest::InsertLog { id, value }) {
+            Ok(ProviderResponse::Ack) => attempts.push(Some(attempt)),
+            Ok(ProviderResponse::Error(e)) => {
+                *slot = Some(Err(RemoteError::Refused(e)));
+                attempts.push(None);
+            }
+            Ok(_) => {
+                *slot = Some(Err(RemoteError::Protocol("expected an Ack reply")));
+                attempts.push(None);
+            }
+            Err(e) => {
+                *slot = Some(Err(RemoteError::Transport(e)));
+                attempts.push(None);
+            }
+        }
+    }
+
+    // Phase 2: one epoch certification covering the whole wave.
+    if attempts.iter().any(Option::is_some) {
+        match ep.call(ProviderRequest::RunEpoch) {
+            Ok(ProviderResponse::EpochCertified { .. }) => {}
+            Ok(ProviderResponse::Error(e)) => {
+                report.absorb_retries(ep.stats());
+                return Err(ChaosError::Remote(RemoteError::Refused(e)));
+            }
+            Ok(_) => {
+                return Err(ChaosError::Remote(RemoteError::Protocol(
+                    "expected an EpochCertified reply",
+                )))
+            }
+            Err(e) => return Err(ChaosError::Transport(e)),
+        }
+
+        // Phase 3: inclusion proofs, then one batched recovery frame.
+        let mut batch = Vec::new();
+        let mut batch_slots = Vec::new();
+        for (slot, attempt) in attempts.iter().enumerate() {
+            let Some(attempt) = attempt else { continue };
+            let (id, value) = attempt.log_entry();
+            match ep.call(ProviderRequest::ProveInclusion { id, value }) {
+                Ok(ProviderResponse::Inclusion(Some(proof))) => {
+                    batch.push(attempt.requests(&proof));
+                    batch_slots.push(slot);
+                }
+                Ok(ProviderResponse::Inclusion(None)) => {
+                    outcomes[slot] = Some(Err(RemoteError::Refused(ErrorReply::new(
+                        codes::LOG_REFUSED,
+                        "the logged attempt has no inclusion proof",
+                    ))));
+                }
+                Ok(ProviderResponse::Error(e)) => {
+                    outcomes[slot] = Some(Err(RemoteError::Refused(e)));
+                }
+                Ok(_) => {
+                    outcomes[slot] =
+                        Some(Err(RemoteError::Protocol("expected an Inclusion reply")));
+                }
+                Err(e) => outcomes[slot] = Some(Err(RemoteError::Transport(e))),
+            }
+        }
+        if !batch.is_empty() {
+            let per_user = match ep.call(ProviderRequest::RecoverBatch(batch)) {
+                Ok(ProviderResponse::RecoveredBatch(per_user)) => per_user,
+                Ok(ProviderResponse::Error(e)) => {
+                    return Err(ChaosError::Remote(RemoteError::Refused(e)))
+                }
+                Ok(_) => {
+                    return Err(ChaosError::Remote(RemoteError::Protocol(
+                        "expected a RecoveredBatch reply",
+                    )))
+                }
+                Err(e) => return Err(ChaosError::Transport(e)),
+            };
+            if per_user.len() != batch_slots.len() {
+                return Err(ChaosError::Remote(RemoteError::Protocol(
+                    "batch reply has wrong user count",
+                )));
+            }
+            for (slot, replies) in batch_slots.into_iter().zip(per_user) {
+                let Some(attempt) = &attempts[slot] else {
+                    continue;
+                };
+                let mut responses = Vec::new();
+                let mut refusal = None;
+                for (_, reply) in replies {
+                    match reply {
+                        HsmResponse::RecoveryShare { response, .. } => responses.push(response),
+                        HsmResponse::Error(e)
+                            if e.is_transport_fault() || e.code == codes::UNAVAILABLE =>
+                        {
+                            continue
+                        }
+                        HsmResponse::Error(e) => {
+                            refusal = Some(RemoteError::Refused(e));
+                            break;
+                        }
+                        _ => {
+                            refusal = Some(RemoteError::Protocol("expected a RecoveryShare item"));
+                            break;
+                        }
+                    }
+                }
+                outcomes[slot] = Some(match refusal {
+                    Some(e) => Err(e),
+                    None => attempt.finish(responses).map_err(RemoteError::Client),
+                });
+            }
+        }
+    }
+    report.absorb_retries(ep.stats());
+    drop(ep);
+
+    let mut results = Vec::with_capacity(sessions.len());
+    for outcome in outcomes {
+        let outcome = outcome.unwrap_or(Err(RemoteError::Protocol(
+            "wave member fell through every phase",
+        )));
+        match &outcome {
+            Ok(_) => report.succeeded += 1,
+            Err(RemoteError::Refused(_)) => report.refused += 1,
+            Err(_) => report.transport_failures += 1,
+        }
+        results.push(outcome);
+    }
+    Ok((results, report))
+}
+
+/// Drives solo recoveries against `i`'s artifact until HSM `hsm` asks
+/// for rotation (its puncture budget is spent) or `max_rounds` runs
+/// out. Each round burns a fresh corpus user's attempt so no identifier
+/// repeats. Returns the number of recoveries driven.
+pub fn punch_until_rotation_needed<S: BlockStore + Send>(
+    harness: &mut Harness<S>,
+    hsm: u64,
+    base_index: usize,
+    max_rounds: usize,
+    policy: RetryPolicy,
+    rng: &mut StdRng,
+) -> Result<usize, ChaosError> {
+    for round in 0..max_rounds {
+        if harness.deployment.datacenter.hsm(hsm)?.needs_rotation() {
+            return Ok(round);
+        }
+        let i = base_index + round;
+        let mut client = harness.deployment.new_client(&user(i))?;
+        let mut ep = Retrying::new(harness.endpoint(), policy).with_sleeper(|_| {});
+        remote::save(&mut ep, &mut client, &pin(i), &secret(i), rng)?;
+        drop(ep);
+        let artifact = {
+            let mut ep = Retrying::new(harness.endpoint(), policy).with_sleeper(|_| {});
+            remote::fetch_backup(&mut ep, &user(i))?
+        };
+        // Near exhaustion the tiny BFE filter's hash slots collide across
+        // users, so individual recoveries may fail with DECRYPT_FAILED —
+        // that degradation is exactly what rotation exists to clear.
+        // Saves and fetches above stay strict; only the recovery outcome
+        // is tolerated here.
+        let (outcome, _) = recover_solo(harness, i, &pin(i), &artifact, policy, rng)?;
+        let _ = outcome;
+    }
+    Ok(max_rounds)
+}

@@ -24,6 +24,7 @@
 #![warn(missing_docs)]
 
 pub mod remote;
+pub mod retry;
 
 use rand::{CryptoRng, RngCore};
 use safetypin_authlog::trie::InclusionProof;

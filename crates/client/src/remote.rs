@@ -33,6 +33,8 @@ use safetypin_proto::{
 
 use crate::{BackupArtifact, Client, ClientError};
 
+pub use crate::retry::{RetryPolicy, RetryStats, Retrying};
+
 /// A fallible one-request/one-response channel to a provider.
 ///
 /// Implemented by `safetypin_proto::Tcp` (a pooled socket connection to

@@ -21,7 +21,14 @@
 //! * draining — after a [`ProviderRequest::Shutdown`], new work gets
 //!   [`codes::SHUTTING_DOWN`] (status queries still answer, reporting
 //!   `draining: true`), in-flight connections finish, and the fleet is
-//!   persisted before the accept thread exits.
+//!   persisted before the accept thread exits;
+//! * self-healing — a watchdog thread watches how long the fleet mutex
+//!   has been held; past [`DaemonConfig::watchdog_budget`] the daemon
+//!   goes *degraded* (fleet work refused with [`codes::DEGRADED`],
+//!   status served from cache, metrics and shutdown lock-free), and
+//!   when the stall clears it persists the fleet and resumes. Each
+//!   request also waits at most [`DaemonConfig::request_timeout`] for
+//!   the mutex before refusing typed instead of queueing forever.
 //!
 //! [`load`] drives save/recover storms against a running daemon and
 //! [`perf`] folds the measured wire throughput into the repository's
@@ -35,6 +42,7 @@
 //! [`codes::OVERLOADED`]: safetypin_proto::codes::OVERLOADED
 //! [`codes::RATE_LIMITED`]: safetypin_proto::codes::RATE_LIMITED
 //! [`codes::SHUTTING_DOWN`]: safetypin_proto::codes::SHUTTING_DOWN
+//! [`codes::DEGRADED`]: safetypin_proto::codes::DEGRADED
 
 // Serve-path panic discipline ([workspace.lints] + crates/audit):
 // unwrap/expect stay warnings in library code, allowed in tests.
@@ -151,6 +159,16 @@ pub struct DaemonConfig {
     /// Per-connection socket read/write timeout; also bounds how long
     /// draining waits for an idle connection.
     pub io_timeout: Duration,
+    /// How long one request may wait for the fleet mutex before being
+    /// refused with [`codes::DEGRADED`] instead of queueing behind a
+    /// stall.
+    pub request_timeout: Duration,
+    /// How long the fleet mutex may be *held* before the watchdog trips
+    /// the daemon into degraded mode (fleet work refused with
+    /// [`codes::DEGRADED`], control plane still answering); once the
+    /// stall clears, the watchdog persists the fleet and resumes
+    /// service.
+    pub watchdog_budget: Duration,
     /// Seed for first-boot provisioning (restores ignore it). Two
     /// daemons booted fresh from the same seed and parameters serve
     /// byte-identical fleets.
@@ -170,6 +188,8 @@ impl DaemonConfig {
             max_connections: 64,
             rate_limit: 0,
             io_timeout: Duration::from_secs(30),
+            request_timeout: Duration::from_secs(30),
+            watchdog_budget: Duration::from_secs(10),
             seed: 0,
         }
     }
@@ -210,6 +230,18 @@ impl DaemonConfig {
         self
     }
 
+    /// Sets the per-request fleet-mutex wait budget.
+    pub fn request_timeout(mut self, timeout: Duration) -> Self {
+        self.request_timeout = timeout;
+        self
+    }
+
+    /// Sets the watchdog's mutex-hold budget.
+    pub fn watchdog_budget(mut self, budget: Duration) -> Self {
+        self.watchdog_budget = budget;
+        self
+    }
+
     /// Sets the first-boot provisioning seed.
     pub fn seed(mut self, seed: u64) -> Self {
         self.seed = seed;
@@ -238,6 +270,9 @@ struct DaemonMeters {
     refused_rate_limited: Arc<safetypin_telemetry::Counter>,
     refused_overloaded: Arc<safetypin_telemetry::Counter>,
     refused_shutting_down: Arc<safetypin_telemetry::Counter>,
+    refused_degraded: Arc<safetypin_telemetry::Counter>,
+    watchdog_trips: Arc<safetypin_telemetry::Counter>,
+    watchdog_heals: Arc<safetypin_telemetry::Counter>,
     connections: Arc<safetypin_telemetry::Gauge>,
 }
 
@@ -251,6 +286,9 @@ impl DaemonMeters {
             refused_rate_limited: registry.counter("daemon.refused.rate_limited"),
             refused_overloaded: registry.counter("daemon.refused.overloaded"),
             refused_shutting_down: registry.counter("daemon.refused.shutting_down"),
+            refused_degraded: registry.counter("daemon.refused.degraded"),
+            watchdog_trips: registry.counter("daemon.watchdog.trips"),
+            watchdog_heals: registry.counter("daemon.watchdog.heals"),
             connections: registry.gauge("daemon.connections"),
         }
     }
@@ -260,26 +298,141 @@ struct Shared {
     world: Mutex<World>,
     addr: SocketAddr,
     draining: AtomicBool,
+    /// Tripped by the watchdog when the fleet mutex has been held past
+    /// [`DaemonConfig::watchdog_budget`]; fleet work is refused with
+    /// [`codes::DEGRADED`] until the watchdog heals (persists) the
+    /// fleet.
+    degraded: AtomicBool,
+    /// Set once the accept loop is done; stops the watchdog thread.
+    stopped: AtomicBool,
+    /// Milliseconds since `epoch`, plus one, at which the current fleet
+    /// mutex holder acquired it (`0` = the mutex is free) — what the
+    /// watchdog reads to measure hold time without touching the mutex.
+    held_since: AtomicU64,
+    epoch: Instant,
     active: AtomicU64,
     served: AtomicU64,
     rejected: AtomicU64,
     max_connections: usize,
     rate_limit: u32,
     io_timeout: Duration,
+    request_timeout: Duration,
+    watchdog_budget: Duration,
     store_dir: PathBuf,
     file_options: FileOptions,
+    /// The last fleet status successfully read; served (with live
+    /// connection counters) when the fleet mutex is wedged, so the
+    /// status surface that explains a stall is never itself stalled.
+    status_cache: Mutex<Option<safetypin_proto::StatusReport>>,
     meters: DaemonMeters,
 }
 
+/// A fleet-mutex guard that publishes its hold window to the watchdog:
+/// acquisition stamps [`Shared::held_since`], drop clears it.
+struct WorldGuard<'a> {
+    guard: MutexGuard<'a, World>,
+    shared: &'a Shared,
+}
+
+impl std::ops::Deref for WorldGuard<'_> {
+    type Target = World;
+    fn deref(&self) -> &World {
+        &self.guard
+    }
+}
+
+impl std::ops::DerefMut for WorldGuard<'_> {
+    fn deref_mut(&mut self) -> &mut World {
+        &mut self.guard
+    }
+}
+
+impl Drop for WorldGuard<'_> {
+    fn drop(&mut self) {
+        self.shared.held_since.store(0, Ordering::SeqCst);
+    }
+}
+
 impl Shared {
-    fn world(&self) -> MutexGuard<'_, World> {
+    fn hold<'a>(&'a self, guard: MutexGuard<'a, World>, waited: Instant) -> WorldGuard<'a> {
+        self.meters.lock_wait.record_duration(waited.elapsed());
+        self.held_since.store(
+            self.epoch.elapsed().as_millis() as u64 + 1,
+            Ordering::SeqCst,
+        );
+        WorldGuard {
+            guard,
+            shared: self,
+        }
+    }
+
+    fn world(&self) -> WorldGuard<'_> {
         // A panic while holding the lock poisons it; the fleet state
         // itself is guarded by its own WAL discipline, so serving
         // beats refusing everything forever.
         let start = Instant::now();
-        let world = self.world.lock().unwrap_or_else(|e| e.into_inner());
-        self.meters.lock_wait.record_duration(start.elapsed());
-        world
+        let guard = self.world.lock().unwrap_or_else(|e| e.into_inner());
+        self.hold(guard, start)
+    }
+
+    /// Bounded acquisition: spins on `try_lock` for at most `patience`,
+    /// returning `None` (caller refuses typed, never wedges) if the
+    /// mutex stays held — the per-request half of the watchdog story.
+    fn try_world(&self, patience: Duration) -> Option<WorldGuard<'_>> {
+        let start = Instant::now();
+        loop {
+            match self.world.try_lock() {
+                Ok(guard) => return Some(self.hold(guard, start)),
+                Err(std::sync::TryLockError::Poisoned(e)) => {
+                    return Some(self.hold(e.into_inner(), start))
+                }
+                Err(std::sync::TryLockError::WouldBlock) => {
+                    if start.elapsed() >= patience {
+                        return None;
+                    }
+                    std::thread::sleep(Duration::from_micros(200));
+                }
+            }
+        }
+    }
+}
+
+/// The watchdog: a sibling thread that measures how long the fleet
+/// mutex has been held (via [`Shared::held_since`], never by locking).
+/// Past [`DaemonConfig::watchdog_budget`] it trips [`Shared::degraded`]
+/// — fleet work refuses typed instead of queueing — and once the stall
+/// clears it persists the fleet (the stalled operation may have been a
+/// symptom; a durable snapshot bounds the blast radius of a recurrence)
+/// and resumes service.
+fn watchdog_loop(shared: Arc<Shared>) {
+    let budget = shared.watchdog_budget;
+    let tick = (budget / 10)
+        .max(Duration::from_millis(1))
+        .min(Duration::from_millis(50));
+    while !shared.stopped.load(Ordering::SeqCst) {
+        let since = shared.held_since.load(Ordering::SeqCst);
+        if since != 0 {
+            let held = Duration::from_millis(
+                (shared.epoch.elapsed().as_millis() as u64).saturating_sub(since - 1),
+            );
+            if held > budget && !shared.degraded.swap(true, Ordering::SeqCst) {
+                shared.meters.watchdog_trips.incr();
+            }
+        } else if shared.degraded.load(Ordering::SeqCst) {
+            // The stall cleared: self-heal. Persist while still
+            // refusing, then reopen for fleet work.
+            if let Some(mut world) = shared.try_world(Duration::from_millis(50)) {
+                let World { deployment, rng } = &mut *world;
+                if deployment
+                    .persist(&shared.store_dir, shared.file_options, rng)
+                    .is_ok()
+                {
+                    shared.meters.watchdog_heals.incr();
+                    shared.degraded.store(false, Ordering::SeqCst);
+                }
+            }
+        }
+        std::thread::sleep(tick);
     }
 }
 
@@ -305,16 +458,25 @@ impl Daemon {
             world: Mutex::new(World { deployment, rng }),
             addr,
             draining: AtomicBool::new(false),
+            degraded: AtomicBool::new(false),
+            stopped: AtomicBool::new(false),
+            held_since: AtomicU64::new(0),
+            epoch: Instant::now(),
             active: AtomicU64::new(0),
             served: AtomicU64::new(0),
             rejected: AtomicU64::new(0),
             max_connections: config.max_connections,
             rate_limit: config.rate_limit,
             io_timeout: config.io_timeout,
+            request_timeout: config.request_timeout,
+            watchdog_budget: config.watchdog_budget,
             store_dir: config.store_dir,
             file_options: config.file_options,
+            status_cache: Mutex::new(None),
             meters: DaemonMeters::from_global(),
         });
+        let watchdog_shared = Arc::clone(&shared);
+        std::thread::spawn(move || watchdog_loop(watchdog_shared));
         let accept_shared = Arc::clone(&shared);
         let join = std::thread::spawn(move || accept_loop(listener, accept_shared));
         Ok(DaemonHandle { shared, join })
@@ -331,6 +493,27 @@ impl DaemonHandle {
     /// The bound listen address (useful with `listen("127.0.0.1:0")`).
     pub fn addr(&self) -> SocketAddr {
         self.shared.addr
+    }
+
+    /// Chaos hook: grabs the fleet mutex and holds it for `hold`,
+    /// simulating a wedged fleet operation. Returns the holder thread's
+    /// handle immediately; join it to wait out the stall. With `hold`
+    /// past [`DaemonConfig::watchdog_budget`], the daemon trips into
+    /// degraded mode (fleet work refused with [`codes::DEGRADED`],
+    /// status/metrics/shutdown still answering), then persists and
+    /// resumes once the holder releases.
+    pub fn inject_wedge(&self, hold: Duration) -> JoinHandle<()> {
+        let shared = Arc::clone(&self.shared);
+        std::thread::spawn(move || {
+            let world = shared.world();
+            std::thread::sleep(hold);
+            drop(world);
+        })
+    }
+
+    /// Whether the watchdog currently has the daemon in degraded mode.
+    pub fn is_degraded(&self) -> bool {
+        self.shared.degraded.load(Ordering::SeqCst)
     }
 
     /// Requests shutdown over the wire — exactly what a
@@ -387,6 +570,7 @@ fn accept_loop(listener: TcpListener, shared: Arc<Shared>) -> Result<SnapshotMet
     for conn in conns {
         let _ = conn.join();
     }
+    shared.stopped.store(true, Ordering::SeqCst);
     let mut world = shared.world();
     let World { deployment, rng } = &mut *world;
     Ok(deployment.persist(&shared.store_dir, shared.file_options, rng)?)
@@ -480,12 +664,48 @@ fn serve_conn(mut stream: TcpStream, shared: Arc<Shared>) -> Result<(), ProtoErr
             }
             Traffic::Provider(ProviderRequest::Status) => {
                 shared.served.fetch_add(units, Ordering::SeqCst);
-                let mut report = shared.world().deployment.status_report();
-                report.active_connections = shared.active.load(Ordering::SeqCst) as u32;
-                report.served_requests = shared.served.load(Ordering::SeqCst);
-                report.rejected_requests = shared.rejected.load(Ordering::SeqCst);
-                report.draining = shared.draining.load(Ordering::SeqCst);
-                TrafficReply::Provider(ProviderResponse::Status(report))
+                // Status must answer even while the fleet mutex is
+                // wedged: a fresh report when the lock is available,
+                // the cached fleet snapshot (with live connection
+                // counters) when it is not.
+                let patience = if shared.degraded.load(Ordering::SeqCst) {
+                    Duration::from_millis(10)
+                } else {
+                    shared.request_timeout
+                };
+                let fleet = match shared.try_world(patience) {
+                    Some(world) => {
+                        let report = world.deployment.status_report();
+                        let mut cache = shared
+                            .status_cache
+                            .lock()
+                            .unwrap_or_else(|e| e.into_inner());
+                        *cache = Some(report.clone());
+                        Some(report)
+                    }
+                    None => shared
+                        .status_cache
+                        .lock()
+                        .unwrap_or_else(|e| e.into_inner())
+                        .clone(),
+                };
+                match fleet {
+                    Some(mut report) => {
+                        report.active_connections = shared.active.load(Ordering::SeqCst) as u32;
+                        report.served_requests = shared.served.load(Ordering::SeqCst);
+                        report.rejected_requests = shared.rejected.load(Ordering::SeqCst);
+                        report.draining = shared.draining.load(Ordering::SeqCst);
+                        TrafficReply::Provider(ProviderResponse::Status(report))
+                    }
+                    // Wedged before the first report was ever built.
+                    None => refusal(
+                        codes::DEGRADED,
+                        &format!(
+                            "fleet stalled before any status was cached (trace {})",
+                            trace.id()
+                        ),
+                    ),
+                }
             }
             _ if shared.draining.load(Ordering::SeqCst) => {
                 shared.rejected.fetch_add(units, Ordering::SeqCst);
@@ -514,12 +734,39 @@ fn serve_conn(mut stream: TcpStream, shared: Arc<Shared>) -> Result<(), ProtoErr
                     &format!("per-connection rate limit exceeded (trace {})", trace.id()),
                 )
             }
-            traffic => {
-                shared.served.fetch_add(units, Ordering::SeqCst);
-                let mut world = shared.world();
-                let World { deployment, rng } = &mut *world;
-                deployment.serve_round(traffic, rng)
+            _ if shared.degraded.load(Ordering::SeqCst) => {
+                shared.rejected.fetch_add(units, Ordering::SeqCst);
+                shared.meters.refused_degraded.add(units);
+                refusal(
+                    codes::DEGRADED,
+                    &format!(
+                        "fleet stalled past the watchdog budget; healing (trace {})",
+                        trace.id()
+                    ),
+                )
             }
+            traffic => match shared.try_world(shared.request_timeout) {
+                Some(mut world) => {
+                    shared.served.fetch_add(units, Ordering::SeqCst);
+                    let World { deployment, rng } = &mut *world;
+                    deployment.serve_round(traffic, rng)
+                }
+                // The mutex stayed held for the whole request budget:
+                // refuse typed instead of queueing indefinitely behind
+                // the stall (the watchdog decides whether the daemon
+                // as a whole is degraded).
+                None => {
+                    shared.rejected.fetch_add(units, Ordering::SeqCst);
+                    shared.meters.refused_degraded.add(units);
+                    refusal(
+                        codes::DEGRADED,
+                        &format!(
+                            "fleet mutex held past the request budget (trace {})",
+                            trace.id()
+                        ),
+                    )
+                }
+            },
         };
         shared
             .meters

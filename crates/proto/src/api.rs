@@ -86,6 +86,12 @@ pub mod codes {
     /// The service hit an internal fault (e.g. a fan-out worker died)
     /// and could not produce a real reply for this request.
     pub const INTERNAL: u16 = 38;
+    /// The service is temporarily degraded — its fleet has been held
+    /// beyond the watchdog budget (a wedged operation, a stalled
+    /// store) — and refuses fleet work instead of queueing behind the
+    /// stall. Control-plane requests (status, metrics, shutdown) keep
+    /// answering; retry fleet work after backing off.
+    pub const DEGRADED: u16 = 39;
 }
 
 /// A wire-transportable refusal: a stable numeric code plus a
@@ -121,6 +127,18 @@ impl ErrorReply {
     /// fail-stopped HSM (skip and carry on) rather than a protocol error.
     pub fn is_transport_fault(&self) -> bool {
         self.code == codes::DROPPED || self.code == codes::CORRUPTED
+    }
+
+    /// True for refusals that describe a *transient* service condition —
+    /// rate limiting, admission-control overload, a watchdog-degraded
+    /// fleet — where the same request may well succeed after a backoff.
+    /// Protocol-level refusals (bad proof, consumed attempt, version
+    /// mismatch) are permanent and return `false`.
+    pub fn is_transient(&self) -> bool {
+        matches!(
+            self.code,
+            codes::RATE_LIMITED | codes::OVERLOADED | codes::DEGRADED
+        )
     }
 }
 
@@ -520,6 +538,45 @@ fn get_user_rounds<T: Decode>(
         out.push(r.get_seq()?);
     }
     Ok(out)
+}
+
+impl ProviderRequest {
+    /// Whether a client may safely re-send this request after an
+    /// ambiguous failure (reply lost, connection died): `true` means a
+    /// duplicate delivery has the same observable effect as a single
+    /// one, so blind retry with backoff is sound.
+    ///
+    /// * Reads (`Status`, `Metrics`, `FetchEnrollments`, `FetchBackup`,
+    ///   `FetchReplyCopies`, `ProveInclusion`) are trivially idempotent.
+    /// * `PutBackup` / `SaveBatch` are idempotent because the save's
+    ///   audit record is content-addressed over `(username, blob)` —
+    ///   the provider treats an identical re-save as a duplicate no-op,
+    ///   never a fresh log entry.
+    /// * `RunEpoch` is safe to repeat: an extra epoch certifies an
+    ///   empty pending set and invalidates nothing.
+    /// * `Shutdown` is a latching flag.
+    /// * `InsertLog`, `Recover`, and `RecoverBatch` are **not**
+    ///   idempotent: the log admits each attempt identifier exactly
+    ///   once and the cluster punctures on service, so a blind retry
+    ///   could burn a second attempt. Recovery clients must fail the
+    ///   flow and let the *user* decide to spend another attempt.
+    pub fn is_idempotent(&self) -> bool {
+        match self {
+            ProviderRequest::FetchEnrollments
+            | ProviderRequest::ProveInclusion { .. }
+            | ProviderRequest::RunEpoch
+            | ProviderRequest::FetchReplyCopies { .. }
+            | ProviderRequest::PutBackup { .. }
+            | ProviderRequest::FetchBackup { .. }
+            | ProviderRequest::Status
+            | ProviderRequest::Shutdown
+            | ProviderRequest::SaveBatch(_)
+            | ProviderRequest::Metrics => true,
+            ProviderRequest::InsertLog { .. }
+            | ProviderRequest::Recover(_)
+            | ProviderRequest::RecoverBatch(_) => false,
+        }
+    }
 }
 
 impl Encode for ProviderRequest {

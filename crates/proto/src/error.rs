@@ -38,6 +38,20 @@ impl fmt::Display for ProtoError {
     }
 }
 
+impl ProtoError {
+    /// Whether the failure is plausibly transient — a dropped or
+    /// mangled message, or a socket-level I/O error — so a retry of an
+    /// *idempotent* request may succeed. Version mismatches, frame
+    /// violations, and protocol confusion are deterministic: retrying
+    /// them re-fails identically, so they are not transient.
+    pub fn is_transient(&self) -> bool {
+        matches!(
+            self,
+            ProtoError::Dropped | ProtoError::Corrupted | ProtoError::Wire(WireError::Io(_))
+        )
+    }
+}
+
 impl std::error::Error for ProtoError {
     fn source(&self) -> Option<&(dyn std::error::Error + 'static)> {
         match self {

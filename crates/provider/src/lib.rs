@@ -126,6 +126,37 @@ pub struct EpochOutcome {
     pub audit_bytes: u64,
 }
 
+/// The quorum certificate retained for one entry of the update history:
+/// who signed and the aggregate over `(d, d', R)`. Kept so a restored
+/// (or replacement, §7.1) HSM can be caught up by *replaying* the
+/// certified chain — the HSM verifies every aggregate itself, so
+/// catch-up extends no trust beyond live participation.
+#[derive(Debug, Clone)]
+pub struct EpochCert {
+    /// Fleet indices whose keys are aggregated.
+    pub signers: Vec<u64>,
+    /// The aggregate signature over the update's signing bytes.
+    pub aggregate: Signature,
+}
+
+impl safetypin_primitives::wire::Encode for EpochCert {
+    fn encode(&self, w: &mut safetypin_primitives::wire::Writer) {
+        w.put_seq(&self.signers);
+        self.aggregate.encode(w);
+    }
+}
+
+impl safetypin_primitives::wire::Decode for EpochCert {
+    fn decode(
+        r: &mut safetypin_primitives::wire::Reader<'_>,
+    ) -> Result<Self, safetypin_primitives::error::WireError> {
+        Ok(Self {
+            signers: r.get_seq()?,
+            aggregate: Signature::decode(r)?,
+        })
+    }
+}
+
 /// The datacenter: HSM fleet + outsourced stores + log state, fronted by
 /// a message [`Transport`].
 ///
@@ -139,6 +170,9 @@ pub struct Datacenter<S: BlockStore = MemStore> {
     log: Log,
     archived_logs: Vec<Vec<LogEntry>>,
     update_history: Vec<UpdateMessage>,
+    /// Quorum certificates parallel to `update_history` (same indices);
+    /// the replayable chain [`resync_hsm`](Self::resync_hsm) walks.
+    epoch_certs: Vec<EpochCert>,
     reply_copies: Vec<(Vec<u8>, RecoveryResponse)>,
     backups: std::collections::BTreeMap<Vec<u8>, Vec<u8>>,
     epoch_chunks: usize,
@@ -237,6 +271,7 @@ impl Datacenter<MemStore> {
             log: Log::new(),
             archived_logs: Vec::new(),
             update_history: Vec::new(),
+            epoch_certs: Vec::new(),
             reply_copies: Vec::new(),
             backups: Default::default(),
             epoch_chunks,
@@ -615,6 +650,12 @@ impl<S: BlockStore + Send> Datacenter<S> {
                         signers.push(id as usize);
                     }
                     HsmResponse::Error(e) if e.is_transport_fault() => continue,
+                    // An HSM holding a stale digest (restored after
+                    // missing updates, or a lost Ack last epoch) cannot
+                    // sign this delta — but it must not veto the fleet.
+                    // Skip it; the quorum check below still gates
+                    // certification, and `resync_hsm` heals it.
+                    HsmResponse::Error(e) if e.code == codes::STALE_DIGEST => continue,
                     HsmResponse::Error(e) => return Err(ProviderError::Hsm((&e).into())),
                     _ => {
                         return Err(ProviderError::Transport(ProtoError::UnexpectedMessage(
@@ -655,11 +696,14 @@ impl<S: BlockStore + Send> Datacenter<S> {
             for (_, resp) in replies {
                 match resp {
                     HsmResponse::Ack => {}
-                    // A lost Ack means that HSM missed the certified
-                    // digest (it will report StaleDigest next epoch and
-                    // resync) — the epoch itself still stands, exactly
-                    // like the audit phase above.
+                    // A lost Ack (or a stale HSM that couldn't sign
+                    // this delta) means that HSM missed the certified
+                    // digest — it will answer StaleDigest until
+                    // [`resync_hsm`](Self::resync_hsm) replays the
+                    // chain to it. The epoch itself still stands,
+                    // exactly like the audit phase above.
                     HsmResponse::Error(e) if e.is_transport_fault() => continue,
+                    HsmResponse::Error(e) if e.code == codes::STALE_DIGEST => continue,
                     HsmResponse::Error(e) => return Err(ProviderError::Hsm((&e).into())),
                     _ => {
                         return Err(ProviderError::Transport(ProtoError::UnexpectedMessage(
@@ -670,6 +714,10 @@ impl<S: BlockStore + Send> Datacenter<S> {
             }
         }
         self.update_history.push(message);
+        self.epoch_certs.push(EpochCert {
+            signers: signers.iter().map(|&s| s as u64).collect(),
+            aggregate,
+        });
         Ok(EpochOutcome {
             message,
             signers,
@@ -677,6 +725,57 @@ impl<S: BlockStore + Send> Datacenter<S> {
             skipped: failed_ids,
             audit_bytes,
         })
+    }
+
+    /// Replays the certified update chain to HSM `id` until it holds
+    /// the current log digest, returning how many updates it accepted.
+    /// A restored HSM ([`restore_hsm`](Self::restore_hsm)) missed every
+    /// epoch cut while it was failed; its held digest is stale and it
+    /// would (correctly) refuse the next incremental update. Catch-up
+    /// is pure replay: for each missed epoch the HSM re-verifies the
+    /// retained quorum aggregate ([`EpochCert`]) before advancing, so a
+    /// malicious provider can no more rewrite history here than it
+    /// could live (§6.2/§7.1 trust model).
+    ///
+    /// Errors if the HSM's digest is not on the certified chain (e.g.
+    /// it predates a garbage collection that archived the chain) — that
+    /// HSM needs re-provisioning, not replay.
+    pub fn resync_hsm(&mut self, id: u64) -> Result<u64, ProviderError> {
+        let held = self.hsm(id)?.log_digest();
+        if self.update_history.last().map(|u| u.new_digest) == Some(held)
+            || self.update_history.is_empty()
+        {
+            return Ok(0);
+        }
+        let Some(start) = self
+            .update_history
+            .iter()
+            .position(|u| u.old_digest == held)
+        else {
+            return Err(ProviderError::EpochFailed(
+                "restored HSM's digest is not on the certified chain",
+            ));
+        };
+        let mut replayed = 0u64;
+        for i in start..self.update_history.len() {
+            let message = self.update_history[i];
+            let cert = self.epoch_certs[i].clone();
+            let signers: Vec<usize> = cert.signers.iter().map(|&s| s as usize).collect();
+            self.hsm_mut(id)?
+                .accept_update(&message, &signers, &cert.aggregate)
+                .map_err(ProviderError::Hsm)?;
+            replayed += 1;
+        }
+        Ok(replayed)
+    }
+
+    /// Restores a failed HSM and immediately resyncs it
+    /// ([`resync_hsm`](Self::resync_hsm)) so it rejoins the fleet
+    /// holding the current certified digest — the provider-side half of
+    /// fail-stop self-healing. Returns the number of replayed updates.
+    pub fn restore_hsm(&mut self, id: u64) -> Result<u64, ProviderError> {
+        self.hsm_mut(id)?.restore();
+        self.resync_hsm(id)
     }
 
     /// Routes a recovery request to HSM `hsm_id` (Figure 3, steps 6–7),
@@ -986,8 +1085,27 @@ impl<S: BlockStore + Send> Datacenter<S> {
                 }
             }
             ProviderRequest::PutBackup { username, blob } => {
-                self.backups.insert(username, blob);
-                ProviderResponse::Ack
+                // The full save path, not a bare blob insert: the save's
+                // content-addressed audit record lands in the log (an
+                // identical re-save is idempotent), so a wire-level
+                // retry of PutBackup can never double-record a save.
+                let saved = {
+                    safetypin_telemetry::span!("save.commit");
+                    self.save(&username, &blob)
+                };
+                match saved {
+                    Ok(()) => ProviderResponse::Ack,
+                    Err(ProviderError::Transport(ProtoError::Dropped)) => {
+                        ProviderResponse::Error(ErrorReply::dropped())
+                    }
+                    Err(ProviderError::Transport(_)) => ProviderResponse::Error(ErrorReply::new(
+                        codes::CORRUPTED,
+                        "enrollment refresh failed",
+                    )),
+                    Err(e) => {
+                        ProviderResponse::Error(ErrorReply::new(codes::LOG_REFUSED, e.to_string()))
+                    }
+                }
             }
             ProviderRequest::SaveBatch(saves) => {
                 let saved = {
@@ -1224,6 +1342,7 @@ struct ProviderState {
     log: safetypin_authlog::LogSnapshot,
     archived_logs: Vec<Vec<LogEntry>>,
     update_history: Vec<UpdateMessage>,
+    epoch_certs: Vec<EpochCert>,
     reply_copies: Vec<(Vec<u8>, RecoveryResponse)>,
     backups: Vec<(Vec<u8>, Vec<u8>)>,
     epoch_chunks: u64,
@@ -1237,6 +1356,7 @@ impl safetypin_primitives::wire::Encode for ProviderState {
             w.put_seq(archive);
         }
         w.put_seq(&self.update_history);
+        w.put_seq(&self.epoch_certs);
         w.put_seq(&self.reply_copies);
         w.put_seq(&self.backups);
         w.put_u64(self.epoch_chunks);
@@ -1260,6 +1380,7 @@ impl safetypin_primitives::wire::Decode for ProviderState {
             log,
             archived_logs,
             update_history: r.get_seq()?,
+            epoch_certs: r.get_seq()?,
             reply_copies: r.get_seq()?,
             backups: r.get_seq()?,
             epoch_chunks: r.get_u64()?,
@@ -1324,6 +1445,7 @@ impl<S: SnapshotBlocks + Send> Datacenter<S> {
             log: self.log.snapshot(),
             archived_logs: self.archived_logs.clone(),
             update_history: self.update_history.clone(),
+            epoch_certs: self.epoch_certs.clone(),
             reply_copies: self.reply_copies.clone(),
             backups: self
                 .backups
@@ -1423,6 +1545,7 @@ impl Datacenter<FileStore> {
             log,
             archived_logs: state.archived_logs,
             update_history: state.update_history,
+            epoch_certs: state.epoch_certs,
             reply_copies: state.reply_copies,
             backups: state.backups.into_iter().collect(),
             epoch_chunks: state.epoch_chunks as usize,

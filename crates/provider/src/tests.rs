@@ -86,6 +86,53 @@ fn epoch_survives_failed_hsm() {
 }
 
 #[test]
+fn stale_restored_hsm_cannot_veto_the_fleet() {
+    let (mut dc, _) = datacenter();
+    dc.insert_log(b"a", b"1").unwrap();
+    dc.run_epoch().unwrap();
+    dc.hsm_mut(2).unwrap().fail();
+    dc.insert_log(b"b", b"2").unwrap();
+    dc.run_epoch().unwrap();
+    // Plain restore, no resync: the HSM holds a stale digest. The next
+    // epoch must proceed without its signature instead of aborting.
+    dc.hsm_mut(2).unwrap().restore();
+    dc.insert_log(b"c", b"3").unwrap();
+    let outcome = dc.run_epoch().unwrap();
+    assert_eq!(outcome.signers.len(), 7);
+    assert!(outcome.skipped.is_empty());
+    assert_ne!(dc.hsm(2).unwrap().log_digest(), outcome.message.new_digest);
+}
+
+#[test]
+fn restore_hsm_replays_the_certified_chain() {
+    let (mut dc, _) = datacenter();
+    dc.insert_log(b"a", b"1").unwrap();
+    dc.run_epoch().unwrap();
+    dc.hsm_mut(3).unwrap().fail();
+    dc.insert_log(b"b", b"2").unwrap();
+    dc.run_epoch().unwrap();
+    dc.insert_log(b"c", b"3").unwrap();
+    let last = dc.run_epoch().unwrap();
+    assert_ne!(dc.hsm(3).unwrap().log_digest(), last.message.new_digest);
+
+    // Restore + resync: the HSM replays the two certified updates it
+    // missed, re-verifying each quorum aggregate itself.
+    let replayed = dc.restore_hsm(3).unwrap();
+    assert_eq!(replayed, 2);
+    assert_eq!(dc.hsm(3).unwrap().log_digest(), last.message.new_digest);
+
+    // The resynced HSM signs the next epoch with the full fleet.
+    dc.insert_log(b"d", b"4").unwrap();
+    let next = dc.run_epoch().unwrap();
+    assert_eq!(next.signers.len(), 8);
+    assert!(next.skipped.is_empty());
+    assert_eq!(dc.hsm(3).unwrap().log_digest(), next.message.new_digest);
+
+    // Resync on a current HSM is a no-op.
+    assert_eq!(dc.resync_hsm(3).unwrap(), 0);
+}
+
+#[test]
 fn duplicate_log_insert_rejected() {
     let (mut dc, _) = datacenter();
     dc.insert_log(b"victim", b"attempt-1").unwrap();
